@@ -1,0 +1,167 @@
+//! Criterion benchmarks for the full stack (experiments E3/E6 flavour):
+//! SQL parse+plan throughput, engine insert/expire/query cycles under
+//! eager vs lazy removal, B+-tree-indexed vs scanned selections, and
+//! replica synchronisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use exptime_core::materialize::RefreshPolicy;
+use exptime_core::predicate::{CmpOp, Predicate};
+use exptime_core::value::Value;
+use exptime_engine::{Database, DbConfig, Removal};
+use exptime_replica::Replica;
+use exptime_sql::parse;
+use std::hint::black_box;
+
+fn bench_sql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sql");
+    let stmts = [
+        "SELECT deg, COUNT(*) FROM pol WHERE deg >= 25 AND uid < 1000 GROUP BY deg",
+        "SELECT uid FROM pol EXCEPT SELECT uid FROM el UNION SELECT uid FROM sports",
+        "INSERT INTO pol VALUES (1, 25), (2, 25), (3, 35) EXPIRES IN 10 TICKS",
+        "SELECT * FROM a JOIN b ON a.x = b.y JOIN c ON b.z = c.w WHERE a.v <> 7",
+    ];
+    g.throughput(Throughput::Elements(stmts.len() as u64));
+    g.bench_function("parse", |b| {
+        b.iter(|| {
+            for s in &stmts {
+                black_box(parse(s).unwrap());
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_engine_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/session_cycle");
+    g.sample_size(10);
+    for (name, removal) in [
+        ("eager", Removal::Eager),
+        ("lazy_100", Removal::Lazy { vacuum_every: 100 }),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut db = Database::new(DbConfig {
+                    removal,
+                    ..DbConfig::default()
+                });
+                db.execute("CREATE TABLE sessions (sid INT, uid INT)").unwrap();
+                for i in 0..2_000i64 {
+                    db.insert_ttl(
+                        "sessions",
+                        exptime_core::tuple![i, i % 97],
+                        30 + (i % 50) as u64,
+                    )
+                    .unwrap();
+                    if i % 10 == 0 {
+                        db.tick(1);
+                    }
+                }
+                db.tick(200);
+                black_box(db.stats().expired)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_indexed_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/selection");
+    let build = |index: bool| {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+        for i in 0..20_000i64 {
+            db.insert_ttl("t", exptime_core::tuple![i, i % 512], 1_000_000)
+                .unwrap();
+        }
+        if index {
+            db.table_mut("t").unwrap().create_index(1).unwrap();
+        }
+        db
+    };
+    let mut plain = build(false);
+    let mut indexed = build(true);
+    g.bench_function("scan_eq", |b| {
+        let now = plain.now();
+        b.iter(|| {
+            black_box(
+                plain
+                    .table_mut("t")
+                    .unwrap()
+                    .select_eq(1, &Value::Int(37), now),
+            )
+        });
+    });
+    g.bench_function("btree_eq", |b| {
+        let now = indexed.now();
+        b.iter(|| {
+            black_box(
+                indexed
+                    .table_mut("t")
+                    .unwrap()
+                    .select_eq(1, &Value::Int(37), now),
+            )
+        });
+    });
+    g.bench_function("btree_range", |b| {
+        let now = indexed.now();
+        b.iter(|| {
+            black_box(indexed.table_mut("t").unwrap().select_range(
+                1,
+                &Value::Int(100),
+                &Value::Int(120),
+                now,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_replica(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replica/sync_horizon");
+    g.sample_size(10);
+    for (name, refresh) in [
+        ("recompute", RefreshPolicy::Recompute),
+        ("patch", RefreshPolicy::Patch),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 500), &500, |b, _| {
+            b.iter(|| {
+                let mut srv = Database::default();
+                srv.execute("CREATE TABLE r (k INT, v INT)").unwrap();
+                srv.execute("CREATE TABLE s (k INT, v INT)").unwrap();
+                for i in 0..500i64 {
+                    srv.insert_ttl("r", exptime_core::tuple![i, i % 97], 200 + (i % 100) as u64)
+                        .unwrap();
+                    if i % 2 == 0 {
+                        srv.insert_ttl("s", exptime_core::tuple![i, i % 97], (i % 150) as u64 + 1)
+                            .unwrap();
+                    }
+                }
+                let mut rep = Replica::new(refresh);
+                // Keep the difference at the root (σ pushed into both
+                // sides, as the rewriter would) so RefreshPolicy::Patch
+                // can attach its Theorem 3 queue.
+                let side = |n: &str| {
+                    exptime_core::algebra::Expr::base(n)
+                        .select(Predicate::attr_cmp_const(1, CmpOp::Lt, 97))
+                };
+                rep.subscribe("v", side("r").difference(side("s")), &srv)
+                    .unwrap();
+                for _ in 0..100 {
+                    srv.tick(3);
+                    black_box(rep.read("v", &srv).unwrap());
+                }
+                rep.link_stats().total_messages()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sql,
+    bench_engine_cycle,
+    bench_indexed_selection,
+    bench_replica
+);
+criterion_main!(benches);

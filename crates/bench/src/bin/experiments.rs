@@ -1,0 +1,80 @@
+//! Runs the synthetic experiments E1–E8 and the A1 ablation, printing the
+//! report tables recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [id…]`
+//! where `id` ∈ {e1, …, e8, a1}; omit ids for all. `--quick` shrinks the
+//! workloads (used in CI smoke runs).
+
+use exptime_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let scale = if quick { 1 } else { 10 };
+
+    let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
+
+    if run("e1") {
+        println!("{}", ex::e1_monotonic_maintenance(300 * scale, 7).0.render());
+    }
+    if run("e2") {
+        println!("{}", ex::e2_patching(400 * scale, 11).0.render());
+    }
+    if run("e3") {
+        println!("{}", ex::e3_eager_vs_lazy(300 * scale, 3).0.render());
+    }
+    if run("e4") {
+        println!("{}", ex::e4_aggregate_modes(1500 * scale, 13).0.render());
+    }
+    if run("e5") {
+        let sizes: Vec<usize> = if quick {
+            vec![10_000]
+        } else {
+            vec![10_000, 100_000, 1_000_000]
+        };
+        // Coarse drain: few large batches (bulk cleanup pattern).
+        println!("{}", ex::e5_expiry_indexes(&sizes, 200, 17).0.render());
+        // Fine-grained drain: one pop per tick (real-time trigger
+        // pattern) — this is where the O(n)-per-pop scan baseline loses.
+        if !quick {
+            println!("{}", ex::e5_expiry_indexes(&[50_000], 10_000, 18).0.render());
+        }
+    }
+    if run("e6") {
+        println!("{}", ex::e6_replica_sync(300 * scale, 240, 19).0.render());
+    }
+    if run("e7") {
+        // Fixed hole structure (the claim is about validity-model
+        // coverage, not data scale); more queries at full scale for
+        // tighter fractions.
+        println!(
+            "{}",
+            ex::e7_schrodinger(400, 2000 * scale as usize, 23).0.render()
+        );
+    }
+    if run("e8") {
+        println!("{}", ex::e8_rewriting(500 * scale, 29).0.render());
+    }
+    if run("e9") {
+        println!("{}", ex::e9_approximate_aggregates(1500 * scale as usize, 37).0.render());
+    }
+    if run("e10") {
+        println!("{}", ex::e10_bounded_queue(600 * scale as usize, 41).0.render());
+    }
+    if run("a1") {
+        println!("{}", ex::a1_nu_ablation(20 * scale, 31).render());
+    }
+    if run("a2") {
+        let sizes: Vec<usize> = if quick {
+            vec![500, 2_000]
+        } else {
+            vec![500, 2_000, 8_000]
+        };
+        println!("{}", ex::a2_join_ablation(&sizes, 43).render());
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates every figure and table of the paper from the running
+//! engine. Usage: `cargo run -p exptime-bench --bin figures [artifact]`
+//! where `artifact` ∈ {fig1, fig2, fig3, table1, table2}; omit it for all.
+
+use exptime_bench::figures;
+
+type Artifact = (&'static str, fn() -> String);
+
+fn main() {
+    let which = std::env::args().nth(1);
+    let all: Vec<Artifact> = vec![
+        ("fig1", figures::fig1),
+        ("fig2", figures::fig2),
+        ("fig3", figures::fig3),
+        ("table1", figures::table1),
+        ("table2", figures::table2),
+    ];
+    match which.as_deref() {
+        None => {
+            for (i, (_, f)) in all.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                print!("{}", f());
+            }
+        }
+        Some(name) => match all.iter().find(|(n, _)| *n == name) {
+            Some((_, f)) => print!("{}", f()),
+            None => {
+                eprintln!(
+                    "unknown artifact `{name}`; expected one of: {}",
+                    all.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+                );
+                std::process::exit(1);
+            }
+        },
+    }
+}

@@ -1,0 +1,1426 @@
+//! The synthetic experiments E1–E8 (see DESIGN.md §5).
+//!
+//! The paper has no empirical section; these experiments quantify the
+//! claims it makes qualitatively. Every experiment is a deterministic,
+//! seeded function returning a [`Report`] whose counters the unit tests
+//! pin down (who wins, and roughly by how much); the `experiments` binary
+//! renders the reports for EXPERIMENTS.md. Wall-clock timings appear in
+//! reports but are never asserted.
+
+use crate::workload::{difference_pair, LifetimeDist, TableGen};
+use exptime_core::aggregate::{self, AggFunc, AggMode};
+use exptime_core::algebra::{eval, ops, EvalOptions, Expr};
+use exptime_core::catalog::Catalog;
+use exptime_core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
+use exptime_core::predicate::{CmpOp, Predicate};
+use exptime_core::rewrite;
+use exptime_core::time::Time;
+use exptime_engine::{Database, DbConfig, Removal};
+use exptime_replica::{DeletePushReplica, PollingReplica, Replica};
+use exptime_storage::expiry::IndexKind;
+use std::time::Instant;
+
+/// A rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id and title.
+    pub title: String,
+    /// Table rows (pre-formatted).
+    pub lines: Vec<String>,
+}
+
+impl Report {
+    /// Renders the report as text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} ==\n", self.title);
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn t(v: u64) -> Time {
+    Time::new(v)
+}
+
+// ---------------------------------------------------------------------
+// E1 — monotonic views never recompute
+// ---------------------------------------------------------------------
+
+/// Per-view outcome of E1.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// View description.
+    pub view: String,
+    /// Whether the classifier calls it monotonic.
+    pub monotonic: bool,
+    /// Reads served.
+    pub reads: u64,
+    /// Recomputations needed.
+    pub recomputations: u64,
+}
+
+/// E1: materialise one view of each operator shape over a sliding
+/// workload; read at every event time; count recomputations. Theorem 1
+/// says the monotonic ones need zero.
+#[must_use]
+pub fn e1_monotonic_maintenance(rows: usize, seed: u64) -> (Report, Vec<E1Row>) {
+    let r = TableGen {
+        rows,
+        keys: 40,
+        lifetimes: LifetimeDist::Uniform { min: 1, max: 200 },
+        seed,
+        ..TableGen::default()
+    }
+    .generate()
+    .to_relation();
+    let s = TableGen {
+        rows,
+        keys: 40,
+        lifetimes: LifetimeDist::Uniform { min: 1, max: 200 },
+        seed: seed + 1,
+        ..TableGen::default()
+    }
+    .generate()
+    .to_relation();
+    let mut catalog = Catalog::new();
+    catalog.register("r", r.clone());
+    catalog.register("s", s);
+
+    let views: Vec<(String, Expr)> = vec![
+        (
+            "σ[val < 500](R)".into(),
+            Expr::base("r").select(Predicate::attr_cmp_const(1, CmpOp::Lt, 500)),
+        ),
+        ("π[key](R)".into(), Expr::base("r").project([0])),
+        (
+            "R ⋈[key=key] S".into(),
+            Expr::base("r").join(Expr::base("s"), Predicate::attr_eq_attr(0, 2)),
+        ),
+        ("R ∪ S".into(), Expr::base("r").union(Expr::base("s"))),
+        ("R ∩ S".into(), Expr::base("r").intersect(Expr::base("s"))),
+        (
+            // Projected difference so the two key populations actually
+            // overlap (raw (key, val) tuples rarely coincide).
+            "π[key](R) − π[key](S)".into(),
+            Expr::base("r")
+                .project([0])
+                .difference(Expr::base("s").project([0])),
+        ),
+        (
+            "π[key, count](agg[key, count](R))".into(),
+            Expr::base("r").aggregate([0], AggFunc::Count).project([0, 2]),
+        ),
+    ];
+
+    let events = r.event_times(Time::ZERO);
+    let mut out_rows = Vec::new();
+    for (name, expr) in views {
+        let mut view =
+            MaterializedView::with_defaults(expr.clone(), &catalog, Time::ZERO).unwrap();
+        let mut reads = 0;
+        for &e in &events {
+            let got = view.read(&catalog, e).unwrap();
+            reads += 1;
+            // Ground truth check on a sample of events.
+            if reads % 16 == 0 {
+                let fresh = eval(&expr, &catalog, e, &EvalOptions::default()).unwrap();
+                assert!(got.set_eq(&fresh.rel.exp(e)), "{name} wrong at {e}");
+            }
+        }
+        out_rows.push(E1Row {
+            view: name,
+            monotonic: expr.is_monotonic(),
+            reads,
+            recomputations: view.stats().recomputations,
+        });
+    }
+
+    let mut lines = vec![format!(
+        "{:<40}{:>11}{:>8}{:>16}",
+        "view", "monotonic", "reads", "recomputations"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:<40}{:>11}{:>8}{:>16}",
+            r.view, r.monotonic, r.reads, r.recomputations
+        ));
+    }
+    (
+        Report {
+            title: "E1: monotonic views never recompute (Theorem 1)".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E2 — patching eliminates difference recomputation
+// ---------------------------------------------------------------------
+
+/// One overlap point of E2.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Fraction of R also present in S.
+    pub overlap: f64,
+    /// Critical tuples at materialisation time.
+    pub critical: usize,
+    /// Recomputations without patching.
+    pub recomputations_unpatched: u64,
+    /// Recomputations with the Theorem 3 patch queue.
+    pub recomputations_patched: u64,
+    /// Patch-queue size (storage cost of Theorem 3).
+    pub queue_len: usize,
+}
+
+/// E2: sweep the R∩S overlap fraction; compare recomputation counts of an
+/// unpatched vs. a patched materialised difference read at every event.
+#[must_use]
+pub fn e2_patching(rows: usize, seed: u64) -> (Report, Vec<E2Row>) {
+    let mut out_rows = Vec::new();
+    for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let (rg, sg) = difference_pair(
+            rows,
+            overlap,
+            LifetimeDist::Uniform { min: 100, max: 200 },
+            LifetimeDist::Uniform { min: 1, max: 99 },
+            seed,
+        );
+        let r = rg.to_relation();
+        let s = sg.to_relation();
+        let critical = ops::critical_tuples(&r, &s, Time::ZERO).len();
+        let mut catalog = Catalog::new();
+        catalog.register("r", r.clone());
+        catalog.register("s", s);
+        let expr = Expr::base("r").difference(Expr::base("s"));
+
+        let mut events = r.event_times(Time::ZERO);
+        events.extend(catalog.get("s").unwrap().event_times(Time::ZERO));
+        events.sort_unstable();
+        events.dedup();
+
+        let mut unpatched =
+            MaterializedView::with_defaults(expr.clone(), &catalog, Time::ZERO).unwrap();
+        let mut patched = MaterializedView::new(
+            expr.clone(),
+            &catalog,
+            Time::ZERO,
+            EvalOptions::default(),
+            RefreshPolicy::Patch,
+            RemovalPolicy::Lazy,
+        )
+        .unwrap();
+        let queue_len = patched
+            .materialized()
+            .patches
+            .as_ref()
+            .map_or(0, exptime_core::patch::PatchQueue::len);
+        for (i, &e) in events.iter().enumerate() {
+            let a = unpatched.read(&catalog, e).unwrap();
+            let b = patched.read(&catalog, e).unwrap();
+            if i % 32 == 0 {
+                assert!(a.set_eq(&b), "patched ≠ unpatched at {e}");
+            }
+        }
+        out_rows.push(E2Row {
+            overlap,
+            critical,
+            recomputations_unpatched: unpatched.stats().recomputations,
+            recomputations_patched: patched.stats().recomputations,
+            queue_len,
+        });
+    }
+    let mut lines = vec![format!(
+        "{:>8}{:>10}{:>22}{:>20}{:>12}",
+        "overlap", "critical", "recompute(unpatched)", "recompute(patched)", "queue"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:>8.2}{:>10}{:>22}{:>20}{:>12}",
+            r.overlap,
+            r.critical,
+            r.recomputations_unpatched,
+            r.recomputations_patched,
+            r.queue_len
+        ));
+    }
+    (
+        Report {
+            title: "E2: Theorem 3 patching vs recomputation for R −exp S".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E3 — eager vs lazy removal
+// ---------------------------------------------------------------------
+
+/// One configuration of E3.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Policy description.
+    pub policy: String,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// Mean trigger lag in ticks (`fired_at − texp`).
+    pub mean_trigger_lag: f64,
+    /// Peak physical rows across the run.
+    pub peak_rows: usize,
+    /// Vacuum passes run.
+    pub vacuums: u64,
+}
+
+/// E3: an expiry-heavy session workload under eager removal vs lazy
+/// removal at several vacuum cadences. Eager pays per-event processing
+/// and gets exact trigger times and minimal space; lazy batches work at
+/// the cost of trigger lag and peak space.
+#[must_use]
+pub fn e3_eager_vs_lazy(sessions: usize, seed: u64) -> (Report, Vec<E3Row>) {
+    let stream = crate::workload::session_stream(sessions, 1, 40, 0.3, 2, seed);
+    let configs: Vec<(String, Removal)> = vec![
+        ("eager".into(), Removal::Eager),
+        ("lazy/10".into(), Removal::Lazy { vacuum_every: 10 }),
+        ("lazy/100".into(), Removal::Lazy { vacuum_every: 100 }),
+        (
+            "lazy/1000".into(),
+            Removal::Lazy {
+                vacuum_every: 1000,
+            },
+        ),
+    ];
+    let mut out_rows = Vec::new();
+    for (name, removal) in configs {
+        let mut db = Database::new(DbConfig {
+            removal,
+            ..DbConfig::default()
+        });
+        db.execute("CREATE TABLE sessions (sid INT, ttl INT)").unwrap();
+        let start = Instant::now();
+        let mut peak = 0usize;
+        for &(at, sid, ttl) in &stream.events {
+            let now = db.now();
+            if t(at) > now {
+                db.advance_to(t(at));
+            }
+            db.insert(
+                "sessions",
+                exptime_core::tuple![sid, ttl as i64],
+                t(at + ttl),
+            )
+            .unwrap();
+            peak = peak.max(db.table("sessions").unwrap().len());
+        }
+        db.advance_to(t(stream.horizon + 1));
+        if let Removal::Lazy { .. } = removal {
+            db.vacuum(); // final flush so all triggers fire
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let log = db.triggers().log();
+        let lag_sum: u64 = log
+            .iter()
+            .map(|e| e.fired_at.finite().unwrap() - e.texp.finite().unwrap())
+            .sum();
+        let mean_trigger_lag = if log.is_empty() {
+            0.0
+        } else {
+            lag_sum as f64 / log.len() as f64
+        };
+        out_rows.push(E3Row {
+            policy: name,
+            wall_ms,
+            mean_trigger_lag,
+            peak_rows: peak,
+            vacuums: db.stats().vacuums,
+        });
+    }
+    let mut lines = vec![format!(
+        "{:<12}{:>10}{:>18}{:>12}{:>10}",
+        "policy", "wall ms", "mean trigger lag", "peak rows", "vacuums"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:<12}{:>10.2}{:>18.2}{:>12}{:>10}",
+            r.policy, r.wall_ms, r.mean_trigger_lag, r.peak_rows, r.vacuums
+        ));
+    }
+    (
+        Report {
+            title: "E3: eager vs lazy removal (Section 3.2)".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E4 — aggregate expiration modes
+// ---------------------------------------------------------------------
+
+/// One function/mode pair of E4.
+#[derive(Debug, Clone)]
+pub struct E4Row {
+    /// Aggregate function name.
+    pub func: String,
+    /// Mean result-tuple lifetime under Eq. 8.
+    pub naive: f64,
+    /// Mean lifetime under Table 1 contributing sets.
+    pub contributing: f64,
+    /// Mean lifetime under exact ν (Eq. 9) — the ground-truth maximum.
+    pub exact: f64,
+}
+
+/// E4: mean aggregation-result lifetimes under the three expiration-time
+/// assignment modes, per SQL aggregate, over partitions with skewed
+/// lifetimes and clustered values (so neutral sets actually occur).
+#[must_use]
+pub fn e4_aggregate_modes(rows: usize, seed: u64) -> (Report, Vec<E4Row>) {
+    let table = TableGen {
+        rows,
+        keys: 25,
+        key_skew: 0.8,
+        values: 8, // few distinct values → ties for min/max, zero-sums
+        lifetimes: LifetimeDist::HeavyTail { base: 16, spread: 5 },
+        seed,
+        ..TableGen::default()
+    }
+    .generate()
+    .to_relation();
+
+    let funcs = [
+        AggFunc::Min(1),
+        AggFunc::Max(1),
+        AggFunc::Sum(1),
+        AggFunc::Avg(1),
+        AggFunc::Count,
+    ];
+    let mut out_rows = Vec::new();
+    for f in funcs {
+        let mut sums = [0.0f64; 3];
+        let mut n = 0usize;
+        for (_, partition) in aggregate::partition(&table, &[0], Time::ZERO) {
+            for (i, mode) in [AggMode::Naive, AggMode::Contributing, AggMode::Exact]
+                .into_iter()
+                .enumerate()
+            {
+                let texp = aggregate::result_texp(&partition, f, mode, Time::ZERO).unwrap();
+                // Lifetimes capped for ∞ (counts as the partition horizon).
+                let cap = aggregate::nu::partition_death(&partition)
+                    .unwrap()
+                    .finite()
+                    .unwrap_or(u64::MAX - 1);
+                sums[i] += texp.finite().unwrap_or(cap) as f64;
+            }
+            n += 1;
+        }
+        out_rows.push(E4Row {
+            func: f.to_string(),
+            naive: sums[0] / n as f64,
+            contributing: sums[1] / n as f64,
+            exact: sums[2] / n as f64,
+        });
+    }
+    let mut lines = vec![format!(
+        "{:<10}{:>14}{:>16}{:>12}",
+        "function", "naive (Eq.8)", "contributing", "exact (ν)"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:<10}{:>14.2}{:>16.2}{:>12.2}",
+            r.func, r.naive, r.contributing, r.exact
+        ));
+    }
+    (
+        Report {
+            title: "E4: mean aggregate result-tuple lifetime by expiration mode".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E5 — expiration index performance
+// ---------------------------------------------------------------------
+
+/// One index/size point of E5.
+#[derive(Debug, Clone)]
+pub struct E5Row {
+    /// Index name.
+    pub index: String,
+    /// Number of rows.
+    pub n: usize,
+    /// Wall-clock milliseconds to insert everything.
+    pub insert_ms: f64,
+    /// Wall-clock milliseconds to expire everything in `steps` batches.
+    pub expire_ms: f64,
+}
+
+/// E5: insert `n` rows with uniform lifetimes into each expiration-index
+/// variant, then advance time in batches until everything has expired.
+#[must_use]
+pub fn e5_expiry_indexes(ns: &[usize], steps: u64, seed: u64) -> (Report, Vec<E5Row>) {
+    let mut out_rows = Vec::new();
+    for &n in ns {
+        let gen = TableGen {
+            rows: n,
+            keys: n,
+            lifetimes: LifetimeDist::Uniform {
+                min: 1,
+                max: 10_000,
+            },
+            seed,
+            ..TableGen::default()
+        }
+        .generate();
+        for kind in [IndexKind::Heap, IndexKind::Wheel, IndexKind::Scan] {
+            // Skip the quadratic baseline at large n.
+            if kind == IndexKind::Scan && n > 200_000 {
+                continue;
+            }
+            let mut table = exptime_storage::Table::new("x", gen.schema.clone(), kind);
+            let start = Instant::now();
+            for (i, (tp, e)) in gen.rows.iter().enumerate() {
+                // Tuples may repeat keys; make them unique by index so the
+                // table holds exactly n rows.
+                let unique = exptime_core::tuple![i as i64, tp.attr(1).as_int().unwrap()];
+                table.insert(unique, *e, Time::ZERO).unwrap();
+            }
+            let insert_ms = start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let mut expired = 0usize;
+            for step in 1..=steps {
+                let tau = t(10_000 * step / steps);
+                expired += table.expire_due(tau).len();
+            }
+            let expire_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(expired, table.stats().expired as usize);
+            assert_eq!(expired, n, "{kind:?}: everything expires");
+            out_rows.push(E5Row {
+                index: format!("{kind:?}").to_lowercase(),
+                n,
+                insert_ms,
+                expire_ms,
+            });
+        }
+    }
+    let mut lines = vec![format!(
+        "{:<8}{:>10}{:>12}{:>12}",
+        "index", "rows", "insert ms", "expire ms"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:<8}{:>10}{:>12.2}{:>12.2}",
+            r.index, r.n, r.insert_ms, r.expire_ms
+        ));
+    }
+    (
+        Report {
+            title: format!(
+                "E5: expiration index throughput, {steps}-batch drain (heap vs wheel vs scan)"
+            ),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E6 — loosely-coupled synchronisation cost
+// ---------------------------------------------------------------------
+
+/// One strategy/view pair of E6.
+#[derive(Debug, Clone)]
+pub struct E6Row {
+    /// View kind ("monotonic" or "difference").
+    pub view: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Total messages over the run.
+    pub messages: u64,
+    /// Total tuples transferred.
+    pub tuples: u64,
+}
+
+/// E6: a replica reads a view every tick for `horizon` ticks while the
+/// server's tuples expire. Strategies: expiration-aware (recompute-on-
+/// expiry), expiration-aware with patching, delete-push, polling.
+#[must_use]
+pub fn e6_replica_sync(rows: usize, horizon: u64, seed: u64) -> (Report, Vec<E6Row>) {
+    let mut out_rows = Vec::new();
+    for (view_name, make_expr) in [
+        (
+            // val = i % 97 in difference_pair, so `< 48` keeps about half
+            // the rows — the delete-push baseline then pays one notice per
+            // expiring view tuple.
+            "monotonic σ",
+            Box::new(|| Expr::base("r").select(Predicate::attr_cmp_const(1, CmpOp::Lt, 48)))
+                as Box<dyn Fn() -> Expr>,
+        ),
+        (
+            "difference",
+            Box::new(|| Expr::base("r").difference(Expr::base("s"))),
+        ),
+    ] {
+        let build_server = || {
+            let mut db = Database::new(DbConfig::default());
+            db.execute("CREATE TABLE r (key INT, val INT)").unwrap();
+            db.execute("CREATE TABLE s (key INT, val INT)").unwrap();
+            let (rg, sg) = difference_pair(
+                rows,
+                0.5,
+                LifetimeDist::Uniform {
+                    min: 1,
+                    max: horizon,
+                },
+                LifetimeDist::Uniform {
+                    min: 1,
+                    max: horizon / 2,
+                },
+                seed,
+            );
+            for (tp, e) in rg.rows {
+                db.insert("r", tp, e).unwrap();
+            }
+            for (tp, e) in sg.rows {
+                db.insert("s", tp, e).unwrap();
+            }
+            db
+        };
+
+        // Expiration-aware, recompute on expiry.
+        {
+            let mut srv = build_server();
+            let mut rep = Replica::new(RefreshPolicy::Recompute);
+            rep.subscribe("v", make_expr(), &srv).unwrap();
+            for _ in 0..horizon {
+                srv.tick(1);
+                rep.read("v", &srv).unwrap();
+            }
+            let s = rep.link_stats();
+            out_rows.push(E6Row {
+                view: view_name.into(),
+                strategy: "exp-aware".into(),
+                messages: s.total_messages(),
+                tuples: s.tuples_transferred,
+            });
+        }
+        // Expiration-aware with Theorem 3 patching.
+        {
+            let mut srv = build_server();
+            let mut rep = Replica::new(RefreshPolicy::Patch);
+            rep.subscribe("v", make_expr(), &srv).unwrap();
+            for _ in 0..horizon {
+                srv.tick(1);
+                rep.read("v", &srv).unwrap();
+            }
+            let s = rep.link_stats();
+            out_rows.push(E6Row {
+                view: view_name.into(),
+                strategy: "exp-aware+patch".into(),
+                messages: s.total_messages(),
+                tuples: s.tuples_transferred,
+            });
+        }
+        // Delete-push.
+        {
+            let mut srv = build_server();
+            let mut cache = DeletePushReplica::subscribe(make_expr(), &srv).unwrap();
+            for _ in 0..horizon {
+                srv.tick(1);
+                cache.server_sync(&srv).unwrap();
+            }
+            let s = cache.link_stats();
+            out_rows.push(E6Row {
+                view: view_name.into(),
+                strategy: "delete-push".into(),
+                messages: s.total_messages(),
+                tuples: s.tuples_transferred,
+            });
+        }
+        // Polling.
+        {
+            let mut srv = build_server();
+            let mut poll = PollingReplica::new(make_expr(), &srv);
+            for _ in 0..horizon {
+                srv.tick(1);
+                poll.read(&srv).unwrap();
+            }
+            let s = poll.link_stats();
+            out_rows.push(E6Row {
+                view: view_name.into(),
+                strategy: "polling".into(),
+                messages: s.total_messages(),
+                tuples: s.tuples_transferred,
+            });
+        }
+    }
+    let mut lines = vec![format!(
+        "{:<14}{:<18}{:>10}{:>14}",
+        "view", "strategy", "messages", "tuples moved"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:<14}{:<18}{:>10}{:>14}",
+            r.view, r.strategy, r.messages, r.tuples
+        ));
+    }
+    (
+        Report {
+            title: "E6: maintenance traffic in a loosely-coupled deployment".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E7 — Schrödinger intervals answer more queries locally
+// ---------------------------------------------------------------------
+
+/// One model row of E7.
+#[derive(Debug, Clone)]
+pub struct E7Row {
+    /// Validity model name.
+    pub model: String,
+    /// Fraction of query times answerable from the materialisation.
+    pub local_fraction: f64,
+}
+
+/// E7: materialise a difference once, then issue queries at uniformly
+/// random times over the horizon. Count the fraction answerable without
+/// recomputation under (a) the single-`texp(e)` model, (b) Equation 12
+/// intervals, (c) exact per-tuple-hole intervals.
+///
+/// The workload is built so that critical tuples produce *short,
+/// scattered* invalidity holes `[texp_S(t), texp_R(t)[` — the regime the
+/// interval models were designed for: one early hole pins the single
+/// `texp(e)` near zero, Equation 12 blankets everything from the first
+/// hole to the last, and only the exact union of holes recovers the gaps
+/// between them.
+#[must_use]
+pub fn e7_schrodinger(rows: usize, queries: usize, seed: u64) -> (Report, Vec<E7Row>) {
+    use exptime_core::schema::Schema;
+    use exptime_core::tuple::Tuple;
+    use exptime_core::value::{Value, ValueType};
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let schema = Schema::of(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+    let mut r = exptime_core::relation::Relation::new(schema.clone());
+    let mut s = exptime_core::relation::Relation::new(schema);
+    // A sparse set of critical tuples with short reappearance windows…
+    let criticals = (rows / 20).max(4);
+    for i in 0..criticals as i64 {
+        let tuple = Tuple::new(vec![Value::Int(i), Value::Int(0)]);
+        let appear = rng.gen_range(50..900);
+        let window = rng.gen_range(5..25);
+        s.insert(tuple.clone(), Time::new(appear)).unwrap();
+        r.insert(tuple, Time::new(appear + window)).unwrap();
+    }
+    // …plus plenty of non-critical filler on both sides.
+    for i in criticals as i64..rows as i64 {
+        let tuple = Tuple::new(vec![Value::Int(i), Value::Int(1)]);
+        r.insert(tuple.clone(), Time::new(rng.gen_range(900..1050))).unwrap();
+        if rng.gen_bool(0.3) {
+            // In S with a *later* expiry than R: case 3b, never critical.
+            s.insert(tuple, Time::new(1_060)).unwrap();
+        }
+    }
+    let mut catalog = Catalog::new();
+    catalog.register("r", r);
+    catalog.register("s", s);
+    let expr = Expr::base("r").difference(Expr::base("s"));
+    let exact = eval(&expr, &catalog, Time::ZERO, &EvalOptions::default()).unwrap();
+    let coarse = eval(
+        &expr,
+        &catalog,
+        Time::ZERO,
+        &EvalOptions {
+            eq12_validity: true,
+            ..EvalOptions::default()
+        },
+    )
+    .unwrap();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
+    let mut hits = [0usize; 3];
+    for _ in 0..queries {
+        let q = t(rng.gen_range(0..1100));
+        if q < exact.texp {
+            hits[0] += 1;
+        }
+        if coarse.validity.contains(q) {
+            hits[1] += 1;
+        }
+        if exact.validity.contains(q) {
+            hits[2] += 1;
+        }
+        // Sanity: any "valid" answer must equal ground truth.
+        if exact.validity.contains(q) {
+            let fresh = eval(&expr, &catalog, q, &EvalOptions::default()).unwrap();
+            assert!(exact.rel.tuples_eq_at(&fresh.rel, q), "invalid local hit at {q}");
+        }
+    }
+    let rows_out: Vec<E7Row> = [
+        ("single texp(e)", hits[0]),
+        ("Eq. 12 intervals", hits[1]),
+        ("exact intervals", hits[2]),
+    ]
+    .into_iter()
+    .map(|(m, h)| E7Row {
+        model: m.into(),
+        local_fraction: h as f64 / queries as f64,
+    })
+    .collect();
+    let mut lines = vec![format!("{:<20}{:>16}", "validity model", "local answers")];
+    for r in &rows_out {
+        lines.push(format!("{:<20}{:>15.1}%", r.model, r.local_fraction * 100.0));
+    }
+    (
+        Report {
+            title: "E7: queries answerable without recomputation (Schrödinger)".into(),
+            lines,
+        },
+        rows_out,
+    )
+}
+
+// ---------------------------------------------------------------------
+// E8 — rewriting postpones recomputation
+// ---------------------------------------------------------------------
+
+/// One plan of E8.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Plan description.
+    pub plan: String,
+    /// Critical tuples under this plan.
+    pub critical: usize,
+    /// Expression expiration time.
+    pub texp: Time,
+    /// Whether the plan's root is a patchable difference.
+    pub root_patchable: bool,
+}
+
+/// E8: a selective σ above `R −exp S`, original vs rewritten (σ pushed
+/// below the difference). The rewritten plan's critical set shrinks, its
+/// `texp(e)` moves later, and its root becomes patchable.
+#[must_use]
+pub fn e8_rewriting(rows: usize, seed: u64) -> (Report, Vec<E8Row>) {
+    let (rg, sg) = difference_pair(
+        rows,
+        0.6,
+        LifetimeDist::Uniform { min: 50, max: 100 },
+        LifetimeDist::Uniform { min: 1, max: 49 },
+        seed,
+    );
+    let mut catalog = Catalog::new();
+    catalog.register("r", rg.to_relation());
+    catalog.register("s", sg.to_relation());
+    // Selective predicate: val < 10 keeps ~10% of tuples (val ∈ 0..97).
+    let pred = Predicate::attr_cmp_const(1, CmpOp::Lt, 10);
+    let original = Expr::base("r")
+        .difference(Expr::base("s"))
+        .select(pred.clone());
+    let rewritten = rewrite::rewrite(&original);
+
+    let mut rows_out = Vec::new();
+    for (name, expr) in [("σ above −exp (original)", &original), ("σ pushed below (rewritten)", &rewritten)] {
+        let m = eval(expr, &catalog, Time::ZERO, &EvalOptions::default()).unwrap();
+        // Critical set of the difference node as the plan sees it.
+        let critical = match expr {
+            Expr::Select { input, .. } => match &**input {
+                Expr::Difference { .. } => {
+                    let l = catalog.get("r").unwrap();
+                    let s = catalog.get("s").unwrap();
+                    ops::critical_tuples(l, s, Time::ZERO).len()
+                }
+                _ => unreachable!(),
+            },
+            Expr::Difference { left, right } => {
+                let l = eval(left, &catalog, Time::ZERO, &EvalOptions::default()).unwrap();
+                let r = eval(right, &catalog, Time::ZERO, &EvalOptions::default()).unwrap();
+                ops::critical_tuples(&l.rel, &r.rel, Time::ZERO).len()
+            }
+            _ => 0,
+        };
+        rows_out.push(E8Row {
+            plan: name.into(),
+            critical,
+            texp: m.texp,
+            root_patchable: rewrite::is_root_patchable(expr),
+        });
+    }
+    // The two plans are semantically identical at every instant.
+    for tau in (0..110).step_by(7) {
+        let a = eval(&original, &catalog, t(tau), &EvalOptions::default()).unwrap();
+        let b = eval(&rewritten, &catalog, t(tau), &EvalOptions::default()).unwrap();
+        assert!(a.rel.set_eq(&b.rel), "rewrite changed semantics at {tau}");
+    }
+    let mut lines = vec![format!(
+        "{:<30}{:>10}{:>10}{:>16}",
+        "plan", "critical", "texp(e)", "root patchable"
+    )];
+    for r in &rows_out {
+        lines.push(format!(
+            "{:<30}{:>10}{:>10}{:>16}",
+            r.plan,
+            r.critical,
+            r.texp.to_string(),
+            r.root_patchable
+        ));
+    }
+    (
+        Report {
+            title: "E8: algebraic rewriting shrinks the critical set (Section 3.1)".into(),
+            lines,
+        },
+        rows_out,
+    )
+}
+
+// ---------------------------------------------------------------------
+// A1 — ablation: ν sweep vs naive per-tick ν
+// ---------------------------------------------------------------------
+
+/// A1: the sweep implementation of ν vs the literal per-tick definition —
+/// identical answers, asymptotically different cost.
+#[must_use]
+pub fn a1_nu_ablation(partitions: usize, seed: u64) -> Report {
+    let table = TableGen {
+        rows: partitions * 20,
+        keys: partitions,
+        values: 6,
+        lifetimes: LifetimeDist::Uniform {
+            min: 1,
+            max: 2_000,
+        },
+        seed,
+        ..TableGen::default()
+    }
+    .generate()
+    .to_relation();
+    let parts = aggregate::partition(&table, &[0], Time::ZERO);
+    let f = AggFunc::Sum(1);
+
+    let start = Instant::now();
+    let mut sweep_answers = Vec::new();
+    for (_, p) in &parts {
+        let mut apply = |rows: &[aggregate::Row]| f.apply(rows);
+        sweep_answers.push(aggregate::nu::nu(Time::ZERO, p, &mut apply).unwrap());
+    }
+    let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let start = Instant::now();
+    let mut naive_answers = Vec::new();
+    for (_, p) in &parts {
+        let mut apply = |rows: &[aggregate::Row]| f.apply(rows);
+        let a = aggregate::nu::nu_naive(Time::ZERO, p, &mut apply, t(2_001))
+            .unwrap()
+            .unwrap_or(Time::INFINITY);
+        naive_answers.push(a);
+    }
+    let naive_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(sweep_answers, naive_answers, "ν implementations disagree");
+
+    Report {
+        title: "A1: ν change-point — event sweep vs per-tick oracle".into(),
+        lines: vec![
+            format!("partitions: {}, identical answers: yes", parts.len()),
+            format!("sweep   : {sweep_ms:>10.2} ms"),
+            format!("per-tick: {naive_ms:>10.2} ms"),
+            format!("speedup : {:>10.1}×", naive_ms / sweep_ms.max(1e-9)),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_shape_monotonic_zero_nonmonotonic_positive() {
+        let (_, rows) = e1_monotonic_maintenance(300, 7);
+        for r in &rows {
+            if r.monotonic {
+                assert_eq!(r.recomputations, 0, "{}", r.view);
+            }
+        }
+        let diff = rows.iter().find(|r| r.view.contains('−')).unwrap();
+        assert!(diff.recomputations > 0, "difference must recompute");
+        let agg = rows.iter().find(|r| r.view.contains("agg")).unwrap();
+        assert!(agg.recomputations > 0, "aggregate must recompute");
+        // Non-monotonic recomputations stay well below read count (they
+        // only happen when texp(e) passes).
+        assert!(diff.recomputations < diff.reads);
+    }
+
+    #[test]
+    fn e2_shape_patched_never_recomputes_and_grows_with_overlap() {
+        let (_, rows) = e2_patching(400, 11);
+        for r in &rows {
+            assert_eq!(r.recomputations_patched, 0, "Theorem 3 at {}", r.overlap);
+            assert_eq!(r.queue_len, r.critical, "queue = |critical|");
+        }
+        assert_eq!(rows[0].critical, 0, "no overlap → no critical tuples");
+        assert_eq!(rows[0].recomputations_unpatched, 0);
+        assert!(
+            rows[4].recomputations_unpatched > rows[1].recomputations_unpatched,
+            "recomputations grow with overlap: {:?}",
+            rows.iter()
+                .map(|r| r.recomputations_unpatched)
+                .collect::<Vec<_>>()
+        );
+        assert!(rows[4].recomputations_unpatched > 50);
+    }
+
+    #[test]
+    fn e3_shape_eager_exact_lazy_lagged() {
+        let (_, rows) = e3_eager_vs_lazy(300, 3);
+        let eager = &rows[0];
+        assert_eq!(eager.mean_trigger_lag, 0.0, "eager fires exactly at texp");
+        assert_eq!(eager.vacuums, 0);
+        let lazy1000 = rows.iter().find(|r| r.policy == "lazy/1000").unwrap();
+        assert!(lazy1000.mean_trigger_lag > 0.0, "lazy lags");
+        assert!(
+            lazy1000.peak_rows >= eager.peak_rows,
+            "lazy holds more physical rows"
+        );
+        // Longer cadence → more lag than shorter cadence.
+        let lazy10 = rows.iter().find(|r| r.policy == "lazy/10").unwrap();
+        assert!(lazy1000.mean_trigger_lag >= lazy10.mean_trigger_lag);
+    }
+
+    #[test]
+    fn e4_shape_lifetime_ordering() {
+        let (_, rows) = e4_aggregate_modes(1500, 13);
+        for r in &rows {
+            assert!(
+                r.naive <= r.contributing + 1e-9,
+                "{}: naive {} ≤ contributing {}",
+                r.func,
+                r.naive,
+                r.contributing
+            );
+            assert!(
+                r.contributing <= r.exact + 1e-9,
+                "{}: contributing {} ≤ exact {}",
+                r.func,
+                r.contributing,
+                r.exact
+            );
+        }
+        // count gains nothing from contributing sets…
+        let count = rows.iter().find(|r| r.func == "count").unwrap();
+        assert!((count.naive - count.contributing).abs() < 1e-9);
+        // …but min/max do, given value ties.
+        let min = rows.iter().find(|r| r.func == "min_2").unwrap();
+        assert!(min.contributing > min.naive, "{min:?}");
+    }
+
+    #[test]
+    fn e5_all_indexes_drain_completely() {
+        let (_, rows) = e5_expiry_indexes(&[2_000], 50, 17);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.insert_ms >= 0.0 && r.expire_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn e6_shape_expiration_awareness_wins() {
+        let (_, rows) = e6_replica_sync(300, 120, 19);
+        let get = |view: &str, strat: &str| {
+            rows.iter()
+                .find(|r| r.view == view && r.strategy == strat)
+                .unwrap()
+                .messages
+        };
+        // Monotonic: exp-aware = subscribe only; beats both baselines.
+        let m_aware = get("monotonic σ", "exp-aware");
+        assert_eq!(m_aware, 2);
+        assert!(m_aware < get("monotonic σ", "delete-push"));
+        assert!(get("monotonic σ", "delete-push") < get("monotonic σ", "polling"));
+        // Difference: patching beats plain exp-aware beats polling.
+        let d_patch = get("difference", "exp-aware+patch");
+        let d_aware = get("difference", "exp-aware");
+        assert_eq!(d_patch, 2, "Theorem 3: subscribe only");
+        assert!(d_patch <= d_aware);
+        assert!(d_aware < get("difference", "polling"));
+    }
+
+    #[test]
+    fn e7_shape_interval_models_dominate_single_texp() {
+        let (_, rows) = e7_schrodinger(400, 500, 23);
+        let single = rows[0].local_fraction;
+        let eq12 = rows[1].local_fraction;
+        let exact = rows[2].local_fraction;
+        assert!(single <= eq12 + 1e-9, "{single} ≤ {eq12}");
+        assert!(eq12 <= exact + 1e-9, "{eq12} ≤ {exact}");
+        assert!(
+            exact > single,
+            "intervals must win: single={single} exact={exact}"
+        );
+        assert!(
+            exact > eq12 + 0.1,
+            "scattered short holes: exact ({exact}) must clearly beat Eq. 12 ({eq12})"
+        );
+    }
+
+    #[test]
+    fn e8_shape_rewrite_shrinks_critical_set() {
+        let (_, rows) = e8_rewriting(500, 29);
+        let orig = &rows[0];
+        let new = &rows[1];
+        assert!(new.critical < orig.critical, "{new:?} vs {orig:?}");
+        assert!(new.texp >= orig.texp, "texp moves later");
+        assert!(new.root_patchable && !orig.root_patchable);
+    }
+
+    #[test]
+    fn a1_runs_and_agrees() {
+        let r = a1_nu_ablation(20, 31);
+        assert!(r.lines[0].contains("identical answers: yes"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// E9 — approximate aggregates with error bounds (paper §5, future work)
+// ---------------------------------------------------------------------
+
+/// One tolerance point of E9.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Relative tolerance.
+    pub tolerance: f64,
+    /// Mean result-tuple lifetime (ticks from τ).
+    pub mean_lifetime: f64,
+    /// Lifetime as a multiple of the exact-ν lifetime.
+    pub extension: f64,
+    /// Worst observed relative error across all partitions while tuples
+    /// were alive (must stay ≤ tolerance).
+    pub worst_error: f64,
+}
+
+/// E9: sweep a relative error bound on `sum` over skewed partitions;
+/// measure how far bounded staleness stretches result lifetimes and
+/// verify the observed error never exceeds the bound — the paper's
+/// Section 5 "aggregate values with certain error bounds" direction.
+#[must_use]
+pub fn e9_approximate_aggregates(rows: usize, seed: u64) -> (Report, Vec<E9Row>) {
+    use exptime_core::aggregate::approx::{self, Tolerance};
+    let table = TableGen {
+        rows,
+        keys: 30,
+        values: 200,
+        lifetimes: LifetimeDist::HeavyTail { base: 20, spread: 4 },
+        seed,
+        ..TableGen::default()
+    }
+    .generate()
+    .to_relation();
+    let f = AggFunc::Sum(1);
+    let parts = aggregate::partition(&table, &[0], Time::ZERO);
+
+    // Exact baseline.
+    let mut exact_sum = 0.0;
+    for (_, p) in &parts {
+        let mut apply = |rows: &[aggregate::Row]| f.apply(rows);
+        let texp = aggregate::nu::nu(Time::ZERO, p, &mut apply).unwrap();
+        let cap = aggregate::nu::partition_death(p)
+            .unwrap()
+            .finite()
+            .unwrap_or(u64::MAX - 1);
+        exact_sum += texp.finite().unwrap_or(cap) as f64;
+    }
+    let exact_mean = exact_sum / parts.len() as f64;
+
+    let mut out_rows = Vec::new();
+    for tol in [0.0, 0.01, 0.05, 0.10, 0.25] {
+        let mut life_sum = 0.0;
+        let mut worst = 0.0f64;
+        for (_, p) in &parts {
+            let texp =
+                approx::tolerant_texp(Time::ZERO, p, f, Tolerance::Relative(tol)).unwrap();
+            let cap = aggregate::nu::partition_death(p)
+                .unwrap()
+                .finite()
+                .unwrap_or(u64::MAX - 1);
+            life_sum += texp.finite().unwrap_or(cap) as f64;
+            let err = approx::max_error_within(Time::ZERO, p, f, texp).unwrap();
+            let original = f
+                .apply(p)
+                .unwrap()
+                .and_then(|v| v.as_numeric())
+                .unwrap_or(0.0);
+            if original.abs() > f64::EPSILON {
+                worst = worst.max(err / original.abs());
+            }
+        }
+        let mean = life_sum / parts.len() as f64;
+        out_rows.push(E9Row {
+            tolerance: tol,
+            mean_lifetime: mean,
+            extension: mean / exact_mean,
+            worst_error: worst,
+        });
+    }
+    let mut lines = vec![format!(
+        "{:>10}{:>16}{:>12}{:>16}",
+        "tolerance", "mean lifetime", "extension", "worst error"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:>9.0}%{:>16.2}{:>11.2}×{:>15.4}%",
+            r.tolerance * 100.0,
+            r.mean_lifetime,
+            r.extension,
+            r.worst_error * 100.0
+        ));
+    }
+    (
+        Report {
+            title: "E9: approximate sum aggregates under a relative error bound (§5)".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+#[cfg(test)]
+mod e9_tests {
+    use super::*;
+
+    #[test]
+    fn e9_shape_lifetime_grows_error_stays_bounded() {
+        let (_, rows) = e9_approximate_aggregates(1500, 37);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].mean_lifetime <= w[1].mean_lifetime + 1e-9,
+                "lifetime monotone in tolerance: {w:?}"
+            );
+        }
+        for r in &rows {
+            assert!(
+                r.worst_error <= r.tolerance + 1e-9,
+                "observed error {} exceeds bound {}",
+                r.worst_error,
+                r.tolerance
+            );
+        }
+        assert!((rows[0].extension - 1.0).abs() < 1e-9, "0% = exact ν");
+        assert!(
+            rows.last().unwrap().extension > 1.2,
+            "25% bound must buy a real extension: {:?}",
+            rows.last().unwrap()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// E10 — bounded patch queues: the §3.4.2 space/communication trade-off
+// ---------------------------------------------------------------------
+
+/// One cap point of E10.
+#[derive(Debug, Clone)]
+pub struct E10Row {
+    /// Queue capacity (`usize::MAX` renders as "∞" = unbounded).
+    pub cap: usize,
+    /// Peak queue entries actually held.
+    pub queue_used: usize,
+    /// Recomputations over the run.
+    pub recomputations: u64,
+    /// Patches applied locally.
+    pub patches_applied: u64,
+}
+
+/// E10: sweep the patch-queue capacity for a heavily-critical difference
+/// view read at every event time. Capacity buys recomputation savings:
+/// cap 0 behaves like an unpatched view, unbounded behaves like full
+/// Theorem 3, and intermediate caps interpolate — the paper's "policy
+/// for deciding how many r to keep in the queue".
+#[must_use]
+pub fn e10_bounded_queue(rows: usize, seed: u64) -> (Report, Vec<E10Row>) {
+    let (rg, sg) = difference_pair(
+        rows,
+        0.8,
+        LifetimeDist::Uniform { min: 200, max: 400 },
+        LifetimeDist::Uniform { min: 1, max: 199 },
+        seed,
+    );
+    let r = rg.to_relation();
+    let s = sg.to_relation();
+    let mut catalog = Catalog::new();
+    catalog.register("r", r.clone());
+    catalog.register("s", s);
+    let expr = Expr::base("r").difference(Expr::base("s"));
+    let mut events = r.event_times(Time::ZERO);
+    events.extend(catalog.get("s").unwrap().event_times(Time::ZERO));
+    events.sort_unstable();
+    events.dedup();
+
+    let total_critical = ops::critical_tuples(
+        catalog.get("r").unwrap(),
+        catalog.get("s").unwrap(),
+        Time::ZERO,
+    )
+    .len();
+    let caps = [
+        0usize,
+        total_critical / 16,
+        total_critical / 4,
+        total_critical / 2,
+        usize::MAX,
+    ];
+    let mut out_rows = Vec::new();
+    for &cap in &caps {
+        let opts = EvalOptions {
+            patch_root_difference: true,
+            patch_queue_cap: if cap == usize::MAX { None } else { Some(cap) },
+            ..EvalOptions::default()
+        };
+        let mut view = MaterializedView::new(
+            expr.clone(),
+            &catalog,
+            Time::ZERO,
+            opts,
+            RefreshPolicy::Patch,
+            RemovalPolicy::Lazy,
+        )
+        .unwrap();
+        let queue_used = view
+            .materialized()
+            .patches
+            .as_ref()
+            .map_or(0, exptime_core::patch::PatchQueue::len);
+        for (i, &e) in events.iter().enumerate() {
+            let got = view.read(&catalog, e).unwrap();
+            if i % 64 == 0 {
+                let fresh = eval(&expr, &catalog, e, &EvalOptions::default()).unwrap();
+                assert!(got.set_eq(&fresh.rel.exp(e)), "cap {cap} wrong at {e}");
+            }
+        }
+        out_rows.push(E10Row {
+            cap,
+            queue_used,
+            recomputations: view.stats().recomputations,
+            patches_applied: view.stats().patches_applied,
+        });
+    }
+    let mut lines = vec![format!(
+        "{:>10}{:>12}{:>16}{:>10}   (critical tuples: {total_critical})",
+        "queue cap", "queue used", "recomputations", "patches"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:>10}{:>12}{:>16}{:>10}",
+            if r.cap == usize::MAX {
+                "∞".to_string()
+            } else {
+                r.cap.to_string()
+            },
+            r.queue_used,
+            r.recomputations,
+            r.patches_applied
+        ));
+    }
+    (
+        Report {
+            title: "E10: bounded patch queues — storage vs recomputation (§3.4.2)".into(),
+            lines,
+        },
+        out_rows,
+    )
+}
+
+#[cfg(test)]
+mod e10_tests {
+    use super::*;
+
+    #[test]
+    fn e10_shape_capacity_buys_recomputation_savings() {
+        let (_, rows) = e10_bounded_queue(600, 41);
+        // Monotone: more queue → fewer recomputations.
+        for w in rows.windows(2) {
+            assert!(
+                w[0].recomputations >= w[1].recomputations,
+                "recomputations must fall with capacity: {rows:?}"
+            );
+        }
+        assert_eq!(rows.last().unwrap().recomputations, 0, "unbounded = Thm 3");
+        assert!(rows[0].recomputations > 10, "cap 0 recomputes a lot");
+        // Patches + recomputations trade off in the same direction.
+        assert!(rows.last().unwrap().patches_applied > rows[0].patches_applied);
+    }
+}
+
+// ---------------------------------------------------------------------
+// A2 — ablation: hash join vs the literal Equation 5 nested loop
+// ---------------------------------------------------------------------
+
+/// A2: wall-clock comparison of the equi-join fast path against the
+/// literal nested loop, with an equality check per size.
+#[must_use]
+pub fn a2_join_ablation(sizes: &[usize], seed: u64) -> Report {
+    let mut lines = vec![format!(
+        "{:>10}{:>14}{:>18}{:>10}",
+        "rows/side", "hash ms", "nested-loop ms", "speedup"
+    )];
+    for &n in sizes {
+        let r = TableGen {
+            rows: n,
+            keys: n / 4 + 1,
+            seed,
+            ..TableGen::default()
+        }
+        .generate()
+        .to_relation();
+        let s = TableGen {
+            rows: n,
+            keys: n / 4 + 1,
+            seed: seed + 1,
+            ..TableGen::default()
+        }
+        .generate()
+        .to_relation();
+        let p = Predicate::attr_eq_attr(0, 2);
+
+        let start = Instant::now();
+        let fast = ops::join(&r, &s, &p, Time::ZERO).unwrap();
+        let hash_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let start = Instant::now();
+        let slow = ops::join_nested_loop(&r, &s, &p, Time::ZERO).unwrap();
+        let nested_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        assert!(fast.set_eq(&slow), "join implementations disagree at n={n}");
+        lines.push(format!(
+            "{:>10}{:>14.2}{:>18.2}{:>9.1}×",
+            n,
+            hash_ms,
+            nested_ms,
+            nested_ms / hash_ms.max(1e-9)
+        ));
+    }
+    Report {
+        title: "A2: equi-join — hash fast path vs literal Eq. 5 nested loop".into(),
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod a2_tests {
+    use super::*;
+
+    #[test]
+    fn a2_runs_and_agrees() {
+        let r = a2_join_ablation(&[500], 43);
+        assert_eq!(r.lines.len(), 2);
+    }
+}

@@ -1,0 +1,7 @@
+//! # exptime-cli
+//!
+//! The interactive shell's engine, exposed as a library so the REPL logic
+//! is testable without a terminal. See [`repl::Repl`].
+
+pub mod render;
+pub mod repl;

@@ -1,0 +1,31 @@
+//! `exptime-cli`: an interactive SQL shell over the expiration-time
+//! engine. Time is simulated — advance it with `\tick` and watch tuples
+//! (and materialised views) expire on their own.
+
+use exptime_cli::repl::{Outcome, Repl};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut repl = Repl::new();
+    println!("exptime — Expiration Times for Data Management (ICDE 2006)");
+    println!("type \\help for commands, \\demo for the paper's example database\n");
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        print!("{}", repl.prompt());
+        stdout.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match repl.feed(&line) {
+                Outcome::Text(t) => print!("{t}"),
+                Outcome::Continue => {}
+                Outcome::Quit => break,
+            },
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

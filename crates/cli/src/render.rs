@@ -1,0 +1,109 @@
+//! Table rendering for query results.
+
+use exptime_core::relation::Relation;
+use exptime_core::time::Time;
+
+/// Renders a relation as an ASCII table with named columns and a
+/// right-hand `texp` column (set apart, as the paper typesets it — the
+/// expiration time is not a relation attribute).
+#[must_use]
+pub fn render_relation(rel: &Relation, tau: Time) -> String {
+    let schema = rel.schema();
+    let mut headers: Vec<String> = schema
+        .attributes()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    headers.push("texp".to_string());
+
+    // Preserve the relation's iteration order: the engine has already
+    // applied any ORDER BY, and insertion order is deterministic.
+    let rows: Vec<Vec<String>> = rel
+        .iter_at(tau)
+        .map(|(t, e)| {
+            let mut cells: Vec<String> =
+                t.values().iter().map(ToString::to_string).collect();
+            cells.push(e.to_string());
+            cells
+        })
+        .collect();
+
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let line = |cells: &[String]| -> String {
+        let mut out = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            out.push(' ');
+            out.push_str(cell);
+            out.push_str(&" ".repeat(pad + 1));
+            out.push('|');
+        }
+        out.push('\n');
+        out
+    };
+    let rule = {
+        let mut out = String::from("+");
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+        out
+    };
+
+    let mut out = String::new();
+    out.push_str(&rule);
+    out.push_str(&line(&headers));
+    out.push_str(&rule);
+    for row in &rows {
+        out.push_str(&line(row));
+    }
+    out.push_str(&rule);
+    out.push_str(&format!(
+        "{} row{}\n",
+        rows.len(),
+        if rows.len() == 1 { "" } else { "s" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::schema::Schema;
+    use exptime_core::tuple;
+    use exptime_core::value::ValueType;
+
+    #[test]
+    fn renders_headers_rows_and_texp() {
+        let mut r = Relation::new(Schema::of(&[
+            ("uid", ValueType::Int),
+            ("name", ValueType::Str),
+        ]));
+        r.insert(tuple![1, "ada"], Time::new(10)).unwrap();
+        r.insert(tuple![2, "brian"], Time::INFINITY).unwrap();
+        let s = render_relation(&r, Time::ZERO);
+        assert!(s.contains("uid"));
+        assert!(s.contains("texp"));
+        assert!(s.contains("ada"));
+        assert!(s.contains("∞"));
+        assert!(s.contains("2 rows"));
+        // Expired rows hidden.
+        let s = render_relation(&r, Time::new(10));
+        assert!(!s.contains("ada"));
+        assert!(s.contains("1 row\n"));
+    }
+
+    #[test]
+    fn empty_relation_renders_zero_rows() {
+        let r = Relation::new(Schema::of(&[("x", ValueType::Int)]));
+        let s = render_relation(&r, Time::ZERO);
+        assert!(s.contains("0 rows"));
+    }
+}

@@ -1,0 +1,451 @@
+//! The REPL engine: line-in, text-out, fully testable without a
+//! terminal.
+//!
+//! SQL statements end with `;` and may span lines. Backslash meta
+//! commands control the simulation clock and inspect engine state —
+//! time does not pass unless you make it (`\tick`), which is what makes
+//! expiration behaviour easy to explore interactively.
+
+use crate::render::render_relation;
+use exptime_core::rewrite;
+use exptime_core::time::Time;
+use exptime_engine::{Database, DbConfig, ExecResult};
+use exptime_sql::{plan_query, SchemaProvider};
+
+/// The REPL state: a database plus a pending (incomplete) statement
+/// buffer.
+pub struct Repl {
+    db: Database,
+    pending: String,
+}
+
+/// The outcome of feeding one line.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Text to print.
+    Text(String),
+    /// The statement is incomplete; the prompt should show continuation.
+    Continue,
+    /// The user asked to quit.
+    Quit,
+}
+
+const HELP: &str = "\
+SQL (end statements with `;`):
+  CREATE TABLE t (a INT, b TEXT);   DROP TABLE t;
+  INSERT INTO t VALUES (1, 'x') EXPIRES AT 10 | EXPIRES IN 5 TICKS | EXPIRES NEVER;
+  UPDATE t SET EXPIRES IN 30 TICKS WHERE a = 1;
+  DELETE FROM t WHERE a = 1;
+  SELECT a, COUNT(*), SUM(b) FROM t GROUP BY a HAVING COUNT(*) > 1;
+  SELECT a FROM t EXCEPT SELECT a FROM s;
+  CREATE [MATERIALIZED] VIEW v AS SELECT ...;
+
+Meta commands:
+  \\help           this text
+  \\now            show the logical clock
+  \\tick N         advance the clock N ticks (processes expirations)
+  \\goto T         advance the clock to absolute time T
+  \\vacuum         physically remove expired rows now (lazy mode)
+  \\tables         list tables with row counts
+  \\views          list views with maintenance stats
+  \\triggers       show the expiration-event log
+  \\stats          engine statistics
+  \\plan SELECT …  show the algebra plan, its rewrite, and monotonicity
+  \\save FILE      dump the database (tables, rows, views, clock) as SQL
+  \\load FILE      replace the database with a previously saved dump
+  \\demo           load the paper's Figure 1 database (tables pol, el)
+  \\quit           exit
+";
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl::new()
+    }
+}
+
+impl Repl {
+    /// A REPL over a fresh database.
+    #[must_use]
+    pub fn new() -> Self {
+        Repl {
+            db: Database::new(DbConfig::default()),
+            pending: String::new(),
+        }
+    }
+
+    /// Access to the underlying database (used by tests).
+    pub fn db(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The prompt to display, reflecting clock and continuation state.
+    #[must_use]
+    pub fn prompt(&self) -> String {
+        if self.pending.trim().is_empty() {
+            format!("exptime[t={}]> ", self.db.now())
+        } else {
+            "        ...> ".to_string()
+        }
+    }
+
+    /// Feeds one input line.
+    pub fn feed(&mut self, line: &str) -> Outcome {
+        let trimmed = line.trim();
+        if self.pending.trim().is_empty() && trimmed.starts_with('\\') {
+            return self.meta(trimmed);
+        }
+        if trimmed.is_empty() && self.pending.trim().is_empty() {
+            return Outcome::Text(String::new());
+        }
+        self.pending.push_str(line);
+        self.pending.push('\n');
+        if !trimmed.ends_with(';') {
+            return Outcome::Continue;
+        }
+        let sql = std::mem::take(&mut self.pending);
+        self.run_sql(&sql)
+    }
+
+    fn run_sql(&mut self, sql: &str) -> Outcome {
+        match self.db.execute_script(sql) {
+            Ok(ExecResult::Rows(rel)) => {
+                Outcome::Text(render_relation(&rel, self.db.now()))
+            }
+            Ok(ExecResult::Affected(n)) => Outcome::Text(format!("{n} row(s) affected\n")),
+            Ok(ExecResult::Ok(msg)) => Outcome::Text(format!("{msg}\n")),
+            Err(e) => Outcome::Text(format!("error: {e}\n")),
+        }
+    }
+
+    fn meta(&mut self, cmd: &str) -> Outcome {
+        let mut parts = cmd.splitn(2, char::is_whitespace);
+        let head = parts.next().unwrap_or("");
+        let arg = parts.next().unwrap_or("").trim();
+        match head {
+            "\\help" | "\\h" | "\\?" => Outcome::Text(HELP.to_string()),
+            "\\quit" | "\\q" | "\\exit" => Outcome::Quit,
+            "\\now" => Outcome::Text(format!("t = {}\n", self.db.now())),
+            "\\tick" => match arg.parse::<u64>() {
+                Ok(n) => {
+                    let before = self.db.triggers().log().len();
+                    let now = self.db.tick(n);
+                    let fired = self.db.triggers().log().len() - before;
+                    Outcome::Text(format!("t = {now} ({fired} expiration(s) processed)\n"))
+                }
+                Err(_) => Outcome::Text("usage: \\tick N\n".into()),
+            },
+            "\\goto" => match arg.parse::<u64>() {
+                Ok(t) if Time::new(t) >= self.db.now() => {
+                    self.db.advance_to(Time::new(t));
+                    Outcome::Text(format!("t = {}\n", self.db.now()))
+                }
+                _ => Outcome::Text("usage: \\goto T   (T ≥ current time)\n".into()),
+            },
+            "\\vacuum" => {
+                let before = self.db.stats().expired;
+                self.db.vacuum();
+                Outcome::Text(format!(
+                    "vacuumed ({} row(s) removed)\n",
+                    self.db.stats().expired - before
+                ))
+            }
+            "\\tables" => {
+                let now = self.db.now();
+                let mut out = String::new();
+                let names: Vec<String> = self
+                    .db
+                    .snapshot()
+                    .iter()
+                    .map(|(n, _)| n.to_string())
+                    .collect();
+                if names.is_empty() {
+                    out.push_str("(no tables)\n");
+                }
+                for n in names {
+                    let t = self.db.table(&n).expect("listed");
+                    out.push_str(&format!(
+                        "{n}{:?}: {} live / {} stored\n",
+                        t.schema(),
+                        t.live_count(now),
+                        t.len()
+                    ));
+                }
+                Outcome::Text(out)
+            }
+            "\\views" => {
+                let mut out = String::new();
+                let mut any = false;
+                for name in self.db.view_names() {
+                    any = true;
+                    match self.db.view_stats(&name) {
+                        Ok(s) => out.push_str(&format!(
+                            "{name} (materialised): {} reads, {} local, {} recomputations\n",
+                            s.reads, s.local_reads, s.recomputations
+                        )),
+                        Err(_) => out.push_str(&format!("{name} (virtual)\n")),
+                    }
+                }
+                if !any {
+                    out.push_str("(no views)\n");
+                }
+                Outcome::Text(out)
+            }
+            "\\triggers" => {
+                let log = self.db.triggers().log();
+                if log.is_empty() {
+                    return Outcome::Text("(no expirations yet)\n".into());
+                }
+                let mut out = String::new();
+                for e in log {
+                    out.push_str(&format!(
+                        "t={}: {} expired from {} (fired at {})\n",
+                        e.texp, e.tuple, e.table, e.fired_at
+                    ));
+                }
+                Outcome::Text(out)
+            }
+            "\\stats" => {
+                let s = self.db.stats();
+                Outcome::Text(format!(
+                    "inserts: {}  deletes: {}  expired: {}  queries: {}  vacuums: {}\n",
+                    s.inserts, s.deletes, s.expired, s.queries, s.vacuums
+                ))
+            }
+            "\\plan" => self.plan(arg),
+            "\\save" => {
+                if arg.is_empty() {
+                    return Outcome::Text("usage: \\save FILE\n".into());
+                }
+                match std::fs::write(arg, self.db.dump_sql()) {
+                    Ok(()) => Outcome::Text(format!("saved to {arg}\n")),
+                    Err(e) => Outcome::Text(format!("error: {e}\n")),
+                }
+            }
+            "\\load" => {
+                if arg.is_empty() {
+                    return Outcome::Text("usage: \\load FILE\n".into());
+                }
+                match std::fs::read_to_string(arg) {
+                    Ok(dump) => match Database::restore(&dump) {
+                        Ok(db) => {
+                            self.db = db;
+                            Outcome::Text(format!(
+                                "loaded {arg} (clock restored to t={})\n",
+                                self.db.now()
+                            ))
+                        }
+                        Err(e) => Outcome::Text(format!("error: {e}\n")),
+                    },
+                    Err(e) => Outcome::Text(format!("error: {e}\n")),
+                }
+            }
+            "\\demo" => {
+                let script = "CREATE TABLE pol (uid INT, deg INT);
+                    CREATE TABLE el (uid INT, deg INT);
+                    INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+                    INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+                    INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+                    INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+                    INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+                    INSERT INTO el VALUES (4, 90) EXPIRES AT 2;";
+                match self.db.execute_script(script) {
+                    Ok(_) => Outcome::Text(
+                        "loaded the paper's Figure 1 database (tables: pol, el)\n\
+                         try: SELECT * FROM pol JOIN el ON pol.uid = el.uid;  then \\tick 3\n"
+                            .into(),
+                    ),
+                    Err(e) => Outcome::Text(format!("error: {e}\n")),
+                }
+            }
+            other => Outcome::Text(format!("unknown command `{other}`; try \\help\n")),
+        }
+    }
+
+    fn plan(&mut self, sql: &str) -> Outcome {
+        let stmt = match exptime_sql::parse(sql) {
+            Ok(s) => s,
+            Err(e) => return Outcome::Text(format!("error: {e}\n")),
+        };
+        let exptime_sql::Statement::Select(query) = stmt else {
+            return Outcome::Text("\\plan takes a SELECT statement\n".into());
+        };
+        let provider = DbProvider(&self.db);
+        let expr = match plan_query(&query, &provider) {
+            Ok(e) => e,
+            Err(e) => return Outcome::Text(format!("error: {e}\n")),
+        };
+        let inlined = self.db.inline_views(&expr);
+        let rewritten = rewrite::rewrite(&inlined);
+        let mut out = format!(
+            "plan:      {inlined}\nmonotonic: {} ({})\n",
+            inlined.is_monotonic(),
+            if inlined.is_monotonic() {
+                "materialisations stay valid forever — Theorem 1"
+            } else {
+                "materialisations carry a finite texp(e)"
+            }
+        );
+        if rewritten != inlined {
+            out.push_str(&format!("rewritten: {rewritten}\n"));
+        }
+        if rewrite::is_root_patchable(&rewritten) {
+            out.push_str("           (difference at root: Theorem 3 patching applies)\n");
+        }
+        match self.db.query_expr(&inlined) {
+            Ok(m) => {
+                out.push_str(&format!("texp(e):   {}\n", m.texp));
+                out.push_str(&format!("validity:  {}\n", m.validity));
+            }
+            Err(e) => out.push_str(&format!("(not evaluable: {e})\n")),
+        }
+        Outcome::Text(out)
+    }
+}
+
+struct DbProvider<'a>(&'a Database);
+
+impl SchemaProvider for DbProvider<'_> {
+    fn schema_of(&self, name: &str) -> Result<exptime_core::schema::Schema, exptime_sql::SqlError> {
+        self.0.schema_of_relation(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(o: Outcome) -> String {
+        match o {
+            Outcome::Text(s) => s,
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sql_roundtrip_through_repl() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("CREATE TABLE t (a INT);")).contains("created"));
+        assert!(
+            text(r.feed("INSERT INTO t VALUES (1), (2) EXPIRES AT 5;")).contains("2 row")
+        );
+        let out = text(r.feed("SELECT * FROM t;"));
+        assert!(out.contains("a") && out.contains("texp") && out.contains("2 rows"));
+        assert!(text(r.feed("\\tick 5")).contains("2 expiration(s)"));
+        assert!(text(r.feed("SELECT * FROM t;")).contains("0 rows"));
+    }
+
+    #[test]
+    fn multiline_statements_continue() {
+        let mut r = Repl::new();
+        assert_eq!(r.feed("CREATE TABLE t"), Outcome::Continue);
+        assert!(r.prompt().contains("..."));
+        assert!(text(r.feed("(a INT);")).contains("created"));
+        assert!(r.prompt().contains("t=0"));
+    }
+
+    #[test]
+    fn meta_commands() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\help")).contains("EXPIRES"));
+        assert!(text(r.feed("\\now")).contains("t = 0"));
+        assert!(text(r.feed("\\tables")).contains("no tables"));
+        assert!(text(r.feed("\\views")).contains("no views"));
+        assert!(text(r.feed("\\stats")).contains("inserts: 0"));
+        assert!(text(r.feed("\\triggers")).contains("no expirations"));
+        assert!(text(r.feed("\\bogus")).contains("unknown command"));
+        assert!(text(r.feed("\\tick nope")).contains("usage"));
+        assert_eq!(r.feed("\\quit"), Outcome::Quit);
+    }
+
+    #[test]
+    fn demo_and_clock_flow() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\demo")).contains("Figure 1"));
+        let out = text(r.feed("SELECT * FROM pol JOIN el ON pol.uid = el.uid;"));
+        assert!(out.contains("2 rows"), "{out}");
+        text(r.feed("\\tick 3"));
+        let out = text(r.feed("SELECT * FROM pol JOIN el ON pol.uid = el.uid;"));
+        assert!(out.contains("1 row\n"), "{out}");
+        assert!(text(r.feed("\\goto 10")).contains("t = 10"));
+        assert!(text(r.feed("\\goto 5")).contains("usage"));
+        let log = text(r.feed("\\triggers"));
+        assert!(log.contains("expired from"), "{log}");
+    }
+
+    #[test]
+    fn plan_explains_monotonicity_and_texp() {
+        let mut r = Repl::new();
+        text(r.feed("\\demo"));
+        let out = text(r.feed("\\plan SELECT uid FROM pol"));
+        assert!(out.contains("monotonic: true"), "{out}");
+        assert!(out.contains("texp(e):   ∞"), "{out}");
+        let out = text(r.feed("\\plan SELECT uid FROM pol EXCEPT SELECT uid FROM el"));
+        assert!(out.contains("monotonic: false"), "{out}");
+        assert!(out.contains("texp(e):   3"), "{out}");
+        assert!(out.contains("Theorem 3"), "{out}");
+        assert!(text(r.feed("\\plan nonsense")).contains("error"));
+        assert!(text(r.feed("\\plan DELETE FROM pol")).contains("takes a SELECT"));
+    }
+
+    #[test]
+    fn views_listing_reflects_kinds() {
+        let mut r = Repl::new();
+        text(r.feed("\\demo"));
+        text(r.feed("CREATE MATERIALIZED VIEW m AS SELECT uid FROM pol;"));
+        text(r.feed("CREATE VIEW v AS SELECT uid FROM el;"));
+        let out = text(r.feed("\\views"));
+        assert!(out.contains("m (materialised)"), "{out}");
+        assert!(out.contains("v (virtual)"), "{out}");
+    }
+
+    #[test]
+    fn errors_do_not_kill_the_repl() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("SELECT * FROM ghosts;")).contains("error"));
+        assert!(text(r.feed("CREATE TABLE t (a INT);")).contains("created"));
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+
+    fn text(o: Outcome) -> String {
+        match o {
+            Outcome::Text(s) => s,
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_load_roundtrip_through_files() {
+        let dir = std::env::temp_dir().join(format!("exptime-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("dump.sql");
+        let file = file.to_str().unwrap();
+
+        let mut r = Repl::new();
+        text(r.feed("\\demo"));
+        text(r.feed("\\tick 4"));
+        assert!(text(r.feed(&format!("\\save {file}"))).contains("saved"));
+
+        let mut fresh = Repl::new();
+        assert!(text(fresh.feed(&format!("\\load {file}"))).contains("t=4"));
+        let out = text(fresh.feed("SELECT * FROM pol;"));
+        assert!(out.contains("3 rows"), "{out}");
+        // Expiration continues from the restored clock.
+        text(fresh.feed("\\tick 11"));
+        let out = text(fresh.feed("SELECT * FROM pol;"));
+        assert!(out.contains("0 rows"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_load_usage_errors() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\save")).contains("usage"));
+        assert!(text(r.feed("\\load")).contains("usage"));
+        assert!(text(r.feed("\\load /nonexistent/nope.sql")).contains("error"));
+    }
+}

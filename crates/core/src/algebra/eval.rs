@@ -1,0 +1,577 @@
+//! Evaluation of algebra expressions into materialised results.
+//!
+//! [`eval`] materialises an expression `e` against a [`Catalog`] at a time
+//! `τ`, producing a [`Materialized`]:
+//!
+//! * the result relation, each tuple carrying the expiration time the
+//!   paper's operator definitions assign;
+//! * `texp(e)` — the expression's expiration time, "a lower bound on the
+//!   time when the materialised expression is no longer correct due to
+//!   expiration of underlying tuples" (Section 2.2). For monotonic
+//!   expressions this is `∞` (Theorem 1); for aggregation and difference it
+//!   follows Section 2.6;
+//! * `I(e)` — the Schrödinger validity interval set (Section 3.4): the
+//!   instants at which the materialised result, expired forward, equals a
+//!   fresh recomputation;
+//! * optionally a [`PatchQueue`] that makes a root-level difference
+//!   eternally maintainable (Theorem 3).
+
+use crate::aggregate::AggMode;
+use crate::algebra::expr::Expr;
+use crate::algebra::ops;
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::interval::IntervalSet;
+use crate::patch::PatchQueue;
+use crate::relation::Relation;
+use crate::time::Time;
+
+/// Options controlling evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// How aggregation result tuples get their expiration times
+    /// (default [`AggMode::Exact`]).
+    pub agg_mode: AggMode,
+    /// If the expression's *root* is a difference, build the Theorem 3
+    /// patch queue: the result then has `texp(e)` independent of critical
+    /// tuples and is maintained by applying due patches instead of
+    /// recomputation. (Patching an inner difference would require
+    /// propagating insertions through the operators above it — classic
+    /// incremental view maintenance, out of the paper's scope; the paper's
+    /// Section 3.1 instead suggests *pulling up* non-monotonic operators,
+    /// which the rewriter implements.)
+    pub patch_root_difference: bool,
+    /// Bound on the Theorem 3 patch queue. The paper (Section 3.4.2)
+    /// notes that sizing the queue "is a classic trade-off decision
+    /// between saving future communication and time/space": with a cap,
+    /// only the `k` earliest-reappearing critical tuples are queued, and
+    /// the expression's `texp(e)` is the reappearance time of the first
+    /// critical tuple that did NOT fit — the view patches locally until
+    /// then, then recomputes (rebuilding the queue). `None` queues
+    /// everything (full Theorem 3: `texp(e)` independent of critical
+    /// tuples).
+    pub patch_queue_cap: Option<usize>,
+    /// Use the coarse Equation 12 validity for differences instead of the
+    /// exact per-tuple holes. The exact set is a superset; Equation 12 is
+    /// kept for paper-faithful comparison (experiment E7).
+    pub eq12_validity: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            agg_mode: AggMode::Exact,
+            patch_root_difference: false,
+            patch_queue_cap: None,
+            eq12_validity: false,
+        }
+    }
+}
+
+/// A materialised expression: the result of [`eval`].
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    /// The result relation with per-tuple expiration times.
+    pub rel: Relation,
+    /// The time `τ` at which the expression was materialised.
+    pub at: Time,
+    /// `texp(e)`: the expression expires — becomes potentially incorrect
+    /// under pure expiration — at this time. `∞` for monotonic
+    /// expressions.
+    pub texp: Time,
+    /// `I(e)`: the Schrödinger validity intervals, a subset of `[τ, ∞[`.
+    /// `[τ, texp(e)[` is always covered.
+    pub validity: IntervalSet,
+    /// The Theorem 3 patch queue, present only when
+    /// [`EvalOptions::patch_root_difference`] was set and the root is a
+    /// difference.
+    pub patches: Option<PatchQueue>,
+}
+
+impl Materialized {
+    /// Whether the materialisation, expired forward, is still guaranteed
+    /// correct at `t` under the single-expiration-time model
+    /// (`t < texp(e)`).
+    #[must_use]
+    pub fn fresh_at(&self, t: Time) -> bool {
+        t >= self.at && t < self.texp
+    }
+
+    /// Whether the materialisation is correct at `t` under Schrödinger
+    /// semantics (validity intervals).
+    #[must_use]
+    pub fn valid_at(&self, t: Time) -> bool {
+        self.validity.contains(t)
+    }
+
+    /// The result as seen at time `t ≥ at`: the unexpired portion, with
+    /// due patches applied first if a patch queue is present.
+    pub fn read_at(&mut self, t: Time) -> Relation {
+        if let Some(q) = &mut self.patches {
+            q.apply_due(&mut self.rel, t);
+        }
+        self.rel.exp(t)
+    }
+}
+
+struct Sub {
+    rel: Relation,
+    texp: Time,
+    validity: IntervalSet,
+}
+
+fn eval_rec(expr: &Expr, catalog: &Catalog, tau: Time, opts: &EvalOptions) -> Result<Sub> {
+    let full = IntervalSet::from_time(tau);
+    Ok(match expr {
+        Expr::Base(name) => Sub {
+            rel: catalog.get(name)?.exp(tau),
+            // "The expiration time of a base relation is defined to be
+            // infinity."
+            texp: Time::INFINITY,
+            validity: full,
+        },
+        Expr::Select { input, predicate } => {
+            let i = eval_rec(input, catalog, tau, opts)?;
+            Sub {
+                rel: ops::select(&i.rel, predicate, tau)?,
+                texp: i.texp,
+                validity: i.validity,
+            }
+        }
+        Expr::Project { input, positions } => {
+            let i = eval_rec(input, catalog, tau, opts)?;
+            Sub {
+                rel: ops::project(&i.rel, positions, tau)?,
+                texp: i.texp,
+                validity: i.validity,
+            }
+        }
+        Expr::Product { left, right } => {
+            let l = eval_rec(left, catalog, tau, opts)?;
+            let r = eval_rec(right, catalog, tau, opts)?;
+            Sub {
+                rel: ops::product(&l.rel, &r.rel, tau)?,
+                texp: l.texp.min(r.texp),
+                validity: l.validity.intersect(&r.validity),
+            }
+        }
+        Expr::Union { left, right } => {
+            let l = eval_rec(left, catalog, tau, opts)?;
+            let r = eval_rec(right, catalog, tau, opts)?;
+            Sub {
+                rel: ops::union(&l.rel, &r.rel, tau)?,
+                texp: l.texp.min(r.texp),
+                validity: l.validity.intersect(&r.validity),
+            }
+        }
+        Expr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = eval_rec(left, catalog, tau, opts)?;
+            let r = eval_rec(right, catalog, tau, opts)?;
+            Sub {
+                rel: ops::join(&l.rel, &r.rel, predicate, tau)?,
+                texp: l.texp.min(r.texp),
+                validity: l.validity.intersect(&r.validity),
+            }
+        }
+        Expr::Intersect { left, right } => {
+            let l = eval_rec(left, catalog, tau, opts)?;
+            let r = eval_rec(right, catalog, tau, opts)?;
+            Sub {
+                rel: ops::intersect(&l.rel, &r.rel, tau)?,
+                texp: l.texp.min(r.texp),
+                validity: l.validity.intersect(&r.validity),
+            }
+        }
+        Expr::Difference { left, right } => {
+            let l = eval_rec(left, catalog, tau, opts)?;
+            let r = eval_rec(right, catalog, tau, opts)?;
+            let meta = ops::difference_meta(&l.rel, &r.rel, tau);
+            let own_validity = if opts.eq12_validity {
+                meta.validity_eq12
+            } else {
+                meta.validity
+            };
+            Sub {
+                rel: ops::difference(&l.rel, &r.rel, tau)?,
+                // Equation 11 (with the texp_S reading; see
+                // `DifferenceMeta::texp`): min of argument expirations and
+                // the first critical reappearance.
+                texp: l.texp.min(r.texp).min(meta.texp),
+                validity: l.validity.intersect(&r.validity).intersect(&own_validity),
+            }
+        }
+        Expr::Aggregate {
+            input,
+            group_by,
+            func,
+        } => {
+            let i = eval_rec(input, catalog, tau, opts)?;
+            let meta = ops::aggregate_meta(&i.rel, group_by, *func, opts.agg_mode, tau)?;
+            Sub {
+                rel: ops::aggregate(&i.rel, group_by, *func, opts.agg_mode, tau)?,
+                texp: i.texp.min(meta.texp),
+                validity: i.validity.intersect(&meta.validity),
+            }
+        }
+    })
+}
+
+/// Materialises `expr` against `catalog` at time `τ`.
+///
+/// # Errors
+///
+/// Returns schema/type errors (unknown relations, bad positions,
+/// incompatible schemas, non-numeric aggregation).
+pub fn eval(
+    expr: &Expr,
+    catalog: &Catalog,
+    tau: Time,
+    opts: &EvalOptions,
+) -> Result<Materialized> {
+    // Theorem 3: a root-level difference with patching enabled keeps a
+    // helper queue and never expires on account of critical tuples.
+    if opts.patch_root_difference {
+        if let Expr::Difference { left, right } = expr {
+            let l = eval_rec(left, catalog, tau, opts)?;
+            let r = eval_rec(right, catalog, tau, opts)?;
+            let rel = ops::difference(&l.rel, &r.rel, tau)?;
+            let mut critical = ops::critical_tuples(&l.rel, &r.rel, tau);
+            critical.sort_by_key(|c| c.appears_at);
+            // Bounded queue: keep the k earliest reappearances; the first
+            // dropped one caps texp(e) (the view must recompute then).
+            let mut own_texp = Time::INFINITY;
+            if let Some(cap) = opts.patch_queue_cap {
+                if critical.len() > cap {
+                    own_texp = critical[cap].appears_at;
+                    critical.truncate(cap);
+                }
+            }
+            let queue = PatchQueue::from_critical(critical);
+            return Ok(Materialized {
+                rel,
+                at: tau,
+                texp: l.texp.min(r.texp).min(own_texp),
+                validity: l.validity.intersect(&r.validity),
+                patches: Some(queue),
+            });
+        }
+    }
+    let sub = eval_rec(expr, catalog, tau, opts)?;
+    Ok(Materialized {
+        rel: sub.rel,
+        at: tau,
+        texp: sub.texp,
+        validity: sub.validity,
+        patches: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    /// The Figure 1 catalog.
+    fn catalog() -> Catalog {
+        let schema = Schema::of(&[("uid", ValueType::Int), ("deg", ValueType::Int)]);
+        let mut c = Catalog::new();
+        c.register(
+            "Pol",
+            Relation::from_rows(
+                schema.clone(),
+                vec![
+                    (tuple![1, 25], t(10)),
+                    (tuple![2, 25], t(15)),
+                    (tuple![3, 35], t(10)),
+                ],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "El",
+            Relation::from_rows(
+                schema,
+                vec![
+                    (tuple![1, 75], t(5)),
+                    (tuple![2, 85], t(3)),
+                    (tuple![4, 90], t(2)),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn monotonic_expressions_have_infinite_texp() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .join(Expr::base("El"), Predicate::attr_eq_attr(0, 2))
+            .project([0, 1]);
+        let m = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        assert_eq!(m.texp, Time::INFINITY);
+        assert!(m.valid_at(t(1_000_000)));
+        assert!(m.fresh_at(t(42)));
+    }
+
+    #[test]
+    fn theorem_1_join_sweep() {
+        // expτ′(e) = expτ′(expτ(e)) for the Figure 2(e-g) join.
+        let c = catalog();
+        let e = Expr::base("Pol").join(Expr::base("El"), Predicate::attr_eq_attr(0, 2));
+        let m0 = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        for now in 0..20 {
+            let now = t(now);
+            let fresh = eval(&e, &c, now, &EvalOptions::default()).unwrap();
+            assert!(
+                m0.rel.set_eq_at(&fresh.rel, now),
+                "Theorem 1 violated at {now}"
+            );
+        }
+    }
+
+    #[test]
+    fn difference_texp_matches_figure_3() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let m = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        assert_eq!(m.texp, t(3), "invalid from time 3 onwards");
+        assert_eq!(m.rel.len(), 1);
+        assert!(m.rel.contains(&tuple![3]));
+        assert!(m.valid_at(t(2)));
+        assert!(!m.valid_at(t(4)));
+        assert!(m.valid_at(t(15)), "valid again after all criticals expire");
+    }
+
+    #[test]
+    fn theorem_2_materialisation_valid_before_texp() {
+        let c = catalog();
+        let exprs = vec![
+            Expr::base("Pol")
+                .project([0])
+                .difference(Expr::base("El").project([0])),
+            Expr::base("Pol").aggregate([1], AggFunc::Count),
+            Expr::base("Pol")
+                .aggregate([1], AggFunc::Count)
+                .project([1, 2]),
+        ];
+        for e in exprs {
+            let m = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+            let mut now = Time::ZERO;
+            while now < m.texp && now < t(30) {
+                let fresh = eval(&e, &c, now, &EvalOptions::default()).unwrap();
+                assert!(
+                    m.rel.tuples_eq_at(&fresh.rel, now),
+                    "Theorem 2 violated for {e} at {now}:\nmat {:?}\nfresh {:?}",
+                    m.rel.exp(now),
+                    fresh.rel.exp(now),
+                );
+                now = now.succ();
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_texp_flows_into_expression() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .aggregate([1], AggFunc::Count)
+            .project([1, 2]);
+        let m = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        // Figure 3(a): invalid from time 10 (count 25-group drops to 1).
+        assert_eq!(m.texp, t(10));
+        assert!(m.valid_at(t(9)));
+        assert!(!m.valid_at(t(10)));
+        assert!(m.valid_at(t(15)), "after total death, valid");
+    }
+
+    #[test]
+    fn patched_root_difference_never_needs_recomputation() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let opts = EvalOptions {
+            patch_root_difference: true,
+            ..EvalOptions::default()
+        };
+        let mut m = eval(&e, &c, Time::ZERO, &opts).unwrap();
+        assert_eq!(m.texp, Time::INFINITY, "Theorem 3");
+        let q = m.patches.as_ref().expect("patch queue present");
+        assert_eq!(q.len(), 2);
+        // Sweep: read_at must equal fresh recomputation at every instant.
+        for now in 0..20 {
+            let now = t(now);
+            let seen = m.read_at(now);
+            let fresh = eval(&e, &c, now, &EvalOptions::default()).unwrap();
+            assert!(
+                seen.set_eq_at(&fresh.rel, now),
+                "patched view wrong at {now}: {seen:?} vs {:?}",
+                fresh.rel
+            );
+        }
+    }
+
+    #[test]
+    fn eq12_validity_is_subset_of_exact() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let exact = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        let coarse = eval(
+            &e,
+            &c,
+            Time::ZERO,
+            &EvalOptions {
+                eq12_validity: true,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            coarse.validity.intersect(&exact.validity),
+            coarse.validity,
+            "Eq 12 ⊆ exact"
+        );
+    }
+
+    #[test]
+    fn validity_always_covers_up_to_texp() {
+        let c = catalog();
+        let exprs = vec![
+            Expr::base("Pol").project([0]).difference(Expr::base("El").project([0])),
+            Expr::base("Pol").aggregate([1], AggFunc::Sum(0)),
+            Expr::base("Pol").join(Expr::base("El"), Predicate::attr_eq_attr(0, 2)),
+        ];
+        for e in exprs {
+            let m = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+            let mut now = Time::ZERO;
+            while now < m.texp && now < t(40) {
+                assert!(m.valid_at(now), "{e}: [τ, texp(e)[ must be valid at {now}");
+                now = now.succ();
+            }
+        }
+    }
+
+    #[test]
+    fn nested_non_monotonic_combines_texp() {
+        let c = catalog();
+        // (Pol − El-as-uid-rows) unioned with Pol: difference inside a
+        // monotonic operator still caps the expression texp.
+        let d = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let e = d.union(Expr::base("Pol").project([0]));
+        let m = eval(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        assert_eq!(m.texp, t(3));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let c = catalog();
+        assert!(eval(
+            &Expr::base("missing"),
+            &c,
+            Time::ZERO,
+            &EvalOptions::default()
+        )
+        .is_err());
+        assert!(eval(
+            &Expr::base("Pol").project([9]),
+            &c,
+            Time::ZERO,
+            &EvalOptions::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bounded_patch_queue_caps_texp_at_first_dropped_critical() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        // Critical reappearances at 3 (⟨2⟩) and 5 (⟨1⟩). Cap 1 keeps the
+        // earliest; texp(e) = 5, the dropped tuple's reappearance.
+        let opts = EvalOptions {
+            patch_root_difference: true,
+            patch_queue_cap: Some(1),
+            ..EvalOptions::default()
+        };
+        let m = eval(&e, &c, Time::ZERO, &opts).unwrap();
+        assert_eq!(m.patches.as_ref().unwrap().len(), 1);
+        assert_eq!(m.texp, t(5));
+        // Cap 0: no queue benefit; texp(e) = 3, like the unpatched case.
+        let opts = EvalOptions {
+            patch_queue_cap: Some(0),
+            ..opts
+        };
+        let m = eval(&e, &c, Time::ZERO, &opts).unwrap();
+        assert_eq!(m.texp, t(3));
+        // Cap ≥ |critical|: full Theorem 3.
+        let opts = EvalOptions {
+            patch_queue_cap: Some(10),
+            ..opts
+        };
+        let m = eval(&e, &c, Time::ZERO, &opts).unwrap();
+        assert_eq!(m.texp, Time::INFINITY);
+    }
+
+    #[test]
+    fn bounded_patched_view_stays_correct_via_recompute_fallback() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let opts = EvalOptions {
+            patch_root_difference: true,
+            patch_queue_cap: Some(1),
+            ..EvalOptions::default()
+        };
+        let mut view = crate::materialize::MaterializedView::new(
+            e.clone(),
+            &c,
+            Time::ZERO,
+            opts,
+            crate::materialize::RefreshPolicy::Patch,
+            crate::materialize::RemovalPolicy::Lazy,
+        )
+        .unwrap();
+        for now in 0..20 {
+            let got = view.read(&c, t(now)).unwrap();
+            let fresh = eval(&e, &c, t(now), &EvalOptions::default()).unwrap();
+            assert!(got.set_eq(&fresh.rel.exp(t(now))), "at {now}");
+        }
+        // Exactly one recomputation (at 5, when the un-queued critical
+        // tuple reappeared); the queued one was patched for free.
+        assert_eq!(view.stats().recomputations, 1);
+        assert_eq!(view.stats().patches_applied, 1);
+    }
+
+    #[test]
+    fn patch_option_ignored_for_non_difference_root() {
+        let c = catalog();
+        let e = Expr::base("Pol").project([0]);
+        let opts = EvalOptions {
+            patch_root_difference: true,
+            ..EvalOptions::default()
+        };
+        let m = eval(&e, &c, Time::ZERO, &opts).unwrap();
+        assert!(m.patches.is_none());
+    }
+}

@@ -1,0 +1,171 @@
+//! A catalog of named base relations.
+//!
+//! Algebra expressions reference base relations by name; a [`Catalog`] is
+//! the binding environment an expression is evaluated against. The engine
+//! crate layers storage, triggers, and views on top; this minimal catalog is
+//! what the algebra itself needs.
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// A name → relation binding environment.
+///
+/// Names are case-insensitive (stored lower-cased), matching the SQL layer.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a relation under `name`.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) {
+        self.relations
+            .insert(name.into().to_ascii_lowercase(), relation);
+    }
+
+    /// Removes a relation; returns it if it was present.
+    pub fn deregister(&mut self, name: &str) -> Option<Relation> {
+        self.relations.remove(&name.to_ascii_lowercase())
+    }
+
+    /// Looks up a relation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownRelation`] if `name` is not registered.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownRelation`] if `name` is not registered.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation> {
+        self.relations
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether `name` is registered.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Iterates `(name, relation)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of registered relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Eagerly expires tuples in every relation (Section 3.2), returning
+    /// `(relation name, removed rows)` for trigger processing.
+    pub fn expire_all(
+        &mut self,
+        tau: crate::time::Time,
+    ) -> Vec<(String, Vec<(crate::tuple::Tuple, crate::time::Time)>)> {
+        let mut out = Vec::new();
+        for (name, rel) in &mut self.relations {
+            let removed = rel.expire(tau);
+            if !removed.is_empty() {
+                out.push((name.clone(), removed));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::time::Time;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(Schema::of(&[("a", ValueType::Int)]));
+        r.insert(tuple![1], Time::new(5)).unwrap();
+        r.insert(tuple![2], Time::INFINITY).unwrap();
+        r
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut c = Catalog::new();
+        c.register("Pol", rel());
+        assert!(c.contains("pol"));
+        assert!(c.contains("POL"));
+        assert_eq!(c.get("pOl").unwrap().len(), 2);
+        assert!(matches!(c.get("el"), Err(Error::UnknownRelation(_))));
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn deregister() {
+        let mut c = Catalog::new();
+        c.register("r", rel());
+        assert!(c.deregister("R").is_some());
+        assert!(c.deregister("r").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn get_mut_allows_updates() {
+        let mut c = Catalog::new();
+        c.register("r", rel());
+        c.get_mut("r")
+            .unwrap()
+            .insert(tuple![3], Time::new(9))
+            .unwrap();
+        assert_eq!(c.get("r").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn expire_all_reports_per_relation() {
+        let mut c = Catalog::new();
+        c.register("r", rel());
+        c.register("s", rel());
+        let removed = c.expire_all(Time::new(5));
+        assert_eq!(removed.len(), 2);
+        for (_, rows) in &removed {
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].0, tuple![1]);
+        }
+        assert_eq!(c.get("r").unwrap().len(), 1);
+        // Nothing left to expire.
+        assert!(c.expire_all(Time::new(100)).is_empty());
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut c = Catalog::new();
+        c.register("zeta", rel());
+        c.register("Alpha", rel());
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

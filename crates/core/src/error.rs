@@ -1,0 +1,169 @@
+//! Error type shared by the data model and algebra.
+
+use crate::value::ValueType;
+use std::fmt;
+
+/// Errors produced by schema checking, algebra construction, and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Two attributes in one schema share a name.
+    DuplicateAttribute(String),
+    /// An attribute name did not resolve against a schema.
+    UnknownAttribute(String),
+    /// A positional attribute reference is out of range.
+    AttributeOutOfRange {
+        /// The offending zero-based index.
+        index: usize,
+        /// The arity of the schema it was checked against.
+        arity: usize,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Expected arity.
+        expected: usize,
+        /// Actual tuple arity.
+        actual: usize,
+    },
+    /// A tuple value's type does not match its attribute.
+    TypeMismatch {
+        /// The attribute name.
+        attribute: String,
+        /// Declared attribute type.
+        expected: ValueType,
+        /// Actual value type.
+        actual: ValueType,
+    },
+    /// Union, intersection, or difference over non-union-compatible schemas.
+    NotUnionCompatible {
+        /// Debug rendering of the left schema.
+        left: String,
+        /// Debug rendering of the right schema.
+        right: String,
+    },
+    /// A base relation referenced by an expression is missing from the
+    /// catalog it is evaluated against.
+    UnknownRelation(String),
+    /// An aggregate was applied to an attribute that has no numeric view
+    /// (e.g. `sum` over strings).
+    NonNumericAggregate {
+        /// The aggregate function name.
+        function: &'static str,
+        /// The offending attribute index (zero-based).
+        attribute: usize,
+    },
+    /// An expiration time lies in the past of the operation's time `τ`.
+    ExpirationInPast {
+        /// The requested expiration time.
+        expiration: crate::time::Time,
+        /// The operation time `τ`.
+        now: crate::time::Time,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateAttribute(n) => write!(f, "duplicate attribute name `{n}`"),
+            Error::UnknownAttribute(n) => write!(f, "unknown attribute `{n}`"),
+            Error::AttributeOutOfRange { index, arity } => {
+                write!(f, "attribute index {index} out of range for arity {arity}")
+            }
+            Error::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected}, got {actual}")
+            }
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on `{attribute}`: expected {expected}, got {actual}"
+            ),
+            Error::NotUnionCompatible { left, right } => {
+                write!(f, "schemas not union-compatible: {left} vs {right}")
+            }
+            Error::UnknownRelation(n) => write!(f, "unknown relation `{n}`"),
+            Error::NonNumericAggregate {
+                function,
+                attribute,
+            } => write!(
+                f,
+                "aggregate `{function}` applied to non-numeric attribute #{attribute}"
+            ),
+            Error::ExpirationInPast { expiration, now } => write!(
+                f,
+                "expiration time {expiration} is not after current time {now}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::DuplicateAttribute("a".into()), "duplicate"),
+            (Error::UnknownAttribute("b".into()), "unknown attribute"),
+            (
+                Error::AttributeOutOfRange { index: 5, arity: 2 },
+                "out of range",
+            ),
+            (
+                Error::ArityMismatch {
+                    expected: 2,
+                    actual: 3,
+                },
+                "arity mismatch",
+            ),
+            (
+                Error::TypeMismatch {
+                    attribute: "x".into(),
+                    expected: ValueType::Int,
+                    actual: ValueType::Str,
+                },
+                "type mismatch",
+            ),
+            (
+                Error::NotUnionCompatible {
+                    left: "(a)".into(),
+                    right: "(b)".into(),
+                },
+                "union-compatible",
+            ),
+            (Error::UnknownRelation("R".into()), "unknown relation"),
+            (
+                Error::NonNumericAggregate {
+                    function: "sum",
+                    attribute: 1,
+                },
+                "non-numeric",
+            ),
+            (
+                Error::ExpirationInPast {
+                    expiration: Time::new(1),
+                    now: Time::new(5),
+                },
+                "not after",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::UnknownRelation("R".into()));
+        assert!(e.to_string().contains("R"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Half-open time intervals and interval sets.
+//!
+//! Section 3.4 of the paper replaces the single expiration time of a
+//! materialised expression with a *set of validity intervals* `[τ1, τ2[`,
+//! `τ1 < τ2` — the Schrödinger semantics. [`IntervalSet`] is the canonical
+//! representation: sorted, pairwise disjoint, non-adjacent intervals, closed
+//! under union, intersection, and difference.
+
+use crate::time::Time;
+use std::fmt;
+
+/// A half-open interval `[start, end[` over [`Time`]; `end = ∞` encodes
+/// `[start, ∞[`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub start: Time,
+    /// Exclusive upper bound (`∞` allowed).
+    pub end: Time,
+}
+
+impl Interval {
+    /// Creates `[start, end[`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `start < end` (the paper requires `τ1 < τ2`).
+    #[must_use]
+    pub fn new(start: Time, end: Time) -> Self {
+        assert!(start < end, "interval requires start < end: [{start}, {end}[");
+        Interval { start, end }
+    }
+
+    /// `[start, ∞[`.
+    #[must_use]
+    pub fn from(start: Time) -> Self {
+        Interval::new(start, Time::INFINITY)
+    }
+
+    /// Whether `t ∈ [start, end[`.
+    #[must_use]
+    pub fn contains(&self, t: Time) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the two intervals share at least one instant.
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether the two intervals overlap or touch (`[1,3[` and `[3,5[`
+    /// touch), i.e. their union is a single interval.
+    #[must_use]
+    pub fn mergeable(&self, other: &Interval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The intersection, if non-empty.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then(|| Interval::new(start, end))
+    }
+
+    /// Number of instants covered; `None` when unbounded.
+    #[must_use]
+    pub fn length(&self) -> Option<u64> {
+        match (self.start.finite(), self.end.finite()) {
+            (Some(s), Some(e)) => Some(e - s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}[", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A set of time instants represented as sorted, disjoint, non-adjacent
+/// half-open intervals.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct IntervalSet {
+    // Invariant: sorted by start; for consecutive a, b: a.end < b.start.
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        IntervalSet::default()
+    }
+
+    /// `[start, ∞[` — the validity of a monotonic expression queried at
+    /// `start` (Section 3.4: "for an expression consisting solely of
+    /// monotonic operators, I(e) returns [τ, ∞[").
+    #[must_use]
+    pub fn from_time(start: Time) -> Self {
+        IntervalSet {
+            ivs: vec![Interval::from(start)],
+        }
+    }
+
+    /// A set holding a single interval.
+    #[must_use]
+    pub fn single(iv: Interval) -> Self {
+        IntervalSet { ivs: vec![iv] }
+    }
+
+    /// Normalises arbitrary intervals into a canonical set (sorts, merges
+    /// overlapping and adjacent intervals).
+    #[must_use]
+    pub fn from_intervals(mut ivs: Vec<Interval>) -> Self {
+        ivs.sort();
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match out.last_mut() {
+                Some(last) if last.mergeable(&iv) => {
+                    last.end = last.end.max(iv.end);
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Whether no instant is covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// The canonical intervals, sorted and disjoint.
+    #[must_use]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Whether `t` is covered.
+    #[must_use]
+    pub fn contains(&self, t: Time) -> bool {
+        // Binary search on start.
+        match self.ivs.binary_search_by(|iv| iv.start.cmp(&t)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.ivs[i - 1].contains(t),
+        }
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = self.ivs.clone();
+        all.extend_from_slice(&other.ivs);
+        IntervalSet::from_intervals(all)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            if let Some(iv) = self.ivs[i].intersect(&other.ivs[j]) {
+                out.push(iv);
+            }
+            if self.ivs[i].end <= other.ivs[j].end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set difference `self − other`. This is the operation of Equation 12:
+    /// `I(R −exp S) = [τ, ∞[ − [min…, max…[`.
+    #[must_use]
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out: Vec<Interval> = Vec::new();
+        for &iv in &self.ivs {
+            let mut pieces = vec![iv];
+            for &cut in &other.ivs {
+                let mut next = Vec::new();
+                for p in pieces {
+                    if !p.overlaps(&cut) {
+                        next.push(p);
+                        continue;
+                    }
+                    if p.start < cut.start {
+                        next.push(Interval::new(p.start, cut.start));
+                    }
+                    if cut.end < p.end {
+                        next.push(Interval::new(cut.end, p.end));
+                    }
+                }
+                pieces = next;
+            }
+            out.extend(pieces);
+        }
+        IntervalSet::from_intervals(out)
+    }
+
+    /// The earliest covered instant `>= t`, or `None` if the set contains
+    /// nothing at or after `t`. Used to "move a query forward in time … to a
+    /// time where the materialised expression is correct" (Section 3.3).
+    #[must_use]
+    pub fn next_covered(&self, t: Time) -> Option<Time> {
+        for iv in &self.ivs {
+            if iv.contains(t) {
+                return Some(t);
+            }
+            if iv.start >= t {
+                return Some(iv.start);
+            }
+        }
+        None
+    }
+
+    /// The latest covered instant `<= t`, or `None`. Used to "move the
+    /// query backward in time (returning a slightly outdated result)".
+    #[must_use]
+    pub fn prev_covered(&self, t: Time) -> Option<Time> {
+        let mut best = None;
+        for iv in &self.ivs {
+            if iv.start > t {
+                break;
+            }
+            if iv.contains(t) {
+                return Some(t);
+            }
+            // iv lies entirely before t; its last instant is end - 1.
+            best = Some(iv.end.pred());
+        }
+        best
+    }
+
+    /// Total number of instants covered; `None` when unbounded.
+    #[must_use]
+    pub fn measure(&self) -> Option<u64> {
+        let mut total = 0u64;
+        for iv in &self.ivs {
+            total += iv.length()?;
+        }
+        Some(total)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ivs.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(t(a), t(b))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let i = iv(3, 7);
+        assert!(i.contains(t(3)));
+        assert!(i.contains(t(6)));
+        assert!(!i.contains(t(7)), "end is exclusive");
+        assert!(!i.contains(t(2)));
+        assert_eq!(i.length(), Some(4));
+        assert_eq!(Interval::from(t(5)).length(), None);
+        assert!(Interval::from(t(5)).contains(Time::MAX_FINITE));
+    }
+
+    #[test]
+    #[should_panic(expected = "start < end")]
+    fn degenerate_interval_panics() {
+        let _ = iv(5, 5);
+    }
+
+    #[test]
+    fn overlap_and_mergeable() {
+        assert!(iv(1, 5).overlaps(&iv(4, 8)));
+        assert!(!iv(1, 5).overlaps(&iv(5, 8)), "touching is not overlapping");
+        assert!(iv(1, 5).mergeable(&iv(5, 8)), "touching is mergeable");
+        assert!(!iv(1, 5).mergeable(&iv(6, 8)));
+    }
+
+    #[test]
+    fn interval_intersection() {
+        assert_eq!(iv(1, 5).intersect(&iv(3, 8)), Some(iv(3, 5)));
+        assert_eq!(iv(1, 5).intersect(&iv(5, 8)), None);
+        assert_eq!(
+            Interval::from(t(2)).intersect(&iv(0, 10)),
+            Some(iv(2, 10))
+        );
+    }
+
+    #[test]
+    fn normalisation_merges_and_sorts() {
+        let s = IntervalSet::from_intervals(vec![iv(5, 7), iv(1, 3), iv(3, 5), iv(10, 12)]);
+        assert_eq!(s.intervals(), &[iv(1, 7), iv(10, 12)]);
+        let s2 = IntervalSet::from_intervals(vec![iv(1, 10), iv(2, 3)]);
+        assert_eq!(s2.intervals(), &[iv(1, 10)]);
+    }
+
+    #[test]
+    fn contains_uses_binary_search_correctly() {
+        let s = IntervalSet::from_intervals(vec![iv(1, 3), iv(5, 7), iv(9, 11)]);
+        for (time, expect) in [
+            (0, false),
+            (1, true),
+            (2, true),
+            (3, false),
+            (4, false),
+            (5, true),
+            (6, true),
+            (7, false),
+            (9, true),
+            (10, true),
+            (11, false),
+        ] {
+            assert_eq!(s.contains(t(time)), expect, "time {time}");
+        }
+        assert!(!IntervalSet::empty().contains(t(0)));
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let a = IntervalSet::from_intervals(vec![iv(0, 5), iv(10, 15)]);
+        let b = IntervalSet::from_intervals(vec![iv(3, 12)]);
+        assert_eq!(a.union(&b).intervals(), &[iv(0, 15)]);
+        assert_eq!(a.intersect(&b).intervals(), &[iv(3, 5), iv(10, 12)]);
+        assert_eq!(a.subtract(&b).intervals(), &[iv(0, 3), iv(12, 15)]);
+        assert_eq!(b.subtract(&a).intervals(), &[iv(5, 10)]);
+    }
+
+    #[test]
+    fn equation_12_shape() {
+        // I(R −exp S) = [τ, ∞[ − [min, max[ : two intervals.
+        let all = IntervalSet::from_time(t(0));
+        let hole = IntervalSet::single(iv(3, 10));
+        let validity = all.subtract(&hole);
+        assert_eq!(
+            validity.intervals(),
+            &[iv(0, 3), Interval::from(t(10))]
+        );
+        assert!(validity.contains(t(2)));
+        assert!(!validity.contains(t(5)));
+        assert!(validity.contains(t(10)));
+        assert!(validity.contains(t(1_000_000)));
+    }
+
+    #[test]
+    fn subtract_unbounded_tail() {
+        let all = IntervalSet::from_time(t(0));
+        let tail = IntervalSet::single(Interval::from(t(7)));
+        assert_eq!(all.subtract(&tail).intervals(), &[iv(0, 7)]);
+        assert!(all.subtract(&all).is_empty());
+    }
+
+    #[test]
+    fn next_and_prev_covered() {
+        let s = IntervalSet::from_intervals(vec![iv(2, 4), iv(8, 10)]);
+        assert_eq!(s.next_covered(t(0)), Some(t(2)));
+        assert_eq!(s.next_covered(t(3)), Some(t(3)));
+        assert_eq!(s.next_covered(t(4)), Some(t(8)));
+        assert_eq!(s.next_covered(t(10)), None);
+        assert_eq!(s.prev_covered(t(10)), Some(t(9)));
+        assert_eq!(s.prev_covered(t(9)), Some(t(9)));
+        assert_eq!(s.prev_covered(t(5)), Some(t(3)));
+        assert_eq!(s.prev_covered(t(1)), None);
+        assert_eq!(IntervalSet::empty().next_covered(t(0)), None);
+    }
+
+    #[test]
+    fn measure() {
+        let s = IntervalSet::from_intervals(vec![iv(2, 4), iv(8, 10)]);
+        assert_eq!(s.measure(), Some(4));
+        assert_eq!(IntervalSet::from_time(t(0)).measure(), None);
+        assert_eq!(IntervalSet::empty().measure(), Some(0));
+    }
+
+    #[test]
+    fn display_renders_union() {
+        let s = IntervalSet::from_intervals(vec![iv(2, 4), iv(8, 10)]);
+        assert_eq!(s.to_string(), "[2, 4[ ∪ [8, 10[");
+        assert_eq!(IntervalSet::empty().to_string(), "∅");
+        assert_eq!(IntervalSet::from_time(t(1)).to_string(), "[1, ∞[");
+    }
+}

@@ -1,0 +1,434 @@
+//! Materialised views maintained independently of their base relations.
+//!
+//! The paper's motivation (Section 1): once a query result is computed, it
+//! should be maintainable "by looking only at the expiration times of the
+//! tuples of the query results and without referring back to the base
+//! relations", because in loosely-coupled systems the base data may be
+//! remote, expensive, or unreachable. A [`MaterializedView`] realises this:
+//!
+//! * **monotonic** views expire tuples locally and are *never* recomputed
+//!   (Theorem 1);
+//! * **non-monotonic** views know their expiration time `texp(e)` and are
+//!   recomputed (a "message" back to the base data) only when it passes —
+//!   or, for root differences, are *patched* from a local priority queue
+//!   and never recomputed (Theorem 3);
+//! * removal of expired tuples is **eager** (physical, trigger-friendly) or
+//!   **lazy** (deferred, more optimisation freedom) per Section 3.2.
+
+use crate::algebra::{eval, EvalOptions, Expr, Materialized};
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::time::Time;
+use crate::tuple::Tuple;
+
+/// How a view reacts when its materialisation expires (`τ ≥ texp(e)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// Recompute from the base relations (counts as base access).
+    #[default]
+    Recompute,
+    /// Maintain via the Theorem 3 patch queue where possible (root
+    /// differences); recompute otherwise.
+    Patch,
+}
+
+/// Eager vs. lazy removal of expired tuples (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RemovalPolicy {
+    /// Remove expired tuples from the materialisation as soon as the view
+    /// is advanced past their expiration times. Useful when triggers must
+    /// fire promptly.
+    Eager,
+    /// Keep expired tuples physically present but invisible; remove them
+    /// only on [`MaterializedView::vacuum`]. More optimisation freedom.
+    #[default]
+    Lazy,
+}
+
+/// Counters describing how much independent maintenance cost a view has
+/// incurred — the currency of the paper's loosely-coupled argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ViewStats {
+    /// Number of full recomputations against the base relations.
+    pub recomputations: u64,
+    /// Number of tuples inserted by the patch queue.
+    pub patches_applied: u64,
+    /// Number of reads served.
+    pub reads: u64,
+    /// Number of reads served purely from the local materialisation
+    /// (no base access).
+    pub local_reads: u64,
+    /// Number of tuples physically removed (eager expiry + vacuums).
+    pub tuples_removed: u64,
+}
+
+/// A materialised query result that maintains itself as tuples expire.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    expr: Expr,
+    opts: EvalOptions,
+    refresh: RefreshPolicy,
+    removal: RemovalPolicy,
+    state: Materialized,
+    stats: ViewStats,
+}
+
+impl MaterializedView {
+    /// Materialises `expr` at time `τ` and wraps it as a maintained view.
+    ///
+    /// Under [`RefreshPolicy::Patch`], a root-level difference gets a
+    /// Theorem 3 patch queue and will never recompute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn new(
+        expr: Expr,
+        catalog: &Catalog,
+        tau: Time,
+        opts: EvalOptions,
+        refresh: RefreshPolicy,
+        removal: RemovalPolicy,
+    ) -> Result<Self> {
+        let opts = EvalOptions {
+            patch_root_difference: refresh == RefreshPolicy::Patch,
+            ..opts
+        };
+        let state = eval(&expr, catalog, tau, &opts)?;
+        Ok(MaterializedView {
+            expr,
+            opts,
+            refresh,
+            removal,
+            state,
+            stats: ViewStats::default(),
+        })
+    }
+
+    /// Materialises with default options and policies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn with_defaults(expr: Expr, catalog: &Catalog, tau: Time) -> Result<Self> {
+        MaterializedView::new(
+            expr,
+            catalog,
+            tau,
+            EvalOptions::default(),
+            RefreshPolicy::default(),
+            RemovalPolicy::default(),
+        )
+    }
+
+    /// The view's defining expression.
+    #[must_use]
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The refresh policy the view was created with.
+    #[must_use]
+    pub fn refresh_policy(&self) -> RefreshPolicy {
+        self.refresh
+    }
+
+    /// The removal policy the view was created with.
+    #[must_use]
+    pub fn removal_policy(&self) -> RemovalPolicy {
+        self.removal
+    }
+
+    /// Whether the view is monotonic (never recomputes).
+    #[must_use]
+    pub fn is_monotonic(&self) -> bool {
+        self.expr.is_monotonic()
+    }
+
+    /// The current expression expiration time `texp(e)`.
+    #[must_use]
+    pub fn texp(&self) -> Time {
+        self.state.texp
+    }
+
+    /// The time the view was last (re)materialised.
+    #[must_use]
+    pub fn materialized_at(&self) -> Time {
+        self.state.at
+    }
+
+    /// Maintenance statistics.
+    #[must_use]
+    pub fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    /// Whether the view can serve time `τ` without touching the base
+    /// relations: `τ < texp(e)`.
+    ///
+    /// For a patched root difference, `texp(e)` already excludes the
+    /// critical-tuple contribution (the queue handles those — Theorem 3),
+    /// but it still reflects invalidation flowing up from non-monotonic
+    /// *subexpressions* of the arguments, so the check stays `τ <
+    /// texp(e)` rather than "patched ⇒ always fresh".
+    #[must_use]
+    pub fn fresh_at(&self, tau: Time) -> bool {
+        self.state.fresh_at(tau)
+    }
+
+    /// Advances the view to time `τ` *without reading it*: applies due
+    /// patches, performs eager removal, and — if the materialisation has
+    /// expired — refreshes per policy. Returns `true` if the base
+    /// relations were accessed (a recomputation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates recomputation errors.
+    pub fn maintain(&mut self, catalog: &Catalog, tau: Time) -> Result<bool> {
+        let mut recomputed = false;
+        if let Some(q) = &mut self.state.patches {
+            self.stats.patches_applied += q.apply_due(&mut self.state.rel, tau) as u64;
+        }
+        if !self.fresh_at(tau) {
+            self.state = eval(&self.expr, catalog, tau, &self.opts)?;
+            self.stats.recomputations += 1;
+            recomputed = true;
+        }
+        if self.removal == RemovalPolicy::Eager {
+            self.stats.tuples_removed += self.state.rel.expire(tau).len() as u64;
+        }
+        Ok(recomputed)
+    }
+
+    /// Reads the view at time `τ`, maintaining it first. The returned
+    /// relation is exactly what a fresh evaluation of the expression at `τ`
+    /// would produce (Theorems 1–3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates recomputation errors.
+    pub fn read(&mut self, catalog: &Catalog, tau: Time) -> Result<Relation> {
+        let recomputed = self.maintain(catalog, tau)?;
+        self.stats.reads += 1;
+        if !recomputed {
+            self.stats.local_reads += 1;
+        }
+        Ok(self.state.rel.exp(tau))
+    }
+
+    /// Forces a re-materialisation from the base relations, regardless of
+    /// freshness. The engine calls this when base relations were *updated*
+    /// (inserts/deletes), which is outside the paper's expiration-only
+    /// maintenance model ("we … assume that there are no updates to the
+    /// source data") — expiration keeps views fresh for free; updates cost
+    /// a recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn force_refresh(&mut self, catalog: &Catalog, tau: Time) -> Result<()> {
+        self.state = eval(&self.expr, catalog, tau, &self.opts)?;
+        self.stats.recomputations += 1;
+        Ok(())
+    }
+
+    /// Physically removes tuples expired at `τ` (the lazy policy's
+    /// deferred cleanup — "expired tuples are kept invisible to the user,
+    /// but may be removed physically in a delayed fashion"). Returns the
+    /// removed rows so triggers can fire on them.
+    pub fn vacuum(&mut self, tau: Time) -> Vec<(Tuple, Time)> {
+        let removed = self.state.rel.expire(tau);
+        self.stats.tuples_removed += removed.len() as u64;
+        removed
+    }
+
+    /// The number of physically stored tuples (visible or not).
+    #[must_use]
+    pub fn stored_len(&self) -> usize {
+        self.state.rel.len()
+    }
+
+    /// Access to the underlying materialisation (validity intervals,
+    /// patch queue, …).
+    #[must_use]
+    pub fn materialized(&self) -> &Materialized {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggFunc;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn catalog() -> Catalog {
+        let schema = Schema::of(&[("uid", ValueType::Int), ("deg", ValueType::Int)]);
+        let mut c = Catalog::new();
+        c.register(
+            "Pol",
+            Relation::from_rows(
+                schema.clone(),
+                vec![
+                    (tuple![1, 25], t(10)),
+                    (tuple![2, 25], t(15)),
+                    (tuple![3, 35], t(10)),
+                ],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "El",
+            Relation::from_rows(
+                schema,
+                vec![
+                    (tuple![1, 75], t(5)),
+                    (tuple![2, 85], t(3)),
+                    (tuple![4, 90], t(2)),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn monotonic_view_never_recomputes() {
+        let c = catalog();
+        let e = Expr::base("Pol").join(Expr::base("El"), Predicate::attr_eq_attr(0, 2));
+        let mut v = MaterializedView::with_defaults(e.clone(), &c, Time::ZERO).unwrap();
+        for now in 0..30 {
+            let seen = v.read(&c, t(now)).unwrap();
+            let fresh = eval(&e, &c, t(now), &EvalOptions::default()).unwrap();
+            assert!(seen.set_eq(&fresh.rel.exp(t(now))), "at {now}");
+        }
+        assert_eq!(v.stats().recomputations, 0);
+        assert_eq!(v.stats().reads, 30);
+        assert_eq!(v.stats().local_reads, 30);
+    }
+
+    #[test]
+    fn difference_view_recomputes_when_expired() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let mut v = MaterializedView::with_defaults(e.clone(), &c, Time::ZERO).unwrap();
+        assert_eq!(v.texp(), t(3));
+        // Reading before texp: local.
+        v.read(&c, t(2)).unwrap();
+        assert_eq!(v.stats().recomputations, 0);
+        // Reading at/after texp: recomputes and stays correct.
+        let seen = v.read(&c, t(3)).unwrap();
+        assert_eq!(v.stats().recomputations, 1);
+        assert!(seen.contains(&tuple![2]), "⟨2⟩ reappeared at 3");
+        // Every later read matches a fresh evaluation.
+        for now in 4..20 {
+            let seen = v.read(&c, t(now)).unwrap();
+            let fresh = eval(&e, &c, t(now), &EvalOptions::default()).unwrap();
+            assert!(seen.set_eq(&fresh.rel.exp(t(now))), "at {now}");
+        }
+    }
+
+    #[test]
+    fn patched_difference_view_never_recomputes() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let mut v = MaterializedView::new(
+            e.clone(),
+            &c,
+            Time::ZERO,
+            EvalOptions::default(),
+            RefreshPolicy::Patch,
+            RemovalPolicy::Lazy,
+        )
+        .unwrap();
+        assert_eq!(v.texp(), Time::INFINITY);
+        for now in 0..25 {
+            let seen = v.read(&c, t(now)).unwrap();
+            let fresh = eval(&e, &c, t(now), &EvalOptions::default()).unwrap();
+            assert!(seen.set_eq(&fresh.rel.exp(t(now))), "at {now}");
+        }
+        assert_eq!(v.stats().recomputations, 0, "Theorem 3");
+        assert_eq!(v.stats().patches_applied, 2);
+    }
+
+    #[test]
+    fn aggregate_view_recomputes_on_live_change_only() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .aggregate([1], AggFunc::Count)
+            .project([1, 2]);
+        let mut v = MaterializedView::with_defaults(e.clone(), &c, Time::ZERO).unwrap();
+        assert_eq!(v.texp(), t(10));
+        for now in 0..20 {
+            let seen = v.read(&c, t(now)).unwrap();
+            let fresh = eval(&e, &c, t(now), &EvalOptions::default()).unwrap();
+            assert!(
+                seen.set_eq(&fresh.rel.exp(t(now))),
+                "at {now}: {seen:?} vs {:?}",
+                fresh.rel.exp(t(now))
+            );
+        }
+        // One recomputation at 10; the recomputed state (⟨25,1⟩@15) then
+        // dies by pure expiration — no further recomputation needed even
+        // though reads continue.
+        assert_eq!(v.stats().recomputations, 1);
+    }
+
+    #[test]
+    fn eager_removal_physically_deletes() {
+        let c = catalog();
+        let e = Expr::base("Pol").project([0, 1]);
+        let mut v = MaterializedView::new(
+            e,
+            &c,
+            Time::ZERO,
+            EvalOptions::default(),
+            RefreshPolicy::Recompute,
+            RemovalPolicy::Eager,
+        )
+        .unwrap();
+        assert_eq!(v.stored_len(), 3);
+        v.maintain(&c, t(10)).unwrap();
+        assert_eq!(v.stored_len(), 1, "eager: expired rows are gone");
+        assert_eq!(v.stats().tuples_removed, 2);
+    }
+
+    #[test]
+    fn lazy_removal_defers_until_vacuum() {
+        let c = catalog();
+        let e = Expr::base("Pol").project([0, 1]);
+        let mut v = MaterializedView::with_defaults(e, &c, Time::ZERO).unwrap();
+        v.maintain(&c, t(10)).unwrap();
+        assert_eq!(v.stored_len(), 3, "lazy: physically still present");
+        // But invisible to reads.
+        assert_eq!(v.read(&c, t(10)).unwrap().len(), 1);
+        let removed = v.vacuum(t(10));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(v.stored_len(), 1);
+        assert_eq!(v.stats().tuples_removed, 2);
+    }
+
+    #[test]
+    fn view_exposes_expression_and_monotonicity() {
+        let c = catalog();
+        let e = Expr::base("Pol").select(Predicate::attr_eq_const(1, 25));
+        let v = MaterializedView::with_defaults(e.clone(), &c, Time::ZERO).unwrap();
+        assert_eq!(v.expr(), &e);
+        assert!(v.is_monotonic());
+        assert_eq!(v.materialized_at(), Time::ZERO);
+        assert!(v.fresh_at(t(1_000)));
+        assert!(v.materialized().patches.is_none());
+    }
+}

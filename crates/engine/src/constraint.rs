@@ -1,0 +1,144 @@
+//! Integrity constraints checked on insertion.
+//!
+//! The paper (Section 1) lists integrity-constraint checking among the
+//! "usual benefits of data management" that expiration-time databases
+//! retain. Two kinds are supported:
+//!
+//! * **CHECK** — a per-tuple predicate;
+//! * **Maximum lifetime** — a bound on `texp − now`, useful for policies
+//!   like "session keys live at most 3600 ticks" (the paper's
+//!   short-lived-credential motivation).
+
+use exptime_core::predicate::Predicate;
+use exptime_core::time::Time;
+use exptime_core::tuple::Tuple;
+use std::fmt;
+
+/// A violation report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintViolation {
+    /// The violated constraint's name.
+    pub constraint: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constraint `{}` violated: {}", self.constraint, self.message)
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+/// A constraint on one table.
+#[derive(Debug, Clone)]
+pub enum Constraint {
+    /// The tuple must satisfy the predicate.
+    Check {
+        /// Constraint name.
+        name: String,
+        /// The predicate every inserted tuple must satisfy.
+        predicate: Predicate,
+    },
+    /// `texp − now ≤ max_lifetime` for every insert (`∞` always violates).
+    MaxLifetime {
+        /// Constraint name.
+        name: String,
+        /// Maximum allowed lifetime in ticks.
+        ticks: u64,
+    },
+}
+
+impl Constraint {
+    /// The constraint's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Constraint::Check { name, .. } | Constraint::MaxLifetime { name, .. } => name,
+        }
+    }
+
+    /// Checks an insertion.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConstraintViolation`] describing the failure.
+    pub fn check(
+        &self,
+        tuple: &Tuple,
+        texp: Time,
+        now: Time,
+    ) -> Result<(), ConstraintViolation> {
+        match self {
+            Constraint::Check { name, predicate } => {
+                if predicate.eval(tuple) {
+                    Ok(())
+                } else {
+                    Err(ConstraintViolation {
+                        constraint: name.clone(),
+                        message: format!("tuple {tuple} fails CHECK ({predicate})"),
+                    })
+                }
+            }
+            Constraint::MaxLifetime { name, ticks } => {
+                let ok = match (texp.finite(), now.finite()) {
+                    (Some(e), Some(n)) => e.saturating_sub(n) <= *ticks,
+                    _ => false, // ∞ lifetime exceeds any bound
+                };
+                if ok {
+                    Ok(())
+                } else {
+                    Err(ConstraintViolation {
+                        constraint: name.clone(),
+                        message: format!(
+                            "lifetime {} exceeds maximum {ticks} ticks",
+                            match texp.finite() {
+                                Some(e) => (e - now.finite().unwrap_or(0)).to_string(),
+                                None => "∞".to_string(),
+                            }
+                        ),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::predicate::CmpOp;
+    use exptime_core::tuple;
+
+    #[test]
+    fn check_constraint() {
+        let c = Constraint::Check {
+            name: "deg_range".into(),
+            predicate: Predicate::attr_cmp_const(1, CmpOp::Le, 100)
+                .and(Predicate::attr_cmp_const(1, CmpOp::Ge, 0)),
+        };
+        assert_eq!(c.name(), "deg_range");
+        assert!(c.check(&tuple![1, 50], Time::new(5), Time::ZERO).is_ok());
+        let err = c
+            .check(&tuple![1, 150], Time::new(5), Time::ZERO)
+            .unwrap_err();
+        assert!(err.to_string().contains("deg_range"));
+        assert!(err.to_string().contains("CHECK"));
+    }
+
+    #[test]
+    fn max_lifetime_constraint() {
+        let c = Constraint::MaxLifetime {
+            name: "session_ttl".into(),
+            ticks: 100,
+        };
+        assert!(c.check(&tuple![1], Time::new(100), Time::ZERO).is_ok());
+        assert!(c.check(&tuple![1], Time::new(150), Time::new(60)).is_ok());
+        assert!(c.check(&tuple![1], Time::new(161), Time::new(60)).is_err());
+        let err = c
+            .check(&tuple![1], Time::INFINITY, Time::ZERO)
+            .unwrap_err();
+        assert!(err.to_string().contains("∞"));
+    }
+}

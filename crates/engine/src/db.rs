@@ -1,0 +1,1460 @@
+//! The database facade: clock, tables, views, triggers, constraints, SQL.
+//!
+//! A [`Database`] is a single-node expiration-time DBMS in the paper's
+//! image:
+//!
+//! * a logical [`Clock`] drives everything — advancing it processes due
+//!   expirations (eagerly per event time, or lazily on a vacuum cadence —
+//!   Section 3.2) and fires expiration triggers;
+//! * tables are `exptime-storage` [`Table`]s (expiration index + B+-trees);
+//! * views are either *virtual* (planned per read) or *materialised*
+//!   ([`MaterializedView`]s that maintain themselves independently of the
+//!   base tables, per Theorems 1–3);
+//! * SQL goes through `exptime-sql`; expiration times surface only in
+//!   `INSERT … EXPIRES …` and `UPDATE … SET EXPIRES …`.
+
+use crate::constraint::{Constraint, ConstraintViolation};
+use crate::trigger::{ExpirationEvent, TriggerFn, TriggerManager};
+use exptime_core::algebra::{eval, EvalOptions, Expr, Materialized};
+use exptime_core::catalog::Catalog;
+use exptime_core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
+use exptime_core::relation::Relation;
+use exptime_core::schema::Schema;
+use exptime_core::time::{Clock, Time};
+use exptime_core::tuple::Tuple;
+use exptime_core::value::{Value, ValueType};
+use exptime_sql::ast::{Expires, Statement};
+use exptime_sql::{plan_query, plan_table_cond, SchemaProvider, SqlError};
+use exptime_storage::{IndexKind, Table};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// How the engine physically removes expired base-table rows
+/// (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Removal {
+    /// Process expirations at every expiration event time as the clock
+    /// passes it; triggers fire exactly at `texp`.
+    #[default]
+    Eager,
+    /// Defer physical removal to a periodic vacuum; reads are unaffected
+    /// (they filter by `texp > τ`), but triggers fire late and space is
+    /// reclaimed late.
+    Lazy {
+        /// Vacuum cadence in ticks.
+        vacuum_every: u64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DbConfig {
+    /// Expiration index implementation for new tables.
+    pub index: IndexKind,
+    /// Removal policy.
+    pub removal: Removal,
+    /// Algebra evaluation options (aggregate expiration mode, …).
+    pub eval: EvalOptions,
+    /// Refresh policy for materialised views.
+    pub view_refresh: RefreshPolicy,
+    /// Run the cost-gated rewriter (`exptime_core::cost::optimize`) on
+    /// query expressions before evaluation. The rewrite is
+    /// semantics-preserving; the cost model keeps it only when it reduces
+    /// estimated fragility/work (paper Section 3.1).
+    pub optimize: bool,
+}
+
+/// Aggregate engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Rows inserted.
+    pub inserts: u64,
+    /// Rows explicitly deleted.
+    pub deletes: u64,
+    /// Rows removed by expiration.
+    pub expired: u64,
+    /// Queries evaluated (SQL SELECT + direct expression queries).
+    pub queries: u64,
+    /// Vacuum passes run (lazy removal).
+    pub vacuums: u64,
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum DbError {
+    /// SQL lexing/parsing/planning failed.
+    Sql(SqlError),
+    /// A core data-model error.
+    Core(exptime_core::error::Error),
+    /// A constraint rejected an insertion.
+    Constraint(ConstraintViolation),
+    /// Catalog-level problem (duplicate/missing table or view, …).
+    Catalog(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Sql(e) => write!(f, "{e}"),
+            DbError::Core(e) => write!(f, "{e}"),
+            DbError::Constraint(v) => write!(f, "{v}"),
+            DbError::Catalog(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<SqlError> for DbError {
+    fn from(e: SqlError) -> Self {
+        DbError::Sql(e)
+    }
+}
+impl From<exptime_core::error::Error> for DbError {
+    fn from(e: exptime_core::error::Error) -> Self {
+        DbError::Core(e)
+    }
+}
+impl From<ConstraintViolation> for DbError {
+    fn from(e: ConstraintViolation) -> Self {
+        DbError::Constraint(e)
+    }
+}
+
+/// Engine result alias.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// The outcome of executing one SQL statement.
+#[derive(Debug)]
+pub enum ExecResult {
+    /// Query rows (with per-tuple expiration times attached, though they
+    /// are not query-accessible attributes).
+    Rows(Relation),
+    /// Number of rows affected by DML.
+    Affected(usize),
+    /// DDL succeeded for the named object.
+    Ok(String),
+}
+
+impl ExecResult {
+    /// The rows, if this was a query.
+    #[must_use]
+    pub fn rows(&self) -> Option<&Relation> {
+        match self {
+            ExecResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The affected-row count, if DML.
+    #[must_use]
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            ExecResult::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+#[allow(clippy::large_enum_variant)] // few views exist; clarity over size
+enum ViewEntry {
+    Virtual {
+        expr: Expr,
+        schema: Schema,
+        /// The defining SQL query, when the view was created through SQL;
+        /// used by [`Database::dump_sql`]. API-created views have none.
+        definition: Option<exptime_sql::ast::Query>,
+    },
+    Materialized {
+        view: MaterializedView,
+        schema: Schema,
+        /// See [`ViewEntry::Virtual::definition`].
+        definition: Option<exptime_sql::ast::Query>,
+        /// Write versions of the base tables at (re)materialisation time.
+        /// Pure expiration never bumps these (the paper's machinery keeps
+        /// the view fresh for free); inserts and explicit deletes do, and
+        /// force a refresh on the next read.
+        base_versions: Vec<(String, u64)>,
+    },
+}
+
+impl ViewEntry {
+    fn schema(&self) -> &Schema {
+        match self {
+            ViewEntry::Virtual { schema, .. } | ViewEntry::Materialized { schema, .. } => schema,
+        }
+    }
+
+    fn definition(&self) -> Option<&exptime_sql::ast::Query> {
+        match self {
+            ViewEntry::Virtual { definition, .. }
+            | ViewEntry::Materialized { definition, .. } => definition.as_ref(),
+        }
+    }
+
+    fn expr(&self) -> &Expr {
+        match self {
+            ViewEntry::Virtual { expr, .. } => expr,
+            ViewEntry::Materialized { view, .. } => view.expr(),
+        }
+    }
+}
+
+/// A single-node expiration-time database.
+pub struct Database {
+    config: DbConfig,
+    clock: Clock,
+    tables: BTreeMap<String, Table>,
+    views: BTreeMap<String, ViewEntry>,
+    triggers: TriggerManager,
+    constraints: HashMap<String, Vec<Constraint>>,
+    /// Per-table write version, bumped on inserts, explicit deletes, and
+    /// expiration-time updates — never on expirations.
+    write_versions: HashMap<String, u64>,
+    last_vacuum: Time,
+    stats: DbStats,
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Database")
+            .field("now", &self.clock.now())
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .field("views", &self.views.keys().collect::<Vec<_>>())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new(DbConfig::default())
+    }
+}
+
+impl Database {
+    /// Creates an empty database at time 0.
+    #[must_use]
+    pub fn new(config: DbConfig) -> Self {
+        Database {
+            config,
+            clock: Clock::new(),
+            tables: BTreeMap::new(),
+            views: BTreeMap::new(),
+            triggers: TriggerManager::new(),
+            constraints: HashMap::new(),
+            write_versions: HashMap::new(),
+            last_vacuum: Time::ZERO,
+            stats: DbStats::default(),
+        }
+    }
+
+    /// The current logical time `τ`.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// Engine statistics.
+    #[must_use]
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// The trigger manager (register callbacks, read the event log).
+    pub fn triggers(&mut self) -> &mut TriggerManager {
+        &mut self.triggers
+    }
+
+    /// Registers an expiration trigger on a table.
+    pub fn on_expire(
+        &mut self,
+        table: impl Into<String>,
+        name: impl Into<String>,
+        callback: TriggerFn,
+    ) {
+        self.triggers.on_expire(table, name, callback);
+    }
+
+    /// Adds a constraint to a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] for an unknown table.
+    pub fn add_constraint(&mut self, table: &str, constraint: Constraint) -> DbResult<()> {
+        let key = table.to_ascii_lowercase();
+        if !self.tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("unknown table `{table}`")));
+        }
+        self.constraints.entry(key).or_default().push(constraint);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Time
+    // ------------------------------------------------------------------
+
+    /// Advances the clock by `delta` ticks, processing expirations per the
+    /// removal policy. Returns the new time.
+    pub fn tick(&mut self, delta: u64) -> Time {
+        let target = self.clock.now() + delta;
+        self.advance_to(target);
+        target
+    }
+
+    /// Advances the clock to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is in the past or `∞` (clocks only move forward
+    /// through finite instants).
+    pub fn advance_to(&mut self, target: Time) {
+        match self.config.removal {
+            Removal::Eager => {
+                // Step through each expiration event so triggers fire at
+                // their exact times.
+                loop {
+                    let next = self
+                        .tables
+                        .values_mut()
+                        .filter_map(Table::next_expiration)
+                        .min();
+                    match next {
+                        Some(t) if t <= target => {
+                            self.clock.advance_to(t);
+                            self.expire_all(t, t);
+                        }
+                        _ => break,
+                    }
+                }
+                self.clock.advance_to(target);
+            }
+            Removal::Lazy { vacuum_every } => {
+                self.clock.advance_to(target);
+                let due = target
+                    .finite()
+                    .zip(self.last_vacuum.finite())
+                    .is_some_and(|(t, v)| t - v >= vacuum_every);
+                if due {
+                    self.vacuum();
+                }
+            }
+        }
+    }
+
+    /// Runs a vacuum pass now: physically removes expired rows from every
+    /// table and fires their triggers (with `fired_at = now`, possibly
+    /// after `texp` — the lazy-removal fidelity gap).
+    pub fn vacuum(&mut self) {
+        let now = self.clock.now();
+        self.expire_all(now, now);
+        self.last_vacuum = now;
+        self.stats.vacuums += 1;
+    }
+
+    fn expire_all(&mut self, tau: Time, fired_at: Time) {
+        for (name, table) in &mut self.tables {
+            for (tuple, texp) in table.expire_due(tau) {
+                self.stats.expired += 1;
+                self.triggers.fire(ExpirationEvent {
+                    table: name.clone(),
+                    tuple,
+                    texp,
+                    fired_at,
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tables and direct DML
+    // ------------------------------------------------------------------
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(DbError::Catalog(format!("`{name}` already exists")));
+        }
+        self.tables
+            .insert(key.clone(), Table::new(key, schema, self.config.index));
+        Ok(())
+    }
+
+    /// Drops a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] for an unknown table or one referenced
+    /// by a view.
+    pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        for (vname, entry) in &self.views {
+            if entry
+                .expr()
+                .base_names()
+                .iter()
+                .any(|b| b.eq_ignore_ascii_case(&key))
+            {
+                return Err(DbError::Catalog(format!(
+                    "cannot drop `{name}`: view `{vname}` depends on it"
+                )));
+            }
+        }
+        self.write_versions.remove(&key);
+        self.tables
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| DbError::Catalog(format!("unknown table `{name}`")))
+    }
+
+    /// Direct access to a table (e.g. to create secondary indexes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] for an unknown table.
+    pub fn table_mut(&mut self, name: &str) -> DbResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::Catalog(format!("unknown table `{name}`")))
+    }
+
+    /// Immutable access to a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] for an unknown table.
+    pub fn table(&self, name: &str) -> DbResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| DbError::Catalog(format!("unknown table `{name}`")))
+    }
+
+    /// Inserts a tuple with an absolute expiration time (use
+    /// [`Time::INFINITY`] for "never").
+    ///
+    /// # Errors
+    ///
+    /// Returns schema, constraint, or past-expiration errors.
+    pub fn insert(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
+        let now = self.clock.now();
+        let key = table.to_ascii_lowercase();
+        if let Some(cs) = self.constraints.get(&key) {
+            for c in cs {
+                c.check(&tuple, texp, now)?;
+            }
+        }
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown table `{table}`")))?;
+        t.insert(tuple, texp, now)?;
+        self.stats.inserts += 1;
+        self.bump_version(&key);
+        Ok(())
+    }
+
+    fn bump_version(&mut self, table_key: &str) {
+        *self
+            .write_versions
+            .entry(table_key.to_string())
+            .or_insert(0) += 1;
+    }
+
+    fn current_versions(&self, expr: &Expr) -> Vec<(String, u64)> {
+        expr.base_names()
+            .into_iter()
+            .map(|n| {
+                let k = n.to_ascii_lowercase();
+                let v = self.write_versions.get(&k).copied().unwrap_or(0);
+                (k, v)
+            })
+            .collect()
+    }
+
+    /// Inserts a tuple that expires `ttl` ticks from now.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::insert`].
+    pub fn insert_ttl(&mut self, table: &str, tuple: Tuple, ttl: u64) -> DbResult<()> {
+        let texp = self.clock.now() + ttl;
+        self.insert(table, tuple, texp)
+    }
+
+    // ------------------------------------------------------------------
+    // Querying
+    // ------------------------------------------------------------------
+
+    /// Snapshots all base tables into an algebra [`Catalog`] at the
+    /// current time.
+    #[must_use]
+    pub fn snapshot(&self) -> Catalog {
+        let now = self.clock.now();
+        let mut c = Catalog::new();
+        for (name, table) in &self.tables {
+            c.register(name.clone(), table.to_relation(now));
+        }
+        c
+    }
+
+    /// Evaluates an algebra expression at the current time. View names in
+    /// the expression are inlined first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn query_expr(&mut self, expr: &Expr) -> DbResult<Materialized> {
+        let expr = self.inline_views(expr);
+        let snapshot = self.snapshot();
+        let expr = if self.config.optimize {
+            exptime_core::cost::optimize(&expr, &snapshot, self.clock.now())
+        } else {
+            expr
+        };
+        self.stats.queries += 1;
+        Ok(eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?)
+    }
+
+    /// Replaces view references with their defining expressions, so every
+    /// expression bottoms out at base tables.
+    #[must_use]
+    pub fn inline_views(&self, expr: &Expr) -> Expr {
+        match expr {
+            Expr::Base(name) => match self.views.get(&name.to_ascii_lowercase()) {
+                Some(entry) => entry.expr().clone(),
+                None => expr.clone(),
+            },
+            Expr::Select { input, predicate } => Expr::Select {
+                input: Box::new(self.inline_views(input)),
+                predicate: predicate.clone(),
+            },
+            Expr::Project { input, positions } => Expr::Project {
+                input: Box::new(self.inline_views(input)),
+                positions: positions.clone(),
+            },
+            Expr::Product { left, right } => Expr::Product {
+                left: Box::new(self.inline_views(left)),
+                right: Box::new(self.inline_views(right)),
+            },
+            Expr::Union { left, right } => Expr::Union {
+                left: Box::new(self.inline_views(left)),
+                right: Box::new(self.inline_views(right)),
+            },
+            Expr::Join {
+                left,
+                right,
+                predicate,
+            } => Expr::Join {
+                left: Box::new(self.inline_views(left)),
+                right: Box::new(self.inline_views(right)),
+                predicate: predicate.clone(),
+            },
+            Expr::Intersect { left, right } => Expr::Intersect {
+                left: Box::new(self.inline_views(left)),
+                right: Box::new(self.inline_views(right)),
+            },
+            Expr::Difference { left, right } => Expr::Difference {
+                left: Box::new(self.inline_views(left)),
+                right: Box::new(self.inline_views(right)),
+            },
+            Expr::Aggregate {
+                input,
+                group_by,
+                func,
+            } => Expr::Aggregate {
+                input: Box::new(self.inline_views(input)),
+                group_by: group_by.clone(),
+                func: *func,
+            },
+        }
+    }
+
+    /// Creates a materialised view over an algebra expression (view names
+    /// inlined). The view maintains itself per the configured policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog or evaluation errors.
+    pub fn create_materialized_view(&mut self, name: &str, expr: Expr) -> DbResult<()> {
+        self.create_materialized_view_inner(name, expr, None)
+    }
+
+    fn create_materialized_view_inner(
+        &mut self,
+        name: &str,
+        expr: Expr,
+        definition: Option<exptime_sql::ast::Query>,
+    ) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(DbError::Catalog(format!("`{name}` already exists")));
+        }
+        let expr = self.inline_views(&expr);
+        let snapshot = self.snapshot();
+        let schema = expr.schema(&snapshot)?;
+        let view = MaterializedView::new(
+            expr,
+            &snapshot,
+            self.clock.now(),
+            self.config.eval,
+            self.config.view_refresh,
+            RemovalPolicy::Lazy,
+        )?;
+        let base_versions = self.current_versions(view.expr());
+        self.views.insert(
+            key,
+            ViewEntry::Materialized {
+                view,
+                schema,
+                base_versions,
+                definition,
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates a virtual (non-materialised) view.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog or schema errors.
+    pub fn create_view(&mut self, name: &str, expr: Expr) -> DbResult<()> {
+        self.create_view_inner(name, expr, None)
+    }
+
+    fn create_view_inner(
+        &mut self,
+        name: &str,
+        expr: Expr,
+        definition: Option<exptime_sql::ast::Query>,
+    ) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(DbError::Catalog(format!("`{name}` already exists")));
+        }
+        let expr = self.inline_views(&expr);
+        let schema = expr.schema(&self.snapshot())?;
+        self.views
+            .insert(key, ViewEntry::Virtual { expr, schema, definition });
+        Ok(())
+    }
+
+    /// Drops a view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] for an unknown view.
+    pub fn drop_view(&mut self, name: &str) -> DbResult<()> {
+        self.views
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| DbError::Catalog(format!("unknown view `{name}`")))
+    }
+
+    /// Reads a view at the current time. Materialised views serve from
+    /// their local state when fresh (Theorems 1–3) and recompute otherwise;
+    /// virtual views always evaluate.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog or evaluation errors.
+    pub fn read_view(&mut self, name: &str) -> DbResult<Relation> {
+        let key = name.to_ascii_lowercase();
+        let now = self.clock.now();
+        self.stats.queries += 1;
+        // Split borrow: snapshot first (immutable), then the view entry.
+        let needs_snapshot = matches!(
+            self.views.get(&key),
+            Some(ViewEntry::Materialized { .. }) | Some(ViewEntry::Virtual { .. })
+        );
+        if !needs_snapshot {
+            return Err(DbError::Catalog(format!("unknown view `{name}`")));
+        }
+        let snapshot = self.snapshot();
+        // Views must see base-table *updates* (inserts / explicit
+        // deletes / expiration-time changes), which the paper's
+        // expiration-only maintenance model excludes: compare write
+        // versions and force a refresh when they moved.
+        let wanted = match self.views.get(&key).expect("checked above") {
+            ViewEntry::Materialized { view, .. } => Some(self.current_versions(view.expr())),
+            ViewEntry::Virtual { .. } => None,
+        };
+        match self.views.get_mut(&key).expect("checked above") {
+            ViewEntry::Virtual { expr, .. } => {
+                Ok(eval(expr, &snapshot, now, &self.config.eval)?.rel)
+            }
+            ViewEntry::Materialized {
+                view,
+                base_versions,
+                ..
+            } => {
+                let wanted = wanted.expect("materialised branch");
+                if *base_versions != wanted {
+                    view.force_refresh(&snapshot, now)?;
+                    *base_versions = wanted;
+                }
+                Ok(view.read(&snapshot, now)?)
+            }
+        }
+    }
+
+    /// The names of all views, in name order.
+    #[must_use]
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.keys().cloned().collect()
+    }
+
+    /// The schema of a table or view, for external planners (e.g. the
+    /// CLI's `\plan`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a plan error for unknown names.
+    pub fn schema_of_relation(&self, name: &str) -> Result<Schema, SqlError> {
+        DbSchemas(self).schema_of(name)
+    }
+
+    /// Statistics of a materialised view (recomputations, local reads, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] if the name is not a materialised view.
+    pub fn view_stats(&self, name: &str) -> DbResult<exptime_core::materialize::ViewStats> {
+        match self.views.get(&name.to_ascii_lowercase()) {
+            Some(ViewEntry::Materialized { view, .. }) => Ok(view.stats()),
+            _ => Err(DbError::Catalog(format!(
+                "`{name}` is not a materialised view"
+            ))),
+        }
+    }
+
+
+    // ------------------------------------------------------------------
+    // Dump / restore
+    // ------------------------------------------------------------------
+
+    /// Serialises the database as a SQL script: every table's schema and
+    /// live rows (with their absolute `EXPIRES AT` times), and every view
+    /// that was created through SQL. The first line records the logical
+    /// clock; [`Database::restore`] replays the script and advances the
+    /// clock back to it.
+    ///
+    /// Not captured: expired-but-unvacuumed rows (semantically absent),
+    /// triggers and constraints (runtime closures), API-created views
+    /// (no SQL definition — emitted as comments), and engine statistics.
+    #[must_use]
+    pub fn dump_sql(&self) -> String {
+        use exptime_sql::ast::{Expires, Literal, Statement as Stmt};
+        use exptime_sql::unparse::statement_to_sql;
+
+        let now = self.clock.now();
+        let mut out = format!(
+            "-- exptime dump at t={}\n",
+            now.finite().expect("clock is finite")
+        );
+        for (name, table) in &self.tables {
+            let stmt = Stmt::CreateTable {
+                name: name.clone(),
+                columns: table
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| (a.name.clone(), a.ty))
+                    .collect(),
+            };
+            out.push_str(&statement_to_sql(&stmt));
+            out.push_str(";\n");
+            // Group live rows by expiration time: one INSERT per group.
+            let mut by_texp: BTreeMap<Time, Vec<Vec<Literal>>> = BTreeMap::new();
+            for (tuple, texp) in table.scan_at(now) {
+                let row = tuple
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Int(i) => Literal::Int(*i),
+                        Value::Float(f) => Literal::Float(f.get()),
+                        Value::Str(st) => Literal::Str(st.to_string()),
+                        Value::Bool(b) => Literal::Bool(*b),
+                    })
+                    .collect();
+                by_texp.entry(texp).or_default().push(row);
+            }
+            for (texp, rows) in by_texp {
+                let stmt = Stmt::Insert {
+                    table: name.clone(),
+                    rows,
+                    expires: match texp.finite() {
+                        Some(t) => Expires::At(t),
+                        None => Expires::Never,
+                    },
+                };
+                out.push_str(&statement_to_sql(&stmt));
+                out.push_str(";\n");
+            }
+        }
+        for (name, entry) in &self.views {
+            match entry.definition() {
+                Some(query) => {
+                    let stmt = Stmt::CreateView {
+                        name: name.clone(),
+                        materialized: matches!(entry, ViewEntry::Materialized { .. }),
+                        query: query.clone(),
+                    };
+                    out.push_str(&statement_to_sql(&stmt));
+                    out.push_str(";\n");
+                }
+                None => {
+                    // API-created: no SQL definition to replay.
+                    out.push_str(&format!(
+                        "-- view {name} (no SQL definition): {}\n",
+                        entry.expr()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a database from a [`Database::dump_sql`] script, with the
+    /// given configuration. The logical clock is restored from the
+    /// header, so expiration behaviour continues exactly where the dump
+    /// left off.
+    ///
+    /// # Errors
+    ///
+    /// Returns catalog/SQL errors from replaying the script.
+    pub fn restore_with(dump: &str, config: DbConfig) -> DbResult<Self> {
+        let mut db = Database::new(config);
+        let clock = dump
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("-- exptime dump at t="))
+            .and_then(|n| n.trim().parse::<u64>().ok())
+            .ok_or_else(|| {
+                DbError::Catalog("missing `-- exptime dump at t=N` header".into())
+            })?;
+        db.execute_script(dump)?;
+        // Rows in the dump were live (texp > clock), so advancing fires
+        // no spurious expirations.
+        db.advance_to(Time::new(clock));
+        db.triggers.clear_log();
+        Ok(db)
+    }
+
+    /// [`Database::restore_with`] under the default configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::restore_with`].
+    pub fn restore(dump: &str) -> DbResult<Self> {
+        Database::restore_with(dump, DbConfig::default())
+    }
+
+    // ------------------------------------------------------------------
+    // SQL
+    // ------------------------------------------------------------------
+
+    /// Executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// Returns SQL, schema, constraint, or catalog errors.
+    pub fn execute(&mut self, sql: &str) -> DbResult<ExecResult> {
+        let stmt = exptime_sql::parse(sql)?;
+        self.execute_statement(stmt)
+    }
+
+    /// Executes a sequence of `;`-separated SQL statements, returning the
+    /// last result.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::execute`]; execution stops at the first error.
+    pub fn execute_script(&mut self, sql: &str) -> DbResult<ExecResult> {
+        let stmts = exptime_sql::parse_many(sql)?;
+        let mut last = ExecResult::Ok("empty script".into());
+        for stmt in stmts {
+            last = self.execute_statement(stmt)?;
+        }
+        Ok(last)
+    }
+
+    fn execute_statement(&mut self, stmt: Statement) -> DbResult<ExecResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                let schema = Schema::new(
+                    columns
+                        .into_iter()
+                        .map(|(n, t)| exptime_core::schema::Attribute::new(n, t))
+                        .collect(),
+                )?;
+                self.create_table(&name, schema)?;
+                Ok(ExecResult::Ok(format!("created table {name}")))
+            }
+            Statement::DropTable { name } => {
+                self.drop_table(&name)?;
+                Ok(ExecResult::Ok(format!("dropped table {name}")))
+            }
+            Statement::CreateView {
+                name,
+                materialized,
+                query,
+            } => {
+                let expr = plan_query(&query, &DbSchemas(self))?;
+                if materialized {
+                    self.create_materialized_view_inner(&name, expr, Some(query))?;
+                } else {
+                    self.create_view_inner(&name, expr, Some(query))?;
+                }
+                Ok(ExecResult::Ok(format!("created view {name}")))
+            }
+            Statement::DropView { name } => {
+                self.drop_view(&name)?;
+                Ok(ExecResult::Ok(format!("dropped view {name}")))
+            }
+            Statement::Insert {
+                table,
+                rows,
+                expires,
+            } => {
+                let texp = self.resolve_expires(expires);
+                let schema = self.table(&table)?.schema().clone();
+                let mut n = 0;
+                for row in rows {
+                    let tuple = coerce_row(&row, &schema)?;
+                    self.insert(&table, tuple, texp)?;
+                    n += 1;
+                }
+                Ok(ExecResult::Affected(n))
+            }
+            Statement::Delete { table, predicate } => {
+                let now = self.clock.now();
+                let pred = match &predicate {
+                    Some(c) => Some(plan_table_cond(c, &table, &DbSchemas(self))?),
+                    None => None,
+                };
+                let t = self.table_mut(&table)?;
+                let victims: Vec<Tuple> = t
+                    .scan_at(now)
+                    .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
+                    .map(|(tu, _)| tu.clone())
+                    .collect();
+                let mut n = 0;
+                for v in &victims {
+                    if t.delete(v).is_some() {
+                        n += 1;
+                    }
+                }
+                self.stats.deletes += n as u64;
+                if n > 0 {
+                    self.bump_version(&table.to_ascii_lowercase());
+                }
+                Ok(ExecResult::Affected(n))
+            }
+            Statement::UpdateExpiration {
+                table,
+                expires,
+                predicate,
+            } => {
+                let now = self.clock.now();
+                let texp = self.resolve_expires(expires);
+                let pred = match &predicate {
+                    Some(c) => Some(plan_table_cond(c, &table, &DbSchemas(self))?),
+                    None => None,
+                };
+                let t = self.table_mut(&table)?;
+                let targets: Vec<Tuple> = t
+                    .scan_at(now)
+                    .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
+                    .map(|(tu, _)| tu.clone())
+                    .collect();
+                let mut n = 0;
+                for tu in &targets {
+                    if t.update_texp(tu, texp, now)? {
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    self.bump_version(&table.to_ascii_lowercase());
+                }
+                Ok(ExecResult::Affected(n))
+            }
+            Statement::Select(query) => {
+                let expr = plan_query(&query, &DbSchemas(self))?;
+                let m = self.query_expr(&expr)?;
+                let rel = apply_presentation(m.rel, &query)?;
+                Ok(ExecResult::Rows(rel))
+            }
+        }
+    }
+
+    fn resolve_expires(&self, e: Expires) -> Time {
+        match e {
+            Expires::Never => Time::INFINITY,
+            Expires::At(t) => Time::new(t),
+            Expires::In(d) => self.clock.now() + d,
+        }
+    }
+}
+
+/// Applies the presentation-level `ORDER BY` / `LIMIT` clauses to a final
+/// result. The expiration-time algebra is set-based, so ordering is not an
+/// operator; it reorders (and truncates) the result relation's iteration
+/// order. `ORDER BY` references *output* column names.
+fn apply_presentation(
+    rel: Relation,
+    query: &exptime_sql::ast::Query,
+) -> Result<Relation, DbError> {
+    if query.order_by.is_empty() && query.limit.is_none() {
+        return Ok(rel);
+    }
+    let schema = rel.schema().clone();
+    let mut keys = Vec::with_capacity(query.order_by.len());
+    for (col, desc) in &query.order_by {
+        if col.table.is_some() {
+            return Err(DbError::Sql(SqlError::Plan(format!(
+                "ORDER BY uses output column names; `{col}` is qualified"
+            ))));
+        }
+        let pos = schema.position(&col.column).ok_or_else(|| {
+            DbError::Sql(SqlError::Plan(format!(
+                "ORDER BY column `{col}` is not in the result"
+            )))
+        })?;
+        keys.push((pos, *desc));
+    }
+    let mut rows: Vec<(Tuple, Time)> = rel.iter().map(|(t, e)| (t.clone(), e)).collect();
+    rows.sort_by(|(a, _), (b, _)| {
+        for &(pos, desc) in &keys {
+            let ord = a.attr(pos).total_cmp(b.attr(pos));
+            if !ord.is_eq() {
+                return if desc { ord.reverse() } else { ord };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    if let Some(n) = query.limit {
+        rows.truncate(n);
+    }
+    let mut out = Relation::new(schema);
+    for (t, e) in rows {
+        out.insert(t, e).map_err(DbError::Core)?;
+    }
+    Ok(out)
+}
+
+/// Coerces SQL literals to a schema (integer literals fill float columns).
+fn coerce_row(
+    row: &[exptime_sql::ast::Literal],
+    schema: &Schema,
+) -> Result<Tuple, DbError> {
+    let mut values = Vec::with_capacity(row.len());
+    for (i, lit) in row.iter().enumerate() {
+        let v = lit.to_value();
+        let v = match (schema.attributes().get(i).map(|a| a.ty), &v) {
+            (Some(ValueType::Float), Value::Int(x)) => Value::float(*x as f64),
+            _ => v,
+        };
+        values.push(v);
+    }
+    let tuple = Tuple::new(values);
+    schema.check(&tuple).map_err(DbError::Core)?;
+    Ok(tuple)
+}
+
+/// Schema provider over the database's tables and views.
+struct DbSchemas<'a>(&'a Database);
+
+impl SchemaProvider for DbSchemas<'_> {
+    fn schema_of(&self, name: &str) -> Result<Schema, SqlError> {
+        let key = name.to_ascii_lowercase();
+        if let Some(t) = self.0.tables.get(&key) {
+            return Ok(t.schema().clone());
+        }
+        if let Some(v) = self.0.views.get(&key) {
+            return Ok(v.schema().clone());
+        }
+        Err(SqlError::Plan(format!("unknown relation `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::tuple;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    /// Builds the paper's Figure 1 database through SQL.
+    fn figure1_db() -> Database {
+        let mut db = Database::default();
+        db.execute_script(
+            "CREATE TABLE pol (uid INT, deg INT);
+             CREATE TABLE el (uid INT, deg INT);
+             INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+             INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+             INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+             INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+             INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+             INSERT INTO el VALUES (4, 90) EXPIRES AT 2;",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn sql_roundtrip_figure_2_join() {
+        let mut db = figure1_db();
+        let q = "SELECT * FROM pol JOIN el ON pol.uid = el.uid";
+        let r = db.execute(q).unwrap();
+        assert_eq!(r.rows().unwrap().len(), 2);
+        db.tick(3);
+        let r = db.execute(q).unwrap();
+        assert_eq!(r.rows().unwrap().len(), 1, "Figure 2(f)");
+        db.tick(2);
+        let r = db.execute(q).unwrap();
+        assert!(r.rows().unwrap().is_empty(), "Figure 2(g)");
+    }
+
+    #[test]
+    fn expiration_is_transparent_to_queries() {
+        let mut db = figure1_db();
+        db.tick(10);
+        let r = db.execute("SELECT deg FROM pol").unwrap();
+        let rows = r.rows().unwrap();
+        assert_eq!(rows.len(), 1, "Figure 2(d): only ⟨25⟩ remains");
+        assert!(rows.contains(&tuple![25]));
+    }
+
+    #[test]
+    fn eager_triggers_fire_at_exact_times() {
+        let mut db = figure1_db();
+        db.tick(20);
+        let log = db.triggers().log().to_vec();
+        assert_eq!(log.len(), 6, "all six rows expired");
+        for e in &log {
+            assert_eq!(e.texp, e.fired_at, "eager: fired exactly at texp");
+        }
+        // Events are in time order.
+        assert!(log.windows(2).all(|w| w[0].fired_at <= w[1].fired_at));
+        assert_eq!(db.stats().expired, 6);
+    }
+
+    #[test]
+    fn lazy_triggers_fire_at_vacuum_time() {
+        let mut db = Database::new(DbConfig {
+            removal: Removal::Lazy { vacuum_every: 10 },
+            ..DbConfig::default()
+        });
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.execute("INSERT INTO s VALUES (1) EXPIRES AT 3").unwrap();
+        db.tick(5); // no vacuum yet
+        assert_eq!(db.triggers().log().len(), 0);
+        // Reads still exclude the expired row.
+        assert!(db.execute("SELECT * FROM s").unwrap().rows().unwrap().is_empty());
+        assert_eq!(db.table("s").unwrap().len(), 1, "physically present");
+        db.tick(5); // vacuum at 10
+        let log = db.triggers().log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].texp, t(3));
+        assert_eq!(log[0].fired_at, t(10), "lazy: fired late");
+        assert_eq!(db.stats().vacuums, 1);
+    }
+
+    #[test]
+    fn trigger_callbacks_run() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let mut db = figure1_db();
+        let n = Arc::new(AtomicUsize::new(0));
+        let c = n.clone();
+        db.on_expire("pol", "renew_profile", Box::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        db.tick(20);
+        assert_eq!(n.load(Ordering::SeqCst), 3, "three pol rows expired");
+    }
+
+    #[test]
+    fn constraints_reject_inserts() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.add_constraint(
+            "s",
+            Constraint::MaxLifetime {
+                name: "ttl".into(),
+                ticks: 100,
+            },
+        )
+        .unwrap();
+        assert!(db.execute("INSERT INTO s VALUES (1) EXPIRES AT 50").is_ok());
+        assert!(matches!(
+            db.execute("INSERT INTO s VALUES (2) EXPIRES AT 200"),
+            Err(DbError::Constraint(_))
+        ));
+        assert!(matches!(
+            db.execute("INSERT INTO s VALUES (3) EXPIRES NEVER"),
+            Err(DbError::Constraint(_))
+        ));
+        assert!(db.add_constraint("missing", Constraint::MaxLifetime {
+            name: "x".into(),
+            ticks: 1
+        }).is_err());
+    }
+
+    #[test]
+    fn materialized_view_maintains_itself() {
+        let mut db = figure1_db();
+        db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
+            .unwrap();
+        let r = db.execute("SELECT * FROM hot").unwrap();
+        assert_eq!(r.rows().unwrap().len(), 2);
+        db.tick(10);
+        let rel = db.read_view("hot").unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&tuple![2]));
+        // Monotonic view: zero recomputations.
+        assert_eq!(db.view_stats("hot").unwrap().recomputations, 0);
+    }
+
+    #[test]
+    fn non_monotonic_view_recomputes() {
+        let mut db = figure1_db();
+        db.execute(
+            "CREATE MATERIALIZED VIEW others AS
+             SELECT uid FROM pol EXCEPT SELECT uid FROM el",
+        )
+        .unwrap();
+        assert_eq!(db.read_view("others").unwrap().len(), 1);
+        db.tick(5);
+        let rel = db.read_view("others").unwrap();
+        assert_eq!(rel.len(), 3, "⟨1⟩,⟨2⟩,⟨3⟩ at time 5 (Figure 3d)");
+        assert!(db.view_stats("others").unwrap().recomputations >= 1);
+    }
+
+    #[test]
+    fn virtual_views_plan_per_read() {
+        let mut db = figure1_db();
+        db.execute("CREATE VIEW v AS SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+            .unwrap();
+        let r = db.read_view("v").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&tuple![25, 2]));
+        db.tick(10);
+        let r = db.read_view("v").unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple![25, 1]), "fresh evaluation at 10");
+        assert!(db.view_stats("v").is_err(), "virtual views have no stats");
+    }
+
+    #[test]
+    fn views_over_views_inline() {
+        let mut db = figure1_db();
+        db.execute("CREATE VIEW a AS SELECT uid, deg FROM pol WHERE deg = 25")
+            .unwrap();
+        db.execute("CREATE MATERIALIZED VIEW b AS SELECT uid FROM a")
+            .unwrap();
+        let r = db.read_view("b").unwrap();
+        assert_eq!(r.len(), 2);
+        // Dropping pol must be blocked by both views.
+        assert!(db.drop_table("pol").is_err());
+        db.drop_view("b").unwrap();
+        db.drop_view("a").unwrap();
+        db.drop_table("pol").unwrap();
+    }
+
+    #[test]
+    fn delete_and_update_expiration_via_sql() {
+        let mut db = figure1_db();
+        let n = db
+            .execute("DELETE FROM pol WHERE deg = 25")
+            .unwrap()
+            .affected()
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(db.execute("SELECT * FROM pol").unwrap().rows().unwrap().len(), 1);
+
+        // Extend the remaining row's life.
+        let n = db
+            .execute("UPDATE pol SET EXPIRES AT 50 WHERE uid = 3")
+            .unwrap()
+            .affected()
+            .unwrap();
+        assert_eq!(n, 1);
+        db.tick(20);
+        assert_eq!(
+            db.execute("SELECT * FROM pol").unwrap().rows().unwrap().len(),
+            1,
+            "outlived its original texp of 10"
+        );
+        // EXPIRES IN is relative to now (20).
+        db.execute("UPDATE pol SET EXPIRES IN 5 TICKS").unwrap();
+        db.tick(5);
+        assert!(db.execute("SELECT * FROM pol").unwrap().rows().unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_coerces_int_literals_into_float_columns() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE m (temp FLOAT)").unwrap();
+        db.execute("INSERT INTO m VALUES (21), (22.5) EXPIRES IN 10")
+            .unwrap();
+        let r = db.execute("SELECT * FROM m").unwrap();
+        assert_eq!(r.rows().unwrap().len(), 2);
+        assert!(r.rows().unwrap().contains(&tuple![21.0]));
+    }
+
+    #[test]
+    fn catalog_errors() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        assert!(matches!(
+            db.execute("CREATE TABLE s (k INT)"),
+            Err(DbError::Catalog(_))
+        ));
+        assert!(db.execute("DROP TABLE nope").is_err());
+        assert!(db.execute("DROP VIEW nope").is_err());
+        assert!(db.execute("SELECT * FROM nope").is_err());
+        assert!(db.execute("INSERT INTO s VALUES ('wrong type')").is_err());
+        assert!(db.read_view("nope").is_err());
+        // Name collision between view and table namespaces.
+        db.execute("CREATE VIEW w AS SELECT * FROM s").unwrap();
+        assert!(db.execute("CREATE TABLE w (k INT)").is_err());
+        assert!(db.execute("CREATE VIEW s AS SELECT * FROM s").is_err());
+    }
+
+    #[test]
+    fn insert_expires_at_past_time_fails() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.tick(10);
+        assert!(matches!(
+            db.execute("INSERT INTO s VALUES (1) EXPIRES AT 10"),
+            Err(DbError::Core(exptime_core::error::Error::ExpirationInPast { .. }))
+        ));
+    }
+
+    #[test]
+    fn dump_restore_roundtrip_preserves_everything_observable() {
+        let mut db = figure1_db();
+        db.execute("CREATE TABLE notes (body TEXT, pinned BOOL)").unwrap();
+        db.execute("INSERT INTO notes VALUES ('it''s a test', TRUE) EXPIRES NEVER")
+            .unwrap();
+        db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
+            .unwrap();
+        db.execute("CREATE VIEW all_el AS SELECT * FROM el").unwrap();
+        db.tick(4); // some rows expire before the dump
+
+        let dump = db.dump_sql();
+        assert!(dump.starts_with("-- exptime dump at t=4"));
+        let mut restored = Database::restore(&dump).unwrap();
+        assert_eq!(restored.now(), t(4));
+
+        // Every query answers identically on both, now and in the future.
+        for delta in [0u64, 2, 7, 12] {
+            if delta > 0 {
+                db.tick(delta);
+                restored.tick(delta);
+            }
+            for q in [
+                "SELECT * FROM pol",
+                "SELECT * FROM el",
+                "SELECT * FROM notes",
+                "SELECT uid FROM pol EXCEPT SELECT uid FROM el",
+            ] {
+                let a = db.execute(q).unwrap().rows().unwrap().clone();
+                let b = restored.execute(q).unwrap().rows().unwrap().clone();
+                assert!(a.set_eq(&b), "{q} diverged after +{delta}: {a:?} vs {b:?}");
+            }
+            let a = db.read_view("hot").unwrap();
+            let b = restored.read_view("hot").unwrap();
+            assert!(a.set_eq(&b), "view diverged after +{delta}");
+            let a = db.read_view("all_el").unwrap();
+            let b = restored.read_view("all_el").unwrap();
+            assert!(a.set_eq(&b));
+        }
+    }
+
+    #[test]
+    fn dump_is_stable_under_roundtrip() {
+        let mut db = figure1_db();
+        db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
+            .unwrap();
+        let dump1 = db.dump_sql();
+        let restored = Database::restore(&dump1).unwrap();
+        let dump2 = restored.dump_sql();
+        assert_eq!(dump1, dump2, "dump ∘ restore is a fixpoint");
+    }
+
+    #[test]
+    fn restore_rejects_headerless_scripts() {
+        assert!(matches!(
+            Database::restore("CREATE TABLE t (a INT);"),
+            Err(DbError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn api_created_views_dump_as_comments() {
+        let mut db = figure1_db();
+        db.create_view("v", Expr::base("pol").project([0])).unwrap();
+        let dump = db.dump_sql();
+        assert!(dump.contains("-- view v (no SQL definition)"), "{dump}");
+        // The dump still restores (the comment is skipped).
+        assert!(Database::restore(&dump).is_ok());
+    }
+
+    #[test]
+    fn optimizer_config_preserves_semantics() {
+        let build = |optimize: bool| {
+            let mut db = Database::new(DbConfig {
+                optimize,
+                ..DbConfig::default()
+            });
+            db.execute_script(
+                "CREATE TABLE pol (uid INT, deg INT);
+                 CREATE TABLE el (uid INT, deg INT);
+                 INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+                 INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+                 INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+                 INSERT INTO el VALUES (1, 25) EXPIRES AT 5;
+                 INSERT INTO el VALUES (2, 85) EXPIRES AT 3;",
+            )
+            .unwrap();
+            db
+        };
+        let mut plain = build(false);
+        let mut opt = build(true);
+        // A selection above a difference: the optimizer pushes it down;
+        // answers must be identical at every instant.
+        let q = "SELECT uid FROM pol EXCEPT SELECT uid FROM el";
+        let q2 = "SELECT deg, COUNT(*) FROM pol WHERE deg = 25 GROUP BY deg";
+        for _ in 0..16 {
+            for sql in [q, q2] {
+                let a = plain.execute(sql).unwrap().rows().unwrap().clone();
+                let b = opt.execute(sql).unwrap().rows().unwrap().clone();
+                assert!(a.set_eq(&b), "{sql} at {:?}", plain.now());
+            }
+            plain.tick(1);
+            opt.tick(1);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut db = figure1_db();
+        assert_eq!(db.stats().inserts, 6);
+        db.execute("SELECT * FROM pol").unwrap();
+        db.execute("SELECT * FROM el").unwrap();
+        assert_eq!(db.stats().queries, 2);
+        db.tick(20);
+        assert_eq!(db.stats().expired, 6);
+    }
+}

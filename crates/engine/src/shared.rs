@@ -1,0 +1,258 @@
+//! A thread-safe database handle with an optional real-time ticker.
+//!
+//! The paper's model is logical-time and single-writer; deployments want
+//! concurrent sessions and wall-clock expiry. [`SharedDatabase`] wraps a
+//! [`Database`] behind a mutex (coarse-grained — the engine's operations
+//! are short and CPU-bound), and [`SharedDatabase::start_ticker`] spawns
+//! a background thread that maps wall-clock intervals onto logical ticks,
+//! so expirations and triggers happen in real time without any session
+//! driving the clock.
+
+use crate::db::{Database, DbConfig, DbResult, ExecResult};
+use exptime_core::time::Time;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A cloneable, thread-safe handle to one database.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Mutex<Database>>,
+}
+
+impl std::fmt::Debug for SharedDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.lock() {
+            Ok(db) => write!(f, "SharedDatabase({db:?})"),
+            Err(_) => write!(f, "SharedDatabase(<poisoned>)"),
+        }
+    }
+}
+
+impl SharedDatabase {
+    /// Wraps a fresh database.
+    #[must_use]
+    pub fn new(config: DbConfig) -> Self {
+        SharedDatabase {
+            inner: Arc::new(Mutex::new(Database::new(config))),
+        }
+    }
+
+    /// Wraps an existing database (e.g. a restored one).
+    #[must_use]
+    pub fn from_database(db: Database) -> Self {
+        SharedDatabase {
+            inner: Arc::new(Mutex::new(db)),
+        }
+    }
+
+    /// Runs a closure with exclusive access to the database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut guard = self.inner.lock().expect("database mutex poisoned");
+        f(&mut guard)
+    }
+
+    /// Executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::execute`].
+    pub fn execute(&self, sql: &str) -> DbResult<ExecResult> {
+        self.with(|db| db.execute(sql))
+    }
+
+    /// The current logical time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.with(|db| db.now())
+    }
+
+    /// Advances the logical clock by `delta` ticks.
+    pub fn tick(&self, delta: u64) -> Time {
+        self.with(|db| db.tick(delta))
+    }
+
+    /// Spawns a background thread that advances the logical clock by one
+    /// tick every `tick_every` of wall-clock time, processing expirations
+    /// and firing triggers as it goes. The ticker stops when the returned
+    /// handle is dropped (or [`TickerHandle::stop`] is called).
+    #[must_use]
+    pub fn start_ticker(&self, tick_every: Duration) -> TickerHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let db = self.clone();
+        let thread = std::thread::spawn(move || {
+            while !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(tick_every);
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                db.tick(1);
+            }
+        });
+        TickerHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Stops the background ticker when dropped.
+pub struct TickerHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl TickerHandle {
+    /// Stops the ticker and waits for the thread to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            t.join().ok();
+        }
+    }
+}
+
+impl Drop for TickerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::tuple;
+
+    #[test]
+    fn concurrent_sessions_share_one_database() {
+        let db = SharedDatabase::new(DbConfig::default());
+        db.execute("CREATE TABLE t (worker INT, seq INT)").unwrap();
+        let mut handles = Vec::new();
+        for w in 0..4i64 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    db.with(|d| d.insert_ttl("t", tuple![w, i], 1_000)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = db
+            .execute("SELECT * FROM t")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .len();
+        assert_eq!(n, 200);
+        assert_eq!(db.with(|d| d.stats().inserts), 200);
+    }
+
+    #[test]
+    fn readers_and_writers_interleave_safely() {
+        let db = SharedDatabase::new(DbConfig::default());
+        db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+        let writer = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for i in 0..100i64 {
+                    db.with(|d| d.insert_ttl("t", tuple![i, i], 500)).unwrap();
+                    if i % 10 == 0 {
+                        db.tick(1);
+                    }
+                }
+            })
+        };
+        let reader = {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut last = 0;
+                for _ in 0..100 {
+                    let n = db
+                        .execute("SELECT * FROM t")
+                        .unwrap()
+                        .rows()
+                        .unwrap()
+                        .len();
+                    assert!(n >= last, "row count is monotone while TTLs are long");
+                    last = n;
+                }
+                last
+            })
+        };
+        writer.join().unwrap();
+        let seen = reader.join().unwrap();
+        assert!(seen <= 100);
+        assert_eq!(
+            db.execute("SELECT * FROM t").unwrap().rows().unwrap().len(),
+            100
+        );
+    }
+
+    #[test]
+    fn ticker_advances_and_expires_in_real_time() {
+        let db = SharedDatabase::new(DbConfig::default());
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.execute("INSERT INTO s VALUES (1) EXPIRES IN 3 TICKS").unwrap();
+        let ticker = db.start_ticker(Duration::from_millis(2));
+        // Wait (bounded) for the clock to pass 3.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while db.now() < Time::new(3) {
+            assert!(std::time::Instant::now() < deadline, "ticker stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        ticker.stop();
+        assert!(db
+            .execute("SELECT * FROM s")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .is_empty());
+        assert_eq!(db.with(|d| d.stats().expired), 1);
+        // After stop, the clock no longer advances.
+        let frozen = db.now();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(db.now(), frozen);
+    }
+
+    #[test]
+    fn ticker_stops_on_drop() {
+        let db = SharedDatabase::new(DbConfig::default());
+        {
+            let _ticker = db.start_ticker(Duration::from_millis(1));
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            while db.now() == Time::ZERO {
+                assert!(std::time::Instant::now() < deadline, "ticker never ticked");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        } // dropped here
+        let frozen = db.now();
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(db.now(), frozen, "dropped ticker must not keep ticking");
+    }
+
+    #[test]
+    fn from_database_preserves_state() {
+        let mut inner = Database::default();
+        inner.execute("CREATE TABLE t (k INT)").unwrap();
+        inner.execute("INSERT INTO t VALUES (7) EXPIRES NEVER").unwrap();
+        inner.tick(5);
+        let db = SharedDatabase::from_database(inner);
+        assert_eq!(db.now(), Time::new(5));
+        assert_eq!(
+            db.execute("SELECT * FROM t").unwrap().rows().unwrap().len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # exptime-replica
+//!
+//! A simulation of the paper's motivating deployment: **loosely-coupled
+//! systems** (Web Services, mobile/ad-hoc networks) where a client holds
+//! materialised query results and connectivity to the data source is
+//! intermittent and expensive. The paper's core argument is that
+//! expiration times let such results be maintained *"by looking only at
+//! the expiration times of the tuples of the query results and without
+//! referring back to the base relations"*.
+//!
+//! The simulator quantifies that claim. A [`replica::Replica`] subscribes
+//! to views over a server [`exptime_engine::Database`]; every interaction
+//! crosses a counted [`link::Link`]. Three maintenance strategies are
+//! compared (experiment E6):
+//!
+//! * **Expiration-aware** ([`replica::Replica`]) — tuples expire locally;
+//!   only a non-monotonic view whose `texp(e)` passes needs a round trip
+//!   (zero for monotonic views, per Theorem 1).
+//! * **Explicit-delete push** ([`baseline::DeletePushReplica`]) — the
+//!   paper's "traditional" alternative: without expiration times the
+//!   server must send a deletion notice for every tuple that leaves the
+//!   result.
+//! * **Polling** ([`baseline::PollingReplica`]) — the client re-fetches
+//!   the whole result on every read.
+
+pub mod baseline;
+pub mod link;
+pub mod replica;
+
+pub use baseline::{DeletePushReplica, PollingReplica};
+pub use link::{Link, LinkStats};
+pub use replica::{ReadOutcome, Replica};

@@ -1,0 +1,135 @@
+//! The counted, disconnectable link between a replica and its server.
+//!
+//! "Determining cost factors and bottlenecks in the envisioned volatile
+//! settings are network traffic and latency" (paper, Section 1) — so the
+//! link counts every crossing: requests, responses, pushed notices, and
+//! tuples transferred. It can also be taken down to model intermittent
+//! connectivity; a disconnected link refuses traffic, and the replica has
+//! to cope locally.
+
+/// Cumulative traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Client → server messages (view fetch/refresh requests).
+    pub requests: u64,
+    /// Server → client reply messages.
+    pub responses: u64,
+    /// Server → client unsolicited messages (delete notices, pushes).
+    pub pushes: u64,
+    /// Total tuples carried in responses and pushes (payload proxy).
+    pub tuples_transferred: u64,
+    /// Requests refused because the link was down.
+    pub refused: u64,
+}
+
+impl LinkStats {
+    /// All messages that crossed the link.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.requests + self.responses + self.pushes
+    }
+}
+
+/// A bidirectional link with an up/down state and traffic accounting.
+#[derive(Debug, Clone, Default)]
+pub struct Link {
+    down: bool,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// A connected link.
+    #[must_use]
+    pub fn new() -> Self {
+        Link::default()
+    }
+
+    /// Whether the link currently carries traffic.
+    #[must_use]
+    pub fn is_up(&self) -> bool {
+        !self.down
+    }
+
+    /// Takes the link down (intermittent connectivity).
+    pub fn disconnect(&mut self) {
+        self.down = true;
+    }
+
+    /// Restores the link.
+    pub fn reconnect(&mut self) {
+        self.down = false;
+    }
+
+    /// The counters so far.
+    #[must_use]
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Records a request/response round trip carrying `tuples` result
+    /// tuples. Returns `false` (and counts a refusal) if the link is down.
+    pub fn round_trip(&mut self, tuples: u64) -> bool {
+        if self.down {
+            self.stats.refused += 1;
+            return false;
+        }
+        self.stats.requests += 1;
+        self.stats.responses += 1;
+        self.stats.tuples_transferred += tuples;
+        true
+    }
+
+    /// Records a server push carrying `tuples` tuples (e.g. one delete
+    /// notice). Returns `false` if the link is down.
+    pub fn push(&mut self, tuples: u64) -> bool {
+        if self.down {
+            self.stats.refused += 1;
+            return false;
+        }
+        self.stats.pushes += 1;
+        self.stats.tuples_transferred += tuples;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_count_both_directions() {
+        let mut l = Link::new();
+        assert!(l.round_trip(10));
+        assert!(l.round_trip(5));
+        let s = l.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.responses, 2);
+        assert_eq!(s.tuples_transferred, 15);
+        assert_eq!(s.total_messages(), 4);
+        assert_eq!(s.refused, 0);
+    }
+
+    #[test]
+    fn pushes_are_one_way() {
+        let mut l = Link::new();
+        assert!(l.push(1));
+        assert!(l.push(1));
+        let s = l.stats();
+        assert_eq!(s.pushes, 2);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.total_messages(), 2);
+    }
+
+    #[test]
+    fn disconnection_refuses_traffic() {
+        let mut l = Link::new();
+        l.disconnect();
+        assert!(!l.is_up());
+        assert!(!l.round_trip(3));
+        assert!(!l.push(1));
+        assert_eq!(l.stats().refused, 2);
+        assert_eq!(l.stats().total_messages(), 0);
+        l.reconnect();
+        assert!(l.round_trip(3));
+    }
+}

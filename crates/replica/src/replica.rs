@@ -1,0 +1,297 @@
+//! The expiration-aware replica.
+//!
+//! A [`Replica`] holds materialised views locally. Tuples expire out of
+//! the local copies with no communication at all; only a non-monotonic
+//! view whose expression expiration time `texp(e)` has passed needs a
+//! round trip to the server — and a difference view maintained with the
+//! Theorem 3 patch queue needs none, ever. Under disconnection the replica
+//! degrades gracefully via Schrödinger semantics: it serves the query
+//! moved backward to the latest instant at which its materialisation is
+//! known correct.
+
+use crate::link::Link;
+use exptime_core::algebra::{EvalOptions, Expr};
+use exptime_core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
+use exptime_core::relation::Relation;
+use exptime_core::time::Time;
+use exptime_engine::{Database, DbError, DbResult};
+use std::collections::BTreeMap;
+
+/// How a replica read was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Served from the local materialisation; no communication.
+    Local,
+    /// Required a round trip to the server (view refresh).
+    Refreshed,
+    /// Link down; served a stale-but-once-correct state as of the returned
+    /// time (Schrödinger move-backward).
+    Stale(Time),
+    /// Link down and no usable local state.
+    Unavailable,
+}
+
+/// A client holding expiration-aware materialised views.
+pub struct Replica {
+    views: BTreeMap<String, MaterializedView>,
+    link: Link,
+    refresh: RefreshPolicy,
+}
+
+impl Replica {
+    /// A replica with a fresh link.
+    #[must_use]
+    pub fn new(refresh: RefreshPolicy) -> Self {
+        Replica {
+            views: BTreeMap::new(),
+            link: Link::new(),
+            refresh,
+        }
+    }
+
+    /// The link (to inspect stats or toggle connectivity).
+    pub fn link(&mut self) -> &mut Link {
+        &mut self.link
+    }
+
+    /// Link statistics.
+    #[must_use]
+    pub fn link_stats(&self) -> crate::link::LinkStats {
+        self.link.stats()
+    }
+
+    /// Subscribes to a view: evaluates `expr` on the server and ships the
+    /// result over the link (one round trip).
+    ///
+    /// # Errors
+    ///
+    /// Returns evaluation errors, or a catalog error when the link is
+    /// down.
+    pub fn subscribe(&mut self, name: &str, expr: Expr, server: &Database) -> DbResult<()> {
+        let snapshot = server.snapshot();
+        let view = MaterializedView::new(
+            server.inline_views(&expr),
+            &snapshot,
+            server.now(),
+            EvalOptions::default(),
+            self.refresh,
+            RemovalPolicy::Lazy,
+        )?;
+        if !self.link.round_trip(view.stored_len() as u64) {
+            return Err(DbError::Catalog("link down during subscribe".into()));
+        }
+        self.views.insert(name.to_string(), view);
+        Ok(())
+    }
+
+    /// Reads a subscribed view at the server's current time.
+    ///
+    /// Fresh local state is served with zero communication. An expired
+    /// non-monotonic view triggers one round trip (a recomputation shipped
+    /// from the server) — unless the link is down, in which case the
+    /// newest locally-correct state is served instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns a catalog error for unknown view names.
+    pub fn read(&mut self, name: &str, server: &Database) -> DbResult<(Relation, ReadOutcome)> {
+        let now = server.now();
+        let view = self
+            .views
+            .get_mut(name)
+            .ok_or_else(|| DbError::Catalog(format!("not subscribed to `{name}`")))?;
+
+        if view.fresh_at(now) {
+            let before = view.stats().recomputations;
+            let snapshot_unused = exptime_core::catalog::Catalog::new();
+            // Fresh: read never touches the (empty) catalog.
+            let rel = view
+                .read(&snapshot_unused, now)
+                .expect("fresh view read is local");
+            debug_assert_eq!(view.stats().recomputations, before);
+            return Ok((rel, ReadOutcome::Local));
+        }
+
+        // Needs the server.
+        if self.link.is_up() {
+            let snapshot = server.snapshot();
+            let rel = view.read(&snapshot, now)?;
+            self.link.round_trip(rel.len() as u64);
+            return Ok((rel, ReadOutcome::Refreshed));
+        }
+
+        // Disconnected: Schrödinger move-backward to the latest valid
+        // instant the local state covers.
+        let m = view.materialized();
+        match m.validity.prev_covered(now) {
+            Some(back) if back >= m.at => {
+                let rel = m.rel.exp(back);
+                Ok((rel, ReadOutcome::Stale(back)))
+            }
+            _ => Ok((
+                Relation::new(m.rel.schema().clone()),
+                ReadOutcome::Unavailable,
+            )),
+        }
+    }
+
+    /// Total recomputations across all views (server round trips caused by
+    /// view expiry).
+    #[must_use]
+    pub fn total_recomputations(&self) -> u64 {
+        self.views.values().map(|v| v.stats().recomputations).sum()
+    }
+
+    /// Per-view maintenance statistics.
+    pub fn view_stats(&self) -> impl Iterator<Item = (&str, exptime_core::materialize::ViewStats)> {
+        self.views.iter().map(|(n, v)| (n.as_str(), v.stats()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::predicate::Predicate;
+    use exptime_core::tuple;
+    use exptime_engine::DbConfig;
+
+    fn server() -> Database {
+        let mut db = Database::new(DbConfig::default());
+        db.execute_script(
+            "CREATE TABLE pol (uid INT, deg INT);
+             CREATE TABLE el (uid INT, deg INT);
+             INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+             INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+             INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+             INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+             INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+             INSERT INTO el VALUES (4, 90) EXPIRES AT 2;",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn monotonic_view_needs_no_communication_after_subscribe() {
+        let mut srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Recompute);
+        rep.subscribe(
+            "hot",
+            Expr::base("pol").select(Predicate::attr_eq_const(1, 25)),
+            &srv,
+        )
+        .unwrap();
+        let after_subscribe = rep.link_stats().total_messages();
+        for _ in 0..20 {
+            srv.tick(1);
+            let (rel, outcome) = rep.read("hot", &srv).unwrap();
+            assert_eq!(outcome, ReadOutcome::Local);
+            // The local copy matches a fresh server evaluation exactly.
+            let truth = srv
+                .execute("SELECT * FROM pol WHERE deg = 25")
+                .unwrap();
+            assert!(rel.set_eq(truth.rows().unwrap()));
+        }
+        assert_eq!(
+            rep.link_stats().total_messages(),
+            after_subscribe,
+            "Theorem 1: zero maintenance messages"
+        );
+        assert_eq!(rep.total_recomputations(), 0);
+    }
+
+    #[test]
+    fn difference_view_refreshes_once_per_expiry() {
+        let mut srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Recompute);
+        let diff = Expr::base("pol")
+            .project([0])
+            .difference(Expr::base("el").project([0]));
+        rep.subscribe("others", diff, &srv).unwrap();
+        let mut refreshes = 0;
+        for _ in 0..20 {
+            srv.tick(1);
+            let (rel, outcome) = rep.read("others", &srv).unwrap();
+            if outcome == ReadOutcome::Refreshed {
+                refreshes += 1;
+            }
+            let truth = srv
+                .execute("SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+                .unwrap();
+            assert!(rel.set_eq(truth.rows().unwrap()), "at {:?}", srv.now());
+        }
+        assert!(refreshes >= 1, "non-monotonic views do refresh");
+        assert!(
+            refreshes <= 3,
+            "but only when texp(e) passes, not per read: {refreshes}"
+        );
+    }
+
+    #[test]
+    fn patched_difference_view_never_refreshes() {
+        let mut srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Patch);
+        let diff = Expr::base("pol")
+            .project([0])
+            .difference(Expr::base("el").project([0]));
+        rep.subscribe("others", diff, &srv).unwrap();
+        let base = rep.link_stats().total_messages();
+        for _ in 0..20 {
+            srv.tick(1);
+            let (rel, outcome) = rep.read("others", &srv).unwrap();
+            assert_eq!(outcome, ReadOutcome::Local, "Theorem 3");
+            let truth = srv
+                .execute("SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+                .unwrap();
+            assert!(rel.set_eq(truth.rows().unwrap()), "at {:?}", srv.now());
+        }
+        assert_eq!(rep.link_stats().total_messages(), base);
+    }
+
+    #[test]
+    fn disconnected_replica_serves_stale_state() {
+        let mut srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Recompute);
+        let diff = Expr::base("pol")
+            .project([0])
+            .difference(Expr::base("el").project([0]));
+        rep.subscribe("others", diff, &srv).unwrap();
+        rep.link().disconnect();
+        srv.tick(5); // view invalid from 3
+        let (rel, outcome) = rep.read("others", &srv).unwrap();
+        match outcome {
+            ReadOutcome::Stale(back) => {
+                assert_eq!(back, Time::new(2), "latest valid instant before 3");
+                assert_eq!(rel.len(), 1);
+                assert!(rel.contains(&tuple![3]));
+            }
+            other => panic!("expected stale read, got {other:?}"),
+        }
+        assert_eq!(rep.link_stats().refused, 0, "no traffic even attempted");
+        // Reconnect: the next read refreshes.
+        rep.link().reconnect();
+        let (_, outcome) = rep.read("others", &srv).unwrap();
+        assert_eq!(outcome, ReadOutcome::Refreshed);
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Recompute);
+        assert!(rep.read("nope", &srv).is_err());
+    }
+
+    #[test]
+    fn subscribe_counts_initial_transfer() {
+        let srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Recompute);
+        rep.subscribe("all", Expr::base("pol"), &srv).unwrap();
+        let s = rep.link_stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.tuples_transferred, 3);
+        // Subscribe over a dead link fails.
+        let mut rep2 = Replica::new(RefreshPolicy::Recompute);
+        rep2.link().disconnect();
+        assert!(rep2.subscribe("all", Expr::base("pol"), &srv).is_err());
+    }
+}

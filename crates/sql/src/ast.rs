@@ -1,0 +1,241 @@
+//! The SQL abstract syntax tree.
+
+use exptime_core::predicate::CmpOp;
+use exptime_core::value::{Value, ValueType};
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Literal {
+    /// Converts to a core [`Value`].
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        match self {
+            Literal::Int(v) => Value::Int(*v),
+            Literal::Float(v) => Value::float(*v),
+            Literal::Str(s) => Value::str(s.as_str()),
+            Literal::Bool(b) => Value::Bool(*b),
+        }
+    }
+}
+
+/// A possibly-qualified column reference `table.column` or `column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Optional table qualifier.
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar term in a condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Constant.
+    Literal(Literal),
+    /// An aggregate application — only meaningful inside `HAVING`.
+    Aggregate {
+        /// The function.
+        func: AggName,
+        /// Its argument column; `None` only for `COUNT(*)`.
+        arg: Option<ColumnRef>,
+    },
+}
+
+/// A boolean condition (`WHERE` / `ON`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `left op right`.
+    Cmp {
+        /// Left term.
+        left: Scalar,
+        /// Operator.
+        op: CmpOp,
+        /// Right term.
+        right: Scalar,
+    },
+    /// `a AND b`.
+    And(Box<Cond>, Box<Cond>),
+    /// `a OR b`.
+    Or(Box<Cond>, Box<Cond>),
+    /// `NOT a`.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Conjunction helper.
+    #[must_use]
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(Box::new(self), Box::new(other))
+    }
+}
+
+/// An aggregate function name in a projection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggName {
+    /// `COUNT(*)` / `COUNT(col)` (no nulls exist, so both count rows).
+    Count,
+    /// `SUM(col)`.
+    Sum,
+    /// `AVG(col)`.
+    Avg,
+    /// `MIN(col)`.
+    Min,
+    /// `MAX(col)`.
+    Max,
+}
+
+/// One item of the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column.
+    Column(ColumnRef),
+    /// An aggregate application.
+    Aggregate {
+        /// The function.
+        func: AggName,
+        /// Its argument column; `None` only for `COUNT(*)`.
+        arg: Option<ColumnRef>,
+    },
+}
+
+/// One `SELECT … FROM … [WHERE …] [GROUP BY …]` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBody {
+    /// The projection list.
+    pub projection: Vec<SelectItem>,
+    /// Tables in `FROM` order (joins are folded into `selection`).
+    pub from: Vec<String>,
+    /// The combined `WHERE` ∧ `ON` condition.
+    pub selection: Option<Cond>,
+    /// `GROUP BY` columns.
+    pub group_by: Vec<ColumnRef>,
+    /// `HAVING` condition (may reference aggregates), applied above the
+    /// aggregation.
+    pub having: Option<Cond>,
+}
+
+/// Compound set operators between query bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `UNION` (deduplicating, max texp — Equation 4).
+    Union,
+    /// `EXCEPT` (difference — Equation 10).
+    Except,
+    /// `INTERSECT` (Equation 6).
+    Intersect,
+}
+
+/// A full query: a body plus trailing compound operations, left-associated,
+/// with optional presentation clauses.
+///
+/// `ORDER BY` and `LIMIT` are *presentation-level*: the expiration-time
+/// algebra is set-based, so they are applied by the engine to the final
+/// result rather than planned as operators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The first body.
+    pub body: QueryBody,
+    /// `(op, body)` pairs applied left-to-right.
+    pub compound: Vec<(SetOp, QueryBody)>,
+    /// `ORDER BY column [DESC]` keys, applied to the final result.
+    pub order_by: Vec<(ColumnRef, bool)>,
+    /// `LIMIT n`, applied after ordering.
+    pub limit: Option<usize>,
+}
+
+/// The expiration clause of `INSERT` / `UPDATE` — the only places the paper
+/// exposes expiration times to users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expires {
+    /// `EXPIRES NEVER` (or omitted): expiration time `∞`.
+    Never,
+    /// `EXPIRES AT t`: absolute expiration time.
+    At(u64),
+    /// `EXPIRES IN d [TICKS]`: relative to the statement's execution time.
+    In(u64),
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, …)`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<(String, ValueType)>,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// Table name.
+        name: String,
+    },
+    /// `CREATE [MATERIALIZED] VIEW name AS query`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Whether `MATERIALIZED` was given (plain views are planned per
+        /// read; materialised views are maintained per the paper).
+        materialized: bool,
+        /// Defining query.
+        query: Query,
+    },
+    /// `DROP VIEW name`.
+    DropView {
+        /// View name.
+        name: String,
+    },
+    /// `INSERT INTO name VALUES (…), (…) [EXPIRES …]`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of literals.
+        rows: Vec<Vec<Literal>>,
+        /// Expiration clause.
+        expires: Expires,
+    },
+    /// `DELETE FROM name [WHERE cond]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional filter; `None` deletes everything.
+        predicate: Option<Cond>,
+    },
+    /// `UPDATE name SET EXPIRES … [WHERE cond]` — updates expiration times
+    /// only (attribute updates are outside the paper's model, which assumes
+    /// "no updates to the source data" beyond expiry control).
+    UpdateExpiration {
+        /// Target table.
+        table: String,
+        /// New expiration.
+        expires: Expires,
+        /// Optional filter; `None` updates everything.
+        predicate: Option<Cond>,
+    },
+    /// A query.
+    Select(Query),
+}

@@ -1,0 +1,70 @@
+//! SQL-layer errors.
+
+use std::fmt;
+
+/// Errors from lexing, parsing, or planning SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexer error at a byte offset.
+    Lex {
+        /// Byte offset in the input.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Parser error.
+    Parse(String),
+    /// Planner error (name resolution, typing, unsupported shapes).
+    Plan(String),
+    /// An error surfaced from the core data model.
+    Core(exptime_core::error::Error),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "plan error: {m}"),
+            SqlError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<exptime_core::error::Error> for SqlError {
+    fn from(e: exptime_core::error::Error) -> Self {
+        SqlError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SqlError::Parse("expected FROM".into());
+        assert!(e.to_string().contains("expected FROM"));
+        let core = SqlError::from(exptime_core::error::Error::UnknownRelation("x".into()));
+        assert!(core.to_string().contains("x"));
+        use std::error::Error as _;
+        assert!(core.source().is_some());
+        assert!(e.source().is_none());
+        let lexe = SqlError::Lex {
+            offset: 3,
+            message: "bad".into(),
+        };
+        assert!(lexe.to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,260 @@
+//! The SQL lexer.
+
+use crate::error::SqlError;
+use crate::token::{Keyword, Token};
+
+/// Lexes a statement string into tokens. Comments (`-- …` to end of line)
+/// and whitespace are skipped. Identifiers are case-preserving; keywords
+/// are recognised case-insensitively.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Lex`] on unterminated strings, malformed numbers, or
+/// unexpected characters, with a byte offset for diagnostics.
+pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut s = String::new();
+                let mut j = start;
+                loop {
+                    match bytes.get(j) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                offset: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) =>
+            {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && (bytes[i + 1] as char).is_ascii_digit();
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    tokens.push(Token::Float(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("malformed float `{text}`"),
+                    })?));
+                } else {
+                    let text = &input[start..i];
+                    tokens.push(Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("malformed integer `{text}`"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match Keyword::from_upper(&word.to_ascii_uppercase()) {
+                    Some(k) => tokens.push(Token::Keyword(k)),
+                    None => tokens.push(Token::Ident(word.to_string())),
+                }
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let ts = lex("SELECT uid, deg FROM pol WHERE deg >= 25;").unwrap();
+        assert_eq!(ts[0], Token::Keyword(Keyword::Select));
+        assert_eq!(ts[1], Token::Ident("uid".into()));
+        assert_eq!(ts[2], Token::Comma);
+        assert!(ts.contains(&Token::Ge));
+        assert_eq!(*ts.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_preserved() {
+        let ts = lex("select Pol FROM pol").unwrap();
+        assert_eq!(ts[0], Token::Keyword(Keyword::Select));
+        assert_eq!(ts[1], Token::Ident("Pol".into()));
+        assert_eq!(ts[3], Token::Ident("pol".into()));
+    }
+
+    #[test]
+    fn numbers_ints_floats_negatives() {
+        let ts = lex("42 -7 3.5 -0.25").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.5),
+                Token::Float(-0.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn dot_after_int_is_qualified_name_not_float() {
+        // `t1.c` style: ident dot ident; `1.c` would be int dot ident.
+        let ts = lex("pol.uid").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("pol".into()),
+                Token::Dot,
+                Token::Ident("uid".into())
+            ]
+        );
+        let ts = lex("1.x").unwrap();
+        assert_eq!(ts[0], Token::Int(1));
+        assert_eq!(ts[1], Token::Dot);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let ts = lex("'hello' 'it''s'").unwrap();
+        assert_eq!(
+            ts,
+            vec![Token::Str("hello".into()), Token::Str("it's".into())]
+        );
+        assert!(matches!(lex("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn comments_and_operators() {
+        let ts = lex("a = b -- trailing comment\n<> <= >= < > !=").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(lex("SELECT @"), Err(SqlError::Lex { offset: 7, .. })));
+    }
+
+    #[test]
+    fn expires_clause_tokens() {
+        let ts = lex("INSERT INTO pol VALUES (1, 25) EXPIRES IN 10 TICKS").unwrap();
+        assert!(ts.contains(&Token::Keyword(Keyword::Expires)));
+        assert!(ts.contains(&Token::Keyword(Keyword::In)));
+        assert!(ts.contains(&Token::Keyword(Keyword::Ticks)));
+    }
+}

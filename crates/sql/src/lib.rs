@@ -1,0 +1,26 @@
+//! # exptime-sql
+//!
+//! A SQL subset for expiration-time databases, targeting the
+//! `exptime-core` algebra. The surface follows the paper's design point:
+//! expiration times appear **only** in `INSERT … EXPIRES …` and
+//! `UPDATE … SET EXPIRES …`; queries never mention them — results expire
+//! transparently.
+//!
+//! ```
+//! use exptime_sql::parse;
+//! let stmt = parse("SELECT deg, COUNT(*) FROM pol GROUP BY deg").unwrap();
+//! # let _ = stmt;
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+pub mod token;
+pub mod unparse;
+
+pub use ast::Statement;
+pub use error::SqlError;
+pub use parser::{parse, parse_many};
+pub use planner::{plan_query, plan_table_cond, SchemaProvider};

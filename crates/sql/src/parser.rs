@@ -1,0 +1,745 @@
+//! Recursive-descent parser for the SQL subset.
+//!
+//! Grammar sketch (terminals in caps):
+//!
+//! ```text
+//! statement   := create | drop | insert | delete | update | query
+//! create      := CREATE TABLE ident '(' coldef (',' coldef)* ')'
+//!              | CREATE [MATERIALIZED] VIEW ident AS query
+//! drop        := DROP (TABLE | VIEW) ident
+//! insert      := INSERT INTO ident VALUES row (',' row)* [expires]
+//! expires     := EXPIRES (AT int | IN int [TICKS] | NEVER)
+//! delete      := DELETE FROM ident [WHERE cond]
+//! update      := UPDATE ident SET expires [WHERE cond]
+//! query       := body ((UNION | EXCEPT | INTERSECT) body)*
+//! body        := SELECT items FROM fromlist [WHERE cond] [GROUP BY cols]
+//! fromlist    := ident ((',' | CROSS JOIN) ident | JOIN ident ON cond)*
+//! items       := '*' | item (',' item)*
+//! item        := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | colref) ')' | colref
+//! cond        := and (OR and)*        and := unary (AND unary)*
+//! unary       := NOT unary | '(' cond ')' | scalar cmpop scalar
+//! ```
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::lex;
+use crate::token::{Keyword, Token};
+use exptime_core::predicate::CmpOp;
+use exptime_core::value::ValueType;
+
+/// Parses one SQL statement (an optional trailing `;` is allowed).
+///
+/// # Errors
+///
+/// Returns [`SqlError::Lex`] or [`SqlError::Parse`].
+pub fn parse(input: &str) -> Result<Statement, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semicolon);
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parses a sequence of `;`-separated statements.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Lex`] or [`SqlError::Parse`].
+pub fn parse_many(input: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.statement()?);
+        if !p.eat_if(&Token::Semicolon) {
+            break;
+        }
+    }
+    p.expect_end()?;
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1)
+    }
+
+    fn next(&mut self) -> Result<Token, SqlError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        self.eat_if(&Token::Keyword(k))
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), SqlError> {
+        let got = self.next()?;
+        if &got == t {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!("expected `{t}`, found `{got}`")))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<(), SqlError> {
+        self.expect(&Token::Keyword(k))
+    }
+
+    fn expect_end(&self) -> Result<(), SqlError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(SqlError::Parse(format!("trailing input at `{t}`"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found `{other}`"
+            ))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Create)) => self.create(),
+            Some(Token::Keyword(Keyword::Drop)) => self.drop(),
+            Some(Token::Keyword(Keyword::Insert)) => self.insert(),
+            Some(Token::Keyword(Keyword::Delete)) => self.delete(),
+            Some(Token::Keyword(Keyword::Update)) => self.update(),
+            Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.query()?)),
+            Some(t) => Err(SqlError::Parse(format!("unexpected `{t}`"))),
+            None => Err(SqlError::Parse("empty statement".into())),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Create)?;
+        if self.eat_kw(Keyword::Table) {
+            let name = self.ident()?;
+            self.expect(&Token::LParen)?;
+            let mut columns = Vec::new();
+            loop {
+                let col = self.ident()?;
+                let ty = match self.next()? {
+                    Token::Keyword(Keyword::Int) => ValueType::Int,
+                    Token::Keyword(Keyword::Float) => ValueType::Float,
+                    Token::Keyword(Keyword::Text) => ValueType::Str,
+                    Token::Keyword(Keyword::Bool) => ValueType::Bool,
+                    other => {
+                        return Err(SqlError::Parse(format!(
+                            "expected column type, found `{other}`"
+                        )))
+                    }
+                };
+                columns.push((col, ty));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            Ok(Statement::CreateTable { name, columns })
+        } else {
+            let materialized = self.eat_kw(Keyword::Materialized);
+            self.expect_kw(Keyword::View)?;
+            let name = self.ident()?;
+            self.expect_kw(Keyword::As)?;
+            let query = self.query()?;
+            Ok(Statement::CreateView {
+                name,
+                materialized,
+                query,
+            })
+        }
+    }
+
+    fn drop(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Drop)?;
+        if self.eat_kw(Keyword::Table) {
+            Ok(Statement::DropTable { name: self.ident()? })
+        } else {
+            self.expect_kw(Keyword::View)?;
+            Ok(Statement::DropView { name: self.ident()? })
+        }
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        let expires = self.expires_clause()?;
+        Ok(Statement::Insert {
+            table,
+            rows,
+            expires,
+        })
+    }
+
+    fn expires_clause(&mut self) -> Result<Expires, SqlError> {
+        if !self.eat_kw(Keyword::Expires) {
+            return Ok(Expires::Never);
+        }
+        if self.eat_kw(Keyword::Never) {
+            return Ok(Expires::Never);
+        }
+        if self.eat_kw(Keyword::At) {
+            let t = self.nonneg_int("EXPIRES AT")?;
+            return Ok(Expires::At(t));
+        }
+        self.expect_kw(Keyword::In)?;
+        let d = self.nonneg_int("EXPIRES IN")?;
+        self.eat_kw(Keyword::Ticks);
+        Ok(Expires::In(d))
+    }
+
+    fn nonneg_int(&mut self, what: &str) -> Result<u64, SqlError> {
+        match self.next()? {
+            Token::Int(v) if v >= 0 => Ok(v as u64),
+            other => Err(SqlError::Parse(format!(
+                "{what} requires a non-negative integer, found `{other}`"
+            ))),
+        }
+    }
+
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let predicate = if self.eat_kw(Keyword::Where) {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, predicate })
+    }
+
+    fn update(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Update)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Set)?;
+        if self.peek() != Some(&Token::Keyword(Keyword::Expires)) {
+            // Attribute updates are outside the model; only expiration
+            // times are updatable (paper Section 2: expiration times are
+            // exposed to users "on insertion and update").
+            return Err(SqlError::Parse(
+                "UPDATE … SET requires an EXPIRES clause".into(),
+            ));
+        }
+        let expires = self.expires_clause()?;
+        let predicate = if self.eat_kw(Keyword::Where) {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(Statement::UpdateExpiration {
+            table,
+            expires,
+            predicate,
+        })
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        let body = self.body()?;
+        let mut compound = Vec::new();
+        loop {
+            let op = match self.peek() {
+                Some(Token::Keyword(Keyword::Union)) => SetOp::Union,
+                Some(Token::Keyword(Keyword::Except)) => SetOp::Except,
+                Some(Token::Keyword(Keyword::Intersect)) => SetOp::Intersect,
+                _ => break,
+            };
+            self.pos += 1;
+            compound.push((op, self.body()?));
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let col = self.colref()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push((col, desc));
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            Some(self.nonneg_int("LIMIT")? as usize)
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            compound,
+            order_by,
+            limit,
+        })
+    }
+
+    fn body(&mut self) -> Result<QueryBody, SqlError> {
+        self.expect_kw(Keyword::Select)?;
+        let projection = self.items()?;
+        self.expect_kw(Keyword::From)?;
+        let (from, join_cond) = self.parse_from_list()?;
+        let mut selection = if self.eat_kw(Keyword::Where) {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        if let Some(jc) = join_cond {
+            selection = Some(match selection {
+                Some(w) => jc.and(w),
+                None => jc,
+            });
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                group_by.push(self.colref()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(QueryBody {
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_from_list(&mut self) -> Result<(Vec<String>, Option<Cond>), SqlError> {
+        let mut tables = vec![self.ident()?];
+        let mut cond: Option<Cond> = None;
+        loop {
+            if self.eat_if(&Token::Comma) {
+                tables.push(self.ident()?);
+            } else if self.eat_kw(Keyword::Cross) {
+                self.expect_kw(Keyword::Join)?;
+                tables.push(self.ident()?);
+            } else if self.eat_kw(Keyword::Join) {
+                tables.push(self.ident()?);
+                self.expect_kw(Keyword::On)?;
+                let on = self.cond()?;
+                cond = Some(match cond {
+                    Some(c) => c.and(on),
+                    None => on,
+                });
+            } else {
+                break;
+            }
+        }
+        Ok((tables, cond))
+    }
+
+    fn items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.eat_if(&Token::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = Vec::new();
+        loop {
+            items.push(self.item()?);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<SelectItem, SqlError> {
+        let agg = match self.peek() {
+            Some(Token::Keyword(Keyword::Count)) => Some(AggName::Count),
+            Some(Token::Keyword(Keyword::Sum)) => Some(AggName::Sum),
+            Some(Token::Keyword(Keyword::Avg)) => Some(AggName::Avg),
+            Some(Token::Keyword(Keyword::Min)) => Some(AggName::Min),
+            Some(Token::Keyword(Keyword::Max)) => Some(AggName::Max),
+            _ => None,
+        };
+        if let Some(func) = agg {
+            // MIN/MAX are also valid identifiers in theory; require '('.
+            if self.peek2() == Some(&Token::LParen) {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let arg = if self.eat_if(&Token::Star) {
+                    if func != AggName::Count {
+                        return Err(SqlError::Parse(format!(
+                            "only COUNT accepts `*`, not {func:?}"
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.colref()?)
+                };
+                if func != AggName::Count && arg.is_none() {
+                    return Err(SqlError::Parse(format!("{func:?} requires a column")));
+                }
+                self.expect(&Token::RParen)?;
+                return Ok(SelectItem::Aggregate { func, arg });
+            }
+        }
+        Ok(SelectItem::Column(self.colref()?))
+    }
+
+    fn colref(&mut self) -> Result<ColumnRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat_if(&Token::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnRef {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnRef {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, SqlError> {
+        let mut left = self.cond_and()?;
+        while self.eat_kw(Keyword::Or) {
+            let right = self.cond_and()?;
+            left = Cond::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_and(&mut self) -> Result<Cond, SqlError> {
+        let mut left = self.cond_unary()?;
+        while self.eat_kw(Keyword::And) {
+            let right = self.cond_unary()?;
+            left = Cond::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cond_unary(&mut self) -> Result<Cond, SqlError> {
+        if self.eat_kw(Keyword::Not) {
+            return Ok(Cond::Not(Box::new(self.cond_unary()?)));
+        }
+        if self.eat_if(&Token::LParen) {
+            let c = self.cond()?;
+            self.expect(&Token::RParen)?;
+            return Ok(c);
+        }
+        let left = self.scalar()?;
+        let op = match self.next()? {
+            Token::Eq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected comparison operator, found `{other}`"
+                )))
+            }
+        };
+        let right = self.scalar()?;
+        Ok(Cond::Cmp { left, op, right })
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, SqlError> {
+        if let Some((func, _)) = self.peek_agg_keyword() {
+            if self.peek2() == Some(&Token::LParen) {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let arg = if self.eat_if(&Token::Star) {
+                    if func != AggName::Count {
+                        return Err(SqlError::Parse(format!(
+                            "only COUNT accepts `*`, not {func:?}"
+                        )));
+                    }
+                    None
+                } else {
+                    Some(self.colref()?)
+                };
+                if func != AggName::Count && arg.is_none() {
+                    return Err(SqlError::Parse(format!("{func:?} requires a column")));
+                }
+                self.expect(&Token::RParen)?;
+                return Ok(Scalar::Aggregate { func, arg });
+            }
+        }
+        match self.peek() {
+            Some(Token::Ident(_)) => Ok(Scalar::Column(self.colref()?)),
+            _ => Ok(Scalar::Literal(self.literal()?)),
+        }
+    }
+
+    fn peek_agg_keyword(&self) -> Option<(AggName, ())> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Count)) => Some((AggName::Count, ())),
+            Some(Token::Keyword(Keyword::Sum)) => Some((AggName::Sum, ())),
+            Some(Token::Keyword(Keyword::Avg)) => Some((AggName::Avg, ())),
+            Some(Token::Keyword(Keyword::Min)) => Some((AggName::Min, ())),
+            Some(Token::Keyword(Keyword::Max)) => Some((AggName::Max, ())),
+            _ => None,
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        match self.next()? {
+            Token::Int(v) => Ok(Literal::Int(v)),
+            Token::Float(v) => Ok(Literal::Float(v)),
+            Token::Str(s) => Ok(Literal::Str(s)),
+            Token::Keyword(Keyword::True) => Ok(Literal::Bool(true)),
+            Token::Keyword(Keyword::False) => Ok(Literal::Bool(false)),
+            other => Err(SqlError::Parse(format!(
+                "expected literal, found `{other}`"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_table() {
+        let s = parse("CREATE TABLE pol (uid INT, deg INT, name TEXT, hot BOOL, w FLOAT);")
+            .unwrap();
+        let Statement::CreateTable { name, columns } = s else {
+            panic!("wrong variant")
+        };
+        assert_eq!(name, "pol");
+        assert_eq!(columns.len(), 5);
+        assert_eq!(columns[2], ("name".to_string(), ValueType::Str));
+        assert_eq!(columns[4], ("w".to_string(), ValueType::Float));
+    }
+
+    #[test]
+    fn insert_with_expirations() {
+        let s = parse("INSERT INTO pol VALUES (1, 25), (2, 25) EXPIRES AT 10").unwrap();
+        let Statement::Insert {
+            table,
+            rows,
+            expires,
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(table, "pol");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Literal::Int(1), Literal::Int(25)]);
+        assert_eq!(expires, Expires::At(10));
+
+        let s = parse("INSERT INTO pol VALUES (1, 25) EXPIRES IN 5 TICKS").unwrap();
+        assert!(matches!(s, Statement::Insert { expires: Expires::In(5), .. }));
+        let s = parse("INSERT INTO pol VALUES (1, 25) EXPIRES NEVER").unwrap();
+        assert!(matches!(s, Statement::Insert { expires: Expires::Never, .. }));
+        let s = parse("INSERT INTO pol VALUES (1, 25)").unwrap();
+        assert!(matches!(s, Statement::Insert { expires: Expires::Never, .. }));
+    }
+
+    #[test]
+    fn select_with_where_and_group() {
+        let s = parse("SELECT deg, COUNT(*) FROM pol WHERE deg >= 25 GROUP BY deg").unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert_eq!(q.body.projection.len(), 2);
+        assert!(matches!(
+            q.body.projection[1],
+            SelectItem::Aggregate {
+                func: AggName::Count,
+                arg: None
+            }
+        ));
+        assert_eq!(q.body.group_by.len(), 1);
+        assert!(q.body.selection.is_some());
+    }
+
+    #[test]
+    fn joins_fold_into_selection() {
+        let s = parse("SELECT * FROM pol JOIN el ON pol.uid = el.uid WHERE pol.deg > 20")
+            .unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert_eq!(q.body.from, vec!["pol", "el"]);
+        // join cond AND where cond.
+        assert!(matches!(q.body.selection, Some(Cond::And(_, _))));
+        let s = parse("SELECT * FROM a, b CROSS JOIN c").unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert_eq!(q.body.from, vec!["a", "b", "c"]);
+        assert!(q.body.selection.is_none());
+    }
+
+    #[test]
+    fn compound_queries() {
+        let s = parse(
+            "SELECT uid FROM pol EXCEPT SELECT uid FROM el UNION SELECT uid FROM sports",
+        )
+        .unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert_eq!(q.compound.len(), 2);
+        assert_eq!(q.compound[0].0, SetOp::Except);
+        assert_eq!(q.compound[1].0, SetOp::Union);
+    }
+
+    #[test]
+    fn conditions_precedence() {
+        let s = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND NOT (c = 3)").unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        // OR at top: a=1 OR (b=2 AND NOT(c=3)).
+        let Some(Cond::Or(_, rhs)) = q.body.selection else {
+            panic!("expected OR at top")
+        };
+        assert!(matches!(*rhs, Cond::And(_, _)));
+    }
+
+    #[test]
+    fn views() {
+        let s = parse("CREATE MATERIALIZED VIEW v AS SELECT uid FROM pol").unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateView {
+                materialized: true,
+                ..
+            }
+        ));
+        let s = parse("CREATE VIEW w AS SELECT uid FROM pol").unwrap();
+        assert!(matches!(
+            s,
+            Statement::CreateView {
+                materialized: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse("DROP VIEW w").unwrap(),
+            Statement::DropView { .. }
+        ));
+        assert!(matches!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { .. }
+        ));
+    }
+
+    #[test]
+    fn delete_and_update() {
+        let s = parse("DELETE FROM pol WHERE uid = 1").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                predicate: Some(_),
+                ..
+            }
+        ));
+        let s = parse("DELETE FROM pol").unwrap();
+        assert!(matches!(s, Statement::Delete { predicate: None, .. }));
+        let s = parse("UPDATE pol SET EXPIRES AT 99 WHERE uid = 1").unwrap();
+        assert!(matches!(
+            s,
+            Statement::UpdateExpiration {
+                expires: Expires::At(99),
+                ..
+            }
+        ));
+        let s = parse("UPDATE pol SET EXPIRES NEVER").unwrap();
+        assert!(matches!(
+            s,
+            Statement::UpdateExpiration {
+                expires: Expires::Never,
+                predicate: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_many_statements() {
+        let ss = parse_many(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1) EXPIRES AT 5; SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(ss.len(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT * t").is_err());
+        assert!(parse("INSERT INTO t VALUES (1) EXPIRES AT -3").is_err());
+        assert!(parse("SELECT * FROM t WHERE a").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("UPDATE t SET a = 1").is_err(), "only EXPIRES updates");
+        assert!(parse("SELECT * FROM t extra junk").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn min_max_need_parens_to_be_aggregates() {
+        // `MIN` as bare keyword without '(' is a parse error in an item.
+        assert!(parse("SELECT MIN FROM t").is_err());
+        let s = parse("SELECT MIN(deg) FROM t").unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert!(matches!(
+            q.body.projection[0],
+            SelectItem::Aggregate {
+                func: AggName::Min,
+                arg: Some(_)
+            }
+        ));
+    }
+}

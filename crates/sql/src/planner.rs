@@ -1,0 +1,600 @@
+//! Planning: SQL AST → expiration-time algebra expressions.
+//!
+//! The planner resolves names against a [`SchemaProvider`], folds `FROM`
+//! lists into left-deep products, `WHERE`/`ON` conditions into selections,
+//! `GROUP BY` + aggregate items into the paper's aggregation operator
+//! followed by a projection (exactly the `πexp(aggexp(R))` shape of the
+//! paper's Figure 3(a)), and compound `UNION`/`EXCEPT`/`INTERSECT` into the
+//! set operators.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use exptime_core::aggregate::AggFunc;
+use exptime_core::algebra::Expr;
+use exptime_core::predicate::{Operand, Predicate};
+use exptime_core::schema::Schema;
+
+/// Resolves table names to schemas during planning.
+pub trait SchemaProvider {
+    /// The schema of `name`, or a plan error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::Plan`] for unknown names.
+    fn schema_of(&self, name: &str) -> Result<Schema, SqlError>;
+}
+
+impl SchemaProvider for exptime_core::catalog::Catalog {
+    fn schema_of(&self, name: &str) -> Result<Schema, SqlError> {
+        self.get(name)
+            .map(|r| r.schema().clone())
+            .map_err(|_| SqlError::Plan(format!("unknown relation `{name}`")))
+    }
+}
+
+/// A name-resolution scope: the tables of one `FROM` list with their
+/// attribute offsets in the concatenated row.
+struct Scope {
+    tables: Vec<(String, Schema, usize)>,
+    arity: usize,
+}
+
+impl Scope {
+    fn build(from: &[String], provider: &dyn SchemaProvider) -> Result<Scope, SqlError> {
+        let mut tables = Vec::new();
+        let mut offset = 0;
+        for name in from {
+            let schema = provider.schema_of(name)?;
+            let arity = schema.arity();
+            tables.push((name.clone(), schema, offset));
+            offset += arity;
+        }
+        Ok(Scope {
+            tables,
+            arity: offset,
+        })
+    }
+
+    /// Resolves a column reference to an absolute position.
+    fn resolve(&self, col: &ColumnRef) -> Result<usize, SqlError> {
+        match &col.table {
+            Some(t) => {
+                let (_, schema, offset) = self
+                    .tables
+                    .iter()
+                    .find(|(name, _, _)| name.eq_ignore_ascii_case(t))
+                    .ok_or_else(|| {
+                        SqlError::Plan(format!("unknown table `{t}` in column `{col}`"))
+                    })?;
+                let pos = schema.position(&col.column).ok_or_else(|| {
+                    SqlError::Plan(format!("unknown column `{col}`"))
+                })?;
+                Ok(offset + pos)
+            }
+            None => {
+                let mut hits = Vec::new();
+                for (name, schema, offset) in &self.tables {
+                    if let Some(pos) = schema.position(&col.column) {
+                        hits.push((name.clone(), offset + pos));
+                    }
+                }
+                match hits.len() {
+                    0 => Err(SqlError::Plan(format!("unknown column `{col}`"))),
+                    1 => Ok(hits[0].1),
+                    _ => Err(SqlError::Plan(format!(
+                        "ambiguous column `{col}`: candidates in {}",
+                        hits.iter()
+                            .map(|(t, _)| t.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))),
+                }
+            }
+        }
+    }
+}
+
+/// Plans a condition into an algebra predicate over a scope.
+fn plan_cond(cond: &Cond, scope: &Scope) -> Result<Predicate, SqlError> {
+    Ok(match cond {
+        Cond::Cmp { left, op, right } => {
+            let l = plan_scalar(left, scope)?;
+            let r = plan_scalar(right, scope)?;
+            Predicate::Cmp {
+                left: l,
+                op: *op,
+                right: r,
+            }
+        }
+        Cond::And(a, b) => plan_cond(a, scope)?.and(plan_cond(b, scope)?),
+        Cond::Or(a, b) => plan_cond(a, scope)?.or(plan_cond(b, scope)?),
+        Cond::Not(a) => plan_cond(a, scope)?.not(),
+    })
+}
+
+fn plan_scalar(s: &Scalar, scope: &Scope) -> Result<Operand, SqlError> {
+    Ok(match s {
+        Scalar::Column(c) => Operand::Attr(scope.resolve(c)?),
+        Scalar::Literal(l) => Operand::Const(l.to_value()),
+        Scalar::Aggregate { func, .. } => {
+            return Err(SqlError::Plan(format!(
+                "aggregate {func:?} is only allowed in HAVING"
+            )))
+        }
+    })
+}
+
+fn plan_agg(func: AggName, arg: Option<usize>) -> Result<AggFunc, SqlError> {
+    Ok(match (func, arg) {
+        (AggName::Count, _) => AggFunc::Count,
+        (AggName::Sum, Some(i)) => AggFunc::Sum(i),
+        (AggName::Avg, Some(i)) => AggFunc::Avg(i),
+        (AggName::Min, Some(i)) => AggFunc::Min(i),
+        (AggName::Max, Some(i)) => AggFunc::Max(i),
+        (f, None) => {
+            return Err(SqlError::Plan(format!("{f:?} requires a column argument")))
+        }
+    })
+}
+
+/// Plans one query body.
+fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, SqlError> {
+    if body.from.is_empty() {
+        return Err(SqlError::Plan("FROM list is empty".into()));
+    }
+    let scope = Scope::build(&body.from, provider)?;
+
+    // Left-deep product of the FROM tables.
+    let mut expr = Expr::base(&body.from[0]);
+    for name in &body.from[1..] {
+        expr = expr.product(Expr::base(name));
+    }
+
+    if let Some(cond) = &body.selection {
+        expr = expr.select(plan_cond(cond, &scope)?);
+    }
+
+    // Split projection into aggregates and plain columns.
+    let mut aggs: Vec<(AggName, Option<usize>)> = Vec::new();
+    let mut plain: Vec<usize> = Vec::new();
+    let mut wildcard = false;
+    for item in &body.projection {
+        match item {
+            SelectItem::Wildcard => wildcard = true,
+            SelectItem::Column(c) => plain.push(scope.resolve(c)?),
+            SelectItem::Aggregate { func, arg } => {
+                let pos = arg.as_ref().map(|c| scope.resolve(c)).transpose()?;
+                aggs.push((*func, pos));
+            }
+        }
+    }
+
+    let grouped = !body.group_by.is_empty() || !aggs.is_empty();
+    if !grouped {
+        if wildcard {
+            return Ok(expr);
+        }
+        return Ok(expr.project(plain));
+    }
+
+    if wildcard {
+        return Err(SqlError::Plan(
+            "`*` cannot be combined with GROUP BY / aggregates".into(),
+        ));
+    }
+    let group_positions: Vec<usize> = body
+        .group_by
+        .iter()
+        .map(|c| scope.resolve(c))
+        .collect::<Result<_, _>>()?;
+    // SQL rule: plain projected columns must be grouped.
+    for &p in &plain {
+        if !group_positions.contains(&p) {
+            return Err(SqlError::Plan(format!(
+                "projected column #{} is neither aggregated nor in GROUP BY",
+                p + 1
+            )));
+        }
+    }
+    // HAVING may introduce aggregates not in the SELECT list; they are
+    // computed alongside (joined in) and filtered on, but not projected.
+    let mut having_aggs: Vec<(AggName, Option<usize>)> = Vec::new();
+    if let Some(h) = &body.having {
+        collect_having_aggs(h, &scope, &mut having_aggs)?;
+    }
+    if aggs.is_empty() && having_aggs.is_empty() {
+        return Err(SqlError::Plan("GROUP BY without an aggregate".into()));
+    }
+    let mut all_aggs: Vec<(AggName, Option<usize>)> = aggs.clone();
+    for ha in &having_aggs {
+        if !all_aggs.contains(ha) {
+            all_aggs.push(*ha);
+        }
+    }
+    let funcs: Vec<AggFunc> = all_aggs
+        .iter()
+        .map(|&(func, arg)| plan_agg(func, arg))
+        .collect::<Result<_, _>>()?;
+    let input_arity = scope.arity;
+
+    // One aggregation operator per function (the paper's operator takes a
+    // single `f`), Klug-style outputs joined 1:1 on the *full* input tuple
+    // (every output keeps all input attributes — Eq. 8), so each input row
+    // ends up with all its aggregate values side by side. The join's
+    // min-texp rule (Eq. 5 via Eq. 2) is exactly right: the combined row
+    // is valid while every aggregate value on it is.
+    let mut combined = expr
+        .clone()
+        .aggregate(group_positions.clone(), funcs[0]);
+    // After joining k aggregates, the layout is:
+    //   input attrs (arity A), agg_1, [input attrs, agg_2], …
+    // with agg_i at position i*(A+1) + A.
+    for (i, &f) in funcs.iter().enumerate().skip(1) {
+        let rhs = expr.clone().aggregate(group_positions.clone(), f);
+        // The accumulated left side holds i copies of (input attrs + one
+        // aggregate column).
+        let lhs_arity = (input_arity + 1) * i;
+        let mut on = Predicate::True;
+        for a in 0..input_arity {
+            let eq = Predicate::attr_eq_attr(a, lhs_arity + a);
+            on = if a == 0 { eq } else { on.and(eq) };
+        }
+        combined = combined.join(rhs, on);
+    }
+
+    // HAVING filters the combined layout before projection. Aggregate
+    // scalars resolve to their slot i*(A+1) + A; column scalars must be
+    // grouping columns (first copy of the input attributes).
+    if let Some(h) = &body.having {
+        let pred = plan_having_cond(h, &scope, &all_aggs, &group_positions, input_arity)?;
+        combined = combined.select(pred);
+    }
+
+    // Project the selected items in their written order. Group columns
+    // come from the first copy of the input attributes; the SELECT list's
+    // aggregates are a prefix of `all_aggs`, so the i-th SELECT aggregate
+    // sits at i*(A+1) + A.
+    let mut out_positions = Vec::with_capacity(body.projection.len());
+    for item in &body.projection {
+        match item {
+            SelectItem::Column(c) => out_positions.push(scope.resolve(c)?),
+            SelectItem::Aggregate { func, arg } => {
+                let key = (*func, arg.as_ref().map(|c| scope.resolve(c)).transpose()?);
+                let slot = all_aggs
+                    .iter()
+                    .position(|a| *a == key)
+                    .expect("SELECT aggregates are in all_aggs");
+                out_positions.push(slot * (input_arity + 1) + input_arity);
+            }
+            SelectItem::Wildcard => unreachable!("rejected above"),
+        }
+    }
+    Ok(combined.project(out_positions))
+}
+
+/// Collects the aggregate applications of a HAVING condition, resolving
+/// their argument columns against the scope.
+fn collect_having_aggs(
+    cond: &Cond,
+    scope: &Scope,
+    out: &mut Vec<(AggName, Option<usize>)>,
+) -> Result<(), SqlError> {
+    let mut visit_scalar = |s: &Scalar| -> Result<(), SqlError> {
+        if let Scalar::Aggregate { func, arg } = s {
+            let key = (*func, arg.as_ref().map(|c| scope.resolve(c)).transpose()?);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+        Ok(())
+    };
+    match cond {
+        Cond::Cmp { left, right, .. } => {
+            visit_scalar(left)?;
+            visit_scalar(right)?;
+        }
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            collect_having_aggs(a, scope, out)?;
+            collect_having_aggs(b, scope, out)?;
+        }
+        Cond::Not(a) => collect_having_aggs(a, scope, out)?,
+    }
+    Ok(())
+}
+
+/// Plans a HAVING condition over the combined multi-aggregate layout.
+fn plan_having_cond(
+    cond: &Cond,
+    scope: &Scope,
+    all_aggs: &[(AggName, Option<usize>)],
+    group_positions: &[usize],
+    input_arity: usize,
+) -> Result<Predicate, SqlError> {
+    let scalar = |s: &Scalar| -> Result<Operand, SqlError> {
+        Ok(match s {
+            Scalar::Literal(l) => Operand::Const(l.to_value()),
+            Scalar::Column(c) => {
+                let pos = scope.resolve(c)?;
+                if !group_positions.contains(&pos) {
+                    return Err(SqlError::Plan(format!(
+                        "HAVING column `{c}` is neither aggregated nor in GROUP BY"
+                    )));
+                }
+                Operand::Attr(pos)
+            }
+            Scalar::Aggregate { func, arg } => {
+                let key = (*func, arg.as_ref().map(|c| scope.resolve(c)).transpose()?);
+                let slot = all_aggs
+                    .iter()
+                    .position(|a| *a == key)
+                    .expect("collected beforehand");
+                Operand::Attr(slot * (input_arity + 1) + input_arity)
+            }
+        })
+    };
+    Ok(match cond {
+        Cond::Cmp { left, op, right } => Predicate::Cmp {
+            left: scalar(left)?,
+            op: *op,
+            right: scalar(right)?,
+        },
+        Cond::And(a, b) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?
+            .and(plan_having_cond(b, scope, all_aggs, group_positions, input_arity)?),
+        Cond::Or(a, b) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?
+            .or(plan_having_cond(b, scope, all_aggs, group_positions, input_arity)?),
+        Cond::Not(a) => {
+            plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?.not()
+        }
+    })
+}
+
+/// Plans a full query (body + compounds) into an algebra expression.
+///
+/// # Errors
+///
+/// Returns [`SqlError::Plan`] on name-resolution or shape errors.
+pub fn plan_query(query: &Query, provider: &dyn SchemaProvider) -> Result<Expr, SqlError> {
+    let mut expr = plan_body(&query.body, provider)?;
+    for (op, body) in &query.compound {
+        let rhs = plan_body(body, provider)?;
+        expr = match op {
+            SetOp::Union => expr.union(rhs),
+            SetOp::Except => expr.difference(rhs),
+            SetOp::Intersect => expr.intersect(rhs),
+        };
+    }
+    Ok(expr)
+}
+
+/// Plans a `WHERE` clause against a single table (used by `DELETE` and
+/// `UPDATE … SET EXPIRES`).
+///
+/// # Errors
+///
+/// Returns [`SqlError::Plan`] on name-resolution errors.
+pub fn plan_table_cond(
+    cond: &Cond,
+    table: &str,
+    provider: &dyn SchemaProvider,
+) -> Result<Predicate, SqlError> {
+    let scope = Scope::build(&[table.to_string()], provider)?;
+    plan_cond(cond, &scope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use exptime_core::catalog::Catalog;
+    use exptime_core::predicate::CmpOp;
+    use exptime_core::relation::Relation;
+    use exptime_core::value::ValueType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "pol",
+            Relation::new(Schema::of(&[
+                ("uid", ValueType::Int),
+                ("deg", ValueType::Int),
+            ])),
+        );
+        c.register(
+            "el",
+            Relation::new(Schema::of(&[
+                ("uid", ValueType::Int),
+                ("deg", ValueType::Int),
+            ])),
+        );
+        c
+    }
+
+    fn plan(sql: &str) -> Result<Expr, SqlError> {
+        let Statement::Select(q) = parse(sql).unwrap() else {
+            panic!("not a query")
+        };
+        plan_query(&q, &catalog())
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let e = plan("SELECT * FROM pol").unwrap();
+        assert_eq!(e, Expr::base("pol"));
+    }
+
+    #[test]
+    fn projection_and_selection() {
+        let e = plan("SELECT uid FROM pol WHERE deg = 25").unwrap();
+        assert_eq!(
+            e,
+            Expr::base("pol")
+                .select(Predicate::attr_eq_const(1, 25))
+                .project([0])
+        );
+    }
+
+    #[test]
+    fn join_via_on_condition() {
+        let e = plan("SELECT * FROM pol JOIN el ON pol.uid = el.uid").unwrap();
+        assert_eq!(
+            e,
+            Expr::base("pol")
+                .product(Expr::base("el"))
+                .select(Predicate::attr_eq_attr(0, 2))
+        );
+    }
+
+    #[test]
+    fn qualified_and_ambiguous_columns() {
+        let e = plan("SELECT pol.deg, el.deg FROM pol, el").unwrap();
+        assert_eq!(
+            e,
+            Expr::base("pol").product(Expr::base("el")).project([1, 3])
+        );
+        let err = plan("SELECT deg FROM pol, el").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+        let err = plan("SELECT nope FROM pol").unwrap_err();
+        assert!(err.to_string().contains("unknown column"));
+        let err = plan("SELECT x.deg FROM pol").unwrap_err();
+        assert!(err.to_string().contains("unknown table"));
+    }
+
+    #[test]
+    fn group_by_count_matches_figure_3a_shape() {
+        // πexp_{2,3}(aggexp_{{2},count}(Pol))
+        let e = plan("SELECT deg, COUNT(*) FROM pol GROUP BY deg").unwrap();
+        assert_eq!(
+            e,
+            Expr::base("pol")
+                .aggregate([1], AggFunc::Count)
+                .project([1, 2])
+        );
+        assert_eq!(e.to_string(), "πexp_{2,3}(aggexp_{{2},count}(Pol))".replace("Pol", "pol"));
+    }
+
+    #[test]
+    fn aggregate_functions_map() {
+        for (sql, f) in [
+            ("SELECT deg, SUM(uid) FROM pol GROUP BY deg", AggFunc::Sum(0)),
+            ("SELECT deg, AVG(uid) FROM pol GROUP BY deg", AggFunc::Avg(0)),
+            ("SELECT deg, MIN(uid) FROM pol GROUP BY deg", AggFunc::Min(0)),
+            ("SELECT deg, MAX(uid) FROM pol GROUP BY deg", AggFunc::Max(0)),
+            ("SELECT deg, COUNT(uid) FROM pol GROUP BY deg", AggFunc::Count),
+        ] {
+            let e = plan(sql).unwrap();
+            let Expr::Project { input, .. } = e else { panic!() };
+            let Expr::Aggregate { func, .. } = *input else {
+                panic!()
+            };
+            assert_eq!(func, f, "{sql}");
+        }
+    }
+
+    #[test]
+    fn aggregate_without_group_by() {
+        let e = plan("SELECT COUNT(*) FROM pol").unwrap();
+        assert_eq!(
+            e,
+            Expr::base("pol").aggregate(Vec::new(), AggFunc::Count).project([2])
+        );
+    }
+
+    #[test]
+    fn grouped_shape_errors() {
+        assert!(plan("SELECT uid, COUNT(*) FROM pol GROUP BY deg")
+            .unwrap_err()
+            .to_string()
+            .contains("neither aggregated nor in GROUP BY"));
+
+        assert!(plan("SELECT * FROM pol GROUP BY deg").unwrap_err().to_string().contains("*"));
+        assert!(plan("SELECT deg FROM pol GROUP BY deg")
+            .unwrap_err()
+            .to_string()
+            .contains("without an aggregate"));
+    }
+
+    #[test]
+    fn multi_aggregate_plans_as_joined_single_aggregates() {
+        let e = plan("SELECT deg, COUNT(*), SUM(uid) FROM pol GROUP BY deg").unwrap();
+        // π over a join of two Klug-style aggregates on the full input
+        // tuple: positions — deg at 1, count at 2, sum at 3+2 = 5.
+        let agg = |f: AggFunc| Expr::base("pol").aggregate([1], f);
+        let on = Predicate::attr_eq_attr(0, 3).and(Predicate::attr_eq_attr(1, 4));
+        assert_eq!(
+            e,
+            agg(AggFunc::Count).join(agg(AggFunc::Sum(0)), on).project([1, 2, 5])
+        );
+    }
+
+    #[test]
+    fn three_aggregates_project_the_right_columns() {
+        let e = plan("SELECT deg, MIN(uid), MAX(uid), COUNT(*) FROM pol GROUP BY deg");
+        assert!(e.is_ok(), "{e:?}");
+        let Expr::Project { positions, .. } = e.unwrap() else {
+            panic!()
+        };
+        // A = 2: aggregates at 2, 5, 8; deg at 1.
+        assert_eq!(positions, vec![1, 2, 5, 8]);
+    }
+
+    #[test]
+    fn compound_set_operations() {
+        let e = plan("SELECT uid FROM pol EXCEPT SELECT uid FROM el").unwrap();
+        assert_eq!(
+            e,
+            Expr::base("pol")
+                .project([0])
+                .difference(Expr::base("el").project([0]))
+        );
+        let e = plan(
+            "SELECT uid FROM pol UNION SELECT uid FROM el INTERSECT SELECT uid FROM pol",
+        )
+        .unwrap();
+        // Left-associated.
+        assert!(matches!(e, Expr::Intersect { .. }));
+    }
+
+    #[test]
+    fn where_condition_shapes() {
+        let e = plan("SELECT * FROM pol WHERE uid = 1 AND deg > 20 OR NOT deg <= 5").unwrap();
+        let Expr::Select { predicate, .. } = e else { panic!() };
+        assert!(matches!(predicate, Predicate::Or(_, _)));
+        // Literal on the left works too.
+        let e = plan("SELECT * FROM pol WHERE 25 = deg").unwrap();
+        let Expr::Select { predicate, .. } = e else { panic!() };
+        assert_eq!(
+            predicate,
+            Predicate::Cmp {
+                left: Operand::Const(exptime_core::value::Value::Int(25)),
+                op: CmpOp::Eq,
+                right: Operand::Attr(1),
+            }
+        );
+    }
+
+    #[test]
+    fn plan_table_cond_for_delete() {
+        let p = plan_table_cond(
+            &Cond::Cmp {
+                left: Scalar::Column(ColumnRef {
+                    table: None,
+                    column: "uid".into(),
+                }),
+                op: CmpOp::Eq,
+                right: Scalar::Literal(Literal::Int(1)),
+            },
+            "pol",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(p, Predicate::attr_eq_const(0, 1));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        assert!(plan("SELECT * FROM missing")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown relation"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Tokens of the SQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// A keyword (uppercased during lexing).
+    Keyword(Keyword),
+    /// An identifier (table, column, view name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Dot => write!(f, "."),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+        }
+    }
+}
+
+macro_rules! keywords {
+    ($($variant:ident => $text:literal),* $(,)?) => {
+        /// Reserved words.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($variant),*
+        }
+
+        impl Keyword {
+            /// Parses an uppercase word into a keyword.
+            #[must_use]
+            pub fn from_upper(s: &str) -> Option<Keyword> {
+                match s {
+                    $($text => Some(Keyword::$variant),)*
+                    _ => None,
+                }
+            }
+        }
+
+        impl fmt::Display for Keyword {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    $(Keyword::$variant => write!(f, $text)),*
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    Select => "SELECT",
+    From => "FROM",
+    Where => "WHERE",
+    Group => "GROUP",
+    By => "BY",
+    As => "AS",
+    And => "AND",
+    Or => "OR",
+    Not => "NOT",
+    Union => "UNION",
+    Except => "EXCEPT",
+    Intersect => "INTERSECT",
+    Join => "JOIN",
+    Cross => "CROSS",
+    On => "ON",
+    Create => "CREATE",
+    Drop => "DROP",
+    Table => "TABLE",
+    Materialized => "MATERIALIZED",
+    View => "VIEW",
+    Insert => "INSERT",
+    Into => "INTO",
+    Values => "VALUES",
+    Expires => "EXPIRES",
+    At => "AT",
+    In => "IN",
+    Never => "NEVER",
+    Delete => "DELETE",
+    Update => "UPDATE",
+    Set => "SET",
+    Int => "INT",
+    Float => "FLOAT",
+    Text => "TEXT",
+    Bool => "BOOL",
+    Count => "COUNT",
+    Sum => "SUM",
+    Avg => "AVG",
+    Min => "MIN",
+    Max => "MAX",
+    True => "TRUE",
+    False => "FALSE",
+    Ticks => "TICKS",
+    Having => "HAVING",
+    Order => "ORDER",
+    Limit => "LIMIT",
+    Asc => "ASC",
+    Desc => "DESC",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for (k, s) in [
+            (Keyword::Select, "SELECT"),
+            (Keyword::Expires, "EXPIRES"),
+            (Keyword::Materialized, "MATERIALIZED"),
+        ] {
+            assert_eq!(Keyword::from_upper(s), Some(k));
+            assert_eq!(k.to_string(), s);
+        }
+        assert_eq!(Keyword::from_upper("NOPE"), None);
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::Keyword(Keyword::Select).to_string(), "SELECT");
+        assert_eq!(Token::Ident("pol".into()).to_string(), "pol");
+        assert_eq!(Token::Str("a'b".into()).to_string(), "'a'b'");
+        assert_eq!(Token::Le.to_string(), "<=");
+    }
+}

@@ -1,0 +1,230 @@
+//! Slotted heap storage for rows.
+//!
+//! A [`RowHeap`] stores `(tuple, texp)` rows in stable slots addressed by
+//! [`RowId`]. Deletion frees the slot into a free list; row ids are
+//! generation-tagged so a stale id (one whose slot has been reused) is
+//! detected instead of silently reading the wrong row. Expiration indexes
+//! and secondary indexes reference rows exclusively by `RowId`, which is
+//! what lets lazy expiry defer physical removal safely.
+
+use exptime_core::time::Time;
+use exptime_core::tuple::Tuple;
+
+/// A stable, generation-tagged reference to a row in a [`RowHeap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    slot: u32,
+    generation: u32,
+}
+
+impl RowId {
+    /// The slot index (for diagnostics; not an array index contract).
+    #[must_use]
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    row: Option<(Tuple, Time)>,
+}
+
+/// Slotted row storage with a free list and O(1) insert/read/delete.
+#[derive(Debug, Clone, Default)]
+pub struct RowHeap {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl RowHeap {
+    /// An empty heap.
+    #[must_use]
+    pub fn new() -> Self {
+        RowHeap::default()
+    }
+
+    /// An empty heap with pre-allocated capacity.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        RowHeap {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no rows are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of slots (live + free) — the physical footprint.
+    #[must_use]
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts a row, returning its id.
+    pub fn insert(&mut self, tuple: Tuple, texp: Time) -> RowId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.row.is_none());
+                s.row = Some((tuple, texp));
+                RowId {
+                    slot,
+                    generation: s.generation,
+                }
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("heap slot overflow");
+                self.slots.push(Slot {
+                    generation: 0,
+                    row: Some((tuple, texp)),
+                });
+                RowId {
+                    slot,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Reads a row; `None` if the id is stale or deleted.
+    #[must_use]
+    pub fn get(&self, id: RowId) -> Option<(&Tuple, Time)> {
+        let s = self.slots.get(id.slot as usize)?;
+        if s.generation != id.generation {
+            return None;
+        }
+        s.row.as_ref().map(|(t, e)| (t, *e))
+    }
+
+    /// Updates a row's expiration time in place; returns `false` on a
+    /// stale id.
+    pub fn set_texp(&mut self, id: RowId, texp: Time) -> bool {
+        match self.slots.get_mut(id.slot as usize) {
+            Some(s) if s.generation == id.generation => match &mut s.row {
+                Some((_, e)) => {
+                    *e = texp;
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Deletes a row, returning it; `None` if the id is stale. The slot's
+    /// generation is bumped, invalidating any outstanding copies of the id.
+    pub fn delete(&mut self, id: RowId) -> Option<(Tuple, Time)> {
+        let s = self.slots.get_mut(id.slot as usize)?;
+        if s.generation != id.generation {
+            return None;
+        }
+        let row = s.row.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// Iterates `(id, tuple, texp)` over live rows in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Tuple, Time)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.row.as_ref().map(|(t, e)| {
+                (
+                    RowId {
+                        slot: i as u32,
+                        generation: s.generation,
+                    },
+                    t,
+                    *e,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::tuple;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut h = RowHeap::new();
+        let a = h.insert(tuple![1], t(5));
+        let b = h.insert(tuple![2], t(9));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a).unwrap().0, &tuple![1]);
+        assert_eq!(h.get(b).unwrap().1, t(9));
+        let (row, e) = h.delete(a).unwrap();
+        assert_eq!(row, tuple![1]);
+        assert_eq!(e, t(5));
+        assert_eq!(h.len(), 1);
+        assert!(h.get(a).is_none(), "deleted id reads nothing");
+        assert!(h.delete(a).is_none(), "double delete is safe");
+    }
+
+    #[test]
+    fn slots_are_reused_with_new_generation() {
+        let mut h = RowHeap::new();
+        let a = h.insert(tuple![1], t(5));
+        h.delete(a).unwrap();
+        let b = h.insert(tuple![2], t(9));
+        assert_eq!(a.slot(), b.slot(), "slot reused");
+        assert_ne!(a, b, "but generation differs");
+        assert!(h.get(a).is_none(), "stale id rejected");
+        assert_eq!(h.get(b).unwrap().0, &tuple![2]);
+        assert_eq!(h.capacity_slots(), 1);
+    }
+
+    #[test]
+    fn set_texp_updates_in_place() {
+        let mut h = RowHeap::new();
+        let a = h.insert(tuple![1], t(5));
+        assert!(h.set_texp(a, t(50)));
+        assert_eq!(h.get(a).unwrap().1, t(50));
+        h.delete(a).unwrap();
+        assert!(!h.set_texp(a, t(99)), "stale id rejected");
+    }
+
+    #[test]
+    fn iter_skips_holes() {
+        let mut h = RowHeap::new();
+        let _a = h.insert(tuple![1], t(1));
+        let b = h.insert(tuple![2], t(2));
+        let _c = h.insert(tuple![3], t(3));
+        h.delete(b).unwrap();
+        let rows: Vec<i64> = h
+            .iter()
+            .map(|(_, t, _)| t.attr(0).as_int().unwrap())
+            .collect();
+        assert_eq!(rows, vec![1, 3]);
+        assert!(h.iter().all(|(id, _, _)| h.get(id).is_some()));
+    }
+
+    #[test]
+    fn empty_and_capacity() {
+        let h = RowHeap::with_capacity(16);
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 0);
+        assert_eq!(h.capacity_slots(), 0);
+    }
+}

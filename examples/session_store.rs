@@ -1,0 +1,120 @@
+//! Automatic HTTP session management — one of the paper's headline
+//! applications ("automatic session management in HTTP servers,
+//! short-lived credentials and keys").
+//!
+//! ```sh
+//! cargo run --example session_store
+//! ```
+//!
+//! Sessions are tuples with a TTL; activity slides the expiration time
+//! forward (`UPDATE … SET EXPIRES IN …`); a `MaxLifetime` constraint
+//! enforces a hard cap on credential lifetimes; a logout trigger fires the
+//! moment a session dies. The application never deletes anything.
+
+use exptime::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SESSION_TTL: u64 = 30;
+const HARD_CAP: u64 = 120;
+
+fn main() -> DbResult<()> {
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE sessions (sid INT, uid INT)")?;
+    db.execute("CREATE TABLE audit (sid INT, uid INT)")?;
+
+    // Security policy: no credential may be minted with a lifetime beyond
+    // the hard cap — not even "never expires".
+    db.add_constraint(
+        "sessions",
+        Constraint::MaxLifetime {
+            name: "session_hard_cap".into(),
+            ticks: HARD_CAP,
+        },
+    )?;
+
+    let logouts = Arc::new(AtomicU64::new(0));
+    let n = logouts.clone();
+    db.on_expire("sessions", "on_logout", Box::new(move |event| {
+        n.fetch_add(1, Ordering::SeqCst);
+        // A real server would clear caches / notify presence here.
+        let _ = event;
+    }));
+
+    // Login burst: 8 users, one session each.
+    for uid in 0..8i64 {
+        db.insert_ttl("sessions", tuple![100 + uid, uid], SESSION_TTL)?;
+        // Audit entries live for the hard cap.
+        db.insert_ttl("audit", tuple![100 + uid, uid], HARD_CAP)?;
+    }
+    println!(
+        "time {}: {} active sessions",
+        db.now(),
+        db.execute("SELECT * FROM sessions")?.rows().unwrap().len()
+    );
+
+    // The ops dashboard: sessions per user (aggregation) and "audited but
+    // no longer active" (difference) — both maintained as views.
+    db.execute(
+        "CREATE MATERIALIZED VIEW per_user AS
+         SELECT uid, COUNT(*) FROM sessions GROUP BY uid",
+    )?;
+    db.execute(
+        "CREATE MATERIALIZED VIEW logged_out AS
+         SELECT sid FROM audit EXCEPT SELECT sid FROM sessions",
+    )?;
+
+    // Simulated traffic: users 0–3 stay active (their requests slide the
+    // session forward); users 4–7 go idle.
+    for _ in 0..6 {
+        db.tick(10);
+        for uid in 0..4i64 {
+            let sid = 100 + uid;
+            let renewed = db.execute(&format!(
+                "UPDATE sessions SET EXPIRES IN {SESSION_TTL} TICKS WHERE sid = {sid}"
+            ))?;
+            assert!(renewed.affected().unwrap() <= 1);
+        }
+    }
+
+    println!(
+        "time {}: {} active sessions (idle ones logged out automatically)",
+        db.now(),
+        db.execute("SELECT * FROM sessions")?.rows().unwrap().len()
+    );
+    println!("  logout trigger fired {} times", logouts.load(Ordering::SeqCst));
+
+    let gone = db.read_view("logged_out")?;
+    println!("  audited-but-inactive sids: {}", gone.len());
+    for (row, _) in gone.iter() {
+        print!("    sid {}", row.attr(0));
+    }
+    println!();
+
+    // The hard cap wins even for very active users: a renewal that would
+    // exceed it is rejected by the constraint.
+    let too_long = db.insert("sessions", tuple![999i64, 999i64], Time::INFINITY);
+    println!(
+        "\nminting an immortal credential: {}",
+        match &too_long {
+            Err(e) => format!("rejected — {e}"),
+            Ok(()) => "accepted (BUG)".into(),
+        }
+    );
+    assert!(too_long.is_err());
+
+    // Sliding renewals keep sessions alive only as long as traffic lasts;
+    // once it stops, everything drains with no cleanup job.
+    db.tick(SESSION_TTL + 1);
+    assert!(db.execute("SELECT * FROM sessions")?.rows().unwrap().is_empty());
+    println!(
+        "time {}: all sessions gone; total automatic expirations: {}",
+        db.now(),
+        db.stats().expired
+    );
+    println!(
+        "  per_user view recomputations: {} (only when a count actually changed early)",
+        db.view_stats("per_user")?.recomputations
+    );
+    Ok(())
+}

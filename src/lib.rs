@@ -1,0 +1,39 @@
+//! # exptime — Expiration Times for Data Management
+//!
+//! A complete Rust implementation of the system described in
+//!
+//! > Albrecht Schmidt, Christian S. Jensen, Simonas Šaltenis.
+//! > *Expiration Times for Data Management.* ICDE 2006.
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`core`] — the expiration-time data model and algebra: relations with
+//!   per-tuple expiration times, the SPCU operators plus aggregation and
+//!   difference, monotonicity classification, contributing sets and the
+//!   χ/ν machinery, Schrödinger validity intervals, Theorem 3 patch
+//!   queues, materialised views, and the algebraic rewriter.
+//! * [`storage`] — heap tables, expiration indexes (binary heap,
+//!   hierarchical timing wheel, scan baseline), B+-tree secondary indexes.
+//! * [`sql`] — a SQL subset with `EXPIRES` clauses: lexer, parser,
+//!   planner.
+//! * [`engine`] — the assembled DBMS: logical clock, eager/lazy removal,
+//!   triggers, constraints, virtual and materialised views.
+//! * [`replica`] — the loosely-coupled replica simulation with message
+//!   accounting.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use exptime_core as core;
+pub use exptime_engine as engine;
+pub use exptime_replica as replica;
+pub use exptime_sql as sql;
+pub use exptime_storage as storage;
+
+/// One-stop prelude: the engine plus the most used core types.
+pub mod prelude {
+    pub use exptime_core::prelude::*;
+    pub use exptime_engine::{
+        Constraint, Database, DbConfig, DbError, DbResult, ExecResult, Removal,
+    };
+    pub use exptime_replica::{Replica, ReadOutcome};
+}

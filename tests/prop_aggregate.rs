@@ -1,0 +1,199 @@
+//! Property tests for the aggregation machinery (paper Section 2.6.1):
+//! ordering and soundness of the three expiration-time assignment modes,
+//! exactness of ν against the literal per-tick definition, and the
+//! Section 3.4.1 bounds on aggregate value changes.
+
+mod common;
+
+use common::schema2;
+use exptime::core::aggregate::{self, neutral, nu, AggFunc, AggMode, Row};
+use exptime::core::relation::Relation;
+use exptime::core::time::Time;
+use exptime::core::tuple::Tuple;
+use exptime::core::value::Value;
+use proptest::prelude::*;
+
+const HORIZON: u64 = 80;
+
+fn arb_partition() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (
+            0i64..64,
+            -3i64..4,
+            prop_oneof![4 => (1u64..40).prop_map(Time::new), 1 => Just(Time::INFINITY)],
+        )
+            .prop_map(|(id, v, e)| (Tuple::new(vec![Value::Int(id), Value::Int(v)]), e)),
+        1..12,
+    )
+}
+
+fn arb_func() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::Count),
+        Just(AggFunc::Sum(1)),
+        Just(AggFunc::Avg(1)),
+        Just(AggFunc::Min(1)),
+        Just(AggFunc::Max(1)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Mode ordering: naive ≤ contributing ≤ exact, always.
+    #[test]
+    fn mode_lifetimes_are_ordered(p in arb_partition(), f in arb_func()) {
+        let naive = aggregate::result_texp(&p, f, AggMode::Naive, Time::ZERO)?;
+        let contributing = aggregate::result_texp(&p, f, AggMode::Contributing, Time::ZERO)?;
+        let exact = aggregate::result_texp(&p, f, AggMode::Exact, Time::ZERO)?;
+        prop_assert!(naive <= contributing, "{f}: naive {naive} ≤ contributing {contributing} on {p:?}");
+        prop_assert!(contributing <= exact, "{f}: contributing {contributing} ≤ exact {exact} on {p:?}");
+    }
+
+    /// Soundness of every mode: while the result tuple is unexpired, the
+    /// aggregate value computed at materialisation time is still the true
+    /// value (no stale value is ever visible).
+    #[test]
+    fn modes_never_show_stale_values(
+        p in arb_partition(),
+        f in arb_func(),
+        mode in prop_oneof![Just(AggMode::Naive), Just(AggMode::Contributing), Just(AggMode::Exact)],
+    ) {
+        let original = f.apply(&p)?;
+        let texp = aggregate::result_texp(&p, f, mode, Time::ZERO)?;
+        for tau in 0..HORIZON {
+            let tau = Time::new(tau);
+            if tau >= texp {
+                break;
+            }
+            let surviving: Vec<Row> = p.iter().filter(|(_, e)| *e > tau).cloned().collect();
+            let now = f.apply(&surviving)?;
+            prop_assert_eq!(
+                &now, &original,
+                "{} under {:?}: value changed at {} but result tuple lives to {}\npartition {:?}",
+                f, mode, tau, texp, p
+            );
+        }
+    }
+
+    /// Exactness of ν: the sweep agrees with the per-tick oracle, and the
+    /// value really changes at ν (tightness) unless ν = ∞.
+    #[test]
+    fn nu_is_exact_and_tight(p in arb_partition(), f in arb_func()) {
+        let mut apply = |rows: &[Row]| f.apply(rows);
+        let fast = nu::nu(Time::ZERO, &p, &mut apply)?;
+        let mut apply = |rows: &[Row]| f.apply(rows);
+        let slow = nu::nu_naive(Time::ZERO, &p, &mut apply, Time::new(HORIZON))?;
+        match slow {
+            Some(t) => prop_assert_eq!(fast, t),
+            None => prop_assert!(fast.is_infinite() || fast > Time::new(HORIZON)),
+        }
+        if let Some(v) = fast.finite() {
+            if v <= HORIZON {
+                let before: Vec<Row> = p.iter().filter(|(_, e)| *e > Time::new(v).pred()).cloned().collect();
+                let at: Vec<Row> = p.iter().filter(|(_, e)| *e > Time::new(v)).cloned().collect();
+                prop_assert_ne!(
+                    f.apply(&before)?, f.apply(&at)?,
+                    "ν = {} is not a change point of {} on {:?}", fast, f, p
+                );
+            }
+        }
+    }
+
+    /// χ marks exactly the ticks before value changes.
+    #[test]
+    fn chi_matches_direct_comparison(p in arb_partition(), f in arb_func(), tau in 0u64..50) {
+        let tau = Time::new(tau);
+        let mut apply = |rows: &[Row]| f.apply(rows);
+        let flagged = nu::chi(tau, &p, &mut apply)?;
+        let at: Vec<Row> = p.iter().filter(|(_, e)| *e > tau).cloned().collect();
+        let next: Vec<Row> = p.iter().filter(|(_, e)| *e > tau.succ()).cloned().collect();
+        prop_assert_eq!(flagged, f.apply(&at)? != f.apply(&next)?);
+    }
+
+    /// The value timeline is change-minimal and bounded by |P| + 1 entries
+    /// (a deterministic f takes at most |P| distinct values before the
+    /// partition expires — Section 3.4.1).
+    #[test]
+    fn timeline_is_minimal_and_bounded(p in arb_partition(), f in arb_func()) {
+        let mut apply = |rows: &[Row]| f.apply(rows);
+        let tl = nu::value_timeline(Time::ZERO, &p, &mut apply)?;
+        prop_assert!(tl.len() <= p.len() + 1, "{} entries for |P| = {}", tl.len(), p.len());
+        for w in tl.windows(2) {
+            prop_assert_ne!(&w[0].1, &w[1].1, "adjacent equal values not merged");
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        let mut apply = |rows: &[Row]| f.apply(rows);
+        prop_assert_eq!(nu::change_count(Time::ZERO, &p, &mut apply)?, tl.len() - 1);
+    }
+
+    /// Tuple validity intervals cover exactly the instants where the
+    /// aggregate equals its original value.
+    #[test]
+    fn tuple_validity_is_pointwise_exact(p in arb_partition(), f in arb_func()) {
+        let original = f.apply(&p)?;
+        let mut apply = |rows: &[Row]| f.apply(rows);
+        let validity = nu::tuple_validity(Time::ZERO, &p, &mut apply)?;
+        for tau in 0..HORIZON {
+            let tau = Time::new(tau);
+            let surviving: Vec<Row> = p.iter().filter(|(_, e)| *e > tau).cloned().collect();
+            let now = f.apply(&surviving)?;
+            prop_assert_eq!(
+                validity.contains(tau),
+                now == original,
+                "at {}: value {:?} vs original {:?}", tau, now, original
+            );
+        }
+    }
+
+    /// Contributing-set soundness, stated operationally: expiring all time
+    /// slices strictly before the contributing bound leaves the aggregate
+    /// value unchanged.
+    #[test]
+    fn contributing_bound_is_sound(p in arb_partition(), f in arb_func()) {
+        let bound = neutral::contributing_texp(&p, f)?;
+        let original = f.apply(&p)?;
+        for tau in 0..HORIZON {
+            let tau = Time::new(tau);
+            if tau >= bound {
+                break;
+            }
+            let surviving: Vec<Row> = p.iter().filter(|(_, e)| *e > tau).cloned().collect();
+            prop_assert_eq!(f.apply(&surviving)?, original.clone(), "{} at {}", f, tau);
+        }
+    }
+
+    /// The aggregation operator (Eq. 8) keeps every input tuple, appends
+    /// the partition value, and under Exact mode assigns one expiration
+    /// time per partition.
+    #[test]
+    fn operator_shape(rows in proptest::collection::vec(
+        (0i64..5, 0i64..4, 1u64..40), 1..16)
+    ) {
+        let mut rel = Relation::new(schema2());
+        for &(k, v, e) in &rows {
+            rel.insert(Tuple::new(vec![Value::Int(k), Value::Int(v)]), Time::new(e)).unwrap();
+        }
+        let out = exptime::core::algebra::ops::aggregate(
+            &rel, &[0], AggFunc::Count, AggMode::Exact, Time::ZERO,
+        ).unwrap();
+        prop_assert_eq!(out.len(), rel.len(), "Klug-style: one output per input tuple");
+        // One partition-level bound, capped per row by its base texp: a
+        // result row never outlives its base tuple, and rows whose bases
+        // outlive the bound share the bound exactly.
+        for (t1, e1) in out.iter() {
+            let base1 = rel.texp(&t1.project(&[0, 1])).expect("base exists");
+            prop_assert!(e1 <= base1, "result row outlives base");
+            for (t2, e2) in out.iter() {
+                if t1.attr(0) == t2.attr(0) {
+                    let base2 = rel.texp(&t2.project(&[0, 1])).expect("base exists");
+                    if e1 < base1 && e2 < base2 {
+                        // Both capped by the shared partition bound.
+                        prop_assert_eq!(e1, e2);
+                    }
+                    prop_assert_eq!(t1.attr(2), t2.attr(2), "same value per partition");
+                }
+            }
+        }
+    }
+}

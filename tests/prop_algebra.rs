@@ -1,0 +1,259 @@
+//! Property tests for the algebra: the paper's Theorems 1 and 2, the
+//! ∞-degeneracy property, algebraic laws of the expiration-time
+//! operators, and semantic preservation of the rewriter.
+
+mod common;
+
+use common::{arb_catalog, arb_expr, probe_times, schema2};
+use exptime::core::algebra::{eval, ops, EvalOptions, Expr};
+use exptime::core::catalog::Catalog;
+use exptime::core::relation::Relation;
+use exptime::core::rewrite;
+use exptime::core::time::Time;
+use proptest::prelude::*;
+
+fn opts() -> EvalOptions {
+    EvalOptions::default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1: for a *monotonic* expression materialised at τ, expiring
+    /// the materialisation forward to any τ′ ≥ τ equals a fresh evaluation
+    /// at τ′ — including the expiration times themselves.
+    #[test]
+    fn theorem_1_monotonic_expiry_commutes(
+        catalog in arb_catalog(14),
+        expr in arb_expr(),
+    ) {
+        prop_assume!(expr.is_monotonic());
+        let m = eval(&expr, &catalog, Time::ZERO, &opts())?;
+        for tau in probe_times(&catalog) {
+            let fresh = eval(&expr, &catalog, tau, &opts())?;
+            prop_assert!(
+                m.rel.set_eq_at(&fresh.rel, tau),
+                "Theorem 1 violated for {expr} at {tau}:\nmaterialised {:?}\nfresh {:?}",
+                m.rel.exp(tau), fresh.rel.exp(tau)
+            );
+        }
+        prop_assert!(m.texp.is_infinite(), "monotonic ⇒ texp(e) = ∞");
+    }
+
+    /// Theorem 2: for *any* expression (monotonic or not) materialised at
+    /// τ = 0, the materialisation is correct at every τ′ < texp(e).
+    /// Tuple-set equality is required; under Exact aggregate mode the
+    /// expiration times also match recomputation up to texp(e).
+    #[test]
+    fn theorem_2_valid_until_texp(
+        catalog in arb_catalog(14),
+        expr in arb_expr(),
+    ) {
+        let m = eval(&expr, &catalog, Time::ZERO, &opts())?;
+        for tau in probe_times(&catalog) {
+            if tau >= m.texp {
+                break;
+            }
+            let fresh = eval(&expr, &catalog, tau, &opts())?;
+            prop_assert!(
+                m.rel.tuples_eq_at(&fresh.rel, tau),
+                "Theorem 2 violated for {expr} at {tau} (texp(e) = {}):\n\
+                 materialised {:?}\nfresh {:?}",
+                m.texp, m.rel.exp(tau), fresh.rel.exp(tau)
+            );
+        }
+    }
+
+    /// Schrödinger correctness: whenever the validity interval set covers
+    /// an instant, the materialisation equals recomputation there — even
+    /// *after* texp(e) has passed (the "valid again" tail).
+    #[test]
+    fn validity_intervals_are_sound(
+        catalog in arb_catalog(14),
+        expr in arb_expr(),
+    ) {
+        let m = eval(&expr, &catalog, Time::ZERO, &opts())?;
+        for tau in probe_times(&catalog) {
+            if m.validity.contains(tau) {
+                let fresh = eval(&expr, &catalog, tau, &opts())?;
+                prop_assert!(
+                    m.rel.tuples_eq_at(&fresh.rel, tau),
+                    "validity claims {tau} but {expr} diverges:\n{:?}\nvs {:?}",
+                    m.rel.exp(tau), fresh.rel.exp(tau)
+                );
+            }
+        }
+        // [τ, texp(e)[ must always be covered.
+        prop_assert!(m.texp <= Time::ZERO.succ() || m.validity.contains(Time::ZERO));
+    }
+
+    /// ∞-degeneracy: with every expiration time ∞, the operators behave
+    /// like the textbook SPCU algebra — results never change over time and
+    /// all result tuples carry ∞.
+    #[test]
+    fn infinity_degenerates_to_textbook(
+        keys in proptest::collection::vec((0i64..8, 0i64..4), 0..12),
+        keys2 in proptest::collection::vec((0i64..8, 0i64..4), 0..12),
+        expr in arb_expr(),
+    ) {
+        let mut catalog = Catalog::new();
+        let mk = |pairs: &[(i64, i64)]| {
+            let mut rel = Relation::new(schema2());
+            for &(k, v) in pairs {
+                rel.insert(exptime::core::tuple![k, v], Time::INFINITY).unwrap();
+            }
+            rel
+        };
+        catalog.register("r", mk(&keys));
+        catalog.register("s", mk(&keys2));
+        let m0 = eval(&expr, &catalog, Time::ZERO, &opts())?;
+        prop_assert!(m0.rel.iter().all(|(_, e)| e.is_infinite()));
+        prop_assert!(m0.texp.is_infinite());
+        let far = eval(&expr, &catalog, Time::new(1_000_000), &opts())?;
+        prop_assert!(m0.rel.set_eq(&far.rel), "{expr} changed over time with all-∞ data");
+    }
+
+    /// Operator laws with expiration times:
+    /// union is commutative and associative (max-texp is too), and
+    /// intersection is commutative (min-texp is too).
+    #[test]
+    fn union_and_intersection_laws(catalog in arb_catalog(14), tau in 0u64..45) {
+        let tau = Time::new(tau);
+        let r = catalog.get("r").unwrap();
+        let s = catalog.get("s").unwrap();
+        let ab = ops::union(r, s, tau).unwrap();
+        let ba = ops::union(s, r, tau).unwrap();
+        prop_assert!(ab.set_eq(&ba), "∪ commutes");
+        let iab = ops::intersect(r, s, tau).unwrap();
+        let iba = ops::intersect(s, r, tau).unwrap();
+        prop_assert!(iab.set_eq(&iba), "∩ commutes");
+        // (R ∪ S) ∪ R = R ∪ S (idempotence through max).
+        let again = ops::union(&ab, r, tau).unwrap();
+        prop_assert!(again.set_eq(&ab), "∪ idempotent with KeepMax");
+    }
+
+    /// Difference identities: R − S ⊆ R, (R − S) ∩ S = ∅ at evaluation
+    /// time, and R − ∅ = R (all through expτ).
+    #[test]
+    fn difference_laws(catalog in arb_catalog(14), tau in 0u64..45) {
+        let tau = Time::new(tau);
+        let r = catalog.get("r").unwrap();
+        let s = catalog.get("s").unwrap();
+        let d = ops::difference(r, s, tau).unwrap();
+        for (t, e) in d.iter() {
+            prop_assert_eq!(r.texp(t), Some(e), "R − S keeps texp_R");
+            prop_assert!(!s.contains_at(t, tau));
+        }
+        let empty = Relation::new(schema2());
+        let d_empty = ops::difference(r, &empty, tau).unwrap();
+        prop_assert!(d_empty.set_eq(&r.exp(tau)), "R − ∅ = expτ(R)");
+        let i = ops::intersect(&d, s, tau).unwrap();
+        prop_assert_eq!(i.count_unexpired(tau), 0, "(R − S) ∩ S = ∅");
+    }
+
+    /// The join rewrite of Equation 5 agrees with select-over-product.
+    #[test]
+    fn join_is_select_over_product(catalog in arb_catalog(10), tau in 0u64..45) {
+        let tau = Time::new(tau);
+        let r = catalog.get("r").unwrap();
+        let s = catalog.get("s").unwrap();
+        let p = exptime::core::predicate::Predicate::attr_eq_attr(0, 2);
+        let joined = ops::join(r, s, &p, tau).unwrap();
+        let via_product = ops::select(&ops::product(r, s, tau).unwrap(), &p, tau).unwrap();
+        prop_assert!(joined.set_eq(&via_product));
+    }
+
+    /// The hash-join fast path equals the literal nested loop on random
+    /// relations and randomly shaped join predicates.
+    #[test]
+    fn hash_join_equals_nested_loop(
+        catalog in arb_catalog(14),
+        tau in 0u64..45,
+        shape in 0u8..5,
+    ) {
+        use exptime::core::predicate::{CmpOp, Predicate};
+        let tau = Time::new(tau);
+        let r = catalog.get("r").unwrap();
+        let s = catalog.get("s").unwrap();
+        let p = match shape {
+            0 => Predicate::attr_eq_attr(0, 2),
+            1 => Predicate::attr_eq_attr(0, 2).and(Predicate::attr_eq_attr(1, 3)),
+            2 => Predicate::attr_eq_attr(1, 3)
+                .and(Predicate::attr_cmp_const(0, CmpOp::Ge, 2)),
+            3 => Predicate::attr_eq_attr(0, 2).or(Predicate::attr_eq_const(1, 1)),
+            _ => Predicate::attr_cmp_attr(0, CmpOp::Lt, 2),
+        };
+        let fast = ops::join(r, s, &p, tau).unwrap();
+        let slow = ops::join_nested_loop(r, s, &p, tau).unwrap();
+        prop_assert!(fast.set_eq(&slow), "shape {shape} at {tau}");
+    }
+
+    /// The rewriter preserves semantics exactly: rewritten plans produce
+    /// identical relations (tuples and expiration times) at every probe
+    /// instant.
+    #[test]
+    fn rewriter_preserves_semantics(
+        catalog in arb_catalog(12),
+        expr in arb_expr(),
+    ) {
+        let rewritten = rewrite::rewrite(&expr);
+        for tau in probe_times(&catalog) {
+            let a = eval(&expr, &catalog, tau, &opts())?;
+            let b = eval(&rewritten, &catalog, tau, &opts())?;
+            prop_assert!(
+                a.rel.set_eq(&b.rel),
+                "rewrite changed semantics at {tau}:\n  {expr}\n  {rewritten}"
+            );
+        }
+        // And it is a fixpoint.
+        prop_assert_eq!(rewrite::rewrite(&rewritten.clone()), rewritten);
+    }
+
+    /// Evaluating at τ is the same as evaluating the expτ-snapshots of the
+    /// base relations at the same τ — the "replace each argument relation R
+    /// with expτ(R)" definition.
+    #[test]
+    fn eval_commutes_with_base_snapshots(
+        catalog in arb_catalog(14),
+        expr in arb_expr(),
+        tau in 0u64..45,
+    ) {
+        let tau = Time::new(tau);
+        let mut snapped = Catalog::new();
+        for (name, rel) in catalog.iter() {
+            snapped.register(name.to_string(), rel.exp(tau));
+        }
+        let a = eval(&expr, &catalog, tau, &opts())?;
+        let b = eval(&expr, &snapped, tau, &opts())?;
+        prop_assert!(a.rel.set_eq(&b.rel));
+        prop_assert_eq!(a.texp, b.texp);
+    }
+}
+
+/// Deterministic regression: the exact Figure 3 difference anomaly, as a
+/// non-proptest test (fast and pinpointed).
+#[test]
+fn figure_3_difference_grows_then_shrinks() {
+    let mut catalog = Catalog::new();
+    let mut pol = Relation::new(schema2());
+    pol.insert(exptime::core::tuple![1, 25], Time::new(10)).unwrap();
+    pol.insert(exptime::core::tuple![2, 25], Time::new(15)).unwrap();
+    pol.insert(exptime::core::tuple![3, 35], Time::new(10)).unwrap();
+    let mut el = Relation::new(schema2());
+    el.insert(exptime::core::tuple![1, 75], Time::new(5)).unwrap();
+    el.insert(exptime::core::tuple![2, 85], Time::new(3)).unwrap();
+    el.insert(exptime::core::tuple![4, 90], Time::new(2)).unwrap();
+    catalog.register("r", pol);
+    catalog.register("s", el);
+    let expr = Expr::base("r").project([0]).difference(Expr::base("s").project([0]));
+    let counts: Vec<usize> = [0u64, 3, 5, 10, 15]
+        .iter()
+        .map(|&t| {
+            eval(&expr, &catalog, Time::new(t), &opts())
+                .unwrap()
+                .rel
+                .len()
+        })
+        .collect();
+    assert_eq!(counts, vec![1, 2, 3, 1, 0]);
+}

@@ -1,0 +1,137 @@
+//! Property tests for the interval-set algebra backing Schrödinger
+//! semantics (paper Section 3.4): every set operation is checked against
+//! brute-force pointwise membership, plus the usual lattice laws.
+
+use exptime::core::interval::{Interval, IntervalSet};
+use exptime::core::time::Time;
+use proptest::prelude::*;
+
+const HORIZON: u64 = 64;
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..HORIZON, 1u64..16, any::<bool>()).prop_map(|(start, len, unbounded)| {
+        if unbounded && start > HORIZON - 8 {
+            Interval::from(Time::new(start))
+        } else {
+            Interval::new(Time::new(start), Time::new(start + len))
+        }
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = IntervalSet> {
+    proptest::collection::vec(arb_interval(), 0..8).prop_map(IntervalSet::from_intervals)
+}
+
+/// Pointwise membership over the probe range, the brute-force model.
+fn bitmap(s: &IntervalSet) -> Vec<bool> {
+    (0..HORIZON + 32).map(|t| s.contains(Time::new(t))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn normalisation_is_canonical(ivs in proptest::collection::vec(arb_interval(), 0..8)) {
+        let s = IntervalSet::from_intervals(ivs.clone());
+        // Sorted, disjoint, non-adjacent.
+        for w in s.intervals().windows(2) {
+            prop_assert!(w[0].end < w[1].start, "gap required between {:?} and {:?}", w[0], w[1]);
+        }
+        // Membership equals the union of the raw intervals.
+        for t in 0..HORIZON + 32 {
+            let tt = Time::new(t);
+            let raw = ivs.iter().any(|iv| iv.contains(tt));
+            prop_assert_eq!(s.contains(tt), raw, "at {}", t);
+        }
+        // Normalisation is idempotent.
+        let again = IntervalSet::from_intervals(s.intervals().to_vec());
+        prop_assert_eq!(&again, &s);
+    }
+
+    #[test]
+    fn union_is_pointwise_or(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        let (ba, bb, bu) = (bitmap(&a), bitmap(&b), bitmap(&u));
+        for t in 0..bu.len() {
+            prop_assert_eq!(bu[t], ba[t] || bb[t], "at {}", t);
+        }
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and(a in arb_set(), b in arb_set()) {
+        let i = a.intersect(&b);
+        let (ba, bb, bi) = (bitmap(&a), bitmap(&b), bitmap(&i));
+        for t in 0..bi.len() {
+            prop_assert_eq!(bi[t], ba[t] && bb[t], "at {}", t);
+        }
+    }
+
+    #[test]
+    fn subtraction_is_pointwise_andnot(a in arb_set(), b in arb_set()) {
+        let d = a.subtract(&b);
+        let (ba, bb, bd) = (bitmap(&a), bitmap(&b), bitmap(&d));
+        for t in 0..bd.len() {
+            prop_assert_eq!(bd[t], ba[t] && !bb[t], "at {}", t);
+        }
+    }
+
+    #[test]
+    fn lattice_laws(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+        // Absorption.
+        prop_assert_eq!(a.union(&a.intersect(&b)), a.clone());
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+        // De Morgan via subtraction from a universe.
+        let universe = IntervalSet::from_time(Time::ZERO);
+        let not_a = universe.subtract(&a);
+        let not_b = universe.subtract(&b);
+        prop_assert_eq!(
+            universe.subtract(&a.union(&b)),
+            not_a.intersect(&not_b)
+        );
+        prop_assert_eq!(
+            universe.subtract(&a.intersect(&b)),
+            not_a.union(&not_b)
+        );
+    }
+
+    #[test]
+    fn next_and_prev_covered_agree_with_bitmap(a in arb_set(), q in 0u64..(HORIZON + 16)) {
+        let q = Time::new(q);
+        let next = a.next_covered(q);
+        let expected_next = (q.finite().unwrap()..HORIZON + 64)
+            .map(Time::new)
+            .find(|&t| a.contains(t));
+        // next_covered may return a start beyond the probe range only for
+        // unbounded tails; both agree within the probed horizon.
+        match (next, expected_next) {
+            (Some(n), Some(e)) => prop_assert_eq!(n, e),
+            (None, None) => {}
+            (Some(n), None) => prop_assert!(n >= Time::new(HORIZON + 64)),
+            (None, Some(e)) => prop_assert!(false, "missed covered instant {}", e),
+        }
+        let prev = a.prev_covered(q);
+        let expected_prev = (0..=q.finite().unwrap())
+            .rev()
+            .map(Time::new)
+            .find(|&t| a.contains(t));
+        prop_assert_eq!(prev, expected_prev);
+    }
+
+    #[test]
+    fn measure_counts_instants(a in arb_set()) {
+        match a.measure() {
+            Some(m) => {
+                let count = bitmap(&a).iter().filter(|&&x| x).count() as u64;
+                prop_assert_eq!(m, count);
+            }
+            None => {
+                // Unbounded: the last interval must reach ∞.
+                prop_assert!(a.intervals().last().unwrap().end.is_infinite());
+            }
+        }
+    }
+}

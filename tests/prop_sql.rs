@@ -1,0 +1,291 @@
+//! Property tests for the SQL layer: `parse(unparse(ast)) == ast` on
+//! randomly generated statements, and robustness (never panic) on
+//! arbitrary input strings.
+
+use exptime::core::predicate::CmpOp;
+use exptime::core::value::ValueType;
+use exptime::sql::ast::*;
+use exptime::sql::unparse::statement_to_sql;
+use exptime::sql::{parse, parse_many};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| format!("x_{s}"))
+}
+
+fn arb_colref() -> impl Strategy<Value = ColumnRef> {
+    (proptest::option::of(arb_ident()), arb_ident())
+        .prop_map(|(table, column)| ColumnRef { table, column })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i64>().prop_map(Literal::Int),
+        // Finite floats whose text form re-parses exactly.
+        (-1_000_000i64..1_000_000, 0u32..1000).prop_map(|(m, f)| {
+            Literal::Float(m as f64 + f64::from(f) / 1000.0)
+        }),
+        "[ a-zA-Z0-9_',.!?-]{0,12}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        arb_colref().prop_map(Scalar::Column),
+        arb_literal().prop_map(Scalar::Literal),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    let leaf = (arb_scalar(), arb_cmp(), arb_scalar()).prop_map(|(left, op, right)| {
+        Cond::Cmp { left, op, right }
+    });
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Cond::Not(Box::new(a))),
+        ]
+    })
+}
+
+fn arb_items() -> impl Strategy<Value = Vec<SelectItem>> {
+    prop_oneof![
+        Just(vec![SelectItem::Wildcard]),
+        proptest::collection::vec(
+            prop_oneof![
+                arb_colref().prop_map(SelectItem::Column),
+                (
+                    prop_oneof![
+                        Just(AggName::Count),
+                        Just(AggName::Sum),
+                        Just(AggName::Avg),
+                        Just(AggName::Min),
+                        Just(AggName::Max),
+                    ],
+                    proptest::option::of(arb_colref())
+                )
+                    .prop_map(|(func, arg)| {
+                        // Only COUNT may omit the argument.
+                        let arg = if func == AggName::Count {
+                            arg
+                        } else {
+                            Some(arg.unwrap_or(ColumnRef {
+                                table: None,
+                                column: "x_c".into(),
+                            }))
+                        };
+                        SelectItem::Aggregate { func, arg }
+                    }),
+            ],
+            1..4
+        ),
+    ]
+}
+
+fn arb_having() -> impl Strategy<Value = Cond> {
+    // HAVING conditions may compare aggregates with literals.
+    (
+        prop_oneof![
+            Just(AggName::Count),
+            Just(AggName::Sum),
+            Just(AggName::Min),
+        ],
+        proptest::option::of(arb_colref()),
+        arb_cmp(),
+        arb_literal(),
+    )
+        .prop_map(|(func, arg, op, lit)| {
+            let arg = if func == AggName::Count {
+                arg
+            } else {
+                Some(arg.unwrap_or(ColumnRef {
+                    table: None,
+                    column: "x_c".into(),
+                }))
+            };
+            Cond::Cmp {
+                left: Scalar::Aggregate { func, arg },
+                op,
+                right: Scalar::Literal(lit),
+            }
+        })
+}
+
+fn arb_body() -> impl Strategy<Value = QueryBody> {
+    (
+        arb_items(),
+        proptest::collection::vec(arb_ident(), 1..3),
+        proptest::option::of(arb_cond()),
+        proptest::collection::vec(arb_colref(), 0..3),
+        proptest::option::of(arb_having()),
+    )
+        .prop_map(|(projection, from, selection, group_by, having)| QueryBody {
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        arb_body(),
+        proptest::collection::vec(
+            (
+                prop_oneof![Just(SetOp::Union), Just(SetOp::Except), Just(SetOp::Intersect)],
+                arb_body(),
+            ),
+            0..3,
+        ),
+        proptest::collection::vec((arb_colref(), any::<bool>()), 0..3),
+        proptest::option::of(0usize..1000),
+    )
+        .prop_map(|(body, compound, order_by, limit)| Query {
+            body,
+            compound,
+            order_by,
+            limit,
+        })
+}
+
+fn arb_expires() -> impl Strategy<Value = Expires> {
+    prop_oneof![
+        Just(Expires::Never),
+        (0u64..1_000_000).prop_map(Expires::At),
+        (0u64..1_000_000).prop_map(Expires::In),
+    ]
+}
+
+fn arb_statement() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        (
+            arb_ident(),
+            proptest::collection::vec(
+                (
+                    arb_ident(),
+                    prop_oneof![
+                        Just(ValueType::Int),
+                        Just(ValueType::Float),
+                        Just(ValueType::Str),
+                        Just(ValueType::Bool),
+                    ]
+                ),
+                1..5
+            )
+        )
+            .prop_map(|(name, mut columns)| {
+                // Column names must be unique for the engine, but the
+                // parser does not care; dedup anyway for realism.
+                columns.dedup_by(|a, b| a.0 == b.0);
+                Statement::CreateTable { name, columns }
+            }),
+        arb_ident().prop_map(|name| Statement::DropTable { name }),
+        (arb_ident(), any::<bool>(), arb_query()).prop_map(|(name, materialized, query)| {
+            Statement::CreateView {
+                name,
+                materialized,
+                query,
+            }
+        }),
+        arb_ident().prop_map(|name| Statement::DropView { name }),
+        (
+            arb_ident(),
+            proptest::collection::vec(proptest::collection::vec(arb_literal(), 1..4), 1..3),
+            arb_expires()
+        )
+            .prop_map(|(table, mut rows, expires)| {
+                // All rows of one INSERT must share an arity to be
+                // realistic; truncate to the first row's arity.
+                let arity = rows[0].len();
+                for r in &mut rows {
+                    r.truncate(arity);
+                    while r.len() < arity {
+                        r.push(Literal::Int(0));
+                    }
+                }
+                Statement::Insert {
+                    table,
+                    rows,
+                    expires,
+                }
+            }),
+        (arb_ident(), proptest::option::of(arb_cond()))
+            .prop_map(|(table, predicate)| Statement::Delete { table, predicate }),
+        (arb_ident(), arb_expires(), proptest::option::of(arb_cond())).prop_map(
+            |(table, expires, predicate)| Statement::UpdateExpiration {
+                table,
+                expires,
+                predicate,
+            }
+        ),
+        arb_query().prop_map(Statement::Select),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The unparser emits SQL the parser maps back to the identical AST.
+    #[test]
+    fn unparse_parse_roundtrip(stmt in arb_statement()) {
+        let sql = statement_to_sql(&stmt);
+        let reparsed = parse(&sql)
+            .map_err(|e| TestCaseError::fail(format!("unparse produced unparsable SQL: {e}\n{sql}")))?;
+        prop_assert_eq!(reparsed, stmt, "roundtrip mismatch for:\n{}", sql);
+    }
+
+    /// Scripts of several statements roundtrip through `parse_many`.
+    #[test]
+    fn script_roundtrip(stmts in proptest::collection::vec(arb_statement(), 1..5)) {
+        let script: String = stmts
+            .iter()
+            .map(|s| format!("{};", statement_to_sql(s)))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_many(&script)
+            .map_err(|e| TestCaseError::fail(format!("script reparse: {e}\n{script}")))?;
+        prop_assert_eq!(reparsed, stmts);
+    }
+
+    /// The parser never panics, whatever bytes arrive.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = parse(&input);
+        let _ = parse_many(&input);
+    }
+
+    /// Near-SQL soup (keywords and punctuation in random order) never
+    /// panics either — it parses or errors.
+    #[test]
+    fn keyword_soup_never_panics(words in proptest::collection::vec(
+        prop_oneof![
+            Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"), Just("BY"),
+            Just("INSERT"), Just("INTO"), Just("VALUES"), Just("EXPIRES"), Just("AT"),
+            Just("UNION"), Just("EXCEPT"), Just("("), Just(")"), Just(","), Just(";"),
+            Just("="), Just("<"), Just("*"), Just("t"), Just("x"), Just("1"), Just("'s'"),
+            Just("ORDER"), Just("LIMIT"), Just("JOIN"), Just("ON"), Just("NOT"),
+        ],
+        0..25
+    )) {
+        let input = words.join(" ");
+        let _ = parse(&input);
+        let _ = parse_many(&input);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for materialised-view maintenance and Theorem 3
+//! patching: a view read at any instant must equal a fresh evaluation,
+//! whatever combination of refresh/removal policies is in effect, and a
+//! patched difference must never recompute.
+
+mod common;
+
+use common::{arb_catalog, arb_expr, probe_times};
+use exptime::core::algebra::{eval, ops, EvalOptions, Expr};
+use exptime::core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
+use exptime::core::patch::PatchQueue;
+use exptime::core::schrodinger::{self, QueryPolicy};
+use exptime::core::time::Time;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The central contract: a maintained view equals a fresh evaluation
+    /// at every probe instant, under every policy combination AND every
+    /// aggregate expiration mode (the conservative modes shorten tuple
+    /// lifetimes, which the expression metadata must track so the view
+    /// recomputes exactly when rows would go missing).
+    #[test]
+    fn view_reads_equal_fresh_evaluation(
+        catalog in arb_catalog(12),
+        expr in arb_expr(),
+        refresh in prop_oneof![Just(RefreshPolicy::Recompute), Just(RefreshPolicy::Patch)],
+        removal in prop_oneof![Just(RemovalPolicy::Eager), Just(RemovalPolicy::Lazy)],
+        agg_mode in prop_oneof![
+            Just(exptime::core::aggregate::AggMode::Naive),
+            Just(exptime::core::aggregate::AggMode::Contributing),
+            Just(exptime::core::aggregate::AggMode::Exact),
+        ],
+    ) {
+        let opts = EvalOptions { agg_mode, ..EvalOptions::default() };
+        let mut view = MaterializedView::new(
+            expr.clone(), &catalog, Time::ZERO, opts, refresh, removal,
+        )?;
+        for tau in probe_times(&catalog) {
+            let got = view.read(&catalog, tau)?;
+            let fresh = eval(&expr, &catalog, tau, &opts)?;
+            prop_assert!(
+                got.set_eq(&fresh.rel.exp(tau)),
+                "view diverges for {expr} at {tau} under {refresh:?}/{removal:?}/{agg_mode:?}:\n{got:?}\nvs {:?}",
+                fresh.rel.exp(tau)
+            );
+        }
+        if expr.is_monotonic() {
+            prop_assert_eq!(view.stats().recomputations, 0, "Theorem 1");
+        }
+    }
+
+    /// Theorem 3 at the view level: a root difference with patching never
+    /// recomputes, at any probe instant.
+    #[test]
+    fn patched_root_difference_never_recomputes(catalog in arb_catalog(12)) {
+        let expr = Expr::base("r").difference(Expr::base("s"));
+        let mut view = MaterializedView::new(
+            expr.clone(), &catalog, Time::ZERO, EvalOptions::default(),
+            RefreshPolicy::Patch, RemovalPolicy::Lazy,
+        )?;
+        for tau in probe_times(&catalog) {
+            let got = view.read(&catalog, tau)?;
+            let fresh = eval(&expr, &catalog, tau, &EvalOptions::default())?;
+            prop_assert!(got.set_eq(&fresh.rel.exp(tau)), "at {tau}");
+        }
+        prop_assert_eq!(view.stats().recomputations, 0, "Theorem 3");
+    }
+
+    /// Theorem 3 at the queue level, including the expiration times of the
+    /// patched tuples: the patched materialisation equals recomputation
+    /// with texps at every instant (set_eq, not just tuple equality).
+    #[test]
+    fn patch_queue_matches_recomputation_with_texps(catalog in arb_catalog(12)) {
+        let r = catalog.get("r")?;
+        let s = catalog.get("s")?;
+        let mut materialised = ops::difference(r, s, Time::ZERO)?;
+        let mut queue = PatchQueue::from_critical(ops::critical_tuples(r, s, Time::ZERO));
+        let bound = queue.len();
+        prop_assert!(bound <= r.iter().filter(|(t, _)| s.contains(t)).count(),
+            "queue ≤ |R ∩ S|");
+        for tau in probe_times(&catalog) {
+            queue.apply_due(&mut materialised, tau);
+            let fresh = ops::difference(r, s, tau)?;
+            prop_assert!(
+                materialised.set_eq_at(&fresh, tau),
+                "at {tau}: {materialised:?}\nvs {fresh:?}"
+            );
+        }
+    }
+
+    /// Schrödinger query answering never returns a wrong relation: under
+    /// every policy, if an answer is produced for time τ (not refused and
+    /// not moved), it equals the fresh evaluation at its `as_of` time.
+    #[test]
+    fn schrodinger_answers_are_correct_for_their_as_of(
+        catalog in arb_catalog(12),
+        expr in arb_expr(),
+        policy in prop_oneof![
+            Just(QueryPolicy::Recompute),
+            Just(QueryPolicy::MoveBackward { max_drift: 5 }),
+            Just(QueryPolicy::MoveForward { max_delay: 5 }),
+        ],
+    ) {
+        let m = eval(&expr, &catalog, Time::ZERO, &EvalOptions::default())?;
+        for tau in probe_times(&catalog) {
+            let ans = schrodinger::answer(&m, &expr, &catalog, tau, policy, &EvalOptions::default())?;
+            let fresh = eval(&expr, &catalog, ans.as_of, &EvalOptions::default())?;
+            prop_assert!(
+                ans.rel.tuples_eq_at(&fresh.rel, ans.as_of),
+                "{expr}: answer at {tau} (as_of {}) is wrong under {policy:?}",
+                ans.as_of
+            );
+            // Drift bounds are honoured.
+            match policy {
+                QueryPolicy::MoveBackward { max_drift } => {
+                    if let (Some(a), Some(q)) = (ans.as_of.finite(), tau.finite()) {
+                        prop_assert!(q.saturating_sub(a) <= max_drift);
+                    }
+                }
+                QueryPolicy::MoveForward { max_delay } => {
+                    if let (Some(a), Some(q)) = (ans.as_of.finite(), tau.finite()) {
+                        prop_assert!(a.saturating_sub(q) <= max_delay);
+                    }
+                }
+                _ => prop_assert_eq!(ans.as_of, tau),
+            }
+        }
+    }
+
+    /// Vacuuming (lazy physical removal) never changes what reads observe.
+    #[test]
+    fn vacuum_is_observationally_neutral(
+        catalog in arb_catalog(12),
+        expr in arb_expr(),
+        vacuum_at in 0u64..40,
+    ) {
+        let mut with_vacuum = MaterializedView::with_defaults(expr.clone(), &catalog, Time::ZERO)?;
+        let mut without = MaterializedView::with_defaults(expr, &catalog, Time::ZERO)?;
+        let vacuum_at = Time::new(vacuum_at);
+        for tau in probe_times(&catalog) {
+            if tau >= vacuum_at {
+                with_vacuum.vacuum(vacuum_at);
+            }
+            let a = with_vacuum.read(&catalog, tau)?;
+            let b = without.read(&catalog, tau)?;
+            prop_assert!(a.set_eq(&b), "vacuum changed observable state at {tau}");
+        }
+    }
+}

@@ -44,7 +44,8 @@ fn bench_engine_cycle(c: &mut Criterion) {
                     removal,
                     ..DbConfig::default()
                 });
-                db.execute("CREATE TABLE sessions (sid INT, uid INT)").unwrap();
+                db.execute("CREATE TABLE sessions (sid INT, uid INT)")
+                    .unwrap();
                 for i in 0..2_000i64 {
                     db.insert_ttl(
                         "sessions",
@@ -141,8 +142,11 @@ fn bench_replica(c: &mut Criterion) {
                 // sides, as the rewriter would) so RefreshPolicy::Patch
                 // can attach its Theorem 3 queue.
                 let side = |n: &str| {
-                    exptime_core::algebra::Expr::base(n)
-                        .select(Predicate::attr_cmp_const(1, CmpOp::Lt, 97))
+                    exptime_core::algebra::Expr::base(n).select(Predicate::attr_cmp_const(
+                        1,
+                        CmpOp::Lt,
+                        97,
+                    ))
                 };
                 rep.subscribe("v", side("r").difference(side("s")), &srv)
                     .unwrap();

@@ -97,5 +97,10 @@ fn bench_next_expiration(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_insert_drain, bench_churn, bench_next_expiration);
+criterion_group!(
+    benches,
+    bench_insert_drain,
+    bench_churn,
+    bench_next_expiration
+);
 criterion_main!(benches);

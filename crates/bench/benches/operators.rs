@@ -59,9 +59,7 @@ fn bench_monotonic(c: &mut Criterion) {
             b.iter(|| ops::join(black_box(&r), &s, &p, Time::new(500)).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("nested_loop", n), &n, |b, _| {
-            b.iter(|| {
-                ops::join_nested_loop(black_box(&r), &s, &p, Time::new(500)).unwrap()
-            });
+            b.iter(|| ops::join_nested_loop(black_box(&r), &s, &p, Time::new(500)).unwrap());
         });
     }
     g.finish();
@@ -73,7 +71,10 @@ fn bench_non_monotonic(c: &mut Criterion) {
         let (rg, sg) = difference_pair(
             n,
             0.5,
-            LifetimeDist::Uniform { min: 500, max: 1000 },
+            LifetimeDist::Uniform {
+                min: 500,
+                max: 1000,
+            },
             LifetimeDist::Uniform { min: 1, max: 499 },
             3,
         );
@@ -100,7 +101,16 @@ fn bench_non_monotonic(c: &mut Criterion) {
             );
         }
         g.bench_with_input(BenchmarkId::new("aggregate_meta", n), &n, |b, _| {
-            b.iter(|| ops::aggregate_meta(black_box(&t), &[0], AggFunc::Sum(1), AggMode::Exact, Time::ZERO).unwrap());
+            b.iter(|| {
+                ops::aggregate_meta(
+                    black_box(&t),
+                    &[0],
+                    AggFunc::Sum(1),
+                    AggMode::Exact,
+                    Time::ZERO,
+                )
+                .unwrap()
+            });
         });
     }
     g.finish();

@@ -142,5 +142,10 @@ fn bench_nu(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_view_read_sweep, bench_materialize_cost, bench_nu);
+criterion_group!(
+    benches,
+    bench_view_read_sweep,
+    bench_materialize_cost,
+    bench_nu
+);
 criterion_main!(benches);

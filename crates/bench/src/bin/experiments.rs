@@ -2,8 +2,9 @@
 //! report tables recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [id…]`
-//! where `id` ∈ {e1, …, e8, a1}; omit ids for all. `--quick` shrinks the
-//! workloads (used in CI smoke runs).
+//! where `id` ∈ {e1, …, e10, obs, a1, a2}; omit ids for all. `--quick` shrinks
+//! the workloads (used in CI smoke runs). The `obs` experiment additionally
+//! writes a `BENCH_obs.json` metrics snapshot to the working directory.
 
 use exptime_bench::experiments as ex;
 
@@ -20,7 +21,10 @@ fn main() {
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
     if run("e1") {
-        println!("{}", ex::e1_monotonic_maintenance(300 * scale, 7).0.render());
+        println!(
+            "{}",
+            ex::e1_monotonic_maintenance(300 * scale, 7).0.render()
+        );
     }
     if run("e2") {
         println!("{}", ex::e2_patching(400 * scale, 11).0.render());
@@ -42,7 +46,10 @@ fn main() {
         // Fine-grained drain: one pop per tick (real-time trigger
         // pattern) — this is where the O(n)-per-pop scan baseline loses.
         if !quick {
-            println!("{}", ex::e5_expiry_indexes(&[50_000], 10_000, 18).0.render());
+            println!(
+                "{}",
+                ex::e5_expiry_indexes(&[50_000], 10_000, 18).0.render()
+            );
         }
     }
     if run("e6") {
@@ -54,17 +61,35 @@ fn main() {
         // tighter fractions.
         println!(
             "{}",
-            ex::e7_schrodinger(400, 2000 * scale as usize, 23).0.render()
+            ex::e7_schrodinger(400, 2000 * scale as usize, 23)
+                .0
+                .render()
         );
     }
     if run("e8") {
         println!("{}", ex::e8_rewriting(500 * scale, 29).0.render());
     }
     if run("e9") {
-        println!("{}", ex::e9_approximate_aggregates(1500 * scale as usize, 37).0.render());
+        println!(
+            "{}",
+            ex::e9_approximate_aggregates(1500 * scale as usize, 37)
+                .0
+                .render()
+        );
     }
     if run("e10") {
-        println!("{}", ex::e10_bounded_queue(600 * scale as usize, 41).0.render());
+        println!(
+            "{}",
+            ex::e10_bounded_queue(600 * scale as usize, 41).0.render()
+        );
+    }
+    if run("obs") {
+        let (report, json) = ex::obs_snapshot(512 * scale as usize, 47);
+        println!("{}", report.render());
+        match std::fs::write("BENCH_obs.json", &json) {
+            Ok(()) => println!("wrote BENCH_obs.json ({} bytes)\n", json.len()),
+            Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+        }
     }
     if run("a1") {
         println!("{}", ex::a1_nu_ablation(20 * scale, 31).render());

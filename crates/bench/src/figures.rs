@@ -269,12 +269,7 @@ pub fn table2() -> String {
             "texp_R = 10".into(),
             "∞".into(),
         ),
-        (
-            tuple![4],
-            "(2) t ∉ R ∧ t ∈ S",
-            "n.a.".into(),
-            "∞".into(),
-        ),
+        (tuple![4], "(2) t ∉ R ∧ t ∈ S", "n.a.".into(), "∞".into()),
         (
             tuple![2],
             "(3a) both, texp_R > texp_S",
@@ -289,7 +284,9 @@ pub fn table2() -> String {
         ),
     ];
     for (tp, cond, texp_t, contrib) in all {
-        out.push_str(&format!("{cond:<30}{texp_t:<12}{contrib:<12}  (t = {tp})\n"));
+        out.push_str(&format!(
+            "{cond:<30}{texp_t:<12}{contrib:<12}  (t = {tp})\n"
+        ));
     }
     let meta = ops::difference_meta(&r, &s, Time::ZERO);
     let crit = ops::critical_tuples(&r, &s, Time::ZERO);
@@ -329,9 +326,15 @@ mod tests {
     fn fig2_matches_paper_values() {
         let s = fig2();
         // (c): projection with max texp of duplicates.
-        assert!(s.contains("(c) πexp_2(Pol) at time 0:\n   15  ⟨25⟩\n   10  ⟨35⟩"), "{s}");
+        assert!(
+            s.contains("(c) πexp_2(Pol) at time 0:\n   15  ⟨25⟩\n   10  ⟨35⟩"),
+            "{s}"
+        );
         // (d): only ⟨25⟩ at time 10.
-        assert!(s.contains("(d) πexp_2(Pol) at time 10:\n   15  ⟨25⟩\n(e)"), "{s}");
+        assert!(
+            s.contains("(d) πexp_2(Pol) at time 10:\n   15  ⟨25⟩\n(e)"),
+            "{s}"
+        );
         // (e): join tuples with min texp.
         assert!(s.contains("5  ⟨1, 25, 1, 75⟩"), "{s}");
         assert!(s.contains("3  ⟨2, 25, 2, 85⟩"), "{s}");
@@ -355,10 +358,16 @@ mod tests {
         assert!(b.contains("⟨3⟩") && !b.contains("⟨2⟩"), "{s}");
         // (c): ⟨2⟩, ⟨3⟩ at time 3.
         let c = s.split("(c)").nth(1).unwrap().split("(d)").next().unwrap();
-        assert!(c.contains("⟨2⟩") && c.contains("⟨3⟩") && !c.contains("⟨1⟩"), "{s}");
+        assert!(
+            c.contains("⟨2⟩") && c.contains("⟨3⟩") && !c.contains("⟨1⟩"),
+            "{s}"
+        );
         // (d): ⟨1⟩, ⟨2⟩, ⟨3⟩ at time 5 — grown monotonically.
         let d = s.split("(d)").nth(1).unwrap();
-        assert!(d.contains("⟨1⟩") && d.contains("⟨2⟩") && d.contains("⟨3⟩"), "{s}");
+        assert!(
+            d.contains("⟨1⟩") && d.contains("⟨2⟩") && d.contains("⟨3⟩"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -308,7 +308,12 @@ mod tests {
         for _ in 0..10_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[50] * 5, "{} vs {}", counts[0], counts[50]);
+        assert!(
+            counts[0] > counts[50] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[50]
+        );
         // Uniform when s = 0.
         let u = Zipf::new(10, 0.0);
         let mut counts = vec![0usize; 10];
@@ -329,10 +334,7 @@ mod tests {
         );
         let rr = r.to_relation();
         let sr = s.to_relation();
-        let shared = rr
-            .iter()
-            .filter(|(t, _)| sr.contains(t))
-            .count();
+        let shared = rr.iter().filter(|(t, _)| sr.contains(t)).count();
         assert!((200..400).contains(&shared), "≈30% overlap, got {shared}");
         // With r_life > s_life, every shared tuple is critical.
         let crit = exptime_core::algebra::ops::critical_tuples(&rr, &sr, Time::ZERO);

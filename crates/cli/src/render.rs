@@ -9,11 +9,7 @@ use exptime_core::time::Time;
 #[must_use]
 pub fn render_relation(rel: &Relation, tau: Time) -> String {
     let schema = rel.schema();
-    let mut headers: Vec<String> = schema
-        .attributes()
-        .iter()
-        .map(|a| a.name.clone())
-        .collect();
+    let mut headers: Vec<String> = schema.attributes().iter().map(|a| a.name.clone()).collect();
     headers.push("texp".to_string());
 
     // Preserve the relation's iteration order: the engine has already
@@ -21,8 +17,7 @@ pub fn render_relation(rel: &Relation, tau: Time) -> String {
     let rows: Vec<Vec<String>> = rel
         .iter_at(tau)
         .map(|(t, e)| {
-            let mut cells: Vec<String> =
-                t.values().iter().map(ToString::to_string).collect();
+            let mut cells: Vec<String> = t.values().iter().map(ToString::to_string).collect();
             cells.push(e.to_string());
             cells
         })

@@ -10,13 +10,20 @@ use crate::render::render_relation;
 use exptime_core::rewrite;
 use exptime_core::time::Time;
 use exptime_engine::{Database, DbConfig, ExecResult};
+use exptime_obs::RingSink;
 use exptime_sql::{plan_query, SchemaProvider};
+use std::sync::Arc;
+
+/// Events kept for `\events` (a bounded ring; older ones are dropped).
+const EVENT_RING_CAP: usize = 512;
 
 /// The REPL state: a database plus a pending (incomplete) statement
 /// buffer.
 pub struct Repl {
     db: Database,
     pending: String,
+    /// Recent engine events, fed by the database's observability stream.
+    events: Arc<RingSink>,
 }
 
 /// The outcome of feeding one line.
@@ -50,7 +57,12 @@ Meta commands:
   \\views          list views with maintenance stats
   \\triggers       show the expiration-event log
   \\stats          engine statistics
+  \\metrics        dump every counter/gauge/histogram in the registry
+  \\events [N]     show the last N engine events (default 20)
   \\plan SELECT …  show the algebra plan, its rewrite, and monotonicity
+  \\explain analyze SELECT …
+                  run the query and profile it per operator
+                  (rows in/out, expired-filtered, elapsed, view decisions)
   \\save FILE      dump the database (tables, rows, views, clock) as SQL
   \\load FILE      replace the database with a previously saved dump
   \\demo           load the paper's Figure 1 database (tables pol, el)
@@ -67,9 +79,12 @@ impl Repl {
     /// A REPL over a fresh database.
     #[must_use]
     pub fn new() -> Self {
+        let db = Database::new(DbConfig::default());
+        let events = db.obs().install_ring(EVENT_RING_CAP);
         Repl {
-            db: Database::new(DbConfig::default()),
+            db,
             pending: String::new(),
+            events,
         }
     }
 
@@ -108,9 +123,7 @@ impl Repl {
 
     fn run_sql(&mut self, sql: &str) -> Outcome {
         match self.db.execute_script(sql) {
-            Ok(ExecResult::Rows(rel)) => {
-                Outcome::Text(render_relation(&rel, self.db.now()))
-            }
+            Ok(ExecResult::Rows(rel)) => Outcome::Text(render_relation(&rel, self.db.now())),
             Ok(ExecResult::Affected(n)) => Outcome::Text(format!("{n} row(s) affected\n")),
             Ok(ExecResult::Ok(msg)) => Outcome::Text(format!("{msg}\n")),
             Err(e) => Outcome::Text(format!("error: {e}\n")),
@@ -211,6 +224,65 @@ impl Repl {
                     s.inserts, s.deletes, s.expired, s.queries, s.vacuums
                 ))
             }
+            "\\metrics" => {
+                let reg = self.db.metrics();
+                let mut out = String::new();
+                for (name, v) in reg.counters() {
+                    out.push_str(&format!("{name} = {v}\n"));
+                }
+                for (name, v) in reg.gauges() {
+                    out.push_str(&format!("{name} = {v}\n"));
+                }
+                for (name, h) in reg.histograms() {
+                    out.push_str(&format!(
+                        "{name}: count={} mean={:.0}ns p99<={}ns\n",
+                        h.count,
+                        h.mean(),
+                        h.quantile_upper_bound(0.99)
+                    ));
+                }
+                if out.is_empty() {
+                    out.push_str("(no metrics)\n");
+                }
+                Outcome::Text(out)
+            }
+            "\\events" => {
+                let n = if arg.is_empty() {
+                    20
+                } else {
+                    match arg.parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => return Outcome::Text("usage: \\events [N]\n".into()),
+                    }
+                };
+                let events = self.events.recent(n);
+                if events.is_empty() {
+                    return Outcome::Text("(no events yet)\n".into());
+                }
+                let mut out = String::new();
+                for e in events {
+                    out.push_str(&format!("{e}\n"));
+                }
+                if self.events.dropped() > 0 {
+                    out.push_str(&format!(
+                        "({} older event(s) dropped from the ring)\n",
+                        self.events.dropped()
+                    ));
+                }
+                Outcome::Text(out)
+            }
+            "\\explain" => {
+                let Some(rest) = arg
+                    .strip_prefix("analyze")
+                    .or_else(|| arg.strip_prefix("ANALYZE"))
+                else {
+                    return Outcome::Text("usage: \\explain analyze SELECT …\n".into());
+                };
+                match self.db.explain_analyze(rest.trim()) {
+                    Ok(explain) => Outcome::Text(format!("{explain}\n")),
+                    Err(e) => Outcome::Text(format!("error: {e}\n")),
+                }
+            }
             "\\plan" => self.plan(arg),
             "\\save" => {
                 if arg.is_empty() {
@@ -229,6 +301,7 @@ impl Repl {
                     Ok(dump) => match Database::restore(&dump) {
                         Ok(db) => {
                             self.db = db;
+                            self.events = self.db.obs().install_ring(EVENT_RING_CAP);
                             Outcome::Text(format!(
                                 "loaded {arg} (clock restored to t={})\n",
                                 self.db.now()
@@ -325,9 +398,7 @@ mod tests {
     fn sql_roundtrip_through_repl() {
         let mut r = Repl::new();
         assert!(text(r.feed("CREATE TABLE t (a INT);")).contains("created"));
-        assert!(
-            text(r.feed("INSERT INTO t VALUES (1), (2) EXPIRES AT 5;")).contains("2 row")
-        );
+        assert!(text(r.feed("INSERT INTO t VALUES (1), (2) EXPIRES AT 5;")).contains("2 row"));
         let out = text(r.feed("SELECT * FROM t;"));
         assert!(out.contains("a") && out.contains("texp") && out.contains("2 rows"));
         assert!(text(r.feed("\\tick 5")).contains("2 expiration(s)"));
@@ -396,6 +467,39 @@ mod tests {
         let out = text(r.feed("\\views"));
         assert!(out.contains("m (materialised)"), "{out}");
         assert!(out.contains("v (virtual)"), "{out}");
+    }
+
+    #[test]
+    fn metrics_and_events_commands() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\events")).contains("no events"));
+        text(r.feed("\\demo"));
+        text(r.feed("\\tick 3"));
+        let m = text(r.feed("\\metrics"));
+        assert!(m.contains("db.inserts = 6"), "{m}");
+        assert!(m.contains("storage.pol.inserts = 3"), "{m}");
+        assert!(m.contains("db.insert_ns: count=6"), "{m}");
+        let ev = text(r.feed("\\events"));
+        assert!(ev.contains("clock_advance"), "{ev}");
+        assert!(ev.contains("trigger_fired"), "{ev}");
+        assert!(ev.contains("tuple_expired"), "{ev}");
+        // Bounded listing and usage errors.
+        let one = text(r.feed("\\events 1"));
+        assert_eq!(one.lines().count(), 1, "{one}");
+        assert!(text(r.feed("\\events nope")).contains("usage"));
+    }
+
+    #[test]
+    fn explain_analyze_command() {
+        let mut r = Repl::new();
+        text(r.feed("\\demo"));
+        text(r.feed("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25;"));
+        let out = text(r.feed("\\explain analyze SELECT * FROM hot"));
+        assert!(out.contains("rows="), "{out}");
+        assert!(out.contains("view hot: eternal (Theorem 1)"), "{out}");
+        assert!(out.contains("result: 2 rows"), "{out}");
+        assert!(text(r.feed("\\explain SELECT 1")).contains("usage"));
+        assert!(text(r.feed("\\explain analyze DELETE FROM pol")).contains("error"));
     }
 
     #[test]

@@ -140,12 +140,7 @@ pub fn tolerant_validity(
 /// # Errors
 ///
 /// Propagates aggregation errors.
-pub fn max_error_within(
-    tau: Time,
-    partition: &[Row],
-    f: AggFunc,
-    until: Time,
-) -> Result<f64> {
+pub fn max_error_within(tau: Time, partition: &[Row], f: AggFunc, until: Time) -> Result<f64> {
     let Some(original) = numeric_at(f, partition, tau)? else {
         return Ok(0.0);
     };

@@ -271,23 +271,14 @@ mod tests {
             (tuple![1, 1.5], Time::new(5)),
             (tuple![2, 2.5], Time::new(7)),
         ];
-        assert_eq!(
-            AggFunc::Sum(1).apply(&p).unwrap(),
-            Some(Value::float(4.0))
-        );
-        assert_eq!(
-            AggFunc::Avg(1).apply(&p).unwrap(),
-            Some(Value::float(2.0))
-        );
+        assert_eq!(AggFunc::Sum(1).apply(&p).unwrap(), Some(Value::float(4.0)));
+        assert_eq!(AggFunc::Avg(1).apply(&p).unwrap(), Some(Value::float(2.0)));
     }
 
     #[test]
     fn avg_of_ints_is_float() {
         let p = rows(&[(1, 1, 5), (2, 2, 7)]);
-        assert_eq!(
-            AggFunc::Avg(1).apply(&p).unwrap(),
-            Some(Value::float(1.5))
-        );
+        assert_eq!(AggFunc::Avg(1).apply(&p).unwrap(), Some(Value::float(1.5)));
     }
 
     #[test]
@@ -307,10 +298,7 @@ mod tests {
             })
         ));
         // min/max over strings are fine (total order).
-        assert_eq!(
-            AggFunc::Min(1).apply(&p).unwrap(),
-            Some(Value::str("x"))
-        );
+        assert_eq!(AggFunc::Min(1).apply(&p).unwrap(), Some(Value::str("x")));
     }
 
     #[test]
@@ -411,8 +399,7 @@ mod tests {
         // expires at 5.
         let p = rows(&[(1, 10, 20), (2, 30, 5)]);
         let naive = result_texp(&p, AggFunc::Min(1), AggMode::Naive, Time::ZERO).unwrap();
-        let contrib =
-            result_texp(&p, AggFunc::Min(1), AggMode::Contributing, Time::ZERO).unwrap();
+        let contrib = result_texp(&p, AggFunc::Min(1), AggMode::Contributing, Time::ZERO).unwrap();
         let exact = result_texp(&p, AggFunc::Min(1), AggMode::Exact, Time::ZERO).unwrap();
         assert_eq!(naive, Time::new(5));
         assert!(naive <= contrib && contrib <= exact);

@@ -82,9 +82,9 @@ pub fn is_neutral(slice: &[Row], partition: &[Row], f: AggFunc) -> Result<bool> 
                 .map(|(_, e)| *e)
                 .max()
                 .expect("minimum is achieved");
-            Ok(slice.iter().all(|(t, e)| {
-                t.attr(i).total_cmp(&min).is_gt() || *e < max_achiever_texp
-            }))
+            Ok(slice
+                .iter()
+                .all(|(t, e)| t.attr(i).total_cmp(&min).is_gt() || *e < max_achiever_texp))
         }
         AggFunc::Max(i) => {
             let max = match f.apply(partition)? {
@@ -97,9 +97,9 @@ pub fn is_neutral(slice: &[Row], partition: &[Row], f: AggFunc) -> Result<bool> 
                 .map(|(_, e)| *e)
                 .max()
                 .expect("maximum is achieved");
-            Ok(slice.iter().all(|(t, e)| {
-                t.attr(i).total_cmp(&max).is_lt() || *e < max_achiever_texp
-            }))
+            Ok(slice
+                .iter()
+                .all(|(t, e)| t.attr(i).total_cmp(&max).is_lt() || *e < max_achiever_texp))
         }
         AggFunc::Sum(i) => {
             let mut s = 0.0;
@@ -120,24 +120,26 @@ pub fn is_neutral(slice: &[Row], partition: &[Row], f: AggFunc) -> Result<bool> 
             let total: f64 = {
                 let mut acc = 0.0;
                 for (t, _) in partition {
-                    acc += t.attr(i).as_numeric().ok_or(
-                        crate::error::Error::NonNumericAggregate {
-                            function: "avg",
-                            attribute: i,
-                        },
-                    )?;
+                    acc +=
+                        t.attr(i)
+                            .as_numeric()
+                            .ok_or(crate::error::Error::NonNumericAggregate {
+                                function: "avg",
+                                attribute: i,
+                            })?;
                 }
                 acc
             };
             let slice_sum: f64 = {
                 let mut acc = 0.0;
                 for (t, _) in slice {
-                    acc += t.attr(i).as_numeric().ok_or(
-                        crate::error::Error::NonNumericAggregate {
-                            function: "avg",
-                            attribute: i,
-                        },
-                    )?;
+                    acc +=
+                        t.attr(i)
+                            .as_numeric()
+                            .ok_or(crate::error::Error::NonNumericAggregate {
+                                function: "avg",
+                                attribute: i,
+                            })?;
                 }
                 acc
             };
@@ -221,10 +223,7 @@ mod tests {
         assert!(is_neutral(&[], &p, AggFunc::Count).unwrap());
         assert!(!is_neutral(&p, &p, AggFunc::Count).unwrap());
         // Hence contributing texp == naive min texp.
-        assert_eq!(
-            contributing_texp(&p, AggFunc::Count).unwrap(),
-            Time::new(5)
-        );
+        assert_eq!(contributing_texp(&p, AggFunc::Count).unwrap(), Time::new(5));
     }
 
     #[test]
@@ -261,7 +260,10 @@ mod tests {
     #[test]
     fn immortal_achiever_makes_min_eternal() {
         let p = vec![row(1, 10, 0), row(2, 30, 5)];
-        assert_eq!(contributing_texp(&p, AggFunc::Min(1)).unwrap(), Time::INFINITY);
+        assert_eq!(
+            contributing_texp(&p, AggFunc::Min(1)).unwrap(),
+            Time::INFINITY
+        );
     }
 
     #[test]
@@ -296,12 +298,7 @@ mod tests {
         // (Note a two-slice partition cannot have exactly one neutral
         // slice: the complement of a mean-preserving slice preserves the
         // mean too — hence three slices here.)
-        let p = vec![
-            row(1, 10, 4),
-            row(2, 10, 4),
-            row(3, 5, 9),
-            row(4, 15, 12),
-        ];
+        let p = vec![row(1, 10, 4), row(2, 10, 4), row(3, 5, 9), row(4, 15, 12)];
         let (slices, _) = time_slices(&p);
         assert!(is_neutral(&slices[0].1, &p, AggFunc::Avg(1)).unwrap());
         assert!(!is_neutral(&slices[1].1, &p, AggFunc::Avg(1)).unwrap());

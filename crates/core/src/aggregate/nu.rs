@@ -122,12 +122,7 @@ pub fn nu(tau: Time, partition: &[Row], f: AggFn<'_>) -> Result<Time> {
 /// # Errors
 ///
 /// Propagates errors from `f`.
-pub fn nu_naive(
-    tau: Time,
-    partition: &[Row],
-    f: AggFn<'_>,
-    horizon: Time,
-) -> Result<Option<Time>> {
+pub fn nu_naive(tau: Time, partition: &[Row], f: AggFn<'_>, horizon: Time) -> Result<Option<Time>> {
     let original = f(&surviving(partition, tau))?;
     let mut t = tau;
     while t <= horizon {

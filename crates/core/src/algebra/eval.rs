@@ -220,44 +220,59 @@ fn eval_rec(expr: &Expr, catalog: &Catalog, tau: Time, opts: &EvalOptions) -> Re
     })
 }
 
+/// Theorem 3 root handling: materialises a root-level difference with a
+/// patch queue, so the result never expires on account of critical tuples.
+/// Shared by [`eval`] and the profiled evaluator
+/// ([`crate::algebra::profile::eval_profiled`]).
+///
+/// # Panics
+///
+/// Debug-asserts that `expr` is a difference; callers match first.
+pub(crate) fn eval_patched_root(
+    expr: &Expr,
+    catalog: &Catalog,
+    tau: Time,
+    opts: &EvalOptions,
+) -> Result<Materialized> {
+    let Expr::Difference { left, right } = expr else {
+        unreachable!("eval_patched_root requires a root-level difference")
+    };
+    let l = eval_rec(left, catalog, tau, opts)?;
+    let r = eval_rec(right, catalog, tau, opts)?;
+    let rel = ops::difference(&l.rel, &r.rel, tau)?;
+    let mut critical = ops::critical_tuples(&l.rel, &r.rel, tau);
+    critical.sort_by_key(|c| c.appears_at);
+    // Bounded queue: keep the k earliest reappearances; the first
+    // dropped one caps texp(e) (the view must recompute then).
+    let mut own_texp = Time::INFINITY;
+    if let Some(cap) = opts.patch_queue_cap {
+        if critical.len() > cap {
+            own_texp = critical[cap].appears_at;
+            critical.truncate(cap);
+        }
+    }
+    let queue = PatchQueue::from_critical(critical);
+    Ok(Materialized {
+        rel,
+        at: tau,
+        texp: l.texp.min(r.texp).min(own_texp),
+        validity: l.validity.intersect(&r.validity),
+        patches: Some(queue),
+    })
+}
+
 /// Materialises `expr` against `catalog` at time `τ`.
 ///
 /// # Errors
 ///
 /// Returns schema/type errors (unknown relations, bad positions,
 /// incompatible schemas, non-numeric aggregation).
-pub fn eval(
-    expr: &Expr,
-    catalog: &Catalog,
-    tau: Time,
-    opts: &EvalOptions,
-) -> Result<Materialized> {
+pub fn eval(expr: &Expr, catalog: &Catalog, tau: Time, opts: &EvalOptions) -> Result<Materialized> {
     // Theorem 3: a root-level difference with patching enabled keeps a
     // helper queue and never expires on account of critical tuples.
     if opts.patch_root_difference {
-        if let Expr::Difference { left, right } = expr {
-            let l = eval_rec(left, catalog, tau, opts)?;
-            let r = eval_rec(right, catalog, tau, opts)?;
-            let rel = ops::difference(&l.rel, &r.rel, tau)?;
-            let mut critical = ops::critical_tuples(&l.rel, &r.rel, tau);
-            critical.sort_by_key(|c| c.appears_at);
-            // Bounded queue: keep the k earliest reappearances; the first
-            // dropped one caps texp(e) (the view must recompute then).
-            let mut own_texp = Time::INFINITY;
-            if let Some(cap) = opts.patch_queue_cap {
-                if critical.len() > cap {
-                    own_texp = critical[cap].appears_at;
-                    critical.truncate(cap);
-                }
-            }
-            let queue = PatchQueue::from_critical(critical);
-            return Ok(Materialized {
-                rel,
-                at: tau,
-                texp: l.texp.min(r.texp).min(own_texp),
-                validity: l.validity.intersect(&r.validity),
-                patches: Some(queue),
-            });
+        if let Expr::Difference { .. } = expr {
+            return eval_patched_root(expr, catalog, tau, opts);
         }
     }
     let sub = eval_rec(expr, catalog, tau, opts)?;
@@ -454,7 +469,9 @@ mod tests {
     fn validity_always_covers_up_to_texp() {
         let c = catalog();
         let exprs = vec![
-            Expr::base("Pol").project([0]).difference(Expr::base("El").project([0])),
+            Expr::base("Pol")
+                .project([0])
+                .difference(Expr::base("El").project([0])),
             Expr::base("Pol").aggregate([1], AggFunc::Sum(0)),
             Expr::base("Pol").join(Expr::base("El"), Predicate::attr_eq_attr(0, 2)),
         ];

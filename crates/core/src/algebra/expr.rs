@@ -296,9 +296,7 @@ impl Expr {
     pub fn non_monotonic_count(&self) -> usize {
         match self {
             Expr::Base(_) => 0,
-            Expr::Select { input, .. } | Expr::Project { input, .. } => {
-                input.non_monotonic_count()
-            }
+            Expr::Select { input, .. } | Expr::Project { input, .. } => input.non_monotonic_count(),
             Expr::Aggregate { input, .. } => 1 + input.non_monotonic_count(),
             Expr::Product { left, right }
             | Expr::Union { left, right }
@@ -423,7 +421,10 @@ mod tests {
             .union(Expr::base("Pol").project([0]))
             .schema(&c)
             .is_err());
-        assert!(Expr::base("Pol").aggregate([9], AggFunc::Count).schema(&c).is_err());
+        assert!(Expr::base("Pol")
+            .aggregate([9], AggFunc::Count)
+            .schema(&c)
+            .is_err());
         // Join predicate over the concatenated arity.
         assert!(Expr::base("Pol")
             .join(Expr::base("El"), Predicate::attr_eq_attr(0, 3))
@@ -439,7 +440,10 @@ mod tests {
     fn monotonicity_classification() {
         let mono = Expr::base("Pol")
             .select(Predicate::True)
-            .join(Expr::base("El").project([0, 1]), Predicate::attr_eq_attr(0, 2))
+            .join(
+                Expr::base("El").project([0, 1]),
+                Predicate::attr_eq_attr(0, 2),
+            )
             .intersect(Expr::base("Pol").product(Expr::base("El")));
         assert!(mono.is_monotonic());
         assert_eq!(mono.non_monotonic_count(), 0);
@@ -448,7 +452,9 @@ mod tests {
         assert!(!diff.is_monotonic());
         assert_eq!(diff.non_monotonic_count(), 1);
 
-        let agg = Expr::base("Pol").aggregate([1], AggFunc::Count).project([1, 2]);
+        let agg = Expr::base("Pol")
+            .aggregate([1], AggFunc::Count)
+            .project([1, 2]);
         assert!(!agg.is_monotonic());
         assert_eq!(agg.non_monotonic_count(), 1);
 
@@ -466,7 +472,9 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        let e = Expr::base("Pol").aggregate([1], AggFunc::Count).project([1, 2]);
+        let e = Expr::base("Pol")
+            .aggregate([1], AggFunc::Count)
+            .project([1, 2]);
         assert_eq!(e.to_string(), "πexp_{2,3}(aggexp_{{2},count}(Pol))");
         let d = Expr::base("Pol")
             .project([0])

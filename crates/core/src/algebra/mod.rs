@@ -12,6 +12,8 @@
 pub mod eval;
 pub mod expr;
 pub mod ops;
+pub mod profile;
 
 pub use eval::{eval, EvalOptions, Materialized};
 pub use expr::Expr;
+pub use profile::{eval_profiled, PlanProfile};

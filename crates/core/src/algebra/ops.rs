@@ -122,12 +122,7 @@ pub fn join(r: &Relation, s: &Relation, p: &Predicate, tau: Time) -> Result<Rela
 /// # Errors
 ///
 /// Returns an error if `p` references attributes outside the product arity.
-pub fn join_nested_loop(
-    r: &Relation,
-    s: &Relation,
-    p: &Predicate,
-    tau: Time,
-) -> Result<Relation> {
+pub fn join_nested_loop(r: &Relation, s: &Relation, p: &Predicate, tau: Time) -> Result<Relation> {
     p.validate(r.arity() + s.arity())?;
     let schema = r.schema().product(s.schema());
     let mut out = Relation::new(schema);
@@ -192,8 +187,7 @@ fn join_hash(
     // Build on the smaller side.
     let (build_right, probe_iter_len) = (s.count_unexpired(tau), r.count_unexpired(tau));
     if build_right <= probe_iter_len {
-        let mut table: HashMap<Vec<&crate::value::Value>, Vec<(&Tuple, Time)>> =
-            HashMap::new();
+        let mut table: HashMap<Vec<&crate::value::Value>, Vec<(&Tuple, Time)>> = HashMap::new();
         for (st, se) in s.iter_at(tau) {
             let key: Vec<_> = keys.iter().map(|&(_, j)| st.attr(j)).collect();
             table.entry(key).or_default().push((st, se));
@@ -210,8 +204,7 @@ fn join_hash(
             }
         }
     } else {
-        let mut table: HashMap<Vec<&crate::value::Value>, Vec<(&Tuple, Time)>> =
-            HashMap::new();
+        let mut table: HashMap<Vec<&crate::value::Value>, Vec<(&Tuple, Time)>> = HashMap::new();
         for (rt, re) in r.iter_at(tau) {
             let key: Vec<_> = keys.iter().map(|&(i, _)| rt.attr(i)).collect();
             table.entry(key).or_default().push((rt, re));
@@ -376,9 +369,7 @@ pub fn aggregate(
     }
     f.validate(r.arity())?;
     let input_ty = f.attribute().map(|i| r.schema().attr(i).ty);
-    let schema = r
-        .schema()
-        .append(&f.to_string(), f.result_type(input_ty));
+    let schema = r.schema().append(&f.to_string(), f.result_type(input_ty));
     let mut out = Relation::new(schema);
     for (_, rows) in aggregate::partition(r, group_by, tau) {
         let value = f.apply(&rows)?.expect("partitions are non-empty");
@@ -451,11 +442,7 @@ pub fn aggregate_meta(
         let timeline = aggregate::nu::value_timeline(tau, &rows, &mut apply)?;
         // First change to a *live* value invalidates the expression.
         let mut cut = Time::INFINITY;
-        if let Some((t, _)) = timeline
-            .iter()
-            .skip(1)
-            .find(|(_, v)| v.is_some())
-        {
+        if let Some((t, _)) = timeline.iter().skip(1).find(|(_, v)| v.is_some()) {
             cut = cut.min(*t);
         }
         // Mode-induced row loss: at the mode bound the partition's result
@@ -621,11 +608,7 @@ mod tests {
         // Same-side equality contributes nothing.
         assert!(equi_keys(&Predicate::attr_eq_attr(0, 1), 2).is_empty());
         // Or at top level contributes nothing.
-        assert!(equi_keys(
-            &Predicate::attr_eq_attr(0, 2).or(Predicate::True),
-            2
-        )
-        .is_empty());
+        assert!(equi_keys(&Predicate::attr_eq_attr(0, 2).or(Predicate::True), 2).is_empty());
         // Conjunction collects multiple keys and skips residuals.
         let k = equi_keys(
             &Predicate::attr_eq_attr(0, 2)
@@ -744,10 +727,7 @@ mod tests {
         s.insert(tuple![2], t(10)).unwrap();
         let meta = difference_meta(&r, &s, Time::ZERO);
         assert!(meta.validity.contains(t(5)), "exact: valid between holes");
-        assert!(
-            !meta.validity_eq12.contains(t(5)),
-            "Eq 12 blankets [2, 20["
-        );
+        assert!(!meta.validity_eq12.contains(t(5)), "Eq 12 blankets [2, 20[");
         assert_eq!(meta.texp, t(2));
     }
 
@@ -825,7 +805,8 @@ mod tests {
     fn aggregate_meta_live_change_invalidates() {
         // Figure 3(a): deg-25 partition's count changes at 10 while ⟨2,25⟩
         // is still alive → expression invalid from 10.
-        let meta = aggregate_meta(&pol(), &[1], AggFunc::Count, AggMode::Exact, Time::ZERO).unwrap();
+        let meta =
+            aggregate_meta(&pol(), &[1], AggFunc::Count, AggMode::Exact, Time::ZERO).unwrap();
         assert_eq!(meta.texp, t(10));
         assert!(meta.validity.contains(t(9)));
         assert!(!meta.validity.contains(t(10)));
@@ -855,8 +836,7 @@ mod tests {
         let meta = aggregate_meta(&r, &[0], AggFunc::Min(1), AggMode::Exact, Time::ZERO).unwrap();
         assert_eq!(meta.texp, Time::INFINITY);
         for now in 0..25 {
-            let fresh =
-                aggregate(&r, &[0], AggFunc::Min(1), AggMode::Exact, t(now)).unwrap();
+            let fresh = aggregate(&r, &[0], AggFunc::Min(1), AggMode::Exact, t(now)).unwrap();
             assert!(
                 out.set_eq_at(&fresh, t(now)),
                 "at {now}: {:?} vs {:?}",
@@ -878,9 +858,15 @@ mod tests {
         let meta = aggregate_meta(&r, &[0], AggFunc::Sum(1), AggMode::Exact, Time::ZERO).unwrap();
         assert!(meta.validity.contains(t(2)));
         assert!(!meta.validity.contains(t(4)));
-        assert!(!meta.validity.contains(t(7)), "value returned but rows are gone");
+        assert!(
+            !meta.validity.contains(t(7)),
+            "value returned but rows are gone"
+        );
         assert!(!meta.validity.contains(t(8)));
-        assert!(meta.validity.contains(t(9)), "partition dead: both sides empty");
+        assert!(
+            meta.validity.contains(t(9)),
+            "partition dead: both sides empty"
+        );
         // And the claim is verified against reality.
         let out = aggregate(&r, &[0], AggFunc::Sum(1), AggMode::Exact, Time::ZERO).unwrap();
         for now in 0..12 {
@@ -914,7 +900,9 @@ mod tests {
     #[test]
     fn empty_inputs_produce_empty_outputs() {
         let empty = Relation::new(pol().schema().clone());
-        assert!(select(&empty, &Predicate::True, Time::ZERO).unwrap().is_empty());
+        assert!(select(&empty, &Predicate::True, Time::ZERO)
+            .unwrap()
+            .is_empty());
         assert!(project(&empty, &[0], Time::ZERO).unwrap().is_empty());
         assert!(product(&empty, &pol(), Time::ZERO).unwrap().is_empty());
         assert!(union(&empty, &empty, Time::ZERO).unwrap().is_empty());
@@ -924,7 +912,8 @@ mod tests {
                 .unwrap()
                 .is_empty()
         );
-        let meta = aggregate_meta(&empty, &[0], AggFunc::Count, AggMode::Exact, Time::ZERO).unwrap();
+        let meta =
+            aggregate_meta(&empty, &[0], AggFunc::Count, AggMode::Exact, Time::ZERO).unwrap();
         assert_eq!(meta.texp, Time::INFINITY);
     }
 

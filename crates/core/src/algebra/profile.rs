@@ -1,0 +1,438 @@
+//! `EXPLAIN ANALYZE` support: a profiled evaluator that mirrors
+//! [`eval`](crate::algebra::eval::eval) while recording, per operator,
+//! rows in/out, expiration-filtered rows, per-node `texp`, and elapsed
+//! wall time.
+//!
+//! This is deliberately a *separate* recursion from the hot-path
+//! evaluator: profiling must cost nothing when not requested, and the
+//! paper's operators are cheap enough that a per-node `Instant` pair in
+//! the hot path would be measurable. The two functions are kept
+//! structurally parallel — any semantic change to `eval_rec` belongs in
+//! both.
+
+use std::time::{Duration, Instant};
+
+use crate::algebra::eval::{eval_patched_root, EvalOptions, Materialized};
+use crate::algebra::expr::Expr;
+use crate::algebra::ops;
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::interval::IntervalSet;
+use crate::relation::Relation;
+use crate::time::Time;
+
+/// One operator's worth of `EXPLAIN ANALYZE` output, with its children.
+#[derive(Debug, Clone)]
+pub struct PlanProfile {
+    /// Short operator label, e.g. `σ[deg = 25]` or `Base(Pol)`.
+    pub label: String,
+    /// Rows produced by this operator (visible at `τ`).
+    pub rows_out: u64,
+    /// Rows this operator dropped because their expiration time had
+    /// passed (`texp ≤ τ`). Non-zero at `Base` leaves, where stored
+    /// tuples are first filtered to the current instant.
+    pub expired_filtered: u64,
+    /// This node's expression expiration time `texp(e)`.
+    pub texp: Time,
+    /// Wall time spent in this operator *including* children.
+    pub elapsed: Duration,
+    /// Input subplans (0 for leaves, 1 for unary, 2 for binary operators).
+    pub children: Vec<PlanProfile>,
+}
+
+impl PlanProfile {
+    /// Rows flowing into this operator: the sum of child outputs.
+    #[must_use]
+    pub fn rows_in(&self) -> u64 {
+        self.children.iter().map(|c| c.rows_out).sum()
+    }
+
+    /// Wall time spent in this operator *excluding* children.
+    #[must_use]
+    pub fn self_elapsed(&self) -> Duration {
+        self.elapsed
+            .checked_sub(self.children.iter().map(|c| c.elapsed).sum())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total operator count in the subtree (for summaries).
+    #[must_use]
+    pub fn node_count(&self) -> u64 {
+        1 + self
+            .children
+            .iter()
+            .map(PlanProfile::node_count)
+            .sum::<u64>()
+    }
+
+    /// Renders the annotated plan tree, one operator per line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let texp = match self.texp.finite() {
+            Some(t) => t.to_string(),
+            None => "∞".to_string(),
+        };
+        out.push_str(&format!(
+            "{}  rows={} (in {}, expired {})  texp={}  {:.1}µs\n",
+            self.label,
+            self.rows_out,
+            self.rows_in(),
+            self.expired_filtered,
+            texp,
+            self.self_elapsed().as_nanos() as f64 / 1_000.0,
+        ));
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+fn label_of(expr: &Expr) -> String {
+    match expr {
+        Expr::Base(name) => format!("Base({name})"),
+        Expr::Select { predicate, .. } => format!("σ[{predicate}]"),
+        Expr::Project { positions, .. } => {
+            let ps: Vec<String> = positions.iter().map(ToString::to_string).collect();
+            format!("π[{}]", ps.join(","))
+        }
+        Expr::Product { .. } => "×".to_string(),
+        Expr::Union { .. } => "∪".to_string(),
+        Expr::Join { predicate, .. } => format!("⋈[{predicate}]"),
+        Expr::Intersect { .. } => "∩".to_string(),
+        Expr::Difference { .. } => "−".to_string(),
+        Expr::Aggregate { group_by, func, .. } => {
+            let gs: Vec<String> = group_by.iter().map(ToString::to_string).collect();
+            format!("γ[{}; {func}]", gs.join(","))
+        }
+    }
+}
+
+struct ProfiledSub {
+    rel: Relation,
+    texp: Time,
+    validity: IntervalSet,
+    profile: PlanProfile,
+}
+
+fn node(
+    expr: &Expr,
+    started: Instant,
+    rel: &Relation,
+    expired_filtered: u64,
+    texp: Time,
+    children: Vec<PlanProfile>,
+) -> PlanProfile {
+    PlanProfile {
+        label: label_of(expr),
+        rows_out: rel.len() as u64,
+        expired_filtered,
+        texp,
+        elapsed: started.elapsed(),
+        children,
+    }
+}
+
+#[allow(clippy::too_many_lines)] // parallel to eval_rec, one arm per operator
+fn eval_rec_profiled(
+    expr: &Expr,
+    catalog: &Catalog,
+    tau: Time,
+    opts: &EvalOptions,
+) -> Result<ProfiledSub> {
+    let started = Instant::now();
+    let full = IntervalSet::from_time(tau);
+    Ok(match expr {
+        Expr::Base(name) => {
+            let stored = catalog.get(name)?;
+            let rel = stored.exp(tau);
+            let expired = (stored.len() - rel.len()) as u64;
+            let profile = node(expr, started, &rel, expired, Time::INFINITY, vec![]);
+            ProfiledSub {
+                rel,
+                texp: Time::INFINITY,
+                validity: full,
+                profile,
+            }
+        }
+        Expr::Select { input, predicate } => {
+            let i = eval_rec_profiled(input, catalog, tau, opts)?;
+            let rel = ops::select(&i.rel, predicate, tau)?;
+            let profile = node(expr, started, &rel, 0, i.texp, vec![i.profile]);
+            ProfiledSub {
+                rel,
+                texp: i.texp,
+                validity: i.validity,
+                profile,
+            }
+        }
+        Expr::Project { input, positions } => {
+            let i = eval_rec_profiled(input, catalog, tau, opts)?;
+            let rel = ops::project(&i.rel, positions, tau)?;
+            let profile = node(expr, started, &rel, 0, i.texp, vec![i.profile]);
+            ProfiledSub {
+                rel,
+                texp: i.texp,
+                validity: i.validity,
+                profile,
+            }
+        }
+        Expr::Product { left, right } => {
+            let l = eval_rec_profiled(left, catalog, tau, opts)?;
+            let r = eval_rec_profiled(right, catalog, tau, opts)?;
+            let rel = ops::product(&l.rel, &r.rel, tau)?;
+            let texp = l.texp.min(r.texp);
+            let profile = node(expr, started, &rel, 0, texp, vec![l.profile, r.profile]);
+            ProfiledSub {
+                rel,
+                texp,
+                validity: l.validity.intersect(&r.validity),
+                profile,
+            }
+        }
+        Expr::Union { left, right } => {
+            let l = eval_rec_profiled(left, catalog, tau, opts)?;
+            let r = eval_rec_profiled(right, catalog, tau, opts)?;
+            let rel = ops::union(&l.rel, &r.rel, tau)?;
+            let texp = l.texp.min(r.texp);
+            let profile = node(expr, started, &rel, 0, texp, vec![l.profile, r.profile]);
+            ProfiledSub {
+                rel,
+                texp,
+                validity: l.validity.intersect(&r.validity),
+                profile,
+            }
+        }
+        Expr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = eval_rec_profiled(left, catalog, tau, opts)?;
+            let r = eval_rec_profiled(right, catalog, tau, opts)?;
+            let rel = ops::join(&l.rel, &r.rel, predicate, tau)?;
+            let texp = l.texp.min(r.texp);
+            let profile = node(expr, started, &rel, 0, texp, vec![l.profile, r.profile]);
+            ProfiledSub {
+                rel,
+                texp,
+                validity: l.validity.intersect(&r.validity),
+                profile,
+            }
+        }
+        Expr::Intersect { left, right } => {
+            let l = eval_rec_profiled(left, catalog, tau, opts)?;
+            let r = eval_rec_profiled(right, catalog, tau, opts)?;
+            let rel = ops::intersect(&l.rel, &r.rel, tau)?;
+            let texp = l.texp.min(r.texp);
+            let profile = node(expr, started, &rel, 0, texp, vec![l.profile, r.profile]);
+            ProfiledSub {
+                rel,
+                texp,
+                validity: l.validity.intersect(&r.validity),
+                profile,
+            }
+        }
+        Expr::Difference { left, right } => {
+            let l = eval_rec_profiled(left, catalog, tau, opts)?;
+            let r = eval_rec_profiled(right, catalog, tau, opts)?;
+            let meta = ops::difference_meta(&l.rel, &r.rel, tau);
+            let own_validity = if opts.eq12_validity {
+                meta.validity_eq12
+            } else {
+                meta.validity
+            };
+            let rel = ops::difference(&l.rel, &r.rel, tau)?;
+            let texp = l.texp.min(r.texp).min(meta.texp);
+            let profile = node(expr, started, &rel, 0, texp, vec![l.profile, r.profile]);
+            ProfiledSub {
+                rel,
+                texp,
+                validity: l.validity.intersect(&r.validity).intersect(&own_validity),
+                profile,
+            }
+        }
+        Expr::Aggregate {
+            input,
+            group_by,
+            func,
+        } => {
+            let i = eval_rec_profiled(input, catalog, tau, opts)?;
+            let meta = ops::aggregate_meta(&i.rel, group_by, *func, opts.agg_mode, tau)?;
+            let rel = ops::aggregate(&i.rel, group_by, *func, opts.agg_mode, tau)?;
+            let texp = i.texp.min(meta.texp);
+            let profile = node(expr, started, &rel, 0, texp, vec![i.profile]);
+            ProfiledSub {
+                rel,
+                texp,
+                validity: i.validity.intersect(&meta.validity),
+                profile,
+            }
+        }
+    })
+}
+
+/// Materialises `expr` like [`eval`](crate::algebra::eval::eval) while
+/// also producing an annotated per-operator [`PlanProfile`].
+///
+/// The returned materialisation is semantically identical to `eval`'s
+/// (same relation, `texp`, validity, and patch queue behaviour).
+///
+/// # Errors
+///
+/// Returns the same errors as `eval`.
+pub fn eval_profiled(
+    expr: &Expr,
+    catalog: &Catalog,
+    tau: Time,
+    opts: &EvalOptions,
+) -> Result<(Materialized, PlanProfile)> {
+    if opts.patch_root_difference {
+        if let Expr::Difference { .. } = expr {
+            // Theorem 3 root handling is not per-operator work; reuse the
+            // hot-path implementation and profile the plan alongside it.
+            let started = Instant::now();
+            let m = eval_patched_root(expr, catalog, tau, opts)?;
+            let mut profile = eval_rec_profiled(expr, catalog, tau, opts)?.profile;
+            profile.texp = m.texp;
+            profile.elapsed = started.elapsed();
+            return Ok((m, profile));
+        }
+    }
+    let sub = eval_rec_profiled(expr, catalog, tau, opts)?;
+    Ok((
+        Materialized {
+            rel: sub.rel,
+            at: tau,
+            texp: sub.texp,
+            validity: sub.validity,
+            patches: None,
+        },
+        sub.profile,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::eval::eval;
+    use crate::predicate::Predicate;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    fn catalog() -> Catalog {
+        let schema = Schema::of(&[("uid", ValueType::Int), ("deg", ValueType::Int)]);
+        let mut c = Catalog::new();
+        c.register(
+            "Pol",
+            Relation::from_rows(
+                schema.clone(),
+                vec![
+                    (tuple![1, 25], t(10)),
+                    (tuple![2, 25], t(15)),
+                    (tuple![3, 35], t(10)),
+                ],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "El",
+            Relation::from_rows(
+                schema,
+                vec![
+                    (tuple![1, 75], t(5)),
+                    (tuple![2, 85], t(3)),
+                    (tuple![4, 90], t(2)),
+                ],
+            )
+            .unwrap(),
+        );
+        c
+    }
+
+    #[test]
+    fn profiled_eval_matches_plain_eval() {
+        let c = catalog();
+        let exprs = vec![
+            Expr::base("Pol").select(Predicate::attr_eq_const(1, 25)),
+            Expr::base("Pol")
+                .project([0])
+                .difference(Expr::base("El").project([0])),
+            Expr::base("Pol")
+                .join(Expr::base("El"), Predicate::attr_eq_attr(0, 2))
+                .project([0, 1]),
+            Expr::base("Pol").aggregate([1], crate::aggregate::AggFunc::Count),
+        ];
+        for e in exprs {
+            for now in [0, 4, 11] {
+                let plain = eval(&e, &c, t(now), &EvalOptions::default()).unwrap();
+                let (prof, _) = eval_profiled(&e, &c, t(now), &EvalOptions::default()).unwrap();
+                assert!(prof.rel.set_eq(&plain.rel), "{e} at {now}");
+                assert_eq!(prof.texp, plain.texp, "{e} at {now}");
+                assert_eq!(prof.validity, plain.validity, "{e} at {now}");
+            }
+        }
+    }
+
+    #[test]
+    fn profile_counts_rows_and_expired() {
+        let c = catalog();
+        // At τ=4, El has lost ⟨2,85⟩@3 and ⟨4,90⟩@2 to expiration.
+        let e = Expr::base("El").project([0]);
+        let (_, p) = eval_profiled(&e, &c, t(4), &EvalOptions::default()).unwrap();
+        assert_eq!(p.label, "π[0]");
+        assert_eq!(p.rows_out, 1);
+        assert_eq!(p.rows_in(), 1);
+        assert_eq!(p.children.len(), 1);
+        let base = &p.children[0];
+        assert_eq!(base.label, "Base(El)");
+        assert_eq!(base.rows_out, 1);
+        assert_eq!(base.expired_filtered, 2);
+        assert_eq!(p.node_count(), 2);
+    }
+
+    #[test]
+    fn profile_tracks_per_node_texp() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let (m, p) = eval_profiled(&e, &c, Time::ZERO, &EvalOptions::default()).unwrap();
+        assert_eq!(p.texp, t(3), "difference node carries Equation 11");
+        assert_eq!(m.texp, t(3));
+        assert!(p.children.iter().all(|c| c.texp.is_infinite()));
+        let rendered = p.render();
+        assert!(rendered.contains("−"), "{rendered}");
+        assert!(rendered.contains("texp=3"), "{rendered}");
+        assert!(rendered.contains("texp=∞"), "{rendered}");
+    }
+
+    #[test]
+    fn profiled_patched_root_keeps_theorem_3() {
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let opts = EvalOptions {
+            patch_root_difference: true,
+            ..EvalOptions::default()
+        };
+        let (m, p) = eval_profiled(&e, &c, Time::ZERO, &opts).unwrap();
+        assert_eq!(m.texp, Time::INFINITY, "Theorem 3");
+        assert!(m.patches.is_some());
+        assert_eq!(p.texp, Time::INFINITY, "profile reflects patched texp");
+    }
+}

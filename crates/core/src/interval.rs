@@ -27,7 +27,10 @@ impl Interval {
     /// Panics unless `start < end` (the paper requires `τ1 < τ2`).
     #[must_use]
     pub fn new(start: Time, end: Time) -> Self {
-        assert!(start < end, "interval requires start < end: [{start}, {end}[");
+        assert!(
+            start < end,
+            "interval requires start < end: [{start}, {end}["
+        );
         Interval { start, end }
     }
 
@@ -319,10 +322,7 @@ mod tests {
     fn interval_intersection() {
         assert_eq!(iv(1, 5).intersect(&iv(3, 8)), Some(iv(3, 5)));
         assert_eq!(iv(1, 5).intersect(&iv(5, 8)), None);
-        assert_eq!(
-            Interval::from(t(2)).intersect(&iv(0, 10)),
-            Some(iv(2, 10))
-        );
+        assert_eq!(Interval::from(t(2)).intersect(&iv(0, 10)), Some(iv(2, 10)));
     }
 
     #[test]
@@ -370,10 +370,7 @@ mod tests {
         let all = IntervalSet::from_time(t(0));
         let hole = IntervalSet::single(iv(3, 10));
         let validity = all.subtract(&hole);
-        assert_eq!(
-            validity.intervals(),
-            &[iv(0, 3), Interval::from(t(10))]
-        );
+        assert_eq!(validity.intervals(), &[iv(0, 3), Interval::from(t(10))]);
         assert!(validity.contains(t(2)));
         assert!(!validity.contains(t(5)));
         assert!(validity.contains(t(10)));

@@ -59,12 +59,12 @@ pub mod value;
 pub mod prelude {
     pub use crate::aggregate::approx::Tolerance;
     pub use crate::aggregate::{AggFunc, AggMode};
-    pub use crate::cost::{estimate, optimize, PlanCost, Stats};
-    pub use crate::algebra::{eval, EvalOptions, Expr, Materialized};
+    pub use crate::algebra::{eval, eval_profiled, EvalOptions, Expr, Materialized, PlanProfile};
     pub use crate::catalog::Catalog;
+    pub use crate::cost::{estimate, optimize, PlanCost, Stats};
     pub use crate::error::{Error, Result};
     pub use crate::interval::{Interval, IntervalSet};
-    pub use crate::materialize::{MaterializedView, RefreshPolicy, ViewStats};
+    pub use crate::materialize::{MaterializedView, RefreshDecision, RefreshPolicy, ViewStats};
     pub use crate::patch::{PatchEntry, PatchQueue};
     pub use crate::predicate::{CmpOp, Predicate};
     pub use crate::relation::{DuplicatePolicy, Relation};

@@ -21,6 +21,9 @@ use crate::error::Result;
 use crate::relation::Relation;
 use crate::time::Time;
 use crate::tuple::Tuple;
+use exptime_obs::{Counter, EventKind, MetricsRegistry, Obs};
+
+pub use exptime_obs::RefreshDecision;
 
 /// How a view reacts when its materialisation expires (`τ ≥ texp(e)`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +51,10 @@ pub enum RemovalPolicy {
 
 /// Counters describing how much independent maintenance cost a view has
 /// incurred — the currency of the paper's loosely-coupled argument.
+///
+/// This is a cheap *snapshot*: the live values are registry-backed atomic
+/// counters (see [`MaterializedView::attach_obs`]), and
+/// [`MaterializedView::stats`] reads them out on demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ViewStats {
     /// Number of full recomputations against the base relations.
@@ -63,15 +70,92 @@ pub struct ViewStats {
     pub tuples_removed: u64,
 }
 
-/// A materialised query result that maintains itself as tuples expire.
+/// The live counter handles behind [`ViewStats`]. Detached views use
+/// private counters; [`MaterializedView::attach_obs`] re-interns them in
+/// a shared registry under `view.<name>.*`.
 #[derive(Debug, Clone)]
+struct ViewCounters {
+    recomputations: Counter,
+    patches_applied: Counter,
+    reads: Counter,
+    local_reads: Counter,
+    tuples_removed: Counter,
+}
+
+impl ViewCounters {
+    fn detached() -> Self {
+        ViewCounters {
+            recomputations: Counter::default(),
+            patches_applied: Counter::default(),
+            reads: Counter::default(),
+            local_reads: Counter::default(),
+            tuples_removed: Counter::default(),
+        }
+    }
+
+    fn in_registry(registry: &MetricsRegistry, view_name: &str) -> Self {
+        let c = |field: &str| registry.counter(&format!("view.{view_name}.{field}"));
+        ViewCounters {
+            recomputations: c("recomputations"),
+            patches_applied: c("patches_applied"),
+            reads: c("reads"),
+            local_reads: c("local_reads"),
+            tuples_removed: c("tuples_removed"),
+        }
+    }
+
+    fn snapshot(&self) -> ViewStats {
+        ViewStats {
+            recomputations: self.recomputations.get(),
+            patches_applied: self.patches_applied.get(),
+            reads: self.reads.get(),
+            local_reads: self.local_reads.get(),
+            tuples_removed: self.tuples_removed.get(),
+        }
+    }
+
+    fn add(&self, s: ViewStats) {
+        self.recomputations.add(s.recomputations);
+        self.patches_applied.add(s.patches_applied);
+        self.reads.add(s.reads);
+        self.local_reads.add(s.local_reads);
+        self.tuples_removed.add(s.tuples_removed);
+    }
+}
+
+/// A materialised query result that maintains itself as tuples expire.
+#[derive(Debug)]
 pub struct MaterializedView {
     expr: Expr,
     opts: EvalOptions,
     refresh: RefreshPolicy,
     removal: RemovalPolicy,
     state: Materialized,
-    stats: ViewStats,
+    counters: ViewCounters,
+    obs: Obs,
+    name: String,
+    last_decision: Option<RefreshDecision>,
+}
+
+/// Cloning detaches: the clone starts with private counters seeded with
+/// the source's current values and no event sink, so two replicas holding
+/// clones of one view account their maintenance independently.
+impl Clone for MaterializedView {
+    fn clone(&self) -> Self {
+        let counters = ViewCounters::detached();
+        counters.add(self.counters.snapshot());
+        MaterializedView {
+            expr: self.expr.clone(),
+            opts: self.opts,
+            refresh: self.refresh,
+            removal: self.removal,
+            state: self.state.clone(),
+            counters,
+            obs: Obs::new(),
+            name: self.name.clone(),
+            last_decision: self.last_decision,
+        }
+    }
 }
 
 impl MaterializedView {
@@ -102,8 +186,31 @@ impl MaterializedView {
             refresh,
             removal,
             state,
-            stats: ViewStats::default(),
+            counters: ViewCounters::detached(),
+            obs: Obs::new(),
+            name: "view".to_string(),
+            last_decision: None,
         })
+    }
+
+    /// Re-homes this view's counters into `obs`'s registry under
+    /// `view.<name>.*` and routes its refresh/vacuum events to `obs`'s
+    /// sink. Already-accumulated counts migrate. The engine calls this
+    /// when it adopts a view; standalone views can stay detached.
+    pub fn attach_obs(&mut self, obs: &Obs, name: &str) {
+        let counters = ViewCounters::in_registry(obs.registry(), name);
+        counters.add(self.counters.snapshot());
+        self.counters = counters;
+        self.obs = obs.clone();
+        self.name = name.to_string();
+    }
+
+    /// The refresh decision taken by the most recent
+    /// [`MaterializedView::maintain`]/[`MaterializedView::read`], if any —
+    /// which Theorem (if any) saved the recomputation.
+    #[must_use]
+    pub fn last_decision(&self) -> Option<RefreshDecision> {
+        self.last_decision
     }
 
     /// Materialises with default options and policies.
@@ -158,10 +265,10 @@ impl MaterializedView {
         self.state.at
     }
 
-    /// Maintenance statistics.
+    /// Maintenance statistics: a cheap snapshot of the live counters.
     #[must_use]
     pub fn stats(&self) -> ViewStats {
-        self.stats
+        self.counters.snapshot()
     }
 
     /// Whether the view can serve time `τ` without touching the base
@@ -187,17 +294,36 @@ impl MaterializedView {
     /// Propagates recomputation errors.
     pub fn maintain(&mut self, catalog: &Catalog, tau: Time) -> Result<bool> {
         let mut recomputed = false;
+        let mut patched = 0u64;
         if let Some(q) = &mut self.state.patches {
-            self.stats.patches_applied += q.apply_due(&mut self.state.rel, tau) as u64;
+            patched = q.apply_due(&mut self.state.rel, tau) as u64;
+            self.counters.patches_applied.add(patched);
         }
         if !self.fresh_at(tau) {
             self.state = eval(&self.expr, catalog, tau, &self.opts)?;
-            self.stats.recomputations += 1;
+            self.counters.recomputations.inc();
             recomputed = true;
         }
         if self.removal == RemovalPolicy::Eager {
-            self.stats.tuples_removed += self.state.rel.expire(tau).len() as u64;
+            self.counters
+                .tuples_removed
+                .add(self.state.rel.expire(tau).len() as u64);
         }
+        let decision = if recomputed {
+            RefreshDecision::Recompute
+        } else if patched > 0 {
+            RefreshDecision::PatchHit
+        } else if self.is_monotonic() {
+            RefreshDecision::Eternal
+        } else {
+            RefreshDecision::ValidityHit
+        };
+        self.last_decision = Some(decision);
+        self.obs.emit_with(tau.finite(), || EventKind::ViewRefresh {
+            view: self.name.clone(),
+            decision,
+            at: tau.finite().unwrap_or(u64::MAX),
+        });
         Ok(recomputed)
     }
 
@@ -210,9 +336,9 @@ impl MaterializedView {
     /// Propagates recomputation errors.
     pub fn read(&mut self, catalog: &Catalog, tau: Time) -> Result<Relation> {
         let recomputed = self.maintain(catalog, tau)?;
-        self.stats.reads += 1;
+        self.counters.reads.inc();
         if !recomputed {
-            self.stats.local_reads += 1;
+            self.counters.local_reads.inc();
         }
         Ok(self.state.rel.exp(tau))
     }
@@ -229,7 +355,13 @@ impl MaterializedView {
     /// Propagates evaluation errors.
     pub fn force_refresh(&mut self, catalog: &Catalog, tau: Time) -> Result<()> {
         self.state = eval(&self.expr, catalog, tau, &self.opts)?;
-        self.stats.recomputations += 1;
+        self.counters.recomputations.inc();
+        self.last_decision = Some(RefreshDecision::Recompute);
+        self.obs.emit_with(tau.finite(), || EventKind::ViewRefresh {
+            view: self.name.clone(),
+            decision: RefreshDecision::Recompute,
+            at: tau.finite().unwrap_or(u64::MAX),
+        });
         Ok(())
     }
 
@@ -239,7 +371,11 @@ impl MaterializedView {
     /// removed rows so triggers can fire on them.
     pub fn vacuum(&mut self, tau: Time) -> Vec<(Tuple, Time)> {
         let removed = self.state.rel.expire(tau);
-        self.stats.tuples_removed += removed.len() as u64;
+        self.counters.tuples_removed.add(removed.len() as u64);
+        self.obs.emit_with(tau.finite(), || EventKind::VacuumPass {
+            at: tau.finite().unwrap_or(u64::MAX),
+            removed: removed.len() as u64,
+        });
         removed
     }
 
@@ -418,6 +554,60 @@ mod tests {
         assert_eq!(removed.len(), 2);
         assert_eq!(v.stored_len(), 1);
         assert_eq!(v.stats().tuples_removed, 2);
+    }
+
+    #[test]
+    fn attached_view_publishes_counters_and_events() {
+        use exptime_obs::Obs;
+
+        let c = catalog();
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let mut v = MaterializedView::with_defaults(e, &c, Time::ZERO).unwrap();
+        v.read(&c, t(1)).unwrap(); // accumulates while detached
+
+        let obs = Obs::new();
+        let ring = obs.install_ring(64);
+        v.attach_obs(&obs, "hot");
+        assert_eq!(
+            obs.registry().counter_value("view.hot.reads"),
+            1,
+            "pre-attach counts migrate"
+        );
+
+        v.read(&c, t(2)).unwrap(); // fresh: validity hit
+        v.read(&c, t(3)).unwrap(); // texp=3: recompute
+        assert_eq!(obs.registry().counter_value("view.hot.reads"), 3);
+        assert_eq!(obs.registry().counter_value("view.hot.recomputations"), 1);
+        assert_eq!(v.stats().reads, 3, "ViewStats snapshot sees the registry");
+        assert_eq!(v.last_decision(), Some(RefreshDecision::Recompute));
+
+        let events = ring.recent(10);
+        let decisions: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match &ev.kind {
+                exptime_obs::EventKind::ViewRefresh { decision, .. } => Some(*decision),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            decisions,
+            vec![RefreshDecision::ValidityHit, RefreshDecision::Recompute]
+        );
+    }
+
+    #[test]
+    fn cloned_view_accounts_independently() {
+        let c = catalog();
+        let e = Expr::base("Pol").project([0, 1]);
+        let mut v = MaterializedView::with_defaults(e, &c, Time::ZERO).unwrap();
+        v.read(&c, t(1)).unwrap();
+        let mut w = v.clone();
+        assert_eq!(w.stats().reads, 1, "clone starts from current values");
+        w.read(&c, t(2)).unwrap();
+        assert_eq!(w.stats().reads, 2);
+        assert_eq!(v.stats().reads, 1, "original unaffected by clone's reads");
     }
 
     #[test]

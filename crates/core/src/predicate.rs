@@ -199,9 +199,7 @@ impl Predicate {
         match self {
             Predicate::True => true,
             Predicate::False => false,
-            Predicate::Cmp { left, op, right } => {
-                op.matches(left.eval(t).total_cmp(right.eval(t)))
-            }
+            Predicate::Cmp { left, op, right } => op.matches(left.eval(t).total_cmp(right.eval(t))),
             Predicate::And(a, b) => a.eval(t) && b.eval(t),
             Predicate::Or(a, b) => a.eval(t) || b.eval(t),
             Predicate::Not(a) => !a.eval(t),
@@ -230,12 +228,10 @@ impl Predicate {
     pub fn min_attr(&self) -> Option<usize> {
         match self {
             Predicate::True | Predicate::False => None,
-            Predicate::Cmp { left, right, .. } => {
-                match (left.max_attr(), right.max_attr()) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                }
-            }
+            Predicate::Cmp { left, right, .. } => match (left.max_attr(), right.max_attr()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
             Predicate::And(a, b) | Predicate::Or(a, b) => match (a.min_attr(), b.min_attr()) {
                 (Some(x), Some(y)) => Some(x.min(y)),
                 (x, y) => x.or(y),

@@ -124,12 +124,7 @@ impl Relation {
     /// # Errors
     ///
     /// Returns a schema error if the tuple fails [`Schema::check`].
-    pub fn insert_with(
-        &mut self,
-        tuple: Tuple,
-        texp: Time,
-        policy: DuplicatePolicy,
-    ) -> Result<()> {
+    pub fn insert_with(&mut self, tuple: Tuple, texp: Time, policy: DuplicatePolicy) -> Result<()> {
         self.schema.check(&tuple)?;
         match self.index.get(&tuple) {
             Some(&i) => {
@@ -278,10 +273,7 @@ impl Relation {
     /// same `texp`, regardless of insertion order.
     #[must_use]
     pub fn set_eq(&self, other: &Relation) -> bool {
-        self.rows.len() == other.rows.len()
-            && self
-                .iter()
-                .all(|(t, e)| other.texp(t) == Some(e))
+        self.rows.len() == other.rows.len() && self.iter().all(|(t, e)| other.texp(t) == Some(e))
     }
 
     /// Set equality of the *unexpired* portions at `τ`, including
@@ -290,9 +282,7 @@ impl Relation {
     #[must_use]
     pub fn set_eq_at(&self, other: &Relation, tau: Time) -> bool {
         self.count_unexpired(tau) == other.count_unexpired(tau)
-            && self
-                .iter_at(tau)
-                .all(|(t, e)| other.texp(t) == Some(e))
+            && self.iter_at(tau).all(|(t, e)| other.texp(t) == Some(e))
     }
 
     /// Set equality ignoring expiration times (pure tuple sets at `τ`).

@@ -186,9 +186,7 @@ fn apply_node_rules(expr: Expr) -> Expr {
             },
         },
         // σ_p(e1 × e2): push side-local conjuncts into the inputs.
-        Expr::Product { left, right } => {
-            push_into_product(*left, *right, predicate, None)
-        }
+        Expr::Product { left, right } => push_into_product(*left, *right, predicate, None),
         // σ_p(e1 ⋈_q e2): fold p into q, then push side-local conjuncts.
         Expr::Join {
             left,
@@ -365,9 +363,7 @@ impl Predicate {
             Predicate::False => Predicate::False,
             Predicate::Cmp { left, op, right } => {
                 let shift = |o: &crate::predicate::Operand| match o {
-                    crate::predicate::Operand::Attr(i) => {
-                        crate::predicate::Operand::Attr(i - by)
-                    }
+                    crate::predicate::Operand::Attr(i) => crate::predicate::Operand::Attr(i - by),
                     c => c.clone(),
                 };
                 Predicate::Cmp {
@@ -552,8 +548,14 @@ mod tests {
         // Mixed conjunct remains as a join.
         assert!(matches!(&r, Expr::Join { .. }), "got {r}");
         if let Expr::Join { left, right, .. } = &r {
-            assert!(matches!(**left, Expr::Project { .. }), "σ pushed into π on left: {left}");
-            assert!(matches!(**right, Expr::Project { .. }), "σ pushed into π on right: {right}");
+            assert!(
+                matches!(**left, Expr::Project { .. }),
+                "σ pushed into π on left: {left}"
+            );
+            assert!(
+                matches!(**right, Expr::Project { .. }),
+                "σ pushed into π on right: {right}"
+            );
         }
         assert_equivalent(&e, &r, &c);
     }

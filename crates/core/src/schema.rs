@@ -63,13 +63,8 @@ impl Schema {
     /// Convenient in tests and examples.
     #[must_use]
     pub fn of(pairs: &[(&str, ValueType)]) -> Self {
-        Schema::new(
-            pairs
-                .iter()
-                .map(|(n, t)| Attribute::new(*n, *t))
-                .collect(),
-        )
-        .expect("duplicate attribute name")
+        Schema::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            .expect("duplicate attribute name")
     }
 
     /// The arity `α(R)`.

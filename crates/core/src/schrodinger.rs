@@ -112,7 +112,11 @@ pub fn answer(
         }
         QueryPolicy::MoveBackward { max_drift } => {
             if let Some(back) = m.validity.prev_covered(tau) {
-                if back >= m.at && tau.finite().zip(back.finite()).is_some_and(|(t, b)| t - b <= max_drift)
+                if back >= m.at
+                    && tau
+                        .finite()
+                        .zip(back.finite())
+                        .is_some_and(|(t, b)| t - b <= max_drift)
                 {
                     return Ok(QueryAnswer {
                         rel: m.rel.exp(back),
@@ -206,13 +210,29 @@ mod tests {
     #[test]
     fn inside_validity_serves_locally() {
         let (c, e, m) = setting();
-        let a = answer(&m, &e, &c, t(2), QueryPolicy::Refuse, &EvalOptions::default()).unwrap();
+        let a = answer(
+            &m,
+            &e,
+            &c,
+            t(2),
+            QueryPolicy::Refuse,
+            &EvalOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.kind, AnswerKind::Local);
         assert_eq!(a.as_of, t(2));
         assert_eq!(a.rel.len(), 1);
         assert!(!a.used_base());
         // Far future: valid again (hole has closed).
-        let a = answer(&m, &e, &c, t(20), QueryPolicy::Refuse, &EvalOptions::default()).unwrap();
+        let a = answer(
+            &m,
+            &e,
+            &c,
+            t(20),
+            QueryPolicy::Refuse,
+            &EvalOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.kind, AnswerKind::Local);
         assert!(a.rel.is_empty(), "everything expired by 20");
     }
@@ -220,7 +240,15 @@ mod tests {
     #[test]
     fn recompute_policy_goes_to_base() {
         let (c, e, m) = setting();
-        let a = answer(&m, &e, &c, t(5), QueryPolicy::Recompute, &EvalOptions::default()).unwrap();
+        let a = answer(
+            &m,
+            &e,
+            &c,
+            t(5),
+            QueryPolicy::Recompute,
+            &EvalOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.kind, AnswerKind::Recomputed);
         assert!(a.used_base());
         assert_eq!(a.rel.len(), 3, "fresh at 5: ⟨1⟩,⟨2⟩,⟨3⟩");
@@ -298,7 +326,15 @@ mod tests {
     #[test]
     fn refuse_returns_empty_marker() {
         let (c, e, m) = setting();
-        let a = answer(&m, &e, &c, t(5), QueryPolicy::Refuse, &EvalOptions::default()).unwrap();
+        let a = answer(
+            &m,
+            &e,
+            &c,
+            t(5),
+            QueryPolicy::Refuse,
+            &EvalOptions::default(),
+        )
+        .unwrap();
         assert_eq!(a.kind, AnswerKind::Refused);
         assert!(a.rel.is_empty());
     }

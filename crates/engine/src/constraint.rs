@@ -25,7 +25,11 @@ pub struct ConstraintViolation {
 
 impl fmt::Display for ConstraintViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "constraint `{}` violated: {}", self.constraint, self.message)
+        write!(
+            f,
+            "constraint `{}` violated: {}",
+            self.constraint, self.message
+        )
     }
 }
 
@@ -64,12 +68,7 @@ impl Constraint {
     /// # Errors
     ///
     /// Returns a [`ConstraintViolation`] describing the failure.
-    pub fn check(
-        &self,
-        tuple: &Tuple,
-        texp: Time,
-        now: Time,
-    ) -> Result<(), ConstraintViolation> {
+    pub fn check(&self, tuple: &Tuple, texp: Time, now: Time) -> Result<(), ConstraintViolation> {
         match self {
             Constraint::Check { name, predicate } => {
                 if predicate.eval(tuple) {
@@ -113,11 +112,12 @@ mod tests {
 
     #[test]
     fn check_constraint() {
-        let c = Constraint::Check {
-            name: "deg_range".into(),
-            predicate: Predicate::attr_cmp_const(1, CmpOp::Le, 100)
-                .and(Predicate::attr_cmp_const(1, CmpOp::Ge, 0)),
-        };
+        let c =
+            Constraint::Check {
+                name: "deg_range".into(),
+                predicate: Predicate::attr_cmp_const(1, CmpOp::Le, 100)
+                    .and(Predicate::attr_cmp_const(1, CmpOp::Ge, 0)),
+            };
         assert_eq!(c.name(), "deg_range");
         assert!(c.check(&tuple![1, 50], Time::new(5), Time::ZERO).is_ok());
         let err = c
@@ -136,9 +136,7 @@ mod tests {
         assert!(c.check(&tuple![1], Time::new(100), Time::ZERO).is_ok());
         assert!(c.check(&tuple![1], Time::new(150), Time::new(60)).is_ok());
         assert!(c.check(&tuple![1], Time::new(161), Time::new(60)).is_err());
-        let err = c
-            .check(&tuple![1], Time::INFINITY, Time::ZERO)
-            .unwrap_err();
+        let err = c.check(&tuple![1], Time::INFINITY, Time::ZERO).unwrap_err();
         assert!(err.to_string().contains("∞"));
     }
 }

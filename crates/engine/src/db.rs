@@ -15,19 +15,21 @@
 
 use crate::constraint::{Constraint, ConstraintViolation};
 use crate::trigger::{ExpirationEvent, TriggerFn, TriggerManager};
-use exptime_core::algebra::{eval, EvalOptions, Expr, Materialized};
+use exptime_core::algebra::{eval, eval_profiled, EvalOptions, Expr, Materialized, PlanProfile};
 use exptime_core::catalog::Catalog;
-use exptime_core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
+use exptime_core::materialize::{MaterializedView, RefreshDecision, RefreshPolicy, RemovalPolicy};
 use exptime_core::relation::Relation;
 use exptime_core::schema::Schema;
 use exptime_core::time::{Clock, Time};
 use exptime_core::tuple::Tuple;
 use exptime_core::value::{Value, ValueType};
+use exptime_obs::{Counter, EventKind, Histogram, MetricsRegistry, Obs};
 use exptime_sql::ast::{Expires, Statement};
 use exptime_sql::{plan_query, plan_table_cond, SchemaProvider, SqlError};
 use exptime_storage::{IndexKind, Table};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 /// How the engine physically removes expired base-table rows
 /// (Section 3.2).
@@ -64,7 +66,8 @@ pub struct DbConfig {
     pub optimize: bool,
 }
 
-/// Aggregate engine statistics.
+/// Aggregate engine statistics — a point-in-time snapshot of the `db.*`
+/// counters in the database's [`MetricsRegistry`] (see [`Database::obs`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DbStats {
     /// Rows inserted.
@@ -73,10 +76,52 @@ pub struct DbStats {
     pub deletes: u64,
     /// Rows removed by expiration.
     pub expired: u64,
-    /// Queries evaluated (SQL SELECT + direct expression queries).
+    /// Queries evaluated successfully. Every evaluation counts exactly
+    /// once, whichever door it came through: SQL `SELECT`, a direct
+    /// [`Database::query_expr`], a [`Database::read_view`], or an
+    /// [`Database::explain_analyze`]. Failed evaluations do not count.
     pub queries: u64,
     /// Vacuum passes run (lazy removal).
     pub vacuums: u64,
+}
+
+/// Registry-backed handles behind [`DbStats`]. The counters are the source
+/// of truth; `DbStats` is what [`Database::stats`] snapshots from them.
+#[derive(Debug, Clone)]
+struct DbCounters {
+    inserts: Counter,
+    deletes: Counter,
+    expired: Counter,
+    queries: Counter,
+    vacuums: Counter,
+    /// Latency of successful query evaluations, nanoseconds.
+    query_ns: Histogram,
+    /// Latency of successful inserts, nanoseconds.
+    insert_ns: Histogram,
+}
+
+impl DbCounters {
+    fn in_registry(registry: &MetricsRegistry) -> Self {
+        DbCounters {
+            inserts: registry.counter("db.inserts"),
+            deletes: registry.counter("db.deletes"),
+            expired: registry.counter("db.expired"),
+            queries: registry.counter("db.queries"),
+            vacuums: registry.counter("db.vacuums"),
+            query_ns: registry.histogram("db.query_ns"),
+            insert_ns: registry.histogram("db.insert_ns"),
+        }
+    }
+
+    fn snapshot(&self) -> DbStats {
+        DbStats {
+            inserts: self.inserts.get(),
+            deletes: self.deletes.get(),
+            expired: self.expired.get(),
+            queries: self.queries.get(),
+            vacuums: self.vacuums.get(),
+        }
+    }
 }
 
 /// Engine errors.
@@ -156,6 +201,30 @@ impl ExecResult {
     }
 }
 
+/// The result of [`Database::explain_analyze`]: an annotated, actually
+/// executed plan (EXPLAIN ANALYZE in the PostgreSQL sense, on the
+/// expiration-time algebra).
+#[derive(Debug)]
+pub struct Explain {
+    /// Per-operator profile of the executed plan.
+    pub profile: PlanProfile,
+    /// `(view, decision)` for every materialised view the query touched,
+    /// refreshed at this instant — the observable form of Theorems 1–3.
+    pub decisions: Vec<(String, RefreshDecision)>,
+    /// Rows in the final result.
+    pub rows: usize,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.profile.render().trim_end())?;
+        for (view, decision) in &self.decisions {
+            writeln!(f, "view {view}: {decision}")?;
+        }
+        write!(f, "result: {} rows", self.rows)
+    }
+}
+
 #[allow(clippy::large_enum_variant)] // few views exist; clarity over size
 enum ViewEntry {
     Virtual {
@@ -187,8 +256,9 @@ impl ViewEntry {
 
     fn definition(&self) -> Option<&exptime_sql::ast::Query> {
         match self {
-            ViewEntry::Virtual { definition, .. }
-            | ViewEntry::Materialized { definition, .. } => definition.as_ref(),
+            ViewEntry::Virtual { definition, .. } | ViewEntry::Materialized { definition, .. } => {
+                definition.as_ref()
+            }
         }
     }
 
@@ -212,7 +282,8 @@ pub struct Database {
     /// expiration-time updates — never on expirations.
     write_versions: HashMap<String, u64>,
     last_vacuum: Time,
-    stats: DbStats,
+    obs: Obs,
+    counters: DbCounters,
 }
 
 impl fmt::Debug for Database {
@@ -221,7 +292,7 @@ impl fmt::Debug for Database {
             .field("now", &self.clock.now())
             .field("tables", &self.tables.keys().collect::<Vec<_>>())
             .field("views", &self.views.keys().collect::<Vec<_>>())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -236,6 +307,8 @@ impl Database {
     /// Creates an empty database at time 0.
     #[must_use]
     pub fn new(config: DbConfig) -> Self {
+        let obs = Obs::new();
+        let counters = DbCounters::in_registry(obs.registry());
         Database {
             config,
             clock: Clock::new(),
@@ -245,7 +318,8 @@ impl Database {
             constraints: HashMap::new(),
             write_versions: HashMap::new(),
             last_vacuum: Time::ZERO,
-            stats: DbStats::default(),
+            obs,
+            counters,
         }
     }
 
@@ -255,10 +329,26 @@ impl Database {
         self.clock.now()
     }
 
-    /// Engine statistics.
+    /// Engine statistics (a snapshot of the `db.*` registry counters).
     #[must_use]
     pub fn stats(&self) -> DbStats {
-        self.stats
+        self.counters.snapshot()
+    }
+
+    /// The engine's observability handle: its [`MetricsRegistry`] (every
+    /// `db.*`, `storage.<table>.*`, and `view.<name>.*` metric) and event
+    /// stream. Install a sink (e.g. [`exptime_obs::RingSink`]) to watch
+    /// expirations, trigger firings, vacuum passes, clock advances, view
+    /// refresh decisions, and optimizer rewrites as they happen.
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Shorthand for `self.obs().registry()`.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        self.obs.registry()
     }
 
     /// The trigger manager (register callbacks, read the event log).
@@ -309,6 +399,14 @@ impl Database {
     /// Panics if `target` is in the past or `∞` (clocks only move forward
     /// through finite instants).
     pub fn advance_to(&mut self, target: Time) {
+        let from = self.clock.now();
+        if target > from {
+            self.obs
+                .emit_with(target.finite(), || EventKind::ClockAdvance {
+                    from: from.finite().unwrap_or(u64::MAX),
+                    to: target.finite().unwrap_or(u64::MAX),
+                });
+        }
         match self.config.removal {
             Removal::Eager => {
                 // Step through each expiration event so triggers fire at
@@ -347,23 +445,46 @@ impl Database {
     /// after `texp` — the lazy-removal fidelity gap).
     pub fn vacuum(&mut self) {
         let now = self.clock.now();
-        self.expire_all(now, now);
+        let removed = self.expire_all(now, now);
         self.last_vacuum = now;
-        self.stats.vacuums += 1;
+        self.counters.vacuums.inc();
+        self.obs.emit_with(now.finite(), || EventKind::VacuumPass {
+            at: now.finite().unwrap_or(u64::MAX),
+            removed,
+        });
     }
 
-    fn expire_all(&mut self, tau: Time, fired_at: Time) {
+    fn expire_all(&mut self, tau: Time, fired_at: Time) -> u64 {
+        let mut removed = 0;
         for (name, table) in &mut self.tables {
             for (tuple, texp) in table.expire_due(tau) {
-                self.stats.expired += 1;
+                self.counters.expired.inc();
+                removed += 1;
+                let (texp_u, fired_u) = (
+                    texp.finite().unwrap_or(u64::MAX),
+                    fired_at.finite().unwrap_or(u64::MAX),
+                );
+                self.obs
+                    .emit_with(fired_at.finite(), || EventKind::TupleExpired {
+                        table: name.clone(),
+                        texp: texp_u,
+                        fired_at: fired_u,
+                    });
                 self.triggers.fire(ExpirationEvent {
                     table: name.clone(),
                     tuple,
                     texp,
                     fired_at,
                 });
+                self.obs
+                    .emit_with(fired_at.finite(), || EventKind::TriggerFired {
+                        table: name.clone(),
+                        texp: texp_u,
+                        fired_at: fired_u,
+                    });
             }
         }
+        removed
     }
 
     // ------------------------------------------------------------------
@@ -380,8 +501,9 @@ impl Database {
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(DbError::Catalog(format!("`{name}` already exists")));
         }
-        self.tables
-            .insert(key.clone(), Table::new(key, schema, self.config.index));
+        let mut table = Table::new(key.clone(), schema, self.config.index);
+        table.attach_obs(&self.obs);
+        self.tables.insert(key, table);
         Ok(())
     }
 
@@ -441,6 +563,7 @@ impl Database {
     ///
     /// Returns schema, constraint, or past-expiration errors.
     pub fn insert(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
+        let start = Instant::now();
         let now = self.clock.now();
         let key = table.to_ascii_lowercase();
         if let Some(cs) = self.constraints.get(&key) {
@@ -453,7 +576,8 @@ impl Database {
             .get_mut(&key)
             .ok_or_else(|| DbError::Catalog(format!("unknown table `{table}`")))?;
         t.insert(tuple, texp, now)?;
-        self.stats.inserts += 1;
+        self.counters.inserts.inc();
+        self.counters.insert_ns.record_duration(start.elapsed());
         self.bump_version(&key);
         Ok(())
     }
@@ -509,15 +633,34 @@ impl Database {
     ///
     /// Propagates evaluation errors.
     pub fn query_expr(&mut self, expr: &Expr) -> DbResult<Materialized> {
+        let start = Instant::now();
+        let (expr, snapshot) = self.prepare_expr(expr);
+        let m = eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+        self.counters.queries.inc();
+        self.counters.query_ns.record_duration(start.elapsed());
+        Ok(m)
+    }
+
+    /// Inlines views, snapshots the catalog, and (when configured) runs
+    /// the cost-gated rewriter, emitting a [`EventKind::RewriteApplied`]
+    /// event when the plan actually changed.
+    fn prepare_expr(&mut self, expr: &Expr) -> (Expr, Catalog) {
         let expr = self.inline_views(expr);
         let snapshot = self.snapshot();
         let expr = if self.config.optimize {
-            exptime_core::cost::optimize(&expr, &snapshot, self.clock.now())
+            let rewritten = exptime_core::cost::optimize(&expr, &snapshot, self.clock.now());
+            if rewritten != expr {
+                self.obs
+                    .emit_with(self.clock.now().finite(), || EventKind::RewriteApplied {
+                        rule: "cost_gated_rewrite".into(),
+                        detail: format!("{expr} => {rewritten}"),
+                    });
+            }
+            rewritten
         } else {
             expr
         };
-        self.stats.queries += 1;
-        Ok(eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?)
+        (expr, snapshot)
     }
 
     /// Replaces view references with their defining expressions, so every
@@ -597,7 +740,7 @@ impl Database {
         let expr = self.inline_views(&expr);
         let snapshot = self.snapshot();
         let schema = expr.schema(&snapshot)?;
-        let view = MaterializedView::new(
+        let mut view = MaterializedView::new(
             expr,
             &snapshot,
             self.clock.now(),
@@ -605,6 +748,7 @@ impl Database {
             self.config.view_refresh,
             RemovalPolicy::Lazy,
         )?;
+        view.attach_obs(&self.obs, &key);
         let base_versions = self.current_versions(view.expr());
         self.views.insert(
             key,
@@ -639,8 +783,14 @@ impl Database {
         }
         let expr = self.inline_views(&expr);
         let schema = expr.schema(&self.snapshot())?;
-        self.views
-            .insert(key, ViewEntry::Virtual { expr, schema, definition });
+        self.views.insert(
+            key,
+            ViewEntry::Virtual {
+                expr,
+                schema,
+                definition,
+            },
+        );
         Ok(())
     }
 
@@ -665,26 +815,32 @@ impl Database {
     /// Returns catalog or evaluation errors.
     pub fn read_view(&mut self, name: &str) -> DbResult<Relation> {
         let key = name.to_ascii_lowercase();
-        let now = self.clock.now();
-        self.stats.queries += 1;
-        // Split borrow: snapshot first (immutable), then the view entry.
-        let needs_snapshot = matches!(
-            self.views.get(&key),
-            Some(ViewEntry::Materialized { .. }) | Some(ViewEntry::Virtual { .. })
-        );
-        if !needs_snapshot {
+        if !self.views.contains_key(&key) {
             return Err(DbError::Catalog(format!("unknown view `{name}`")));
         }
+        let start = Instant::now();
+        let rel = self.read_view_inner(&key)?;
+        self.counters.queries.inc();
+        self.counters.query_ns.record_duration(start.elapsed());
+        Ok(rel)
+    }
+
+    /// The read path proper, without query accounting (so callers that
+    /// refresh a view as part of a larger query — e.g.
+    /// [`Database::explain_analyze`] — don't double-count).
+    fn read_view_inner(&mut self, key: &str) -> DbResult<Relation> {
+        let now = self.clock.now();
         let snapshot = self.snapshot();
         // Views must see base-table *updates* (inserts / explicit
         // deletes / expiration-time changes), which the paper's
         // expiration-only maintenance model excludes: compare write
         // versions and force a refresh when they moved.
-        let wanted = match self.views.get(&key).expect("checked above") {
-            ViewEntry::Materialized { view, .. } => Some(self.current_versions(view.expr())),
-            ViewEntry::Virtual { .. } => None,
+        let wanted = match self.views.get(key) {
+            Some(ViewEntry::Materialized { view, .. }) => Some(self.current_versions(view.expr())),
+            Some(ViewEntry::Virtual { .. }) => None,
+            None => return Err(DbError::Catalog(format!("unknown view `{key}`"))),
         };
-        match self.views.get_mut(&key).expect("checked above") {
+        match self.views.get_mut(key).expect("checked above") {
             ViewEntry::Virtual { expr, .. } => {
                 Ok(eval(expr, &snapshot, now, &self.config.eval)?.rel)
             }
@@ -733,6 +889,63 @@ impl Database {
         }
     }
 
+    // ------------------------------------------------------------------
+    // EXPLAIN ANALYZE
+    // ------------------------------------------------------------------
+
+    /// Plans and profiles a SQL `SELECT`: evaluates it for real, returning
+    /// a per-operator breakdown (rows in/out, expired-filtered, elapsed)
+    /// plus the refresh decisions of every materialised view the query
+    /// touched. Counts as one query.
+    ///
+    /// # Errors
+    ///
+    /// Returns SQL errors, [`DbError::Catalog`] for non-SELECT statements,
+    /// and evaluation errors.
+    pub fn explain_analyze(&mut self, sql: &str) -> DbResult<Explain> {
+        let stmt = exptime_sql::parse(sql)?;
+        let Statement::Select(query) = stmt else {
+            return Err(DbError::Catalog(
+                "EXPLAIN ANALYZE expects a SELECT statement".into(),
+            ));
+        };
+        let expr = plan_query(&query, &DbSchemas(self))?;
+        self.explain_analyze_expr(&expr)
+    }
+
+    /// [`Database::explain_analyze`] over an algebra expression (view
+    /// names are inlined, like [`Database::query_expr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn explain_analyze_expr(&mut self, expr: &Expr) -> DbResult<Explain> {
+        let start = Instant::now();
+        // Refresh the materialised views the query references first, so
+        // the report carries the decision an ordinary read would make
+        // (Theorem 1/2/3 or recompute) at this instant.
+        let mut decisions = Vec::new();
+        for name in expr.base_names() {
+            let key = name.to_ascii_lowercase();
+            if matches!(self.views.get(&key), Some(ViewEntry::Materialized { .. })) {
+                self.read_view_inner(&key)?;
+                if let Some(ViewEntry::Materialized { view, .. }) = self.views.get(&key) {
+                    if let Some(d) = view.last_decision() {
+                        decisions.push((key, d));
+                    }
+                }
+            }
+        }
+        let (expr, snapshot) = self.prepare_expr(expr);
+        let (m, profile) = eval_profiled(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+        self.counters.queries.inc();
+        self.counters.query_ns.record_duration(start.elapsed());
+        Ok(Explain {
+            profile,
+            decisions,
+            rows: m.rel.len(),
+        })
+    }
 
     // ------------------------------------------------------------------
     // Dump / restore
@@ -835,9 +1048,7 @@ impl Database {
             .next()
             .and_then(|l| l.strip_prefix("-- exptime dump at t="))
             .and_then(|n| n.trim().parse::<u64>().ok())
-            .ok_or_else(|| {
-                DbError::Catalog("missing `-- exptime dump at t=N` header".into())
-            })?;
+            .ok_or_else(|| DbError::Catalog("missing `-- exptime dump at t=N` header".into()))?;
         db.execute_script(dump)?;
         // Rows in the dump were live (texp > clock), so advancing fires
         // no spurious expirations.
@@ -950,7 +1161,7 @@ impl Database {
                         n += 1;
                     }
                 }
-                self.stats.deletes += n as u64;
+                self.counters.deletes.add(n as u64);
                 if n > 0 {
                     self.bump_version(&table.to_ascii_lowercase());
                 }
@@ -1006,10 +1217,7 @@ impl Database {
 /// result. The expiration-time algebra is set-based, so ordering is not an
 /// operator; it reorders (and truncates) the result relation's iteration
 /// order. `ORDER BY` references *output* column names.
-fn apply_presentation(
-    rel: Relation,
-    query: &exptime_sql::ast::Query,
-) -> Result<Relation, DbError> {
+fn apply_presentation(rel: Relation, query: &exptime_sql::ast::Query) -> Result<Relation, DbError> {
     if query.order_by.is_empty() && query.limit.is_none() {
         return Ok(rel);
     }
@@ -1049,10 +1257,7 @@ fn apply_presentation(
 }
 
 /// Coerces SQL literals to a schema (integer literals fill float columns).
-fn coerce_row(
-    row: &[exptime_sql::ast::Literal],
-    schema: &Schema,
-) -> Result<Tuple, DbError> {
+fn coerce_row(row: &[exptime_sql::ast::Literal], schema: &Schema) -> Result<Tuple, DbError> {
     let mut values = Vec::with_capacity(row.len());
     for (i, lit) in row.iter().enumerate() {
         let v = lit.to_value();
@@ -1158,7 +1363,12 @@ mod tests {
         db.tick(5); // no vacuum yet
         assert_eq!(db.triggers().log().len(), 0);
         // Reads still exclude the expired row.
-        assert!(db.execute("SELECT * FROM s").unwrap().rows().unwrap().is_empty());
+        assert!(db
+            .execute("SELECT * FROM s")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .is_empty());
         assert_eq!(db.table("s").unwrap().len(), 1, "physically present");
         db.tick(5); // vacuum at 10
         let log = db.triggers().log();
@@ -1175,9 +1385,13 @@ mod tests {
         let mut db = figure1_db();
         let n = Arc::new(AtomicUsize::new(0));
         let c = n.clone();
-        db.on_expire("pol", "renew_profile", Box::new(move |_| {
-            c.fetch_add(1, Ordering::SeqCst);
-        }));
+        db.on_expire(
+            "pol",
+            "renew_profile",
+            Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         db.tick(20);
         assert_eq!(n.load(Ordering::SeqCst), 3, "three pol rows expired");
     }
@@ -1203,10 +1417,15 @@ mod tests {
             db.execute("INSERT INTO s VALUES (3) EXPIRES NEVER"),
             Err(DbError::Constraint(_))
         ));
-        assert!(db.add_constraint("missing", Constraint::MaxLifetime {
-            name: "x".into(),
-            ticks: 1
-        }).is_err());
+        assert!(db
+            .add_constraint(
+                "missing",
+                Constraint::MaxLifetime {
+                    name: "x".into(),
+                    ticks: 1
+                }
+            )
+            .is_err());
     }
 
     #[test]
@@ -1279,7 +1498,14 @@ mod tests {
             .affected()
             .unwrap();
         assert_eq!(n, 2);
-        assert_eq!(db.execute("SELECT * FROM pol").unwrap().rows().unwrap().len(), 1);
+        assert_eq!(
+            db.execute("SELECT * FROM pol")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .len(),
+            1
+        );
 
         // Extend the remaining row's life.
         let n = db
@@ -1290,14 +1516,23 @@ mod tests {
         assert_eq!(n, 1);
         db.tick(20);
         assert_eq!(
-            db.execute("SELECT * FROM pol").unwrap().rows().unwrap().len(),
+            db.execute("SELECT * FROM pol")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .len(),
             1,
             "outlived its original texp of 10"
         );
         // EXPIRES IN is relative to now (20).
         db.execute("UPDATE pol SET EXPIRES IN 5 TICKS").unwrap();
         db.tick(5);
-        assert!(db.execute("SELECT * FROM pol").unwrap().rows().unwrap().is_empty());
+        assert!(db
+            .execute("SELECT * FROM pol")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -1337,19 +1572,23 @@ mod tests {
         db.tick(10);
         assert!(matches!(
             db.execute("INSERT INTO s VALUES (1) EXPIRES AT 10"),
-            Err(DbError::Core(exptime_core::error::Error::ExpirationInPast { .. }))
+            Err(DbError::Core(
+                exptime_core::error::Error::ExpirationInPast { .. }
+            ))
         ));
     }
 
     #[test]
     fn dump_restore_roundtrip_preserves_everything_observable() {
         let mut db = figure1_db();
-        db.execute("CREATE TABLE notes (body TEXT, pinned BOOL)").unwrap();
+        db.execute("CREATE TABLE notes (body TEXT, pinned BOOL)")
+            .unwrap();
         db.execute("INSERT INTO notes VALUES ('it''s a test', TRUE) EXPIRES NEVER")
             .unwrap();
         db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
             .unwrap();
-        db.execute("CREATE VIEW all_el AS SELECT * FROM el").unwrap();
+        db.execute("CREATE VIEW all_el AS SELECT * FROM el")
+            .unwrap();
         db.tick(4); // some rows expire before the dump
 
         let dump = db.dump_sql();
@@ -1456,5 +1695,112 @@ mod tests {
         assert_eq!(db.stats().queries, 2);
         db.tick(20);
         assert_eq!(db.stats().expired, 6);
+    }
+
+    #[test]
+    fn stats_are_registry_snapshots_and_count_queries_uniformly() {
+        let mut db = figure1_db();
+        // The same counts through the registry and through stats().
+        assert_eq!(db.metrics().counter_value("db.inserts"), 6);
+        assert_eq!(db.metrics().counter_value("storage.pol.inserts"), 3);
+
+        // Every successful evaluation counts once, whatever the door:
+        db.execute("SELECT * FROM pol").unwrap(); // SQL
+        db.query_expr(&Expr::base("el")).unwrap(); // direct expression
+        db.execute("CREATE VIEW v AS SELECT uid FROM pol").unwrap();
+        db.read_view("v").unwrap(); // view read
+        assert_eq!(db.stats().queries, 3);
+        // Failed evaluations don't count (the seed counted unknown-view
+        // reads but not unknown-table SELECTs).
+        assert!(db.read_view("nope").is_err());
+        assert!(db.execute("SELECT * FROM nope").is_err());
+        assert_eq!(db.stats().queries, 3);
+
+        // The latency histogram moves in lock-step with the counter.
+        let h = db.metrics().histogram("db.query_ns").snapshot();
+        assert_eq!(h.count, db.stats().queries);
+        let hi = db.metrics().histogram("db.insert_ns").snapshot();
+        assert_eq!(hi.count, db.stats().inserts);
+    }
+
+    #[test]
+    fn lazy_removal_telemetry_shows_late_triggers_and_correct_reads() {
+        let mut db = Database::new(DbConfig {
+            removal: Removal::Lazy { vacuum_every: 10 },
+            ..DbConfig::default()
+        });
+        let ring = db.obs().install_ring(64);
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.execute("INSERT INTO s VALUES (1) EXPIRES AT 3").unwrap();
+        db.execute("INSERT INTO s VALUES (2) EXPIRES AT 7").unwrap();
+
+        db.tick(8); // past both texp, before any vacuum
+                    // Reads are already correct: expiration is logical.
+        assert!(db
+            .execute("SELECT * FROM s")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .is_empty());
+        // …but no trigger has fired yet; the event log shows only the
+        // clock moving.
+        let fired: Vec<_> = ring
+            .recent(64)
+            .into_iter()
+            .filter(|e| e.kind.tag() == "trigger_fired")
+            .collect();
+        assert!(fired.is_empty(), "no vacuum yet: {fired:?}");
+
+        db.tick(2); // vacuum at 10
+        let events = ring.recent(64);
+        let fired: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind.tag() == "trigger_fired")
+            .collect();
+        assert_eq!(fired.len(), 2);
+        for e in &fired {
+            let EventKind::TriggerFired { texp, fired_at, .. } = &e.kind else {
+                unreachable!()
+            };
+            assert_eq!(*fired_at, 10, "lazy: fired at vacuum time");
+            assert!(fired_at > texp, "…which is after texp");
+        }
+        let vacuums: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::VacuumPass { at: 10, removed: 2 }))
+            .collect();
+        assert_eq!(vacuums.len(), 1);
+    }
+
+    #[test]
+    fn explain_analyze_reports_plan_and_view_decisions() {
+        let mut db = figure1_db();
+        db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
+            .unwrap();
+
+        let explain = db.explain_analyze("SELECT * FROM hot").unwrap();
+        assert_eq!(explain.rows, 2);
+        // Monotonic view: Theorem 1, never recomputed.
+        assert_eq!(
+            explain.decisions,
+            vec![("hot".to_string(), RefreshDecision::Eternal)]
+        );
+        let text = explain.to_string();
+        assert!(text.contains("rows="), "{text}");
+        assert!(text.contains("Theorem 1"), "{text}");
+        assert!(text.contains("result: 2 rows"), "{text}");
+        // The profile is a real execution: σ over the base table, with
+        // per-operator row counts.
+        assert_eq!(explain.profile.rows_out, 2);
+
+        // Non-SELECT statements are rejected.
+        assert!(db.explain_analyze("CREATE TABLE x (a INT)").is_err());
+
+        // Joins profile the whole tree.
+        let e = db
+            .explain_analyze("SELECT * FROM pol JOIN el ON pol.uid = el.uid")
+            .unwrap();
+        assert_eq!(e.rows, 2);
+        assert!(e.profile.node_count() >= 3, "join + two bases");
     }
 }

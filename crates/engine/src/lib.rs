@@ -26,6 +26,6 @@ pub mod shared;
 pub mod trigger;
 
 pub use constraint::{Constraint, ConstraintViolation};
-pub use db::{Database, DbConfig, DbError, DbResult, DbStats, ExecResult, Removal};
+pub use db::{Database, DbConfig, DbError, DbResult, DbStats, ExecResult, Explain, Removal};
 pub use shared::{SharedDatabase, TickerHandle};
 pub use trigger::{ExpirationEvent, TriggerFn, TriggerManager};

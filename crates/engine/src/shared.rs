@@ -149,12 +149,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let n = db
-            .execute("SELECT * FROM t")
-            .unwrap()
-            .rows()
-            .unwrap()
-            .len();
+        let n = db.execute("SELECT * FROM t").unwrap().rows().unwrap().len();
         assert_eq!(n, 200);
         assert_eq!(db.with(|d| d.stats().inserts), 200);
     }
@@ -179,12 +174,7 @@ mod tests {
             std::thread::spawn(move || {
                 let mut last = 0;
                 for _ in 0..100 {
-                    let n = db
-                        .execute("SELECT * FROM t")
-                        .unwrap()
-                        .rows()
-                        .unwrap()
-                        .len();
+                    let n = db.execute("SELECT * FROM t").unwrap().rows().unwrap().len();
                     assert!(n >= last, "row count is monotone while TTLs are long");
                     last = n;
                 }
@@ -204,7 +194,8 @@ mod tests {
     fn ticker_advances_and_expires_in_real_time() {
         let db = SharedDatabase::new(DbConfig::default());
         db.execute("CREATE TABLE s (k INT)").unwrap();
-        db.execute("INSERT INTO s VALUES (1) EXPIRES IN 3 TICKS").unwrap();
+        db.execute("INSERT INTO s VALUES (1) EXPIRES IN 3 TICKS")
+            .unwrap();
         let ticker = db.start_ticker(Duration::from_millis(2));
         // Wait (bounded) for the clock to pass 3.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -246,7 +237,9 @@ mod tests {
     fn from_database_preserves_state() {
         let mut inner = Database::default();
         inner.execute("CREATE TABLE t (k INT)").unwrap();
-        inner.execute("INSERT INTO t VALUES (7) EXPIRES NEVER").unwrap();
+        inner
+            .execute("INSERT INTO t VALUES (7) EXPIRES NEVER")
+            .unwrap();
         inner.tick(5);
         let db = SharedDatabase::from_database(inner);
         assert_eq!(db.now(), Time::new(5));

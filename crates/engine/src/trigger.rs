@@ -135,9 +135,13 @@ mod tests {
         let mut tm = TriggerManager::new();
         let count = Arc::new(AtomicUsize::new(0));
         let c = count.clone();
-        tm.on_expire("pol", "count_expiries", Box::new(move |_| {
-            c.fetch_add(1, Ordering::SeqCst);
-        }));
+        tm.on_expire(
+            "pol",
+            "count_expiries",
+            Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         tm.fire(event("pol", 5, 5));
         tm.fire(event("el", 5, 5));
         tm.fire(event("POL", 7, 7)); // case-insensitive table match
@@ -152,9 +156,13 @@ mod tests {
         let seen: Arc<std::sync::Mutex<Vec<(Time, Time)>>> =
             Arc::new(std::sync::Mutex::new(Vec::new()));
         let s = seen.clone();
-        tm.on_expire("pol", "capture", Box::new(move |e| {
-            s.lock().unwrap().push((e.texp, e.fired_at));
-        }));
+        tm.on_expire(
+            "pol",
+            "capture",
+            Box::new(move |e| {
+                s.lock().unwrap().push((e.texp, e.fired_at));
+            }),
+        );
         tm.fire(event("pol", 5, 8)); // lazy: fired later than texp
         let got = seen.lock().unwrap();
         assert_eq!(got[0], (Time::new(5), Time::new(8)));
@@ -165,9 +173,13 @@ mod tests {
         let mut tm = TriggerManager::new();
         let count = Arc::new(AtomicUsize::new(0));
         let c = count.clone();
-        tm.on_expire("pol", "t1", Box::new(move |_| {
-            c.fetch_add(1, Ordering::SeqCst);
-        }));
+        tm.on_expire(
+            "pol",
+            "t1",
+            Box::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         assert!(tm.drop_trigger("pol", "t1"));
         assert!(!tm.drop_trigger("pol", "t1"));
         assert!(!tm.drop_trigger("el", "t1"));

@@ -1,0 +1,380 @@
+//! Structured event tracing for the expiration domain.
+//!
+//! An [`Obs`] handle pairs a [`MetricsRegistry`] with an optional
+//! [`EventSink`]. With no sink installed, [`Obs::emit_with`] costs one
+//! relaxed `AtomicBool` load and the event payload is never constructed —
+//! this is the "near-zero-cost when dark" guarantee the benches rely on.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::MetricsRegistry;
+
+/// Why a materialised-view read was (or was not) recomputed — the
+/// observable form of the paper's Theorems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshDecision {
+    /// Theorem 1: the view's expression is monotonic, so the
+    /// materialisation never expires (texp = ∞).
+    Eternal,
+    /// Theorem 2: the current time is still inside the materialisation's
+    /// validity interval; served as-is.
+    ValidityHit,
+    /// Theorem 3: a root-difference patch queue absorbed the change; the
+    /// stored result was patched instead of recomputed.
+    PatchHit,
+    /// The materialisation had expired (or never existed); recomputed
+    /// from base relations.
+    Recompute,
+}
+
+impl std::fmt::Display for RefreshDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RefreshDecision::Eternal => "eternal (Theorem 1)",
+            RefreshDecision::ValidityHit => "validity-hit (Theorem 2)",
+            RefreshDecision::PatchHit => "patch-hit (Theorem 3)",
+            RefreshDecision::Recompute => "recompute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What happened. Field names favour the expiration domain's vocabulary:
+/// `texp` is the tuple's expiration time, `at`/`fired_at` are logical
+/// clock readings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A tuple reached its expiration time and left a table.
+    TupleExpired {
+        table: String,
+        texp: u64,
+        fired_at: u64,
+    },
+    /// An expiration trigger ran. Under lazy removal `fired_at > texp`:
+    /// the Section 3.2 punctuality-for-throughput trade.
+    TriggerFired {
+        table: String,
+        texp: u64,
+        fired_at: u64,
+    },
+    /// A lazy-removal vacuum pass completed.
+    VacuumPass { at: u64, removed: u64 },
+    /// The engine's logical clock moved.
+    ClockAdvance { from: u64, to: u64 },
+    /// A materialised view served a read with the given decision.
+    ViewRefresh {
+        view: String,
+        decision: RefreshDecision,
+        at: u64,
+    },
+    /// The optimizer rewrote a query.
+    RewriteApplied { rule: String, detail: String },
+    /// A replica link carried a message.
+    ReplicaMessage { kind: String, tuples: u64 },
+    /// A replica answered from a stale (but Schrödinger-covered)
+    /// materialisation while its link was down.
+    ReplicaDivergence { view: String, behind: u64 },
+}
+
+impl EventKind {
+    /// Short machine-friendly tag (also the event taxonomy in docs).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::TupleExpired { .. } => "tuple_expired",
+            EventKind::TriggerFired { .. } => "trigger_fired",
+            EventKind::VacuumPass { .. } => "vacuum_pass",
+            EventKind::ClockAdvance { .. } => "clock_advance",
+            EventKind::ViewRefresh { .. } => "view_refresh",
+            EventKind::RewriteApplied { .. } => "rewrite_applied",
+            EventKind::ReplicaMessage { .. } => "replica_message",
+            EventKind::ReplicaDivergence { .. } => "replica_divergence",
+        }
+    }
+}
+
+/// One logged event. `logical_time` is the engine clock when known (wall
+/// time is deliberately absent: the paper's world runs on now-relative
+/// logical time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    pub seq: u64,
+    pub logical_time: Option<u64>,
+    pub kind: EventKind,
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{:<5} ", self.seq)?;
+        match self.logical_time {
+            Some(t) => write!(f, "t={t:<6} ")?,
+            None => write!(f, "t=?      ")?,
+        }
+        match &self.kind {
+            EventKind::TupleExpired {
+                table,
+                texp,
+                fired_at,
+            } => {
+                write!(
+                    f,
+                    "tuple_expired   table={table} texp={texp} fired_at={fired_at}"
+                )
+            }
+            EventKind::TriggerFired {
+                table,
+                texp,
+                fired_at,
+            } => {
+                let late = fired_at.saturating_sub(*texp);
+                write!(
+                    f,
+                    "trigger_fired   table={table} texp={texp} fired_at={fired_at} late={late}"
+                )
+            }
+            EventKind::VacuumPass { at, removed } => {
+                write!(f, "vacuum_pass     at={at} removed={removed}")
+            }
+            EventKind::ClockAdvance { from, to } => {
+                write!(f, "clock_advance   {from} -> {to}")
+            }
+            EventKind::ViewRefresh { view, decision, at } => {
+                write!(f, "view_refresh    view={view} at={at} decision={decision}")
+            }
+            EventKind::RewriteApplied { rule, detail } => {
+                write!(f, "rewrite_applied rule={rule} {detail}")
+            }
+            EventKind::ReplicaMessage { kind, tuples } => {
+                write!(f, "replica_message kind={kind} tuples={tuples}")
+            }
+            EventKind::ReplicaDivergence { view, behind } => {
+                write!(f, "replica_diverge view={view} behind={behind}")
+            }
+        }
+    }
+}
+
+/// Where emitted events go. Implementations must be cheap and non-blocking
+/// in spirit: they run inline on engine paths.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, event: &Event);
+}
+
+/// A bounded in-memory ring of recent events (what `\events` reads).
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let buf = self.buf.lock().unwrap();
+        buf.iter()
+            .skip(buf.len().saturating_sub(n))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.lock().unwrap().is_empty()
+    }
+
+    /// Events evicted by the ring bound since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    pub fn clear(&self) {
+        self.buf.lock().unwrap().clear();
+    }
+}
+
+impl EventSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut buf = self.buf.lock().unwrap();
+        if buf.len() == self.cap {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event.clone());
+    }
+}
+
+/// Writes every event to stderr as it happens (debugging / demos).
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn emit(&self, event: &Event) {
+        eprintln!("[obs] {event}");
+    }
+}
+
+#[derive(Default)]
+struct ObsInner {
+    registry: MetricsRegistry,
+    has_sink: AtomicBool,
+    sink: Mutex<Option<Arc<dyn EventSink>>>,
+    seq: AtomicU64,
+}
+
+/// The handle instrumented code holds: a shared metrics registry plus an
+/// optional event sink. Cloning shares both.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Arc<ObsInner>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("has_sink", &self.has_sink())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An `Obs` sharing an existing registry (no sink installed).
+    pub fn with_registry(registry: MetricsRegistry) -> Self {
+        Obs {
+            inner: Arc::new(ObsInner {
+                registry,
+                ..Default::default()
+            }),
+        }
+    }
+
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.inner.registry
+    }
+
+    /// Routes subsequent events to `sink`.
+    pub fn install_sink(&self, sink: Arc<dyn EventSink>) {
+        *self.inner.sink.lock().unwrap() = Some(sink);
+        self.inner.has_sink.store(true, Ordering::Release);
+    }
+
+    /// Installs a fresh [`RingSink`] of capacity `cap` and returns it.
+    pub fn install_ring(&self, cap: usize) -> Arc<RingSink> {
+        let ring = Arc::new(RingSink::new(cap));
+        self.install_sink(ring.clone());
+        ring
+    }
+
+    /// Goes dark: subsequent emits are a single relaxed load again.
+    pub fn clear_sink(&self) {
+        self.inner.has_sink.store(false, Ordering::Release);
+        *self.inner.sink.lock().unwrap() = None;
+    }
+
+    /// Whether anything is listening. Instrumented code may use this to
+    /// skip building expensive context.
+    #[inline]
+    pub fn has_sink(&self) -> bool {
+        self.inner.has_sink.load(Ordering::Relaxed)
+    }
+
+    /// Emits an eagerly built event. Prefer [`Obs::emit_with`] on paths
+    /// where constructing [`EventKind`] allocates.
+    pub fn emit(&self, logical_time: Option<u64>, kind: EventKind) {
+        if self.has_sink() {
+            self.emit_now(logical_time, kind);
+        }
+    }
+
+    /// Emits an event whose payload is only built if a sink is installed.
+    #[inline]
+    pub fn emit_with(&self, logical_time: Option<u64>, kind: impl FnOnce() -> EventKind) {
+        if self.has_sink() {
+            self.emit_now(logical_time, kind());
+        }
+    }
+
+    fn emit_now(&self, logical_time: Option<u64>, kind: EventKind) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let event = Event {
+            seq,
+            logical_time,
+            kind,
+        };
+        if let Some(sink) = self.inner.sink.lock().unwrap().as_ref() {
+            sink.emit(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dark_obs_emits_nothing_and_builds_nothing() {
+        let obs = Obs::new();
+        let mut built = false;
+        obs.emit_with(Some(1), || {
+            built = true;
+            EventKind::VacuumPass { at: 1, removed: 0 }
+        });
+        assert!(!built, "payload must not be built without a sink");
+        assert!(!obs.has_sink());
+    }
+
+    #[test]
+    fn ring_keeps_most_recent() {
+        let obs = Obs::new();
+        let ring = obs.install_ring(3);
+        for i in 0..5 {
+            obs.emit(Some(i), EventKind::ClockAdvance { from: i, to: i + 1 });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let recent = ring.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[1].kind, EventKind::ClockAdvance { from: 4, to: 5 });
+        assert!(recent[0].seq < recent[1].seq);
+    }
+
+    #[test]
+    fn clear_sink_goes_dark() {
+        let obs = Obs::new();
+        let ring = obs.install_ring(8);
+        obs.emit(None, EventKind::VacuumPass { at: 0, removed: 1 });
+        obs.clear_sink();
+        obs.emit(None, EventKind::VacuumPass { at: 1, removed: 2 });
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn event_renders_lateness() {
+        let e = Event {
+            seq: 7,
+            logical_time: Some(30),
+            kind: EventKind::TriggerFired {
+                table: "s".into(),
+                texp: 10,
+                fired_at: 30,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("late=20"), "{s}");
+    }
+}

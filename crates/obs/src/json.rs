@@ -1,0 +1,151 @@
+//! A minimal JSON document builder — just enough to export metric
+//! snapshots and bench reports without serde. Output is deterministic
+//! (object keys keep insertion order; the registry feeds them sorted).
+
+/// An owned JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Uint(u64),
+    Int(i64),
+    Float(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the value as a pretty-printed JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Uint(n) => out.push_str(&n.to_string()),
+            JsonValue::Int(n) => out.push_str(&n.to_string()),
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // Keep a decimal point so consumers parse a float.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Scalar-only arrays render inline; nested ones stack.
+                let scalar = items
+                    .iter()
+                    .all(|i| !matches!(i, JsonValue::Array(_) | JsonValue::Object(_)));
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    if scalar {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                    } else {
+                        newline_indent(out, indent + 1);
+                    }
+                    item.write(out, indent + 1);
+                }
+                if !scalar {
+                    newline_indent(out, indent);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = JsonValue::Object(vec![
+            ("name".into(), JsonValue::String("exp\"time".into())),
+            ("n".into(), JsonValue::Uint(3)),
+            ("neg".into(), JsonValue::Int(-4)),
+            ("mean".into(), JsonValue::Float(2.0)),
+            (
+                "xs".into(),
+                JsonValue::Array(vec![JsonValue::Uint(1), JsonValue::Uint(2)]),
+            ),
+            ("empty".into(), JsonValue::Object(vec![])),
+            ("none".into(), JsonValue::Null),
+        ]);
+        let s = doc.render();
+        assert!(s.contains("\"exp\\\"time\""), "{s}");
+        assert!(s.contains("\"mean\": 2.0"), "{s}");
+        assert!(s.contains("[1, 2]"), "{s}");
+        assert!(s.contains("\"empty\": {}"), "{s}");
+        assert!(s.contains("\"none\": null"), "{s}");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let s = JsonValue::String("a\u{1}\tb".into()).render();
+        assert_eq!(s, "\"a\\u0001\\tb\"");
+    }
+}

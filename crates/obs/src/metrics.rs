@@ -1,0 +1,390 @@
+//! Named atomic metrics: counters, gauges, log₂-bucket histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed
+//! clones of the registry's slots: interning takes a mutex once, after
+//! which every update is a single relaxed atomic operation. Instruments
+//! hold handles, not names.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::JsonValue;
+
+/// A monotonically increasing count (events, rows, operations).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the count. Only for snapshot restore (`\load`) — live
+    /// instrumentation must use [`Counter::add`].
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time level that can go both ways (live tuples, queue depth).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, d: i64) {
+        self.0.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit length
+/// is `i` (i.e. `v == 0` → bucket 0, else `64 - v.leading_zeros()`).
+/// Bucket upper bounds are therefore 0, 1, 3, 7, …, `2^62-1`, +∞.
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fixed-bucket (log₂) histogram for latencies and sizes.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    pub fn record(&self, value: u64) {
+        let inner = &self.0;
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        HistogramSnapshot {
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| inner.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes the histogram in place (held handles keep working).
+    pub fn reset(&self) {
+        let inner = &self.0;
+        inner.count.store(0, Ordering::Relaxed);
+        inner.sum.store(0, Ordering::Relaxed);
+        for b in &inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A consistent-enough copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean recorded value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0); a
+    /// coarse estimate, exact only to the bucket boundary.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A named family of metrics. Cloning shares the underlying registry.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Interns (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Interns (or retrieves) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Current value of counter `name` (0 if never interned).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, Counter::get)
+    }
+
+    /// Current value of gauge `name` (0 if never interned).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, Gauge::get)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.inner
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Zeroes every registered metric (snapshot restore / test isolation).
+    pub fn reset(&self) {
+        for (_, c) in self.inner.counters.lock().unwrap().iter() {
+            c.set(0);
+        }
+        for (_, g) in self.inner.gauges.lock().unwrap().iter() {
+            g.set(0);
+        }
+        for (_, h) in self.inner.histograms.lock().unwrap().iter() {
+            h.reset();
+        }
+    }
+
+    /// The whole registry as a JSON value tree.
+    pub fn snapshot(&self) -> JsonValue {
+        let counters = JsonValue::Object(
+            self.counters()
+                .into_iter()
+                .map(|(k, v)| (k, JsonValue::Uint(v)))
+                .collect(),
+        );
+        let gauges = JsonValue::Object(
+            self.gauges()
+                .into_iter()
+                .map(|(k, v)| (k, JsonValue::Int(v)))
+                .collect(),
+        );
+        let histograms = JsonValue::Object(
+            self.histograms()
+                .into_iter()
+                .map(|(k, h)| {
+                    // Trailing all-zero buckets are elided to keep exports small.
+                    let last = h.buckets.iter().rposition(|&n| n > 0).map_or(0, |i| i + 1);
+                    (
+                        k,
+                        JsonValue::Object(vec![
+                            ("count".into(), JsonValue::Uint(h.count)),
+                            ("sum".into(), JsonValue::Uint(h.sum)),
+                            ("mean".into(), JsonValue::Float(h.mean())),
+                            (
+                                "p99_le".into(),
+                                JsonValue::Uint(h.quantile_upper_bound(0.99)),
+                            ),
+                            (
+                                "buckets".into(),
+                                JsonValue::Array(
+                                    h.buckets[..last]
+                                        .iter()
+                                        .map(|&n| JsonValue::Uint(n))
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+
+    /// The whole registry rendered as a JSON document.
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.hits");
+        let b = reg.counter("x.hits");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter_value("x.hits"), 4);
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("live");
+        g.add(10);
+        g.sub(3);
+        assert_eq!(reg.gauge_value("live"), 7);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2,3
+        assert_eq!(s.buckets[7], 1); // 100
+        assert_eq!(s.buckets[10], 1); // 1000
+        assert!(s.mean() > 184.0 && s.mean() < 185.0);
+        assert_eq!(s.quantile_upper_bound(0.5), 3);
+        assert_eq!(s.quantile_upper_bound(1.0), 1023);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").add(2);
+        reg.gauge("g").set(-1);
+        reg.histogram("h").record(5);
+        let json = reg.snapshot_json();
+        assert!(json.contains("\"a.b\": 2"), "{json}");
+        assert!(json.contains("\"g\": -1"), "{json}");
+        assert!(json.contains("\"count\": 1"), "{json}");
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        c.add(5);
+        reg.gauge("g").set(9);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.gauge_value("g"), 0);
+    }
+}

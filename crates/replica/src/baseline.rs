@@ -32,7 +32,12 @@ impl DeletePushReplica {
     /// Propagates evaluation errors.
     pub fn subscribe(expr: Expr, server: &Database) -> DbResult<Self> {
         let expr = server.inline_views(&expr);
-        let m = eval(&expr, &server.snapshot(), server.now(), &EvalOptions::default())?;
+        let m = eval(
+            &expr,
+            &server.snapshot(),
+            server.now(),
+            &EvalOptions::default(),
+        )?;
         let mut link = Link::new();
         link.round_trip(m.rel.len() as u64);
         Ok(DeletePushReplica {
@@ -157,8 +162,7 @@ mod tests {
     #[test]
     fn delete_push_pays_per_expiry() {
         let mut srv = server();
-        let mut cache =
-            DeletePushReplica::subscribe(Expr::base("pol"), &srv).unwrap();
+        let mut cache = DeletePushReplica::subscribe(Expr::base("pol"), &srv).unwrap();
         for _ in 0..20 {
             srv.tick(1);
             cache.server_sync(&srv).unwrap();

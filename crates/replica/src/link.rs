@@ -35,6 +35,9 @@ impl LinkStats {
 pub struct Link {
     down: bool,
     stats: LinkStats,
+    /// Event stream for per-message traces. Dark (no sink, near-zero cost)
+    /// unless [`Link::attach_obs`] wires it to a listening handle.
+    obs: exptime_obs::Obs,
 }
 
 impl Link {
@@ -42,6 +45,12 @@ impl Link {
     #[must_use]
     pub fn new() -> Self {
         Link::default()
+    }
+
+    /// Routes this link's [`exptime_obs::EventKind::ReplicaMessage`]
+    /// events through `obs`.
+    pub fn attach_obs(&mut self, obs: &exptime_obs::Obs) {
+        self.obs = obs.clone();
     }
 
     /// Whether the link currently carries traffic.
@@ -71,11 +80,13 @@ impl Link {
     pub fn round_trip(&mut self, tuples: u64) -> bool {
         if self.down {
             self.stats.refused += 1;
+            self.emit("refused", tuples);
             return false;
         }
         self.stats.requests += 1;
         self.stats.responses += 1;
         self.stats.tuples_transferred += tuples;
+        self.emit("round_trip", tuples);
         true
     }
 
@@ -84,11 +95,21 @@ impl Link {
     pub fn push(&mut self, tuples: u64) -> bool {
         if self.down {
             self.stats.refused += 1;
+            self.emit("refused", tuples);
             return false;
         }
         self.stats.pushes += 1;
         self.stats.tuples_transferred += tuples;
+        self.emit("push", tuples);
         true
+    }
+
+    fn emit(&self, kind: &'static str, tuples: u64) {
+        self.obs
+            .emit_with(None, || exptime_obs::EventKind::ReplicaMessage {
+                kind: kind.into(),
+                tuples,
+            });
     }
 }
 

@@ -36,17 +36,29 @@ pub struct Replica {
     views: BTreeMap<String, MaterializedView>,
     link: Link,
     refresh: RefreshPolicy,
+    obs: exptime_obs::Obs,
 }
 
 impl Replica {
     /// A replica with a fresh link.
     #[must_use]
     pub fn new(refresh: RefreshPolicy) -> Self {
+        let obs = exptime_obs::Obs::new();
+        let mut link = Link::new();
+        link.attach_obs(&obs);
         Replica {
             views: BTreeMap::new(),
-            link: Link::new(),
+            link,
             refresh,
+            obs,
         }
+    }
+
+    /// The replica's observability handle: its views' `view.<name>.*`
+    /// metrics plus link-traffic and divergence events.
+    #[must_use]
+    pub fn obs(&self) -> &exptime_obs::Obs {
+        &self.obs
     }
 
     /// The link (to inspect stats or toggle connectivity).
@@ -69,7 +81,7 @@ impl Replica {
     /// down.
     pub fn subscribe(&mut self, name: &str, expr: Expr, server: &Database) -> DbResult<()> {
         let snapshot = server.snapshot();
-        let view = MaterializedView::new(
+        let mut view = MaterializedView::new(
             server.inline_views(&expr),
             &snapshot,
             server.now(),
@@ -77,6 +89,7 @@ impl Replica {
             self.refresh,
             RemovalPolicy::Lazy,
         )?;
+        view.attach_obs(&self.obs, name);
         if !self.link.round_trip(view.stored_len() as u64) {
             return Err(DbError::Catalog("link down during subscribe".into()));
         }
@@ -126,12 +139,27 @@ impl Replica {
         match m.validity.prev_covered(now) {
             Some(back) if back >= m.at => {
                 let rel = m.rel.exp(back);
+                self.obs
+                    .emit_with(now.finite(), || exptime_obs::EventKind::ReplicaDivergence {
+                        view: name.to_string(),
+                        behind: now
+                            .finite()
+                            .zip(back.finite())
+                            .map_or(0, |(n, b)| n.saturating_sub(b)),
+                    });
                 Ok((rel, ReadOutcome::Stale(back)))
             }
-            _ => Ok((
-                Relation::new(m.rel.schema().clone()),
-                ReadOutcome::Unavailable,
-            )),
+            _ => {
+                self.obs
+                    .emit_with(now.finite(), || exptime_obs::EventKind::ReplicaDivergence {
+                        view: name.to_string(),
+                        behind: u64::MAX,
+                    });
+                Ok((
+                    Relation::new(m.rel.schema().clone()),
+                    ReadOutcome::Unavailable,
+                ))
+            }
         }
     }
 
@@ -187,9 +215,7 @@ mod tests {
             let (rel, outcome) = rep.read("hot", &srv).unwrap();
             assert_eq!(outcome, ReadOutcome::Local);
             // The local copy matches a fresh server evaluation exactly.
-            let truth = srv
-                .execute("SELECT * FROM pol WHERE deg = 25")
-                .unwrap();
+            let truth = srv.execute("SELECT * FROM pol WHERE deg = 25").unwrap();
             assert!(rel.set_eq(truth.rows().unwrap()));
         }
         assert_eq!(
@@ -272,6 +298,50 @@ mod tests {
         rep.link().reconnect();
         let (_, outcome) = rep.read("others", &srv).unwrap();
         assert_eq!(outcome, ReadOutcome::Refreshed);
+    }
+
+    #[test]
+    fn link_traffic_and_divergence_are_observable() {
+        let mut srv = server();
+        let mut rep = Replica::new(RefreshPolicy::Recompute);
+        let ring = rep.obs().install_ring(64);
+        let diff = Expr::base("pol")
+            .project([0])
+            .difference(Expr::base("el").project([0]));
+        rep.subscribe("others", diff, &srv).unwrap();
+        // The subscribe round trip was traced.
+        let msgs: Vec<_> = ring
+            .recent(64)
+            .into_iter()
+            .filter(|e| e.kind.tag() == "replica_message")
+            .collect();
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(
+            &msgs[0].kind,
+            exptime_obs::EventKind::ReplicaMessage { kind, tuples: 1 } if kind == "round_trip"
+        ));
+
+        rep.link().disconnect();
+        srv.tick(5); // view invalid from 3; stale read moves back to 2
+        let (_, outcome) = rep.read("others", &srv).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Stale(_)));
+        let div: Vec<_> = ring
+            .recent(64)
+            .into_iter()
+            .filter(|e| e.kind.tag() == "replica_divergence")
+            .collect();
+        assert_eq!(div.len(), 1);
+        assert!(matches!(
+            &div[0].kind,
+            exptime_obs::EventKind::ReplicaDivergence { view, behind: 3 } if view == "others"
+        ));
+        // The replica's view metrics live in its registry.
+        assert!(rep
+            .obs()
+            .registry()
+            .counters()
+            .iter()
+            .any(|(name, _)| name == "view.others.reads"));
     }
 
     #[test]

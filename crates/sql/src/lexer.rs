@@ -247,7 +247,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(lex("SELECT @"), Err(SqlError::Lex { offset: 7, .. })));
+        assert!(matches!(
+            lex("SELECT @"),
+            Err(SqlError::Lex { offset: 7, .. })
+        ));
     }
 
     #[test]

@@ -186,10 +186,14 @@ impl Parser {
     fn drop(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw(Keyword::Drop)?;
         if self.eat_kw(Keyword::Table) {
-            Ok(Statement::DropTable { name: self.ident()? })
+            Ok(Statement::DropTable {
+                name: self.ident()?,
+            })
         } else {
             self.expect_kw(Keyword::View)?;
-            Ok(Statement::DropView { name: self.ident()? })
+            Ok(Statement::DropView {
+                name: self.ident()?,
+            })
         }
     }
 
@@ -560,8 +564,8 @@ mod tests {
 
     #[test]
     fn create_table() {
-        let s = parse("CREATE TABLE pol (uid INT, deg INT, name TEXT, hot BOOL, w FLOAT);")
-            .unwrap();
+        let s =
+            parse("CREATE TABLE pol (uid INT, deg INT, name TEXT, hot BOOL, w FLOAT);").unwrap();
         let Statement::CreateTable { name, columns } = s else {
             panic!("wrong variant")
         };
@@ -588,11 +592,29 @@ mod tests {
         assert_eq!(expires, Expires::At(10));
 
         let s = parse("INSERT INTO pol VALUES (1, 25) EXPIRES IN 5 TICKS").unwrap();
-        assert!(matches!(s, Statement::Insert { expires: Expires::In(5), .. }));
+        assert!(matches!(
+            s,
+            Statement::Insert {
+                expires: Expires::In(5),
+                ..
+            }
+        ));
         let s = parse("INSERT INTO pol VALUES (1, 25) EXPIRES NEVER").unwrap();
-        assert!(matches!(s, Statement::Insert { expires: Expires::Never, .. }));
+        assert!(matches!(
+            s,
+            Statement::Insert {
+                expires: Expires::Never,
+                ..
+            }
+        ));
         let s = parse("INSERT INTO pol VALUES (1, 25)").unwrap();
-        assert!(matches!(s, Statement::Insert { expires: Expires::Never, .. }));
+        assert!(matches!(
+            s,
+            Statement::Insert {
+                expires: Expires::Never,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -613,8 +635,7 @@ mod tests {
 
     #[test]
     fn joins_fold_into_selection() {
-        let s = parse("SELECT * FROM pol JOIN el ON pol.uid = el.uid WHERE pol.deg > 20")
-            .unwrap();
+        let s = parse("SELECT * FROM pol JOIN el ON pol.uid = el.uid WHERE pol.deg > 20").unwrap();
         let Statement::Select(q) = s else { panic!() };
         assert_eq!(q.body.from, vec!["pol", "el"]);
         // join cond AND where cond.
@@ -627,10 +648,8 @@ mod tests {
 
     #[test]
     fn compound_queries() {
-        let s = parse(
-            "SELECT uid FROM pol EXCEPT SELECT uid FROM el UNION SELECT uid FROM sports",
-        )
-        .unwrap();
+        let s = parse("SELECT uid FROM pol EXCEPT SELECT uid FROM el UNION SELECT uid FROM sports")
+            .unwrap();
         let Statement::Select(q) = s else { panic!() };
         assert_eq!(q.compound.len(), 2);
         assert_eq!(q.compound[0].0, SetOp::Except);
@@ -687,7 +706,13 @@ mod tests {
             }
         ));
         let s = parse("DELETE FROM pol").unwrap();
-        assert!(matches!(s, Statement::Delete { predicate: None, .. }));
+        assert!(matches!(
+            s,
+            Statement::Delete {
+                predicate: None,
+                ..
+            }
+        ));
         let s = parse("UPDATE pol SET EXPIRES AT 99 WHERE uid = 1").unwrap();
         assert!(matches!(
             s,

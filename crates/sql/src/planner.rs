@@ -66,9 +66,9 @@ impl Scope {
                     .ok_or_else(|| {
                         SqlError::Plan(format!("unknown table `{t}` in column `{col}`"))
                     })?;
-                let pos = schema.position(&col.column).ok_or_else(|| {
-                    SqlError::Plan(format!("unknown column `{col}`"))
-                })?;
+                let pos = schema
+                    .position(&col.column)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column `{col}`")))?;
                 Ok(offset + pos)
             }
             None => {
@@ -131,9 +131,7 @@ fn plan_agg(func: AggName, arg: Option<usize>) -> Result<AggFunc, SqlError> {
         (AggName::Avg, Some(i)) => AggFunc::Avg(i),
         (AggName::Min, Some(i)) => AggFunc::Min(i),
         (AggName::Max, Some(i)) => AggFunc::Max(i),
-        (f, None) => {
-            return Err(SqlError::Plan(format!("{f:?} requires a column argument")))
-        }
+        (f, None) => return Err(SqlError::Plan(format!("{f:?} requires a column argument"))),
     })
 }
 
@@ -223,9 +221,7 @@ fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, Sq
     // ends up with all its aggregate values side by side. The join's
     // min-texp rule (Eq. 5 via Eq. 2) is exactly right: the combined row
     // is valid while every aggregate value on it is.
-    let mut combined = expr
-        .clone()
-        .aggregate(group_positions.clone(), funcs[0]);
+    let mut combined = expr.clone().aggregate(group_positions.clone(), funcs[0]);
     // After joining k aggregates, the layout is:
     //   input attrs (arity A), agg_1, [input attrs, agg_2], …
     // with agg_i at position i*(A+1) + A.
@@ -338,13 +334,13 @@ fn plan_having_cond(
             op: *op,
             right: scalar(right)?,
         },
-        Cond::And(a, b) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?
-            .and(plan_having_cond(b, scope, all_aggs, group_positions, input_arity)?),
-        Cond::Or(a, b) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?
-            .or(plan_having_cond(b, scope, all_aggs, group_positions, input_arity)?),
-        Cond::Not(a) => {
-            plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?.not()
-        }
+        Cond::And(a, b) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?.and(
+            plan_having_cond(b, scope, all_aggs, group_positions, input_arity)?,
+        ),
+        Cond::Or(a, b) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?.or(
+            plan_having_cond(b, scope, all_aggs, group_positions, input_arity)?,
+        ),
+        Cond::Not(a) => plan_having_cond(a, scope, all_aggs, group_positions, input_arity)?.not(),
     })
 }
 
@@ -469,20 +465,40 @@ mod tests {
                 .aggregate([1], AggFunc::Count)
                 .project([1, 2])
         );
-        assert_eq!(e.to_string(), "πexp_{2,3}(aggexp_{{2},count}(Pol))".replace("Pol", "pol"));
+        assert_eq!(
+            e.to_string(),
+            "πexp_{2,3}(aggexp_{{2},count}(Pol))".replace("Pol", "pol")
+        );
     }
 
     #[test]
     fn aggregate_functions_map() {
         for (sql, f) in [
-            ("SELECT deg, SUM(uid) FROM pol GROUP BY deg", AggFunc::Sum(0)),
-            ("SELECT deg, AVG(uid) FROM pol GROUP BY deg", AggFunc::Avg(0)),
-            ("SELECT deg, MIN(uid) FROM pol GROUP BY deg", AggFunc::Min(0)),
-            ("SELECT deg, MAX(uid) FROM pol GROUP BY deg", AggFunc::Max(0)),
-            ("SELECT deg, COUNT(uid) FROM pol GROUP BY deg", AggFunc::Count),
+            (
+                "SELECT deg, SUM(uid) FROM pol GROUP BY deg",
+                AggFunc::Sum(0),
+            ),
+            (
+                "SELECT deg, AVG(uid) FROM pol GROUP BY deg",
+                AggFunc::Avg(0),
+            ),
+            (
+                "SELECT deg, MIN(uid) FROM pol GROUP BY deg",
+                AggFunc::Min(0),
+            ),
+            (
+                "SELECT deg, MAX(uid) FROM pol GROUP BY deg",
+                AggFunc::Max(0),
+            ),
+            (
+                "SELECT deg, COUNT(uid) FROM pol GROUP BY deg",
+                AggFunc::Count,
+            ),
         ] {
             let e = plan(sql).unwrap();
-            let Expr::Project { input, .. } = e else { panic!() };
+            let Expr::Project { input, .. } = e else {
+                panic!()
+            };
             let Expr::Aggregate { func, .. } = *input else {
                 panic!()
             };
@@ -495,7 +511,9 @@ mod tests {
         let e = plan("SELECT COUNT(*) FROM pol").unwrap();
         assert_eq!(
             e,
-            Expr::base("pol").aggregate(Vec::new(), AggFunc::Count).project([2])
+            Expr::base("pol")
+                .aggregate(Vec::new(), AggFunc::Count)
+                .project([2])
         );
     }
 
@@ -506,7 +524,10 @@ mod tests {
             .to_string()
             .contains("neither aggregated nor in GROUP BY"));
 
-        assert!(plan("SELECT * FROM pol GROUP BY deg").unwrap_err().to_string().contains("*"));
+        assert!(plan("SELECT * FROM pol GROUP BY deg")
+            .unwrap_err()
+            .to_string()
+            .contains("*"));
         assert!(plan("SELECT deg FROM pol GROUP BY deg")
             .unwrap_err()
             .to_string()
@@ -522,7 +543,9 @@ mod tests {
         let on = Predicate::attr_eq_attr(0, 3).and(Predicate::attr_eq_attr(1, 4));
         assert_eq!(
             e,
-            agg(AggFunc::Count).join(agg(AggFunc::Sum(0)), on).project([1, 2, 5])
+            agg(AggFunc::Count)
+                .join(agg(AggFunc::Sum(0)), on)
+                .project([1, 2, 5])
         );
     }
 
@@ -546,10 +569,8 @@ mod tests {
                 .project([0])
                 .difference(Expr::base("el").project([0]))
         );
-        let e = plan(
-            "SELECT uid FROM pol UNION SELECT uid FROM el INTERSECT SELECT uid FROM pol",
-        )
-        .unwrap();
+        let e = plan("SELECT uid FROM pol UNION SELECT uid FROM el INTERSECT SELECT uid FROM pol")
+            .unwrap();
         // Left-associated.
         assert!(matches!(e, Expr::Intersect { .. }));
     }
@@ -557,11 +578,15 @@ mod tests {
     #[test]
     fn where_condition_shapes() {
         let e = plan("SELECT * FROM pol WHERE uid = 1 AND deg > 20 OR NOT deg <= 5").unwrap();
-        let Expr::Select { predicate, .. } = e else { panic!() };
+        let Expr::Select { predicate, .. } = e else {
+            panic!()
+        };
         assert!(matches!(predicate, Predicate::Or(_, _)));
         // Literal on the left works too.
         let e = plan("SELECT * FROM pol WHERE 25 = deg").unwrap();
-        let Expr::Select { predicate, .. } = e else { panic!() };
+        let Expr::Select { predicate, .. } = e else {
+            panic!()
+        };
         assert_eq!(
             predicate,
             Predicate::Cmp {

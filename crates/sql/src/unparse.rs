@@ -201,7 +201,10 @@ pub fn statement_to_sql(s: &Statement) -> String {
             rows.iter()
                 .map(|row| format!(
                     "({})",
-                    row.iter().map(literal_to_sql).collect::<Vec<_>>().join(", ")
+                    row.iter()
+                        .map(literal_to_sql)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ))
                 .collect::<Vec<_>>()
                 .join(", "),
@@ -263,8 +266,8 @@ mod tests {
         for sql in corpus {
             let ast1 = parse(sql).unwrap_or_else(|e| panic!("corpus parse {sql}: {e}"));
             let rendered = statement_to_sql(&ast1);
-            let ast2 = parse(&rendered)
-                .unwrap_or_else(|e| panic!("re-parse failed for {rendered}: {e}"));
+            let ast2 =
+                parse(&rendered).unwrap_or_else(|e| panic!("re-parse failed for {rendered}: {e}"));
             assert_eq!(ast1, ast2, "roundtrip changed AST:\n  {sql}\n  {rendered}");
         }
     }

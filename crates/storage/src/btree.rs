@@ -40,7 +40,6 @@ impl Node {
             Node::Interior { children, .. } => children.len(),
         }
     }
-
 }
 
 /// A B+-tree multimap from [`Value`] to [`RowId`].
@@ -123,23 +122,22 @@ impl BTreeIndex {
     fn insert_rec(node: &mut Node, key: &Value, id: RowId) -> (InsertResult, bool, bool) {
         match node {
             Node::Leaf { keys, postings } => {
-                let (added_key, added_entry) =
-                    match keys.binary_search_by(|k| k.total_cmp(key)) {
-                        Ok(i) => {
-                            let list = &mut postings[i];
-                            if list.contains(&id) {
-                                (false, false)
-                            } else {
-                                list.push(id);
-                                (false, true)
-                            }
+                let (added_key, added_entry) = match keys.binary_search_by(|k| k.total_cmp(key)) {
+                    Ok(i) => {
+                        let list = &mut postings[i];
+                        if list.contains(&id) {
+                            (false, false)
+                        } else {
+                            list.push(id);
+                            (false, true)
                         }
-                        Err(i) => {
-                            keys.insert(i, key.clone());
-                            postings.insert(i, vec![id]);
-                            (true, true)
-                        }
-                    };
+                    }
+                    Err(i) => {
+                        keys.insert(i, key.clone());
+                        postings.insert(i, vec![id]);
+                        (true, true)
+                    }
+                };
                 if keys.len() > ORDER {
                     let mid = keys.len() / 2;
                     let right_keys = keys.split_off(mid);
@@ -168,8 +166,7 @@ impl BTreeIndex {
                     Ok(i) => i + 1,
                     Err(i) => i,
                 };
-                let (res, added_key, added_entry) =
-                    Self::insert_rec(&mut children[idx], key, id);
+                let (res, added_key, added_entry) = Self::insert_rec(&mut children[idx], key, id);
                 if let InsertResult::Split { sep, right } = res {
                     separators.insert(idx, sep);
                     children.insert(idx + 1, right);
@@ -218,25 +215,23 @@ impl BTreeIndex {
 
     fn remove_rec(node: &mut Node, key: &Value, id: RowId) -> (bool, bool) {
         match node {
-            Node::Leaf { keys, postings } => {
-                match keys.binary_search_by(|k| k.total_cmp(key)) {
-                    Ok(i) => {
-                        let list = &mut postings[i];
-                        let Some(pos) = list.iter().position(|&r| r == id) else {
-                            return (false, false);
-                        };
-                        list.swap_remove(pos);
-                        if list.is_empty() {
-                            keys.remove(i);
-                            postings.remove(i);
-                            (true, true)
-                        } else {
-                            (true, false)
-                        }
+            Node::Leaf { keys, postings } => match keys.binary_search_by(|k| k.total_cmp(key)) {
+                Ok(i) => {
+                    let list = &mut postings[i];
+                    let Some(pos) = list.iter().position(|&r| r == id) else {
+                        return (false, false);
+                    };
+                    list.swap_remove(pos);
+                    if list.is_empty() {
+                        keys.remove(i);
+                        postings.remove(i);
+                        (true, true)
+                    } else {
+                        (true, false)
                     }
-                    Err(_) => (false, false),
                 }
-            }
+                Err(_) => (false, false),
+            },
             Node::Interior {
                 separators,
                 children,
@@ -275,8 +270,14 @@ impl BTreeIndex {
         let node = &mut right_half[0];
         match (left, node) {
             (
-                Node::Leaf { keys: lk, postings: lp },
-                Node::Leaf { keys: nk, postings: np },
+                Node::Leaf {
+                    keys: lk,
+                    postings: lp,
+                },
+                Node::Leaf {
+                    keys: nk,
+                    postings: np,
+                },
             ) => {
                 let k = lk.pop().expect("left has > MIN");
                 let p = lp.pop().expect("left has > MIN");
@@ -285,8 +286,14 @@ impl BTreeIndex {
                 separators[idx - 1] = k;
             }
             (
-                Node::Interior { separators: ls, children: lc },
-                Node::Interior { separators: ns, children: nc },
+                Node::Interior {
+                    separators: ls,
+                    children: lc,
+                },
+                Node::Interior {
+                    separators: ns,
+                    children: nc,
+                },
             ) => {
                 let child = lc.pop().expect("left has > MIN");
                 let sep = ls.pop().expect("left has > MIN");
@@ -304,16 +311,28 @@ impl BTreeIndex {
         let right = &mut right_half[0];
         match (node, right) {
             (
-                Node::Leaf { keys: nk, postings: np },
-                Node::Leaf { keys: rk, postings: rp },
+                Node::Leaf {
+                    keys: nk,
+                    postings: np,
+                },
+                Node::Leaf {
+                    keys: rk,
+                    postings: rp,
+                },
             ) => {
                 nk.push(rk.remove(0));
                 np.push(rp.remove(0));
                 separators[idx] = rk[0].clone();
             }
             (
-                Node::Interior { separators: ns, children: nc },
-                Node::Interior { separators: rs, children: rc },
+                Node::Interior {
+                    separators: ns,
+                    children: nc,
+                },
+                Node::Interior {
+                    separators: rs,
+                    children: rc,
+                },
             ) => {
                 let child = rc.remove(0);
                 let sep = rs.remove(0);
@@ -478,9 +497,7 @@ impl BTreeIndex {
                 } => {
                     assert_eq!(children.len(), separators.len() + 1);
                     assert!(!is_root || children.len() >= 2);
-                    assert!(separators
-                        .windows(2)
-                        .all(|w| w[0].total_cmp(&w[1]).is_lt()));
+                    assert!(separators.windows(2).all(|w| w[0].total_cmp(&w[1]).is_lt()));
                     for c in children {
                         walk(c, depth + 1, leaf_depth, false);
                     }
@@ -532,15 +549,17 @@ mod tests {
         let mut t = BTreeIndex::new();
         // Insert in an adversarial zig-zag order.
         for (i, &id) in ids.iter().enumerate() {
-            let k = if i % 2 == 0 { i as i64 } else { 2000 - i as i64 };
+            let k = if i % 2 == 0 {
+                i as i64
+            } else {
+                2000 - i as i64
+            };
             t.insert(&Value::Int(k), id);
         }
         t.check_invariants();
         assert!(t.height() >= 3, "tree actually grew: {}", t.height());
         let keys = t.keys_in_order();
-        assert!(keys
-            .windows(2)
-            .all(|w| w[0].total_cmp(&w[1]).is_lt()));
+        assert!(keys.windows(2).all(|w| w[0].total_cmp(&w[1]).is_lt()));
         assert_eq!(t.len(), 2000);
     }
 

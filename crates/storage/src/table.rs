@@ -21,9 +21,11 @@ use exptime_core::schema::Schema;
 use exptime_core::time::Time;
 use exptime_core::tuple::Tuple;
 use exptime_core::value::Value;
+use exptime_obs::{Counter, MetricsRegistry, Obs};
 use std::collections::HashMap;
 
-/// Running counters for one table.
+/// Running counters for one table — a point-in-time snapshot of the
+/// table's observability counters (see [`Table::attach_obs`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Successful inserts of new tuples.
@@ -40,6 +42,59 @@ pub struct TableStats {
     pub scans: u64,
 }
 
+/// Counter handles behind [`TableStats`]. Detached by default (private
+/// atomics); [`Table::attach_obs`] re-interns them in a shared
+/// [`MetricsRegistry`] under `storage.<table>.*` so the engine's metrics
+/// view the same cells.
+#[derive(Debug, Clone, Default)]
+struct TableCounters {
+    inserts: Counter,
+    upserts: Counter,
+    deletes: Counter,
+    expired: Counter,
+    index_lookups: Counter,
+    scans: Counter,
+    /// Calls to [`Table::expire_due`] (expiry-index pop batches) — exposed
+    /// only through the registry, not [`TableStats`].
+    expiry_pops: Counter,
+}
+
+impl TableCounters {
+    fn in_registry(registry: &MetricsRegistry, table: &str) -> Self {
+        let c = |field: &str| registry.counter(&format!("storage.{table}.{field}"));
+        TableCounters {
+            inserts: c("inserts"),
+            upserts: c("upserts"),
+            deletes: c("deletes"),
+            expired: c("expired"),
+            index_lookups: c("index_lookups"),
+            scans: c("scans"),
+            expiry_pops: c("expiry_pops"),
+        }
+    }
+
+    fn snapshot(&self) -> TableStats {
+        TableStats {
+            inserts: self.inserts.get(),
+            upserts: self.upserts.get(),
+            deletes: self.deletes.get(),
+            expired: self.expired.get(),
+            index_lookups: self.index_lookups.get(),
+            scans: self.scans.get(),
+        }
+    }
+
+    fn migrate_into(&self, target: &TableCounters) {
+        target.inserts.add(self.inserts.get());
+        target.upserts.add(self.upserts.get());
+        target.deletes.add(self.deletes.get());
+        target.expired.add(self.expired.get());
+        target.index_lookups.add(self.index_lookups.get());
+        target.scans.add(self.scans.get());
+        target.expiry_pops.add(self.expiry_pops.get());
+    }
+}
+
 /// A physical table with expiration support.
 pub struct Table {
     name: String,
@@ -48,7 +103,7 @@ pub struct Table {
     expiry: Box<dyn ExpirationIndex + Send>,
     primary: HashMap<Tuple, RowId>,
     secondary: HashMap<usize, BTreeIndex>,
-    stats: TableStats,
+    counters: TableCounters,
 }
 
 impl std::fmt::Debug for Table {
@@ -74,7 +129,7 @@ impl Table {
             expiry: index.build(),
             primary: HashMap::new(),
             secondary: HashMap::new(),
-            stats: TableStats::default(),
+            counters: TableCounters::default(),
         }
     }
 
@@ -90,10 +145,20 @@ impl Table {
         &self.schema
     }
 
-    /// Statistics counters.
+    /// Statistics counters (a snapshot; see [`Table::attach_obs`]).
     #[must_use]
     pub fn stats(&self) -> TableStats {
-        self.stats
+        self.counters.snapshot()
+    }
+
+    /// Publishes this table's counters in `obs`'s metrics registry under
+    /// `storage.<table>.<counter>` (e.g. `storage.pol.scans`). Counts
+    /// accumulated while detached migrate over; [`Table::stats`] keeps
+    /// reporting the same numbers either way.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let attached = TableCounters::in_registry(obs.registry(), &self.name);
+        self.counters.migrate_into(&attached);
+        self.counters = attached;
     }
 
     /// Physically stored rows (including not-yet-collected expired ones).
@@ -160,7 +225,7 @@ impl Table {
                 self.expiry.remove(id, old);
                 self.expiry.insert(id, texp);
             }
-            self.stats.upserts += 1;
+            self.counters.upserts.inc();
             return Ok(());
         }
         let id = self.heap.insert(tuple.clone(), texp);
@@ -169,7 +234,7 @@ impl Table {
             ix.insert(tuple.attr(*attr), id);
         }
         self.primary.insert(tuple, id);
-        self.stats.inserts += 1;
+        self.counters.inserts.inc();
         Ok(())
     }
 
@@ -204,7 +269,7 @@ impl Table {
         for (attr, ix) in &mut self.secondary {
             ix.remove(row.attr(*attr), id);
         }
-        self.stats.deletes += 1;
+        self.counters.deletes.inc();
         Some(texp)
     }
 
@@ -218,6 +283,7 @@ impl Table {
     /// Pops and physically removes every row with `texp ≤ τ`, returning
     /// the removed rows so triggers can fire on them.
     pub fn expire_due(&mut self, tau: Time) -> Vec<(Tuple, Time)> {
+        self.counters.expiry_pops.inc();
         let due = self.expiry.pop_due(tau);
         let mut removed = Vec::with_capacity(due.len());
         for id in due {
@@ -227,7 +293,7 @@ impl Table {
                 for (attr, ix) in &mut self.secondary {
                     ix.remove(tuple.attr(*attr), id);
                 }
-                self.stats.expired += 1;
+                self.counters.expired.inc();
                 removed.push((tuple, texp));
             }
         }
@@ -252,7 +318,7 @@ impl Table {
     /// one exists.
     pub fn select_eq(&mut self, attr: usize, value: &Value, tau: Time) -> Vec<(Tuple, Time)> {
         if let Some(ix) = self.secondary.get(&attr) {
-            self.stats.index_lookups += 1;
+            self.counters.index_lookups.inc();
             ix.get(value)
                 .iter()
                 .filter_map(|&id| self.heap.get(id))
@@ -260,7 +326,7 @@ impl Table {
                 .map(|(t, e)| (t.clone(), e))
                 .collect()
         } else {
-            self.stats.scans += 1;
+            self.counters.scans.inc();
             self.scan_at(tau)
                 .filter(|(t, _)| t.attr(attr) == value)
                 .map(|(t, e)| (t.clone(), e))
@@ -278,7 +344,7 @@ impl Table {
         tau: Time,
     ) -> Vec<(Tuple, Time)> {
         if let Some(ix) = self.secondary.get(&attr) {
-            self.stats.index_lookups += 1;
+            self.counters.index_lookups.inc();
             ix.range(lo, hi)
                 .into_iter()
                 .filter_map(|(_, id)| self.heap.get(id))
@@ -286,7 +352,7 @@ impl Table {
                 .map(|(t, e)| (t.clone(), e))
                 .collect()
         } else {
-            self.stats.scans += 1;
+            self.counters.scans.inc();
             self.scan_at(tau)
                 .filter(|(t, _)| {
                     let v = t.attr(attr);
@@ -405,8 +471,12 @@ mod tests {
         let mut plain = table(IndexKind::Heap);
         for i in 0..200i64 {
             let row = tuple![i, i % 10];
-            indexed.insert(row.clone(), t(5 + (i as u64 % 50)), Time::ZERO).unwrap();
-            plain.insert(row, t(5 + (i as u64 % 50)), Time::ZERO).unwrap();
+            indexed
+                .insert(row.clone(), t(5 + (i as u64 % 50)), Time::ZERO)
+                .unwrap();
+            plain
+                .insert(row, t(5 + (i as u64 % 50)), Time::ZERO)
+                .unwrap();
         }
         for tau in [0u64, 20, 40, 60] {
             let mut a = indexed.select_eq(1, &Value::Int(3), t(tau));
@@ -443,6 +513,25 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r.texp(&tuple![2, 25]), Some(t(15)));
         assert_eq!(r.schema().arity(), 2);
+    }
+
+    #[test]
+    fn attach_obs_migrates_and_publishes_counters() {
+        let mut tb = table(IndexKind::Heap);
+        tb.insert(tuple![1, 25], t(10), Time::ZERO).unwrap();
+        tb.insert(tuple![2, 25], t(15), Time::ZERO).unwrap();
+        let pre = tb.stats();
+        assert_eq!(pre.inserts, 2);
+
+        let obs = exptime_obs::Obs::new();
+        tb.attach_obs(&obs);
+        // Pre-attach counts migrated into the registry.
+        assert_eq!(obs.registry().counter_value("storage.pol.inserts"), 2);
+        // New activity lands in the shared cells and in stats().
+        tb.expire_due(t(10));
+        assert_eq!(obs.registry().counter_value("storage.pol.expired"), 1);
+        assert_eq!(obs.registry().counter_value("storage.pol.expiry_pops"), 1);
+        assert_eq!(tb.stats().expired, 1);
     }
 
     #[test]

@@ -85,8 +85,8 @@ fn main() -> DbResult<()> {
         push_offers.server_sync(&srv)?;
         push_avail.server_sync(&srv)?;
     }
-    let push_total = push_offers.link_stats().total_messages()
-        + push_avail.link_stats().total_messages();
+    let push_total =
+        push_offers.link_stats().total_messages() + push_avail.link_stats().total_messages();
     println!("delete-push baseline:    {push_total} messages");
 
     // ---- baseline 2: client polls on every read -----------------------
@@ -98,8 +98,8 @@ fn main() -> DbResult<()> {
         poll_offers.read(&srv)?;
         poll_avail.read(&srv)?;
     }
-    let poll_total = poll_offers.link_stats().total_messages()
-        + poll_avail.link_stats().total_messages();
+    let poll_total =
+        poll_offers.link_stats().total_messages() + poll_avail.link_stats().total_messages();
     println!("polling baseline:        {poll_total} messages");
 
     println!(

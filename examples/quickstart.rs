@@ -61,18 +61,29 @@ fn main() -> DbResult<()> {
 
     db.tick(2);
     println!("\ntime 5:");
-    show(&mut db, "join (Figure 2g) — empty, nobody expired it by hand:", join);
+    show(
+        &mut db,
+        "join (Figure 2g) — empty, nobody expired it by hand:",
+        join,
+    );
 
     // --- Figure 3: a non-monotonic query -------------------------------
     let hist = "SELECT deg, COUNT(*) FROM pol GROUP BY deg";
     show(&mut db, "interest histogram (Figure 3a):", hist);
     db.tick(5);
     println!("\ntime 10:");
-    show(&mut db, "histogram recomputed — ⟨25,1⟩ as the paper requires:", hist);
+    show(
+        &mut db,
+        "histogram recomputed — ⟨25,1⟩ as the paper requires:",
+        hist,
+    );
 
     // --- Theorem 1 in action -------------------------------------------
     let fans = db.read_view("politics_fans")?;
-    println!("\nmaterialised view `politics_fans` at time 10: {} row(s)", fans.len());
+    println!(
+        "\nmaterialised view `politics_fans` at time 10: {} row(s)",
+        fans.len()
+    );
     let stats = db.view_stats("politics_fans")?;
     println!(
         "  maintained with {} recomputations over {} reads (Theorem 1: monotonic ⇒ zero)",
@@ -83,7 +94,11 @@ fn main() -> DbResult<()> {
     // --- Everything ends ------------------------------------------------
     db.tick(10);
     println!("\ntime 20:");
-    show(&mut db, "politics profiles — all expired, zero DELETEs issued:", "SELECT * FROM pol");
+    show(
+        &mut db,
+        "politics profiles — all expired, zero DELETEs issued:",
+        "SELECT * FROM pol",
+    );
     println!(
         "\nengine stats: {} inserts, {} expired automatically, {} explicit deletes",
         db.stats().inserts,

@@ -42,12 +42,16 @@ fn main() -> DbResult<()> {
     let readings = snapshot.get("readings").unwrap();
     println!("per-zone minimum temperature at time {} —", db.now());
     println!("  expiration time of the dashboard row under each mode:\n");
-    println!("  {:<6}{:>6}{:>18}{:>22}{:>14}", "zone", "min", "naive (Eq. 8)", "contributing (T. 1)", "exact (ν)");
+    println!(
+        "  {:<6}{:>6}{:>18}{:>22}{:>14}",
+        "zone", "min", "naive (Eq. 8)", "contributing (T. 1)", "exact (ν)"
+    );
     for (key, partition) in aggregate::partition(readings, &[0], db.now()) {
         let min = AggFunc::Min(1).apply(&partition).unwrap().unwrap();
         let mut texps = Vec::new();
         for mode in [AggMode::Naive, AggMode::Contributing, AggMode::Exact] {
-            texps.push(aggregate::result_texp(&partition, AggFunc::Min(1), mode, db.now()).unwrap());
+            texps
+                .push(aggregate::result_texp(&partition, AggFunc::Min(1), mode, db.now()).unwrap());
         }
         println!(
             "  {:<6}{:>6}{:>18}{:>22}{:>14}",

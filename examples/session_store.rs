@@ -35,11 +35,15 @@ fn main() -> DbResult<()> {
 
     let logouts = Arc::new(AtomicU64::new(0));
     let n = logouts.clone();
-    db.on_expire("sessions", "on_logout", Box::new(move |event| {
-        n.fetch_add(1, Ordering::SeqCst);
-        // A real server would clear caches / notify presence here.
-        let _ = event;
-    }));
+    db.on_expire(
+        "sessions",
+        "on_logout",
+        Box::new(move |event| {
+            n.fetch_add(1, Ordering::SeqCst);
+            // A real server would clear caches / notify presence here.
+            let _ = event;
+        }),
+    );
 
     // Login burst: 8 users, one session each.
     for uid in 0..8i64 {
@@ -82,7 +86,10 @@ fn main() -> DbResult<()> {
         db.now(),
         db.execute("SELECT * FROM sessions")?.rows().unwrap().len()
     );
-    println!("  logout trigger fired {} times", logouts.load(Ordering::SeqCst));
+    println!(
+        "  logout trigger fired {} times",
+        logouts.load(Ordering::SeqCst)
+    );
 
     let gone = db.read_view("logged_out")?;
     println!("  audited-but-inactive sids: {}", gone.len());
@@ -106,7 +113,11 @@ fn main() -> DbResult<()> {
     // Sliding renewals keep sessions alive only as long as traffic lasts;
     // once it stops, everything drains with no cleanup job.
     db.tick(SESSION_TTL + 1);
-    assert!(db.execute("SELECT * FROM sessions")?.rows().unwrap().is_empty());
+    assert!(db
+        .execute("SELECT * FROM sessions")?
+        .rows()
+        .unwrap()
+        .is_empty());
     println!(
         "time {}: all sessions gone; total automatic expirations: {}",
         db.now(),

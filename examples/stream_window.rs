@@ -53,7 +53,10 @@ fn main() -> DbResult<()> {
 
         // Both systems agree at every instant.
         let now = db.now().finite().unwrap();
-        while reference.front().is_some_and(|&(at, _, _)| at + WINDOW <= now) {
+        while reference
+            .front()
+            .is_some_and(|&(at, _, _)| at + WINDOW <= now)
+        {
             reference.pop_front();
         }
         let in_window = db.execute("SELECT * FROM clicks")?.rows().unwrap().len();
@@ -77,7 +80,11 @@ fn main() -> DbResult<()> {
 
     // The stream stops; the window drains by itself — no tear-down logic.
     db.tick(WINDOW);
-    assert!(db.execute("SELECT * FROM clicks")?.rows().unwrap().is_empty());
+    assert!(db
+        .execute("SELECT * FROM clicks")?
+        .rows()
+        .unwrap()
+        .is_empty());
     println!(
         "\nstream ended; window drained itself {WINDOW} ticks later \
          (checked {checked} instants against the reference window)"

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# CI gate: everything a PR must pass. Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --check

@@ -1,0 +1,184 @@
+//! Generation for the regex subset the workspace's tests use as string
+//! strategies: literal characters, `[...]` classes (with `a-z` ranges and
+//! a trailing literal `-`), `\PC` (any non-control character), and
+//! `{m,n}` / `{n}` repetition suffixes.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum CharClass {
+    /// Explicit alternatives from a `[...]` class or a literal character.
+    OneOf(Vec<char>),
+    /// `\PC`: anything outside Unicode category C. Sampled from printable
+    /// ASCII plus a few multi-byte characters so parsers see real UTF-8.
+    NonControl,
+}
+
+impl CharClass {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::OneOf(chars) => chars[rng.below(chars.len() as u64) as usize],
+            CharClass::NonControl => {
+                const EXOTIC: &[char] = &['é', 'λ', 'Ж', '中', '…', '☂'];
+                let roll = rng.below(16);
+                if roll == 0 {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                } else {
+                    char::from(b' ' + rng.below(95) as u8) // 0x20..=0x7E
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: CharClass,
+    min: u32,
+    max: u32,
+}
+
+/// Generates a string matching `pattern`; panics on syntax outside the
+/// supported subset (a shim bug you want to hear about, not mask).
+pub(crate) fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = atom.min + rng.below(u64::from(atom.max - atom.min) + 1) as u32;
+        for _ in 0..n {
+            out.push(atom.class.pick(rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let body = &chars[i + 1..i + close];
+                i += close + 1;
+                CharClass::OneOf(parse_class(body, pattern))
+            }
+            '\\' => {
+                let esc: String = chars[i + 1..].iter().take(2).collect();
+                if esc.starts_with("PC") {
+                    i += 3;
+                    CharClass::NonControl
+                } else {
+                    // Escaped literal (\. \\ \- ...).
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 2;
+                    CharClass::OneOf(vec![c])
+                }
+            }
+            c => {
+                i += 1;
+                CharClass::OneOf(vec![c])
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push(Atom { class, min, max });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty [] in pattern {pattern:?}");
+    let mut out = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        // `a-z` range (a `-` in last position is a literal).
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j], body[j + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            for cp in lo..=hi {
+                out.push(cp);
+            }
+            j += 3;
+        } else {
+            out.push(body[j]);
+            j += 1;
+        }
+    }
+    out
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (u32, u32) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    let close = chars[*i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..*i + close].iter().collect();
+    *i += close + 1;
+    let parse_n = |s: &str| -> u32 {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition {body:?} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+        None => {
+            let n = parse_n(&body);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("[a-z][a-z0-9_]{0,6}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literal_class_with_trailing_dash() {
+        let mut r = rng();
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = sample_pattern("[ a-zA-Z0-9_',.!?-]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            saw_dash |= s.contains('-');
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _',.!?-".contains(c)));
+        }
+        assert!(saw_dash, "trailing - must be a literal member");
+    }
+
+    #[test]
+    fn non_control_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_pattern("\\PC{0,80}", &mut r);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

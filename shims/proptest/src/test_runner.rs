@@ -1,0 +1,169 @@
+//! Case runner: deterministic RNG, config, and test-case errors.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Bump to re-roll every generated workload in the repository at once.
+pub const SEED_EPOCH: u64 = 0xE897_11AE_0000_0001;
+
+/// Deterministic xoshiro256++ generator used for all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds via SplitMix64 expansion of `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = move || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// A seed derived from the test name, stable across runs/machines.
+    pub fn for_test(name: &str) -> Self {
+        let mut h = 0xCBF2_9CE4_8422_2325u64; // FNV-1a
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(h ^ SEED_EPOCH)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runner configuration. Only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case found a genuine counterexample.
+    Fail(String),
+    /// The case did not meet a `prop_assume!` precondition; it is
+    /// discarded without counting as pass or fail.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Lets test bodies use `?` on ordinary `Result`s, like real proptest.
+/// (`TestCaseError` itself deliberately does not implement
+/// `std::error::Error`, or this blanket impl would overlap the identity
+/// `From`.)
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError::fail(e.to_string())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+/// Drives `case` until `config.cases` successes (what `proptest!` expands
+/// to). Panics on the first failing case, reporting its seed.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut seeder = TestRng::for_test(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u64 = 0;
+    // A generous global reject budget; heavily-filtered strategies give up
+    // (loudly) rather than spinning forever.
+    let reject_budget = u64::from(config.cases).saturating_mul(64).max(4096);
+
+    while passed < config.cases {
+        let case_seed = seeder.next_u64();
+        let mut rng = TestRng::from_seed(case_seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                if rejected >= reject_budget {
+                    eprintln!(
+                        "proptest(shim) {name}: giving up after {rejected} rejects \
+                         ({passed}/{} cases passed)",
+                        config.cases
+                    );
+                    return;
+                }
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!(
+                    "proptest(shim) {name}: case failed after {passed} passing cases \
+                     (case seed {case_seed:#018x}):\n{reason}"
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest(shim) {name}: case panicked after {passed} passing cases \
+                     (case seed {case_seed:#018x})"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

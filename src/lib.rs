@@ -20,11 +20,15 @@
 //!   triggers, constraints, virtual and materialised views.
 //! * [`replica`] — the loosely-coupled replica simulation with message
 //!   accounting.
+//! * [`obs`] — the zero-dependency observability layer: the metrics
+//!   registry (counters, gauges, latency histograms), the structured
+//!   expiration-event stream, and the JSON snapshot export.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use exptime_core as core;
 pub use exptime_engine as engine;
+pub use exptime_obs as obs;
 pub use exptime_replica as replica;
 pub use exptime_sql as sql;
 pub use exptime_storage as storage;
@@ -35,5 +39,5 @@ pub mod prelude {
     pub use exptime_engine::{
         Constraint, Database, DbConfig, DbError, DbResult, ExecResult, Removal,
     };
-    pub use exptime_replica::{Replica, ReadOutcome};
+    pub use exptime_replica::{ReadOutcome, Replica};
 }

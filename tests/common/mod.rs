@@ -22,15 +22,18 @@ pub fn schema2() -> Schema {
 /// tuples between relations, duplicate projections, multi-row groups),
 /// which is where all the interesting expiration semantics live.
 pub fn arb_row() -> impl Strategy<Value = (Tuple, Time)> {
-    (0i64..8, -3i64..4, prop_oneof![3 => (1u64..40).prop_map(Time::new), 1 => Just(Time::INFINITY)])
+    (
+        0i64..8,
+        -3i64..4,
+        prop_oneof![3 => (1u64..40).prop_map(Time::new), 1 => Just(Time::INFINITY)],
+    )
         .prop_map(|(k, v, e)| (Tuple::new(vec![Value::Int(k), Value::Int(v)]), e))
 }
 
 /// An arbitrary relation of up to `max` rows.
 pub fn arb_relation(max: usize) -> impl Strategy<Value = Relation> {
-    proptest::collection::vec(arb_row(), 0..max).prop_map(|rows| {
-        Relation::from_rows(schema2(), rows).expect("generated rows are valid")
-    })
+    proptest::collection::vec(arb_row(), 0..max)
+        .prop_map(|rows| Relation::from_rows(schema2(), rows).expect("generated rows are valid"))
 }
 
 /// A catalog with two generated relations `r` and `s`.
@@ -67,13 +70,16 @@ pub fn arb_expr() -> impl Strategy<Value = Expr> {
             // Aggregation appends a column; project back to arity 2. Avg
             // is excluded: it appends a FLOAT, which would break the
             // union compatibility of (INT, INT) subexpressions.
-            (inner.clone(), prop_oneof![
-                Just(AggFunc::Count),
-                Just(AggFunc::Sum(1)),
-                Just(AggFunc::Min(1)),
-                Just(AggFunc::Max(1)),
-            ])
-            .prop_map(|(e, f)| e.aggregate([0], f).project([0, 2])),
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(AggFunc::Count),
+                    Just(AggFunc::Sum(1)),
+                    Just(AggFunc::Min(1)),
+                    Just(AggFunc::Max(1)),
+                ]
+            )
+                .prop_map(|(e, f)| e.aggregate([0], f).project([0, 2])),
         ]
     })
 }

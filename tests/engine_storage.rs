@@ -200,9 +200,13 @@ fn trigger_chain_reinsertion_is_safe() {
     use std::sync::{Arc, Mutex};
     let renew: Arc<Mutex<Vec<Tuple>>> = Arc::new(Mutex::new(Vec::new()));
     let sink = renew.clone();
-    db.on_expire("t", "collect", Box::new(move |e| {
-        sink.lock().unwrap().push(e.tuple.clone());
-    }));
+    db.on_expire(
+        "t",
+        "collect",
+        Box::new(move |e| {
+            sink.lock().unwrap().push(e.tuple.clone());
+        }),
+    );
     db.insert_ttl("t", tuple![1, 0], 5).unwrap();
     let mut renew_budget = 3;
     for _ in 0..10 {
@@ -217,7 +221,12 @@ fn trigger_chain_reinsertion_is_safe() {
     }
     // 1 original + 3 renewals, each expired exactly once.
     assert_eq!(db.stats().expired, 4);
-    assert!(db.execute("SELECT * FROM t").unwrap().rows().unwrap().is_empty());
+    assert!(db
+        .execute("SELECT * FROM t")
+        .unwrap()
+        .rows()
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -226,15 +235,24 @@ fn update_expiration_reschedules_in_every_index() {
         let mut db = db_with(index, Removal::Eager);
         db.insert_ttl("t", tuple![1, 0], 100).unwrap();
         // Shorten, then verify it actually fires at the new time.
-        db.execute("UPDATE t SET EXPIRES AT 10 WHERE k = 1").unwrap();
+        db.execute("UPDATE t SET EXPIRES AT 10 WHERE k = 1")
+            .unwrap();
         db.tick(10);
         assert!(
-            db.execute("SELECT * FROM t").unwrap().rows().unwrap().is_empty(),
+            db.execute("SELECT * FROM t")
+                .unwrap()
+                .rows()
+                .unwrap()
+                .is_empty(),
             "{index:?}"
         );
         assert_eq!(db.stats().expired, 1, "{index:?}");
         let log = db.triggers().log();
         assert_eq!(log.len(), 1);
-        assert_eq!(log[0].texp, Time::new(10), "{index:?}: fired at the updated time");
+        assert_eq!(
+            log[0].texp,
+            Time::new(10),
+            "{index:?}: fired at the updated time"
+        );
     }
 }

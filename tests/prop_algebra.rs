@@ -236,16 +236,24 @@ proptest! {
 fn figure_3_difference_grows_then_shrinks() {
     let mut catalog = Catalog::new();
     let mut pol = Relation::new(schema2());
-    pol.insert(exptime::core::tuple![1, 25], Time::new(10)).unwrap();
-    pol.insert(exptime::core::tuple![2, 25], Time::new(15)).unwrap();
-    pol.insert(exptime::core::tuple![3, 35], Time::new(10)).unwrap();
+    pol.insert(exptime::core::tuple![1, 25], Time::new(10))
+        .unwrap();
+    pol.insert(exptime::core::tuple![2, 25], Time::new(15))
+        .unwrap();
+    pol.insert(exptime::core::tuple![3, 35], Time::new(10))
+        .unwrap();
     let mut el = Relation::new(schema2());
-    el.insert(exptime::core::tuple![1, 75], Time::new(5)).unwrap();
-    el.insert(exptime::core::tuple![2, 85], Time::new(3)).unwrap();
-    el.insert(exptime::core::tuple![4, 90], Time::new(2)).unwrap();
+    el.insert(exptime::core::tuple![1, 75], Time::new(5))
+        .unwrap();
+    el.insert(exptime::core::tuple![2, 85], Time::new(3))
+        .unwrap();
+    el.insert(exptime::core::tuple![4, 90], Time::new(2))
+        .unwrap();
     catalog.register("r", pol);
     catalog.register("s", el);
-    let expr = Expr::base("r").project([0]).difference(Expr::base("s").project([0]));
+    let expr = Expr::base("r")
+        .project([0])
+        .difference(Expr::base("s").project([0]));
     let counts: Vec<usize> = [0u64, 3, 5, 10, 15]
         .iter()
         .map(|&t| {

@@ -24,7 +24,9 @@ fn arb_set() -> impl Strategy<Value = IntervalSet> {
 
 /// Pointwise membership over the probe range, the brute-force model.
 fn bitmap(s: &IntervalSet) -> Vec<bool> {
-    (0..HORIZON + 32).map(|t| s.contains(Time::new(t))).collect()
+    (0..HORIZON + 32)
+        .map(|t| s.contains(Time::new(t)))
+        .collect()
 }
 
 proptest! {

@@ -23,9 +23,8 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
     prop_oneof![
         any::<i64>().prop_map(Literal::Int),
         // Finite floats whose text form re-parses exactly.
-        (-1_000_000i64..1_000_000, 0u32..1000).prop_map(|(m, f)| {
-            Literal::Float(m as f64 + f64::from(f) / 1000.0)
-        }),
+        (-1_000_000i64..1_000_000, 0u32..1000)
+            .prop_map(|(m, f)| { Literal::Float(m as f64 + f64::from(f) / 1000.0) }),
         "[ a-zA-Z0-9_',.!?-]{0,12}".prop_map(Literal::Str),
         any::<bool>().prop_map(Literal::Bool),
     ]
@@ -50,15 +49,15 @@ fn arb_cmp() -> impl Strategy<Value = CmpOp> {
 }
 
 fn arb_cond() -> impl Strategy<Value = Cond> {
-    let leaf = (arb_scalar(), arb_cmp(), arb_scalar()).prop_map(|(left, op, right)| {
-        Cond::Cmp { left, op, right }
+    let leaf = (arb_scalar(), arb_cmp(), arb_scalar()).prop_map(|(left, op, right)| Cond::Cmp {
+        left,
+        op,
+        right,
     });
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Cond::Or(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Cond::Not(Box::new(a))),
         ]
     })
@@ -101,11 +100,7 @@ fn arb_items() -> impl Strategy<Value = Vec<SelectItem>> {
 fn arb_having() -> impl Strategy<Value = Cond> {
     // HAVING conditions may compare aggregates with literals.
     (
-        prop_oneof![
-            Just(AggName::Count),
-            Just(AggName::Sum),
-            Just(AggName::Min),
-        ],
+        prop_oneof![Just(AggName::Count), Just(AggName::Sum), Just(AggName::Min),],
         proptest::option::of(arb_colref()),
         arb_cmp(),
         arb_literal(),
@@ -135,13 +130,15 @@ fn arb_body() -> impl Strategy<Value = QueryBody> {
         proptest::collection::vec(arb_colref(), 0..3),
         proptest::option::of(arb_having()),
     )
-        .prop_map(|(projection, from, selection, group_by, having)| QueryBody {
-            projection,
-            from,
-            selection,
-            group_by,
-            having,
-        })
+        .prop_map(
+            |(projection, from, selection, group_by, having)| QueryBody {
+                projection,
+                from,
+                selection,
+                group_by,
+                having,
+            },
+        )
 }
 
 fn arb_query() -> impl Strategy<Value = Query> {
@@ -149,7 +146,11 @@ fn arb_query() -> impl Strategy<Value = Query> {
         arb_body(),
         proptest::collection::vec(
             (
-                prop_oneof![Just(SetOp::Union), Just(SetOp::Except), Just(SetOp::Intersect)],
+                prop_oneof![
+                    Just(SetOp::Union),
+                    Just(SetOp::Except),
+                    Just(SetOp::Intersect)
+                ],
                 arb_body(),
             ),
             0..3,

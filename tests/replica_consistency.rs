@@ -29,9 +29,14 @@ fn build_server(seed: u64) -> Database {
 }
 
 fn truth(server: &Database, expr: &Expr) -> Relation {
-    eval(expr, &server.snapshot(), server.now(), &EvalOptions::default())
-        .unwrap()
-        .rel
+    eval(
+        expr,
+        &server.snapshot(),
+        server.now(),
+        &EvalOptions::default(),
+    )
+    .unwrap()
+    .rel
 }
 
 #[test]
@@ -41,7 +46,10 @@ fn replica_answers_are_truthful_under_link_flaps() {
             let mut srv = build_server(seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xAB);
             let exprs = vec![
-                ("mono", Expr::base("r").select(Predicate::attr_cmp_const(1, CmpOp::Lt, 4))),
+                (
+                    "mono",
+                    Expr::base("r").select(Predicate::attr_cmp_const(1, CmpOp::Lt, 4)),
+                ),
                 ("diff", Expr::base("r").difference(Expr::base("s"))),
             ];
             let mut rep = Replica::new(refresh);
@@ -140,7 +148,8 @@ fn patched_difference_survives_total_disconnection() {
 fn view_stats_expose_per_view_costs() {
     let mut srv = build_server(13);
     let mut rep = Replica::new(RefreshPolicy::Recompute);
-    rep.subscribe("mono", Expr::base("r").project([0]), &srv).unwrap();
+    rep.subscribe("mono", Expr::base("r").project([0]), &srv)
+        .unwrap();
     rep.subscribe("diff", Expr::base("r").difference(Expr::base("s")), &srv)
         .unwrap();
     for _ in 0..40 {
@@ -148,10 +157,8 @@ fn view_stats_expose_per_view_costs() {
         rep.read("mono", &srv).unwrap();
         rep.read("diff", &srv).unwrap();
     }
-    let stats: std::collections::HashMap<String, _> = rep
-        .view_stats()
-        .map(|(n, s)| (n.to_string(), s))
-        .collect();
+    let stats: std::collections::HashMap<String, _> =
+        rep.view_stats().map(|(n, s)| (n.to_string(), s)).collect();
     assert_eq!(stats["mono"].recomputations, 0);
     assert!(stats["diff"].recomputations > 0);
     assert!(stats["mono"].local_reads >= 40);

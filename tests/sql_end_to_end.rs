@@ -205,13 +205,16 @@ fn union_texp_is_max_through_sql() {
 #[test]
 fn views_through_sql_track_updates_and_expiry() {
     let mut db = fixture();
-    db.execute("CREATE MATERIALIZED VIEW by_user AS SELECT uid, COUNT(*) FROM sessions GROUP BY uid")
-        .unwrap();
+    db.execute(
+        "CREATE MATERIALIZED VIEW by_user AS SELECT uid, COUNT(*) FROM sessions GROUP BY uid",
+    )
+    .unwrap();
     let v = db.read_view("by_user").unwrap();
     assert!(v.contains(&tuple![1, 2]) && v.contains(&tuple![2, 1]));
 
     // Insert (an update to base data) must be reflected on next read.
-    db.execute("INSERT INTO sessions VALUES (13, 3) EXPIRES AT 70").unwrap();
+    db.execute("INSERT INTO sessions VALUES (13, 3) EXPIRES AT 70")
+        .unwrap();
     let v = db.read_view("by_user").unwrap();
     assert!(v.contains(&tuple![3, 1]), "{v:?}");
 
@@ -223,7 +226,9 @@ fn views_through_sql_track_updates_and_expiry() {
     // Explicit delete is an update too.
     db.execute("DELETE FROM sessions WHERE uid = 2").unwrap();
     let v = db.read_view("by_user").unwrap();
-    assert!(!v.iter().any(|(t, _)| t.attr(0) == &exptime::core::value::Value::Int(2)));
+    assert!(!v
+        .iter()
+        .any(|(t, _)| t.attr(0) == &exptime::core::value::Value::Int(2)));
 }
 
 #[test]
@@ -233,16 +238,20 @@ fn errors_are_reported_not_panicked() {
         "SELECT nope FROM users",
         "SELECT * FROM ghosts",
         "SELECT uid FROM users EXCEPT SELECT name FROM users", // type mismatch
-        "INSERT INTO users VALUES (1)",                         // arity
-        "INSERT INTO users VALUES ('x', 'y')",                  // type
-        "SELECT uid, COUNT(*) FROM sessions",                   // missing GROUP BY
-        "CREATE TABLE users (uid INT)",                         // duplicate
+        "INSERT INTO users VALUES (1)",                        // arity
+        "INSERT INTO users VALUES ('x', 'y')",                 // type
+        "SELECT uid, COUNT(*) FROM sessions",                  // missing GROUP BY
+        "CREATE TABLE users (uid INT)",                        // duplicate
     ] {
         assert!(db.execute(bad).is_err(), "should fail: {bad}");
     }
     // The database remains usable after errors.
     assert_eq!(
-        db.execute("SELECT * FROM users").unwrap().rows().unwrap().len(),
+        db.execute("SELECT * FROM users")
+            .unwrap()
+            .rows()
+            .unwrap()
+            .len(),
         3
     );
 }
@@ -270,11 +279,22 @@ fn expires_in_is_relative_to_statement_time() {
     let mut db = Database::default();
     db.execute("CREATE TABLE t (x INT)").unwrap();
     db.advance_to(Time::new(40));
-    db.execute("INSERT INTO t VALUES (1) EXPIRES IN 10 TICKS").unwrap();
-    let rel = db.execute("SELECT * FROM t").unwrap().rows().unwrap().clone();
+    db.execute("INSERT INTO t VALUES (1) EXPIRES IN 10 TICKS")
+        .unwrap();
+    let rel = db
+        .execute("SELECT * FROM t")
+        .unwrap()
+        .rows()
+        .unwrap()
+        .clone();
     assert_eq!(rel.texp(&tuple![1]), Some(Time::new(50)));
     db.advance_to(Time::new(50));
-    assert!(db.execute("SELECT * FROM t").unwrap().rows().unwrap().is_empty());
+    assert!(db
+        .execute("SELECT * FROM t")
+        .unwrap()
+        .rows()
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
@@ -410,7 +430,11 @@ fn order_by_and_limit() {
         .iter()
         .map(|(t, _)| (t.attr(0).as_int().unwrap(), t.attr(1).as_int().unwrap()))
         .collect();
-    assert_eq!(rows, vec![(12, 1), (10, 1)], "uid asc, sid desc within ties");
+    assert_eq!(
+        rows,
+        vec![(12, 1), (10, 1)],
+        "uid asc, sid desc within ties"
+    );
 
     // LIMIT 0 and LIMIT beyond cardinality.
     assert!(db
@@ -439,7 +463,9 @@ fn order_by_and_limit() {
     assert!(r.contains(&tuple![3]));
 
     // Errors: unknown / qualified order columns.
-    assert!(db.execute("SELECT sid FROM sessions ORDER BY nope").is_err());
+    assert!(db
+        .execute("SELECT sid FROM sessions ORDER BY nope")
+        .is_err());
     assert!(db
         .execute("SELECT sid FROM sessions ORDER BY sessions.sid")
         .is_err());

@@ -1,16 +1,21 @@
 //! Runs the synthetic experiments E1–E8 and the A1 ablation, printing the
 //! report tables recorded in EXPERIMENTS.md.
 //!
-//! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [id…]`
+//! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
 //! where `id` ∈ {e1, …, e10, obs, a1, a2}; omit ids for all. `--quick` shrinks
-//! the workloads (used in CI smoke runs). The `obs` experiment additionally
-//! writes a `BENCH_obs.json` metrics snapshot to the working directory.
+//! the workloads (used in CI smoke runs); `--check` skips all file writes
+//! (CI runs the experiments for their assertions, not their artifacts).
+//! The `obs` experiment otherwise writes a `BENCH_obs.json` document — the
+//! metrics snapshot plus the monitor-overhead measurement — to the working
+//! directory.
 
 use exptime_bench::experiments as ex;
+use exptime_obs::JsonValue;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -84,11 +89,25 @@ fn main() {
         );
     }
     if run("obs") {
-        let (report, json) = ex::obs_snapshot(512 * scale as usize, 47);
+        let (report, snapshot) = ex::obs_snapshot(512 * scale as usize, 47);
         println!("{}", report.render());
-        match std::fs::write("BENCH_obs.json", &json) {
-            Ok(()) => println!("wrote BENCH_obs.json ({} bytes)\n", json.len()),
-            Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+        let (overhead_report, overhead) = ex::obs_monitor_overhead(512 * scale as usize, 53);
+        println!("{}", overhead_report.render());
+        let json = JsonValue::Object(vec![
+            ("snapshot".into(), snapshot),
+            ("monitor_overhead".into(), overhead),
+        ])
+        .render();
+        if check {
+            println!(
+                "--check: BENCH_obs.json not written ({} bytes)\n",
+                json.len()
+            );
+        } else {
+            match std::fs::write("BENCH_obs.json", &json) {
+                Ok(()) => println!("wrote BENCH_obs.json ({} bytes)\n", json.len()),
+                Err(e) => eprintln!("could not write BENCH_obs.json: {e}"),
+            }
         }
     }
     if run("a1") {

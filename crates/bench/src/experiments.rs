@@ -1473,7 +1473,7 @@ fn profile_to_json(p: &exptime_core::algebra::PlanProfile) -> exptime_obs::JsonV
 ///
 /// Panics if the workload's SQL fails (a bug, not an input condition).
 #[must_use]
-pub fn obs_snapshot(rows: usize, seed: u64) -> (Report, String) {
+pub fn obs_snapshot(rows: usize, seed: u64) -> (Report, exptime_obs::JsonValue) {
     use exptime_obs::JsonValue as J;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -1541,8 +1541,7 @@ pub fn obs_snapshot(rows: usize, seed: u64) -> (Report, String) {
         ),
         ("events_buffered".into(), J::Uint(ring.len() as u64)),
         ("events_dropped".into(), J::Uint(ring.dropped())),
-    ])
-    .render();
+    ]);
 
     let report = Report {
         title: "OBS — observability snapshot (metrics + profiled plan)".into(),
@@ -1568,6 +1567,98 @@ pub fn obs_snapshot(rows: usize, seed: u64) -> (Report, String) {
     (report, json)
 }
 
+// ---------------------------------------------------------------------
+// OBS overhead — what the monitor + tracer cost on the hot path
+// ---------------------------------------------------------------------
+
+/// OBS overhead: run one expiry-heavy workload twice — dark (no event
+/// ring, tracer off, health never polled) and lit (ring installed,
+/// tracer on, health polled periodically) — and report the wall-clock
+/// difference. Lazy removal makes triggers fire late, so the lit run
+/// also demonstrates the staleness monitor catching real SLO breaches.
+///
+/// # Panics
+///
+/// Panics if the workload's SQL fails (a bug, not an input condition).
+#[must_use]
+pub fn obs_monitor_overhead(rows: usize, seed: u64) -> (Report, exptime_obs::JsonValue) {
+    use exptime_obs::JsonValue as J;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let run_once = |lit: bool| -> (f64, u64, u64, usize) {
+        let mut db = Database::new(DbConfig {
+            removal: Removal::Lazy { vacuum_every: 96 },
+            ..DbConfig::default()
+        });
+        let ring = lit.then(|| db.obs().install_ring(4096));
+        if lit {
+            db.tracer().enable();
+        }
+        db.execute("CREATE TABLE sessions (uid INT, deg INT)")
+            .unwrap();
+        db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM sessions WHERE deg >= 50")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let life = LifetimeDist::HeavyTail {
+            base: 16,
+            spread: 4,
+        };
+        let start = Instant::now();
+        let mut breaches = 0u64;
+        for i in 0..rows {
+            let deg = rng.gen_range(0i64..100);
+            let texp = db.now() + life.sample(&mut rng).max(1);
+            db.insert("sessions", exptime_core::tuple![i as i64, deg], texp)
+                .unwrap();
+            if i % 64 == 0 {
+                db.tick(1);
+                db.read_view("hot").unwrap();
+                if lit {
+                    breaches = db.health().total_breaches();
+                }
+            }
+        }
+        db.tick(1024);
+        db.vacuum();
+        if lit {
+            breaches = db.health().total_breaches();
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let spans = db.tracer().len() as u64 + db.tracer().dropped();
+        (wall_ms, breaches, spans, ring.map_or(0, |r| r.len()))
+    };
+
+    let (dark_ms, _, _, _) = run_once(false);
+    let (lit_ms, breaches, spans, buffered) = run_once(true);
+    let overhead_pct = (lit_ms - dark_ms) / dark_ms.max(1e-9) * 100.0;
+
+    let json = J::Object(vec![
+        (
+            "experiment".into(),
+            J::String("obs_monitor_overhead".into()),
+        ),
+        ("rows".into(), J::Uint(rows as u64)),
+        ("seed".into(), J::Uint(seed)),
+        ("dark_ms".into(), J::Float(dark_ms)),
+        ("lit_ms".into(), J::Float(lit_ms)),
+        ("overhead_pct".into(), J::Float(overhead_pct)),
+        ("slo_breaches".into(), J::Uint(breaches)),
+        ("spans_recorded".into(), J::Uint(spans)),
+        ("events_buffered".into(), J::Uint(buffered as u64)),
+    ]);
+    let report = Report {
+        title: "OBS — monitor/tracer overhead on an expiry-heavy workload".into(),
+        lines: vec![
+            format!("workload: {rows} inserts, lazy removal (vacuum every 96), health polled every 64"),
+            format!("dark (no obs): {dark_ms:>8.2} ms"),
+            format!("lit  (ring + tracer + health): {lit_ms:>8.2} ms  ({overhead_pct:+.1}%)"),
+            format!("lit run saw {breaches} SLO breach(es), {spans} span(s), {buffered} event(s) buffered"),
+        ],
+    };
+    (report, json)
+}
+
 #[cfg(test)]
 mod obs_tests {
     use super::*;
@@ -1575,6 +1666,7 @@ mod obs_tests {
     #[test]
     fn obs_snapshot_json_is_consistent_with_stats() {
         let (report, json) = obs_snapshot(512, 47);
+        let json = json.render();
         assert_eq!(report.lines.len(), 4);
         // The JSON embeds the registry: spot-check a few keys.
         assert!(json.contains("\"db.inserts\""), "{json}");
@@ -1588,5 +1680,30 @@ mod obs_tests {
         // Deterministic: same seed, same counters (timings aside).
         let (report2, _) = obs_snapshot(512, 47);
         assert_eq!(report.lines[1], report2.lines[1]);
+    }
+
+    #[test]
+    fn obs_overhead_lit_run_observes_the_workload() {
+        let (report, json) = obs_monitor_overhead(512, 53);
+        assert_eq!(report.lines.len(), 4);
+        let json = json.render();
+        assert!(json.contains("\"overhead_pct\""), "{json}");
+        // Lazy removal with a zero-lateness SLO must breach…
+        assert!(json.contains("\"slo_breaches\""), "{json}");
+        let breaches: u64 = json
+            .split("\"slo_breaches\": ")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(breaches > 0, "lazy removal must be caught late: {json}");
+        // …and the lit run must actually have traced something.
+        let spans: u64 = json
+            .split("\"spans_recorded\": ")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert!(spans > 0, "tracer was on: {json}");
     }
 }

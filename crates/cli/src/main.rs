@@ -4,6 +4,46 @@
 
 use exptime_cli::repl::{Outcome, Repl};
 use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Re-renders the dashboard every `secs` seconds until the user presses
+/// Enter (or stdin closes). Terminal-only concern, so it lives here and
+/// not in the testable `Repl`.
+fn watch(repl: &mut Repl, secs: u64) {
+    let (tx, rx) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut line = String::new();
+        std::io::stdin().lock().read_line(&mut line).ok();
+        tx.send(()).ok();
+    });
+    loop {
+        // ANSI clear + home; plain output everywhere else in the shell.
+        print!(
+            "\x1b[2J\x1b[H{}\n(press Enter to stop watching)\n",
+            repl.dashboard()
+        );
+        std::io::stdout().flush().ok();
+        let mut waited = Duration::ZERO;
+        let period = Duration::from_secs(secs);
+        let step = Duration::from_millis(100);
+        let stop = loop {
+            match rx.recv_timeout(step) {
+                Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => break true,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    waited += step;
+                    if waited >= period {
+                        break false;
+                    }
+                }
+            }
+        };
+        if stop {
+            break;
+        }
+    }
+    reader.join().ok();
+}
 
 fn main() {
     let mut repl = Repl::new();
@@ -15,11 +55,16 @@ fn main() {
         print!("{}", repl.prompt());
         stdout.flush().ok();
         let mut line = String::new();
-        match stdin.lock().read_line(&mut line) {
+        // Read in its own statement: a `match stdin.lock().read_line(…)`
+        // scrutinee would keep the StdinLock alive through the arms, and
+        // `watch` spawns a thread that must be able to lock stdin.
+        let read = stdin.lock().read_line(&mut line);
+        match read {
             Ok(0) => break, // EOF
             Ok(_) => match repl.feed(&line) {
                 Outcome::Text(t) => print!("{t}"),
                 Outcome::Continue => {}
+                Outcome::Watch(secs) => watch(&mut repl, secs),
                 Outcome::Quit => break,
             },
             Err(e) => {

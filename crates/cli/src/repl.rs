@@ -10,7 +10,7 @@ use crate::render::render_relation;
 use exptime_core::rewrite;
 use exptime_core::time::Time;
 use exptime_engine::{Database, DbConfig, ExecResult};
-use exptime_obs::RingSink;
+use exptime_obs::{expose_json, expose_prometheus, render_span_tree, RingSink};
 use exptime_sql::{plan_query, SchemaProvider};
 use std::sync::Arc;
 
@@ -33,6 +33,9 @@ pub enum Outcome {
     Text(String),
     /// The statement is incomplete; the prompt should show continuation.
     Continue,
+    /// Enter watch mode: the driver should re-render [`Repl::dashboard`]
+    /// every this-many seconds until the user presses Enter.
+    Watch(u64),
     /// The user asked to quit.
     Quit,
 }
@@ -57,8 +60,15 @@ Meta commands:
   \\views          list views with maintenance stats
   \\triggers       show the expiration-event log
   \\stats          engine statistics
-  \\metrics        dump every counter/gauge/histogram in the registry
+  \\metrics [prom|json]
+                  dump every counter/gauge/histogram in the registry
+                  (`prom` = Prometheus text format, `json` = JSON)
+  \\health         staleness/SLO snapshot: per-view time-to-expiration,
+                  trigger-lateness and refresh-latency percentiles
   \\events [N]     show the last N engine events (default 20)
+  \\spans [N]      show the last N tracing spans as a call tree (default 20)
+  \\watch [SECS]   live dashboard (stats + health), re-rendered every
+                  SECS seconds (default 2); press Enter to stop
   \\plan SELECT …  show the algebra plan, its rewrite, and monotonicity
   \\explain analyze SELECT …
                   run the query and profile it per operator
@@ -81,6 +91,9 @@ impl Repl {
     pub fn new() -> Self {
         let db = Database::new(DbConfig::default());
         let events = db.obs().install_ring(EVENT_RING_CAP);
+        // Interactive sessions always trace: spans are bounded (a ring)
+        // and the whole point of the shell is to watch the engine work.
+        db.tracer().enable();
         Repl {
             db,
             pending: String::new(),
@@ -226,6 +239,12 @@ impl Repl {
             }
             "\\metrics" => {
                 let reg = self.db.metrics();
+                match arg {
+                    "prom" | "prometheus" => return Outcome::Text(expose_prometheus(reg)),
+                    "json" => return Outcome::Text(format!("{}\n", expose_json(reg))),
+                    "" => {}
+                    _ => return Outcome::Text("usage: \\metrics [prom|json]\n".into()),
+                }
                 let mut out = String::new();
                 for (name, v) in reg.counters() {
                     out.push_str(&format!("{name} = {v}\n"));
@@ -235,16 +254,49 @@ impl Repl {
                 }
                 for (name, h) in reg.histograms() {
                     out.push_str(&format!(
-                        "{name}: count={} mean={:.0}ns p99<={}ns\n",
+                        "{name}: count={} mean={:.0}ns p50={:.0}ns p99={:.0}ns\n",
                         h.count,
                         h.mean(),
-                        h.quantile_upper_bound(0.99)
+                        h.p50(),
+                        h.p99()
                     ));
                 }
                 if out.is_empty() {
                     out.push_str("(no metrics)\n");
                 }
                 Outcome::Text(out)
+            }
+            "\\health" => Outcome::Text(format!("{}", self.db.health())),
+            "\\spans" => {
+                let n = if arg.is_empty() {
+                    20
+                } else {
+                    match arg.parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => return Outcome::Text("usage: \\spans [N]\n".into()),
+                    }
+                };
+                let spans = self.db.tracer().recent(n);
+                if spans.is_empty() {
+                    return Outcome::Text("(no spans yet)\n".into());
+                }
+                let mut out = render_span_tree(&spans);
+                let dropped = self.db.tracer().dropped();
+                if dropped > 0 {
+                    out.push_str(&format!(
+                        "({dropped} older span(s) dropped from the ring)\n"
+                    ));
+                }
+                Outcome::Text(out)
+            }
+            "\\watch" => {
+                if arg.is_empty() {
+                    return Outcome::Watch(2);
+                }
+                match arg.parse::<u64>() {
+                    Ok(secs) if secs > 0 => Outcome::Watch(secs),
+                    _ => Outcome::Text("usage: \\watch [SECS]   (SECS ≥ 1)\n".into()),
+                }
             }
             "\\events" => {
                 let n = if arg.is_empty() {
@@ -302,6 +354,7 @@ impl Repl {
                         Ok(db) => {
                             self.db = db;
                             self.events = self.db.obs().install_ring(EVENT_RING_CAP);
+                            self.db.tracer().enable();
                             Outcome::Text(format!(
                                 "loaded {arg} (clock restored to t={})\n",
                                 self.db.now()
@@ -332,6 +385,27 @@ impl Repl {
             }
             other => Outcome::Text(format!("unknown command `{other}`; try \\help\n")),
         }
+    }
+
+    /// One frame of the `\watch` dashboard: clock, core stats, the
+    /// staleness/SLO health snapshot, and the tail of the event stream.
+    #[must_use]
+    pub fn dashboard(&mut self) -> String {
+        let s = self.db.stats();
+        let mut out = format!("exptime — t = {}\n\n", self.db.now());
+        out.push_str(&format!(
+            "inserts: {}  deletes: {}  expired: {}  queries: {}  vacuums: {}\n\n",
+            s.inserts, s.deletes, s.expired, s.queries, s.vacuums
+        ));
+        out.push_str(&format!("{}", self.db.health()));
+        let events = self.events.recent(5);
+        if !events.is_empty() {
+            out.push_str("\nrecent events:\n");
+            for e in events {
+                out.push_str(&format!("  {e}\n"));
+            }
+        }
+        out
     }
 
     fn plan(&mut self, sql: &str) -> Outcome {
@@ -487,6 +561,47 @@ mod tests {
         let one = text(r.feed("\\events 1"));
         assert_eq!(one.lines().count(), 1, "{one}");
         assert!(text(r.feed("\\events nope")).contains("usage"));
+    }
+
+    #[test]
+    fn health_spans_and_watch_commands() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\spans")).contains("no spans"));
+        text(r.feed("\\demo"));
+        text(r.feed("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25;"));
+        text(r.feed("SELECT * FROM hot;"));
+        text(r.feed("\\tick 3"));
+        let h = text(r.feed("\\health"));
+        assert!(h.contains("status: ok"), "{h}");
+        assert!(h.contains("hot"), "{h}");
+        assert!(h.contains("ttx=∞ (eternal)"), "{h}");
+        let sp = text(r.feed("\\spans 50"));
+        assert!(sp.contains("sql"), "{sp}");
+        assert!(sp.contains("clock.advance"), "{sp}");
+        assert!(text(r.feed("\\spans nope")).contains("usage"));
+        assert_eq!(r.feed("\\watch"), Outcome::Watch(2));
+        assert_eq!(r.feed("\\watch 5"), Outcome::Watch(5));
+        assert!(text(r.feed("\\watch 0")).contains("usage"));
+        assert!(text(r.feed("\\watch nope")).contains("usage"));
+        let dash = r.dashboard();
+        assert!(dash.contains("exptime — t = 3"), "{dash}");
+        assert!(dash.contains("status:"), "{dash}");
+        assert!(dash.contains("recent events:"), "{dash}");
+    }
+
+    #[test]
+    fn metrics_exposition_formats() {
+        let mut r = Repl::new();
+        text(r.feed("\\demo"));
+        let prom = text(r.feed("\\metrics prom"));
+        assert!(prom.contains("# TYPE exptime_db_inserts counter"), "{prom}");
+        assert!(
+            prom.contains("exptime_storage_inserts{table=\"pol\"} 3"),
+            "{prom}"
+        );
+        let json = text(r.feed("\\metrics json"));
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(text(r.feed("\\metrics xml")).contains("usage"));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::error::Result;
 use crate::relation::Relation;
 use crate::time::Time;
 use crate::tuple::Tuple;
-use exptime_obs::{Counter, EventKind, MetricsRegistry, Obs};
+use exptime_obs::{Counter, EventKind, MetricsRegistry, Obs, Tracer};
 
 pub use exptime_obs::RefreshDecision;
 
@@ -133,6 +133,7 @@ pub struct MaterializedView {
     state: Materialized,
     counters: ViewCounters,
     obs: Obs,
+    tracer: Tracer,
     name: String,
     last_decision: Option<RefreshDecision>,
 }
@@ -152,6 +153,7 @@ impl Clone for MaterializedView {
             state: self.state.clone(),
             counters,
             obs: Obs::new(),
+            tracer: Tracer::detached(),
             name: self.name.clone(),
             last_decision: self.last_decision,
         }
@@ -188,6 +190,7 @@ impl MaterializedView {
             state,
             counters: ViewCounters::detached(),
             obs: Obs::new(),
+            tracer: Tracer::detached(),
             name: "view".to_string(),
             last_decision: None,
         })
@@ -203,6 +206,13 @@ impl MaterializedView {
         self.counters = counters;
         self.obs = obs.clone();
         self.name = name.to_string();
+    }
+
+    /// Adopts the engine's [`Tracer`], so maintenance work appears as
+    /// `view.maintain` spans (with the refresh decision as an attribute)
+    /// nested under whatever engine span is open.
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// The refresh decision taken by the most recent
@@ -293,6 +303,11 @@ impl MaterializedView {
     ///
     /// Propagates recomputation errors.
     pub fn maintain(&mut self, catalog: &Catalog, tau: Time) -> Result<bool> {
+        let mut span = self.tracer.span("view.maintain");
+        span.attr("view", &self.name);
+        if let Some(t) = tau.finite() {
+            span.at(t);
+        }
         let mut recomputed = false;
         let mut patched = 0u64;
         if let Some(q) = &mut self.state.patches {
@@ -319,6 +334,8 @@ impl MaterializedView {
             RefreshDecision::ValidityHit
         };
         self.last_decision = Some(decision);
+        span.attr("decision", decision);
+        span.attr("texp", self.state.texp);
         self.obs.emit_with(tau.finite(), || EventKind::ViewRefresh {
             view: self.name.clone(),
             decision,
@@ -354,6 +371,11 @@ impl MaterializedView {
     ///
     /// Propagates evaluation errors.
     pub fn force_refresh(&mut self, catalog: &Catalog, tau: Time) -> Result<()> {
+        let mut span = self.tracer.span("view.force_refresh");
+        span.attr("view", &self.name);
+        if let Some(t) = tau.finite() {
+            span.at(t);
+        }
         self.state = eval(&self.expr, catalog, tau, &self.opts)?;
         self.counters.recomputations.inc();
         self.last_decision = Some(RefreshDecision::Recompute);

@@ -23,7 +23,10 @@ use exptime_core::schema::Schema;
 use exptime_core::time::{Clock, Time};
 use exptime_core::tuple::Tuple;
 use exptime_core::value::{Value, ValueType};
-use exptime_obs::{Counter, EventKind, Histogram, MetricsRegistry, Obs};
+use exptime_obs::{
+    Counter, EventKind, Health, Histogram, MetricsRegistry, Obs, SloConfig, StalenessMonitor,
+    Tracer,
+};
 use exptime_sql::ast::{Expires, Statement};
 use exptime_sql::{plan_query, plan_table_cond, SchemaProvider, SqlError};
 use exptime_storage::{IndexKind, Table};
@@ -64,6 +67,9 @@ pub struct DbConfig {
     /// semantics-preserving; the cost model keeps it only when it reduces
     /// estimated fragility/work (paper Section 3.1).
     pub optimize: bool,
+    /// Service-level objectives watched by the staleness monitor
+    /// ([`Database::health`]): trigger punctuality and refresh latency.
+    pub slo: SloConfig,
 }
 
 /// Aggregate engine statistics — a point-in-time snapshot of the `db.*`
@@ -284,6 +290,8 @@ pub struct Database {
     last_vacuum: Time,
     obs: Obs,
     counters: DbCounters,
+    tracer: Tracer,
+    monitor: StalenessMonitor,
 }
 
 impl fmt::Debug for Database {
@@ -309,6 +317,8 @@ impl Database {
     pub fn new(config: DbConfig) -> Self {
         let obs = Obs::new();
         let counters = DbCounters::in_registry(obs.registry());
+        let tracer = Tracer::attached(&obs);
+        let monitor = StalenessMonitor::new(&obs, config.slo);
         Database {
             config,
             clock: Clock::new(),
@@ -320,6 +330,8 @@ impl Database {
             last_vacuum: Time::ZERO,
             obs,
             counters,
+            tracer,
+            monitor,
         }
     }
 
@@ -349,6 +361,43 @@ impl Database {
     #[must_use]
     pub fn metrics(&self) -> &MetricsRegistry {
         self.obs.registry()
+    }
+
+    /// The engine's [`Tracer`]. Disabled by default (spans cost one
+    /// relaxed load); call `db.tracer().enable()` to record the query
+    /// pipeline (parse → plan → rewrite → eval → view refresh) and
+    /// storage expiry passes as hierarchical spans.
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// A health snapshot: per-view time-to-expiration (from materialised
+    /// `texp` — Theorems 1–3), SLO breach counts, and latency/lateness
+    /// distributions. Refreshes the staleness gauges first, so the report
+    /// reflects *this* instant even if the clock has not moved since the
+    /// last advance.
+    #[must_use]
+    pub fn health(&self) -> Health {
+        self.observe_view_staleness();
+        self.monitor.health()
+    }
+
+    /// Pushes every materialised view's `texp` into the staleness
+    /// monitor's `view.<name>.ttx` gauges.
+    fn observe_view_staleness(&self) {
+        let now = self.clock.now().finite().unwrap_or(u64::MAX);
+        let items: Vec<(&str, Option<u64>, Option<RefreshDecision>)> = self
+            .views
+            .iter()
+            .filter_map(|(name, entry)| match entry {
+                ViewEntry::Materialized { view, .. } => {
+                    Some((name.as_str(), view.texp().finite(), view.last_decision()))
+                }
+                ViewEntry::Virtual { .. } => None,
+            })
+            .collect();
+        self.monitor.observe_views(now, items);
     }
 
     /// The trigger manager (register callbacks, read the event log).
@@ -400,6 +449,12 @@ impl Database {
     /// through finite instants).
     pub fn advance_to(&mut self, target: Time) {
         let from = self.clock.now();
+        let mut span = self.tracer.span("clock.advance");
+        span.attr("from", from);
+        span.attr("to", target);
+        if let Some(t) = target.finite() {
+            span.at(t);
+        }
         if target > from {
             self.obs
                 .emit_with(target.finite(), || EventKind::ClockAdvance {
@@ -438,6 +493,11 @@ impl Database {
                 }
             }
         }
+        drop(span);
+        // Every clock advance re-derives the per-view time-to-expiration
+        // gauges from the materialised texp values (no sampling needed —
+        // the paper's machinery makes staleness predictable).
+        self.observe_view_staleness();
     }
 
     /// Runs a vacuum pass now: physically removes expired rows from every
@@ -445,7 +505,12 @@ impl Database {
     /// after `texp` — the lazy-removal fidelity gap).
     pub fn vacuum(&mut self) {
         let now = self.clock.now();
+        let mut span = self.tracer.span("db.vacuum");
+        if let Some(t) = now.finite() {
+            span.at(t);
+        }
         let removed = self.expire_all(now, now);
+        span.attr("removed", removed);
         self.last_vacuum = now;
         self.counters.vacuums.inc();
         self.obs.emit_with(now.finite(), || EventKind::VacuumPass {
@@ -482,6 +547,9 @@ impl Database {
                         texp: texp_u,
                         fired_at: fired_u,
                     });
+                // SLO: lazy removal fires triggers late by design; the
+                // monitor decides whether this crossed the threshold.
+                self.monitor.observe_trigger(name, texp_u, fired_u);
             }
         }
         removed
@@ -503,6 +571,7 @@ impl Database {
         }
         let mut table = Table::new(key.clone(), schema, self.config.index);
         table.attach_obs(&self.obs);
+        table.attach_tracer(&self.tracer);
         self.tables.insert(key, table);
         Ok(())
     }
@@ -634,8 +703,19 @@ impl Database {
     /// Propagates evaluation errors.
     pub fn query_expr(&mut self, expr: &Expr) -> DbResult<Materialized> {
         let start = Instant::now();
+        let mut root = self.tracer.span("query");
+        if let Some(t) = self.clock.now().finite() {
+            root.at(t);
+        }
         let (expr, snapshot) = self.prepare_expr(expr);
-        let m = eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+        let m = {
+            let mut sp = self.tracer.span("eval");
+            let m = eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+            sp.attr("rows_out", m.rel.len());
+            sp.attr("texp", m.texp);
+            m
+        };
+        root.attr("rows", m.rel.len());
         self.counters.queries.inc();
         self.counters.query_ns.record_duration(start.elapsed());
         Ok(m)
@@ -648,7 +728,9 @@ impl Database {
         let expr = self.inline_views(expr);
         let snapshot = self.snapshot();
         let expr = if self.config.optimize {
+            let mut sp = self.tracer.span("rewrite");
             let rewritten = exptime_core::cost::optimize(&expr, &snapshot, self.clock.now());
+            sp.attr("applied", rewritten != expr);
             if rewritten != expr {
                 self.obs
                     .emit_with(self.clock.now().finite(), || EventKind::RewriteApplied {
@@ -749,6 +831,7 @@ impl Database {
             RemovalPolicy::Lazy,
         )?;
         view.attach_obs(&self.obs, &key);
+        view.attach_tracer(&self.tracer);
         let base_versions = self.current_versions(view.expr());
         self.views.insert(
             key,
@@ -819,7 +902,13 @@ impl Database {
             return Err(DbError::Catalog(format!("unknown view `{name}`")));
         }
         let start = Instant::now();
+        let mut root = self.tracer.span("query");
+        root.attr("view", &key);
+        if let Some(t) = self.clock.now().finite() {
+            root.at(t);
+        }
         let rel = self.read_view_inner(&key)?;
+        root.attr("rows", rel.len());
         self.counters.queries.inc();
         self.counters.query_ns.record_duration(start.elapsed());
         Ok(rel)
@@ -849,12 +938,27 @@ impl Database {
                 base_versions,
                 ..
             } => {
+                let refresh_start = Instant::now();
+                let mut sp = self.tracer.span("view.refresh");
+                sp.attr("view", key);
+                if let Some(t) = now.finite() {
+                    sp.at(t);
+                }
                 let wanted = wanted.expect("materialised branch");
                 if *base_versions != wanted {
                     view.force_refresh(&snapshot, now)?;
                     *base_versions = wanted;
                 }
-                Ok(view.read(&snapshot, now)?)
+                let rel = view.read(&snapshot, now)?;
+                if let Some(d) = view.last_decision() {
+                    sp.attr("decision", d);
+                }
+                drop(sp);
+                // Refresh-latency SLO: maintaining + serving this view.
+                let ns = refresh_start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                self.monitor
+                    .observe_refresh(key, ns, now.finite().unwrap_or(u64::MAX));
+                Ok(rel)
             }
         }
     }
@@ -903,13 +1007,19 @@ impl Database {
     /// Returns SQL errors, [`DbError::Catalog`] for non-SELECT statements,
     /// and evaluation errors.
     pub fn explain_analyze(&mut self, sql: &str) -> DbResult<Explain> {
-        let stmt = exptime_sql::parse(sql)?;
+        let stmt = {
+            let _sp = self.tracer.span("parse");
+            exptime_sql::parse(sql)?
+        };
         let Statement::Select(query) = stmt else {
             return Err(DbError::Catalog(
                 "EXPLAIN ANALYZE expects a SELECT statement".into(),
             ));
         };
-        let expr = plan_query(&query, &DbSchemas(self))?;
+        let expr = {
+            let _sp = self.tracer.span("plan");
+            plan_query(&query, &DbSchemas(self))?
+        };
         self.explain_analyze_expr(&expr)
     }
 
@@ -921,6 +1031,11 @@ impl Database {
     /// Propagates evaluation errors.
     pub fn explain_analyze_expr(&mut self, expr: &Expr) -> DbResult<Explain> {
         let start = Instant::now();
+        let mut root = self.tracer.span("query");
+        let at = self.clock.now().finite();
+        if let Some(t) = at {
+            root.at(t);
+        }
         // Refresh the materialised views the query references first, so
         // the report carries the decision an ordinary read would make
         // (Theorem 1/2/3 or recompute) at this instant.
@@ -937,7 +1052,26 @@ impl Database {
             }
         }
         let (expr, snapshot) = self.prepare_expr(expr);
+        let mut eval_sp = self.tracer.span("eval");
         let (m, profile) = eval_profiled(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+        // Graft the per-operator profile under the eval span: the span
+        // tree's leaves are exactly the EXPLAIN ANALYZE operator rows.
+        if eval_sp.is_recording() {
+            let end_ns = self.tracer.now_ns();
+            let elapsed = duration_ns(profile.elapsed);
+            graft_profile(
+                &self.tracer,
+                eval_sp.id(),
+                &profile,
+                end_ns.saturating_sub(elapsed),
+                end_ns,
+                at,
+            );
+        }
+        eval_sp.attr("rows_out", m.rel.len());
+        eval_sp.attr("texp", m.texp);
+        drop(eval_sp);
+        root.attr("rows", m.rel.len());
         self.counters.queries.inc();
         self.counters.query_ns.record_duration(start.elapsed());
         Ok(Explain {
@@ -1076,7 +1210,10 @@ impl Database {
     ///
     /// Returns SQL, schema, constraint, or catalog errors.
     pub fn execute(&mut self, sql: &str) -> DbResult<ExecResult> {
-        let stmt = exptime_sql::parse(sql)?;
+        let stmt = {
+            let _sp = self.tracer.span("parse");
+            exptime_sql::parse(sql)?
+        };
         self.execute_statement(stmt)
     }
 
@@ -1096,6 +1233,11 @@ impl Database {
     }
 
     fn execute_statement(&mut self, stmt: Statement) -> DbResult<ExecResult> {
+        let mut root = self.tracer.span("sql");
+        if let Some(t) = self.clock.now().finite() {
+            root.at(t);
+        }
+        root.attr("stmt", stmt.kind());
         match stmt {
             Statement::CreateTable { name, columns } => {
                 let schema = Schema::new(
@@ -1196,7 +1338,10 @@ impl Database {
                 Ok(ExecResult::Affected(n))
             }
             Statement::Select(query) => {
-                let expr = plan_query(&query, &DbSchemas(self))?;
+                let expr = {
+                    let _sp = self.tracer.span("plan");
+                    plan_query(&query, &DbSchemas(self))?
+                };
                 let m = self.query_expr(&expr)?;
                 let rel = apply_presentation(m.rel, &query)?;
                 Ok(ExecResult::Rows(rel))
@@ -1254,6 +1399,47 @@ fn apply_presentation(rel: Relation, query: &exptime_sql::ast::Query) -> Result<
         out.insert(t, e).map_err(DbError::Core)?;
     }
     Ok(out)
+}
+
+/// A [`std::time::Duration`] as saturating nanoseconds.
+fn duration_ns(d: std::time::Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+/// Records a [`PlanProfile`] tree as spans under `parent`, so the span
+/// tree's leaves mirror the EXPLAIN ANALYZE operator rows. The root is
+/// pinned to `[start_ns, end_ns]`; children are laid out sequentially
+/// from the parent's start, each clamped to end within the parent —
+/// profile timings are inclusive of children, so containment (the
+/// invariant the span property tests check) is preserved exactly.
+fn graft_profile(
+    tracer: &Tracer,
+    parent: u64,
+    profile: &PlanProfile,
+    start_ns: u64,
+    end_ns: u64,
+    at: Option<u64>,
+) {
+    let attrs = vec![
+        ("rows_out".to_string(), profile.rows_out.to_string()),
+        (
+            "expired_filtered".to_string(),
+            profile.expired_filtered.to_string(),
+        ),
+        ("texp".to_string(), profile.texp.to_string()),
+    ];
+    let id = tracer.record_child(Some(parent), &profile.label, start_ns, end_ns, at, attrs);
+    if id == 0 {
+        return;
+    }
+    let mut cursor = start_ns;
+    for child in &profile.children {
+        let cend = cursor
+            .saturating_add(duration_ns(child.elapsed))
+            .min(end_ns);
+        graft_profile(tracer, id, child, cursor, cend, at);
+        cursor = cend;
+    }
 }
 
 /// Coerces SQL literals to a schema (integer literals fill float columns).

@@ -27,5 +27,6 @@ pub mod trigger;
 
 pub use constraint::{Constraint, ConstraintViolation};
 pub use db::{Database, DbConfig, DbError, DbResult, DbStats, ExecResult, Explain, Removal};
+pub use exptime_obs::{Health, HealthStatus, SloConfig, Tracer, ViewHealth};
 pub use shared::{SharedDatabase, TickerHandle};
 pub use trigger::{ExpirationEvent, TriggerFn, TriggerManager};

@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::MetricsRegistry;
+use crate::metrics::{Counter, MetricsRegistry};
 
 /// Why a materialised-view read was (or was not) recomputed — the
 /// observable form of the paper's Theorems.
@@ -76,6 +76,24 @@ pub enum EventKind {
     /// A replica answered from a stale (but Schrödinger-covered)
     /// materialisation while its link was down.
     ReplicaDivergence { view: String, behind: u64 },
+    /// A tracing span finished. Emitted by `Tracer` so spans interleave
+    /// causally with domain events in the same ring (`\events`).
+    SpanClosed {
+        name: String,
+        id: u64,
+        parent: Option<u64>,
+        duration_ns: u64,
+    },
+    /// A service-level objective was violated (trigger lateness, refresh
+    /// latency, …). `observed` and `threshold` share the unit named by
+    /// `slo`.
+    SloBreach {
+        slo: String,
+        subject: String,
+        observed: u64,
+        threshold: u64,
+        at: u64,
+    },
 }
 
 impl EventKind {
@@ -90,6 +108,8 @@ impl EventKind {
             EventKind::RewriteApplied { .. } => "rewrite_applied",
             EventKind::ReplicaMessage { .. } => "replica_message",
             EventKind::ReplicaDivergence { .. } => "replica_divergence",
+            EventKind::SpanClosed { .. } => "span_closed",
+            EventKind::SloBreach { .. } => "slo_breach",
         }
     }
 }
@@ -151,6 +171,31 @@ impl std::fmt::Display for Event {
             EventKind::ReplicaDivergence { view, behind } => {
                 write!(f, "replica_diverge view={view} behind={behind}")
             }
+            EventKind::SpanClosed {
+                name,
+                id,
+                parent,
+                duration_ns,
+            } => {
+                write!(f, "span_closed     {name} id={id}")?;
+                match parent {
+                    Some(p) => write!(f, " parent={p}")?,
+                    None => write!(f, " parent=-")?,
+                }
+                write!(f, " dur={duration_ns}ns")
+            }
+            EventKind::SloBreach {
+                slo,
+                subject,
+                observed,
+                threshold,
+                at,
+            } => {
+                write!(
+                    f,
+                    "slo_breach      slo={slo} subject={subject} observed={observed} threshold={threshold} at={at}"
+                )
+            }
         }
     }
 }
@@ -162,10 +207,21 @@ pub trait EventSink: Send + Sync {
 }
 
 /// A bounded in-memory ring of recent events (what `\events` reads).
+///
+/// # Overflow semantics
+///
+/// The ring holds at most `cap` events. When a new event arrives at a
+/// full ring, the **oldest** buffered event is evicted to make room —
+/// recent history always wins, and an emit never blocks or fails. Every
+/// eviction increments the [`RingSink::dropped`] count (and, when wired
+/// via [`RingSink::with_drop_counter`] / [`Obs::install_ring`], the
+/// `obs.events_dropped` registry counter) so loss is observable rather
+/// than silent.
 pub struct RingSink {
     cap: usize,
     buf: Mutex<VecDeque<Event>>,
     dropped: AtomicU64,
+    drop_counter: Option<Counter>,
 }
 
 impl RingSink {
@@ -174,6 +230,16 @@ impl RingSink {
             cap: cap.max(1),
             buf: Mutex::new(VecDeque::new()),
             dropped: AtomicU64::new(0),
+            drop_counter: None,
+        }
+    }
+
+    /// Like [`RingSink::new`], but evictions also bump `counter` so the
+    /// loss shows up in metrics exports alongside the local count.
+    pub fn with_drop_counter(cap: usize, counter: Counter) -> Self {
+        RingSink {
+            drop_counter: Some(counter),
+            ..RingSink::new(cap)
         }
     }
 
@@ -211,6 +277,9 @@ impl EventSink for RingSink {
         if buf.len() == self.cap {
             buf.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = &self.drop_counter {
+                c.inc();
+            }
         }
         buf.push_back(event.clone());
     }
@@ -274,8 +343,11 @@ impl Obs {
     }
 
     /// Installs a fresh [`RingSink`] of capacity `cap` and returns it.
+    /// The ring's evictions are mirrored into the registry counter
+    /// `obs.events_dropped` so overflow is visible in metrics exports.
     pub fn install_ring(&self, cap: usize) -> Arc<RingSink> {
-        let ring = Arc::new(RingSink::new(cap));
+        let counter = self.registry().counter("obs.events_dropped");
+        let ring = Arc::new(RingSink::with_drop_counter(cap, counter));
         self.install_sink(ring.clone());
         ring
     }
@@ -351,6 +423,23 @@ mod tests {
         assert_eq!(recent.len(), 2);
         assert_eq!(recent[1].kind, EventKind::ClockAdvance { from: 4, to: 5 });
         assert!(recent[0].seq < recent[1].seq);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts_loss() {
+        let obs = Obs::new();
+        let ring = obs.install_ring(2);
+        for i in 0..5 {
+            obs.emit(Some(i), EventKind::ClockAdvance { from: i, to: i + 1 });
+        }
+        // Drop-oldest: only the two newest events survive, in order.
+        let all = ring.recent(usize::MAX);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].kind, EventKind::ClockAdvance { from: 3, to: 4 });
+        assert_eq!(all[1].kind, EventKind::ClockAdvance { from: 4, to: 5 });
+        // Loss is observable both locally and in the metrics registry.
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(obs.registry().counter_value("obs.events_dropped"), 3);
     }
 
     #[test]

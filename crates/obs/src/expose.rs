@@ -1,0 +1,482 @@
+//! Metrics exposition: Prometheus text format and JSON.
+//!
+//! The registry's dotted names (`storage.<table>.<field>`,
+//! `view.<name>.<field>`, `db.queries`, …) map onto Prometheus metric
+//! names and labels:
+//!
+//! * `storage.sessions.inserts` → `exptime_storage_inserts{table="sessions"}`
+//! * `view.hot.ttx`             → `exptime_view_ttx{view="hot"}`
+//! * `db.queries`               → `exptime_db_queries`
+//!
+//! so per-table and per-view series aggregate the way a Prometheus user
+//! expects. Histograms render as cumulative `_bucket{le="…"}` series
+//! (power-of-two upper bounds, trailing empty buckets elided) plus
+//! `_sum`/`_count`. A small [`parse_prometheus_text`] validator supports
+//! round-trip testing without external crates.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{HistogramSnapshot, MetricsRegistry};
+
+const PREFIX: &str = "exptime";
+
+/// One exposed sample: metric name, sorted label pairs, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// Splits a registry name into (prometheus metric name, labels).
+/// `storage.<table>.<rest>` and `view.<name>.<rest>` become labelled
+/// families; everything else flattens dots to underscores.
+fn promname(name: &str) -> (String, Vec<(String, String)>) {
+    let parts: Vec<&str> = name.split('.').collect();
+    let sanitize = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    };
+    match parts.as_slice() {
+        [family @ ("storage" | "view"), instance, rest @ ..] if !rest.is_empty() => {
+            let label = if *family == "storage" {
+                "table"
+            } else {
+                "view"
+            };
+            let metric = format!("{PREFIX}_{family}_{}", sanitize(&rest.join("_")));
+            (metric, vec![(label.to_string(), (*instance).to_string())])
+        }
+        _ => (
+            format!("{PREFIX}_{}", sanitize(&name.replace('.', "_"))),
+            vec![],
+        ),
+    }
+}
+
+fn render_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Formats `v` the way Prometheus expects (no trailing `.0` noise for
+/// integers, `+Inf` spelled out).
+fn render_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the whole registry in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, one family per metric name,
+/// histograms as cumulative buckets with `le` labels plus `_sum` and
+/// `_count`.
+pub fn expose_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+
+    // Group samples by final metric name so each family gets exactly one
+    // TYPE header even when many tables/views share it.
+    let mut counters: BTreeMap<String, Vec<Sample>> = BTreeMap::new();
+    for (name, value) in registry.counters() {
+        let (metric, labels) = promname(&name);
+        counters.entry(metric.clone()).or_default().push(Sample {
+            name: metric,
+            labels,
+            value: value as f64,
+        });
+    }
+    for (metric, samples) in counters {
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for s in samples {
+            let _ = writeln!(
+                out,
+                "{metric}{} {}",
+                render_labels(&s.labels),
+                render_value(s.value)
+            );
+        }
+    }
+
+    let mut gauges: BTreeMap<String, Vec<Sample>> = BTreeMap::new();
+    for (name, value) in registry.gauges() {
+        let (metric, labels) = promname(&name);
+        gauges.entry(metric.clone()).or_default().push(Sample {
+            name: metric,
+            labels,
+            value: value as f64,
+        });
+    }
+    for (metric, samples) in gauges {
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        for s in samples {
+            let _ = writeln!(
+                out,
+                "{metric}{} {}",
+                render_labels(&s.labels),
+                render_value(s.value)
+            );
+        }
+    }
+
+    type LabelledSnapshots = Vec<(Vec<(String, String)>, HistogramSnapshot)>;
+    let mut histograms: BTreeMap<String, LabelledSnapshots> = BTreeMap::new();
+    for (name, snap) in registry.histograms() {
+        let (metric, labels) = promname(&name);
+        histograms.entry(metric).or_default().push((labels, snap));
+    }
+    for (metric, series) in histograms {
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        for (labels, snap) in series {
+            let last = snap
+                .buckets
+                .iter()
+                .rposition(|&n| n > 0)
+                .map_or(0, |i| i + 1);
+            let mut cumulative = 0u64;
+            for (i, &n) in snap.buckets[..last].iter().enumerate() {
+                cumulative += n;
+                let le = HistogramSnapshot::bucket_bounds(i).1;
+                let mut bl = labels.clone();
+                bl.push(("le".to_string(), render_value(le as f64)));
+                let _ = writeln!(out, "{metric}_bucket{} {cumulative}", render_labels(&bl));
+            }
+            let mut bl = labels.clone();
+            bl.push(("le".to_string(), "+Inf".to_string()));
+            let _ = writeln!(out, "{metric}_bucket{} {}", render_labels(&bl), snap.count);
+            let _ = writeln!(out, "{metric}_sum{} {}", render_labels(&labels), snap.sum);
+            let _ = writeln!(
+                out,
+                "{metric}_count{} {}",
+                render_labels(&labels),
+                snap.count
+            );
+        }
+    }
+    out
+}
+
+/// The registry as a JSON document — [`MetricsRegistry::snapshot_json`]
+/// (which includes the interpolated p50/p95/p99 per histogram), re-exposed
+/// here so both formats live behind one module.
+pub fn expose_json(registry: &MetricsRegistry) -> String {
+    registry.snapshot_json()
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn parse_labels(body: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let key = rest[..eq].trim();
+        if !valid_label_name(key) {
+            return Err(format!("line {line_no}: bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        // Scan the quoted value honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("line {line_no}: dangling escape")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((key.to_string(), value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("line {line_no}: expected ',' between labels"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Minimal Prometheus text-format parser/validator (the subset
+/// [`expose_prometheus`] emits plus `# HELP`). Returns every sample, or
+/// an error describing the first malformed line. Also checks histogram
+/// family coherence: `_bucket` series must be cumulative, and the
+/// `+Inf` bucket must equal `_count`.
+pub fn parse_prometheus_text(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut typed: BTreeMap<String, String> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| format!("line {line_no}: TYPE without name"))?;
+                let kind = it
+                    .next()
+                    .ok_or_else(|| format!("line {line_no}: TYPE without kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: bad metric name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: bad TYPE kind {kind:?}"));
+                }
+                typed.insert(name.to_string(), kind.to_string());
+            } else if !comment.starts_with("HELP ") && !comment.is_empty() {
+                return Err(format!("line {line_no}: unknown comment directive"));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, rest) = match line.find('{') {
+            Some(brace) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {line_no}: unterminated label set"))?;
+                if close < brace {
+                    return Err(format!("line {line_no}: mismatched braces"));
+                }
+                (&line[..brace], {
+                    let labels = parse_labels(&line[brace + 1..close], line_no)?;
+                    (labels, line[close + 1..].trim())
+                })
+            }
+            None => {
+                let sp = line
+                    .find(char::is_whitespace)
+                    .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+                (&line[..sp], (Vec::new(), line[sp..].trim()))
+            }
+        };
+        let (labels, value_str) = rest;
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {line_no}: bad metric name {name_part:?}"));
+        }
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .map_err(|_| format!("line {line_no}: bad value {v:?}"))?,
+        };
+        samples.push(Sample {
+            name: name_part.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    // Histogram coherence: bucket series cumulative, +Inf == _count.
+    for (family, kind) in &typed {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{family}_bucket");
+        let count_name = format!("{family}_count");
+        // Group buckets by their non-`le` labels.
+        let mut groups: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in samples.iter().filter(|s| s.name == bucket_name) {
+            let key: Vec<String> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| match v.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    v => v.parse().unwrap_or(f64::NAN),
+                })
+                .ok_or_else(|| format!("histogram {family}: bucket without le label"))?;
+            groups.entry(key.join(",")).or_default().push((le, s.value));
+        }
+        for (key, mut buckets) in groups {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut prev = -1.0;
+            for &(_, v) in &buckets {
+                if v < prev {
+                    return Err(format!(
+                        "histogram {family}{{{key}}}: buckets not cumulative"
+                    ));
+                }
+                prev = v;
+            }
+            let inf = buckets
+                .last()
+                .filter(|(le, _)| le.is_infinite())
+                .ok_or_else(|| format!("histogram {family}{{{key}}}: missing +Inf bucket"))?
+                .1;
+            let count = samples
+                .iter()
+                .find(|s| {
+                    s.name == count_name
+                        && s.labels
+                            .iter()
+                            .map(|(k, v)| format!("{k}={v}"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                            == key
+                })
+                .ok_or_else(|| format!("histogram {family}{{{key}}}: missing _count"))?
+                .value;
+            if inf != count {
+                return Err(format!(
+                    "histogram {family}{{{key}}}: +Inf bucket {inf} != count {count}"
+                ));
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_names_become_labelled_families() {
+        assert_eq!(
+            promname("storage.sessions.inserts"),
+            (
+                "exptime_storage_inserts".to_string(),
+                vec![("table".to_string(), "sessions".to_string())]
+            )
+        );
+        assert_eq!(
+            promname("view.hot.ttx"),
+            (
+                "exptime_view_ttx".to_string(),
+                vec![("view".to_string(), "hot".to_string())]
+            )
+        );
+        assert_eq!(
+            promname("db.queries"),
+            ("exptime_db_queries".to_string(), vec![])
+        );
+        // Odd characters sanitise rather than leak.
+        let (name, _) = promname("db.weird-name");
+        assert!(valid_metric_name(&name), "{name}");
+    }
+
+    #[test]
+    fn prometheus_round_trips_through_parser() {
+        let reg = MetricsRegistry::new();
+        reg.counter("db.queries").add(7);
+        reg.counter("storage.sessions.inserts").add(3);
+        reg.counter("storage.users.inserts").add(4);
+        reg.gauge("view.hot.ttx").set(-2);
+        let h = reg.histogram("db.query_ns");
+        for v in [0, 1, 5, 900, u64::MAX] {
+            h.record(v);
+        }
+        let text = expose_prometheus(&reg);
+        let samples = parse_prometheus_text(&text).expect("must parse");
+
+        let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            samples
+                .iter()
+                .find(|s| {
+                    s.name == name
+                        && label
+                            .is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+                })
+                .unwrap_or_else(|| panic!("missing {name} {label:?}\n{text}"))
+                .value
+        };
+        assert_eq!(find("exptime_db_queries", None), 7.0);
+        assert_eq!(
+            find("exptime_storage_inserts", Some(("table", "sessions"))),
+            3.0
+        );
+        assert_eq!(
+            find("exptime_storage_inserts", Some(("table", "users"))),
+            4.0
+        );
+        assert_eq!(find("exptime_view_ttx", Some(("view", "hot"))), -2.0);
+        assert_eq!(find("exptime_db_query_ns_count", None), 5.0);
+        assert_eq!(
+            find("exptime_db_query_ns_bucket", Some(("le", "+Inf"))),
+            5.0
+        );
+        // One TYPE line per family even with two labelled table series.
+        assert_eq!(
+            text.matches("# TYPE exptime_storage_inserts counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus_text("9metric 1").is_err());
+        assert!(parse_prometheus_text("m{x=unquoted} 1").is_err());
+        assert!(parse_prometheus_text("m 1 extra junk").is_err());
+        assert!(parse_prometheus_text("m{a=\"1\"").is_err());
+        // Histogram with a non-cumulative bucket sequence.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n";
+        assert!(parse_prometheus_text(bad).is_err());
+        // +Inf bucket disagreeing with count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 4\nh_sum 9\nh_count 3\n";
+        assert!(parse_prometheus_text(bad).is_err());
+    }
+
+    #[test]
+    fn empty_registry_exposes_empty_document() {
+        let reg = MetricsRegistry::new();
+        let text = expose_prometheus(&reg);
+        assert!(text.is_empty());
+        assert!(parse_prometheus_text(&text).unwrap().is_empty());
+    }
+}

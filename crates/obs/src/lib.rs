@@ -25,9 +25,15 @@
 //! nanoseconds unless suffixed otherwise.
 
 mod events;
+mod expose;
 mod json;
 mod metrics;
+mod monitor;
+mod span;
 
 pub use events::{Event, EventKind, EventSink, Obs, RefreshDecision, RingSink, StderrSink};
+pub use expose::{expose_json, expose_prometheus, parse_prometheus_text, Sample};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use monitor::{Health, HealthStatus, SloConfig, StalenessMonitor, ViewHealth, TTX_ETERNAL};
+pub use span::{render_span_tree, SpanGuard, SpanRecord, Tracer, SPAN_RING_CAP};

@@ -58,8 +58,10 @@ impl Gauge {
 }
 
 /// Number of histogram buckets: bucket `i` holds values whose bit length
-/// is `i` (i.e. `v == 0` → bucket 0, else `64 - v.leading_zeros()`).
-/// Bucket upper bounds are therefore 0, 1, 3, 7, …, `2^62-1`, +∞.
+/// is `i` (i.e. `v == 0` → bucket 0, else `64 - v.leading_zeros()`),
+/// except that the last bucket saturates: values of bit length ≥ 63
+/// (`v ≥ 2^62`) all land in bucket 63. Bucket upper bounds are therefore
+/// 0, 1, 3, 7, …, `2^62-1`, +∞.
 const BUCKETS: usize = 64;
 
 #[derive(Debug)]
@@ -86,7 +88,9 @@ pub struct Histogram(Arc<HistogramInner>);
 impl Histogram {
     #[inline]
     fn bucket_of(value: u64) -> usize {
-        (u64::BITS - value.leading_zeros()) as usize
+        // Clamp so the top bucket absorbs everything ≥ 2^62 (bit lengths
+        // 63 and 64 would otherwise index past the array).
+        ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
     }
 
     pub fn record(&self, value: u64) {
@@ -139,6 +143,18 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Inclusive value range `[lo, hi]` covered by bucket `i`. The last
+    /// bucket saturates: it absorbs everything from `2^62` to `u64::MAX`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else if i == BUCKETS - 1 {
+            (1u64 << (i - 1), u64::MAX)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
     /// Upper bound of the bucket containing quantile `q` (0.0–1.0); a
     /// coarse estimate, exact only to the bucket boundary.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
@@ -147,10 +163,50 @@ impl HistogramSnapshot {
         for (i, n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Self::bucket_bounds(i).1;
             }
         }
         u64::MAX
+    }
+
+    /// Estimated quantile `q` (0.0–1.0) with linear interpolation inside
+    /// the containing bucket — the standard Prometheus-style estimator
+    /// adapted to power-of-two bounds. Returns 0.0 for an empty histogram.
+    /// The estimate is exact when all samples share one bucket boundary
+    /// and never overshoots the containing bucket's upper bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if (seen + n) as f64 >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = (rank - seen as f64) / n as f64;
+                return lo as f64 + (hi - lo) as f64 * frac;
+            }
+            seen += n;
+        }
+        Self::bucket_bounds(BUCKETS - 1).1 as f64
+    }
+
+    /// Median estimate (interpolated).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (interpolated).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (interpolated).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 }
 
@@ -288,6 +344,9 @@ impl MetricsRegistry {
                             ("count".into(), JsonValue::Uint(h.count)),
                             ("sum".into(), JsonValue::Uint(h.sum)),
                             ("mean".into(), JsonValue::Float(h.mean())),
+                            ("p50".into(), JsonValue::Float(h.p50())),
+                            ("p95".into(), JsonValue::Float(h.p95())),
+                            ("p99".into(), JsonValue::Float(h.p99())),
                             (
                                 "p99_le".into(),
                                 JsonValue::Uint(h.quantile_upper_bound(0.99)),
@@ -363,6 +422,77 @@ mod tests {
         assert!(s.mean() > 184.0 && s.mean() < 185.0);
         assert_eq!(s.quantile_upper_bound(0.5), 3);
         assert_eq!(s.quantile_upper_bound(1.0), 1023);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let h = Histogram::default();
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.p95(), 0.0);
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.quantile_upper_bound(0.99), 0);
+    }
+
+    #[test]
+    fn quantiles_of_single_bucket_distribution() {
+        // All samples are the value 1 → bucket 1, whose bounds are [1, 1]:
+        // every quantile must be exactly 1.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1.0);
+        assert_eq!(s.p95(), 1.0);
+        assert_eq!(s.p99(), 1.0);
+
+        // All samples in bucket 3 ([4, 7]): quantiles interpolate inside
+        // the bucket and never leave it.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(5);
+        }
+        let s = h.snapshot();
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!((4.0..=7.0).contains(&v), "q={q} gave {v}");
+        }
+        assert!(s.p50() < s.p99());
+    }
+
+    #[test]
+    fn quantiles_interpolate_across_buckets() {
+        let h = Histogram::default();
+        // 90 fast samples (bucket 3: 4–7) and 10 slow ones (bucket 10:
+        // 512–1023): p50 sits with the fast mass, p99 with the slow tail.
+        for _ in 0..90 {
+            h.record(6);
+        }
+        for _ in 0..10 {
+            h.record(700);
+        }
+        let s = h.snapshot();
+        assert!((4.0..=7.0).contains(&s.p50()), "p50={}", s.p50());
+        assert!((512.0..=1023.0).contains(&s.p99()), "p99={}", s.p99());
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+    }
+
+    #[test]
+    fn saturating_values_land_in_last_bucket() {
+        // Values ≥ 2^62 (bit lengths 63 and 64) must clamp into bucket 63
+        // instead of indexing out of bounds.
+        let h = Histogram::default();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        h.record(1u64 << 62);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[BUCKETS - 1], 3);
+        assert_eq!(s.quantile_upper_bound(0.99), u64::MAX);
+        let p99 = s.p99();
+        assert!(p99 >= (1u64 << 62) as f64, "p99={p99}");
     }
 
     #[test]

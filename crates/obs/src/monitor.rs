@@ -1,0 +1,410 @@
+//! Continuous staleness and SLO monitoring.
+//!
+//! The paper's point is that staleness is *predictable*: a materialised
+//! view carries its expiration time `texp` (Theorems 1–3), so "how stale
+//! is this view" is not something to sample — it is `texp - now`, known
+//! exactly on every clock advance. [`StalenessMonitor`] turns that into
+//! operational signals:
+//!
+//! * per-view **time-to-expiration gauges** (`view.<name>.ttx`) refreshed
+//!   from the materialised `texp` on every clock advance;
+//! * a **trigger-lateness SLO**: under lazy removal a trigger fires at
+//!   `fired_at ≥ texp` (Section 3.2); lateness beyond
+//!   [`SloConfig::max_trigger_lateness`] ticks is a breach;
+//! * a **refresh-latency SLO**: wall-clock nanoseconds spent refreshing a
+//!   materialised view beyond [`SloConfig::max_refresh_latency_ns`] is a
+//!   breach.
+//!
+//! Breaches bump `slo.breaches` counters and emit
+//! [`EventKind::SloBreach`] events into the shared ring; [`Health`] is
+//! the pull-side snapshot (`Database::health()`, `\health`).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::events::{EventKind, Obs, RefreshDecision};
+use crate::metrics::{Counter, Histogram, HistogramSnapshot};
+
+/// Service-level objective thresholds. `Copy` so it can ride inside the
+/// engine's `DbConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloConfig {
+    /// Maximum tolerated `fired_at - texp` (logical ticks) before a
+    /// trigger counts as late. 0 = triggers must be punctual (eager
+    /// removal always is; lazy removal trades exactly this for
+    /// throughput).
+    pub max_trigger_lateness: u64,
+    /// Maximum tolerated wall-clock nanoseconds for one materialised-view
+    /// refresh.
+    pub max_refresh_latency_ns: u64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            max_trigger_lateness: 0,
+            max_refresh_latency_ns: 100_000_000, // 100 ms
+        }
+    }
+}
+
+/// Per-view staleness state as of the last observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewHealth {
+    pub view: String,
+    /// Materialisation's expiration time; `None` = eternal (Theorem 1).
+    pub texp: Option<u64>,
+    /// Time-to-expiration `texp - now` at the last observation; negative
+    /// means the materialisation is overdue (next read recomputes or
+    /// patches). `None` = eternal.
+    pub ttx: Option<i64>,
+    /// Refresh decision from the view's last maintenance, if any.
+    pub last_decision: Option<RefreshDecision>,
+}
+
+impl ViewHealth {
+    /// An overdue view (`ttx ≤ 0`) will not be served as-is: its next
+    /// read must recompute or patch.
+    pub fn is_stale(&self) -> bool {
+        self.ttx.is_some_and(|t| t <= 0)
+    }
+}
+
+/// Overall condition: `Degraded` as soon as any SLO has been breached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    Ok,
+    Degraded,
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "degraded",
+        })
+    }
+}
+
+/// A pull-side snapshot of the monitor (what `\health` renders).
+#[derive(Debug, Clone)]
+pub struct Health {
+    pub status: HealthStatus,
+    /// Logical clock at the last view observation.
+    pub now: u64,
+    pub slo: SloConfig,
+    pub views: Vec<ViewHealth>,
+    pub trigger_lateness_breaches: u64,
+    pub refresh_latency_breaches: u64,
+    /// Distribution of trigger lateness (logical ticks).
+    pub trigger_lateness: HistogramSnapshot,
+    /// Distribution of view refresh latency (nanoseconds).
+    pub refresh_ns: HistogramSnapshot,
+}
+
+impl Health {
+    pub fn total_breaches(&self) -> u64 {
+        self.trigger_lateness_breaches + self.refresh_latency_breaches
+    }
+}
+
+impl std::fmt::Display for Health {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "status: {}  (t={})", self.status, self.now)?;
+        writeln!(
+            f,
+            "slo: trigger_lateness<={} ticks, refresh<={} ns",
+            self.slo.max_trigger_lateness, self.slo.max_refresh_latency_ns
+        )?;
+        writeln!(
+            f,
+            "breaches: trigger_lateness={} refresh_latency={}",
+            self.trigger_lateness_breaches, self.refresh_latency_breaches
+        )?;
+        writeln!(
+            f,
+            "trigger lateness ticks: count={} p50={:.0} p99={:.0} max_le={}",
+            self.trigger_lateness.count,
+            self.trigger_lateness.p50(),
+            self.trigger_lateness.p99(),
+            self.trigger_lateness.quantile_upper_bound(1.0),
+        )?;
+        writeln!(
+            f,
+            "refresh latency ns:     count={} p50={:.0} p95={:.0} p99={:.0}",
+            self.refresh_ns.count,
+            self.refresh_ns.p50(),
+            self.refresh_ns.p95(),
+            self.refresh_ns.p99(),
+        )?;
+        if self.views.is_empty() {
+            writeln!(f, "views: (none materialised)")?;
+        } else {
+            writeln!(f, "views:")?;
+            for v in &self.views {
+                let ttx = match v.ttx {
+                    None => "∞ (eternal)".to_string(),
+                    Some(t) if t <= 0 => format!("{t} (overdue)"),
+                    Some(t) => t.to_string(),
+                };
+                let decision = v
+                    .last_decision
+                    .map_or_else(|| "-".to_string(), |d| d.to_string());
+                writeln!(f, "  {:<16} ttx={:<14} last={decision}", v.view, ttx)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Gauge value used for eternal views (`texp = ∞`): no finite
+/// time-to-expiration exists, so the gauge pins to `i64::MAX`.
+pub const TTX_ETERNAL: i64 = i64::MAX;
+
+/// Watches materialised `texp` values and SLO thresholds; owns the
+/// `slo.*` metrics and the `view.<name>.ttx` gauges.
+pub struct StalenessMonitor {
+    cfg: SloConfig,
+    obs: Obs,
+    trigger_lateness: Histogram,
+    refresh_ns: Histogram,
+    lateness_breaches: Counter,
+    refresh_breaches: Counter,
+    state: Mutex<MonitorState>,
+}
+
+#[derive(Default)]
+struct MonitorState {
+    now: u64,
+    views: BTreeMap<String, ViewHealth>,
+}
+
+impl std::fmt::Debug for StalenessMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StalenessMonitor")
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StalenessMonitor {
+    pub fn new(obs: &Obs, cfg: SloConfig) -> Self {
+        let reg = obs.registry();
+        StalenessMonitor {
+            cfg,
+            obs: obs.clone(),
+            trigger_lateness: reg.histogram("slo.trigger_lateness_ticks"),
+            refresh_ns: reg.histogram("slo.refresh_ns"),
+            lateness_breaches: reg.counter("slo.trigger_lateness_breaches"),
+            refresh_breaches: reg.counter("slo.refresh_latency_breaches"),
+            state: Mutex::new(MonitorState::default()),
+        }
+    }
+
+    pub fn config(&self) -> SloConfig {
+        self.cfg
+    }
+
+    /// Refreshes the per-view time-to-expiration gauges from materialised
+    /// `texp` values. Called by the engine on every clock advance with
+    /// `(view name, texp (None = eternal), last decision)` tuples.
+    pub fn observe_views<'a>(
+        &self,
+        now: u64,
+        views: impl IntoIterator<Item = (&'a str, Option<u64>, Option<RefreshDecision>)>,
+    ) {
+        let reg = self.obs.registry();
+        let mut state = self.state.lock().unwrap();
+        state.now = now;
+        let mut seen: Vec<String> = Vec::new();
+        for (name, texp, last_decision) in views {
+            let ttx = texp.map(|t| {
+                // texp and now are logical ticks well inside i64 range in
+                // practice; saturate defensively.
+                i64::try_from(t).unwrap_or(i64::MAX) - i64::try_from(now).unwrap_or(i64::MAX)
+            });
+            reg.gauge(&format!("view.{name}.ttx"))
+                .set(ttx.unwrap_or(TTX_ETERNAL));
+            seen.push(name.to_string());
+            state.views.insert(
+                name.to_string(),
+                ViewHealth {
+                    view: name.to_string(),
+                    texp,
+                    ttx,
+                    last_decision,
+                },
+            );
+        }
+        // Views can be dropped between observations; forget them.
+        state.views.retain(|k, _| seen.contains(k));
+    }
+
+    /// Records one expiration-trigger firing. Under eager removal
+    /// `fired_at == texp`; lazy removal makes `fired_at - texp` the
+    /// punctuality price, and beyond the threshold it is an SLO breach.
+    pub fn observe_trigger(&self, subject: &str, texp: u64, fired_at: u64) {
+        let lateness = fired_at.saturating_sub(texp);
+        self.trigger_lateness.record(lateness);
+        if lateness > self.cfg.max_trigger_lateness {
+            self.lateness_breaches.inc();
+            self.obs.emit_with(Some(fired_at), || EventKind::SloBreach {
+                slo: "trigger_lateness".to_string(),
+                subject: subject.to_string(),
+                observed: lateness,
+                threshold: self.cfg.max_trigger_lateness,
+                at: fired_at,
+            });
+        }
+    }
+
+    /// Records one materialised-view refresh taking `ns` wall-clock
+    /// nanoseconds at logical time `at`.
+    pub fn observe_refresh(&self, view: &str, ns: u64, at: u64) {
+        self.refresh_ns.record(ns);
+        if ns > self.cfg.max_refresh_latency_ns {
+            self.refresh_breaches.inc();
+            self.obs.emit_with(Some(at), || EventKind::SloBreach {
+                slo: "refresh_latency_ns".to_string(),
+                subject: view.to_string(),
+                observed: ns,
+                threshold: self.cfg.max_refresh_latency_ns,
+                at,
+            });
+        }
+    }
+
+    /// Current condition snapshot.
+    pub fn health(&self) -> Health {
+        let state = self.state.lock().unwrap();
+        let lateness_breaches = self.lateness_breaches.get();
+        let refresh_breaches = self.refresh_breaches.get();
+        Health {
+            status: if lateness_breaches + refresh_breaches == 0 {
+                HealthStatus::Ok
+            } else {
+                HealthStatus::Degraded
+            },
+            now: state.now,
+            slo: self.cfg,
+            views: state.views.values().cloned().collect(),
+            trigger_lateness_breaches: lateness_breaches,
+            refresh_latency_breaches: refresh_breaches,
+            trigger_lateness: self.trigger_lateness.snapshot(),
+            refresh_ns: self.refresh_ns.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> (Obs, StalenessMonitor) {
+        let obs = Obs::new();
+        let mon = StalenessMonitor::new(&obs, SloConfig::default());
+        (obs, mon)
+    }
+
+    #[test]
+    fn ttx_gauges_track_texp_minus_now() {
+        let (obs, mon) = monitor();
+        mon.observe_views(
+            10,
+            vec![
+                ("hot", Some(25), Some(RefreshDecision::ValidityHit)),
+                ("forever", None, Some(RefreshDecision::Eternal)),
+                ("overdue", Some(7), None),
+            ],
+        );
+        let reg = obs.registry();
+        assert_eq!(reg.gauge_value("view.hot.ttx"), 15);
+        assert_eq!(reg.gauge_value("view.forever.ttx"), TTX_ETERNAL);
+        assert_eq!(reg.gauge_value("view.overdue.ttx"), -3);
+        let h = mon.health();
+        assert_eq!(h.now, 10);
+        assert_eq!(h.views.len(), 3);
+        let overdue = h.views.iter().find(|v| v.view == "overdue").unwrap();
+        assert!(overdue.is_stale());
+        let hot = h.views.iter().find(|v| v.view == "hot").unwrap();
+        assert!(!hot.is_stale());
+        assert_eq!(h.status, HealthStatus::Ok);
+    }
+
+    #[test]
+    fn dropped_views_leave_the_health_report() {
+        let (_obs, mon) = monitor();
+        mon.observe_views(1, vec![("a", Some(5), None), ("b", Some(6), None)]);
+        mon.observe_views(2, vec![("b", Some(6), None)]);
+        let h = mon.health();
+        assert_eq!(h.views.len(), 1);
+        assert_eq!(h.views[0].view, "b");
+    }
+
+    #[test]
+    fn late_trigger_breaches_and_emits() {
+        let (obs, mon) = monitor();
+        let ring = obs.install_ring(16);
+        mon.observe_trigger("s", 10, 10); // punctual: no breach
+        mon.observe_trigger("s", 10, 14); // 4 ticks late: breach
+        assert_eq!(mon.health().trigger_lateness_breaches, 1);
+        assert_eq!(mon.health().status, HealthStatus::Degraded);
+        let events = ring.recent(10);
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::SloBreach {
+                slo,
+                subject,
+                observed,
+                threshold,
+                at,
+            } => {
+                assert_eq!(slo, "trigger_lateness");
+                assert_eq!(subject, "s");
+                assert_eq!(*observed, 4);
+                assert_eq!(*threshold, 0);
+                assert_eq!(*at, 14);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(
+            obs.registry()
+                .counter_value("slo.trigger_lateness_breaches"),
+            1
+        );
+    }
+
+    #[test]
+    fn slow_refresh_breaches() {
+        let obs = Obs::new();
+        let mon = StalenessMonitor::new(
+            &obs,
+            SloConfig {
+                max_refresh_latency_ns: 1_000,
+                ..SloConfig::default()
+            },
+        );
+        mon.observe_refresh("v", 500, 3);
+        mon.observe_refresh("v", 5_000, 4);
+        let h = mon.health();
+        assert_eq!(h.refresh_latency_breaches, 1);
+        assert_eq!(h.refresh_ns.count, 2);
+        assert_eq!(h.status, HealthStatus::Degraded);
+    }
+
+    #[test]
+    fn health_renders_views_and_slos() {
+        let (_obs, mon) = monitor();
+        mon.observe_views(
+            4,
+            vec![
+                ("recent", Some(9), Some(RefreshDecision::Recompute)),
+                ("forever", None, Some(RefreshDecision::Eternal)),
+            ],
+        );
+        let text = mon.health().to_string();
+        assert!(text.contains("status: ok"), "{text}");
+        assert!(text.contains("ttx=5"), "{text}");
+        assert!(text.contains("∞ (eternal)"), "{text}");
+    }
+}

@@ -239,3 +239,21 @@ pub enum Statement {
     /// A query.
     Select(Query),
 }
+
+impl Statement {
+    /// A short lowercase tag naming the statement kind, for span
+    /// attributes and diagnostics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::CreateTable { .. } => "create_table",
+            Statement::DropTable { .. } => "drop_table",
+            Statement::CreateView { .. } => "create_view",
+            Statement::DropView { .. } => "drop_view",
+            Statement::Insert { .. } => "insert",
+            Statement::Delete { .. } => "delete",
+            Statement::UpdateExpiration { .. } => "update_expiration",
+            Statement::Select(_) => "select",
+        }
+    }
+}

@@ -21,7 +21,7 @@ use exptime_core::schema::Schema;
 use exptime_core::time::Time;
 use exptime_core::tuple::Tuple;
 use exptime_core::value::Value;
-use exptime_obs::{Counter, MetricsRegistry, Obs};
+use exptime_obs::{Counter, MetricsRegistry, Obs, Tracer};
 use std::collections::HashMap;
 
 /// Running counters for one table — a point-in-time snapshot of the
@@ -104,6 +104,7 @@ pub struct Table {
     primary: HashMap<Tuple, RowId>,
     secondary: HashMap<usize, BTreeIndex>,
     counters: TableCounters,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for Table {
@@ -130,6 +131,7 @@ impl Table {
             primary: HashMap::new(),
             secondary: HashMap::new(),
             counters: TableCounters::default(),
+            tracer: Tracer::detached(),
         }
     }
 
@@ -159,6 +161,12 @@ impl Table {
         let attached = TableCounters::in_registry(obs.registry(), &self.name);
         self.counters.migrate_into(&attached);
         self.counters = attached;
+    }
+
+    /// Adopts the engine's [`Tracer`], so this table's expiry passes show
+    /// up as children of whatever engine span is open (tick, vacuum, …).
+    pub fn attach_tracer(&mut self, tracer: &Tracer) {
+        self.tracer = tracer.clone();
     }
 
     /// Physically stored rows (including not-yet-collected expired ones).
@@ -283,6 +291,11 @@ impl Table {
     /// Pops and physically removes every row with `texp ≤ τ`, returning
     /// the removed rows so triggers can fire on them.
     pub fn expire_due(&mut self, tau: Time) -> Vec<(Tuple, Time)> {
+        let mut span = self.tracer.span("storage.expire");
+        span.attr("table", &self.name);
+        if let Some(t) = tau.finite() {
+            span.at(t);
+        }
         self.counters.expiry_pops.inc();
         let due = self.expiry.pop_due(tau);
         let mut removed = Vec::with_capacity(due.len());
@@ -297,6 +310,7 @@ impl Table {
                 removed.push((tuple, texp));
             }
         }
+        span.attr("removed", removed.len());
         removed
     }
 

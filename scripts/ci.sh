@@ -5,5 +5,11 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo test -q --workspace
+cargo test -q --doc --workspace
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
+
+# Observability smoke: the obs experiment runs its workload assertions
+# (snapshot consistency, monitor overhead) without writing artifacts.
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check obs

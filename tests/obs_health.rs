@@ -1,0 +1,203 @@
+//! End-to-end acceptance tests for the staleness/SLO monitor and the
+//! metrics exposition: the `\health` time-to-expiration gauges agree
+//! with what EXPLAIN ANALYZE says about the same views, an induced
+//! trigger-lateness breach surfaces as an `slo_breach` event, and the
+//! Prometheus rendering of a live registry survives its own parser.
+
+use exptime::engine::{Database, DbConfig, Removal};
+use exptime::obs::{parse_prometheus_text, RefreshDecision, SloConfig, TTX_ETERNAL};
+
+/// The health snapshot and EXPLAIN ANALYZE describe the same views the
+/// same way: the decision recorded per view matches, and the ttx gauge
+/// is exactly `texp − now` (or the eternal sentinel for Theorem 1
+/// views).
+#[test]
+fn health_ttx_agrees_with_explain_analyze() {
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE pol (uid INT, deg INT)").unwrap();
+    db.execute("CREATE TABLE el (uid INT, deg INT)").unwrap();
+    db.execute("INSERT INTO pol VALUES (1, 25) EXPIRES AT 10")
+        .unwrap();
+    db.execute("INSERT INTO pol VALUES (2, 30) EXPIRES AT 15")
+        .unwrap();
+    db.execute("INSERT INTO el VALUES (2, 85) EXPIRES AT 7")
+        .unwrap();
+    // A monotonic view (eternal, Theorem 1) and a difference view whose
+    // materialisation carries a finite texp.
+    db.execute("CREATE MATERIALIZED VIEW mono AS SELECT uid FROM pol")
+        .unwrap();
+    db.execute("CREATE MATERIALIZED VIEW diff AS SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+        .unwrap();
+    db.tick(2);
+
+    let explain = db
+        .explain_analyze("SELECT * FROM mono")
+        .and_then(|a| db.explain_analyze("SELECT * FROM diff").map(|b| (a, b)))
+        .unwrap();
+    let health = db.health();
+    assert_eq!(health.now, 2);
+
+    let view = |name: &str| {
+        health
+            .views
+            .iter()
+            .find(|v| v.view == name)
+            .unwrap_or_else(|| panic!("{name} missing from health"))
+    };
+    // The monotonic view is eternal: no finite ttx in the snapshot, the
+    // gauge pinned to the sentinel, and the explain run recorded its
+    // Theorem 1 decision.
+    assert_eq!(view("mono").ttx, None);
+    assert_eq!(view("mono").texp, None);
+    assert_eq!(db.metrics().gauge_value("view.mono.ttx"), TTX_ETERNAL);
+    assert!(!view("mono").is_stale());
+    let mono_decision = explain
+        .0
+        .decisions
+        .iter()
+        .find(|(n, _)| n == "mono")
+        .map(|(_, d)| *d)
+        .unwrap();
+    assert_eq!(view("mono").last_decision, Some(mono_decision));
+
+    // The difference view's texp is el's earliest expiry (t=7): the gauge
+    // must read texp − now, and agree with the decision explain saw.
+    let d = view("diff");
+    assert_eq!(d.texp, Some(7));
+    assert_eq!(d.ttx, Some(5), "ttx = texp − now = 7 − 2");
+    assert!(!d.is_stale());
+    let diff_decision = explain
+        .1
+        .decisions
+        .iter()
+        .find(|(n, _)| n == "diff")
+        .map(|(_, d)| *d)
+        .unwrap();
+    assert_eq!(d.last_decision, Some(diff_decision));
+
+    // Past the materialisation's texp the gauge goes non-positive
+    // (overdue) until the next read refreshes the view…
+    db.tick(6); // now = 8 > texp = 7
+    let overdue = db.health();
+    let d = overdue.views.iter().find(|v| v.view == "diff").unwrap();
+    assert!(d.ttx.unwrap() <= 0, "overdue: {:?}", d.ttx);
+    assert!(d.is_stale());
+    // …and a read brings it back: the refresh decision is a recompute or
+    // patch, never a validity hit (the materialisation had expired).
+    db.read_view("diff").unwrap();
+    let refreshed = db.health();
+    let d = refreshed.views.iter().find(|v| v.view == "diff").unwrap();
+    assert!(
+        matches!(
+            d.last_decision,
+            Some(RefreshDecision::Recompute | RefreshDecision::PatchHit)
+        ),
+        "{:?}",
+        d.last_decision
+    );
+}
+
+/// Lazy removal fires triggers late; with a zero-lateness SLO the
+/// monitor must count the breach and put an `slo_breach` event into the
+/// same ring as everything else.
+#[test]
+fn induced_trigger_lateness_breach_is_visible() {
+    let mut db = Database::new(DbConfig {
+        removal: Removal::Lazy {
+            vacuum_every: 1_000_000, // never on its own
+        },
+        slo: SloConfig {
+            max_trigger_lateness: 0,
+            ..SloConfig::default()
+        },
+        ..DbConfig::default()
+    });
+    let ring = db.obs().install_ring(256);
+    db.execute("CREATE TABLE t (k INT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1) EXPIRES AT 5").unwrap();
+    db.tick(20); // t = 20, the row is overdue but not yet removed
+    assert_eq!(db.health().trigger_lateness_breaches, 0);
+    db.vacuum(); // trigger fires at 20 for texp 5: 15 ticks late
+
+    let health = db.health();
+    assert_eq!(health.trigger_lateness_breaches, 1);
+    assert!(health.total_breaches() >= 1);
+    assert_eq!(format!("{}", health.status), "degraded");
+
+    let breaches: Vec<String> = ring
+        .recent(usize::MAX)
+        .into_iter()
+        .filter(|e| e.kind.tag() == "slo_breach")
+        .map(|e| e.to_string())
+        .collect();
+    assert_eq!(breaches.len(), 1, "exactly one breach event");
+    assert!(breaches[0].contains("trigger_lateness"), "{breaches:?}");
+    assert!(
+        breaches[0].contains("15"),
+        "observed lateness: {breaches:?}"
+    );
+
+    // An eager database under the same workload never breaches.
+    let mut eager = Database::new(DbConfig::default());
+    eager.execute("CREATE TABLE t (k INT)").unwrap();
+    eager
+        .execute("INSERT INTO t VALUES (1) EXPIRES AT 5")
+        .unwrap();
+    eager.tick(20);
+    assert_eq!(eager.health().trigger_lateness_breaches, 0);
+    assert_eq!(format!("{}", eager.health().status), "ok");
+}
+
+/// The Prometheus text rendered from a registry that has seen real
+/// traffic — counters, gauges, and histograms with live samples —
+/// round-trips through the parser, and the parsed samples match the
+/// registry's own numbers.
+#[test]
+fn live_registry_prometheus_round_trips() {
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+    db.execute("CREATE MATERIALIZED VIEW m AS SELECT k FROM t")
+        .unwrap();
+    for i in 0..50 {
+        db.execute(&format!(
+            "INSERT INTO t VALUES ({i}, {i}) EXPIRES IN 10 TICKS"
+        ))
+        .unwrap();
+        if i % 8 == 0 {
+            db.tick(1);
+            db.execute("SELECT k FROM m").unwrap();
+        }
+    }
+    db.tick(20);
+    let _ = db.health(); // populate the ttx gauges too
+
+    let text = exptime::obs::expose_prometheus(db.metrics());
+    let samples = parse_prometheus_text(&text).expect("rendered text must parse");
+    assert!(!samples.is_empty());
+
+    let value_of = |name: &str, label: Option<(&str, &str)>| {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && label.is_none_or(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .value
+    };
+    let stats = db.stats();
+    assert_eq!(value_of("exptime_db_inserts", None), stats.inserts as f64);
+    assert_eq!(
+        value_of("exptime_storage_inserts", Some(("table", "t"))),
+        stats.inserts as f64
+    );
+    assert_eq!(
+        value_of("exptime_db_query_ns_count", None),
+        db.metrics().histogram("db.query_ns").snapshot().count as f64
+    );
+    // The ttx gauge for the (monotonic, eternal) view is the sentinel.
+    assert_eq!(
+        value_of("exptime_view_ttx", Some(("view", "m"))),
+        TTX_ETERNAL as f64
+    );
+}

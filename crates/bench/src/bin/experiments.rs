@@ -2,12 +2,13 @@
 //! report tables recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
-//! where `id` ∈ {e1, …, e10, obs, a1, a2}; omit ids for all. `--quick` shrinks
-//! the workloads (used in CI smoke runs); `--check` skips all file writes
-//! (CI runs the experiments for their assertions, not their artifacts).
-//! The `obs` experiment otherwise writes a `BENCH_obs.json` document — the
-//! metrics snapshot plus the monitor-overhead measurement — to the working
-//! directory.
+//! where `id` ∈ {e1, …, e10, e6chaos, obs, a1, a2}; omit ids for all.
+//! `--quick` shrinks the workloads (used in CI smoke runs); `--check` skips
+//! all file writes (CI runs the experiments for their assertions, not their
+//! artifacts). The `obs` experiment otherwise writes a `BENCH_obs.json`
+//! document — the metrics snapshot plus the monitor-overhead measurement —
+//! and `e6chaos` writes `BENCH_replica.json` (message counts and recovery
+//! latency per loss rate and strategy) to the working directory.
 
 use exptime_bench::experiments as ex;
 use exptime_obs::JsonValue;
@@ -59,6 +60,27 @@ fn main() {
     }
     if run("e6") {
         println!("{}", ex::e6_replica_sync(300 * scale, 240, 19).0.render());
+    }
+    if run("e6chaos") {
+        let (report, _, json) = ex::e6_chaos(
+            120 * scale,
+            if quick { 60 } else { 240 },
+            &[0.0, 0.25, 0.5, 0.75],
+            19,
+        );
+        println!("{}", report.render());
+        let doc = json.render();
+        if check {
+            println!(
+                "--check: BENCH_replica.json not written ({} bytes)\n",
+                doc.len()
+            );
+        } else {
+            match std::fs::write("BENCH_replica.json", &doc) {
+                Ok(()) => println!("wrote BENCH_replica.json ({} bytes)\n", doc.len()),
+                Err(e) => eprintln!("could not write BENCH_replica.json: {e}"),
+            }
+        }
     }
     if run("e7") {
         // Fixed hole structure (the claim is about validity-model

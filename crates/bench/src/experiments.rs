@@ -16,7 +16,11 @@ use exptime_core::predicate::{CmpOp, Predicate};
 use exptime_core::rewrite;
 use exptime_core::time::Time;
 use exptime_engine::{Database, DbConfig, Removal};
-use exptime_replica::{DeletePushReplica, PollingReplica, Replica};
+use exptime_obs::JsonValue;
+use exptime_replica::{
+    ChaosDeletePush, ChaosReplica, DeletePushReplica, FaultSpec, PollingReplica, Replica,
+    RetryPolicy,
+};
 use exptime_storage::expiry::IndexKind;
 use std::time::Instant;
 
@@ -680,6 +684,223 @@ pub fn e6_replica_sync(rows: usize, horizon: u64, seed: u64) -> (Report, Vec<E6R
 }
 
 // ---------------------------------------------------------------------
+// E6-chaos — synchronisation cost and recovery latency under faults
+// ---------------------------------------------------------------------
+
+/// One strategy/loss-rate combination of E6-chaos.
+#[derive(Debug, Clone)]
+pub struct E6ChaosRow {
+    /// Per-message loss probability of the run.
+    pub loss: f64,
+    /// Strategy name ("exp-aware" or "delete-push").
+    pub strategy: String,
+    /// Messages that crossed the link (retransmissions included).
+    pub messages: u64,
+    /// Crossed messages net of retries: the protocol's intrinsic cost.
+    pub first_transmissions: u64,
+    /// Retransmissions forced by the loss.
+    pub retransmissions: u64,
+    /// Tuples shipped over the link.
+    pub tuples: u64,
+    /// Ticks from healing the link to full reconvergence with the server.
+    pub recovery_ticks: u64,
+    /// Whether the replica reconverged within the recovery window.
+    pub converged: bool,
+}
+
+/// E6-chaos: the E6 difference workload run over a *lossy* link at
+/// several loss rates, then healed. Compares the expiration-aware
+/// replica (session protocol + anti-entropy digest reconciliation on
+/// reconnect) against the chaos-hardened delete-push baseline
+/// (seq-numbered notices, cumulative acks, retransmission of the unacked
+/// suffix). Reports total/first-transmission/retry message counts and
+/// the recovery latency after healing — the paper's "volatile settings"
+/// argument, quantified under actual volatility.
+#[must_use]
+pub fn e6_chaos(
+    rows: usize,
+    horizon: u64,
+    loss_rates: &[f64],
+    seed: u64,
+) -> (Report, Vec<E6ChaosRow>, JsonValue) {
+    let expr = || Expr::base("r").difference(Expr::base("s"));
+    let build_server = |s: u64| {
+        let mut db = Database::new(DbConfig::default());
+        db.execute("CREATE TABLE r (key INT, val INT)").unwrap();
+        db.execute("CREATE TABLE s (key INT, val INT)").unwrap();
+        let (rg, sg) = difference_pair(
+            rows,
+            0.5,
+            LifetimeDist::Uniform {
+                min: 1,
+                max: horizon,
+            },
+            LifetimeDist::Uniform {
+                min: 1,
+                max: horizon / 2,
+            },
+            s,
+        );
+        for (tp, e) in rg.rows {
+            db.insert("r", tp, e).unwrap();
+        }
+        for (tp, e) in sg.rows {
+            db.insert("s", tp, e).unwrap();
+        }
+        db
+    };
+    let truth_of = |srv: &Database| {
+        eval(
+            &srv.inline_views(&expr()),
+            &srv.snapshot(),
+            srv.now(),
+            &EvalOptions::default(),
+        )
+        .unwrap()
+        .rel
+    };
+    // Generous: recovery is expected within a few backoff intervals.
+    let recovery_cap = 8 * RetryPolicy::default().max_interval + 16;
+
+    let mut out_rows = Vec::new();
+    for (i, &loss) in loss_rates.iter().enumerate() {
+        let spec = FaultSpec::lossy(seed.wrapping_mul(100).wrapping_add(i as u64), loss);
+
+        // Expiration-aware: reads every tick, degraded reads tolerated,
+        // one anti-entropy digest exchange after healing.
+        {
+            let mut srv = build_server(seed);
+            let mut rep = ChaosReplica::new(spec, RetryPolicy::default());
+            rep.subscribe("v", expr(), &srv).unwrap();
+            for _ in 0..horizon {
+                srv.tick(1);
+                let _ = rep.read("v", &srv); // stale service mid-chaos is the point
+            }
+            rep.link().heal();
+            rep.reconcile(&srv).unwrap();
+            let mut recovery = 0u64;
+            let mut converged = false;
+            while recovery <= recovery_cap {
+                if rep.quiesced() {
+                    if let Ok((rel, _)) = rep.read("v", &srv) {
+                        if rel.set_eq(&truth_of(&srv)) {
+                            converged = true;
+                            break;
+                        }
+                    }
+                }
+                srv.tick(1);
+                let _ = rep.pump(&srv);
+                recovery += 1;
+            }
+            let s = rep.link_stats();
+            out_rows.push(E6ChaosRow {
+                loss,
+                strategy: "exp-aware".into(),
+                messages: s.total_messages(),
+                first_transmissions: s.first_transmissions(),
+                retransmissions: s.retransmissions,
+                tuples: s.tuples_transferred,
+                recovery_ticks: recovery,
+                converged,
+            });
+        }
+
+        // Delete-push: the server must push every change and retransmit
+        // until acknowledged; recovery = draining the unacked outbox.
+        {
+            let mut srv = build_server(seed);
+            let mut push =
+                ChaosDeletePush::subscribe(expr(), &srv, spec, RetryPolicy::default()).unwrap();
+            for _ in 0..horizon {
+                srv.tick(1);
+                let _ = push.server_sync(&srv);
+            }
+            push.link().heal();
+            let mut recovery = 0u64;
+            let mut converged = false;
+            while recovery <= recovery_cap {
+                let _ = push.server_sync(&srv);
+                if push.quiesced() && push.read().tuples_eq_at(&truth_of(&srv), srv.now()) {
+                    converged = true;
+                    break;
+                }
+                srv.tick(1);
+                recovery += 1;
+            }
+            let s = push.link_stats();
+            out_rows.push(E6ChaosRow {
+                loss,
+                strategy: "delete-push".into(),
+                messages: s.total_messages(),
+                first_transmissions: s.first_transmissions(),
+                retransmissions: s.retransmissions,
+                tuples: s.tuples_transferred,
+                recovery_ticks: recovery,
+                converged,
+            });
+        }
+    }
+
+    let mut lines = vec![format!(
+        "{:<8}{:<14}{:>10}{:>10}{:>10}{:>10}{:>12}{:>6}",
+        "loss", "strategy", "messages", "first", "retries", "tuples", "recovery", "ok"
+    )];
+    for r in &out_rows {
+        lines.push(format!(
+            "{:<8}{:<14}{:>10}{:>10}{:>10}{:>10}{:>12}{:>6}",
+            format!("{:.2}", r.loss),
+            r.strategy,
+            r.messages,
+            r.first_transmissions,
+            r.retransmissions,
+            r.tuples,
+            r.recovery_ticks,
+            if r.converged { "yes" } else { "NO" },
+        ));
+    }
+
+    let json = JsonValue::Object(vec![
+        ("experiment".into(), JsonValue::String("e6-chaos".into())),
+        ("rows".into(), JsonValue::Uint(rows as u64)),
+        ("horizon".into(), JsonValue::Uint(horizon)),
+        ("seed".into(), JsonValue::Uint(seed)),
+        (
+            "results".into(),
+            JsonValue::Array(
+                out_rows
+                    .iter()
+                    .map(|r| {
+                        JsonValue::Object(vec![
+                            ("loss".into(), JsonValue::Float(r.loss)),
+                            ("strategy".into(), JsonValue::String(r.strategy.clone())),
+                            ("messages".into(), JsonValue::Uint(r.messages)),
+                            (
+                                "first_transmissions".into(),
+                                JsonValue::Uint(r.first_transmissions),
+                            ),
+                            ("retransmissions".into(), JsonValue::Uint(r.retransmissions)),
+                            ("tuples".into(), JsonValue::Uint(r.tuples)),
+                            ("recovery_ticks".into(), JsonValue::Uint(r.recovery_ticks)),
+                            ("converged".into(), JsonValue::Bool(r.converged)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+
+    (
+        Report {
+            title: "E6-chaos: sync cost and recovery latency over a lossy link".into(),
+            lines,
+        },
+        out_rows,
+        json,
+    )
+}
+
+// ---------------------------------------------------------------------
 // E7 — Schrödinger intervals answer more queries locally
 // ---------------------------------------------------------------------
 
@@ -1061,6 +1282,67 @@ mod tests {
         assert_eq!(d_patch, 2, "Theorem 3: subscribe only");
         assert!(d_patch <= d_aware);
         assert!(d_aware < get("difference", "polling"));
+    }
+
+    #[test]
+    fn e6_chaos_shape_exp_aware_wins_at_every_loss_rate() {
+        let (_, rows, json) = e6_chaos(120, 60, &[0.0, 0.25, 0.5], 19);
+        assert_eq!(rows.len(), 6, "two strategies at three loss rates");
+        for pair in rows.chunks(2) {
+            let aware = &pair[0];
+            let push = &pair[1];
+            assert_eq!(aware.strategy, "exp-aware");
+            assert_eq!(push.strategy, "delete-push");
+            assert!(
+                aware.converged,
+                "exp-aware reconverged at loss {}",
+                aware.loss
+            );
+            assert!(
+                push.converged,
+                "delete-push reconverged at loss {}",
+                push.loss
+            );
+            assert!(
+                aware.messages < push.messages,
+                "loss {}: exp-aware ({}) < delete-push ({})",
+                aware.loss,
+                aware.messages,
+                push.messages
+            );
+            // Anti-entropy repairs in (at most) one digest exchange; the
+            // delete-push outbox drains over backoff intervals.
+            assert!(
+                aware.recovery_ticks <= push.recovery_ticks,
+                "loss {}: recovery {} ≤ {}",
+                aware.loss,
+                aware.recovery_ticks,
+                push.recovery_ticks
+            );
+        }
+        // Loss manifests as retransmissions, never as lost updates.
+        let lossless = &rows[0];
+        assert_eq!(lossless.retransmissions, 0, "no loss → no retries");
+        let lossy_push = &rows[5];
+        assert!(lossy_push.retransmissions > 0, "loss → retries");
+        // First-transmission cost is comparable across loss rates: the
+        // intrinsic protocol cost does not grow with the loss.
+        let push_first: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.strategy == "delete-push")
+            .map(|r| r.first_transmissions)
+            .collect();
+        let spread = push_first.iter().max().unwrap() - push_first.iter().min().unwrap();
+        assert!(
+            spread * 5 <= *push_first.iter().max().unwrap(),
+            "first transmissions roughly stable: {push_first:?}"
+        );
+        let rendered = json.render();
+        assert!(
+            rendered.contains("\"experiment\": \"e6-chaos\""),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"converged\": true"), "{rendered}");
     }
 
     #[test]

@@ -76,6 +76,9 @@ Meta commands:
   \\save FILE      dump the database (tables, rows, views, clock) as SQL
   \\load FILE      replace the database with a previously saved dump
   \\demo           load the paper's Figure 1 database (tables pol, el)
+  \\chaos [SEED]   replica chaos demo: sync a view over a faulty link
+                  (drops, duplicates, delays, partitions), then heal and
+                  reconcile via anti-entropy; prints the fault schedule
   \\quit           exit
 ";
 
@@ -383,6 +386,17 @@ impl Repl {
                     Err(e) => Outcome::Text(format!("error: {e}\n")),
                 }
             }
+            "\\chaos" => {
+                let seed = if arg.is_empty() {
+                    7
+                } else {
+                    match arg.parse::<u64>() {
+                        Ok(s) => s,
+                        Err(_) => return Outcome::Text("usage: \\chaos [SEED]\n".into()),
+                    }
+                };
+                Outcome::Text(chaos_demo(seed))
+            }
             other => Outcome::Text(format!("unknown command `{other}`; try \\help\n")),
         }
     }
@@ -447,6 +461,100 @@ impl Repl {
         }
         Outcome::Text(out)
     }
+}
+
+/// The `\chaos` demo: a self-contained run of the chaos-hardened replica
+/// against the paper's Figure 1 data over a faulty link, ending with an
+/// anti-entropy reconciliation. Everything is derived from the seed, so
+/// the same `\chaos N` always prints the same story.
+fn chaos_demo(seed: u64) -> String {
+    use exptime_core::algebra::Expr;
+    use exptime_replica::{ChaosReadOutcome, ChaosReplica, FaultSpec, RetryPolicy};
+
+    let mut srv = Database::new(DbConfig::default());
+    if let Err(e) = srv.execute_script(
+        "CREATE TABLE pol (uid INT, deg INT);
+         CREATE TABLE el (uid INT, deg INT);
+         INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+         INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+         INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+         INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
+         INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
+         INSERT INTO el VALUES (4, 90) EXPIRES AT 2;",
+    ) {
+        return format!("error: {e}\n");
+    }
+    let expr = Expr::base("pol")
+        .project([0])
+        .difference(Expr::base("el").project([0]));
+
+    let mut rep = ChaosReplica::new(FaultSpec::chaos(seed), RetryPolicy::default());
+    let mut out = format!(
+        "chaos demo (seed {seed}): replica of `pol EXCEPT el` over a faulty link\n\
+         faults: 15% loss, 10% dup, 10% reorder, 15% delay(≤3), 5%/tick partition(2–5)\n\n"
+    );
+    if let Err(e) = rep.subscribe("others", expr, &srv) {
+        return format!("error: {e}\n");
+    }
+    for _ in 0..16 {
+        srv.tick(1);
+        match rep.read("others", &srv) {
+            Ok((rel, outcome)) => {
+                let what = match outcome {
+                    ChaosReadOutcome::Local => "local  (fresh, zero traffic)".to_string(),
+                    ChaosReadOutcome::Synced => "synced (refresh round trip completed)".to_string(),
+                    ChaosReadOutcome::Stale(back) => {
+                        format!("stale  (degraded: serving state as of t={back})")
+                    }
+                };
+                let rows: Vec<String> = rel.iter().map(|(t, _)| format!("{t}")).collect();
+                out.push_str(&format!(
+                    "t={:<3} {:<42} rows: {}\n",
+                    srv.now(),
+                    what,
+                    rows.join(" ")
+                ));
+            }
+            Err(e) => out.push_str(&format!("t={:<3} error: {e}\n", srv.now())),
+        }
+    }
+
+    out.push_str("\n-- healing the link and reconciling (anti-entropy digests) --\n");
+    rep.link().heal();
+    if let Err(e) = rep.reconcile(&srv) {
+        return format!("error: {e}\n");
+    }
+    for _ in 0..8 {
+        if rep.quiesced() {
+            break;
+        }
+        srv.tick(1);
+        let _ = rep.pump(&srv);
+    }
+    let s = rep.link_stats();
+    let ss = rep.session_stats();
+    out.push_str(&format!(
+        "\nlink:     {} crossed ({} first, {} retries), {} refused, {} tuples moved\n",
+        s.total_messages(),
+        s.first_transmissions(),
+        s.retransmissions,
+        s.refused,
+        s.tuples_transferred,
+    ));
+    out.push_str(&format!(
+        "sessions: {} started, {} completed, {} timed out, {} retries, {} dups ignored\n",
+        ss.sessions_started,
+        ss.sessions_completed,
+        ss.sessions_timed_out,
+        ss.retries,
+        ss.duplicates_ignored,
+    ));
+    out.push_str(&format!(
+        "resync:   {} reconciliation(s), {} divergent tuple(s) repaired\n\n",
+        ss.reconciliations, ss.divergent_tuples,
+    ));
+    out.push_str(&rep.link().schedule_report());
+    out
 }
 
 struct DbProvider<'a>(&'a Database);
@@ -515,6 +623,23 @@ mod tests {
         assert!(text(r.feed("\\goto 5")).contains("usage"));
         let log = text(r.feed("\\triggers"));
         assert!(log.contains("expired from"), "{log}");
+    }
+
+    #[test]
+    fn chaos_demo_is_deterministic_and_reports_the_schedule() {
+        let mut r = Repl::new();
+        let out = text(r.feed("\\chaos 7"));
+        assert!(out.contains("chaos demo (seed 7)"), "{out}");
+        assert!(out.contains("fault schedule (seed=7"), "{out}");
+        assert!(out.contains("reconciliation"), "{out}");
+        assert!(out.contains("link:"), "{out}");
+        // Replayable: the same seed prints the same story.
+        let mut r2 = Repl::new();
+        assert_eq!(out, text(r2.feed("\\chaos 7")));
+        // A different seed tells a different one.
+        let mut r3 = Repl::new();
+        assert_ne!(out, text(r3.feed("\\chaos 8")));
+        assert!(text(r.feed("\\chaos nope")).contains("usage"));
     }
 
     #[test]

@@ -141,6 +141,18 @@ pub enum DbError {
     Constraint(ConstraintViolation),
     /// Catalog-level problem (duplicate/missing table or view, …).
     Catalog(String),
+    /// A remote peer (replica link) refused the operation: the link was
+    /// explicitly down or partitioned at the time of the call.
+    Unavailable(String),
+    /// A sync operation exhausted its retry/timeout budget: the work was
+    /// attempted but no acknowledgement arrived within `waited` logical
+    /// ticks.
+    Timeout {
+        /// What was being synchronised (view refresh, digest exchange, …).
+        op: String,
+        /// Logical ticks spent waiting before giving up.
+        waited: u64,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -150,6 +162,10 @@ impl fmt::Display for DbError {
             DbError::Core(e) => write!(f, "{e}"),
             DbError::Constraint(v) => write!(f, "{v}"),
             DbError::Catalog(m) => write!(f, "{m}"),
+            DbError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            DbError::Timeout { op, waited } => {
+                write!(f, "timeout: {op} gave up after {waited} tick(s)")
+            }
         }
     }
 }

@@ -76,6 +76,19 @@ pub enum EventKind {
     /// A replica answered from a stale (but Schrödinger-covered)
     /// materialisation while its link was down.
     ReplicaDivergence { view: String, behind: u64 },
+    /// Anti-entropy reconciliation after a reconnect: the replica and
+    /// server exchanged digests over a materialised view and resynced only
+    /// the divergent tuples.
+    ReplicaResync {
+        view: String,
+        /// Tuples the digest exchange found divergent (shipped + dropped).
+        divergent: u64,
+        /// Tuples actually shipped server → client to repair the state.
+        shipped: u64,
+        /// Logical ticks between the first failed sync and this repair.
+        recovery_ticks: u64,
+        at: u64,
+    },
     /// A tracing span finished. Emitted by `Tracer` so spans interleave
     /// causally with domain events in the same ring (`\events`).
     SpanClosed {
@@ -108,6 +121,7 @@ impl EventKind {
             EventKind::RewriteApplied { .. } => "rewrite_applied",
             EventKind::ReplicaMessage { .. } => "replica_message",
             EventKind::ReplicaDivergence { .. } => "replica_divergence",
+            EventKind::ReplicaResync { .. } => "replica_resync",
             EventKind::SpanClosed { .. } => "span_closed",
             EventKind::SloBreach { .. } => "slo_breach",
         }
@@ -170,6 +184,18 @@ impl std::fmt::Display for Event {
             }
             EventKind::ReplicaDivergence { view, behind } => {
                 write!(f, "replica_diverge view={view} behind={behind}")
+            }
+            EventKind::ReplicaResync {
+                view,
+                divergent,
+                shipped,
+                recovery_ticks,
+                at,
+            } => {
+                write!(
+                    f,
+                    "replica_resync  view={view} divergent={divergent} shipped={shipped} recovery={recovery_ticks} at={at}"
+                )
             }
             EventKind::SpanClosed {
                 name,

@@ -37,6 +37,11 @@ pub struct SloConfig {
     /// Maximum tolerated wall-clock nanoseconds for one materialised-view
     /// refresh.
     pub max_refresh_latency_ns: u64,
+    /// Maximum tolerated logical ticks between a replica's first failed
+    /// sync and the anti-entropy repair that reconverges it
+    /// (`replica_resync` recovery latency). Beyond this, the replica was
+    /// divergence-exposed for too long and the resync counts as a breach.
+    pub max_resync_lag: u64,
 }
 
 impl Default for SloConfig {
@@ -44,6 +49,7 @@ impl Default for SloConfig {
         SloConfig {
             max_trigger_lateness: 0,
             max_refresh_latency_ns: 100_000_000, // 100 ms
+            max_resync_lag: 64,
         }
     }
 }
@@ -96,15 +102,18 @@ pub struct Health {
     pub views: Vec<ViewHealth>,
     pub trigger_lateness_breaches: u64,
     pub refresh_latency_breaches: u64,
+    pub resync_lag_breaches: u64,
     /// Distribution of trigger lateness (logical ticks).
     pub trigger_lateness: HistogramSnapshot,
     /// Distribution of view refresh latency (nanoseconds).
     pub refresh_ns: HistogramSnapshot,
+    /// Distribution of replica resync recovery latency (logical ticks).
+    pub resync_lag: HistogramSnapshot,
 }
 
 impl Health {
     pub fn total_breaches(&self) -> u64 {
-        self.trigger_lateness_breaches + self.refresh_latency_breaches
+        self.trigger_lateness_breaches + self.refresh_latency_breaches + self.resync_lag_breaches
     }
 }
 
@@ -118,8 +127,8 @@ impl std::fmt::Display for Health {
         )?;
         writeln!(
             f,
-            "breaches: trigger_lateness={} refresh_latency={}",
-            self.trigger_lateness_breaches, self.refresh_latency_breaches
+            "breaches: trigger_lateness={} refresh_latency={} resync_lag={}",
+            self.trigger_lateness_breaches, self.refresh_latency_breaches, self.resync_lag_breaches
         )?;
         writeln!(
             f,
@@ -137,6 +146,15 @@ impl std::fmt::Display for Health {
             self.refresh_ns.p95(),
             self.refresh_ns.p99(),
         )?;
+        if self.resync_lag.count > 0 {
+            writeln!(
+                f,
+                "resync lag ticks:       count={} p50={:.0} p99={:.0}",
+                self.resync_lag.count,
+                self.resync_lag.p50(),
+                self.resync_lag.p99(),
+            )?;
+        }
         if self.views.is_empty() {
             writeln!(f, "views: (none materialised)")?;
         } else {
@@ -168,8 +186,10 @@ pub struct StalenessMonitor {
     obs: Obs,
     trigger_lateness: Histogram,
     refresh_ns: Histogram,
+    resync_lag: Histogram,
     lateness_breaches: Counter,
     refresh_breaches: Counter,
+    resync_breaches: Counter,
     state: Mutex<MonitorState>,
 }
 
@@ -195,8 +215,10 @@ impl StalenessMonitor {
             obs: obs.clone(),
             trigger_lateness: reg.histogram("slo.trigger_lateness_ticks"),
             refresh_ns: reg.histogram("slo.refresh_ns"),
+            resync_lag: reg.histogram("slo.resync_lag_ticks"),
             lateness_breaches: reg.counter("slo.trigger_lateness_breaches"),
             refresh_breaches: reg.counter("slo.refresh_latency_breaches"),
+            resync_breaches: reg.counter("slo.resync_lag_breaches"),
             state: Mutex::new(MonitorState::default()),
         }
     }
@@ -274,13 +296,32 @@ impl StalenessMonitor {
         }
     }
 
+    /// Records one anti-entropy reconciliation of a replica view:
+    /// `recovery_ticks` is the time from the first failed sync to the
+    /// repair. Lag beyond [`SloConfig::max_resync_lag`] is an SLO breach —
+    /// the replica sat divergence-exposed for too long.
+    pub fn observe_resync(&self, view: &str, recovery_ticks: u64, at: u64) {
+        self.resync_lag.record(recovery_ticks);
+        if recovery_ticks > self.cfg.max_resync_lag {
+            self.resync_breaches.inc();
+            self.obs.emit_with(Some(at), || EventKind::SloBreach {
+                slo: "resync_lag".to_string(),
+                subject: view.to_string(),
+                observed: recovery_ticks,
+                threshold: self.cfg.max_resync_lag,
+                at,
+            });
+        }
+    }
+
     /// Current condition snapshot.
     pub fn health(&self) -> Health {
         let state = self.state.lock().unwrap();
         let lateness_breaches = self.lateness_breaches.get();
         let refresh_breaches = self.refresh_breaches.get();
+        let resync_breaches = self.resync_breaches.get();
         Health {
-            status: if lateness_breaches + refresh_breaches == 0 {
+            status: if lateness_breaches + refresh_breaches + resync_breaches == 0 {
                 HealthStatus::Ok
             } else {
                 HealthStatus::Degraded
@@ -290,8 +331,10 @@ impl StalenessMonitor {
             views: state.views.values().cloned().collect(),
             trigger_lateness_breaches: lateness_breaches,
             refresh_latency_breaches: refresh_breaches,
+            resync_lag_breaches: resync_breaches,
             trigger_lateness: self.trigger_lateness.snapshot(),
             refresh_ns: self.refresh_ns.snapshot(),
+            resync_lag: self.resync_lag.snapshot(),
         }
     }
 }
@@ -390,6 +433,46 @@ mod tests {
         assert_eq!(h.refresh_latency_breaches, 1);
         assert_eq!(h.refresh_ns.count, 2);
         assert_eq!(h.status, HealthStatus::Degraded);
+    }
+
+    #[test]
+    fn slow_resync_breaches_and_emits() {
+        let obs = Obs::new();
+        let mon = StalenessMonitor::new(
+            &obs,
+            SloConfig {
+                max_resync_lag: 8,
+                ..SloConfig::default()
+            },
+        );
+        let ring = obs.install_ring(16);
+        mon.observe_resync("v", 3, 20); // prompt repair: no breach
+        mon.observe_resync("v", 12, 40); // 12 > 8 ticks exposed: breach
+        let h = mon.health();
+        assert_eq!(h.resync_lag_breaches, 1);
+        assert_eq!(h.resync_lag.count, 2);
+        assert_eq!(h.status, HealthStatus::Degraded);
+        assert_eq!(h.total_breaches(), 1);
+        let events = ring.recent(10);
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::SloBreach {
+                slo,
+                subject,
+                observed,
+                threshold,
+                at,
+            } => {
+                assert_eq!(slo, "resync_lag");
+                assert_eq!(subject, "v");
+                assert_eq!(*observed, 12);
+                assert_eq!(*threshold, 8);
+                assert_eq!(*at, 40);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(obs.registry().counter_value("slo.resync_lag_breaches"), 1);
+        assert!(mon.health().to_string().contains("resync_lag=1"));
     }
 
     #[test]

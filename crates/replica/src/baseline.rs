@@ -13,9 +13,10 @@
 //!   read: message cost Θ(reads), payload Θ(reads × result size).
 
 use crate::link::Link;
+use crate::ReplicaResult;
 use exptime_core::algebra::{eval, EvalOptions, Expr};
 use exptime_core::relation::Relation;
-use exptime_engine::{Database, DbResult};
+use exptime_engine::Database;
 
 /// A cache kept consistent by server-pushed change notices.
 pub struct DeletePushReplica {
@@ -30,7 +31,7 @@ impl DeletePushReplica {
     /// # Errors
     ///
     /// Propagates evaluation errors.
-    pub fn subscribe(expr: Expr, server: &Database) -> DbResult<Self> {
+    pub fn subscribe(expr: Expr, server: &Database) -> ReplicaResult<Self> {
         let expr = server.inline_views(&expr);
         let m = eval(
             &expr,
@@ -54,8 +55,9 @@ impl DeletePushReplica {
     ///
     /// # Errors
     ///
-    /// Propagates evaluation errors.
-    pub fn server_sync(&mut self, server: &Database) -> DbResult<()> {
+    /// Propagates evaluation errors; a schema mismatch on apply surfaces
+    /// as [`crate::ReplicaError::Db`] instead of panicking.
+    pub fn server_sync(&mut self, server: &Database) -> ReplicaResult<()> {
         let now = server.now();
         let fresh = eval(&self.expr, &server.snapshot(), now, &EvalOptions::default())?.rel;
         // Deletions: cached tuples no longer in the result.
@@ -77,7 +79,7 @@ impl DeletePushReplica {
             .collect();
         for (t, e) in new {
             self.link.push(1);
-            self.cache.insert(t, e).expect("schema-compatible");
+            self.cache.insert(t, e)?;
         }
         Ok(())
     }
@@ -116,7 +118,7 @@ impl PollingReplica {
     /// # Errors
     ///
     /// Propagates evaluation errors.
-    pub fn read(&mut self, server: &Database) -> DbResult<Relation> {
+    pub fn read(&mut self, server: &Database) -> ReplicaResult<Relation> {
         let rel = eval(
             &self.expr,
             &server.snapshot(),

@@ -22,11 +22,129 @@
 //!   result.
 //! * **Polling** ([`baseline::PollingReplica`]) — the client re-fetches
 //!   the whole result on every read.
+//!
+//! ## Chaos hardening
+//!
+//! The binary up/down [`link::Link`] understates the paper's "volatile
+//! settings": real links drop, duplicate, reorder, delay, and partition.
+//! [`fault::FaultyLink`] injects exactly those faults under a
+//! deterministic seeded RNG (every schedule replayable from its seed),
+//! and [`session`] layers a sequence-numbered, acknowledged, idempotent
+//! session protocol with retry/backoff on top, so
+//! [`session::ChaosReplica`] and [`session::ChaosDeletePush`] converge
+//! back to the server's truth after any fault schedule — the invariant
+//! the chaos property tests in `tests/replica_chaos.rs` enforce.
 
 pub mod baseline;
+pub mod fault;
 pub mod link;
 pub mod replica;
+pub mod session;
 
 pub use baseline::{DeletePushReplica, PollingReplica};
+pub use fault::{Dir, Fate, FaultRecord, FaultSpec, FaultyLink};
 pub use link::{Link, LinkStats};
 pub use replica::{ReadOutcome, Replica};
+pub use session::{
+    tuple_digest, Change, ChaosDeletePush, ChaosReadOutcome, ChaosReplica, Payload, RetryPolicy,
+    SessionStats,
+};
+
+use exptime_engine::DbError;
+
+/// Errors on replica sync paths. Library code returns these instead of
+/// panicking; only tests assert.
+#[derive(Debug)]
+pub enum ReplicaError {
+    /// The link refused the operation (explicitly disconnected); nothing
+    /// was transmitted.
+    LinkRefused {
+        /// The operation that was refused (subscribe, refresh, …).
+        op: String,
+    },
+    /// The retry/backoff budget ran out without an acknowledged sync.
+    Timeout {
+        /// The operation that timed out.
+        op: String,
+        /// Transmission attempts made (first send + retries).
+        attempts: u32,
+        /// Logical ticks waited before giving up.
+        waited: u64,
+    },
+    /// Local state has diverged beyond what can be served: the link is
+    /// down and no locally-correct instant covers the requested time.
+    Divergence {
+        /// The affected view.
+        view: String,
+        /// Ticks between the requested time and the newest covered
+        /// instant (`u64::MAX` when no instant is covered at all).
+        behind: u64,
+    },
+    /// An underlying engine or evaluation error.
+    Db(DbError),
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::LinkRefused { op } => write!(f, "link refused: {op}"),
+            ReplicaError::Timeout {
+                op,
+                attempts,
+                waited,
+            } => write!(
+                f,
+                "sync timeout: {op} after {attempts} attempt(s) over {waited} tick(s)"
+            ),
+            ReplicaError::Divergence {
+                view,
+                behind: u64::MAX,
+            } => {
+                write!(f, "replica diverged: view `{view}` has never synced")
+            }
+            ReplicaError::Divergence { view, behind } => {
+                write!(
+                    f,
+                    "replica diverged: view `{view}` is {behind} tick(s) behind"
+                )
+            }
+            ReplicaError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {}
+
+impl From<DbError> for ReplicaError {
+    fn from(e: DbError) -> Self {
+        ReplicaError::Db(e)
+    }
+}
+
+impl From<exptime_core::error::Error> for ReplicaError {
+    fn from(e: exptime_core::error::Error) -> Self {
+        ReplicaError::Db(e.into())
+    }
+}
+
+/// Replica errors map onto the engine's refused/late-sync variants so
+/// engine-level callers can treat a replica like any other data source.
+impl From<ReplicaError> for DbError {
+    fn from(e: ReplicaError) -> Self {
+        match e {
+            ReplicaError::LinkRefused { op } => DbError::Unavailable(op),
+            ReplicaError::Timeout { op, waited, .. } => DbError::Timeout { op, waited },
+            ReplicaError::Divergence {
+                view,
+                behind: u64::MAX,
+            } => DbError::Unavailable(format!("view `{view}` never synced")),
+            ReplicaError::Divergence { view, behind } => {
+                DbError::Unavailable(format!("view `{view}` diverged {behind} tick(s)"))
+            }
+            ReplicaError::Db(e) => e,
+        }
+    }
+}
+
+/// Result alias for replica sync paths.
+pub type ReplicaResult<T> = Result<T, ReplicaError>;

@@ -6,11 +6,24 @@
 //! tuples transferred. It can also be taken down to model intermittent
 //! connectivity; a disconnected link refuses traffic, and the replica has
 //! to cope locally.
+//!
+//! Accounting rules (relied on by experiment E6's message-cost claims):
+//!
+//! * [`LinkStats::total_messages`] counts only messages that **crossed**
+//!   the link — a refused send never left the station and is tallied in
+//!   [`LinkStats::refused`] instead; [`LinkStats::attempted_messages`]
+//!   includes the refusals.
+//! * Retransmissions of the same logical message cross the link and cost
+//!   bandwidth, so they count in `requests`/`responses`/`pushes` **and**
+//!   are tallied separately in [`LinkStats::retransmissions`] — E6 can
+//!   report first-transmission cost and retry overhead distinctly instead
+//!   of silently inflating the message-cost claim.
 
 /// Cumulative traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
-    /// Client → server messages (view fetch/refresh requests).
+    /// Client → server messages (view fetch/refresh requests, digests,
+    /// acks).
     pub requests: u64,
     /// Server → client reply messages.
     pub responses: u64,
@@ -18,15 +31,36 @@ pub struct LinkStats {
     pub pushes: u64,
     /// Total tuples carried in responses and pushes (payload proxy).
     pub tuples_transferred: u64,
-    /// Requests refused because the link was down.
+    /// Sends refused because the link was down (never crossed; not part
+    /// of [`LinkStats::total_messages`]).
     pub refused: u64,
+    /// Messages that crossed the link as retries of an earlier send.
+    /// Already included in `requests`/`responses`/`pushes`; kept separate
+    /// so retry overhead is visible rather than silently folded into the
+    /// first-transmission cost.
+    pub retransmissions: u64,
 }
 
 impl LinkStats {
-    /// All messages that crossed the link.
+    /// All messages that crossed the link (retransmissions included,
+    /// refusals excluded — they never crossed).
     #[must_use]
     pub fn total_messages(&self) -> u64 {
         self.requests + self.responses + self.pushes
+    }
+
+    /// All send attempts: crossed messages plus refused ones. This is the
+    /// number a client actually paid for in send attempts.
+    #[must_use]
+    pub fn attempted_messages(&self) -> u64 {
+        self.total_messages() + self.refused
+    }
+
+    /// Messages that crossed the link net of retries — the protocol's
+    /// intrinsic message cost, comparable across loss rates.
+    #[must_use]
+    pub fn first_transmissions(&self) -> u64 {
+        self.total_messages().saturating_sub(self.retransmissions)
     }
 }
 
@@ -78,6 +112,13 @@ impl Link {
     /// Records a request/response round trip carrying `tuples` result
     /// tuples. Returns `false` (and counts a refusal) if the link is down.
     pub fn round_trip(&mut self, tuples: u64) -> bool {
+        self.round_trip_labeled(tuples, false)
+    }
+
+    /// [`Link::round_trip`] with an explicit retransmission label: a
+    /// retried round trip still crosses the link (and is counted), but is
+    /// additionally tallied in [`LinkStats::retransmissions`].
+    pub fn round_trip_labeled(&mut self, tuples: u64, retransmission: bool) -> bool {
         if self.down {
             self.stats.refused += 1;
             self.emit("refused", tuples);
@@ -85,22 +126,89 @@ impl Link {
         }
         self.stats.requests += 1;
         self.stats.responses += 1;
+        if retransmission {
+            self.stats.retransmissions += 2;
+        }
         self.stats.tuples_transferred += tuples;
-        self.emit("round_trip", tuples);
+        self.emit(
+            if retransmission {
+                "round_trip_retry"
+            } else {
+                "round_trip"
+            },
+            tuples,
+        );
         true
     }
 
     /// Records a server push carrying `tuples` tuples (e.g. one delete
     /// notice). Returns `false` if the link is down.
     pub fn push(&mut self, tuples: u64) -> bool {
+        self.push_labeled(tuples, false)
+    }
+
+    /// [`Link::push`] with an explicit retransmission label.
+    pub fn push_labeled(&mut self, tuples: u64, retransmission: bool) -> bool {
         if self.down {
             self.stats.refused += 1;
             self.emit("refused", tuples);
             return false;
         }
         self.stats.pushes += 1;
+        if retransmission {
+            self.stats.retransmissions += 1;
+        }
         self.stats.tuples_transferred += tuples;
-        self.emit("push", tuples);
+        self.emit(if retransmission { "push_retry" } else { "push" }, tuples);
+        true
+    }
+
+    /// Records a one-way client → server message (a request whose response
+    /// — if any — travels and is accounted separately). The session layer
+    /// uses this because under faults a request and its response have
+    /// independent fates.
+    pub fn request_oneway(&mut self, tuples: u64, retransmission: bool) -> bool {
+        if self.down {
+            self.stats.refused += 1;
+            self.emit("refused", tuples);
+            return false;
+        }
+        self.stats.requests += 1;
+        if retransmission {
+            self.stats.retransmissions += 1;
+        }
+        self.stats.tuples_transferred += tuples;
+        self.emit(
+            if retransmission {
+                "request_retry"
+            } else {
+                "request"
+            },
+            tuples,
+        );
+        true
+    }
+
+    /// Records a one-way server → client reply message.
+    pub fn response_oneway(&mut self, tuples: u64, retransmission: bool) -> bool {
+        if self.down {
+            self.stats.refused += 1;
+            self.emit("refused", tuples);
+            return false;
+        }
+        self.stats.responses += 1;
+        if retransmission {
+            self.stats.retransmissions += 1;
+        }
+        self.stats.tuples_transferred += tuples;
+        self.emit(
+            if retransmission {
+                "response_retry"
+            } else {
+                "response"
+            },
+            tuples,
+        );
         true
     }
 
@@ -128,6 +236,8 @@ mod tests {
         assert_eq!(s.tuples_transferred, 15);
         assert_eq!(s.total_messages(), 4);
         assert_eq!(s.refused, 0);
+        assert_eq!(s.retransmissions, 0);
+        assert_eq!(s.first_transmissions(), 4);
     }
 
     #[test]
@@ -150,7 +260,39 @@ mod tests {
         assert!(!l.push(1));
         assert_eq!(l.stats().refused, 2);
         assert_eq!(l.stats().total_messages(), 0);
+        // Refusals are invisible to crossings but visible to attempts.
+        assert_eq!(l.stats().attempted_messages(), 2);
         l.reconnect();
         assert!(l.round_trip(3));
+        assert_eq!(l.stats().attempted_messages(), 4);
+    }
+
+    #[test]
+    fn retransmissions_are_counted_distinctly() {
+        let mut l = Link::new();
+        assert!(l.request_oneway(0, false));
+        assert!(l.request_oneway(0, true));
+        assert!(l.request_oneway(0, true));
+        assert!(l.response_oneway(7, false));
+        assert!(l.push_labeled(1, true));
+        let s = l.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.responses, 1);
+        assert_eq!(s.pushes, 1);
+        assert_eq!(s.retransmissions, 3);
+        // Retries cross the link (cost bandwidth) but the intrinsic
+        // protocol cost excludes them.
+        assert_eq!(s.total_messages(), 5);
+        assert_eq!(s.first_transmissions(), 2);
+    }
+
+    #[test]
+    fn labeled_round_trip_counts_both_legs_as_retransmissions() {
+        let mut l = Link::new();
+        assert!(l.round_trip_labeled(4, true));
+        let s = l.stats();
+        assert_eq!(s.total_messages(), 2);
+        assert_eq!(s.retransmissions, 2);
+        assert_eq!(s.first_transmissions(), 0);
     }
 }

@@ -10,11 +10,12 @@
 //! known correct.
 
 use crate::link::Link;
+use crate::{ReplicaError, ReplicaResult};
 use exptime_core::algebra::{EvalOptions, Expr};
 use exptime_core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
 use exptime_core::relation::Relation;
 use exptime_core::time::Time;
-use exptime_engine::{Database, DbError, DbResult};
+use exptime_engine::{Database, DbError};
 use std::collections::BTreeMap;
 
 /// How a replica read was satisfied.
@@ -77,9 +78,9 @@ impl Replica {
     ///
     /// # Errors
     ///
-    /// Returns evaluation errors, or a catalog error when the link is
-    /// down.
-    pub fn subscribe(&mut self, name: &str, expr: Expr, server: &Database) -> DbResult<()> {
+    /// Returns evaluation errors, or [`ReplicaError::LinkRefused`] when
+    /// the link is down.
+    pub fn subscribe(&mut self, name: &str, expr: Expr, server: &Database) -> ReplicaResult<()> {
         let snapshot = server.snapshot();
         let mut view = MaterializedView::new(
             server.inline_views(&expr),
@@ -91,7 +92,9 @@ impl Replica {
         )?;
         view.attach_obs(&self.obs, name);
         if !self.link.round_trip(view.stored_len() as u64) {
-            return Err(DbError::Catalog("link down during subscribe".into()));
+            return Err(ReplicaError::LinkRefused {
+                op: format!("subscribe `{name}`"),
+            });
         }
         self.views.insert(name.to_string(), view);
         Ok(())
@@ -106,21 +109,24 @@ impl Replica {
     ///
     /// # Errors
     ///
-    /// Returns a catalog error for unknown view names.
-    pub fn read(&mut self, name: &str, server: &Database) -> DbResult<(Relation, ReadOutcome)> {
+    /// Returns a catalog error for unknown view names; evaluation errors
+    /// propagate as [`ReplicaError::Db`].
+    pub fn read(
+        &mut self,
+        name: &str,
+        server: &Database,
+    ) -> ReplicaResult<(Relation, ReadOutcome)> {
         let now = server.now();
-        let view = self
-            .views
-            .get_mut(name)
-            .ok_or_else(|| DbError::Catalog(format!("not subscribed to `{name}`")))?;
+        let view = self.views.get_mut(name).ok_or_else(|| {
+            ReplicaError::Db(DbError::Catalog(format!("not subscribed to `{name}`")))
+        })?;
 
         if view.fresh_at(now) {
             let before = view.stats().recomputations;
             let snapshot_unused = exptime_core::catalog::Catalog::new();
-            // Fresh: read never touches the (empty) catalog.
-            let rel = view
-                .read(&snapshot_unused, now)
-                .expect("fresh view read is local");
+            // Fresh: the read never touches the (empty) catalog, but a
+            // library path still propagates instead of panicking.
+            let rel = view.read(&snapshot_unused, now)?;
             debug_assert_eq!(view.stats().recomputations, before);
             return Ok((rel, ReadOutcome::Local));
         }

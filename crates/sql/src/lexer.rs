@@ -81,7 +81,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
             }
             '\'' => {
                 let start = i + 1;
-                let mut s = String::new();
+                // Collect raw bytes and decode once: the only split
+                // points are ASCII quotes, which can never land inside a
+                // multi-byte UTF-8 sequence, so non-ASCII content passes
+                // through intact.
+                let mut s: Vec<u8> = Vec::new();
                 let mut j = start;
                 loop {
                     match bytes.get(j) {
@@ -92,7 +96,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                             })
                         }
                         Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
-                            s.push('\'');
+                            s.push(b'\'');
                             j += 2;
                         }
                         Some(b'\'') => {
@@ -100,11 +104,12 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                             break;
                         }
                         Some(&b) => {
-                            s.push(b as char);
+                            s.push(b);
                             j += 1;
                         }
                     }
                 }
+                let s = String::from_utf8(s).expect("input was valid UTF-8");
                 tokens.push(Token::Str(s));
                 i = j;
             }
@@ -224,6 +229,10 @@ mod tests {
             vec![Token::Str("hello".into()), Token::Str("it's".into())]
         );
         assert!(matches!(lex("'oops"), Err(SqlError::Lex { .. })));
+        // Non-ASCII payloads pass through byte-exact (a byte-as-char
+        // decode would mangle them into Latin-1 mojibake).
+        let ts = lex("'ünïcödé ∞'").unwrap();
+        assert_eq!(ts, vec![Token::Str("ünïcödé ∞".into())]);
     }
 
     #[test]

@@ -13,3 +13,13 @@ cargo fmt --check
 # Observability smoke: the obs experiment runs its workload assertions
 # (snapshot consistency, monitor overhead) without writing artifacts.
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check obs
+
+# Chaos matrix: replay the replica-sync invariant over a pinned set of
+# deterministic fault schedules (EXPTIME_CHAOS_SEEDS overridable; a
+# failing seed prints its full schedule for local replay).
+EXPTIME_CHAOS_SEEDS="${EXPTIME_CHAOS_SEEDS:-1,2,3,4,5,6,7,8}" \
+    cargo test -q --test replica_chaos chaos_seed_matrix
+
+# E6-chaos smoke: message counts and recovery latency stay sane at every
+# loss rate (assertions only; BENCH_replica.json is not written).
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e6chaos

@@ -117,7 +117,9 @@ proptest! {
                     // by per-operation counters; this table has no views
                     // and eager removal fires triggers on time, so only
                     // internal consistency is checked below.
-                    "slo.trigger_lateness_ticks" | "slo.refresh_ns" => snap.count,
+                    "slo.trigger_lateness_ticks" | "slo.refresh_ns" | "slo.resync_lag_ticks" => {
+                        snap.count
+                    }
                     other => {
                         prop_assert!(false, "unexpected histogram {}", other);
                         unreachable!()

@@ -145,6 +145,52 @@ fn patched_difference_survives_total_disconnection() {
 }
 
 #[test]
+fn chaos_sessions_are_truthful_at_every_event_time() {
+    // The session-layer analogue of `replica_answers_are_truthful_under
+    // _link_flaps`: under a full chaos schedule (loss, duplication,
+    // reordering, delay, partitions) every answer the replica labels
+    // fresh equals a fresh server computation, and every degraded
+    // answer is honestly marked Stale with a past as-of instant. The
+    // convergence-after-heal half of the contract lives in
+    // tests/replica_chaos.rs.
+    use exptime::replica::{ChaosReadOutcome, ChaosReplica, FaultSpec, RetryPolicy};
+    for seed in [1u64, 2, 3] {
+        let mut srv = build_server(seed);
+        let mut rep = ChaosReplica::new(FaultSpec::chaos(seed), RetryPolicy::default());
+        let exprs = vec![
+            ("mono", Expr::base("r").project([0])),
+            ("diff", Expr::base("r").difference(Expr::base("s"))),
+        ];
+        for (name, e) in &exprs {
+            rep.subscribe(name, e.clone(), &srv).unwrap();
+        }
+        for _ in 0..60 {
+            srv.tick(1);
+            for (name, e) in &exprs {
+                match rep.read(name, &srv) {
+                    Ok((rel, ChaosReadOutcome::Local | ChaosReadOutcome::Synced)) => {
+                        let want = truth(&srv, e);
+                        assert!(
+                            rel.set_eq(&want),
+                            "[seed {seed}] fresh-labelled `{name}` wrong at {:?}\n{}",
+                            srv.now(),
+                            rep.link().schedule_report()
+                        );
+                    }
+                    Ok((rel, ChaosReadOutcome::Stale(back))) => {
+                        assert!(back <= srv.now(), "stale as-of must be in the past");
+                        // Internally consistent: nothing served is
+                        // already expired at its own as-of time.
+                        assert!(rel.iter().all(|(_, texp)| texp > back));
+                    }
+                    Err(_) => {} // honest unavailability under chaos
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn view_stats_expose_per_view_costs() {
     let mut srv = build_server(13);
     let mut rep = Replica::new(RefreshPolicy::Recompute);

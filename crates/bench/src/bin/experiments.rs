@@ -2,13 +2,15 @@
 //! report tables recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
-//! where `id` ∈ {e1, …, e10, e6chaos, obs, a1, a2}; omit ids for all.
+//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, obs, a1, a2}; omit ids for all.
 //! `--quick` shrinks the workloads (used in CI smoke runs); `--check` skips
 //! all file writes (CI runs the experiments for their assertions, not their
 //! artifacts). The `obs` experiment otherwise writes a `BENCH_obs.json`
 //! document — the metrics snapshot plus the monitor-overhead measurement —
-//! and `e6chaos` writes `BENCH_replica.json` (message counts and recovery
-//! latency per loss rate and strategy) to the working directory.
+//! `e6chaos` writes `BENCH_replica.json` (message counts and recovery
+//! latency per loss rate and strategy), and `e7wal` writes `BENCH_wal.json`
+//! (crash-recovery replay work and latency vs log length, naive vs
+//! expiration-aware) to the working directory.
 
 use exptime_bench::experiments as ex;
 use exptime_obs::JsonValue;
@@ -92,6 +94,27 @@ fn main() {
                 .0
                 .render()
         );
+    }
+    if run("e7wal") {
+        let counts: Vec<usize> = if quick {
+            vec![300, 600]
+        } else {
+            vec![2_000, 8_000, 32_000]
+        };
+        let (report, _, json) = ex::e7_wal(&counts, if quick { 64 } else { 256 }, 61);
+        println!("{}", report.render());
+        let doc = json.render();
+        if check {
+            println!(
+                "--check: BENCH_wal.json not written ({} bytes)\n",
+                doc.len()
+            );
+        } else {
+            match std::fs::write("BENCH_wal.json", &doc) {
+                Ok(()) => println!("wrote BENCH_wal.json ({} bytes)\n", doc.len()),
+                Err(e) => eprintln!("could not write BENCH_wal.json: {e}"),
+            }
+        }
     }
     if run("e8") {
         println!("{}", ex::e8_rewriting(500 * scale, 29).0.render());

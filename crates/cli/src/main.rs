@@ -3,6 +3,7 @@
 //! (and materialised views) expire on their own.
 
 use exptime_cli::repl::{Outcome, Repl};
+use exptime_engine::{Database, DbConfig, Durability};
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -46,8 +47,43 @@ fn watch(repl: &mut Repl, secs: u64) {
 }
 
 fn main() {
-    let mut repl = Repl::new();
+    let mut args = std::env::args().skip(1);
+    let mut wal_dir: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--wal" => match args.next() {
+                Some(dir) => wal_dir = Some(dir),
+                None => {
+                    eprintln!("usage: exptime-cli [--wal DIR]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`; usage: exptime-cli [--wal DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut repl = match &wal_dir {
+        Some(dir) => {
+            let config = DbConfig {
+                durability: Durability::wal(),
+                ..DbConfig::default()
+            };
+            match Database::open(dir, config) {
+                Ok(db) => Repl::with_database(db),
+                Err(e) => {
+                    eprintln!("could not open WAL directory {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Repl::new(),
+    };
     println!("exptime — Expiration Times for Data Management (ICDE 2006)");
+    if let Some(dir) = &wal_dir {
+        println!("durable: WAL at {dir} (see \\wal status for what recovery did)");
+    }
     println!("type \\help for commands, \\demo for the paper's example database\n");
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();

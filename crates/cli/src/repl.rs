@@ -73,6 +73,9 @@ Meta commands:
   \\explain analyze SELECT …
                   run the query and profile it per operator
                   (rows in/out, expired-filtered, elapsed, view decisions)
+  \\wal status     WAL status: log size, group commit, checkpoint cadence,
+                  degraded flag, and what recovery did at open
+  \\checkpoint     snapshot live rows + views and truncate the WAL
   \\save FILE      dump the database (tables, rows, views, clock) as SQL
   \\load FILE      replace the database with a previously saved dump
   \\demo           load the paper's Figure 1 database (tables pol, el)
@@ -92,7 +95,13 @@ impl Repl {
     /// A REPL over a fresh database.
     #[must_use]
     pub fn new() -> Self {
-        let db = Database::new(DbConfig::default());
+        Repl::with_database(Database::new(DbConfig::default()))
+    }
+
+    /// A REPL over an existing database — e.g. a durable one opened with
+    /// [`Database::open`], so the shell serves WAL-recovered state.
+    #[must_use]
+    pub fn with_database(db: Database) -> Self {
         let events = db.obs().install_ring(EVENT_RING_CAP);
         // Interactive sessions always trace: spans are bounded (a ring)
         // and the whole point of the shell is to watch the engine work.
@@ -338,6 +347,52 @@ impl Repl {
                     Err(e) => Outcome::Text(format!("error: {e}\n")),
                 }
             }
+            "\\wal" => {
+                if arg != "status" {
+                    return Outcome::Text("usage: \\wal status\n".into());
+                }
+                let Some(s) = self.db.wal_status() else {
+                    return Outcome::Text("no WAL attached (volatile database)\n".into());
+                };
+                let mut out = format!(
+                    "log: {} bytes  group_commit: {}  checkpoint_every: {}  \
+                     expiration_aware: {}\n",
+                    s.log_bytes,
+                    s.group_commit,
+                    if s.checkpoint_every == 0 {
+                        "manual".to_string()
+                    } else {
+                        format!("{} ticks", s.checkpoint_every)
+                    },
+                    s.expiration_aware,
+                );
+                out.push_str(&format!(
+                    "last checkpoint: t={}  degraded: {}\n",
+                    s.last_checkpoint_clock, s.degraded
+                ));
+                if let Some(r) = s.recovery {
+                    out.push_str(&format!(
+                        "recovered at open: checkpoint t={} ({} rows), replayed {}, \
+                         skipped {} expired + {} uncommitted, torn tail {}B, clock t={}\n",
+                        r.checkpoint_clock,
+                        r.checkpoint_rows,
+                        r.replayed,
+                        r.skipped_expired,
+                        r.skipped_uncommitted,
+                        r.torn_bytes,
+                        r.clock
+                    ));
+                }
+                Outcome::Text(out)
+            }
+            "\\checkpoint" => match self.db.checkpoint() {
+                Ok(c) => Outcome::Text(format!(
+                    "checkpoint at t={}: {} live row(s) snapshotted ({} bytes), \
+                     {} log byte(s) reclaimed\n",
+                    c.at, c.live_rows, c.checkpoint_bytes, c.reclaimed_bytes
+                )),
+                Err(e) => Outcome::Text(format!("error: {e}\n")),
+            },
             "\\plan" => self.plan(arg),
             "\\save" => {
                 if arg.is_empty() {
@@ -740,6 +795,45 @@ mod tests {
         assert!(out.contains("result: 2 rows"), "{out}");
         assert!(text(r.feed("\\explain SELECT 1")).contains("usage"));
         assert!(text(r.feed("\\explain analyze DELETE FROM pol")).contains("error"));
+    }
+
+    #[test]
+    fn wal_commands_on_a_volatile_database() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\wal status")).contains("no WAL attached"));
+        assert!(text(r.feed("\\wal")).contains("usage"));
+        assert!(text(r.feed("\\wal nonsense")).contains("usage"));
+        assert!(text(r.feed("\\checkpoint")).contains("error"));
+        assert!(text(r.feed("\\help")).contains("\\checkpoint"));
+    }
+
+    #[test]
+    fn wal_status_and_checkpoint_on_a_durable_database() {
+        use exptime_engine::durability::MemStore;
+        use exptime_engine::Durability;
+
+        let config = DbConfig {
+            durability: Durability::Wal {
+                group_commit: 1,
+                checkpoint_every: 0,
+                expiration_aware: true,
+            },
+            ..DbConfig::default()
+        };
+        let db = Database::open_with_store(Box::new(MemStore::new()), config).unwrap();
+        let mut r = Repl::with_database(db);
+        text(r.feed("CREATE TABLE t (a INT);"));
+        text(r.feed("INSERT INTO t VALUES (1) EXPIRES AT 10;"));
+        let st = text(r.feed("\\wal status"));
+        assert!(st.contains("group_commit: 1"), "{st}");
+        assert!(st.contains("checkpoint_every: manual"), "{st}");
+        assert!(st.contains("degraded: false"), "{st}");
+        assert!(st.contains("recovered at open"), "{st}");
+        let ck = text(r.feed("\\checkpoint"));
+        assert!(ck.contains("1 live row(s)"), "{ck}");
+        // The log was just truncated by the checkpoint.
+        let st = text(r.feed("\\wal status"));
+        assert!(st.contains("log: 0 bytes"), "{st}");
     }
 
     #[test]

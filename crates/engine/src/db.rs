@@ -14,6 +14,7 @@
 //!   `INSERT … EXPIRES …` and `UPDATE … SET EXPIRES …`.
 
 use crate::constraint::{Constraint, ConstraintViolation};
+use crate::durability::{CheckpointStats, Durability, RecoveryStats, WalSession, WalStatus};
 use crate::trigger::{ExpirationEvent, TriggerFn, TriggerManager};
 use exptime_core::algebra::{eval, eval_profiled, EvalOptions, Expr, Materialized, PlanProfile};
 use exptime_core::catalog::Catalog;
@@ -30,8 +31,12 @@ use exptime_obs::{
 use exptime_sql::ast::{Expires, Statement};
 use exptime_sql::{plan_query, plan_table_cond, SchemaProvider, SqlError};
 use exptime_storage::{IndexKind, Table};
+use exptime_wal::{
+    committed_prefix, replay_plan, Checkpoint, FileStore, TableSnapshot, Wal, WalRecord, WalStore,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::path::Path;
 use std::time::Instant;
 
 /// How the engine physically removes expired base-table rows
@@ -70,6 +75,11 @@ pub struct DbConfig {
     /// Service-level objectives watched by the staleness monitor
     /// ([`Database::health`]): trigger punctuality and refresh latency.
     pub slo: SloConfig,
+    /// Durability mode. [`Durability::Volatile`] databases are built with
+    /// [`Database::new`]; [`Durability::Wal`] databases with
+    /// [`Database::open`] / [`Database::open_with_store`], which recover
+    /// from the log before serving.
+    pub durability: Durability,
 }
 
 /// Aggregate engine statistics — a point-in-time snapshot of the `db.*`
@@ -153,6 +163,9 @@ pub enum DbError {
         /// Logical ticks spent waiting before giving up.
         waited: u64,
     },
+    /// The write-ahead log failed (IO error, corrupt checkpoint, or a
+    /// durability API used on a [`Durability::Volatile`] database).
+    Wal(String),
 }
 
 impl fmt::Display for DbError {
@@ -166,6 +179,7 @@ impl fmt::Display for DbError {
             DbError::Timeout { op, waited } => {
                 write!(f, "timeout: {op} gave up after {waited} tick(s)")
             }
+            DbError::Wal(m) => write!(f, "wal: {m}"),
         }
     }
 }
@@ -308,6 +322,10 @@ pub struct Database {
     counters: DbCounters,
     tracer: Tracer,
     monitor: StalenessMonitor,
+    /// Attached write-ahead log, when opened with [`Durability::Wal`].
+    /// `None` both for volatile databases and *during* recovery replay
+    /// (so replayed operations are not re-logged).
+    wal: Option<WalSession>,
 }
 
 impl fmt::Debug for Database {
@@ -348,6 +366,411 @@ impl Database {
             counters,
             tracer,
             monitor,
+            wal: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: open, recovery, checkpoint
+    // ------------------------------------------------------------------
+
+    /// Opens (creating if needed) a durable database backed by a WAL
+    /// directory, recovering committed state from the checkpoint and log
+    /// first. `config.durability` must be [`Durability::Wal`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Wal`] for IO failures, a corrupt checkpoint, or
+    /// a [`Durability::Volatile`] config; replay errors propagate.
+    pub fn open(dir: impl AsRef<Path>, config: DbConfig) -> DbResult<Self> {
+        let store = FileStore::open(dir).map_err(|e| DbError::Wal(format!("open: {e}")))?;
+        Self::open_with_store(Box::new(store), config)
+    }
+
+    /// [`Database::open`] over any [`WalStore`] — the crash-injection
+    /// tests use this with an `exptime_wal::MemStore`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::open`].
+    pub fn open_with_store(store: Box<dyn WalStore>, config: DbConfig) -> DbResult<Self> {
+        let Durability::Wal {
+            group_commit,
+            checkpoint_every,
+            expiration_aware,
+        } = config.durability
+        else {
+            return Err(DbError::Wal(
+                "config.durability is Volatile; use Database::new".into(),
+            ));
+        };
+        let mut db = Database::new(config);
+        let mut wal = Wal::new(store, group_commit);
+        wal.attach(db.metrics());
+
+        let mut span = db.tracer.span("recovery");
+        let (ckpt, scan) = wal
+            .read_state()
+            .map_err(|e| DbError::Wal(format!("read state: {e}")))?;
+        let base_clock = ckpt.as_ref().map_or(0, |c| c.clock);
+        let checkpoint_rows = ckpt.as_ref().map_or(0, Checkpoint::live_rows);
+        if let Some(ck) = &ckpt {
+            db.apply_checkpoint(ck)?;
+        }
+        let max_txn = scan
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::TxnBegin { txn }
+                | WalRecord::TxnCommit { txn }
+                | WalRecord::Insert { txn, .. }
+                | WalRecord::Delete { txn, .. }
+                | WalRecord::UpdateTexp { txn, .. } => Some(*txn),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let (ops, skipped_uncommitted) = committed_prefix(&scan.records);
+        let plan = replay_plan(ops, base_clock, expiration_aware);
+        let replayed = plan.ops.len() as u64;
+        for op in &plan.ops {
+            db.apply_wal_op(op)?;
+        }
+        // Replayed history fired expiration events into the trigger log;
+        // they are not *this* run's events.
+        db.triggers.clear_log();
+        let stats = RecoveryStats {
+            checkpoint_clock: base_clock,
+            checkpoint_rows,
+            replayed,
+            skipped_expired: plan.skipped_expired,
+            skipped_uncommitted,
+            torn_bytes: scan.torn_bytes,
+            clock: db.clock.now().finite().unwrap_or(u64::MAX),
+        };
+        span.attr("replayed", stats.replayed);
+        span.attr("skipped_expired", stats.skipped_expired);
+        span.attr("torn_bytes", stats.torn_bytes);
+        if let Some(t) = db.clock.now().finite() {
+            span.at(t);
+        }
+        drop(span);
+        db.obs
+            .emit_with(db.clock.now().finite(), || EventKind::WalRecovery {
+                at: stats.clock,
+                replayed: stats.replayed,
+                skipped_expired: stats.skipped_expired,
+                skipped_uncommitted: stats.skipped_uncommitted,
+                torn_bytes: stats.torn_bytes,
+            });
+
+        wal.bump_txn(max_txn);
+        db.wal = Some(WalSession {
+            wal,
+            checkpoint_every,
+            expiration_aware,
+            last_checkpoint_clock: base_clock,
+            degraded: false,
+            active_txn: None,
+            recovery: Some(stats),
+        });
+        // End recovery with a checkpoint (ARIES restart does the same):
+        // the torn tail is discarded, replayed history is compacted, and
+        // the next crash recovers from a clean prefix.
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Rebuilds tables, clock, and SQL-defined views from a checkpoint.
+    /// Rows in a checkpoint are live (`texp > clock`), so inserting them
+    /// at time 0 and then advancing to the checkpoint clock fires no
+    /// spurious expirations.
+    fn apply_checkpoint(&mut self, ck: &Checkpoint) -> DbResult<()> {
+        for snap in &ck.tables {
+            let schema = Schema::new(
+                snap.columns
+                    .iter()
+                    .map(|(n, ty)| exptime_core::schema::Attribute::new(n.clone(), *ty))
+                    .collect(),
+            )?;
+            self.create_table(&snap.name, schema)?;
+            let now = self.clock.now();
+            let table = self
+                .tables
+                .get_mut(&snap.name.to_ascii_lowercase())
+                .expect("just created");
+            for (values, texp) in &snap.rows {
+                table.insert(Tuple::new(values.clone()), *texp, now)?;
+            }
+        }
+        if ck.clock > 0 {
+            self.advance_to(Time::new(ck.clock));
+        }
+        for sql in &ck.view_sql {
+            self.execute(sql)?;
+        }
+        Ok(())
+    }
+
+    /// Redoes one committed log record. Runs with `self.wal == None`, so
+    /// nothing here re-logs.
+    fn apply_wal_op(&mut self, op: &WalRecord) -> DbResult<()> {
+        match op {
+            WalRecord::Insert {
+                table,
+                values,
+                texp,
+                ..
+            } => {
+                let now = self.clock.now();
+                let t = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| DbError::Wal(format!("replay: unknown table `{table}`")))?;
+                t.insert(Tuple::new(values.clone()), *texp, now)?;
+                self.bump_version(table);
+            }
+            WalRecord::Delete { table, values, .. } => {
+                let t = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| DbError::Wal(format!("replay: unknown table `{table}`")))?;
+                if t.delete(&Tuple::new(values.clone())).is_some() {
+                    self.bump_version(table);
+                }
+            }
+            WalRecord::UpdateTexp {
+                table,
+                values,
+                texp,
+                ..
+            } => {
+                let now = self.clock.now();
+                let t = self
+                    .tables
+                    .get_mut(table)
+                    .ok_or_else(|| DbError::Wal(format!("replay: unknown table `{table}`")))?;
+                t.update_texp(&Tuple::new(values.clone()), *texp, now)?;
+                self.bump_version(table);
+            }
+            WalRecord::ClockAdvance { to } => {
+                let target = Time::new(*to);
+                if target > self.clock.now() {
+                    self.advance_to(target);
+                }
+            }
+            WalRecord::Ddl { sql } => {
+                self.execute(sql)?;
+            }
+            WalRecord::TxnBegin { .. } | WalRecord::TxnCommit { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint now: fsyncs the log, snapshots the clock plus
+    /// every table's live rows and every SQL-defined view, atomically
+    /// replaces the checkpoint blob, and truncates the log. Clears the
+    /// degraded flag — durable state is exactly in-memory state again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Wal`] on IO failure or for volatile databases.
+    pub fn checkpoint(&mut self) -> DbResult<CheckpointStats> {
+        let now = self.clock.now();
+        let at = now.finite().unwrap_or(u64::MAX);
+        let ck = Checkpoint {
+            clock: at,
+            tables: self
+                .tables
+                .iter()
+                .map(|(name, table)| TableSnapshot {
+                    name: name.clone(),
+                    columns: table
+                        .schema()
+                        .attributes()
+                        .iter()
+                        .map(|a| (a.name.clone(), a.ty))
+                        .collect(),
+                    rows: table
+                        .scan_at(now)
+                        .map(|(tuple, texp)| (tuple.values().to_vec(), texp))
+                        .collect(),
+                })
+                .collect(),
+            view_sql: self
+                .views
+                .iter()
+                .filter_map(|(name, entry)| {
+                    entry.definition().map(|query| {
+                        exptime_sql::unparse::statement_to_sql(&Statement::CreateView {
+                            name: name.clone(),
+                            materialized: matches!(entry, ViewEntry::Materialized { .. }),
+                            query: query.clone(),
+                        })
+                    })
+                })
+                .collect(),
+        };
+        let session = self
+            .wal
+            .as_mut()
+            .ok_or_else(|| DbError::Wal("checkpoint on a volatile database".into()))?;
+        let stats = session
+            .wal
+            .write_checkpoint(&ck)
+            .map_err(|e| DbError::Wal(format!("checkpoint: {e}")))?;
+        session.last_checkpoint_clock = at;
+        session.degraded = false;
+        let out = CheckpointStats {
+            at,
+            live_rows: stats.live_rows,
+            reclaimed_bytes: stats.reclaimed_bytes,
+            checkpoint_bytes: stats.checkpoint_bytes,
+        };
+        self.obs.emit_with(now.finite(), || EventKind::Checkpoint {
+            at,
+            live_rows: out.live_rows,
+            log_bytes_reclaimed: out.reclaimed_bytes,
+        });
+        Ok(out)
+    }
+
+    /// WAL status, or `None` for a volatile database.
+    #[must_use]
+    pub fn wal_status(&self) -> Option<WalStatus> {
+        self.wal.as_ref().map(|s| WalStatus {
+            log_bytes: s.wal.log_len(),
+            group_commit: match self.config.durability {
+                Durability::Wal { group_commit, .. } => group_commit,
+                Durability::Volatile => 1,
+            },
+            checkpoint_every: s.checkpoint_every,
+            expiration_aware: s.expiration_aware,
+            last_checkpoint_clock: s.last_checkpoint_clock,
+            degraded: s.degraded,
+            recovery: s.recovery,
+        })
+    }
+
+    /// What recovery did when this database was opened, if it was opened
+    /// from a WAL.
+    #[must_use]
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.wal.as_ref().and_then(|s| s.recovery)
+    }
+
+    /// Forces an fsync of the log (beyond the group-commit cadence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Wal`] on IO failure; no-op when volatile.
+    pub fn wal_sync(&mut self) -> DbResult<()> {
+        if let Some(s) = self.wal.as_mut() {
+            s.wal.sync().map_err(|e| {
+                s.degraded = true;
+                DbError::Wal(format!("sync: {e}"))
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Opens a statement-scoped WAL transaction if none is active.
+    /// Returns whether this call owns (and must commit) it.
+    fn wal_stmt_begin(&mut self) -> DbResult<bool> {
+        let Some(s) = self.wal.as_mut() else {
+            return Ok(false);
+        };
+        if s.active_txn.is_some() {
+            return Ok(false);
+        }
+        let txn = s.wal.begin_txn();
+        s.wal.append(&WalRecord::TxnBegin { txn }).map_err(|e| {
+            s.degraded = true;
+            DbError::Wal(format!("append: {e}"))
+        })?;
+        s.active_txn = Some(txn);
+        Ok(true)
+    }
+
+    /// Commits the statement's WAL transaction (when `owned`). Written
+    /// even after a statement error: the engine's statements are not
+    /// atomic, so the operations that did apply must stay durable.
+    fn wal_stmt_end(&mut self, owned: bool) -> DbResult<()> {
+        if !owned {
+            return Ok(());
+        }
+        let Some(s) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let Some(txn) = s.active_txn.take() else {
+            return Ok(());
+        };
+        s.wal
+            .append(&WalRecord::TxnCommit { txn })
+            .and_then(|()| s.wal.commit())
+            .map_err(|e| {
+                s.degraded = true;
+                DbError::Wal(format!("commit: {e}"))
+            })
+    }
+
+    /// Logs one applied operation under the active statement transaction.
+    fn wal_log_op(&mut self, build: impl FnOnce(u64) -> WalRecord) -> DbResult<()> {
+        let Some(s) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let Some(txn) = s.active_txn else {
+            return Ok(());
+        };
+        s.wal.append(&build(txn)).map_err(|e| {
+            s.degraded = true;
+            DbError::Wal(format!("append: {e}"))
+        })
+    }
+
+    /// Logs a self-committing DDL record (counts toward group commit).
+    /// Callers gate on [`self.wal.is_some()`] so the SQL string is only
+    /// built for durable databases.
+    fn wal_log_ddl(&mut self, sql: String) -> DbResult<()> {
+        let Some(s) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        s.wal
+            .append(&WalRecord::Ddl { sql })
+            .and_then(|()| s.wal.commit())
+            .map_err(|e| {
+                s.degraded = true;
+                DbError::Wal(format!("ddl: {e}"))
+            })
+    }
+
+    /// Logs a clock advance and runs the automatic checkpoint cadence.
+    /// Called from [`Database::advance_to`], which is infallible: WAL
+    /// errors here mark the session degraded instead of propagating.
+    fn wal_after_advance(&mut self, to: Time) {
+        let Some(to_u) = to.finite() else { return };
+        let due = match self.wal.as_mut() {
+            None => return,
+            Some(s) => {
+                if let Err(_e) = s
+                    .wal
+                    .append(&WalRecord::ClockAdvance { to: to_u })
+                    .and_then(|()| s.wal.commit())
+                {
+                    s.degraded = true;
+                    return;
+                }
+                s.checkpoint_every > 0 && to_u - s.last_checkpoint_clock >= s.checkpoint_every
+            }
+        };
+        if due {
+            // Cadence checkpoints are best-effort: a failure leaves the
+            // log longer (and the session degraded), never the state wrong.
+            if let Err(_e) = self.checkpoint() {
+                if let Some(s) = self.wal.as_mut() {
+                    s.degraded = true;
+                }
+            }
         }
     }
 
@@ -510,6 +933,9 @@ impl Database {
             }
         }
         drop(span);
+        if target > from {
+            self.wal_after_advance(target);
+        }
         // Every clock advance re-derives the per-view time-to-expiration
         // gauges from the materialised texp values (no sampling needed —
         // the paper's machinery makes staleness predictable).
@@ -588,7 +1014,19 @@ impl Database {
         let mut table = Table::new(key.clone(), schema, self.config.index);
         table.attach_obs(&self.obs);
         table.attach_tracer(&self.tracer);
-        self.tables.insert(key, table);
+        self.tables.insert(key.clone(), table);
+        if self.wal.is_some() {
+            let sql = exptime_sql::unparse::statement_to_sql(&Statement::CreateTable {
+                name: key.clone(),
+                columns: self.tables[&key]
+                    .schema()
+                    .attributes()
+                    .iter()
+                    .map(|a| (a.name.clone(), a.ty))
+                    .collect(),
+            });
+            self.wal_log_ddl(sql)?;
+        }
         Ok(())
     }
 
@@ -615,8 +1053,12 @@ impl Database {
         self.write_versions.remove(&key);
         self.tables
             .remove(&key)
-            .map(|_| ())
-            .ok_or_else(|| DbError::Catalog(format!("unknown table `{name}`")))
+            .ok_or_else(|| DbError::Catalog(format!("unknown table `{name}`")))?;
+        if self.wal.is_some() {
+            let sql = exptime_sql::unparse::statement_to_sql(&Statement::DropTable { name: key });
+            self.wal_log_ddl(sql)?;
+        }
+        Ok(())
     }
 
     /// Direct access to a table (e.g. to create secondary indexes).
@@ -648,6 +1090,12 @@ impl Database {
     ///
     /// Returns schema, constraint, or past-expiration errors.
     pub fn insert(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
+        let owned = self.wal_stmt_begin()?;
+        let res = self.insert_inner(table, tuple, texp);
+        self.wal_stmt_end(owned).and(res)
+    }
+
+    fn insert_inner(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
         let start = Instant::now();
         let now = self.clock.now();
         let key = table.to_ascii_lowercase();
@@ -660,10 +1108,25 @@ impl Database {
             .tables
             .get_mut(&key)
             .ok_or_else(|| DbError::Catalog(format!("unknown table `{table}`")))?;
+        // Clone the row for the log only when a WAL transaction is open;
+        // volatile inserts stay allocation-free here.
+        let logged = self
+            .wal
+            .as_ref()
+            .is_some_and(|s| s.active_txn.is_some())
+            .then(|| tuple.values().to_vec());
         t.insert(tuple, texp, now)?;
         self.counters.inserts.inc();
         self.counters.insert_ns.record_duration(start.elapsed());
         self.bump_version(&key);
+        if let Some(values) = logged {
+            self.wal_log_op(|txn| WalRecord::Insert {
+                txn,
+                table: key.clone(),
+                values,
+                texp,
+            })?;
+        }
         Ok(())
     }
 
@@ -849,6 +1312,18 @@ impl Database {
         view.attach_obs(&self.obs, &key);
         view.attach_tracer(&self.tracer);
         let base_versions = self.current_versions(view.expr());
+        let log_sql = match (&definition, &self.wal) {
+            (Some(query), Some(_)) => Some(exptime_sql::unparse::statement_to_sql(
+                &Statement::CreateView {
+                    name: key.clone(),
+                    materialized: true,
+                    query: query.clone(),
+                },
+            )),
+            // API-created views have no SQL definition and are not
+            // durable — same limitation as dump_sql, documented there.
+            _ => None,
+        };
         self.views.insert(
             key,
             ViewEntry::Materialized {
@@ -858,6 +1333,9 @@ impl Database {
                 definition,
             },
         );
+        if let Some(sql) = log_sql {
+            self.wal_log_ddl(sql)?;
+        }
         Ok(())
     }
 
@@ -882,6 +1360,16 @@ impl Database {
         }
         let expr = self.inline_views(&expr);
         let schema = expr.schema(&self.snapshot())?;
+        let log_sql = match (&definition, &self.wal) {
+            (Some(query), Some(_)) => Some(exptime_sql::unparse::statement_to_sql(
+                &Statement::CreateView {
+                    name: key.clone(),
+                    materialized: false,
+                    query: query.clone(),
+                },
+            )),
+            _ => None,
+        };
         self.views.insert(
             key,
             ViewEntry::Virtual {
@@ -890,6 +1378,9 @@ impl Database {
                 definition,
             },
         );
+        if let Some(sql) = log_sql {
+            self.wal_log_ddl(sql)?;
+        }
         Ok(())
     }
 
@@ -899,10 +1390,15 @@ impl Database {
     ///
     /// Returns [`DbError::Catalog`] for an unknown view.
     pub fn drop_view(&mut self, name: &str) -> DbResult<()> {
+        let key = name.to_ascii_lowercase();
         self.views
-            .remove(&name.to_ascii_lowercase())
-            .map(|_| ())
-            .ok_or_else(|| DbError::Catalog(format!("unknown view `{name}`")))
+            .remove(&key)
+            .ok_or_else(|| DbError::Catalog(format!("unknown view `{name}`")))?;
+        if self.wal.is_some() {
+            let sql = exptime_sql::unparse::statement_to_sql(&Statement::DropView { name: key });
+            self.wal_log_ddl(sql)?;
+        }
+        Ok(())
     }
 
     /// Reads a view at the current time. Materialised views serve from
@@ -1193,10 +1689,15 @@ impl Database {
     /// Returns catalog/SQL errors from replaying the script.
     pub fn restore_with(dump: &str, config: DbConfig) -> DbResult<Self> {
         let mut db = Database::new(config);
+        // The header is the first *meaningful* line: leading blank lines
+        // and ordinary `--` comments (hand-edited or concatenated dumps)
+        // are tolerated; any SQL before the header is not.
         let clock = dump
             .lines()
-            .next()
-            .and_then(|l| l.strip_prefix("-- exptime dump at t="))
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .take_while(|l| l.starts_with("--"))
+            .find_map(|l| l.strip_prefix("-- exptime dump at t="))
             .and_then(|n| n.trim().parse::<u64>().ok())
             .ok_or_else(|| DbError::Catalog("missing `-- exptime dump at t=N` header".into()))?;
         db.execute_script(dump)?;
@@ -1291,67 +1792,23 @@ impl Database {
                 rows,
                 expires,
             } => {
-                let texp = self.resolve_expires(expires);
-                let schema = self.table(&table)?.schema().clone();
-                let mut n = 0;
-                for row in rows {
-                    let tuple = coerce_row(&row, &schema)?;
-                    self.insert(&table, tuple, texp)?;
-                    n += 1;
-                }
-                Ok(ExecResult::Affected(n))
+                let owned = self.wal_stmt_begin()?;
+                let res = self.exec_insert(&table, rows, expires);
+                self.wal_stmt_end(owned).and(res)
             }
             Statement::Delete { table, predicate } => {
-                let now = self.clock.now();
-                let pred = match &predicate {
-                    Some(c) => Some(plan_table_cond(c, &table, &DbSchemas(self))?),
-                    None => None,
-                };
-                let t = self.table_mut(&table)?;
-                let victims: Vec<Tuple> = t
-                    .scan_at(now)
-                    .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
-                    .map(|(tu, _)| tu.clone())
-                    .collect();
-                let mut n = 0;
-                for v in &victims {
-                    if t.delete(v).is_some() {
-                        n += 1;
-                    }
-                }
-                self.counters.deletes.add(n as u64);
-                if n > 0 {
-                    self.bump_version(&table.to_ascii_lowercase());
-                }
-                Ok(ExecResult::Affected(n))
+                let owned = self.wal_stmt_begin()?;
+                let res = self.exec_delete(&table, predicate.as_ref());
+                self.wal_stmt_end(owned).and(res)
             }
             Statement::UpdateExpiration {
                 table,
                 expires,
                 predicate,
             } => {
-                let now = self.clock.now();
-                let texp = self.resolve_expires(expires);
-                let pred = match &predicate {
-                    Some(c) => Some(plan_table_cond(c, &table, &DbSchemas(self))?),
-                    None => None,
-                };
-                let t = self.table_mut(&table)?;
-                let targets: Vec<Tuple> = t
-                    .scan_at(now)
-                    .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
-                    .map(|(tu, _)| tu.clone())
-                    .collect();
-                let mut n = 0;
-                for tu in &targets {
-                    if t.update_texp(tu, texp, now)? {
-                        n += 1;
-                    }
-                }
-                if n > 0 {
-                    self.bump_version(&table.to_ascii_lowercase());
-                }
-                Ok(ExecResult::Affected(n))
+                let owned = self.wal_stmt_begin()?;
+                let res = self.exec_update_expiration(&table, expires, predicate.as_ref());
+                self.wal_stmt_end(owned).and(res)
             }
             Statement::Select(query) => {
                 let expr = {
@@ -1363,6 +1820,97 @@ impl Database {
                 Ok(ExecResult::Rows(rel))
             }
         }
+    }
+
+    fn exec_insert(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<exptime_sql::ast::Literal>>,
+        expires: Expires,
+    ) -> DbResult<ExecResult> {
+        let texp = self.resolve_expires(expires);
+        let schema = self.table(table)?.schema().clone();
+        let mut n = 0;
+        for row in rows {
+            let tuple = coerce_row(&row, &schema)?;
+            self.insert(table, tuple, texp)?;
+            n += 1;
+        }
+        Ok(ExecResult::Affected(n))
+    }
+
+    fn exec_delete(
+        &mut self,
+        table: &str,
+        predicate: Option<&exptime_sql::ast::Cond>,
+    ) -> DbResult<ExecResult> {
+        let now = self.clock.now();
+        let pred = match predicate {
+            Some(c) => Some(plan_table_cond(c, table, &DbSchemas(self))?),
+            None => None,
+        };
+        let key = table.to_ascii_lowercase();
+        let victims: Vec<Tuple> = self
+            .table(table)?
+            .scan_at(now)
+            .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
+            .map(|(tu, _)| tu.clone())
+            .collect();
+        let mut n = 0;
+        for v in &victims {
+            let t = self.tables.get_mut(&key).expect("resolved above");
+            if t.delete(v).is_some() {
+                n += 1;
+                self.wal_log_op(|txn| WalRecord::Delete {
+                    txn,
+                    table: key.clone(),
+                    values: v.values().to_vec(),
+                })?;
+            }
+        }
+        self.counters.deletes.add(n as u64);
+        if n > 0 {
+            self.bump_version(&key);
+        }
+        Ok(ExecResult::Affected(n))
+    }
+
+    fn exec_update_expiration(
+        &mut self,
+        table: &str,
+        expires: Expires,
+        predicate: Option<&exptime_sql::ast::Cond>,
+    ) -> DbResult<ExecResult> {
+        let now = self.clock.now();
+        let texp = self.resolve_expires(expires);
+        let pred = match predicate {
+            Some(c) => Some(plan_table_cond(c, table, &DbSchemas(self))?),
+            None => None,
+        };
+        let key = table.to_ascii_lowercase();
+        let targets: Vec<Tuple> = self
+            .table(table)?
+            .scan_at(now)
+            .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
+            .map(|(tu, _)| tu.clone())
+            .collect();
+        let mut n = 0;
+        for tu in &targets {
+            let t = self.tables.get_mut(&key).expect("resolved above");
+            if t.update_texp(tu, texp, now)? {
+                n += 1;
+                self.wal_log_op(|txn| WalRecord::UpdateTexp {
+                    txn,
+                    table: key.clone(),
+                    values: tu.values().to_vec(),
+                    texp,
+                })?;
+            }
+        }
+        if n > 0 {
+            self.bump_version(&key);
+        }
+        Ok(ExecResult::Affected(n))
     }
 
     fn resolve_expires(&self, e: Expires) -> Time {
@@ -1840,6 +2388,99 @@ mod tests {
             Database::restore("CREATE TABLE t (a INT);"),
             Err(DbError::Catalog(_))
         ));
+        // Comments alone don't make a header either.
+        assert!(matches!(
+            Database::restore("-- just a note\nCREATE TABLE t (a INT);"),
+            Err(DbError::Catalog(_))
+        ));
+    }
+
+    #[test]
+    fn restore_tolerates_leading_blanks_and_comments() {
+        let mut db = figure1_db();
+        db.tick(4);
+        let dump = db.dump_sql();
+        let decorated =
+            format!("\n   \n-- produced by backup tooling\n-- second comment line\n\n{dump}");
+        let restored = Database::restore(&decorated).unwrap();
+        assert_eq!(restored.now(), t(4));
+        let mut a = db;
+        let mut b = restored;
+        let ra = a.execute("SELECT * FROM pol").unwrap();
+        let rb = b.execute("SELECT * FROM pol").unwrap();
+        assert!(ra.rows().unwrap().set_eq(rb.rows().unwrap()));
+    }
+
+    #[test]
+    fn durable_database_survives_reopen() {
+        use crate::durability::{Durability, MemStore};
+        let config = DbConfig {
+            durability: Durability::Wal {
+                group_commit: 1,
+                checkpoint_every: 0, // manual only: exercise pure log replay
+                expiration_aware: true,
+            },
+            ..DbConfig::default()
+        };
+        let disk = MemStore::new();
+        {
+            let mut db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+            db.execute("CREATE TABLE s (k INT, v TEXT)").unwrap();
+            db.execute("INSERT INTO s VALUES (1, 'keep') EXPIRES AT 100")
+                .unwrap();
+            db.execute("INSERT INTO s VALUES (2, 'dies') EXPIRES AT 5")
+                .unwrap();
+            db.execute("CREATE VIEW sv AS SELECT k FROM s").unwrap();
+            db.tick(10);
+            assert!(db.wal_status().unwrap().log_bytes > 0);
+        }
+        let mut db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+        assert_eq!(db.now(), t(10));
+        let rows = db.execute("SELECT * FROM s").unwrap();
+        assert_eq!(rows.rows().unwrap().len(), 1, "row 2 expired at t=5");
+        let view = db.execute("SELECT * FROM sv").unwrap();
+        assert_eq!(view.rows().unwrap().len(), 1);
+        let rec = db.recovery_stats().unwrap();
+        assert_eq!(rec.skipped_expired, 1, "the texp=5 insert is dead at t=10");
+        assert_eq!(rec.clock, 10);
+        // Recovery ends with a checkpoint: the log is clean again.
+        assert_eq!(db.wal_status().unwrap().log_bytes, 0);
+    }
+
+    #[test]
+    fn open_refuses_volatile_config() {
+        use crate::durability::MemStore;
+        assert!(matches!(
+            Database::open_with_store(Box::new(MemStore::new()), DbConfig::default()),
+            Err(DbError::Wal(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_recovers_without_replay() {
+        use crate::durability::{Durability, MemStore};
+        let config = DbConfig {
+            durability: Durability::wal(),
+            ..DbConfig::default()
+        };
+        let disk = MemStore::new();
+        {
+            let mut db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+            db.execute("CREATE TABLE s (k INT)").unwrap();
+            for i in 0..20 {
+                db.execute(&format!("INSERT INTO s VALUES ({i}) EXPIRES AT 1000"))
+                    .unwrap();
+            }
+            let stats = db.checkpoint().unwrap();
+            assert_eq!(stats.live_rows, 20);
+            assert!(stats.reclaimed_bytes > 0);
+            assert_eq!(db.wal_status().unwrap().log_bytes, 0);
+        }
+        let db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+        let rec = db.recovery_stats().unwrap();
+        assert_eq!(rec.replayed, 0, "everything came from the checkpoint");
+        assert_eq!(rec.checkpoint_rows, 20);
+        assert_eq!(db.table("s").unwrap().len(), 20);
     }
 
     #[test]

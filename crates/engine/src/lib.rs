@@ -22,11 +22,13 @@
 
 pub mod constraint;
 pub mod db;
+pub mod durability;
 pub mod shared;
 pub mod trigger;
 
 pub use constraint::{Constraint, ConstraintViolation};
 pub use db::{Database, DbConfig, DbError, DbResult, DbStats, ExecResult, Explain, Removal};
+pub use durability::{CheckpointStats, Durability, RecoveryStats, WalStatus};
 pub use exptime_obs::{Health, HealthStatus, SloConfig, Tracer, ViewHealth};
 pub use shared::{SharedDatabase, TickerHandle};
 pub use trigger::{ExpirationEvent, TriggerFn, TriggerManager};

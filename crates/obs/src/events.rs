@@ -107,6 +107,26 @@ pub enum EventKind {
         threshold: u64,
         at: u64,
     },
+    /// The WAL wrote a checkpoint: live rows were snapshotted and the
+    /// log was truncated, reclaiming `log_bytes_reclaimed` bytes —
+    /// including every record of tuples already expired at `at`, the
+    /// expiration-aware truncation pay-off.
+    Checkpoint {
+        at: u64,
+        live_rows: u64,
+        log_bytes_reclaimed: u64,
+    },
+    /// A database recovered from its WAL on open. `skipped_expired`
+    /// counts committed insert records not replayed because their tuples
+    /// were already dead at the recovered clock; `torn_bytes` is the
+    /// crash tail discarded after the last intact frame.
+    WalRecovery {
+        at: u64,
+        replayed: u64,
+        skipped_expired: u64,
+        skipped_uncommitted: u64,
+        torn_bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -124,6 +144,8 @@ impl EventKind {
             EventKind::ReplicaResync { .. } => "replica_resync",
             EventKind::SpanClosed { .. } => "span_closed",
             EventKind::SloBreach { .. } => "slo_breach",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::WalRecovery { .. } => "wal_recovery",
         }
     }
 }
@@ -220,6 +242,28 @@ impl std::fmt::Display for Event {
                 write!(
                     f,
                     "slo_breach      slo={slo} subject={subject} observed={observed} threshold={threshold} at={at}"
+                )
+            }
+            EventKind::Checkpoint {
+                at,
+                live_rows,
+                log_bytes_reclaimed,
+            } => {
+                write!(
+                    f,
+                    "checkpoint      at={at} live_rows={live_rows} reclaimed={log_bytes_reclaimed}B"
+                )
+            }
+            EventKind::WalRecovery {
+                at,
+                replayed,
+                skipped_expired,
+                skipped_uncommitted,
+                torn_bytes,
+            } => {
+                write!(
+                    f,
+                    "wal_recovery    at={at} replayed={replayed} skipped_expired={skipped_expired} skipped_uncommitted={skipped_uncommitted} torn={torn_bytes}B"
                 )
             }
         }

@@ -23,3 +23,14 @@ EXPTIME_CHAOS_SEEDS="${EXPTIME_CHAOS_SEEDS:-1,2,3,4,5,6,7,8}" \
 # E6-chaos smoke: message counts and recovery latency stay sane at every
 # loss rate (assertions only; BENCH_replica.json is not written).
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e6chaos
+
+# Crash matrix: the WAL committed-prefix invariant — crash at any byte
+# offset, recover exactly the committed prefix — over a pinned set of
+# deterministic workloads (EXPTIME_CRASH_SEEDS overridable; a failing
+# seed names its offset for local replay).
+EXPTIME_CRASH_SEEDS="${EXPTIME_CRASH_SEEDS:-1,2,3,4,5,6,7,8}" \
+    cargo test -q --test wal_recovery crash_seed_matrix
+
+# E7-wal smoke: expiration-aware replay beats naive full-log replay and
+# checkpoints zero it (assertions only; BENCH_wal.json is not written).
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e7wal

@@ -23,6 +23,9 @@
 //! * [`obs`] — the zero-dependency observability layer: the metrics
 //!   registry (counters, gauges, latency histograms), the structured
 //!   expiration-event stream, and the JSON snapshot export.
+//! * [`wal`] — the expiration-aware write-ahead log: CRC-framed records,
+//!   group commit, binary checkpoints that snapshot only live rows, and
+//!   committed-prefix crash recovery that skips already-expired inserts.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -32,12 +35,13 @@ pub use exptime_obs as obs;
 pub use exptime_replica as replica;
 pub use exptime_sql as sql;
 pub use exptime_storage as storage;
+pub use exptime_wal as wal;
 
 /// One-stop prelude: the engine plus the most used core types.
 pub mod prelude {
     pub use exptime_core::prelude::*;
     pub use exptime_engine::{
-        Constraint, Database, DbConfig, DbError, DbResult, ExecResult, Removal,
+        Constraint, Database, DbConfig, DbError, DbResult, Durability, ExecResult, Removal,
     };
     pub use exptime_replica::{ReadOutcome, Replica};
 }

@@ -8,6 +8,8 @@
 //! * `experiments` — runs the synthetic experiments and prints the report
 //!   tables recorded in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod figures;
 pub mod workload;

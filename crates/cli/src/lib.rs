@@ -3,5 +3,7 @@
 //! The interactive shell's engine, exposed as a library so the REPL logic
 //! is testable without a terminal. See [`repl::Repl`].
 
+#![forbid(unsafe_code)]
+
 pub mod render;
 pub mod repl;

@@ -26,6 +26,15 @@ pub struct Repl {
     events: Arc<RingSink>,
 }
 
+impl std::fmt::Debug for Repl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Repl")
+            .field("db", &self.db)
+            .field("pending", &self.pending)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The outcome of feeding one line.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -70,6 +79,9 @@ Meta commands:
   \\watch [SECS]   live dashboard (stats + health), re-rendered every
                   SECS seconds (default 2); press Enter to stop
   \\plan SELECT …  show the algebra plan, its rewrite, and monotonicity
+  \\lint STMT      static expiration-soundness diagnostics for a SELECT or
+                  CREATE [MATERIALIZED] VIEW, with carets into the source
+                  (also available as SQL: EXPLAIN LINT SELECT …;)
   \\explain analyze SELECT …
                   run the query and profile it per operator
                   (rows in/out, expired-filtered, elapsed, view decisions)
@@ -147,6 +159,23 @@ impl Repl {
     }
 
     fn run_sql(&mut self, sql: &str) -> Outcome {
+        // `EXPLAIN LINT <stmt>;` runs the static analyzer instead of the
+        // statement. Handled here (not in the parser) because it renders
+        // against the statement's own source text.
+        let stripped = sql.trim().trim_end_matches(';').trim();
+        let is_explain_lint = stripped
+            .get(..12)
+            .is_some_and(|p| p.eq_ignore_ascii_case("explain lint"))
+            && stripped
+                .as_bytes()
+                .get(12)
+                .is_none_or(u8::is_ascii_whitespace);
+        if is_explain_lint {
+            return match self.db.explain_lint(stripped[12..].trim()) {
+                Ok(out) => Outcome::Text(out),
+                Err(e) => Outcome::Text(format!("error: {e}\n")),
+            };
+        }
         match self.db.execute_script(sql) {
             Ok(ExecResult::Rows(rel)) => Outcome::Text(render_relation(&rel, self.db.now())),
             Ok(ExecResult::Affected(n)) => Outcome::Text(format!("{n} row(s) affected\n")),
@@ -334,6 +363,18 @@ impl Repl {
                     ));
                 }
                 Outcome::Text(out)
+            }
+            "\\lint" => {
+                if arg.is_empty() {
+                    return Outcome::Text(
+                        "usage: \\lint SELECT … | \\lint CREATE [MATERIALIZED] VIEW …\n".into(),
+                    );
+                }
+                let stmt = arg.trim_end_matches(';').trim();
+                match self.db.explain_lint(stmt) {
+                    Ok(out) => Outcome::Text(out),
+                    Err(e) => Outcome::Text(format!("error: {e}\n")),
+                }
             }
             "\\explain" => {
                 let Some(rest) = arg
@@ -640,6 +681,28 @@ mod tests {
         assert!(out.contains("a") && out.contains("texp") && out.contains("2 rows"));
         assert!(text(r.feed("\\tick 5")).contains("2 expiration(s)"));
         assert!(text(r.feed("SELECT * FROM t;")).contains("0 rows"));
+    }
+
+    #[test]
+    fn lint_meta_command_and_explain_lint() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("CREATE TABLE pol (uid INT, deg INT);")).contains("created"));
+        assert!(text(r.feed("CREATE TABLE el (uid INT, deg INT);")).contains("created"));
+        // Monotonic workload: clean.
+        let out = text(r.feed("\\lint SELECT uid FROM pol WHERE deg >= 25"));
+        assert!(out.contains("expiration-sound"), "{out}");
+        // Materialised difference: X002 with a caret under EXCEPT.
+        let out = text(r.feed("\\lint SELECT uid FROM pol EXCEPT SELECT uid FROM el;"));
+        assert!(out.contains("X002 [error]"), "{out}");
+        assert!(out.contains("^^^^^^"), "{out}");
+        // The same analyzer behind the SQL spelling, case-insensitive.
+        let out = text(r.feed("explain lint SELECT deg, COUNT(*) FROM pol GROUP BY deg;"));
+        assert!(out.contains("X001"), "{out}");
+        assert!(out.contains("X003"), "{out}");
+        // Usage and error paths.
+        assert!(text(r.feed("\\lint")).contains("usage"));
+        assert!(text(r.feed("\\lint INSERT INTO pol VALUES (1, 2);")).contains("error"));
+        assert!(text(r.feed("\\help")).contains("\\lint"));
     }
 
     #[test]

@@ -38,6 +38,8 @@
 //! assert!(result.texp.is_infinite()); // monotonic: never recompute
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod algebra;
 pub mod catalog;
@@ -68,6 +70,7 @@ pub mod prelude {
     pub use crate::patch::{PatchEntry, PatchQueue};
     pub use crate::predicate::{CmpOp, Predicate};
     pub use crate::relation::{DuplicatePolicy, Relation};
+    pub use crate::rewrite::{is_root_patchable, rewrite, Monotonicity, Soundness, StaticBound};
     pub use crate::schema::{Attribute, Schema};
     pub use crate::schrodinger::{QueryAnswer, QueryPolicy};
     pub use crate::time::{Clock, Time};

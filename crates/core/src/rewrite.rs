@@ -392,6 +392,166 @@ pub fn is_root_patchable(expr: &Expr) -> bool {
     matches!(expr, Expr::Difference { .. })
 }
 
+/// Position-sensitive monotonicity classification of a plan — a small
+/// lattice ordered from best to worst. [`Expr::is_monotonic`] only says
+/// *whether* a non-monotonic operator exists; for static analysis, *where*
+/// it sits matters: a difference or aggregate at the root with monotonic
+/// inputs is the shape Theorem 3 patches cheaply, while one buried under
+/// other operators forces recomputation to cascade ("to reduce the effects
+/// of recomputations on operators that depend on them" — Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Monotonicity {
+    /// Only monotonic operators (Theorem 1): materialisations stay valid
+    /// forever.
+    Monotonic,
+    /// Exactly one non-monotonic operator, at the root, over monotonic
+    /// inputs — the pulled-up shape the Theorem 3 patch queue handles.
+    NonMonotonicRoot,
+    /// Non-monotonic operator(s) below other operators: recomputations
+    /// cascade upward. [`rewrite`] may be able to lift them.
+    NonMonotonicInner,
+}
+
+impl Monotonicity {
+    /// Lattice join: the worse of the two classifications.
+    #[must_use]
+    pub fn join(self, other: Monotonicity) -> Monotonicity {
+        self.max(other)
+    }
+}
+
+impl std::fmt::Display for Monotonicity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Monotonicity::Monotonic => write!(f, "monotonic"),
+            Monotonicity::NonMonotonicRoot => write!(f, "non-monotonic (root)"),
+            Monotonicity::NonMonotonicInner => write!(f, "non-monotonic (inner)"),
+        }
+    }
+}
+
+/// The *symbolic* static expiration bound of a subtree — what can be said
+/// about `texp(e)` before looking at any data, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StaticBound {
+    /// `texp(e) = ∞` (Theorem 1): monotonic operators only.
+    Infinite,
+    /// `texp(e)` is bounded by the minimum over the inputs' tuple
+    /// expiration times (difference, Table 2 / Eq. 11): finite whenever a
+    /// critical tuple exists, but data-dependent and often far away.
+    MinOfInputs,
+    /// Validity ends at the next change point `χ` of the contributing set
+    /// (aggregation, Eq. 7–9): the tightest bound — any expiration among
+    /// contributing tuples invalidates the result.
+    NextChangePoint,
+}
+
+impl StaticBound {
+    /// Lattice join: the tighter (worse) of the two bounds.
+    #[must_use]
+    pub fn join(self, other: StaticBound) -> StaticBound {
+        self.max(other)
+    }
+}
+
+impl std::fmt::Display for StaticBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaticBound::Infinite => write!(f, "∞"),
+            StaticBound::MinOfInputs => write!(f, "min of inputs (Table 2)"),
+            StaticBound::NextChangePoint => write!(f, "next change point χ"),
+        }
+    }
+}
+
+/// The static expiration-soundness summary of a plan, computed without
+/// touching data: monotonicity class, symbolic expiration bound, and
+/// whether the Theorem 3 patch queue applies at the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Soundness {
+    /// Position-sensitive monotonicity classification.
+    pub monotonicity: Monotonicity,
+    /// Symbolic bound on `texp(e)`.
+    pub bound: StaticBound,
+    /// Whether the root is a difference (patchable per Theorem 3).
+    pub patchable: bool,
+    /// Number of non-monotonic operators (differences + aggregates) in
+    /// the whole tree.
+    pub non_monotonic_count: usize,
+}
+
+impl Soundness {
+    /// `Sound(∞)`: the materialisation never goes stale (Theorem 1).
+    #[must_use]
+    pub fn is_sound_infinite(&self) -> bool {
+        self.bound == StaticBound::Infinite
+    }
+}
+
+impl Expr {
+    /// Computes the static [`Soundness`] summary of this plan.
+    ///
+    /// Bounds compose by lattice join (worst child wins); monotonicity is
+    /// position-sensitive: a single non-monotonic operator at the root over
+    /// monotonic inputs is [`Monotonicity::NonMonotonicRoot`] (the
+    /// patch-friendly shape), anything deeper is
+    /// [`Monotonicity::NonMonotonicInner`].
+    #[must_use]
+    pub fn soundness(&self) -> Soundness {
+        let (monotonicity, bound, count) = classify(self);
+        Soundness {
+            monotonicity,
+            bound,
+            patchable: is_root_patchable(self),
+            non_monotonic_count: count,
+        }
+    }
+}
+
+/// Returns `(monotonicity, bound, non_monotonic_count)` for `expr`.
+fn classify(expr: &Expr) -> (Monotonicity, StaticBound, usize) {
+    // A *child's* contribution to its parent: any non-monotonic operator
+    // inside a child is, from the parent's viewpoint, inner.
+    let demote = |m: Monotonicity| match m {
+        Monotonicity::Monotonic => Monotonicity::Monotonic,
+        _ => Monotonicity::NonMonotonicInner,
+    };
+    match expr {
+        Expr::Base(_) => (Monotonicity::Monotonic, StaticBound::Infinite, 0),
+        Expr::Select { input, .. } | Expr::Project { input, .. } => {
+            let (m, b, n) = classify(input);
+            (demote(m), b, n)
+        }
+        Expr::Product { left, right }
+        | Expr::Union { left, right }
+        | Expr::Join { left, right, .. }
+        | Expr::Intersect { left, right } => {
+            let (ml, bl, nl) = classify(left);
+            let (mr, br, nr) = classify(right);
+            (demote(ml).join(demote(mr)), bl.join(br), nl + nr)
+        }
+        Expr::Difference { left, right } => {
+            let (ml, bl, nl) = classify(left);
+            let (mr, br, nr) = classify(right);
+            let m = if ml == Monotonicity::Monotonic && mr == Monotonicity::Monotonic {
+                Monotonicity::NonMonotonicRoot
+            } else {
+                Monotonicity::NonMonotonicInner
+            };
+            (m, StaticBound::MinOfInputs.join(bl).join(br), nl + nr + 1)
+        }
+        Expr::Aggregate { input, .. } => {
+            let (mi, bi, ni) = classify(input);
+            let m = if mi == Monotonicity::Monotonic {
+                Monotonicity::NonMonotonicRoot
+            } else {
+                Monotonicity::NonMonotonicInner
+            };
+            (m, StaticBound::NextChangePoint.join(bi), ni + 1)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,5 +791,90 @@ mod tests {
     #[allow(non_snake_case)]
     fn AggFuncCount() -> crate::aggregate::AggFunc {
         crate::aggregate::AggFunc::Count
+    }
+
+    #[test]
+    fn soundness_of_monotonic_plans_is_infinite() {
+        // Figure 2 shapes: selects, projects, products, unions, joins.
+        let e = Expr::base("Pol")
+            .select(Predicate::attr_eq_const(1, 25))
+            .project([0])
+            .union(Expr::base("El").project([0]));
+        let s = e.soundness();
+        assert_eq!(s.monotonicity, Monotonicity::Monotonic);
+        assert_eq!(s.bound, StaticBound::Infinite);
+        assert!(s.is_sound_infinite());
+        assert!(!s.patchable);
+        assert_eq!(s.non_monotonic_count, 0);
+    }
+
+    #[test]
+    fn soundness_of_root_difference_is_patchable() {
+        let e = Expr::base("Pol")
+            .project([0])
+            .difference(Expr::base("El").project([0]));
+        let s = e.soundness();
+        assert_eq!(s.monotonicity, Monotonicity::NonMonotonicRoot);
+        assert_eq!(s.bound, StaticBound::MinOfInputs);
+        assert!(s.patchable, "Theorem 3 applies at the root");
+        assert_eq!(s.non_monotonic_count, 1);
+    }
+
+    #[test]
+    fn soundness_of_figure_3a_aggregate_under_projection_is_inner() {
+        // πexp_{2,3}(aggexp_{{2},count}(Pol)) — Figure 3(a).
+        let e = Expr::base("Pol")
+            .aggregate([1], AggFuncCount())
+            .project([1, 2]);
+        let s = e.soundness();
+        assert_eq!(s.monotonicity, Monotonicity::NonMonotonicInner);
+        assert_eq!(s.bound, StaticBound::NextChangePoint);
+        assert!(!s.patchable);
+        assert_eq!(s.non_monotonic_count, 1);
+
+        // The bare aggregate is root-positioned.
+        let root = Expr::base("Pol").aggregate([1], AggFuncCount());
+        assert_eq!(
+            root.soundness().monotonicity,
+            Monotonicity::NonMonotonicRoot
+        );
+    }
+
+    #[test]
+    fn soundness_lattice_joins_take_the_worst() {
+        assert_eq!(
+            Monotonicity::Monotonic.join(Monotonicity::NonMonotonicInner),
+            Monotonicity::NonMonotonicInner
+        );
+        assert_eq!(
+            StaticBound::MinOfInputs.join(StaticBound::NextChangePoint),
+            StaticBound::NextChangePoint
+        );
+        assert_eq!(
+            StaticBound::Infinite.join(StaticBound::Infinite),
+            StaticBound::Infinite
+        );
+        // Aggregate over a difference: both counted, tightest bound wins,
+        // and the difference is demoted to inner.
+        let e = Expr::base("Pol")
+            .difference(Expr::base("El"))
+            .aggregate(vec![], AggFuncCount());
+        let s = e.soundness();
+        assert_eq!(s.monotonicity, Monotonicity::NonMonotonicInner);
+        assert_eq!(s.bound, StaticBound::NextChangePoint);
+        assert_eq!(s.non_monotonic_count, 2);
+    }
+
+    #[test]
+    fn rewrite_improves_soundness_class_when_it_lifts() {
+        // σ_p(Pol −exp El): select above the difference (inner) rewrites
+        // to the pushed-down, root-difference (patchable) form.
+        let e = Expr::base("Pol")
+            .difference(Expr::base("El"))
+            .select(Predicate::attr_eq_const(0, 1));
+        assert_eq!(e.soundness().monotonicity, Monotonicity::NonMonotonicInner);
+        let r = rewrite(&e);
+        assert_eq!(r.soundness().monotonicity, Monotonicity::NonMonotonicRoot);
+        assert!(r.soundness().patchable);
     }
 }

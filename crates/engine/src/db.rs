@@ -280,6 +280,10 @@ enum ViewEntry {
         /// the view fresh for free); inserts and explicit deletes do, and
         /// force a refresh on the next read.
         base_versions: Vec<(String, u64)>,
+        /// What the static analyzer said about this view at creation time
+        /// (DESIGN.md §11); kept in the catalog so `\lint` and
+        /// [`Database::view_diagnostics`] can replay it without re-planning.
+        diagnostics: exptime_lint::LintReport,
     },
 }
 
@@ -1312,6 +1316,7 @@ impl Database {
         view.attach_obs(&self.obs, &key);
         view.attach_tracer(&self.tracer);
         let base_versions = self.current_versions(view.expr());
+        let diagnostics = self.lint_materialization(&key, definition.as_ref(), &view);
         let log_sql = match (&definition, &self.wal) {
             (Some(query), Some(_)) => Some(exptime_sql::unparse::statement_to_sql(
                 &Statement::CreateView {
@@ -1331,6 +1336,7 @@ impl Database {
                 schema,
                 base_versions,
                 definition,
+                diagnostics,
             },
         );
         if let Some(sql) = log_sql {
@@ -1503,6 +1509,131 @@ impl Database {
                 "`{name}` is not a materialised view"
             ))),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Static analysis (exptime-lint)
+    // ------------------------------------------------------------------
+
+    /// Runs the static expiration-soundness analyzer over a statement
+    /// *without executing it*: `SELECT` queries and `CREATE [MATERIALIZED]
+    /// VIEW` statements are planned (view names inlined) and checked
+    /// against the paper's results. See DESIGN.md §11 for the code
+    /// registry. Bare `SELECT`s are analysed as materialisation
+    /// candidates, since that is the question the analyzer answers.
+    ///
+    /// # Errors
+    ///
+    /// Returns SQL parse/plan errors, and [`DbError::Catalog`] for
+    /// statements that are neither `SELECT` nor `CREATE VIEW`.
+    pub fn lint(&self, sql: &str) -> DbResult<exptime_lint::LintReport> {
+        let stmt = exptime_sql::parse(sql)?;
+        let (query, materialized) = match &stmt {
+            Statement::Select(query) => (query, true),
+            Statement::CreateView {
+                query,
+                materialized,
+                ..
+            } => (query, *materialized),
+            _ => {
+                return Err(DbError::Catalog(
+                    "lint expects a SELECT or CREATE [MATERIALIZED] VIEW statement".into(),
+                ))
+            }
+        };
+        let expr = plan_query(query, &DbSchemas(self))?;
+        let expr = self.inline_views(&expr);
+        let opts = exptime_lint::AnalyzerOptions {
+            materialized,
+            patch_root_difference: self.config.eval.patch_root_difference,
+            schrodinger: self.config.eval.eq12_validity,
+        };
+        Ok(exptime_lint::analyze(Some(query), &expr, &opts))
+    }
+
+    /// [`Database::lint`] rendered with source excerpts and caret lines —
+    /// the output behind the CLI's `\lint` and `EXPLAIN LINT`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Database::lint`].
+    pub fn explain_lint(&self, sql: &str) -> DbResult<String> {
+        let report = self.lint(sql)?;
+        Ok(exptime_lint::render(&report, sql))
+    }
+
+    /// The diagnostics the analyzer recorded when a materialised view was
+    /// created (including the operational `W101` SLO check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] if the name is not a materialised view.
+    pub fn view_diagnostics(&self, name: &str) -> DbResult<exptime_lint::LintReport> {
+        match self.views.get(&name.to_ascii_lowercase()) {
+            Some(ViewEntry::Materialized { diagnostics, .. }) => Ok(diagnostics.clone()),
+            _ => Err(DbError::Catalog(format!(
+                "`{name}` is not a materialised view"
+            ))),
+        }
+    }
+
+    /// Analyzer pass run at `CREATE MATERIALIZED VIEW` time: the static
+    /// checks plus the operational `W101` — the view's first refresh falls
+    /// due within the SLO's tolerated trigger lateness, so a legally late
+    /// trigger would miss the refresh window. Every diagnostic becomes an
+    /// obs event and bumps the `lint.diagnostics` counter.
+    fn lint_materialization(
+        &self,
+        name: &str,
+        definition: Option<&exptime_sql::ast::Query>,
+        view: &MaterializedView,
+    ) -> exptime_lint::LintReport {
+        let opts = exptime_lint::AnalyzerOptions {
+            materialized: true,
+            patch_root_difference: self.config.eval.patch_root_difference,
+            schrodinger: self.config.eval.eq12_validity,
+        };
+        let report = exptime_lint::analyze(definition, view.expr(), &opts);
+        let mut diagnostics = report.diagnostics;
+        if let (Some(texp), Some(now)) = (view.texp().finite(), self.clock.now().finite()) {
+            let window = texp.saturating_sub(now);
+            if window <= self.config.slo.max_trigger_lateness {
+                diagnostics.push(
+                    exptime_lint::Diagnostic::new(
+                        exptime_lint::Code::W101,
+                        exptime_lint::Severity::Warning,
+                        format!(
+                            "view refresh falls due in {window} tick(s), within the SLO's \
+                             tolerated trigger lateness of {}; a legally late trigger misses \
+                             the refresh window",
+                            self.config.slo.max_trigger_lateness
+                        ),
+                        exptime_sql::span::Span::DUMMY,
+                    )
+                    .with_suggestion(
+                        "tighten SloConfig::max_trigger_lateness, switch to eager removal, \
+                         or give the view's inputs longer expiration times"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        let report = exptime_lint::LintReport::new(diagnostics);
+        let at = self.clock.now().finite();
+        for d in &report.diagnostics {
+            self.obs.emit_with(at, || EventKind::LintDiagnostic {
+                code: d.code.to_string(),
+                severity: d.severity.to_string(),
+                subject: name.to_string(),
+            });
+        }
+        if !report.is_clean() {
+            self.obs
+                .registry()
+                .counter("lint.diagnostics")
+                .add(report.diagnostics.len() as u64);
+        }
+        report
     }
 
     // ------------------------------------------------------------------
@@ -1934,14 +2065,16 @@ fn apply_presentation(rel: Relation, query: &exptime_sql::ast::Query) -> Result<
     let mut keys = Vec::with_capacity(query.order_by.len());
     for (col, desc) in &query.order_by {
         if col.table.is_some() {
-            return Err(DbError::Sql(SqlError::Plan(format!(
-                "ORDER BY uses output column names; `{col}` is qualified"
-            ))));
+            return Err(DbError::Sql(SqlError::Plan {
+                message: format!("ORDER BY uses output column names; `{col}` is qualified"),
+                span: col.span,
+            }));
         }
         let pos = schema.position(&col.column).ok_or_else(|| {
-            DbError::Sql(SqlError::Plan(format!(
-                "ORDER BY column `{col}` is not in the result"
-            )))
+            DbError::Sql(SqlError::Plan {
+                message: format!("ORDER BY column `{col}` is not in the result"),
+                span: col.span,
+            })
         })?;
         keys.push((pos, *desc));
     }
@@ -2034,7 +2167,7 @@ impl SchemaProvider for DbSchemas<'_> {
         if let Some(v) = self.0.views.get(&key) {
             return Ok(v.schema().clone());
         }
-        Err(SqlError::Plan(format!("unknown relation `{name}`")))
+        Err(SqlError::plan(format!("unknown relation `{name}`")))
     }
 }
 
@@ -2613,6 +2746,107 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::VacuumPass { at: 10, removed: 2 }))
             .collect();
         assert_eq!(vacuums.len(), 1);
+    }
+
+    #[test]
+    fn lint_analyses_statements_without_executing_them() {
+        let db = figure1_db();
+        // Monotonic workload: clean.
+        let r = db.lint("SELECT uid FROM pol WHERE deg >= 25").unwrap();
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        // Fig. 3(a): aggregate under a projection → X001 + X003.
+        let r = db
+            .lint("SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+            .unwrap();
+        assert_eq!(
+            r.codes(),
+            vec![exptime_lint::Code::X001, exptime_lint::Code::X003]
+        );
+        // Materialised difference → X002 (error).
+        let r = db
+            .lint("CREATE MATERIALIZED VIEW d AS SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+            .unwrap();
+        assert_eq!(r.codes(), vec![exptime_lint::Code::X002]);
+        // A virtual view is not materialised: no X002.
+        let r = db
+            .lint("CREATE VIEW d AS SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+            .unwrap();
+        assert!(r.is_clean(), "{:?}", r.diagnostics);
+        // Nothing was executed: no view exists, and non-lintable
+        // statements are rejected.
+        assert!(db.view_diagnostics("d").is_err());
+        assert!(db.lint("INSERT INTO pol VALUES (9, 9)").is_err());
+        // explain_lint renders carets into the source.
+        let out = db
+            .explain_lint("SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+            .unwrap();
+        assert!(out.contains("X002 [error] at 1:21"), "{out}");
+        assert!(out.contains("^^^^^^"), "{out}");
+    }
+
+    #[test]
+    fn create_materialized_view_records_diagnostics_and_emits_events() {
+        let mut db = figure1_db();
+        let ring = db.obs().install_ring(64);
+        db.execute("CREATE MATERIALIZED VIEW d AS SELECT uid FROM pol EXCEPT SELECT uid FROM el")
+            .unwrap();
+        let r = db.view_diagnostics("d").unwrap();
+        assert_eq!(r.codes(), vec![exptime_lint::Code::X002]);
+        assert_eq!(db.metrics().counter_value("lint.diagnostics"), 1);
+        let events = ring.recent(64);
+        assert!(
+            events.iter().any(|e| matches!(
+                &e.kind,
+                EventKind::LintDiagnostic { code, subject, .. }
+                    if code == "X002" && subject == "d"
+            )),
+            "{events:?}"
+        );
+        // A monotonic view records a clean report and no events.
+        db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
+            .unwrap();
+        assert!(db.view_diagnostics("hot").unwrap().is_clean());
+        assert_eq!(db.metrics().counter_value("lint.diagnostics"), 1);
+    }
+
+    #[test]
+    fn w101_fires_when_refresh_is_due_within_the_slo_window() {
+        // Tolerating 100 ticks of trigger lateness while the view's
+        // content expires at t=10 means a legally late trigger misses the
+        // refresh window entirely.
+        let mut config = DbConfig::default();
+        config.slo.max_trigger_lateness = 100;
+        let mut db = Database::new(config);
+        db.execute_script(
+            "CREATE TABLE pol (uid INT, deg INT);
+             INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+             INSERT INTO pol VALUES (2, 25) EXPIRES AT 20;",
+        )
+        .unwrap();
+        db.execute("CREATE MATERIALIZED VIEW soon AS SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+            .unwrap();
+        let r = db.view_diagnostics("soon").unwrap();
+        assert!(
+            r.codes().contains(&exptime_lint::Code::W101),
+            "{:?}",
+            r.codes()
+        );
+        let w = r
+            .diagnostics
+            .iter()
+            .find(|d| d.code == exptime_lint::Code::W101)
+            .unwrap();
+        assert!(w.message.contains("10 tick(s)"), "{}", w.message);
+        assert!(w.message.contains("100"), "{}", w.message);
+        // With a punctual SLO (default lateness 0) the same view is fine.
+        let mut db = figure1_db();
+        db.execute("CREATE MATERIALIZED VIEW soon AS SELECT deg, COUNT(*) FROM pol GROUP BY deg")
+            .unwrap();
+        assert!(!db
+            .view_diagnostics("soon")
+            .unwrap()
+            .codes()
+            .contains(&exptime_lint::Code::W101));
     }
 
     #[test]

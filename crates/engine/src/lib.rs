@@ -20,6 +20,8 @@
 //! assert!(db.execute("SELECT * FROM sessions").unwrap().rows().unwrap().is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod constraint;
 pub mod db;
 pub mod durability;

@@ -103,6 +103,7 @@ impl SharedDatabase {
 }
 
 /// Stops the background ticker when dropped.
+#[derive(Debug)]
 pub struct TickerHandle {
     stop: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,

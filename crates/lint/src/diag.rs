@@ -1,0 +1,215 @@
+//! Diagnostic codes, severities, and the lint report.
+//!
+//! The code registry (see DESIGN.md §11) maps each paper result to a
+//! static check:
+//!
+//! | Code | Paper source | Meaning |
+//! |------|--------------|---------|
+//! | X001 | Section 3.1  | non-monotonic operator not pulled to top |
+//! | X002 | Table 2 / Eq. 11, Theorem 3 | materialised difference without patch helper |
+//! | X003 | Table 1 / Eq. 7–9 | aggregate with no neutral/time-sliced/contributing set |
+//! | X004 | Section 4 (Schrödinger) | validity interval `I∗` collapses |
+//! | W101 | PR 2 SLO monitor | view refresh trigger sooner than SLO window |
+
+use exptime_sql::span::Span;
+use std::fmt;
+
+/// A diagnostic code from the registry. `X…` codes are expiration
+/// soundness facts from the paper; `W…` codes are operational warnings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Non-monotonic operator not pulled to the top (Section 3.1).
+    X001,
+    /// Materialised difference without patch helper — finite expiration
+    /// (Table 2 / Eq. 11; fix per Theorem 3).
+    X002,
+    /// Aggregate with no neutral/time-sliced/contributing set — validity
+    /// ends at next change point `χ` (Table 1).
+    X003,
+    /// Schrödinger semantics requested but the validity interval `I∗`
+    /// collapses (Section 4).
+    X004,
+    /// View refresh trigger sooner than the SLO window.
+    W101,
+}
+
+impl Code {
+    /// The code as printed, e.g. `"X001"`.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::X001 => "X001",
+            Code::X002 => "X002",
+            Code::X003 => "X003",
+            Code::X004 => "X004",
+            Code::W101 => "W101",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity, ranked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: a fact worth knowing, nothing to fix.
+    Info,
+    /// The materialisation will go stale; refresh machinery must handle it.
+    Warning,
+    /// The requested semantics are unsound or needlessly expensive as
+    /// written; a concrete fix exists.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label, e.g. `"warning"`.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One coded, spanned, severity-ranked diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Registry code.
+    pub code: Code,
+    /// Ranked severity.
+    pub severity: Severity,
+    /// What is wrong, citing the paper result.
+    pub message: String,
+    /// Byte span into the analysed SQL ([`Span::DUMMY`] when the
+    /// diagnostic has no source anchor, e.g. plan-only analysis).
+    pub span: Span,
+    /// The paper's suggested fix, when one applies.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// A diagnostic without a suggestion.
+    #[must_use]
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span,
+            suggestion: None,
+        }
+    }
+
+    /// Attaches the paper's suggested fix.
+    #[must_use]
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.code, self.severity)?;
+        if !self.span.is_dummy() {
+            write!(f, " at {}", self.span)?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The result of analysing one statement: diagnostics ranked most severe
+/// first (ties broken by source order).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Ranked diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Builds a report, sorting by severity (descending) then span start.
+    #[must_use]
+    pub fn new(mut diagnostics: Vec<Diagnostic>) -> Self {
+        diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.span.start.cmp(&b.span.start))
+                .then(a.code.cmp(&b.code))
+        });
+        LintReport { diagnostics }
+    }
+
+    /// No diagnostics at all (including info).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of diagnostics at `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Whether any diagnostic is an error.
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// The codes present, in ranked order (for golden tests).
+    #[must_use]
+    pub fn codes(&self) -> Vec<Code> {
+        self.diagnostics.iter().map(|d| d.code).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_ranks_errors_first_then_source_order() {
+        let r = LintReport::new(vec![
+            Diagnostic::new(Code::X003, Severity::Warning, "later", Span::new(30, 35)),
+            Diagnostic::new(Code::X001, Severity::Warning, "earlier", Span::new(5, 9)),
+            Diagnostic::new(Code::X002, Severity::Error, "worst", Span::new(20, 26)),
+        ]);
+        assert_eq!(r.codes(), vec![Code::X002, Code::X001, Code::X003]);
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn display_includes_code_severity_and_span() {
+        let d = Diagnostic::new(
+            Code::X002,
+            Severity::Error,
+            "finite expiration",
+            Span::new(20, 26),
+        );
+        let s = d.to_string();
+        assert!(s.contains("X002"), "{s}");
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("20..26"), "{s}");
+        // Dummy spans are not printed.
+        let d = Diagnostic::new(Code::W101, Severity::Warning, "slo", Span::DUMMY);
+        assert!(!d.to_string().contains("0..0"));
+    }
+}

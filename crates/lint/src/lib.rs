@@ -1,0 +1,25 @@
+//! `exptime-lint`: static expiration-soundness analysis.
+//!
+//! Implements the diagnostics engine described in DESIGN.md §11: queries
+//! and algebra plans are analysed *before* execution against the results
+//! of "Expiration Times for Data Management" (Schmidt, Jensen, Šaltenis;
+//! ICDE 2006), and every hazard — a non-monotonic operator buried under
+//! monotonic ones, a materialised difference with finite expiration, an
+//! aggregate whose validity dies at the next change point — becomes a
+//! coded, spanned, severity-ranked [`Diagnostic`].
+//!
+//! The same crate hosts the repo-invariant checks (`R001`–`R003`, the
+//! `repolint` binary) that `scripts/ci.sh` runs over the workspace's own
+//! sources.
+
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod diag;
+pub mod render;
+pub mod repo;
+
+pub use analyze::{analyze, AnalyzerOptions};
+pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use render::render;
+pub use repo::{check_repo, RepoViolation};

@@ -1,0 +1,115 @@
+//! Human-readable rendering of lint reports: one block per diagnostic,
+//! with a caret line pointing at the spanned source fragment.
+
+use crate::diag::LintReport;
+use exptime_sql::span::line_col;
+
+/// Renders `report` against the SQL `source` it was produced from.
+///
+/// ```text
+/// X002 [error] at 1:21: materialised difference without patch helper …
+///   SELECT uid FROM pol EXCEPT SELECT uid FROM el
+///                       ^^^^^^
+///   = suggestion: enable the root-difference patch queue …
+/// ```
+#[must_use]
+pub fn render(report: &LintReport, source: &str) -> String {
+    if report.is_clean() {
+        return "no diagnostics: plan is expiration-sound\n".to_string();
+    }
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        if d.span.is_dummy() {
+            out.push_str(&format!("{} [{}]: {}\n", d.code, d.severity, d.message));
+        } else {
+            let (line, col) = line_col(source, d.span.start);
+            out.push_str(&format!(
+                "{} [{}] at {line}:{col}: {}\n",
+                d.code, d.severity, d.message
+            ));
+            // The spanned line, with a caret run underneath. Spans are
+            // clamped to one line for display.
+            let line_start = source[..d.span.start.min(source.len())]
+                .rfind('\n')
+                .map_or(0, |i| i + 1);
+            let line_end = source[line_start..]
+                .find('\n')
+                .map_or(source.len(), |i| line_start + i);
+            let text = &source[line_start..line_end];
+            out.push_str(&format!("  {text}\n"));
+            let caret_end = d.span.end.min(line_end).max(d.span.start + 1);
+            let pad = source[line_start..d.span.start].chars().count();
+            let width = source[d.span.start..caret_end.min(source.len())]
+                .chars()
+                .count()
+                .max(1);
+            out.push_str(&format!("  {}{}\n", " ".repeat(pad), "^".repeat(width)));
+        }
+        if let Some(s) = &d.suggestion {
+            out.push_str(&format!("  = suggestion: {s}\n"));
+        }
+    }
+    let errors = report.count(crate::diag::Severity::Error);
+    let warnings = report.count(crate::diag::Severity::Warning);
+    out.push_str(&format!("{} error(s), {} warning(s)\n", errors, warnings));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze, AnalyzerOptions};
+    use exptime_sql::ast::Statement;
+    use exptime_sql::parse;
+
+    fn report_for(sql: &str) -> (LintReport, String) {
+        let Statement::Select(q) = parse(sql).unwrap() else {
+            panic!()
+        };
+        let mut catalog = exptime_core::catalog::Catalog::new();
+        let schema = exptime_core::schema::Schema::of(&[
+            ("uid", exptime_core::value::ValueType::Int),
+            ("deg", exptime_core::value::ValueType::Int),
+        ]);
+        catalog.register("pol", exptime_core::relation::Relation::new(schema.clone()));
+        catalog.register("el", exptime_core::relation::Relation::new(schema));
+        let plan = exptime_sql::plan_query(&q, &catalog).unwrap();
+        (
+            analyze(Some(&q), &plan, &AnalyzerOptions::default()),
+            sql.to_string(),
+        )
+    }
+
+    #[test]
+    fn carets_point_at_the_except_keyword() {
+        let sql = "SELECT uid FROM pol EXCEPT SELECT uid FROM el";
+        let (r, src) = report_for(sql);
+        let rendered = render(&r, &src);
+        assert!(rendered.contains("X002 [error] at 1:21:"), "{rendered}");
+        // Caret line: 20 spaces then 6 carets under EXCEPT.
+        assert!(
+            rendered.contains(&format!("  {}{}\n", " ".repeat(20), "^".repeat(6))),
+            "{rendered}"
+        );
+        assert!(rendered.contains("1 error(s), 0 warning(s)"), "{rendered}");
+    }
+
+    #[test]
+    fn clean_reports_say_so() {
+        let (r, src) = report_for("SELECT uid FROM pol");
+        assert!(render(&r, &src).contains("expiration-sound"));
+    }
+
+    #[test]
+    fn count_caret_covers_the_call() {
+        let sql = "SELECT deg, COUNT(*) FROM pol GROUP BY deg";
+        let (r, src) = report_for(sql);
+        let rendered = render(&r, &src);
+        // X003 caret spans COUNT(*) — 8 characters starting at column 13.
+        assert!(rendered.contains("X003 [warning] at 1:13:"), "{rendered}");
+        assert!(
+            rendered.contains(&format!("  {}{}\n", " ".repeat(12), "^".repeat(8))),
+            "{rendered}"
+        );
+    }
+}

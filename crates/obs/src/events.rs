@@ -127,6 +127,17 @@ pub enum EventKind {
         skipped_uncommitted: u64,
         torn_bytes: u64,
     },
+    /// The static analyzer flagged a statement (see DESIGN.md §11 for the
+    /// code registry). One event per diagnostic, so `\events` interleaves
+    /// lint findings with the view lifecycle they predict.
+    LintDiagnostic {
+        /// Registry code, e.g. `"X002"`.
+        code: String,
+        /// `"error"` / `"warning"` / `"info"`.
+        severity: String,
+        /// View name when linting a CREATE, `"-"` for ad-hoc queries.
+        subject: String,
+    },
 }
 
 impl EventKind {
@@ -146,6 +157,7 @@ impl EventKind {
             EventKind::SloBreach { .. } => "slo_breach",
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::WalRecovery { .. } => "wal_recovery",
+            EventKind::LintDiagnostic { .. } => "lint",
         }
     }
 }
@@ -266,6 +278,13 @@ impl std::fmt::Display for Event {
                     "wal_recovery    at={at} replayed={replayed} skipped_expired={skipped_expired} skipped_uncommitted={skipped_uncommitted} torn={torn_bytes}B"
                 )
             }
+            EventKind::LintDiagnostic {
+                code,
+                severity,
+                subject,
+            } => {
+                write!(f, "lint            {code} [{severity}] subject={subject}")
+            }
         }
     }
 }
@@ -287,6 +306,7 @@ pub trait EventSink: Send + Sync {
 /// via [`RingSink::with_drop_counter`] / [`Obs::install_ring`], the
 /// `obs.events_dropped` registry counter) so loss is observable rather
 /// than silent.
+#[derive(Debug)]
 pub struct RingSink {
     cap: usize,
     buf: Mutex<VecDeque<Event>>,
@@ -356,6 +376,7 @@ impl EventSink for RingSink {
 }
 
 /// Writes every event to stderr as it happens (debugging / demos).
+#[derive(Debug)]
 pub struct StderrSink;
 
 impl EventSink for StderrSink {

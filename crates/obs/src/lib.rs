@@ -24,6 +24,8 @@
 //! `eval.select.rows_out`. Dots only; no units in names — histograms are
 //! nanoseconds unless suffixed otherwise.
 
+#![forbid(unsafe_code)]
+
 mod events;
 mod expose;
 mod json;

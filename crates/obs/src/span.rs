@@ -259,6 +259,7 @@ impl Tracer {
 
 /// An open span. Dropping it closes the span and records it; attributes
 /// added on an inert guard (disabled tracer) vanish for free.
+#[derive(Debug)]
 #[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
 pub struct SpanGuard {
     tracer: Option<Tracer>,

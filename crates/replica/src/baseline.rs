@@ -19,6 +19,7 @@ use exptime_core::relation::Relation;
 use exptime_engine::Database;
 
 /// A cache kept consistent by server-pushed change notices.
+#[derive(Debug)]
 pub struct DeletePushReplica {
     expr: Expr,
     cache: Relation,
@@ -98,6 +99,7 @@ impl DeletePushReplica {
 }
 
 /// A client that re-fetches the full result on every read.
+#[derive(Debug)]
 pub struct PollingReplica {
     expr: Expr,
     link: Link,

@@ -149,6 +149,7 @@ impl std::fmt::Display for FaultRecord {
     }
 }
 
+#[derive(Debug)]
 struct InFlight<M> {
     deliver_at: u64,
     order: u64,
@@ -160,6 +161,7 @@ struct InFlight<M> {
 /// Generic over the message type so the session layer owns its payload
 /// enum; the fault layer only needs to clone messages (duplication) and
 /// weigh them (tuple counts for the traffic accounting).
+#[derive(Debug)]
 pub struct FaultyLink<M> {
     link: Link,
     spec: FaultSpec,

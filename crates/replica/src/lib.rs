@@ -35,6 +35,8 @@
 //! back to the server's truth after any fault schedule — the invariant
 //! the chaos property tests in `tests/replica_chaos.rs` enforce.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod fault;
 pub mod link;

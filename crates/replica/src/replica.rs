@@ -33,6 +33,7 @@ pub enum ReadOutcome {
 }
 
 /// A client holding expiration-aware materialised views.
+#[derive(Debug)]
 pub struct Replica {
     views: BTreeMap<String, MaterializedView>,
     link: Link,

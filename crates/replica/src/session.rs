@@ -281,6 +281,7 @@ struct SyncSession {
     next_retry: u64,
 }
 
+#[derive(Debug)]
 struct ViewEntry {
     expr: Expr,
     m: Materialized,
@@ -319,6 +320,7 @@ pub enum ChaosReadOutcome {
 /// completed, the read degrades to the newest instant the local state
 /// provably covers (Theorem 2's validity intervals) and the session keeps
 /// retrying on subsequent ticks.
+#[derive(Debug)]
 pub struct ChaosReplica {
     views: BTreeMap<String, ViewEntry>,
     link: FaultyLink<Payload>,
@@ -861,6 +863,7 @@ impl ChaosReplica {
 /// suffix. This is what a system without expiration times must build to
 /// survive the same faults — and every lost notice costs another
 /// round of retransmissions, which experiment E6-chaos quantifies.
+#[derive(Debug)]
 pub struct ChaosDeletePush {
     expr: Expr,
     /// Server's intended client state: all enqueued notices applied.

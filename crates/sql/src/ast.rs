@@ -1,5 +1,10 @@
 //! The SQL abstract syntax tree.
+//!
+//! Nodes that diagnostics point at carry a [`Span`] into the source text.
+//! Spans never affect `PartialEq`/`Hash` (see [`crate::span`]), so
+//! API-built ASTs using [`Span::DUMMY`] compare equal to parsed ones.
 
+use crate::span::Span;
 use exptime_core::predicate::CmpOp;
 use exptime_core::value::{Value, ValueType};
 
@@ -36,6 +41,20 @@ pub struct ColumnRef {
     pub table: Option<String>,
     /// Column name.
     pub column: String,
+    /// Source span of the full reference (dummy for API-built ASTs).
+    pub span: Span,
+}
+
+impl ColumnRef {
+    /// A column reference without a source position.
+    #[must_use]
+    pub fn new(table: Option<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table,
+            column: column.into(),
+            span: Span::DUMMY,
+        }
+    }
 }
 
 impl std::fmt::Display for ColumnRef {
@@ -119,6 +138,8 @@ pub enum SelectItem {
         func: AggName,
         /// Its argument column; `None` only for `COUNT(*)`.
         arg: Option<ColumnRef>,
+        /// Source span of the whole `FUNC(arg)` call.
+        span: Span,
     },
 }
 
@@ -136,6 +157,8 @@ pub struct QueryBody {
     /// `HAVING` condition (may reference aggregates), applied above the
     /// aggregation.
     pub having: Option<Cond>,
+    /// Source span of the whole body (dummy for API-built ASTs).
+    pub span: Span,
 }
 
 /// Compound set operators between query bodies.
@@ -155,16 +178,35 @@ pub enum SetOp {
 /// `ORDER BY` and `LIMIT` are *presentation-level*: the expiration-time
 /// algebra is set-based, so they are applied by the engine to the final
 /// result rather than planned as operators.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Query {
     /// The first body.
     pub body: QueryBody,
     /// `(op, body)` pairs applied left-to-right.
     pub compound: Vec<(SetOp, QueryBody)>,
+    /// Spans of the set-operator keywords (`UNION` / `EXCEPT` /
+    /// `INTERSECT`), parallel to `compound`. Kept out of the `compound`
+    /// tuples so pattern matches on `(op, body)` stay untouched.
+    pub set_op_spans: Vec<Span>,
     /// `ORDER BY column [DESC]` keys, applied to the final result.
     pub order_by: Vec<(ColumnRef, bool)>,
     /// `LIMIT n`, applied after ordering.
     pub limit: Option<usize>,
+    /// Source span of the whole query (dummy for API-built ASTs).
+    pub span: Span,
+}
+
+/// Structural equality ignoring positions: `set_op_spans` is skipped
+/// outright because `Vec<Span>` equality is length-sensitive even though
+/// individual spans always compare equal, and API-built queries leave it
+/// empty.
+impl PartialEq for Query {
+    fn eq(&self, other: &Query) -> bool {
+        self.body == other.body
+            && self.compound == other.compound
+            && self.order_by == other.order_by
+            && self.limit == other.limit
+    }
 }
 
 /// The expiration clause of `INSERT` / `UPDATE` — the only places the paper

@@ -1,5 +1,6 @@
 //! SQL-layer errors.
 
+use crate::span::Span;
 use std::fmt;
 
 /// Errors from lexing, parsing, or planning SQL.
@@ -13,11 +14,55 @@ pub enum SqlError {
         message: String,
     },
     /// Parser error.
-    Parse(String),
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte span of the offending source fragment ([`Span::DUMMY`]
+        /// when the error has no position, e.g. API-built ASTs).
+        span: Span,
+    },
     /// Planner error (name resolution, typing, unsupported shapes).
-    Plan(String),
+    Plan {
+        /// Human-readable description.
+        message: String,
+        /// Byte span of the offending source fragment ([`Span::DUMMY`]
+        /// when the error has no position, e.g. API-built ASTs).
+        span: Span,
+    },
     /// An error surfaced from the core data model.
     Core(exptime_core::error::Error),
+}
+
+impl SqlError {
+    /// A parse error with no source position.
+    #[must_use]
+    pub fn parse(message: impl Into<String>) -> Self {
+        SqlError::Parse {
+            message: message.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// A plan error with no source position.
+    #[must_use]
+    pub fn plan(message: impl Into<String>) -> Self {
+        SqlError::Plan {
+            message: message.into(),
+            span: Span::DUMMY,
+        }
+    }
+
+    /// The byte span this error points at, if it carries a real one.
+    #[must_use]
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::Lex { offset, .. } => Some(Span::new(*offset, offset + 1)),
+            SqlError::Parse { span, .. } | SqlError::Plan { span, .. } => {
+                (!span.is_dummy()).then_some(*span)
+            }
+            SqlError::Core(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for SqlError {
@@ -26,8 +71,14 @@ impl fmt::Display for SqlError {
             SqlError::Lex { offset, message } => {
                 write!(f, "lex error at byte {offset}: {message}")
             }
-            SqlError::Parse(m) => write!(f, "parse error: {m}"),
-            SqlError::Plan(m) => write!(f, "plan error: {m}"),
+            SqlError::Parse { message, span } if !span.is_dummy() => {
+                write!(f, "parse error at byte {}: {message}", span.start)
+            }
+            SqlError::Parse { message, .. } => write!(f, "parse error: {message}"),
+            SqlError::Plan { message, span } if !span.is_dummy() => {
+                write!(f, "plan error at byte {}: {message}", span.start)
+            }
+            SqlError::Plan { message, .. } => write!(f, "plan error: {message}"),
             SqlError::Core(e) => write!(f, "{e}"),
         }
     }
@@ -54,7 +105,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SqlError::Parse("expected FROM".into());
+        let e = SqlError::parse("expected FROM");
         assert!(e.to_string().contains("expected FROM"));
         let core = SqlError::from(exptime_core::error::Error::UnknownRelation("x".into()));
         assert!(core.to_string().contains("x"));
@@ -66,5 +117,23 @@ mod tests {
             message: "bad".into(),
         };
         assert!(lexe.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn spanned_errors_report_position() {
+        let e = SqlError::Parse {
+            message: "expected FROM".into(),
+            span: Span::new(7, 11),
+        };
+        assert!(e.to_string().contains("at byte 7"));
+        assert_eq!(e.span().map(|s| (s.start, s.end)), Some((7, 11)));
+        // Dummy spans stay silent, matching the seed's output shape.
+        assert!(!SqlError::parse("x").to_string().contains("byte"));
+        assert_eq!(SqlError::plan("x").span(), None);
+        let lexe = SqlError::Lex {
+            offset: 3,
+            message: "bad".into(),
+        };
+        assert_eq!(lexe.span().map(|s| s.start), Some(3));
     }
 }

@@ -1,6 +1,7 @@
 //! The SQL lexer.
 
 use crate::error::SqlError;
+use crate::span::Span;
 use crate::token::{Keyword, Token};
 
 /// Lexes a statement string into tokens. Comments (`-- …` to end of line)
@@ -12,10 +13,25 @@ use crate::token::{Keyword, Token};
 /// Returns [`SqlError::Lex`] on unterminated strings, malformed numbers, or
 /// unexpected characters, with a byte offset for diagnostics.
 pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
+    lex_spanned(input).map(|(tokens, _)| tokens)
+}
+
+/// Like [`lex`], but also returns each token's byte [`Span`] into `input`
+/// (parallel to the token vector). The parser threads these spans into the
+/// AST so parse errors and `exptime-lint` diagnostics can point carets at
+/// exact source positions.
+///
+/// # Errors
+///
+/// Same failure modes as [`lex`].
+pub fn lex_spanned(input: &str) -> Result<(Vec<Token>, Vec<Span>), SqlError> {
     let bytes = input.as_bytes();
     let mut tokens = Vec::new();
+    let mut spans = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
+        let tok_start = i;
+        let before = tokens.len();
         let c = bytes[i] as char;
         match c {
             c if c.is_ascii_whitespace() => i += 1,
@@ -164,8 +180,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>, SqlError> {
                 })
             }
         }
+        // Each iteration lexes at most one token and leaves `i` one past
+        // its final byte, so the span is simply `tok_start..i`.
+        if tokens.len() > before {
+            spans.push(Span::new(tok_start, i));
+        }
     }
-    Ok(tokens)
+    debug_assert_eq!(tokens.len(), spans.len());
+    Ok((tokens, spans))
 }
 
 #[cfg(test)]
@@ -260,6 +282,31 @@ mod tests {
             lex("SELECT @"),
             Err(SqlError::Lex { offset: 7, .. })
         ));
+    }
+
+    #[test]
+    fn spans_cover_exact_token_bytes() {
+        let src = "SELECT uid -- c\nFROM pol WHERE deg >= 'x''y'";
+        let (ts, spans) = lex_spanned(src).unwrap();
+        assert_eq!(ts.len(), spans.len());
+        // Every span slices back to text that re-lexes to the same token
+        // (comments/whitespace never get spans).
+        for (t, s) in ts.iter().zip(&spans) {
+            let frag = &src[s.start..s.end];
+            let (relexed, _) = lex_spanned(frag).unwrap();
+            assert_eq!(relexed, vec![t.clone()], "span {s:?} -> {frag:?}");
+        }
+        // Spot-check: FROM starts on line 2 (after the comment + newline).
+        let from_at = src.find("FROM").unwrap();
+        let from_idx = ts
+            .iter()
+            .position(|t| *t == Token::Keyword(Keyword::From))
+            .unwrap();
+        assert_eq!(spans[from_idx].start, from_at);
+        assert_eq!(spans[from_idx].end, from_at + 4);
+        // String literal span includes its quotes.
+        let str_idx = ts.iter().position(|t| matches!(t, Token::Str(_))).unwrap();
+        assert_eq!(&src[spans[str_idx].start..spans[str_idx].end], "'x''y'");
     }
 
     #[test]

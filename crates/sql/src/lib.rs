@@ -12,11 +12,14 @@
 //! # let _ = stmt;
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod span;
 pub mod token;
 pub mod unparse;
 
@@ -24,3 +27,4 @@ pub use ast::Statement;
 pub use error::SqlError;
 pub use parser::{parse, parse_many};
 pub use planner::{plan_query, plan_table_cond, SchemaProvider};
+pub use span::{line_col, Span};

@@ -22,7 +22,8 @@
 
 use crate::ast::*;
 use crate::error::SqlError;
-use crate::lexer::lex;
+use crate::lexer::lex_spanned;
+use crate::span::Span;
 use crate::token::{Keyword, Token};
 use exptime_core::predicate::CmpOp;
 use exptime_core::value::ValueType;
@@ -33,8 +34,7 @@ use exptime_core::value::ValueType;
 ///
 /// Returns [`SqlError::Lex`] or [`SqlError::Parse`].
 pub fn parse(input: &str) -> Result<Statement, SqlError> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(input)?;
     let stmt = p.statement()?;
     p.eat_if(&Token::Semicolon);
     p.expect_end()?;
@@ -47,8 +47,7 @@ pub fn parse(input: &str) -> Result<Statement, SqlError> {
 ///
 /// Returns [`SqlError::Lex`] or [`SqlError::Parse`].
 pub fn parse_many(input: &str) -> Result<Vec<Statement>, SqlError> {
-    let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser::new(input)?;
     let mut out = Vec::new();
     while !p.at_end() {
         out.push(p.statement()?);
@@ -62,10 +61,24 @@ pub fn parse_many(input: &str) -> Result<Vec<Statement>, SqlError> {
 
 struct Parser {
     tokens: Vec<Token>,
+    /// Byte span of each token, parallel to `tokens`.
+    spans: Vec<Span>,
+    /// Length of the input, so end-of-input errors point past the text.
+    eof: usize,
     pos: usize,
 }
 
 impl Parser {
+    fn new(input: &str) -> Result<Parser, SqlError> {
+        let (tokens, spans) = lex_spanned(input)?;
+        Ok(Parser {
+            tokens,
+            spans,
+            eof: input.len(),
+            pos: 0,
+        })
+    }
+
     fn at_end(&self) -> bool {
         self.pos >= self.tokens.len()
     }
@@ -78,14 +91,49 @@ impl Parser {
         self.tokens.get(self.pos + 1)
     }
 
+    /// Span of the token at `pos`; past the end, a zero-width span at EOF.
+    fn span_at(&self, pos: usize) -> Span {
+        self.spans
+            .get(pos)
+            .copied()
+            .unwrap_or_else(|| Span::new(self.eof, self.eof))
+    }
+
+    /// Span of the next (unconsumed) token.
+    fn cur_span(&self) -> Span {
+        self.span_at(self.pos)
+    }
+
+    /// Span of the most recently consumed token.
+    fn prev_span(&self) -> Span {
+        self.span_at(self.pos.saturating_sub(1))
+    }
+
+    /// A parse error pointing at the next unconsumed token.
+    fn err(&self, message: impl Into<String>) -> SqlError {
+        self.err_at(self.cur_span(), message)
+    }
+
+    /// A parse error pointing at the most recently consumed token.
+    fn err_prev(&self, message: impl Into<String>) -> SqlError {
+        self.err_at(self.prev_span(), message)
+    }
+
+    fn err_at(&self, span: Span, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            message: message.into(),
+            span,
+        }
+    }
+
     fn next(&mut self) -> Result<Token, SqlError> {
-        let t = self
-            .tokens
-            .get(self.pos)
-            .cloned()
-            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
-        self.pos += 1;
-        Ok(t)
+        match self.tokens.get(self.pos).cloned() {
+            Some(t) => {
+                self.pos += 1;
+                Ok(t)
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
     }
 
     fn eat_if(&mut self, t: &Token) -> bool {
@@ -106,7 +154,7 @@ impl Parser {
         if &got == t {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!("expected `{t}`, found `{got}`")))
+            Err(self.err_prev(format!("expected `{t}`, found `{got}`")))
         }
     }
 
@@ -117,16 +165,14 @@ impl Parser {
     fn expect_end(&self) -> Result<(), SqlError> {
         match self.peek() {
             None => Ok(()),
-            Some(t) => Err(SqlError::Parse(format!("trailing input at `{t}`"))),
+            Some(t) => Err(self.err(format!("trailing input at `{t}`"))),
         }
     }
 
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(SqlError::Parse(format!(
-                "expected identifier, found `{other}`"
-            ))),
+            other => Err(self.err_prev(format!("expected identifier, found `{other}`"))),
         }
     }
 
@@ -138,8 +184,8 @@ impl Parser {
             Some(Token::Keyword(Keyword::Delete)) => self.delete(),
             Some(Token::Keyword(Keyword::Update)) => self.update(),
             Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.query()?)),
-            Some(t) => Err(SqlError::Parse(format!("unexpected `{t}`"))),
-            None => Err(SqlError::Parse("empty statement".into())),
+            Some(t) => Err(self.err(format!("unexpected `{t}`"))),
+            None => Err(self.err("empty statement")),
         }
     }
 
@@ -157,9 +203,7 @@ impl Parser {
                     Token::Keyword(Keyword::Text) => ValueType::Str,
                     Token::Keyword(Keyword::Bool) => ValueType::Bool,
                     other => {
-                        return Err(SqlError::Parse(format!(
-                            "expected column type, found `{other}`"
-                        )))
+                        return Err(self.err_prev(format!("expected column type, found `{other}`")))
                     }
                 };
                 columns.push((col, ty));
@@ -246,7 +290,7 @@ impl Parser {
     fn nonneg_int(&mut self, what: &str) -> Result<u64, SqlError> {
         match self.next()? {
             Token::Int(v) if v >= 0 => Ok(v as u64),
-            other => Err(SqlError::Parse(format!(
+            other => Err(self.err_prev(format!(
                 "{what} requires a non-negative integer, found `{other}`"
             ))),
         }
@@ -272,9 +316,7 @@ impl Parser {
             // Attribute updates are outside the model; only expiration
             // times are updatable (paper Section 2: expiration times are
             // exposed to users "on insertion and update").
-            return Err(SqlError::Parse(
-                "UPDATE … SET requires an EXPIRES clause".into(),
-            ));
+            return Err(self.err("UPDATE … SET requires an EXPIRES clause"));
         }
         let expires = self.expires_clause()?;
         let predicate = if self.eat_kw(Keyword::Where) {
@@ -290,8 +332,10 @@ impl Parser {
     }
 
     fn query(&mut self) -> Result<Query, SqlError> {
+        let start = self.cur_span();
         let body = self.body()?;
         let mut compound = Vec::new();
+        let mut set_op_spans = Vec::new();
         loop {
             let op = match self.peek() {
                 Some(Token::Keyword(Keyword::Union)) => SetOp::Union,
@@ -299,6 +343,7 @@ impl Parser {
                 Some(Token::Keyword(Keyword::Intersect)) => SetOp::Intersect,
                 _ => break,
             };
+            set_op_spans.push(self.cur_span());
             self.pos += 1;
             compound.push((op, self.body()?));
         }
@@ -327,12 +372,15 @@ impl Parser {
         Ok(Query {
             body,
             compound,
+            set_op_spans,
             order_by,
             limit,
+            span: start.union(self.prev_span()),
         })
     }
 
     fn body(&mut self) -> Result<QueryBody, SqlError> {
+        let start = self.cur_span();
         self.expect_kw(Keyword::Select)?;
         let projection = self.items()?;
         self.expect_kw(Keyword::From)?;
@@ -369,6 +417,7 @@ impl Parser {
             selection,
             group_by,
             having,
+            span: start.union(self.prev_span()),
         })
     }
 
@@ -422,40 +471,46 @@ impl Parser {
         if let Some(func) = agg {
             // MIN/MAX are also valid identifiers in theory; require '('.
             if self.peek2() == Some(&Token::LParen) {
+                let start = self.cur_span();
                 self.pos += 1;
                 self.expect(&Token::LParen)?;
                 let arg = if self.eat_if(&Token::Star) {
                     if func != AggName::Count {
-                        return Err(SqlError::Parse(format!(
-                            "only COUNT accepts `*`, not {func:?}"
-                        )));
+                        return Err(self.err_prev(format!("only COUNT accepts `*`, not {func:?}")));
                     }
                     None
                 } else {
                     Some(self.colref()?)
                 };
                 if func != AggName::Count && arg.is_none() {
-                    return Err(SqlError::Parse(format!("{func:?} requires a column")));
+                    return Err(self.err_prev(format!("{func:?} requires a column")));
                 }
                 self.expect(&Token::RParen)?;
-                return Ok(SelectItem::Aggregate { func, arg });
+                return Ok(SelectItem::Aggregate {
+                    func,
+                    arg,
+                    span: start.union(self.prev_span()),
+                });
             }
         }
         Ok(SelectItem::Column(self.colref()?))
     }
 
     fn colref(&mut self) -> Result<ColumnRef, SqlError> {
+        let start = self.cur_span();
         let first = self.ident()?;
         if self.eat_if(&Token::Dot) {
             let column = self.ident()?;
             Ok(ColumnRef {
                 table: Some(first),
                 column,
+                span: start.union(self.prev_span()),
             })
         } else {
             Ok(ColumnRef {
                 table: None,
                 column: first,
+                span: start.union(self.prev_span()),
             })
         }
     }
@@ -496,9 +551,7 @@ impl Parser {
             Token::Gt => CmpOp::Gt,
             Token::Ge => CmpOp::Ge,
             other => {
-                return Err(SqlError::Parse(format!(
-                    "expected comparison operator, found `{other}`"
-                )))
+                return Err(self.err_prev(format!("expected comparison operator, found `{other}`")))
             }
         };
         let right = self.scalar()?;
@@ -512,16 +565,14 @@ impl Parser {
                 self.expect(&Token::LParen)?;
                 let arg = if self.eat_if(&Token::Star) {
                     if func != AggName::Count {
-                        return Err(SqlError::Parse(format!(
-                            "only COUNT accepts `*`, not {func:?}"
-                        )));
+                        return Err(self.err_prev(format!("only COUNT accepts `*`, not {func:?}")));
                     }
                     None
                 } else {
                     Some(self.colref()?)
                 };
                 if func != AggName::Count && arg.is_none() {
-                    return Err(SqlError::Parse(format!("{func:?} requires a column")));
+                    return Err(self.err_prev(format!("{func:?} requires a column")));
                 }
                 self.expect(&Token::RParen)?;
                 return Ok(Scalar::Aggregate { func, arg });
@@ -551,9 +602,7 @@ impl Parser {
             Token::Str(s) => Ok(Literal::Str(s)),
             Token::Keyword(Keyword::True) => Ok(Literal::Bool(true)),
             Token::Keyword(Keyword::False) => Ok(Literal::Bool(false)),
-            other => Err(SqlError::Parse(format!(
-                "expected literal, found `{other}`"
-            ))),
+            other => Err(self.err_prev(format!("expected literal, found `{other}`"))),
         }
     }
 }
@@ -626,7 +675,8 @@ mod tests {
             q.body.projection[1],
             SelectItem::Aggregate {
                 func: AggName::Count,
-                arg: None
+                arg: None,
+                ..
             }
         ));
         assert_eq!(q.body.group_by.len(), 1);
@@ -763,8 +813,63 @@ mod tests {
             q.body.projection[0],
             SelectItem::Aggregate {
                 func: AggName::Min,
-                arg: Some(_)
+                arg: Some(_),
+                ..
             }
         ));
+    }
+
+    #[test]
+    fn spans_point_at_source_fragments() {
+        let src = "SELECT deg, COUNT(*) FROM pol GROUP BY deg";
+        let Statement::Select(q) = parse(src).unwrap() else {
+            panic!()
+        };
+        // Whole query.
+        assert_eq!((q.span.start, q.span.end), (0, src.len()));
+        // The aggregate item covers `COUNT(*)`.
+        let SelectItem::Aggregate { span, .. } = &q.body.projection[1] else {
+            panic!()
+        };
+        assert_eq!(&src[span.start..span.end], "COUNT(*)");
+        // GROUP BY column ref covers the trailing `deg`.
+        let g = q.body.group_by[0].span;
+        assert_eq!(&src[g.start..g.end], "deg");
+        assert_eq!(g.start, src.rfind("deg").unwrap());
+
+        // Set-operator keyword spans land on the operators themselves.
+        let src2 = "SELECT uid FROM pol EXCEPT SELECT uid FROM el";
+        let Statement::Select(q2) = parse(src2).unwrap() else {
+            panic!()
+        };
+        assert_eq!(q2.set_op_spans.len(), 1);
+        let s = q2.set_op_spans[0];
+        assert_eq!(&src2[s.start..s.end], "EXCEPT");
+
+        // Qualified colrefs span `table.column`.
+        let src3 = "SELECT * FROM pol JOIN el ON pol.uid = el.uid";
+        let Statement::Select(q3) = parse(src3).unwrap() else {
+            panic!()
+        };
+        let Some(Cond::Cmp {
+            left: Scalar::Column(l),
+            ..
+        }) = &q3.body.selection
+        else {
+            panic!()
+        };
+        assert_eq!(&src3[l.span.start..l.span.end], "pol.uid");
+    }
+
+    #[test]
+    fn parse_errors_carry_spans() {
+        // `SELECT * t` — error points at the unexpected `t`.
+        let err = parse("SELECT * t").unwrap_err();
+        let span = err.span().expect("parse errors carry spans");
+        assert_eq!((span.start, span.end), (9, 10));
+        // Truncated input points a zero-width span at EOF.
+        let err = parse("SELECT * FROM").unwrap_err();
+        let span = err.span().expect("eof errors carry spans");
+        assert_eq!(span.start, "SELECT * FROM".len());
     }
 }

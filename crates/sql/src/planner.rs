@@ -28,7 +28,7 @@ impl SchemaProvider for exptime_core::catalog::Catalog {
     fn schema_of(&self, name: &str) -> Result<Schema, SqlError> {
         self.get(name)
             .map(|r| r.schema().clone())
-            .map_err(|_| SqlError::Plan(format!("unknown relation `{name}`")))
+            .map_err(|_| SqlError::plan(format!("unknown relation `{name}`")))
     }
 }
 
@@ -63,12 +63,14 @@ impl Scope {
                     .tables
                     .iter()
                     .find(|(name, _, _)| name.eq_ignore_ascii_case(t))
-                    .ok_or_else(|| {
-                        SqlError::Plan(format!("unknown table `{t}` in column `{col}`"))
+                    .ok_or_else(|| SqlError::Plan {
+                        message: format!("unknown table `{t}` in column `{col}`"),
+                        span: col.span,
                     })?;
-                let pos = schema
-                    .position(&col.column)
-                    .ok_or_else(|| SqlError::Plan(format!("unknown column `{col}`")))?;
+                let pos = schema.position(&col.column).ok_or_else(|| SqlError::Plan {
+                    message: format!("unknown column `{col}`"),
+                    span: col.span,
+                })?;
                 Ok(offset + pos)
             }
             None => {
@@ -79,15 +81,21 @@ impl Scope {
                     }
                 }
                 match hits.len() {
-                    0 => Err(SqlError::Plan(format!("unknown column `{col}`"))),
+                    0 => Err(SqlError::Plan {
+                        message: format!("unknown column `{col}`"),
+                        span: col.span,
+                    }),
                     1 => Ok(hits[0].1),
-                    _ => Err(SqlError::Plan(format!(
-                        "ambiguous column `{col}`: candidates in {}",
-                        hits.iter()
-                            .map(|(t, _)| t.as_str())
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    ))),
+                    _ => Err(SqlError::Plan {
+                        message: format!(
+                            "ambiguous column `{col}`: candidates in {}",
+                            hits.iter()
+                                .map(|(t, _)| t.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                        span: col.span,
+                    }),
                 }
             }
         }
@@ -117,7 +125,7 @@ fn plan_scalar(s: &Scalar, scope: &Scope) -> Result<Operand, SqlError> {
         Scalar::Column(c) => Operand::Attr(scope.resolve(c)?),
         Scalar::Literal(l) => Operand::Const(l.to_value()),
         Scalar::Aggregate { func, .. } => {
-            return Err(SqlError::Plan(format!(
+            return Err(SqlError::plan(format!(
                 "aggregate {func:?} is only allowed in HAVING"
             )))
         }
@@ -131,14 +139,17 @@ fn plan_agg(func: AggName, arg: Option<usize>) -> Result<AggFunc, SqlError> {
         (AggName::Avg, Some(i)) => AggFunc::Avg(i),
         (AggName::Min, Some(i)) => AggFunc::Min(i),
         (AggName::Max, Some(i)) => AggFunc::Max(i),
-        (f, None) => return Err(SqlError::Plan(format!("{f:?} requires a column argument"))),
+        (f, None) => return Err(SqlError::plan(format!("{f:?} requires a column argument"))),
     })
 }
 
 /// Plans one query body.
 fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, SqlError> {
     if body.from.is_empty() {
-        return Err(SqlError::Plan("FROM list is empty".into()));
+        return Err(SqlError::Plan {
+            message: "FROM list is empty".into(),
+            span: body.span,
+        });
     }
     let scope = Scope::build(&body.from, provider)?;
 
@@ -152,15 +163,16 @@ fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, Sq
         expr = expr.select(plan_cond(cond, &scope)?);
     }
 
-    // Split projection into aggregates and plain columns.
+    // Split projection into aggregates and plain columns (keeping each
+    // plain column's source span for diagnostics).
     let mut aggs: Vec<(AggName, Option<usize>)> = Vec::new();
-    let mut plain: Vec<usize> = Vec::new();
+    let mut plain: Vec<(usize, crate::span::Span)> = Vec::new();
     let mut wildcard = false;
     for item in &body.projection {
         match item {
             SelectItem::Wildcard => wildcard = true,
-            SelectItem::Column(c) => plain.push(scope.resolve(c)?),
-            SelectItem::Aggregate { func, arg } => {
+            SelectItem::Column(c) => plain.push((scope.resolve(c)?, c.span)),
+            SelectItem::Aggregate { func, arg, .. } => {
                 let pos = arg.as_ref().map(|c| scope.resolve(c)).transpose()?;
                 aggs.push((*func, pos));
             }
@@ -172,13 +184,14 @@ fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, Sq
         if wildcard {
             return Ok(expr);
         }
-        return Ok(expr.project(plain));
+        return Ok(expr.project(plain.into_iter().map(|(p, _)| p).collect::<Vec<_>>()));
     }
 
     if wildcard {
-        return Err(SqlError::Plan(
-            "`*` cannot be combined with GROUP BY / aggregates".into(),
-        ));
+        return Err(SqlError::Plan {
+            message: "`*` cannot be combined with GROUP BY / aggregates".into(),
+            span: body.span,
+        });
     }
     let group_positions: Vec<usize> = body
         .group_by
@@ -186,12 +199,15 @@ fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, Sq
         .map(|c| scope.resolve(c))
         .collect::<Result<_, _>>()?;
     // SQL rule: plain projected columns must be grouped.
-    for &p in &plain {
+    for &(p, span) in &plain {
         if !group_positions.contains(&p) {
-            return Err(SqlError::Plan(format!(
-                "projected column #{} is neither aggregated nor in GROUP BY",
-                p + 1
-            )));
+            return Err(SqlError::Plan {
+                message: format!(
+                    "projected column #{} is neither aggregated nor in GROUP BY",
+                    p + 1
+                ),
+                span,
+            });
         }
     }
     // HAVING may introduce aggregates not in the SELECT list; they are
@@ -201,7 +217,10 @@ fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, Sq
         collect_having_aggs(h, &scope, &mut having_aggs)?;
     }
     if aggs.is_empty() && having_aggs.is_empty() {
-        return Err(SqlError::Plan("GROUP BY without an aggregate".into()));
+        return Err(SqlError::Plan {
+            message: "GROUP BY without an aggregate".into(),
+            span: body.span,
+        });
     }
     let mut all_aggs: Vec<(AggName, Option<usize>)> = aggs.clone();
     for ha in &having_aggs {
@@ -254,7 +273,7 @@ fn plan_body(body: &QueryBody, provider: &dyn SchemaProvider) -> Result<Expr, Sq
     for item in &body.projection {
         match item {
             SelectItem::Column(c) => out_positions.push(scope.resolve(c)?),
-            SelectItem::Aggregate { func, arg } => {
+            SelectItem::Aggregate { func, arg, .. } => {
                 let key = (*func, arg.as_ref().map(|c| scope.resolve(c)).transpose()?);
                 let slot = all_aggs
                     .iter()
@@ -312,9 +331,12 @@ fn plan_having_cond(
             Scalar::Column(c) => {
                 let pos = scope.resolve(c)?;
                 if !group_positions.contains(&pos) {
-                    return Err(SqlError::Plan(format!(
-                        "HAVING column `{c}` is neither aggregated nor in GROUP BY"
-                    )));
+                    return Err(SqlError::Plan {
+                        message: format!(
+                            "HAVING column `{c}` is neither aggregated nor in GROUP BY"
+                        ),
+                        span: c.span,
+                    });
                 }
                 Operand::Attr(pos)
             }
@@ -601,10 +623,7 @@ mod tests {
     fn plan_table_cond_for_delete() {
         let p = plan_table_cond(
             &Cond::Cmp {
-                left: Scalar::Column(ColumnRef {
-                    table: None,
-                    column: "uid".into(),
-                }),
+                left: Scalar::Column(ColumnRef::new(None, "uid")),
                 op: CmpOp::Eq,
                 right: Scalar::Literal(Literal::Int(1)),
             },

@@ -1,0 +1,153 @@
+//! Byte spans into SQL source text.
+//!
+//! Every token the lexer produces — and, from there, the AST nodes the
+//! parser builds — carries a half-open byte range `start..end` into the
+//! original statement string. Diagnostics (parse errors, plan errors, and
+//! the `exptime-lint` analyzer) use these to point a caret at the exact
+//! offending source fragment.
+//!
+//! Like `proc_macro2`/`syn` spans, a [`Span`] **never participates in
+//! structural equality or hashing**: two ASTs that differ only in where
+//! their nodes came from compare equal. This keeps `parse(unparse(ast))
+//! == ast` and every equality-based test honest while letting span fields
+//! ride along on otherwise-`PartialEq` nodes.
+
+use std::fmt;
+use std::hash::Hasher;
+
+/// A half-open byte range `start..end` into the source statement.
+#[derive(Clone, Copy, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned fragment.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned fragment.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span of nodes built without source text (API-constructed ASTs,
+    /// unparse round-trips). Dummy spans render as "no position".
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// A span covering `start..end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// Whether this is the [`Span::DUMMY`] placeholder.
+    #[must_use]
+    pub fn is_dummy(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`. Dummy sides
+    /// are ignored so API-built fragments don't drag spans to offset 0.
+    #[must_use]
+    pub fn union(self, other: Span) -> Span {
+        match (self.is_dummy(), other.is_dummy()) {
+            (true, _) => other,
+            (_, true) => self,
+            (false, false) => Span {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            },
+        }
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Spans are positions, not content: equality always holds (syn-style),
+/// so span-carrying AST nodes keep their structural `PartialEq`.
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
+/// Consistent with the always-equal `PartialEq`: spans hash to nothing.
+impl std::hash::Hash for Span {
+    fn hash<H: Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset in `src`. Columns count
+/// *characters*, not bytes, so multi-byte UTF-8 content doesn't shift the
+/// caret; offsets past the end clamp to one past the last column. (The
+/// seed reported raw 0-based byte offsets — off by one against every
+/// editor's 1-based convention; this is the fixed, human-facing form.)
+#[must_use]
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let before = &src[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let line_start = before.rfind('\n').map_or(0, |i| i + 1);
+    let col = before[line_start..].chars().count() + 1;
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_compare_equal_regardless_of_position() {
+        assert_eq!(Span::new(3, 9), Span::new(40, 41));
+        assert_eq!(Span::DUMMY, Span::new(7, 8));
+    }
+
+    #[test]
+    fn union_ignores_dummies() {
+        let s = Span::new(5, 8).union(Span::new(2, 6));
+        assert!(s.start == 2 && s.end == 8);
+        let d = Span::DUMMY.union(Span::new(5, 8));
+        assert!(d.start == 5 && d.end == 8);
+        let d2 = Span::new(5, 8).union(Span::DUMMY);
+        assert!(d2.start == 5 && d2.end == 8);
+    }
+
+    #[test]
+    fn line_col_is_one_based_and_char_counted() {
+        let src = "SELECT *\nFROM pöl WHERE x";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 7), (1, 8));
+        // Offset of 'W': "FROM pöl " is 10 bytes (ö is 2), starting at 9.
+        let w = src.find("WHERE").unwrap();
+        assert_eq!(line_col(src, w), (2, 10), "ö counts as one column");
+        // Past-the-end clamps to one past the last column of the last
+        // line ("FROM pöl WHERE x" is 16 chars).
+        assert_eq!(line_col(src, 999), (2, 17));
+    }
+
+    #[test]
+    fn dummy_detection_and_len() {
+        assert!(Span::DUMMY.is_dummy());
+        assert!(Span::DUMMY.is_empty());
+        assert!(!Span::new(1, 4).is_dummy());
+        assert_eq!(Span::new(1, 4).len(), 3);
+    }
+}

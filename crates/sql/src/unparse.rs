@@ -81,7 +81,7 @@ fn item_to_sql(i: &SelectItem) -> String {
     match i {
         SelectItem::Wildcard => "*".to_string(),
         SelectItem::Column(c) => c.to_string(),
-        SelectItem::Aggregate { func, arg } => match arg {
+        SelectItem::Aggregate { func, arg, .. } => match arg {
             Some(c) => format!("{}({c})", agg_name(func)),
             None => format!("{}(*)", agg_name(func)),
         },

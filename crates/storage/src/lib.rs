@@ -12,6 +12,8 @@
 //!   expiration times, expiry scheduling, secondary indexes, and a bridge
 //!   into the `exptime-core` algebra via [`table::Table::to_relation`].
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod expiry;
 pub mod heap;

@@ -35,6 +35,8 @@
 //! The engine (`exptime-engine`) owns the wiring: which operations log
 //! which records, and how a [`Checkpoint`] maps onto a `Database`.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod crc;
 pub mod log;

@@ -40,6 +40,7 @@ pub trait WalStore: Send {
 
 /// Directory-backed store: `<dir>/wal.log` (append-only) and
 /// `<dir>/checkpoint.bin` (replaced via write-temp + fsync + rename).
+#[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
     log: File,

@@ -10,6 +10,17 @@ cargo test -q --doc --workspace
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
+# Repo-invariant lint (exptime-lint R001–R003): no wall-clock reads
+# outside core/time.rs, no unwrap/expect in durability paths, and
+# #![forbid(unsafe_code)] in every crate root.
+cargo run --release -q -p exptime-lint --bin repolint
+
+# Analyzer golden tests: the Fig. 3 anomalies must flag their exact
+# codes and spans; the Fig. 2 monotonic workload must stay clean; and
+# Sound(∞) verdicts must match what view maintenance actually does.
+cargo test -q --test lint_golden
+cargo test -q --test prop_lint
+
 # Observability smoke: the obs experiment runs its workload assertions
 # (snapshot consistency, monitor overhead) without writing artifacts.
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check obs

@@ -9,6 +9,8 @@
 //! significance tests — the numbers are for eyeballing relative cost and
 //! feeding `BENCH_*.json` snapshots, which is all this repository needs.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -14,6 +14,8 @@
 //!   ranges, `\PC` (any non-control character), and `{m,n}`/`{n}`
 //!   repetition.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -95,6 +95,12 @@ impl<S: Strategy> DynStrategy<S::Value> for S {
 /// A type-erased, cheaply cloneable strategy.
 pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
 
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxedStrategy").finish_non_exhaustive()
+    }
+}
+
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         BoxedStrategy(Rc::clone(&self.0))
@@ -124,6 +130,15 @@ impl<T: Clone> Strategy for Just<T> {
 pub struct Union<T> {
     branches: Vec<(u32, BoxedStrategy<T>)>,
     total_weight: u64,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("branches", &self.branches.len())
+            .field("total_weight", &self.total_weight)
+            .finish()
+    }
 }
 
 impl<T> Union<T> {

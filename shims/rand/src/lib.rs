@@ -9,6 +9,8 @@
 //! repository seeds explicitly, and identical seeds must reproduce
 //! identical workloads across runs and machines.
 
+#![forbid(unsafe_code)]
+
 pub mod rngs {
     /// The standard deterministic generator (xoshiro256++).
     #[derive(Debug, Clone)]

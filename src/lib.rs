@@ -29,8 +29,11 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![forbid(unsafe_code)]
+
 pub use exptime_core as core;
 pub use exptime_engine as engine;
+pub use exptime_lint as lint;
 pub use exptime_obs as obs;
 pub use exptime_replica as replica;
 pub use exptime_sql as sql;

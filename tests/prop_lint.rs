@@ -1,0 +1,77 @@
+//! Property tests for the soundness lattice: the analyzer's static
+//! verdicts must agree with what the maintenance machinery actually does.
+//! `Sound(∞)` is a *promise* — a plan classified monotonic with an
+//! infinite static bound must never produce a stale materialised view and
+//! must never recompute.
+
+mod common;
+
+use common::{arb_catalog, arb_expr, probe_times};
+use exptime::core::algebra::{eval, EvalOptions};
+use exptime::core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
+use exptime::core::rewrite::{rewrite, Monotonicity, StaticBound};
+use exptime::core::time::Time;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The tentpole promise: a plan the analyzer calls `Sound(∞)` never
+    /// serves a stale read and never recomputes, at any probe instant.
+    #[test]
+    fn sound_infinite_plans_never_go_stale(
+        catalog in arb_catalog(12),
+        expr in arb_expr(),
+    ) {
+        let s = expr.soundness();
+        prop_assume!(s.is_sound_infinite());
+        let mut view = MaterializedView::new(
+            expr.clone(),
+            &catalog,
+            Time::ZERO,
+            EvalOptions::default(),
+            RefreshPolicy::Recompute,
+            RemovalPolicy::Lazy,
+        )?;
+        for tau in probe_times(&catalog) {
+            let seen = view.read(&catalog, tau)?;
+            let fresh = eval(&expr, &catalog, tau, &EvalOptions::default())?;
+            prop_assert!(
+                seen.set_eq(&fresh.rel.exp(tau)),
+                "stale Sound(∞) view at {tau}: {expr}"
+            );
+        }
+        prop_assert_eq!(view.stats().recomputations, 0, "Sound(∞) recomputed: {}", expr);
+    }
+
+    /// The lattice agrees with the operator census: a plan is monotonic
+    /// iff it contains no difference or aggregate, and then (and only
+    /// then) its static bound is infinite.
+    #[test]
+    fn soundness_classification_matches_structure(expr in arb_expr()) {
+        let s = expr.soundness();
+        prop_assert_eq!(
+            s.monotonicity == Monotonicity::Monotonic,
+            s.non_monotonic_count == 0
+        );
+        prop_assert_eq!(
+            s.bound == StaticBound::Infinite,
+            s.non_monotonic_count == 0
+        );
+        prop_assert_eq!(s.is_sound_infinite(), expr.is_monotonic());
+    }
+
+    /// The pull-up rewrite never makes a plan less sound: the rewritten
+    /// plan's monotonicity class is never above (worse than) the original
+    /// in the lattice, and the non-monotonic operator census is unchanged.
+    #[test]
+    fn rewrite_never_worsens_soundness(expr in arb_expr()) {
+        let before = expr.soundness();
+        let after = rewrite(&expr).soundness();
+        prop_assert!(
+            after.monotonicity <= before.monotonicity,
+            "rewrite worsened {} -> {}", before.monotonicity, after.monotonicity
+        );
+        prop_assert_eq!(after.non_monotonic_count, before.non_monotonic_count);
+    }
+}

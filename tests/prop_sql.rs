@@ -6,7 +6,7 @@ use exptime::core::predicate::CmpOp;
 use exptime::core::value::ValueType;
 use exptime::sql::ast::*;
 use exptime::sql::unparse::statement_to_sql;
-use exptime::sql::{parse, parse_many};
+use exptime::sql::{parse, parse_many, Span};
 use proptest::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
@@ -16,7 +16,7 @@ fn arb_ident() -> impl Strategy<Value = String> {
 
 fn arb_colref() -> impl Strategy<Value = ColumnRef> {
     (proptest::option::of(arb_ident()), arb_ident())
-        .prop_map(|(table, column)| ColumnRef { table, column })
+        .prop_map(|(table, column)| ColumnRef::new(table, column))
 }
 
 fn arb_literal() -> impl Strategy<Value = Literal> {
@@ -84,12 +84,13 @@ fn arb_items() -> impl Strategy<Value = Vec<SelectItem>> {
                         let arg = if func == AggName::Count {
                             arg
                         } else {
-                            Some(arg.unwrap_or(ColumnRef {
-                                table: None,
-                                column: "x_c".into(),
-                            }))
+                            Some(arg.unwrap_or(ColumnRef::new(None, "x_c")))
                         };
-                        SelectItem::Aggregate { func, arg }
+                        SelectItem::Aggregate {
+                            func,
+                            arg,
+                            span: Span::DUMMY,
+                        }
                     }),
             ],
             1..4
@@ -109,10 +110,7 @@ fn arb_having() -> impl Strategy<Value = Cond> {
             let arg = if func == AggName::Count {
                 arg
             } else {
-                Some(arg.unwrap_or(ColumnRef {
-                    table: None,
-                    column: "x_c".into(),
-                }))
+                Some(arg.unwrap_or(ColumnRef::new(None, "x_c")))
             };
             Cond::Cmp {
                 left: Scalar::Aggregate { func, arg },
@@ -137,6 +135,7 @@ fn arb_body() -> impl Strategy<Value = QueryBody> {
                 selection,
                 group_by,
                 having,
+                span: Span::DUMMY,
             },
         )
 }
@@ -161,8 +160,10 @@ fn arb_query() -> impl Strategy<Value = Query> {
         .prop_map(|(body, compound, order_by, limit)| Query {
             body,
             compound,
+            set_op_spans: Vec::new(),
             order_by,
             limit,
+            span: Span::DUMMY,
         })
 }
 

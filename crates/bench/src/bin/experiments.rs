@@ -2,7 +2,8 @@
 //! report tables recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
-//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, obs, a1, a2}; omit ids for all.
+//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, e8scope, obs, a1, a2}; omit
+//! ids for all.
 //! `--quick` shrinks the workloads (used in CI smoke runs); `--check` skips
 //! all file writes (CI runs the experiments for their assertions, not their
 //! artifacts). The `obs` experiment otherwise writes a `BENCH_obs.json`
@@ -118,6 +119,22 @@ fn main() {
     }
     if run("e8") {
         println!("{}", ex::e8_rewriting(500 * scale, 29).0.render());
+    }
+    if run("e8scope") {
+        let (report, _, json) = ex::e8scope_forecast_accuracy(512 * scale as usize, 59);
+        println!("{}", report.render());
+        let doc = json.render();
+        if check {
+            println!(
+                "--check: BENCH_scope.json not written ({} bytes)\n",
+                doc.len()
+            );
+        } else {
+            match std::fs::write("BENCH_scope.json", &doc) {
+                Ok(()) => println!("wrote BENCH_scope.json ({} bytes)\n", doc.len()),
+                Err(e) => eprintln!("could not write BENCH_scope.json: {e}"),
+            }
+        }
     }
     if run("e9") {
         println!(

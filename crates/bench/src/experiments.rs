@@ -15,7 +15,7 @@ use exptime_core::materialize::{MaterializedView, RefreshPolicy, RemovalPolicy};
 use exptime_core::predicate::{CmpOp, Predicate};
 use exptime_core::rewrite;
 use exptime_core::time::Time;
-use exptime_engine::{Database, DbConfig, Removal};
+use exptime_engine::{Database, DbConfig, ForecastConfig, Removal};
 use exptime_obs::JsonValue;
 use exptime_replica::{
     ChaosDeletePush, ChaosReplica, DeletePushReplica, FaultSpec, PollingReplica, Replica,
@@ -1941,9 +1941,228 @@ pub fn obs_monitor_overhead(rows: usize, seed: u64) -> (Report, exptime_obs::Jso
     (report, json)
 }
 
+// ---------------------------------------------------------------------
+// E8-scope — forecast accuracy: predicted vs actual expiration load
+// ---------------------------------------------------------------------
+
+/// Measured outcome of E8-scope (what the unit tests pin down).
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeSummary {
+    /// Eager removal: predicted and actual histograms agree exactly.
+    pub eager_exact: bool,
+    /// Eager removal: agreement within one log₂ bucket.
+    pub eager_within_one: bool,
+    /// Lazy removal: vacuum-cadence drift stays within one bucket.
+    pub lazy_within_one: bool,
+    /// Rows the t₀ forecast predicted to expire.
+    pub predicted: u64,
+    /// Rows actually expired by the horizon (eager run).
+    pub actual: u64,
+    /// `storm_warning` events observed on the ring (eager run).
+    pub storms: u64,
+}
+
+/// E8-scope: seed an expiry-heavy table (¾ uniform lifetimes plus a ¼
+/// flash-crowd cohort that all expires in one narrow window), take ONE
+/// [`Database::forecast`] at t₀, then run the clock to the horizon and
+/// histogram when expirations are actually *processed* into the same
+/// log₂ buckets. Under eager removal processing happens exactly at
+/// `texp`, so prediction and reality agree bucket-for-bucket; under lazy
+/// removal every row drifts to its vacuum tick, bounded by the vacuum
+/// cadence — within one bucket for lifetimes past the cadence. The
+/// flash-crowd cohort must also surface as a `storm_warning`.
+#[must_use]
+pub fn e8scope_forecast_accuracy(rows: usize, seed: u64) -> (Report, ScopeSummary, JsonValue) {
+    use exptime_obs::JsonValue as J;
+    use exptime_obs::{HorizonForecast, FORECAST_BUCKETS};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const MAX_LIFE: u64 = 512;
+    const VACUUM_EVERY: u64 = 4;
+
+    // Hall's condition for a transport between the two histograms in
+    // which every row moves at most `shift` buckets, checked over every
+    // bucket interval in both directions.
+    fn within_shift(
+        p: &[u64; FORECAST_BUCKETS],
+        a: &[u64; FORECAST_BUCKETS],
+        shift: usize,
+    ) -> bool {
+        if p.iter().sum::<u64>() != a.iter().sum::<u64>() {
+            return false;
+        }
+        let window = |h: &[u64; FORECAST_BUCKETS], l: usize, r: usize| -> u64 {
+            h[l.saturating_sub(shift)..(r + shift + 1).min(FORECAST_BUCKETS)]
+                .iter()
+                .sum()
+        };
+        for l in 0..FORECAST_BUCKETS {
+            for r in l..FORECAST_BUCKETS {
+                let a_sum: u64 = a[l..=r].iter().sum();
+                let p_sum: u64 = p[l..=r].iter().sum();
+                if a_sum > window(p, l, r) || p_sum > window(a, l, r) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    let storm_threshold = (rows as u64 / 256).max(2);
+    let run = |removal: Removal| -> ([u64; FORECAST_BUCKETS], [u64; FORECAST_BUCKETS], u64) {
+        let mut db = Database::new(DbConfig {
+            removal,
+            forecast: ForecastConfig { storm_threshold },
+            ..DbConfig::default()
+        });
+        let ring = db.obs().install_ring(16 * 1024);
+        db.execute("CREATE TABLE sessions (uid INT, deg INT)")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..rows {
+            // Lifetimes start at 8 so lazy drift (≤ VACUUM_EVERY) cannot
+            // jump more than one log₂ bucket. Every 4th row joins the
+            // flash-crowd cohort inside bucket [64,127].
+            let life = if i % 4 == 0 {
+                rng.gen_range(96..=127)
+            } else {
+                rng.gen_range(8..=MAX_LIFE)
+            };
+            db.insert(
+                "sessions",
+                exptime_core::tuple![i as i64, (i % 100) as i64],
+                db.now() + life,
+            )
+            .unwrap();
+        }
+        let t0 = db.now().finite().unwrap_or(0);
+        let predicted = *db.forecast().horizon.buckets();
+        let mut actual = [0u64; FORECAST_BUCKETS];
+        let mut prev = db.stats().expired;
+        for _ in 0..(MAX_LIFE + 4 * VACUUM_EVERY) {
+            db.tick(1);
+            let cur = db.stats().expired;
+            if cur > prev {
+                let delta = db.now().finite().unwrap_or(0) - t0;
+                actual[HorizonForecast::bucket_of(delta)] += cur - prev;
+            }
+            prev = cur;
+        }
+        let storms = ring
+            .recent(16 * 1024)
+            .into_iter()
+            .filter(|e| e.kind.tag() == "storm_warning")
+            .count() as u64;
+        (predicted, actual, storms)
+    };
+
+    let (p_eager, a_eager, storms) = run(Removal::Eager);
+    let (p_lazy, a_lazy, _) = run(Removal::Lazy {
+        vacuum_every: VACUUM_EVERY,
+    });
+
+    let summary = ScopeSummary {
+        eager_exact: p_eager == a_eager,
+        eager_within_one: within_shift(&p_eager, &a_eager, 1),
+        lazy_within_one: within_shift(&p_lazy, &a_lazy, 1),
+        predicted: p_eager.iter().sum(),
+        actual: a_eager.iter().sum(),
+        storms,
+    };
+
+    let bucket_rows = |p: &[u64; FORECAST_BUCKETS], a: &[u64; FORECAST_BUCKETS]| -> Vec<J> {
+        (0..FORECAST_BUCKETS)
+            .filter(|&k| p[k] > 0 || a[k] > 0)
+            .map(|k| {
+                let (lo, hi) = HorizonForecast::bucket_bounds(k);
+                J::Object(vec![
+                    ("bucket".into(), J::Uint(k as u64)),
+                    ("lo".into(), J::Uint(lo)),
+                    ("hi".into(), J::Uint(hi)),
+                    ("predicted".into(), J::Uint(p[k])),
+                    ("actual".into(), J::Uint(a[k])),
+                ])
+            })
+            .collect()
+    };
+    let json = J::Object(vec![
+        ("experiment".into(), J::String("e8scope".into())),
+        ("rows".into(), J::Uint(rows as u64)),
+        ("seed".into(), J::Uint(seed)),
+        ("storm_threshold".into(), J::Uint(storm_threshold)),
+        ("predicted".into(), J::Uint(summary.predicted)),
+        ("actual".into(), J::Uint(summary.actual)),
+        ("eager_exact".into(), J::Bool(summary.eager_exact)),
+        (
+            "eager_within_one_bucket".into(),
+            J::Bool(summary.eager_within_one),
+        ),
+        (
+            "lazy_within_one_bucket".into(),
+            J::Bool(summary.lazy_within_one),
+        ),
+        ("storm_warnings".into(), J::Uint(summary.storms)),
+        ("eager".into(), J::Array(bucket_rows(&p_eager, &a_eager))),
+        ("lazy".into(), J::Array(bucket_rows(&p_lazy, &a_lazy))),
+    ]);
+
+    let displaced_lazy: u64 = (0..FORECAST_BUCKETS)
+        .map(|k| p_lazy[k].abs_diff(a_lazy[k]))
+        .sum::<u64>()
+        / 2;
+    let report = Report {
+        title: "E8-scope — forecast accuracy (predicted vs processed expirations)".into(),
+        lines: vec![
+            format!(
+                "workload: {rows} rows, lifetimes 8..={MAX_LIFE} with a 25% flash-crowd \
+                 cohort in [96,127], storm threshold {storm_threshold}/tick"
+            ),
+            format!(
+                "eager:  {} predicted / {} processed — exact bucket match: {}",
+                summary.predicted, summary.actual, summary.eager_exact
+            ),
+            format!(
+                "lazy:   vacuum every {VACUUM_EVERY} displaces {displaced_lazy} row(s) \
+                 across a bucket edge — within one bucket: {}",
+                summary.lazy_within_one
+            ),
+            format!(
+                "storms: {} storm_warning event(s) for the flash-crowd bucket",
+                summary.storms
+            ),
+        ],
+    };
+    (report, summary, json)
+}
+
 #[cfg(test)]
 mod obs_tests {
     use super::*;
+
+    #[test]
+    fn e8scope_forecast_matches_reality_within_one_bucket() {
+        let (report, summary, json) = e8scope_forecast_accuracy(256, 59);
+        // Eager removal processes each row exactly at its texp: the t₀
+        // prediction is bucket-for-bucket exact.
+        assert!(summary.eager_exact, "{}", report.render());
+        assert!(summary.eager_within_one);
+        // Lazy removal drifts by at most the vacuum cadence — never more
+        // than one log₂ bucket for this workload's lifetimes.
+        assert!(summary.lazy_within_one, "{}", report.render());
+        assert_eq!(summary.predicted, 256);
+        assert_eq!(summary.actual, 256);
+        // The flash-crowd cohort must trip the storm detector.
+        assert!(summary.storms >= 1, "{}", report.render());
+        let doc = json.render();
+        assert!(doc.contains("\"eager_within_one_bucket\""), "{doc}");
+        assert!(doc.contains("\"lazy_within_one_bucket\""), "{doc}");
+        assert!(doc.contains("\"storm_warnings\""), "{doc}");
+        // Deterministic: same seed, same histograms.
+        let (_, s2, _) = e8scope_forecast_accuracy(256, 59);
+        assert_eq!(summary.predicted, s2.predicted);
+        assert_eq!(summary.storms, s2.storms);
+    }
 
     #[test]
     fn obs_snapshot_json_is_consistent_with_stats() {

@@ -10,7 +10,10 @@ use crate::render::render_relation;
 use exptime_core::rewrite;
 use exptime_core::time::Time;
 use exptime_engine::{Database, DbConfig, ExecResult};
-use exptime_obs::{expose_json, expose_prometheus, render_span_tree, RingSink};
+use exptime_obs::{
+    expose_json, expose_prometheus, fold_spans, render_flame, render_span_tree, RingSink,
+    SPAN_RING_CAP,
+};
 use exptime_sql::{plan_query, SchemaProvider};
 use std::sync::Arc;
 
@@ -74,6 +77,12 @@ Meta commands:
                   (`prom` = Prometheus text format, `json` = JSON)
   \\health         staleness/SLO snapshot: per-view time-to-expiration,
                   trigger-lateness and refresh-latency percentiles
+  \\forecast       expiration-horizon forecast: predicted expirations per
+                  log2 time bucket, per-table load, view refresh
+                  deadlines, and storm warnings
+  \\profile        query-profile rollup: always-on statement totals,
+                  sampled per-operator costs, and a flamegraph-style
+                  self-time rollup of the span ring
   \\events [N]     show the last N engine events (default 20)
   \\spans [N]      show the last N tracing spans as a call tree (default 20)
   \\watch [SECS]   live dashboard (stats + health), re-rendered every
@@ -308,6 +317,24 @@ impl Repl {
                 Outcome::Text(out)
             }
             "\\health" => Outcome::Text(format!("{}", self.db.health())),
+            "\\forecast" => {
+                if !arg.is_empty() {
+                    return Outcome::Text("usage: \\forecast\n".into());
+                }
+                Outcome::Text(self.db.forecast().render(40))
+            }
+            "\\profile" => {
+                if !arg.is_empty() {
+                    return Outcome::Text("usage: \\profile\n".into());
+                }
+                let mut out = self.db.profile_stats().render();
+                let spans = self.db.tracer().recent(SPAN_RING_CAP);
+                if !spans.is_empty() {
+                    out.push_str("\nflame (self-time per stack):\n");
+                    out.push_str(&render_flame(&fold_spans(&spans), 32));
+                }
+                Outcome::Text(out)
+            }
             "\\spans" => {
                 let n = if arg.is_empty() {
                     20
@@ -830,6 +857,43 @@ mod tests {
         assert!(dash.contains("exptime — t = 3"), "{dash}");
         assert!(dash.contains("status:"), "{dash}");
         assert!(dash.contains("recent events:"), "{dash}");
+    }
+
+    #[test]
+    fn forecast_command_shows_horizon_views_and_storms() {
+        let mut r = Repl::new();
+        let out = text(r.feed("\\forecast"));
+        assert!(out.contains("0 expiring, 0 eternal (0 live)"), "{out}");
+        text(r.feed("\\demo"));
+        text(r.feed(
+            "CREATE MATERIALIZED VIEW others AS SELECT uid FROM pol EXCEPT SELECT uid FROM el;",
+        ));
+        text(r.feed("SELECT * FROM others;"));
+        let out = text(r.feed("\\forecast"));
+        assert!(out.contains("horizon at t=0: 6 expiring"), "{out}");
+        assert!(out.contains("table pol: 3 expiring, 0 eternal"), "{out}");
+        assert!(out.contains("table el: 3 expiring, 0 eternal"), "{out}");
+        assert!(out.contains("view others: refresh due in"), "{out}");
+        assert!(text(r.feed("\\forecast nope")).contains("usage"));
+        assert!(text(r.feed("\\help")).contains("\\forecast"));
+    }
+
+    #[test]
+    fn profile_command_rolls_up_statements_and_spans() {
+        let mut r = Repl::new();
+        text(r.feed("\\demo"));
+        text(r.feed("SELECT * FROM pol;"));
+        text(r.feed("SELECT * FROM el;"));
+        let out = text(r.feed("\\profile"));
+        assert!(out.contains("statements=2 sampled="), "{out}");
+        assert!(out.contains("rows_scanned=6"), "{out}");
+        // The first statement is always sampled, so Base shows up in the
+        // per-operator table; the interactive tracer feeds the flame.
+        assert!(out.contains("Base"), "{out}");
+        assert!(out.contains("flame (self-time per stack):"), "{out}");
+        assert!(out.contains("sql"), "{out}");
+        assert!(text(r.feed("\\profile nope")).contains("usage"));
+        assert!(text(r.feed("\\help")).contains("\\profile"));
     }
 
     #[test]

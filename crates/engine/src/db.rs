@@ -25,7 +25,8 @@ use exptime_core::time::{Clock, Time};
 use exptime_core::tuple::Tuple;
 use exptime_core::value::{Value, ValueType};
 use exptime_obs::{
-    Counter, EventKind, Health, Histogram, MetricsRegistry, Obs, SloConfig, StalenessMonitor,
+    AllocCounter, Counter, EventKind, Health, Histogram, HorizonForecast, MetricsRegistry, Obs,
+    OperatorCost, ProfileStats, Profiler, QueryProfile, SloConfig, StalenessMonitor, StormBucket,
     Tracer,
 };
 use exptime_sql::ast::{Expires, Statement};
@@ -56,6 +57,26 @@ pub enum Removal {
     },
 }
 
+/// Configuration for the expiration-horizon forecaster (DESIGN.md §8.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForecastConfig {
+    /// Predicted expirations-per-tick above which a horizon bucket is a
+    /// *storm*: every clock advance recomputes the forecast and emits a
+    /// `storm_warning` event for each bucket whose rate `count / 2^k`
+    /// strictly exceeds this. Zero means any non-empty bucket warns.
+    pub storm_threshold: u64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        // High enough that steady drip workloads stay quiet; a derived
+        // zero would make every expiring tuple a "storm".
+        ForecastConfig {
+            storm_threshold: 64,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DbConfig {
@@ -80,6 +101,67 @@ pub struct DbConfig {
     /// [`Database::open`] / [`Database::open_with_store`], which recover
     /// from the log before serving.
     pub durability: Durability,
+    /// Expiration-horizon forecasting (storm detection threshold).
+    pub forecast: ForecastConfig,
+}
+
+/// A point-in-time forecast of the database's future expiration load:
+/// the merged [`HorizonForecast`] across all tables, each table's own
+/// horizon, each materialised view's ticks-until-refresh, and any
+/// buckets exceeding the configured storm threshold. Built by
+/// [`Database::forecast`]; rendered by the CLI's `\forecast`.
+#[derive(Debug, Clone)]
+pub struct DbForecast {
+    /// Logical instant the forecast is anchored at.
+    pub now: u64,
+    /// Storm threshold in effect (predicted expirations per tick).
+    pub threshold: u64,
+    /// Merged horizon across every table.
+    pub horizon: HorizonForecast,
+    /// Per-table horizons, in name order.
+    pub tables: Vec<(String, HorizonForecast)>,
+    /// Each materialised view's predicted refresh deadline: ticks until
+    /// its `texp` forces a refresh decision, or `None` when eternal.
+    pub views: Vec<(String, Option<u64>)>,
+    /// Buckets of the merged horizon whose predicted expirations-per-tick
+    /// rate exceeds [`DbForecast::threshold`].
+    pub storms: Vec<StormBucket>,
+}
+
+impl DbForecast {
+    /// Renders the forecast for humans: the merged load curve, per-table
+    /// and per-view summaries, and storm warnings last.
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.horizon.render(width);
+        for (name, f) in &self.tables {
+            let _ = writeln!(
+                out,
+                "table {name}: {} expiring, {} eternal",
+                f.expiring(),
+                f.eternal()
+            );
+        }
+        for (name, due) in &self.views {
+            match due {
+                Some(d) => {
+                    let _ = writeln!(out, "view {name}: refresh due in {d} tick(s)");
+                }
+                None => {
+                    let _ = writeln!(out, "view {name}: eternal (no expiration-forced refresh)");
+                }
+            }
+        }
+        for s in &self.storms {
+            let _ = writeln!(
+                out,
+                "STORM [+{},+{}]: {} predicted expirations (> {}/tick)",
+                s.lo, s.hi, s.predicted, self.threshold
+            );
+        }
+        out
+    }
 }
 
 /// Aggregate engine statistics — a point-in-time snapshot of the `db.*`
@@ -326,6 +408,11 @@ pub struct Database {
     counters: DbCounters,
     tracer: Tracer,
     monitor: StalenessMonitor,
+    /// Always-on statement profiler (scalar totals every statement,
+    /// per-operator detail on the sampling cadence).
+    profiler: Profiler,
+    /// Logical-allocation shim drained into each statement's profile.
+    alloc: AllocCounter,
     /// Attached write-ahead log, when opened with [`Durability::Wal`].
     /// `None` both for volatile databases and *during* recovery replay
     /// (so replayed operations are not re-logged).
@@ -370,6 +457,8 @@ impl Database {
             counters,
             tracer,
             monitor,
+            profiler: Profiler::default(),
+            alloc: AllocCounter::new(),
             wal: None,
         }
     }
@@ -468,6 +557,12 @@ impl Database {
                 torn_bytes: stats.torn_bytes,
             });
 
+        // Recovery-time forecast: records that were replayable but
+        // already expired at the recovered clock are future work the
+        // vacuum never sees — surface them next to the live horizon.
+        db.metrics()
+            .gauge("forecast.recovery_skipped_expired")
+            .set(gauge_i64(stats.skipped_expired));
         wal.bump_txn(max_txn);
         db.wal = Some(WalSession {
             wal,
@@ -482,6 +577,8 @@ impl Database {
         // the torn tail is discarded, replayed history is compacted, and
         // the next crash recovers from a clean prefix.
         db.checkpoint()?;
+        // The recovered state's horizon, before the first advance.
+        db.refresh_forecast_gauges();
         Ok(db)
     }
 
@@ -815,6 +912,21 @@ impl Database {
         &self.tracer
     }
 
+    /// The always-on statement profiler's aggregate: scalar totals for
+    /// every statement, per-operator detail from the sampling cadence.
+    /// The CLI's `\profile` renders this.
+    #[must_use]
+    pub fn profile_stats(&self) -> ProfileStats {
+        self.profiler.snapshot()
+    }
+
+    /// The statement profiler handle (shared — clones see the same
+    /// aggregate), for embedders that want to reset between phases.
+    #[must_use]
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
     /// A health snapshot: per-view time-to-expiration (from materialised
     /// `texp` — Theorems 1–3), SLO breach counts, and latency/lateness
     /// distributions. Refreshes the staleness gauges first, so the report
@@ -841,6 +953,86 @@ impl Database {
             })
             .collect();
         self.monitor.observe_views(now, items);
+    }
+
+    /// Forecasts future expiration load: every table's expiry index is
+    /// folded into log₂ horizon buckets (`[now + 2^k, now + 2^(k+1))`),
+    /// materialised views report their predicted refresh deadlines, and
+    /// buckets denser than [`ForecastConfig::storm_threshold`] per tick
+    /// are flagged as storms. Everything here is *computable today*
+    /// because a tuple's future visibility is a pure function of its
+    /// expiration time — the paper's central observation, pointed
+    /// forward.
+    #[must_use]
+    pub fn forecast(&self) -> DbForecast {
+        let now_t = self.clock.now();
+        let now = now_t.finite().unwrap_or(u64::MAX);
+        let mut horizon = HorizonForecast::new(now);
+        let mut tables = Vec::new();
+        for (name, table) in &self.tables {
+            let f = table.expiry_horizon(now_t);
+            horizon.merge(&f);
+            tables.push((name.clone(), f));
+        }
+        let views = self
+            .views
+            .iter()
+            .filter_map(|(name, entry)| match entry {
+                ViewEntry::Materialized { view, .. } => Some((
+                    name.clone(),
+                    view.texp().finite().map(|t| t.saturating_sub(now)),
+                )),
+                ViewEntry::Virtual { .. } => None,
+            })
+            .collect();
+        let threshold = self.config.forecast.storm_threshold;
+        let storms = horizon.storms(threshold);
+        DbForecast {
+            now,
+            threshold,
+            horizon,
+            tables,
+            views,
+            storms,
+        }
+    }
+
+    /// Re-derives the `forecast.*` gauges from a fresh horizon scan and
+    /// emits a `storm_warning` event per storming bucket. Runs once per
+    /// [`Database::advance_to`] call — the same cadence as the staleness
+    /// gauges — and once after WAL recovery.
+    fn refresh_forecast_gauges(&self) {
+        let fc = self.forecast();
+        let reg = self.metrics();
+        reg.gauge("forecast.live")
+            .set(gauge_i64(fc.horizon.total()));
+        reg.gauge("forecast.expiring")
+            .set(gauge_i64(fc.horizon.expiring()));
+        reg.gauge("forecast.eternal")
+            .set(gauge_i64(fc.horizon.eternal()));
+        reg.gauge("forecast.due_64")
+            .set(gauge_i64(fc.horizon.due_within(64)));
+        reg.gauge("forecast.storm_buckets")
+            .set(gauge_i64(fc.storms.len() as u64));
+        for (name, f) in &fc.tables {
+            reg.gauge(&format!("storage.{name}.forecast_expiring"))
+                .set(gauge_i64(f.expiring()));
+        }
+        for (name, due) in &fc.views {
+            // -1 marks an eternal view: no expiration ever forces it.
+            reg.gauge(&format!("view.{name}.refresh_due_in"))
+                .set(due.map_or(-1, gauge_i64));
+        }
+        for s in &fc.storms {
+            self.obs
+                .emit_with(Some(fc.now), || EventKind::StormWarning {
+                    lo: s.lo,
+                    hi: s.hi,
+                    predicted: s.predicted,
+                    threshold: fc.threshold,
+                    at: fc.now,
+                });
+        }
     }
 
     /// The trigger manager (register callbacks, read the event log).
@@ -942,8 +1134,12 @@ impl Database {
         }
         // Every clock advance re-derives the per-view time-to-expiration
         // gauges from the materialised texp values (no sampling needed —
-        // the paper's machinery makes staleness predictable).
+        // the paper's machinery makes staleness predictable), then the
+        // forward-looking horizon: forecast gauges and storm warnings.
+        // Once per advance_to *call*, not per tick — `tick(1024)` pays
+        // for one horizon scan.
         self.observe_view_staleness();
+        self.refresh_forecast_gauges();
     }
 
     /// Runs a vacuum pass now: physically removes expired rows from every
@@ -1172,9 +1368,15 @@ impl Database {
     pub fn snapshot(&self) -> Catalog {
         let now = self.clock.now();
         let mut c = Catalog::new();
+        let mut cloned = 0u64;
         for (name, table) in &self.tables {
-            c.register(name.clone(), table.to_relation(now));
+            let rel = table.to_relation(now);
+            cloned += rel.len() as u64;
+            c.register(name.clone(), rel);
         }
+        // Snapshotting clones every live tuple — the engine's dominant
+        // materialization site, billed to the statement's profile.
+        self.alloc.note(cloned);
         c
     }
 
@@ -1191,16 +1393,39 @@ impl Database {
             root.at(t);
         }
         let (expr, snapshot) = self.prepare_expr(expr);
-        let m = {
+        // Per-operator detail only on the profiler's sampling cadence:
+        // the profiled evaluator runs a separate (timed) recursion, so
+        // unsampled statements stay on the hot path.
+        let sampled = self.profiler.next_is_sampled();
+        let (m, operators) = {
             let mut sp = self.tracer.span("eval");
-            let m = eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+            let (m, operators) = if sampled {
+                let (m, prof) =
+                    eval_profiled(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+                (m, flatten_profile(&prof))
+            } else {
+                let m = eval(&expr, &snapshot, self.clock.now(), &self.config.eval)?;
+                (m, Vec::new())
+            };
             sp.attr("rows_out", m.rel.len());
             sp.attr("texp", m.texp);
-            m
+            (m, operators)
         };
         root.attr("rows", m.rel.len());
         self.counters.queries.inc();
-        self.counters.query_ns.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        self.counters.query_ns.record_duration(elapsed);
+        // Views were inlined, so no patch-queue work happened here.
+        self.profiler.record(QueryProfile {
+            label: expr.to_string(),
+            rows_scanned: scanned_rows(&expr, &snapshot),
+            tuples_materialized: m.rel.len() as u64,
+            change_points: expr_node_count(&expr),
+            patch_ops: 0,
+            allocations: self.alloc.take(),
+            wall_ns: duration_ns(elapsed),
+            operators,
+        });
         Ok(m)
     }
 
@@ -1425,11 +1650,46 @@ impl Database {
         if let Some(t) = self.clock.now().finite() {
             root.at(t);
         }
+        let patches_before = self.patches_applied_total();
         let rel = self.read_view_inner(&key)?;
         root.attr("rows", rel.len());
         self.counters.queries.inc();
-        self.counters.query_ns.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        self.counters.query_ns.record_duration(elapsed);
+        let now = self.clock.now();
+        let entry = self.views.get(&key).expect("read above");
+        self.profiler.record(QueryProfile {
+            label: format!("view {key}"),
+            rows_scanned: entry
+                .expr()
+                .base_names()
+                .into_iter()
+                .map(|n| {
+                    self.tables
+                        .get(&n.to_ascii_lowercase())
+                        .map_or(0, |t| t.live_count(now) as u64)
+                })
+                .sum(),
+            tuples_materialized: rel.len() as u64,
+            change_points: expr_node_count(entry.expr()),
+            patch_ops: self.patches_applied_total().saturating_sub(patches_before),
+            allocations: self.alloc.take(),
+            wall_ns: duration_ns(elapsed),
+            operators: Vec::new(),
+        });
         Ok(rel)
+    }
+
+    /// Sum of every `view.*.patches_applied` counter — the registry-wide
+    /// patch-queue operation count, differenced per statement to bill
+    /// Theorem 3 work to the query that triggered it.
+    fn patches_applied_total(&self) -> u64 {
+        self.metrics()
+            .counters()
+            .into_iter()
+            .filter(|(name, _)| name.ends_with(".patches_applied"))
+            .map(|(_, v)| v)
+            .sum()
     }
 
     /// The read path proper, without query accounting (so callers that
@@ -1679,6 +1939,7 @@ impl Database {
         if let Some(t) = at {
             root.at(t);
         }
+        let patches_before = self.patches_applied_total();
         // Refresh the materialised views the query references first, so
         // the report carries the decision an ordinary read would make
         // (Theorem 1/2/3 or recompute) at this instant.
@@ -1716,7 +1977,20 @@ impl Database {
         drop(eval_sp);
         root.attr("rows", m.rel.len());
         self.counters.queries.inc();
-        self.counters.query_ns.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        self.counters.query_ns.record_duration(elapsed);
+        // EXPLAIN ANALYZE always contributes full per-operator detail:
+        // the user explicitly asked for a profiled run.
+        self.profiler.record(QueryProfile {
+            label: expr.to_string(),
+            rows_scanned: scanned_rows(&expr, &snapshot),
+            tuples_materialized: m.rel.len() as u64,
+            change_points: profile.node_count(),
+            patch_ops: self.patches_applied_total().saturating_sub(patches_before),
+            allocations: self.alloc.take(),
+            wall_ns: duration_ns(elapsed),
+            operators: flatten_profile(&profile),
+        });
         Ok(Explain {
             profile,
             decisions,
@@ -2103,6 +2377,55 @@ fn duration_ns(d: std::time::Duration) -> u64 {
     d.as_nanos().min(u128::from(u64::MAX)) as u64
 }
 
+/// A `u64` metric value as a saturating gauge reading.
+fn gauge_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+/// Number of operator nodes in an expression. Each node computes its
+/// result's expiration time from its inputs' (Section 3 of the paper),
+/// so this is the statement's change-point count.
+fn expr_node_count(expr: &Expr) -> u64 {
+    match expr {
+        Expr::Base(_) => 1,
+        Expr::Select { input, .. }
+        | Expr::Project { input, .. }
+        | Expr::Aggregate { input, .. } => 1 + expr_node_count(input),
+        Expr::Product { left, right }
+        | Expr::Union { left, right }
+        | Expr::Join { left, right, .. }
+        | Expr::Intersect { left, right }
+        | Expr::Difference { left, right } => 1 + expr_node_count(left) + expr_node_count(right),
+    }
+}
+
+/// Live rows the expression reads at its base relations, from the
+/// snapshot it was evaluated against.
+fn scanned_rows(expr: &Expr, snapshot: &Catalog) -> u64 {
+    expr.base_names()
+        .into_iter()
+        .map(|n| snapshot.get(&n).map_or(0, |r| r.len() as u64))
+        .sum()
+}
+
+/// Flattens an executed [`PlanProfile`] tree into per-operator costs
+/// (self time, excluding children), pre-order.
+fn flatten_profile(profile: &PlanProfile) -> Vec<OperatorCost> {
+    fn walk(p: &PlanProfile, out: &mut Vec<OperatorCost>) {
+        out.push(OperatorCost {
+            label: p.label.clone(),
+            rows_out: p.rows_out,
+            self_ns: duration_ns(p.self_elapsed()),
+        });
+        for c in &p.children {
+            walk(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(profile, &mut out);
+    out
+}
+
 /// Records a [`PlanProfile`] tree as spans under `parent`, so the span
 /// tree's leaves mirror the EXPLAIN ANALYZE operator rows. The root is
 /// pinned to `[start_ns, end_ns]`; children are laid out sequentially
@@ -2209,6 +2532,121 @@ mod tests {
         db.tick(2);
         let r = db.execute(q).unwrap();
         assert!(r.rows().unwrap().is_empty(), "Figure 2(g)");
+    }
+
+    #[test]
+    fn forecast_conserves_live_count_and_refreshes_gauges() {
+        let mut db = figure1_db();
+        let fc = db.forecast();
+        assert_eq!(fc.now, 0);
+        assert_eq!(fc.horizon.total(), 6, "all six Figure 1 rows are live");
+        let per_table: u64 = fc.tables.iter().map(|(_, f)| f.total()).sum();
+        assert_eq!(per_table, 6, "merged horizon equals the table sum");
+        assert!(fc.storms.is_empty(), "default threshold stays quiet");
+
+        db.tick(3); // el loses texp=2 and texp=3
+        assert_eq!(db.metrics().gauge_value("forecast.live"), 4);
+        assert_eq!(db.metrics().gauge_value("forecast.expiring"), 4);
+        assert_eq!(db.metrics().gauge_value("forecast.eternal"), 0);
+        assert_eq!(db.metrics().gauge_value("storage.pol.forecast_expiring"), 3);
+        assert_eq!(db.metrics().gauge_value("storage.el.forecast_expiring"), 1);
+        let rendered = db.forecast().render(20);
+        assert!(rendered.contains("4 expiring"), "{rendered}");
+        assert!(rendered.contains("table pol: 3 expiring"), "{rendered}");
+    }
+
+    #[test]
+    fn storm_warnings_fire_on_dense_buckets_and_views_report_deadlines() {
+        let mut db = Database::new(DbConfig {
+            forecast: ForecastConfig { storm_threshold: 2 },
+            ..DbConfig::default()
+        });
+        let ring = db.obs().install_ring(64);
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        // Five rows one tick out: bucket 0 (width 1) predicts 5/tick > 2.
+        for k in 0..5 {
+            db.execute(&format!("INSERT INTO s VALUES ({k}) EXPIRES AT 2"))
+                .unwrap();
+        }
+        // Monotonic views never expire (texp = ∞); a difference view has
+        // a finite texp — the reappearance time of a hidden tuple that
+        // outlives its blocker.
+        db.execute("CREATE TABLE base (k INT)").unwrap();
+        db.execute("CREATE TABLE ex (k INT)").unwrap();
+        db.execute("INSERT INTO base VALUES (0) EXPIRES AT 20")
+            .unwrap();
+        db.execute("INSERT INTO ex VALUES (0) EXPIRES AT 3")
+            .unwrap();
+        db.create_materialized_view("v", Expr::base("base").difference(Expr::base("ex")))
+            .unwrap();
+        db.tick(1);
+        let storms: Vec<_> = ring
+            .recent(64)
+            .into_iter()
+            .filter(|e| e.kind.tag() == "storm_warning")
+            .collect();
+        assert_eq!(storms.len(), 1, "one dense bucket, one warning");
+        let EventKind::StormWarning {
+            lo,
+            hi,
+            predicted,
+            threshold,
+            at,
+        } = storms[0].kind
+        else {
+            unreachable!()
+        };
+        assert_eq!((lo, hi, predicted, threshold, at), (1, 1, 5, 2, 1));
+        // The view's refresh deadline is its texp distance: the hidden
+        // tuple reappears at 3, so two ticks out from t=1.
+        assert_eq!(db.metrics().gauge_value("view.v.refresh_due_in"), 2);
+        assert_eq!(db.forecast().views, vec![("v".to_string(), Some(2))]);
+        // Past the dense expirations the storm clears; only the
+        // long-lived `base` row remains on the horizon.
+        db.tick(5);
+        assert_eq!(db.metrics().gauge_value("forecast.live"), 1);
+        assert_eq!(db.metrics().gauge_value("forecast.storm_buckets"), 0);
+    }
+
+    #[test]
+    fn statement_profiles_feed_the_sampled_aggregate() {
+        let mut db = figure1_db();
+        db.execute("SELECT * FROM pol").unwrap();
+        db.execute("SELECT * FROM pol JOIN el ON pol.uid = el.uid")
+            .unwrap();
+        let s = db.profile_stats();
+        assert_eq!(s.statements, 2);
+        assert!(s.sampled >= 1, "the first statement is always sampled");
+        assert_eq!(s.rows_scanned, 9, "3 (pol) + 3+3 (join inputs)");
+        assert!(s.allocations > 0, "snapshot clones are billed");
+        assert!(s.change_points >= 2, "every operator is a change-point");
+        let last = s.last.as_ref().expect("a sampled profile is retained");
+        assert!(
+            !last.operators.is_empty(),
+            "sampled statements carry per-operator detail"
+        );
+        assert!(
+            s.by_operator.keys().any(|k| k.contains("Base")),
+            "{:?}",
+            s.by_operator.keys().collect::<Vec<_>>()
+        );
+        let rendered = s.render();
+        assert!(rendered.contains("statements=2"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_analyze_and_view_reads_bill_the_profiler() {
+        let mut db = figure1_db();
+        db.execute("CREATE MATERIALIZED VIEW deg25 AS SELECT uid FROM pol WHERE deg = 25")
+            .unwrap();
+        let before = db.profile_stats().statements;
+        db.read_view("deg25").unwrap();
+        db.explain_analyze("SELECT * FROM pol").unwrap();
+        let s = db.profile_stats();
+        assert_eq!(s.statements, before + 2);
+        let last = s.last.as_ref().expect("explain analyze is always sampled");
+        assert!(last.label.contains("Pol") || last.label.contains("pol"));
+        assert!(!last.operators.is_empty());
     }
 
     #[test]

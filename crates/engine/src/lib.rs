@@ -29,8 +29,14 @@ pub mod shared;
 pub mod trigger;
 
 pub use constraint::{Constraint, ConstraintViolation};
-pub use db::{Database, DbConfig, DbError, DbResult, DbStats, ExecResult, Explain, Removal};
+pub use db::{
+    Database, DbConfig, DbError, DbForecast, DbResult, DbStats, ExecResult, Explain,
+    ForecastConfig, Removal,
+};
 pub use durability::{CheckpointStats, Durability, RecoveryStats, WalStatus};
-pub use exptime_obs::{Health, HealthStatus, SloConfig, Tracer, ViewHealth};
+pub use exptime_obs::{
+    Health, HealthStatus, HorizonForecast, ProfileStats, Profiler, QueryProfile, SloConfig,
+    StormBucket, TraceContext, Tracer, ViewHealth,
+};
 pub use shared::{SharedDatabase, TickerHandle};
 pub use trigger::{ExpirationEvent, TriggerFn, TriggerManager};

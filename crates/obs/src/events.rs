@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use crate::metrics::{Counter, MetricsRegistry};
+use crate::metrics::{Counter, Gauge, MetricsRegistry};
 
 /// Why a materialised-view read was (or was not) recomputed — the
 /// observable form of the paper's Theorems.
@@ -138,6 +138,24 @@ pub enum EventKind {
         /// View name when linting a CREATE, `"-"` for ad-hoc queries.
         subject: String,
     },
+    /// The expiration-horizon forecaster predicts an expiration storm:
+    /// a forecast bucket's expirations-per-tick rate exceeds the
+    /// configured threshold. Because `texp` fully determines future
+    /// visibility, this is a *prediction*, not a post-mortem: the bucket
+    /// covers logical times `[at + lo, at + hi]` which have not happened
+    /// yet.
+    StormWarning {
+        /// Bucket offset window start, ticks from `at` (inclusive).
+        lo: u64,
+        /// Bucket offset window end, ticks from `at` (inclusive).
+        hi: u64,
+        /// Tuples predicted to expire inside the window.
+        predicted: u64,
+        /// Configured per-tick threshold the bucket's rate exceeded.
+        threshold: u64,
+        /// Logical clock when the forecast was taken.
+        at: u64,
+    },
 }
 
 impl EventKind {
@@ -158,6 +176,7 @@ impl EventKind {
             EventKind::Checkpoint { .. } => "checkpoint",
             EventKind::WalRecovery { .. } => "wal_recovery",
             EventKind::LintDiagnostic { .. } => "lint",
+            EventKind::StormWarning { .. } => "storm_warning",
         }
     }
 }
@@ -285,6 +304,18 @@ impl std::fmt::Display for Event {
             } => {
                 write!(f, "lint            {code} [{severity}] subject={subject}")
             }
+            EventKind::StormWarning {
+                lo,
+                hi,
+                predicted,
+                threshold,
+                at,
+            } => {
+                write!(
+                    f,
+                    "storm_warning   window=[+{lo},+{hi}] predicted={predicted} threshold={threshold}/tick at={at}"
+                )
+            }
         }
     }
 }
@@ -312,6 +343,8 @@ pub struct RingSink {
     buf: Mutex<VecDeque<Event>>,
     dropped: AtomicU64,
     drop_counter: Option<Counter>,
+    high_water: AtomicU64,
+    high_water_gauge: Option<Gauge>,
 }
 
 impl RingSink {
@@ -321,6 +354,8 @@ impl RingSink {
             buf: Mutex::new(VecDeque::new()),
             dropped: AtomicU64::new(0),
             drop_counter: None,
+            high_water: AtomicU64::new(0),
+            high_water_gauge: None,
         }
     }
 
@@ -330,6 +365,17 @@ impl RingSink {
         RingSink {
             drop_counter: Some(counter),
             ..RingSink::new(cap)
+        }
+    }
+
+    /// Like [`RingSink::with_drop_counter`], but the buffer's high-water
+    /// mark is also mirrored into `gauge` — so ring sizing is tunable
+    /// from metrics exports *before* the first drop happens, instead of
+    /// only after `obs.events_dropped` starts climbing.
+    pub fn with_telemetry(cap: usize, counter: Counter, gauge: Gauge) -> Self {
+        RingSink {
+            high_water_gauge: Some(gauge),
+            ..RingSink::with_drop_counter(cap, counter)
         }
     }
 
@@ -356,6 +402,12 @@ impl RingSink {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// The largest number of events ever buffered at once. At `cap` the
+    /// ring has saturated at least once and older events started dropping.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
     pub fn clear(&self) {
         self.buf.lock().unwrap().clear();
     }
@@ -372,6 +424,13 @@ impl EventSink for RingSink {
             }
         }
         buf.push_back(event.clone());
+        let filled = buf.len() as u64;
+        if filled > self.high_water.load(Ordering::Relaxed) {
+            self.high_water.store(filled, Ordering::Relaxed);
+            if let Some(g) = &self.high_water_gauge {
+                g.set(filled as i64);
+            }
+        }
     }
 }
 
@@ -435,10 +494,13 @@ impl Obs {
 
     /// Installs a fresh [`RingSink`] of capacity `cap` and returns it.
     /// The ring's evictions are mirrored into the registry counter
-    /// `obs.events_dropped` so overflow is visible in metrics exports.
+    /// `obs.events_dropped`, and its buffer high-water mark into the
+    /// gauge `obs.events_ring_high_water`, so both overflow and
+    /// near-overflow are visible in metrics exports.
     pub fn install_ring(&self, cap: usize) -> Arc<RingSink> {
         let counter = self.registry().counter("obs.events_dropped");
-        let ring = Arc::new(RingSink::with_drop_counter(cap, counter));
+        let gauge = self.registry().gauge("obs.events_ring_high_water");
+        let ring = Arc::new(RingSink::with_telemetry(cap, counter, gauge));
         self.install_sink(ring.clone());
         ring
     }
@@ -531,6 +593,28 @@ mod tests {
         // Loss is observable both locally and in the metrics registry.
         assert_eq!(ring.dropped(), 3);
         assert_eq!(obs.registry().counter_value("obs.events_dropped"), 3);
+    }
+
+    #[test]
+    fn ring_high_water_tracks_peak_fill_before_drops() {
+        let obs = Obs::new();
+        let ring = obs.install_ring(4);
+        let gauge = || obs.registry().gauge_value("obs.events_ring_high_water");
+        for i in 0..3 {
+            obs.emit(Some(i), EventKind::ClockAdvance { from: i, to: i + 1 });
+        }
+        // The high-water mark warns of approaching saturation while
+        // nothing has been dropped yet.
+        assert_eq!(ring.high_water(), 3);
+        assert_eq!(gauge(), 3);
+        assert_eq!(ring.dropped(), 0);
+        for i in 3..8 {
+            obs.emit(Some(i), EventKind::ClockAdvance { from: i, to: i + 1 });
+        }
+        // Saturated: the mark pins at capacity and stays there.
+        assert_eq!(ring.high_water(), 4);
+        assert_eq!(gauge(), 4);
+        assert!(ring.dropped() > 0);
     }
 
     #[test]

@@ -62,7 +62,16 @@ fn render_labels(labels: &[(String, String)]) -> String {
     }
     let inner: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            // Prometheus text format: backslash, double quote, and line
+            // feed must be escaped inside label values (in that order, so
+            // the escape character itself is handled first).
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
         .collect();
     format!("{{{}}}", inner.join(","))
 }
@@ -214,6 +223,9 @@ fn parse_labels(body: &str, line_no: usize) -> Result<Vec<(String, String)>, Str
         while let Some((i, c)) = chars.next() {
             match c {
                 '\\' => match chars.next() {
+                    // `\n` is the escaped line feed; `\\` and `\"` (and
+                    // anything else) unescape to the character itself.
+                    Some((_, 'n')) => value.push('\n'),
                     Some((_, e)) => value.push(e),
                     None => return Err(format!("line {line_no}: dangling escape")),
                 },
@@ -456,6 +468,34 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip() {
+        // A table name with a backslash, a double quote, and a newline:
+        // the exposition must escape all three, stay one line per
+        // sample, and the parser must recover the original value.
+        let reg = MetricsRegistry::new();
+        let table = "we\"ird\\ta\nble";
+        reg.counter(&format!("storage.{table}.inserts")).add(5);
+        let text = expose_prometheus(&reg);
+        assert_eq!(
+            text.lines().count(),
+            2,
+            "escaped newline must not split the sample line:\n{text}"
+        );
+        assert!(text.contains("\\n"), "{text}");
+        assert!(text.contains("\\\\"), "{text}");
+        assert!(text.contains("\\\""), "{text}");
+        let samples = parse_prometheus_text(&text).expect("escaped exposition must parse");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].name, "exptime_storage_inserts");
+        assert_eq!(
+            samples[0].labels,
+            vec![("table".to_string(), table.to_string())],
+            "label value must survive the round trip exactly"
+        );
+        assert_eq!(samples[0].value, 5.0);
     }
 
     #[test]

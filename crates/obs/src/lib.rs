@@ -28,14 +28,23 @@
 
 mod events;
 mod expose;
+mod forecast;
 mod json;
 mod metrics;
 mod monitor;
+mod profile;
 mod span;
+mod trace;
 
 pub use events::{Event, EventKind, EventSink, Obs, RefreshDecision, RingSink, StderrSink};
 pub use expose::{expose_json, expose_prometheus, parse_prometheus_text, Sample};
+pub use forecast::{HorizonForecast, StormBucket, FORECAST_BUCKETS};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use monitor::{Health, HealthStatus, SloConfig, StalenessMonitor, ViewHealth, TTX_ETERNAL};
+pub use profile::{
+    fold_spans, render_flame, AllocCounter, FoldedStack, OperatorAgg, OperatorCost, ProfileStats,
+    Profiler, QueryProfile,
+};
 pub use span::{render_span_tree, SpanGuard, SpanRecord, Tracer, SPAN_RING_CAP};
+pub use trace::TraceContext;

@@ -1,0 +1,95 @@
+//! Cross-node trace propagation: a minimal trace context carried inside
+//! replica session frames.
+//!
+//! One logical operation — a refresh push that gets lost, retransmitted,
+//! and finally repaired by anti-entropy — spans two endpoints and many
+//! messages. A [`TraceContext`] (trace id + parent span id) rides in
+//! each frame so every hop records its span *under the sender's span*,
+//! and the whole operation renders as a single causal tree in the span
+//! ring, whichever side of the link each span was recorded on.
+//!
+//! The context is deliberately tiny and copyable: two `u64`s, the moral
+//! equivalent of a W3C `traceparent` header for a protocol whose frames
+//! are Rust enums instead of HTTP requests. `trace_id = 0` means
+//! "unsampled": hops propagate the context untouched and record nothing,
+//! which is also the compatibility story for peers that predate tracing
+//! — they can carry [`TraceContext::NONE`] and interoperate.
+
+/// A propagated trace position: which trace, and which span to parent
+/// the next hop under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TraceContext {
+    /// Trace identifier shared by every span of the logical operation.
+    /// Zero means unsampled.
+    pub trace_id: u64,
+    /// Span id of the hop that produced the frame carrying this context.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// The unsampled context: carried by frames when tracing is off.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        parent_span: 0,
+    };
+
+    /// A context rooted at `parent_span` inside `trace_id`.
+    #[must_use]
+    pub fn new(trace_id: u64, parent_span: u64) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span,
+        }
+    }
+
+    /// Whether hops should record spans for this trace.
+    #[must_use]
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// The context the *next* frame should carry after this hop recorded
+    /// `span_id`: same trace, re-parented under the hop.
+    #[must_use]
+    pub fn hop(&self, span_id: u64) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: span_id,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_sampled() {
+            write!(f, "trace={:#x} parent={}", self.trace_id, self.parent_span)
+        } else {
+            f.write_str("trace=-")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsampled_context_is_inert_and_displays_as_dash() {
+        let none = TraceContext::NONE;
+        assert!(!none.is_sampled());
+        assert_eq!(none, TraceContext::default());
+        assert_eq!(none.to_string(), "trace=-");
+        // Hopping an unsampled context keeps it unsampled.
+        assert!(!none.hop(42).is_sampled());
+    }
+
+    #[test]
+    fn hops_keep_the_trace_and_reparent() {
+        let root = TraceContext::new(7, 100);
+        assert!(root.is_sampled());
+        let next = root.hop(200);
+        assert_eq!(next.trace_id, 7);
+        assert_eq!(next.parent_span, 200);
+        assert!(root.to_string().contains("trace=0x7"), "{root}");
+    }
+}

@@ -48,8 +48,8 @@ pub use fault::{Dir, Fate, FaultRecord, FaultSpec, FaultyLink};
 pub use link::{Link, LinkStats};
 pub use replica::{ReadOutcome, Replica};
 pub use session::{
-    tuple_digest, Change, ChaosDeletePush, ChaosReadOutcome, ChaosReplica, Payload, RetryPolicy,
-    SessionStats,
+    tuple_digest, Change, ChaosDeletePush, ChaosReadOutcome, ChaosReplica, Frame, Payload,
+    RetryPolicy, SessionStats,
 };
 
 use exptime_engine::DbError;

@@ -36,7 +36,7 @@ use exptime_core::relation::Relation;
 use exptime_core::time::Time;
 use exptime_core::tuple::Tuple;
 use exptime_engine::Database;
-use exptime_obs::{EventKind, Health, Obs, SloConfig, StalenessMonitor};
+use exptime_obs::{EventKind, Health, Obs, SloConfig, StalenessMonitor, TraceContext, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -207,6 +207,68 @@ impl Payload {
     }
 }
 
+/// A wire frame: the protocol payload plus the propagated trace context
+/// — the moral equivalent of a `traceparent` header. Every hop that
+/// handles a sampled frame records its span *under the sender's span*,
+/// so one logical operation (push → loss → retransmit → resync) renders
+/// as a single causal tree whichever endpoint each span landed on.
+///
+/// Compatibility: [`TraceContext::NONE`] (all zeroes, the `Default`) is
+/// what a peer that predates tracing would carry — hops propagate it
+/// untouched and record nothing, so traced and untraced peers
+/// interoperate on the same link.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Propagated trace position (which trace, which parent span).
+    pub ctx: TraceContext,
+    /// The protocol message.
+    pub payload: Payload,
+}
+
+impl Frame {
+    /// An untraced frame (carries [`TraceContext::NONE`]).
+    #[must_use]
+    pub fn untraced(payload: Payload) -> Self {
+        Frame {
+            ctx: TraceContext::NONE,
+            payload,
+        }
+    }
+}
+
+/// Records one traced hop on `tracer`: a zero-duration span named `name`
+/// under the context's parent span, returning the context the *next*
+/// frame should carry. Unsampled contexts pass through untouched (and
+/// record nothing) — the interoperability path.
+fn record_hop(
+    tracer: &Tracer,
+    ctx: TraceContext,
+    name: &str,
+    now: u64,
+    retransmission: bool,
+) -> TraceContext {
+    if !ctx.is_sampled() {
+        return ctx;
+    }
+    let t = tracer.now_ns();
+    let id = tracer.record_child(
+        Some(ctx.parent_span),
+        name,
+        t,
+        t,
+        Some(now),
+        vec![
+            ("trace".to_string(), ctx.trace_id.to_string()),
+            ("retransmission".to_string(), retransmission.to_string()),
+        ],
+    );
+    if id == 0 {
+        ctx
+    } else {
+        ctx.hop(id)
+    }
+}
+
 /// FNV-1a, hand-rolled: `std`'s default hasher is randomly keyed per
 /// process, which would make digests incomparable across runs (and make
 /// fault schedules irreproducible). This one is a pure function of the
@@ -279,6 +341,9 @@ struct SyncSession {
     started: u64,
     attempts: u32,
     next_retry: u64,
+    /// Root of this session's trace: every frame the session emits
+    /// descends from it. [`TraceContext::NONE`] when tracing is off.
+    trace: TraceContext,
 }
 
 #[derive(Debug)]
@@ -323,13 +388,16 @@ pub enum ChaosReadOutcome {
 #[derive(Debug)]
 pub struct ChaosReplica {
     views: BTreeMap<String, ViewEntry>,
-    link: FaultyLink<Payload>,
+    link: FaultyLink<Frame>,
     policy: RetryPolicy,
     /// Client-side jitter RNG — deliberately decorrelated from the fault
     /// layer's stream so retry timing does not perturb the fault schedule.
     rng: StdRng,
     obs: Obs,
     monitor: StalenessMonitor,
+    /// Spans for both simulated endpoints land here; `client.*` /
+    /// `server.*` name prefixes tell them apart. Disabled by default.
+    tracer: Tracer,
     stats: SessionStats,
     next_seq: u64,
     /// Server-side dedup: request seqs already answered, so a duplicated
@@ -349,6 +417,7 @@ impl ChaosReplica {
     pub fn with_slo(spec: FaultSpec, policy: RetryPolicy, slo: SloConfig) -> Self {
         let obs = Obs::new();
         let monitor = StalenessMonitor::new(&obs, slo);
+        let tracer = Tracer::attached(&obs);
         let mut link = FaultyLink::new(spec);
         link.link().attach_obs(&obs);
         ChaosReplica {
@@ -358,10 +427,30 @@ impl ChaosReplica {
             rng: StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15),
             obs,
             monitor,
+            tracer,
             stats: SessionStats::default(),
             next_seq: 0,
             answered: BTreeMap::new(),
         }
+    }
+
+    /// The replica's span tracer. Disabled by default; enable it to
+    /// record every session as one causal trace across both endpoints
+    /// (see [`Frame`]).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records one traced hop (see [`record_hop`]).
+    fn trace_hop(
+        &self,
+        ctx: TraceContext,
+        name: &str,
+        now: u64,
+        retransmission: bool,
+    ) -> TraceContext {
+        record_hop(&self.tracer, ctx, name, now, retransmission)
     }
 
     /// The replica's observability handle (link traces, divergence and
@@ -379,7 +468,7 @@ impl ChaosReplica {
     }
 
     /// The fault-injected link (heal it, partition it, read its stats).
-    pub fn link(&mut self) -> &mut FaultyLink<Payload> {
+    pub fn link(&mut self) -> &mut FaultyLink<Frame> {
         &mut self.link
     }
 
@@ -476,14 +565,18 @@ impl ChaosReplica {
         Ok(())
     }
 
-    fn handle_server(&mut self, msg: Payload, server: &Database) -> ReplicaResult<()> {
+    fn handle_server(&mut self, frame: Frame, server: &Database) -> ReplicaResult<()> {
         let now = ticks(server.now());
-        match msg {
+        match frame.payload {
             Payload::RefreshRequest { view, seq } => {
                 let retransmission = self.answered.insert(seq, ()).is_some();
                 let Some(entry) = self.views.get(&view) else {
                     return Ok(());
                 };
+                // The server's span parents under the *sender's* send
+                // span — the cross-endpoint stitch.
+                let ctx =
+                    self.trace_hop(frame.ctx, "server.handle.refresh_req", now, retransmission);
                 let state = eval(
                     &entry.expr,
                     &server.snapshot(),
@@ -495,7 +588,7 @@ impl ChaosReplica {
                 self.link.send(
                     now,
                     Dir::ToClient,
-                    resp,
+                    Frame { ctx, payload: resp },
                     tuples,
                     retransmission,
                     "refresh_resp",
@@ -506,6 +599,8 @@ impl ChaosReplica {
                 let Some(entry) = self.views.get(&view) else {
                     return Ok(());
                 };
+                let ctx =
+                    self.trace_hop(frame.ctx, "server.handle.digest_req", now, retransmission);
                 let fresh = eval(
                     &entry.expr,
                     &server.snapshot(),
@@ -540,7 +635,7 @@ impl ChaosReplica {
                 self.link.send(
                     now,
                     Dir::ToClient,
-                    resp,
+                    Frame { ctx, payload: resp },
                     tuples,
                     retransmission,
                     "digest_resp",
@@ -552,8 +647,8 @@ impl ChaosReplica {
         Ok(())
     }
 
-    fn handle_client(&mut self, msg: Payload, now: u64) {
-        match msg {
+    fn handle_client(&mut self, frame: Frame, now: u64) {
+        match frame.payload {
             Payload::RefreshResponse { view, seq, state } => {
                 let Some(entry) = self.views.get_mut(&view) else {
                     return;
@@ -567,6 +662,10 @@ impl ChaosReplica {
                     self.stats.duplicates_ignored += 1;
                     return;
                 }
+                self.trace_hop(frame.ctx, "client.apply.refresh_resp", now, false);
+                let Some(entry) = self.views.get_mut(&view) else {
+                    return;
+                };
                 entry.m = state;
                 let session = entry.session.take().unwrap();
                 entry.last_timeout = None;
@@ -597,6 +696,10 @@ impl ChaosReplica {
                     self.stats.duplicates_ignored += 1;
                     return;
                 }
+                self.trace_hop(frame.ctx, "client.apply.digest_resp", now, false);
+                let Some(entry) = self.views.get_mut(&view) else {
+                    return;
+                };
                 let shipped = add.len() as u64;
                 let divergent = shipped + drop.len() as u64;
                 // Drops first: a texp revision appears as drop(old) +
@@ -657,6 +760,33 @@ impl ChaosReplica {
         let seq = self.next_seq;
         self.next_seq += 1;
         let first_delay = self.policy.delay(0, &mut self.rng);
+        // One trace per session: the root span represents the logical
+        // operation; every request, retransmission, server handling, and
+        // response application hangs off it. `seq + 1` is a unique,
+        // non-zero trace id. record_child returns 0 when the tracer is
+        // disabled, which maps to the unsampled (NONE) context.
+        let trace = {
+            let t = self.tracer.now_ns();
+            let root = self.tracer.record_child(
+                None,
+                match kind {
+                    SessionKind::Refresh => "session.refresh",
+                    SessionKind::Digest => "session.digest",
+                },
+                t,
+                t,
+                Some(now),
+                vec![
+                    ("view".to_string(), name.to_string()),
+                    ("trace".to_string(), (seq + 1).to_string()),
+                ],
+            );
+            if root == 0 {
+                TraceContext::NONE
+            } else {
+                TraceContext::new(seq + 1, root)
+            }
+        };
         let Some(entry) = self.views.get_mut(name) else {
             return Fate::Refused;
         };
@@ -666,6 +796,7 @@ impl ChaosReplica {
             started: now,
             attempts: 1,
             next_retry: now + first_delay,
+            trace,
         });
         self.stats.sessions_started += 1;
         let req = match kind {
@@ -685,7 +816,15 @@ impl ChaosReplica {
             },
         };
         let label = req.label();
-        self.link.send(now, Dir::ToServer, req, 0, false, label)
+        let ctx = self.trace_hop(trace, &format!("client.send.{label}"), now, false);
+        self.link.send(
+            now,
+            Dir::ToServer,
+            Frame { ctx, payload: req },
+            0,
+            false,
+            label,
+        )
     }
 
     /// Retries overdue sessions and abandons those past the budget.
@@ -706,7 +845,7 @@ impl ChaosReplica {
             if now < s.next_retry {
                 continue;
             }
-            let (kind, seq, attempts) = (s.kind, s.seq, s.attempts);
+            let (kind, seq, attempts, trace) = (s.kind, s.seq, s.attempts, s.trace);
             let req = match kind {
                 SessionKind::Refresh => Payload::RefreshRequest {
                     view: name.clone(),
@@ -724,7 +863,17 @@ impl ChaosReplica {
                 },
             };
             let label = req.label();
-            self.link.send(now, Dir::ToServer, req, 0, true, label);
+            // Retransmissions are fresh hops under the same session root:
+            // the trace shows each attempt, not just the one that landed.
+            let ctx = self.trace_hop(trace, &format!("client.send.{label}"), now, true);
+            self.link.send(
+                now,
+                Dir::ToServer,
+                Frame { ctx, payload: req },
+                0,
+                true,
+                label,
+            );
             self.stats.retries += 1;
             let entry = self.views.get_mut(&name).unwrap();
             if let Some(s) = entry.session.as_mut() {
@@ -870,11 +1019,15 @@ pub struct ChaosDeletePush {
     shadow: Relation,
     /// Client's actual cache.
     cache: Relation,
-    link: FaultyLink<Payload>,
+    link: FaultyLink<Frame>,
     policy: RetryPolicy,
     rng: StdRng,
-    /// Unacknowledged notices, by sequence number.
-    outbox: BTreeMap<u64, (Change, u64, u32)>, // (change, next_send, attempts)
+    obs: Obs,
+    /// Spans for both simulated endpoints; one trace per notice.
+    tracer: Tracer,
+    /// Unacknowledged notices, by sequence number:
+    /// `(change, next_send, attempts, trace)`.
+    outbox: BTreeMap<u64, (Change, u64, u32, TraceContext)>,
     next_seq: u64,
     /// Client: next notice sequence number to apply.
     next_expected: u64,
@@ -904,7 +1057,10 @@ impl ChaosDeletePush {
             server.now(),
             &EvalOptions::default(),
         )?;
+        let obs = Obs::new();
+        let tracer = Tracer::attached(&obs);
         let mut link = FaultyLink::new(spec);
+        link.link().attach_obs(&obs);
         link.link().round_trip(m.rel.len() as u64);
         Ok(ChaosDeletePush {
             expr,
@@ -913,6 +1069,8 @@ impl ChaosDeletePush {
             link,
             policy,
             rng: StdRng::seed_from_u64(spec.seed ^ 0x5851_f42d_4c95_7f2d),
+            obs,
+            tracer,
             outbox: BTreeMap::new(),
             next_seq: 0,
             next_expected: 0,
@@ -922,8 +1080,20 @@ impl ChaosDeletePush {
     }
 
     /// The fault-injected link.
-    pub fn link(&mut self) -> &mut FaultyLink<Payload> {
+    pub fn link(&mut self) -> &mut FaultyLink<Frame> {
         &mut self.link
+    }
+
+    /// The baseline's observability handle.
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The baseline's span tracer (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Wire-level traffic counters.
@@ -950,9 +1120,9 @@ impl ChaosDeletePush {
         let now = ticks(server.now());
         self.link.advance(now);
 
-        // 1. Server: consume cumulative acks.
-        for msg in self.link.recv(now, Dir::ToServer) {
-            if let Payload::Ack { upto } = msg {
+        // 1. Server: consume cumulative acks (untraced metadata frames).
+        for frame in self.link.recv(now, Dir::ToServer) {
+            if let Payload::Ack { upto } = frame.payload {
                 let acked: Vec<u64> = self.outbox.range(..=upto).map(|(s, _)| *s).collect();
                 for s in acked {
                     self.outbox.remove(&s);
@@ -993,11 +1163,11 @@ impl ChaosDeletePush {
         let due: Vec<u64> = self
             .outbox
             .iter()
-            .filter(|(_, (_, next_send, _))| *next_send <= now)
+            .filter(|(_, (_, next_send, _, _))| *next_send <= now)
             .map(|(s, _)| *s)
             .collect();
         for seq in due {
-            let (change, _, attempts) = self.outbox.get(&seq).unwrap().clone();
+            let (change, _, attempts, trace) = self.outbox.get(&seq).unwrap().clone();
             let msg = Payload::Notice {
                 seq,
                 change: change.clone(),
@@ -1006,8 +1176,22 @@ impl ChaosDeletePush {
             if retransmission {
                 self.stats.retries += 1;
             }
-            self.link
-                .send(now, Dir::ToClient, msg, 1, retransmission, "notice");
+            // Retransmissions are fresh hops under the same notice root.
+            let ctx = record_hop(
+                &self.tracer,
+                trace,
+                "server.send.notice",
+                now,
+                retransmission,
+            );
+            self.link.send(
+                now,
+                Dir::ToClient,
+                Frame { ctx, payload: msg },
+                1,
+                retransmission,
+                "notice",
+            );
             let backoff = self.policy.delay(attempts, &mut self.rng);
             if let Some(entry) = self.outbox.get_mut(&seq) {
                 entry.1 = now + backoff;
@@ -1022,13 +1206,29 @@ impl ChaosDeletePush {
     fn enqueue(&mut self, change: Change, now: u64) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.outbox.insert(seq, (change, now, 0));
+        // One trace per notice: the root span is the logical change, and
+        // every (re)transmission and the eventual apply hang off it.
+        let t = self.tracer.now_ns();
+        let root = self.tracer.record_child(
+            None,
+            "push.notice",
+            t,
+            t,
+            Some(now),
+            vec![("trace".to_string(), (seq + 1).to_string())],
+        );
+        let trace = if root == 0 {
+            TraceContext::NONE
+        } else {
+            TraceContext::new(seq + 1, root)
+        };
+        self.outbox.insert(seq, (change, now, 0, trace));
     }
 
     fn client_pump(&mut self, now: u64) -> ReplicaResult<()> {
         let mut received_any = false;
-        for msg in self.link.recv(now, Dir::ToClient) {
-            if let Payload::Notice { seq, change } = msg {
+        for frame in self.link.recv(now, Dir::ToClient) {
+            if let Payload::Notice { seq, change } = frame.payload {
                 received_any = true;
                 if seq < self.next_expected || self.buffered.contains_key(&seq) {
                     // Idempotent re-delivery: already applied or already
@@ -1036,6 +1236,7 @@ impl ChaosDeletePush {
                     self.stats.duplicates_ignored += 1;
                     continue;
                 }
+                record_hop(&self.tracer, frame.ctx, "client.recv.notice", now, false);
                 if seq > self.next_expected {
                     self.stats.reorders_buffered += 1;
                 }
@@ -1056,11 +1257,14 @@ impl ChaosDeletePush {
             self.next_expected += 1;
         }
         // Cumulative ack (also re-sent on duplicates, repairing ack loss).
+        // Acks ride untraced frames — exactly what a peer that predates
+        // tracing would send, exercising the compatibility path.
         if received_any && self.next_expected > 0 {
             let ack = Payload::Ack {
                 upto: self.next_expected - 1,
             };
-            self.link.send(now, Dir::ToServer, ack, 0, false, "ack");
+            self.link
+                .send(now, Dir::ToServer, Frame::untraced(ack), 0, false, "ack");
         }
         Ok(())
     }
@@ -1357,6 +1561,90 @@ mod tests {
             "{}",
             rep.health()
         );
+    }
+
+    #[test]
+    fn traced_session_forms_one_causal_chain_across_endpoints() {
+        let srv = server();
+        let mut rep = ChaosReplica::new(FaultSpec::none(1), RetryPolicy::default());
+        rep.tracer().enable();
+        rep.subscribe("others", diff_expr(), &srv).unwrap();
+        let spans = rep.tracer().recent(64);
+        let find = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span `{name}`"))
+        };
+        let root = find("session.refresh");
+        let send = find("client.send.refresh_req");
+        let handle = find("server.handle.refresh_req");
+        let apply = find("client.apply.refresh_resp");
+        // Each hop parents under the previous one — send → handle →
+        // apply is one chain even though the middle span belongs to the
+        // other endpoint.
+        assert_eq!(send.parent, Some(root.id));
+        assert_eq!(handle.parent, Some(send.id));
+        assert_eq!(apply.parent, Some(handle.id));
+        // Every hop carries the same trace id and no hop was a retry.
+        let root_trace = root
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "trace")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        for s in [send, handle, apply] {
+            assert!(s
+                .attrs
+                .iter()
+                .any(|(k, v)| k == "trace" && v == &root_trace));
+            assert!(s
+                .attrs
+                .iter()
+                .any(|(k, v)| k == "retransmission" && v == "false"));
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_sends_unsampled_frames_and_records_nothing() {
+        let mut srv = server();
+        let mut rep = ChaosReplica::new(FaultSpec::none(1), RetryPolicy::default());
+        rep.subscribe("others", diff_expr(), &srv).unwrap();
+        srv.tick(5);
+        let _ = rep.read("others", &srv);
+        assert!(rep.tracer().recent(64).is_empty());
+    }
+
+    #[test]
+    fn delete_push_traces_notice_retransmissions() {
+        let mut srv = server();
+        let mut push = ChaosDeletePush::subscribe(
+            Expr::base("pol"),
+            &srv,
+            FaultSpec::lossy(11, 0.5),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        push.tracer().enable();
+        for _ in 0..120 {
+            srv.tick(1);
+            push.server_sync(&srv).unwrap();
+        }
+        let spans = push.tracer().recent(1024);
+        let roots: Vec<_> = spans.iter().filter(|s| s.name == "push.notice").collect();
+        assert!(!roots.is_empty());
+        let resent = spans
+            .iter()
+            .find(|s| {
+                s.name == "server.send.notice"
+                    && s.attrs
+                        .iter()
+                        .any(|(k, v)| k == "retransmission" && v == "true")
+            })
+            .expect("50% loss must force a traced retransmission");
+        // The retry hangs off a notice root: the trace shows the loss.
+        assert!(roots.iter().any(|r| Some(r.id) == resent.parent));
+        assert!(spans.iter().any(|s| s.name == "client.recv.notice"));
     }
 
     #[test]

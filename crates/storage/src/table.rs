@@ -21,7 +21,7 @@ use exptime_core::schema::Schema;
 use exptime_core::time::Time;
 use exptime_core::tuple::Tuple;
 use exptime_core::value::Value;
-use exptime_obs::{Counter, MetricsRegistry, Obs, Tracer};
+use exptime_obs::{Counter, HorizonForecast, MetricsRegistry, Obs, Tracer};
 use std::collections::HashMap;
 
 /// Running counters for one table — a point-in-time snapshot of the
@@ -185,6 +185,23 @@ impl Table {
     #[must_use]
     pub fn live_count(&self, tau: Time) -> usize {
         self.heap.iter().filter(|&(_, _, e)| e > tau).count()
+    }
+
+    /// The table's expiration horizon at `τ`: a log₂-bucketed forecast
+    /// of when the currently live rows will expire (bucket `k` counts
+    /// rows with `texp ∈ [τ + 2^k, τ + 2^(k+1))`; eternal rows are
+    /// tallied separately). One heap scan, like [`Table::live_count`] —
+    /// and by construction `forecast.total() == live_count(τ)`.
+    #[must_use]
+    pub fn expiry_horizon(&self, tau: Time) -> HorizonForecast {
+        let now = tau.finite().unwrap_or(u64::MAX);
+        HorizonForecast::from_texps(
+            now,
+            self.heap
+                .iter()
+                .filter(|&(_, _, e)| e > tau)
+                .map(|(_, _, e)| e.finite()),
+        )
     }
 
     /// Builds a secondary B+-tree index on attribute `attr` (zero-based),
@@ -423,6 +440,27 @@ mod tests {
             assert_eq!(tb.stats().expired, 2);
             assert_eq!(tb.next_expiration(), Some(t(15)));
         }
+    }
+
+    #[test]
+    fn expiry_horizon_buckets_live_rows_and_conserves_the_count() {
+        let mut tb = table(IndexKind::Heap);
+        tb.insert(tuple![1, 25], t(10), Time::ZERO).unwrap();
+        tb.insert(tuple![2, 25], t(11), Time::ZERO).unwrap();
+        tb.insert(tuple![3, 35], t(40), Time::ZERO).unwrap();
+        tb.insert(tuple![4, 45], Time::INFINITY, Time::ZERO)
+            .unwrap();
+        let f = tb.expiry_horizon(t(9));
+        // Offsets from τ=9: +1 (bucket 0), +2 (bucket 1), +31 (bucket 4).
+        assert_eq!(f.buckets()[0], 1);
+        assert_eq!(f.buckets()[1], 1);
+        assert_eq!(f.buckets()[4], 1);
+        assert_eq!(f.eternal(), 1);
+        assert_eq!(f.total(), tb.live_count(t(9)) as u64);
+        // Past the first two expirations only two rows remain ahead.
+        let f = tb.expiry_horizon(t(11));
+        assert_eq!(f.expiring(), 1);
+        assert_eq!(f.total(), tb.live_count(t(11)) as u64);
     }
 
     #[test]

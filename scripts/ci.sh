@@ -45,3 +45,35 @@ EXPTIME_CRASH_SEEDS="${EXPTIME_CRASH_SEEDS:-1,2,3,4,5,6,7,8}" \
 # E7-wal smoke: expiration-aware replay beats naive full-log replay and
 # checkpoints zero it (assertions only; BENCH_wal.json is not written).
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e7wal
+
+# E8-scope smoke: the horizon forecast matches actually-processed
+# expirations within one log2 bucket and the flash-crowd cohort trips
+# the storm detector (assertions only; BENCH_scope.json is not written).
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e8scope
+
+# Obs-overhead regression gate: re-measure the monitor/tracer overhead
+# at the committed baseline's scale (full, not --quick: the quick
+# workload is too small for stable timing) and fail if it regresses by
+# more than 10 percentage points over BENCH_obs.json. Both the baseline
+# and the fresh figure are min-of-3 (the noise-robust timing estimator),
+# so scheduler jitter does not trip the gate.
+repo_root="$(pwd)"
+obs_tmp="$(mktemp -d)"
+fresh_pct=""
+for _ in 1 2 3; do
+    (cd "$obs_tmp" && cargo run --release -q \
+        --manifest-path "$repo_root/Cargo.toml" -p exptime-bench \
+        --bin experiments -- obs >/dev/null)
+    pct="$(grep -o '"overhead_pct": *[-0-9.]*' "$obs_tmp/BENCH_obs.json" | awk '{print $2}')"
+    fresh_pct="$(awk -v a="$fresh_pct" -v b="$pct" \
+        'BEGIN { print (a == "" || b + 0 < a + 0) ? b : a }')"
+done
+baseline_pct="$(grep -o '"overhead_pct": *[-0-9.]*' "$repo_root/BENCH_obs.json" | awk '{print $2}')"
+rm -rf "$obs_tmp"
+awk -v b="$baseline_pct" -v f="$fresh_pct" 'BEGIN {
+    if (f > b + 10) {
+        printf "obs overhead regression: %.1f%% vs baseline %.1f%% (>10pt worse)\n", f, b
+        exit 1
+    }
+    printf "obs overhead gate OK: %.1f%% vs baseline %.1f%%\n", f, b
+}'

@@ -1,0 +1,139 @@
+//! Property tests for the expiration-horizon forecaster (the PR's
+//! observability tentpole): whatever a seeded workload inserts, deletes,
+//! and expires,
+//!
+//! 1. **conservation** — at every clock advance the merged forecast's
+//!    bucket sum (plus eternals) equals exactly the number of live rows,
+//!    per table and in total, and the `forecast.*` gauges agree; and
+//! 2. **storm iff** — a `storm_warning` event is emitted at an advance
+//!    *iff* some bucket's predicted expirations-per-tick strictly
+//!    exceeds the configured threshold, and the emitted buckets are
+//!    exactly the storming ones.
+
+use exptime::engine::{DbConfig, ForecastConfig};
+use exptime::obs::EventKind;
+use exptime::prelude::*;
+use proptest::prelude::*;
+
+/// One row of the generated workload: which table, and a lifetime (0 =
+/// eternal — `EXPIRES NEVER`).
+fn arb_rows() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..2, 0u64..240), 1..48)
+}
+
+fn build(rows: &[(u8, u64)], removal: Removal, threshold: u64) -> Database {
+    let mut db = Database::new(DbConfig {
+        removal,
+        forecast: ForecastConfig {
+            storm_threshold: threshold,
+        },
+        ..DbConfig::default()
+    });
+    db.execute("CREATE TABLE a (k INT)").unwrap();
+    db.execute("CREATE TABLE b (k INT)").unwrap();
+    for (i, &(which, life)) in rows.iter().enumerate() {
+        let table = if which == 0 { "a" } else { "b" };
+        let texp = if life == 0 {
+            exptime::core::time::Time::INFINITY
+        } else {
+            db.now() + life
+        };
+        db.insert(table, exptime::core::tuple![i as i64], texp)
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: `forecast().horizon.total()` equals the live row
+    /// count at every advance, under both removal modes, merged and per
+    /// table — no tuple is ever double-counted or dropped from the
+    /// prediction.
+    #[test]
+    fn forecast_bucket_sum_is_conserved_at_every_advance(
+        rows in arb_rows(),
+        advances in proptest::collection::vec(1u64..16, 1..16),
+        lazy in any::<bool>(),
+    ) {
+        let removal = if lazy {
+            Removal::Lazy { vacuum_every: 8 }
+        } else {
+            Removal::Eager
+        };
+        let mut db = build(&rows, removal, 64);
+        for step in advances {
+            db.tick(step);
+            let now = db.now();
+            let fc = db.forecast();
+            let mut live_total = 0u64;
+            for name in ["a", "b"] {
+                let live = db.table(name).unwrap().live_count(now) as u64;
+                live_total += live;
+                let (_, table_fc) = fc
+                    .tables
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .expect("forecast covers every table");
+                prop_assert_eq!(
+                    table_fc.total(), live,
+                    "table {} at {}: forecast total must equal live rows", name, now
+                );
+            }
+            prop_assert_eq!(fc.horizon.total(), live_total);
+            prop_assert_eq!(
+                fc.horizon.expiring() + fc.horizon.eternal(),
+                fc.horizon.total()
+            );
+            // The gauges advance_to refreshed agree with a fresh forecast.
+            let live_gauge = db.metrics().gauge_value("forecast.live");
+            prop_assert_eq!(live_gauge, i64::try_from(live_total).unwrap());
+        }
+    }
+
+    /// Storm iff: after each advance, the set of `storm_warning` events
+    /// stamped with that instant is exactly the set of buckets whose
+    /// predicted rate strictly exceeds the threshold.
+    #[test]
+    fn storm_warning_fires_iff_a_bucket_exceeds_the_threshold(
+        rows in arb_rows(),
+        advances in proptest::collection::vec(1u64..16, 1..12),
+        threshold in 1u64..6,
+    ) {
+        let mut db = build(&rows, Removal::Eager, threshold);
+        let ring = db.obs().install_ring(4096);
+        for step in advances {
+            db.tick(step);
+            let now = db.now().finite().unwrap();
+            let fc = db.forecast();
+            let expected: Vec<(u64, u64, u64)> = fc
+                .storms
+                .iter()
+                .map(|s| (s.lo, s.hi, s.predicted))
+                .collect();
+            let mut emitted: Vec<(u64, u64, u64)> = Vec::new();
+            for e in ring.recent(4096) {
+                if let EventKind::StormWarning {
+                    lo,
+                    hi,
+                    predicted,
+                    threshold: t,
+                    at,
+                } = e.kind
+                {
+                    if at == now {
+                        prop_assert_eq!(t, threshold);
+                        emitted.push((lo, hi, predicted));
+                    }
+                }
+            }
+            prop_assert_eq!(
+                emitted, expected,
+                "storm events at t={} must match the storming buckets", now
+            );
+            let gauge = db.metrics().gauge_value("forecast.storm_buckets");
+            prop_assert_eq!(gauge, i64::try_from(fc.storms.len()).unwrap());
+        }
+    }
+}

@@ -257,6 +257,113 @@ fn chaos_seed_matrix() {
     assert!(ran > 0, "EXPTIME_CHAOS_SEEDS named no seeds");
 }
 
+/// The tentpole trace-propagation invariant, end to end: under a lossy
+/// link, a sync session that needed at least one retransmission must
+/// still render as ONE connected causal trace on the span ring — the
+/// root session span, every `client.send.*` attempt (the retried ones
+/// flagged `retransmission=true`), the server-side handling span, and
+/// the final `client.apply.*` — all reachable from the same root via
+/// parent links, even though the spans belong to both endpoints.
+#[test]
+fn retransmitted_sync_renders_as_one_connected_trace() {
+    use exptime::obs::SpanRecord;
+    use std::collections::BTreeMap;
+
+    let attr = |s: &SpanRecord, key: &str| -> Option<String> {
+        s.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+
+    for seed in 1..64u64 {
+        let mut srv = build_server(seed);
+        let mut rep = ChaosReplica::new(FaultSpec::lossy(seed, 0.5), RetryPolicy::default());
+        rep.tracer().enable();
+        if rep
+            .subscribe("diff", Expr::base("r").difference(Expr::base("s")), &srv)
+            .is_err()
+        {
+            continue;
+        }
+        for _ in 0..30 {
+            srv.tick(1);
+            let _ = rep.read("diff", &srv);
+        }
+        rep.link().heal();
+        for _ in 0..40 {
+            if rep.quiesced() {
+                break;
+            }
+            srv.tick(1);
+            rep.pump(&srv).unwrap();
+        }
+        let stats = rep.session_stats();
+        if stats.retries == 0 || stats.sessions_completed == 0 {
+            continue; // this schedule produced no interesting session
+        }
+
+        // Group the ring's spans into traces by their `trace` attribute.
+        let spans = rep.tracer().recent(2048);
+        let mut traces: BTreeMap<String, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &spans {
+            if let Some(t) = attr(s, "trace") {
+                traces.entry(t).or_default().push(s);
+            }
+        }
+
+        for group in traces.values() {
+            let roots: Vec<&&SpanRecord> = group.iter().filter(|s| s.parent.is_none()).collect();
+            // Exactly one root per trace — never a forest.
+            assert_eq!(
+                roots.len(),
+                1,
+                "seed {seed}: trace with {} roots",
+                roots.len()
+            );
+            let root = roots[0];
+            assert!(
+                root.name.starts_with("session."),
+                "seed {seed}: {}",
+                root.name
+            );
+
+            // Connectivity: every span in the trace walks up to the root.
+            let ids: std::collections::BTreeSet<u64> = group.iter().map(|s| s.id).collect();
+            let by_id: BTreeMap<u64, &&SpanRecord> = group.iter().map(|s| (s.id, s)).collect();
+            for s in group {
+                let mut cur = *s;
+                let mut hops = 0;
+                while let Some(p) = cur.parent {
+                    assert!(
+                        ids.contains(&p),
+                        "seed {seed}: span `{}` parents outside its trace",
+                        cur.name
+                    );
+                    cur = by_id[&p];
+                    hops += 1;
+                    assert!(hops < 1000, "seed {seed}: parent cycle");
+                }
+                assert_eq!(cur.id, root.id, "seed {seed}: disconnected span");
+            }
+        }
+
+        // At least one trace shows the full story: a retransmitted send
+        // AND the server's handling AND the client's apply.
+        let complete = traces.values().any(|group| {
+            group.iter().any(|s| {
+                s.name.starts_with("client.send.")
+                    && attr(s, "retransmission").as_deref() == Some("true")
+            }) && group.iter().any(|s| s.name.starts_with("server.handle."))
+                && group.iter().any(|s| s.name.starts_with("client.apply."))
+        });
+        if complete {
+            return; // invariant demonstrated on this seed's schedule
+        }
+    }
+    panic!("no seed in 1..64 produced a completed, retransmitted, traced session");
+}
+
 /// Graceful degradation across the validity horizon: a fully
 /// disconnected replica keeps answering from its still-valid cache, and
 /// once the cache lapses past the resync SLO the degradation shows up in

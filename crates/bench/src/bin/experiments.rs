@@ -2,8 +2,8 @@
 //! report tables recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
-//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, e8scope, obs, a1, a2}; omit
-//! ids for all.
+//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, e8scope, e9telemetry, obs,
+//! a1, a2}; omit ids for all.
 //! `--quick` shrinks the workloads (used in CI smoke runs); `--check` skips
 //! all file writes (CI runs the experiments for their assertions, not their
 //! artifacts). The `obs` experiment otherwise writes a `BENCH_obs.json`
@@ -11,7 +11,9 @@
 //! `e6chaos` writes `BENCH_replica.json` (message counts and recovery
 //! latency per loss rate and strategy), and `e7wal` writes `BENCH_wal.json`
 //! (crash-recovery replay work and latency vs log length, naive vs
-//! expiration-aware) to the working directory.
+//! expiration-aware), and `e9telemetry` writes `BENCH_telemetry.json`
+//! (sampler overhead and scrape-under-load latency) to the working
+//! directory.
 
 use exptime_bench::experiments as ex;
 use exptime_obs::JsonValue;
@@ -143,6 +145,22 @@ fn main() {
                 .0
                 .render()
         );
+    }
+    if run("e9telemetry") {
+        let (report, _, json) = ex::e9_telemetry(512 * scale as usize, 67);
+        println!("{}", report.render());
+        let doc = json.render();
+        if check {
+            println!(
+                "--check: BENCH_telemetry.json not written ({} bytes)\n",
+                doc.len()
+            );
+        } else {
+            match std::fs::write("BENCH_telemetry.json", &doc) {
+                Ok(()) => println!("wrote BENCH_telemetry.json ({} bytes)\n", doc.len()),
+                Err(e) => eprintln!("could not write BENCH_telemetry.json: {e}"),
+            }
+        }
     }
     if run("e10") {
         println!(

@@ -2437,3 +2437,211 @@ mod e7_wal_tests {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// E9-telemetry — sampler overhead and scrape-under-load
+// ---------------------------------------------------------------------
+
+/// Measured outcome of E9-telemetry (what the unit tests pin down).
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetrySummary {
+    /// Samples the lit run's sampler took.
+    pub samples: u64,
+    /// Live `_telemetry.*` rows when the run ended.
+    pub history_rows: u64,
+    /// Distinct sample instants still live at the end (via `GROUP BY ts`).
+    pub distinct_samples_live: u64,
+    /// The retention-implied cap on live sample instants.
+    pub live_bound: u64,
+    /// `/metrics` scrapes issued against the live server.
+    pub scrapes: u64,
+    /// Scrapes whose body round-tripped through `parse_prometheus_text`.
+    pub scrapes_ok: u64,
+    /// Parsed sample count of the final scrape.
+    pub scrape_metric_samples: u64,
+}
+
+/// E9-telemetry: the cost of the telemetry plane, measured by the plane
+/// itself. One expiry-heavy workload runs twice — dark (sampler off) and
+/// lit (sampler snapshotting metrics + health into `_telemetry.*` with
+/// `texp = now + retention`) — then the lit engine goes behind a live
+/// `telemetryd` HTTP server and is scraped while the clock keeps
+/// advancing. Every scrape is validated with the repo's own
+/// `parse_prometheus_text`; history boundedness is checked with plain
+/// SQL over the system tables (retention is enforced by expiry alone —
+/// there is no DELETE anywhere in the sampler).
+///
+/// # Panics
+///
+/// Panics if the workload's SQL fails or the loopback server cannot
+/// bind (bugs or a hostile sandbox, not input conditions).
+#[must_use]
+pub fn e9_telemetry(rows: usize, seed: u64) -> (Report, TelemetrySummary, JsonValue) {
+    use exptime_engine::{SharedDatabase, TelemetryConfig};
+    use exptime_obs::parse_prometheus_text;
+    use exptime_obs::JsonValue as J;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::io::{Read as _, Write as _};
+
+    const SAMPLE_EVERY: u64 = 4;
+    const RETENTION: u64 = 32;
+    const SCRAPES: u64 = 16;
+
+    let run_once = |telemetry: TelemetryConfig| -> (f64, Database) {
+        let mut db = Database::new(DbConfig {
+            telemetry,
+            ..DbConfig::default()
+        });
+        db.execute("CREATE TABLE sessions (uid INT, deg INT)")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let life = LifetimeDist::HeavyTail {
+            base: 16,
+            spread: 4,
+        };
+        let start = Instant::now();
+        for i in 0..rows {
+            let deg = rng.gen_range(0i64..100);
+            let texp = db.now() + life.sample(&mut rng).max(1);
+            db.insert("sessions", exptime_core::tuple![i as i64, deg], texp)
+                .unwrap();
+            if i % 8 == 0 {
+                db.tick(1);
+            }
+        }
+        (start.elapsed().as_secs_f64() * 1e3, db)
+    };
+
+    let (dark_ms, _) = run_once(TelemetryConfig::default());
+    let (lit_ms, lit) = run_once(TelemetryConfig::enabled(SAMPLE_EVERY, RETENTION));
+    let overhead_pct = (lit_ms - dark_ms) / dark_ms.max(1e-9) * 100.0;
+    let samples = lit.telemetry_status().samples;
+
+    // Scrape the lit engine over real HTTP while the clock keeps moving
+    // (so the sampler stays active underneath the scraper).
+    let shared = SharedDatabase::from_database(lit);
+    let server = exptime_telemetryd::serve(&shared, "127.0.0.1:0").expect("bind loopback");
+    let scrape_start = Instant::now();
+    let mut scrapes_ok = 0u64;
+    let mut scrape_metric_samples = 0u64;
+    for _ in 0..SCRAPES {
+        shared.tick(1);
+        let mut s = std::net::TcpStream::connect(server.addr()).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n")
+            .expect("request");
+        let mut buf = String::new();
+        s.read_to_string(&mut buf).expect("response");
+        let body = buf.split_once("\r\n\r\n").map_or("", |(_, b)| b);
+        if let Ok(parsed) = parse_prometheus_text(body) {
+            scrapes_ok += 1;
+            scrape_metric_samples = parsed.len() as u64;
+        }
+    }
+    let scrape_ms = scrape_start.elapsed().as_secs_f64() * 1e3;
+    // The server observed itself: its own latency histogram is in the
+    // exposition it serves.
+    let (lat_p50, lat_p99) = shared.with(|d| {
+        d.metrics()
+            .histograms()
+            .into_iter()
+            .find(|(name, _)| name == "http./metrics.latency_ns")
+            .map_or((0.0, 0.0), |(_, h)| (h.p50(), h.p99()))
+    });
+    server.stop();
+
+    // Retention math, checked with ordinary SQL against the system
+    // tables: only the last RETENTION ticks of samples can be live.
+    let status = shared.with(|d| d.telemetry_status());
+    let history_rows = status.metrics_rows + status.health_rows;
+    let distinct_samples_live = shared
+        .execute("SELECT ts, COUNT(*) FROM _telemetry.metrics GROUP BY ts")
+        .unwrap()
+        .rows()
+        .unwrap()
+        .len() as u64;
+    let live_bound = RETENTION / SAMPLE_EVERY + 1;
+
+    let summary = TelemetrySummary {
+        samples,
+        history_rows,
+        distinct_samples_live,
+        live_bound,
+        scrapes: SCRAPES,
+        scrapes_ok,
+        scrape_metric_samples,
+    };
+    let json = J::Object(vec![
+        ("experiment".into(), J::String("e9-telemetry".into())),
+        ("rows".into(), J::Uint(rows as u64)),
+        ("seed".into(), J::Uint(seed)),
+        ("sample_every".into(), J::Uint(SAMPLE_EVERY)),
+        ("retention".into(), J::Uint(RETENTION)),
+        ("dark_ms".into(), J::Float(dark_ms)),
+        ("lit_ms".into(), J::Float(lit_ms)),
+        ("overhead_pct".into(), J::Float(overhead_pct)),
+        ("samples".into(), J::Uint(samples)),
+        ("history_rows".into(), J::Uint(history_rows)),
+        (
+            "distinct_samples_live".into(),
+            J::Uint(distinct_samples_live),
+        ),
+        ("live_bound".into(), J::Uint(live_bound)),
+        ("scrapes".into(), J::Uint(SCRAPES)),
+        ("scrapes_ok".into(), J::Uint(scrapes_ok)),
+        (
+            "scrape_metric_samples".into(),
+            J::Uint(scrape_metric_samples),
+        ),
+        ("scrape_ms".into(), J::Float(scrape_ms)),
+        ("scrape_latency_p50_ns".into(), J::Float(lat_p50)),
+        ("scrape_latency_p99_ns".into(), J::Float(lat_p99)),
+    ]);
+    let report = Report {
+        title: "E9-telemetry: sampler overhead and scrape-under-load".into(),
+        lines: vec![
+            format!(
+                "workload: {rows} inserts, sampler every {SAMPLE_EVERY} tick(s), retention {RETENTION} tick(s)"
+            ),
+            format!("dark (sampler off): {dark_ms:>8.2} ms"),
+            format!("lit  (sampler on):  {lit_ms:>8.2} ms  ({overhead_pct:+.1}%)"),
+            format!(
+                "history: {samples} sample(s) taken, {history_rows} row(s) live, \
+                 {distinct_samples_live} instant(s) live (bound {live_bound}) — zero DELETEs"
+            ),
+            format!(
+                "scrape:  {scrapes_ok}/{SCRAPES} parses ok, {scrape_metric_samples} series, \
+                 {scrape_ms:.2} ms total, latency p50 {lat_p50:.0} ns / p99 {lat_p99:.0} ns"
+            ),
+        ],
+    };
+    (report, summary, json)
+}
+
+#[cfg(test)]
+mod e9_telemetry_tests {
+    use super::*;
+
+    #[test]
+    fn e9_telemetry_shape_bounded_history_and_valid_scrapes() {
+        let (report, s, json) = e9_telemetry(256, 67);
+        assert!(s.samples > 0, "{s:?}");
+        assert!(s.history_rows > 0, "{s:?}");
+        // Retention is the only cleanup mechanism, and it suffices.
+        assert!(
+            s.distinct_samples_live <= s.live_bound,
+            "history must stay bounded by retention: {s:?}"
+        );
+        // Every live scrape round-tripped through the repo's own parser.
+        assert_eq!(s.scrapes_ok, s.scrapes, "{s:?}");
+        assert!(s.scrape_metric_samples > 0, "{s:?}");
+        let doc = json.render();
+        assert!(doc.contains("\"e9-telemetry\""), "{doc}");
+        assert!(doc.contains("\"scrape_latency_p99_ns\""), "{doc}");
+        assert!(
+            report.render().contains("zero DELETEs"),
+            "{}",
+            report.render()
+        );
+    }
+}

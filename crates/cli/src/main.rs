@@ -46,20 +46,30 @@ fn watch(repl: &mut Repl, secs: u64) {
     reader.join().ok();
 }
 
+const USAGE: &str = "usage: exptime-cli [--wal DIR] [--serve-obs ADDR]";
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut wal_dir: Option<String> = None;
+    let mut serve_obs: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--wal" => match args.next() {
                 Some(dir) => wal_dir = Some(dir),
                 None => {
-                    eprintln!("usage: exptime-cli [--wal DIR]");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--serve-obs" => match args.next() {
+                Some(addr) => serve_obs = Some(addr),
+                None => {
+                    eprintln!("{USAGE}");
                     std::process::exit(2);
                 }
             },
             other => {
-                eprintln!("unknown argument `{other}`; usage: exptime-cli [--wal DIR]");
+                eprintln!("unknown argument `{other}`; {USAGE}");
                 std::process::exit(2);
             }
         }
@@ -80,9 +90,29 @@ fn main() {
         }
         None => Repl::new(),
     };
+    // The scrape server holds a clone of the shell's shared database:
+    // both planes see the same engine, and the server's own request
+    // metrics show up in `\metrics` here.
+    // Held until exit: dropping the handle stops the server.
+    let obs_server =
+        serve_obs.as_ref().map(
+            |addr| match exptime_telemetryd::serve(&repl.shared(), addr) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("could not serve observability on {addr}: {e}");
+                    std::process::exit(1);
+                }
+            },
+        );
     println!("exptime — Expiration Times for Data Management (ICDE 2006)");
     if let Some(dir) = &wal_dir {
         println!("durable: WAL at {dir} (see \\wal status for what recovery did)");
+    }
+    if let Some(server) = &obs_server {
+        println!(
+            "observability: {}/metrics (also /health /forecast /spans /profile)",
+            server.url()
+        );
     }
     println!("type \\help for commands, \\demo for the paper's example database\n");
     let stdin = std::io::stdin();

@@ -9,7 +9,7 @@
 use crate::render::render_relation;
 use exptime_core::rewrite;
 use exptime_core::time::Time;
-use exptime_engine::{Database, DbConfig, ExecResult};
+use exptime_engine::{Database, DbConfig, ExecResult, SharedDatabase};
 use exptime_obs::{
     expose_json, expose_prometheus, fold_spans, render_flame, render_span_tree, RingSink,
     SPAN_RING_CAP,
@@ -22,8 +22,13 @@ const EVENT_RING_CAP: usize = 512;
 
 /// The REPL state: a database plus a pending (incomplete) statement
 /// buffer.
+///
+/// The database sits behind a [`SharedDatabase`] handle so the shell can
+/// coexist with background consumers of the same engine — most notably
+/// the `--serve-obs` telemetry scrape server, which snapshots health and
+/// forecasts from another thread between statements.
 pub struct Repl {
-    db: Database,
+    db: SharedDatabase,
     pending: String,
     /// Recent engine events, fed by the database's observability stream.
     events: Arc<RingSink>,
@@ -94,6 +99,9 @@ Meta commands:
   \\explain analyze SELECT …
                   run the query and profile it per operator
                   (rows in/out, expired-filtered, elapsed, view decisions)
+  \\telemetry status
+                  telemetry sampler status: cadence, retention, samples
+                  taken, and live `_telemetry.*` history row counts
   \\wal status     WAL status: log size, group commit, checkpoint cadence,
                   degraded flag, and what recovery did at open
   \\checkpoint     snapshot live rows + views and truncate the WAL
@@ -123,10 +131,20 @@ impl Repl {
     /// [`Database::open`], so the shell serves WAL-recovered state.
     #[must_use]
     pub fn with_database(db: Database) -> Self {
-        let events = db.obs().install_ring(EVENT_RING_CAP);
-        // Interactive sessions always trace: spans are bounded (a ring)
-        // and the whole point of the shell is to watch the engine work.
-        db.tracer().enable();
+        Repl::with_shared(SharedDatabase::from_database(db))
+    }
+
+    /// A REPL over a shared handle, when other threads (a telemetry
+    /// server, a ticker) hold clones of the same database.
+    #[must_use]
+    pub fn with_shared(db: SharedDatabase) -> Self {
+        let events = db.with(|d| {
+            // Interactive sessions always trace: spans are bounded (a
+            // ring) and the whole point of the shell is to watch the
+            // engine work.
+            d.tracer().enable();
+            d.obs().install_ring(EVENT_RING_CAP)
+        });
         Repl {
             db,
             pending: String::new(),
@@ -134,9 +152,10 @@ impl Repl {
         }
     }
 
-    /// Access to the underlying database (used by tests).
-    pub fn db(&mut self) -> &mut Database {
-        &mut self.db
+    /// A clone of the shared handle (for servers, tickers, tests).
+    #[must_use]
+    pub fn shared(&self) -> SharedDatabase {
+        self.db.clone()
     }
 
     /// The prompt to display, reflecting clock and continuation state.
@@ -168,6 +187,11 @@ impl Repl {
     }
 
     fn run_sql(&mut self, sql: &str) -> Outcome {
+        let db = self.db.clone();
+        db.with(|db| self.run_sql_in(db, sql))
+    }
+
+    fn run_sql_in(&mut self, db: &mut Database, sql: &str) -> Outcome {
         // `EXPLAIN LINT <stmt>;` runs the static analyzer instead of the
         // statement. Handled here (not in the parser) because it renders
         // against the statement's own source text.
@@ -180,13 +204,13 @@ impl Repl {
                 .get(12)
                 .is_none_or(u8::is_ascii_whitespace);
         if is_explain_lint {
-            return match self.db.explain_lint(stripped[12..].trim()) {
+            return match db.explain_lint(stripped[12..].trim()) {
                 Ok(out) => Outcome::Text(out),
                 Err(e) => Outcome::Text(format!("error: {e}\n")),
             };
         }
-        match self.db.execute_script(sql) {
-            Ok(ExecResult::Rows(rel)) => Outcome::Text(render_relation(&rel, self.db.now())),
+        match db.execute_script(sql) {
+            Ok(ExecResult::Rows(rel)) => Outcome::Text(render_relation(&rel, db.now())),
             Ok(ExecResult::Affected(n)) => Outcome::Text(format!("{n} row(s) affected\n")),
             Ok(ExecResult::Ok(msg)) => Outcome::Text(format!("{msg}\n")),
             Err(e) => Outcome::Text(format!("error: {e}\n")),
@@ -194,51 +218,53 @@ impl Repl {
     }
 
     fn meta(&mut self, cmd: &str) -> Outcome {
+        let db = self.db.clone();
+        db.with(|db| self.meta_in(db, cmd))
+    }
+
+    /// The meta dispatch proper, run under the database lock. Helpers
+    /// called from here take `db` directly — the mutex is not reentrant.
+    fn meta_in(&mut self, db: &mut Database, cmd: &str) -> Outcome {
         let mut parts = cmd.splitn(2, char::is_whitespace);
         let head = parts.next().unwrap_or("");
         let arg = parts.next().unwrap_or("").trim();
         match head {
             "\\help" | "\\h" | "\\?" => Outcome::Text(HELP.to_string()),
             "\\quit" | "\\q" | "\\exit" => Outcome::Quit,
-            "\\now" => Outcome::Text(format!("t = {}\n", self.db.now())),
+            "\\now" => Outcome::Text(format!("t = {}\n", db.now())),
             "\\tick" => match arg.parse::<u64>() {
                 Ok(n) => {
-                    let before = self.db.triggers().log().len();
-                    let now = self.db.tick(n);
-                    let fired = self.db.triggers().log().len() - before;
+                    let before = db.triggers().log().len();
+                    let now = db.tick(n);
+                    let fired = db.triggers().log().len() - before;
                     Outcome::Text(format!("t = {now} ({fired} expiration(s) processed)\n"))
                 }
                 Err(_) => Outcome::Text("usage: \\tick N\n".into()),
             },
             "\\goto" => match arg.parse::<u64>() {
-                Ok(t) if Time::new(t) >= self.db.now() => {
-                    self.db.advance_to(Time::new(t));
-                    Outcome::Text(format!("t = {}\n", self.db.now()))
+                Ok(t) if Time::new(t) >= db.now() => {
+                    db.advance_to(Time::new(t));
+                    Outcome::Text(format!("t = {}\n", db.now()))
                 }
                 _ => Outcome::Text("usage: \\goto T   (T ≥ current time)\n".into()),
             },
             "\\vacuum" => {
-                let before = self.db.stats().expired;
-                self.db.vacuum();
+                let before = db.stats().expired;
+                db.vacuum();
                 Outcome::Text(format!(
                     "vacuumed ({} row(s) removed)\n",
-                    self.db.stats().expired - before
+                    db.stats().expired - before
                 ))
             }
             "\\tables" => {
-                let now = self.db.now();
+                let now = db.now();
                 let mut out = String::new();
-                let names: Vec<String> = self
-                    .db
-                    .snapshot()
-                    .iter()
-                    .map(|(n, _)| n.to_string())
-                    .collect();
+                let names: Vec<String> = db.snapshot().iter().map(|(n, _)| n.to_string()).collect();
                 if names.is_empty() {
                     out.push_str("(no tables)\n");
                 }
                 for n in names {
-                    let t = self.db.table(&n).expect("listed");
+                    let t = db.table(&n).expect("listed");
                     out.push_str(&format!(
                         "{n}{:?}: {} live / {} stored\n",
                         t.schema(),
@@ -251,9 +277,9 @@ impl Repl {
             "\\views" => {
                 let mut out = String::new();
                 let mut any = false;
-                for name in self.db.view_names() {
+                for name in db.view_names() {
                     any = true;
-                    match self.db.view_stats(&name) {
+                    match db.view_stats(&name) {
                         Ok(s) => out.push_str(&format!(
                             "{name} (materialised): {} reads, {} local, {} recomputations\n",
                             s.reads, s.local_reads, s.recomputations
@@ -267,7 +293,7 @@ impl Repl {
                 Outcome::Text(out)
             }
             "\\triggers" => {
-                let log = self.db.triggers().log();
+                let log = db.triggers().log();
                 if log.is_empty() {
                     return Outcome::Text("(no expirations yet)\n".into());
                 }
@@ -281,14 +307,14 @@ impl Repl {
                 Outcome::Text(out)
             }
             "\\stats" => {
-                let s = self.db.stats();
+                let s = db.stats();
                 Outcome::Text(format!(
                     "inserts: {}  deletes: {}  expired: {}  queries: {}  vacuums: {}\n",
                     s.inserts, s.deletes, s.expired, s.queries, s.vacuums
                 ))
             }
             "\\metrics" => {
-                let reg = self.db.metrics();
+                let reg = db.metrics();
                 match arg {
                     "prom" | "prometheus" => return Outcome::Text(expose_prometheus(reg)),
                     "json" => return Outcome::Text(format!("{}\n", expose_json(reg))),
@@ -316,19 +342,19 @@ impl Repl {
                 }
                 Outcome::Text(out)
             }
-            "\\health" => Outcome::Text(format!("{}", self.db.health())),
+            "\\health" => Outcome::Text(format!("{}", db.health())),
             "\\forecast" => {
                 if !arg.is_empty() {
                     return Outcome::Text("usage: \\forecast\n".into());
                 }
-                Outcome::Text(self.db.forecast().render(40))
+                Outcome::Text(db.forecast().render(40))
             }
             "\\profile" => {
                 if !arg.is_empty() {
                     return Outcome::Text("usage: \\profile\n".into());
                 }
-                let mut out = self.db.profile_stats().render();
-                let spans = self.db.tracer().recent(SPAN_RING_CAP);
+                let mut out = db.profile_stats().render();
+                let spans = db.tracer().recent(SPAN_RING_CAP);
                 if !spans.is_empty() {
                     out.push_str("\nflame (self-time per stack):\n");
                     out.push_str(&render_flame(&fold_spans(&spans), 32));
@@ -344,12 +370,12 @@ impl Repl {
                         Err(_) => return Outcome::Text("usage: \\spans [N]\n".into()),
                     }
                 };
-                let spans = self.db.tracer().recent(n);
+                let spans = db.tracer().recent(n);
                 if spans.is_empty() {
                     return Outcome::Text("(no spans yet)\n".into());
                 }
                 let mut out = render_span_tree(&spans);
-                let dropped = self.db.tracer().dropped();
+                let dropped = db.tracer().dropped();
                 if dropped > 0 {
                     out.push_str(&format!(
                         "({dropped} older span(s) dropped from the ring)\n"
@@ -398,7 +424,7 @@ impl Repl {
                     );
                 }
                 let stmt = arg.trim_end_matches(';').trim();
-                match self.db.explain_lint(stmt) {
+                match db.explain_lint(stmt) {
                     Ok(out) => Outcome::Text(out),
                     Err(e) => Outcome::Text(format!("error: {e}\n")),
                 }
@@ -410,16 +436,22 @@ impl Repl {
                 else {
                     return Outcome::Text("usage: \\explain analyze SELECT …\n".into());
                 };
-                match self.db.explain_analyze(rest.trim()) {
+                match db.explain_analyze(rest.trim()) {
                     Ok(explain) => Outcome::Text(format!("{explain}\n")),
                     Err(e) => Outcome::Text(format!("error: {e}\n")),
                 }
+            }
+            "\\telemetry" => {
+                if arg != "status" {
+                    return Outcome::Text("usage: \\telemetry status\n".into());
+                }
+                Outcome::Text(format!("{}\n", db.telemetry_status()))
             }
             "\\wal" => {
                 if arg != "status" {
                     return Outcome::Text("usage: \\wal status\n".into());
                 }
-                let Some(s) = self.db.wal_status() else {
+                let Some(s) = db.wal_status() else {
                     return Outcome::Text("no WAL attached (volatile database)\n".into());
                 };
                 let mut out = format!(
@@ -453,7 +485,7 @@ impl Repl {
                 }
                 Outcome::Text(out)
             }
-            "\\checkpoint" => match self.db.checkpoint() {
+            "\\checkpoint" => match db.checkpoint() {
                 Ok(c) => Outcome::Text(format!(
                     "checkpoint at t={}: {} live row(s) snapshotted ({} bytes), \
                      {} log byte(s) reclaimed\n",
@@ -461,12 +493,12 @@ impl Repl {
                 )),
                 Err(e) => Outcome::Text(format!("error: {e}\n")),
             },
-            "\\plan" => self.plan(arg),
+            "\\plan" => self.plan(db, arg),
             "\\save" => {
                 if arg.is_empty() {
                     return Outcome::Text("usage: \\save FILE\n".into());
                 }
-                match std::fs::write(arg, self.db.dump_sql()) {
+                match std::fs::write(arg, db.dump_sql()) {
                     Ok(()) => Outcome::Text(format!("saved to {arg}\n")),
                     Err(e) => Outcome::Text(format!("error: {e}\n")),
                 }
@@ -477,13 +509,16 @@ impl Repl {
                 }
                 match std::fs::read_to_string(arg) {
                     Ok(dump) => match Database::restore(&dump) {
-                        Ok(db) => {
-                            self.db = db;
-                            self.events = self.db.obs().install_ring(EVENT_RING_CAP);
-                            self.db.tracer().enable();
+                        Ok(restored) => {
+                            // Swap in place: clones of the shared handle
+                            // (telemetry server, ticker) keep working
+                            // against the restored database.
+                            *db = restored;
+                            self.events = db.obs().install_ring(EVENT_RING_CAP);
+                            db.tracer().enable();
                             Outcome::Text(format!(
                                 "loaded {arg} (clock restored to t={})\n",
-                                self.db.now()
+                                db.now()
                             ))
                         }
                         Err(e) => Outcome::Text(format!("error: {e}\n")),
@@ -500,7 +535,7 @@ impl Repl {
                     INSERT INTO el VALUES (1, 75) EXPIRES AT 5;
                     INSERT INTO el VALUES (2, 85) EXPIRES AT 3;
                     INSERT INTO el VALUES (4, 90) EXPIRES AT 2;";
-                match self.db.execute_script(script) {
+                match db.execute_script(script) {
                     Ok(_) => Outcome::Text(
                         "loaded the paper's Figure 1 database (tables: pol, el)\n\
                          try: SELECT * FROM pol JOIN el ON pol.uid = el.uid;  then \\tick 3\n"
@@ -528,13 +563,18 @@ impl Repl {
     /// staleness/SLO health snapshot, and the tail of the event stream.
     #[must_use]
     pub fn dashboard(&mut self) -> String {
-        let s = self.db.stats();
-        let mut out = format!("exptime — t = {}\n\n", self.db.now());
+        let db = self.db.clone();
+        db.with(|db| self.dashboard_in(db))
+    }
+
+    fn dashboard_in(&mut self, db: &mut Database) -> String {
+        let s = db.stats();
+        let mut out = format!("exptime — t = {}\n\n", db.now());
         out.push_str(&format!(
             "inserts: {}  deletes: {}  expired: {}  queries: {}  vacuums: {}\n\n",
             s.inserts, s.deletes, s.expired, s.queries, s.vacuums
         ));
-        out.push_str(&format!("{}", self.db.health()));
+        out.push_str(&format!("{}", db.health()));
         let events = self.events.recent(5);
         if !events.is_empty() {
             out.push_str("\nrecent events:\n");
@@ -545,7 +585,7 @@ impl Repl {
         out
     }
 
-    fn plan(&mut self, sql: &str) -> Outcome {
+    fn plan(&mut self, db: &mut Database, sql: &str) -> Outcome {
         let stmt = match exptime_sql::parse(sql) {
             Ok(s) => s,
             Err(e) => return Outcome::Text(format!("error: {e}\n")),
@@ -553,12 +593,12 @@ impl Repl {
         let exptime_sql::Statement::Select(query) = stmt else {
             return Outcome::Text("\\plan takes a SELECT statement\n".into());
         };
-        let provider = DbProvider(&self.db);
+        let provider = DbProvider(db);
         let expr = match plan_query(&query, &provider) {
             Ok(e) => e,
             Err(e) => return Outcome::Text(format!("error: {e}\n")),
         };
-        let inlined = self.db.inline_views(&expr);
+        let inlined = db.inline_views(&expr);
         let rewritten = rewrite::rewrite(&inlined);
         let mut out = format!(
             "plan:      {inlined}\nmonotonic: {} ({})\n",
@@ -575,7 +615,7 @@ impl Repl {
         if rewrite::is_root_patchable(&rewritten) {
             out.push_str("           (difference at root: Theorem 3 patching applies)\n");
         }
-        match self.db.query_expr(&inlined) {
+        match db.query_expr(&inlined) {
             Ok(m) => {
                 out.push_str(&format!("texp(e):   {}\n", m.texp));
                 out.push_str(&format!("validity:  {}\n", m.validity));
@@ -961,6 +1001,35 @@ mod tests {
         // The log was just truncated by the checkpoint.
         let st = text(r.feed("\\wal status"));
         assert!(st.contains("log: 0 bytes"), "{st}");
+    }
+
+    #[test]
+    fn telemetry_status_command_and_sql_queryable_history() {
+        use exptime_engine::TelemetryConfig;
+
+        // Off by default: the command says so.
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\telemetry status")).contains("sampler: off"));
+        assert!(text(r.feed("\\telemetry")).contains("usage"));
+        assert!(text(r.feed("\\telemetry bogus")).contains("usage"));
+        assert!(text(r.feed("\\help")).contains("\\telemetry"));
+
+        // On: ticking takes samples, and the history is plain SQL.
+        let config = DbConfig {
+            telemetry: TelemetryConfig::enabled(2, 16),
+            ..DbConfig::default()
+        };
+        let mut r = Repl::with_database(Database::new(config));
+        text(r.feed("\\demo"));
+        text(r.feed("\\tick 4"));
+        let st = text(r.feed("\\telemetry status"));
+        assert!(st.contains("sampler: on"), "{st}");
+        assert!(st.contains("samples: 2 (last at t=4)"), "{st}");
+        let out = text(r.feed("SELECT * FROM _telemetry.health;"));
+        assert!(out.contains("2 rows"), "{out}");
+        // The reserved schema rejects user writes through the shell.
+        let out = text(r.feed("DROP TABLE _telemetry.metrics;"));
+        assert!(out.contains("reserved"), "{out}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::constraint::{Constraint, ConstraintViolation};
 use crate::durability::{CheckpointStats, Durability, RecoveryStats, WalSession, WalStatus};
+use crate::telemetry::{TelemetryConfig, TelemetryStatus, TELEMETRY_HEALTH, TELEMETRY_METRICS};
 use crate::trigger::{ExpirationEvent, TriggerFn, TriggerManager};
 use exptime_core::algebra::{eval, eval_profiled, EvalOptions, Expr, Materialized, PlanProfile};
 use exptime_core::catalog::Catalog;
@@ -103,6 +104,10 @@ pub struct DbConfig {
     pub durability: Durability,
     /// Expiration-horizon forecasting (storm detection threshold).
     pub forecast: ForecastConfig,
+    /// Self-hosted telemetry sampling into the reserved `_telemetry`
+    /// schema, with retention expressed as expiration times
+    /// (DESIGN.md §8.5). Off by default.
+    pub telemetry: TelemetryConfig,
 }
 
 /// A point-in-time forecast of the database's future expiration load:
@@ -417,6 +422,16 @@ pub struct Database {
     /// `None` both for volatile databases and *during* recovery replay
     /// (so replayed operations are not re-logged).
     wal: Option<WalSession>,
+    /// True while the engine itself is executing statements: WAL
+    /// recovery replay, dump restore, and the telemetry sampler. Lifts
+    /// the `_telemetry` reserved-schema write guard and suppresses
+    /// sampling (replayed history must reproduce the original run's
+    /// samples as rows, not synthesise new ones).
+    system_ctx: bool,
+    /// Logical instant of the last telemetry sample.
+    telemetry_last_sample: Option<u64>,
+    /// Samples taken by this process (not by replayed history).
+    telemetry_samples: u64,
 }
 
 impl fmt::Debug for Database {
@@ -460,6 +475,9 @@ impl Database {
             profiler: Profiler::default(),
             alloc: AllocCounter::new(),
             wal: None,
+            system_ctx: false,
+            telemetry_last_sample: None,
+            telemetry_samples: 0,
         }
     }
 
@@ -498,6 +516,10 @@ impl Database {
             ));
         };
         let mut db = Database::new(config);
+        // Recovery replays history verbatim — including `_telemetry`
+        // DDL/rows — so the reserved-schema guard must stand down and
+        // the sampler must not synthesise new samples mid-replay.
+        db.system_ctx = true;
         let mut wal = Wal::new(store, group_commit);
         wal.attach(db.metrics());
 
@@ -577,6 +599,7 @@ impl Database {
         // the torn tail is discarded, replayed history is compacted, and
         // the next crash recovers from a clean prefix.
         db.checkpoint()?;
+        db.system_ctx = false;
         // The recovered state's horizon, before the first advance.
         db.refresh_forecast_gauges();
         Ok(db)
@@ -1140,6 +1163,9 @@ impl Database {
         // for one horizon scan.
         self.observe_view_staleness();
         self.refresh_forecast_gauges();
+        // Telemetry sampling rides the same cadence: persist the freshly
+        // refreshed gauges as expiring history rows when a sample is due.
+        self.maybe_sample_telemetry();
     }
 
     /// Runs a vacuum pass now: physically removes expired rows from every
@@ -1207,6 +1233,7 @@ impl Database {
     ///
     /// Returns [`DbError::Catalog`] if the name is taken.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> DbResult<()> {
+        self.guard_reserved(name, "CREATE TABLE")?;
         let key = name.to_ascii_lowercase();
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(DbError::Catalog(format!("`{name}` already exists")));
@@ -1237,6 +1264,7 @@ impl Database {
     /// Returns [`DbError::Catalog`] for an unknown table or one referenced
     /// by a view.
     pub fn drop_table(&mut self, name: &str) -> DbResult<()> {
+        self.guard_reserved(name, "DROP TABLE")?;
         let key = name.to_ascii_lowercase();
         for (vname, entry) in &self.views {
             if entry
@@ -1290,6 +1318,7 @@ impl Database {
     ///
     /// Returns schema, constraint, or past-expiration errors.
     pub fn insert(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
+        self.guard_reserved(table, "INSERT")?;
         let owned = self.wal_stmt_begin()?;
         let res = self.insert_inner(table, tuple, texp);
         self.wal_stmt_end(owned).and(res)
@@ -1523,6 +1552,7 @@ impl Database {
         expr: Expr,
         definition: Option<exptime_sql::ast::Query>,
     ) -> DbResult<()> {
+        self.guard_reserved(name, "CREATE MATERIALIZED VIEW")?;
         let key = name.to_ascii_lowercase();
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(DbError::Catalog(format!("`{name}` already exists")));
@@ -1585,6 +1615,7 @@ impl Database {
         expr: Expr,
         definition: Option<exptime_sql::ast::Query>,
     ) -> DbResult<()> {
+        self.guard_reserved(name, "CREATE VIEW")?;
         let key = name.to_ascii_lowercase();
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(DbError::Catalog(format!("`{name}` already exists")));
@@ -1621,6 +1652,7 @@ impl Database {
     ///
     /// Returns [`DbError::Catalog`] for an unknown view.
     pub fn drop_view(&mut self, name: &str) -> DbResult<()> {
+        self.guard_reserved(name, "DROP VIEW")?;
         let key = name.to_ascii_lowercase();
         self.views
             .remove(&key)
@@ -2105,7 +2137,12 @@ impl Database {
             .find_map(|l| l.strip_prefix("-- exptime dump at t="))
             .and_then(|n| n.trim().parse::<u64>().ok())
             .ok_or_else(|| DbError::Catalog("missing `-- exptime dump at t=N` header".into()))?;
-        db.execute_script(dump)?;
+        // A dump legitimately contains `_telemetry` DDL and rows (its
+        // history is data like any other); replay them in system context.
+        db.system_ctx = true;
+        let replayed = db.execute_script(dump);
+        db.system_ctx = false;
+        replayed?;
         // Rows in the dump were live (texp > clock), so advancing fires
         // no spurious expirations.
         db.advance_to(Time::new(clock));
@@ -2155,6 +2192,15 @@ impl Database {
     }
 
     fn execute_statement(&mut self, stmt: Statement) -> DbResult<ExecResult> {
+        let res = self.execute_statement_inner(stmt);
+        // Statement boundaries are the sampler's second hook (clock
+        // advances being the first): long stretches of DML between ticks
+        // still leave history once a sample is due.
+        self.maybe_sample_telemetry();
+        res
+    }
+
+    fn execute_statement_inner(&mut self, stmt: Statement) -> DbResult<ExecResult> {
         let mut root = self.tracer.span("sql");
         if let Some(t) = self.clock.now().finite() {
             root.at(t);
@@ -2249,6 +2295,7 @@ impl Database {
         table: &str,
         predicate: Option<&exptime_sql::ast::Cond>,
     ) -> DbResult<ExecResult> {
+        self.guard_reserved(table, "DELETE")?;
         let now = self.clock.now();
         let pred = match predicate {
             Some(c) => Some(plan_table_cond(c, table, &DbSchemas(self))?),
@@ -2286,6 +2333,7 @@ impl Database {
         expires: Expires,
         predicate: Option<&exptime_sql::ast::Cond>,
     ) -> DbResult<ExecResult> {
+        self.guard_reserved(table, "UPDATE")?;
         let now = self.clock.now();
         let texp = self.resolve_expires(expires);
         let pred = match predicate {
@@ -2324,6 +2372,183 @@ impl Database {
             Expires::At(t) => Time::new(t),
             Expires::In(d) => self.clock.now() + d,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry plane (DESIGN.md §8.5)
+    // ------------------------------------------------------------------
+
+    /// Rejects user writes to the reserved `_telemetry` schema. Stands
+    /// down in system context (recovery replay, dump restore, and the
+    /// sampler itself); reads are always allowed.
+    fn guard_reserved(&self, name: &str, action: &str) -> DbResult<()> {
+        if !self.system_ctx && crate::telemetry::is_reserved(name) {
+            return Err(DbError::Catalog(format!(
+                "{action} on `{name}`: the `_telemetry` schema is reserved for the \
+                 engine's own telemetry history (read it with SELECT)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Sampler status: configuration, samples taken by this process, and
+    /// the live row counts of the `_telemetry` history tables (which
+    /// shrink by expiration alone as retention elapses).
+    #[must_use]
+    pub fn telemetry_status(&self) -> TelemetryStatus {
+        let now = self.clock.now();
+        let live = |name: &str| {
+            self.tables
+                .get(name)
+                .map_or(0, |t| t.live_count(now) as u64)
+        };
+        TelemetryStatus {
+            enabled: self.config.telemetry.enabled,
+            sample_every: self.config.telemetry.sample_every,
+            retention: self.config.telemetry.retention,
+            samples: self.telemetry_samples,
+            last_sample_at: self.telemetry_last_sample,
+            metrics_rows: live(TELEMETRY_METRICS),
+            health_rows: live(TELEMETRY_HEALTH),
+        }
+    }
+
+    /// Samples metrics/health into `_telemetry.*` when one is due. Never
+    /// fails the calling statement: sampling errors increment
+    /// `telemetry.sample_errors` and are swallowed.
+    fn maybe_sample_telemetry(&mut self) {
+        if !self.config.telemetry.enabled || self.system_ctx {
+            return;
+        }
+        let Some(now) = self.clock.now().finite() else {
+            return;
+        };
+        let every = self.config.telemetry.sample_every.max(1);
+        let due = self
+            .telemetry_last_sample
+            .map_or(true, |last| now.saturating_sub(last) >= every);
+        if !due {
+            return;
+        }
+        self.telemetry_last_sample = Some(now);
+        self.system_ctx = true;
+        let res = self.sample_telemetry(now);
+        self.system_ctx = false;
+        match res {
+            Ok(rows) => {
+                self.telemetry_samples += 1;
+                let retention = self.config.telemetry.retention;
+                self.metrics().counter("telemetry.samples").inc();
+                self.metrics().counter("telemetry.rows").add(rows);
+                self.metrics()
+                    .gauge("telemetry.last_sample_at")
+                    .set(gauge_i64(now));
+                self.obs
+                    .emit_with(Some(now), || EventKind::TelemetrySample {
+                        at: now,
+                        rows,
+                        retention,
+                    });
+            }
+            Err(_) => {
+                self.metrics().counter("telemetry.sample_errors").inc();
+            }
+        }
+    }
+
+    /// One sample: ensure the `_telemetry` tables exist, then insert the
+    /// registry snapshot, the SLO monitor's view, and the horizon
+    /// forecast as rows with `texp = now + retention`. Every write goes
+    /// through the ordinary insert path — one WAL statement transaction
+    /// for the whole sample, group-committed like user data — and
+    /// retention is nothing but the rows' expiration times: no deletion
+    /// code exists anywhere in this path.
+    fn sample_telemetry(&mut self, now: u64) -> DbResult<u64> {
+        use exptime_core::schema::Attribute;
+        let retention = self.config.telemetry.retention.max(1);
+        let texp = Time::new(now.saturating_add(retention));
+        if !self.tables.contains_key(TELEMETRY_METRICS) {
+            self.create_table(
+                TELEMETRY_METRICS,
+                Schema::new(vec![
+                    Attribute::new("ts", ValueType::Int),
+                    Attribute::new("kind", ValueType::Str),
+                    Attribute::new("name", ValueType::Str),
+                    Attribute::new("value", ValueType::Float),
+                ])?,
+            )?;
+        }
+        if !self.tables.contains_key(TELEMETRY_HEALTH) {
+            self.create_table(
+                TELEMETRY_HEALTH,
+                Schema::new(vec![
+                    Attribute::new("ts", ValueType::Int),
+                    Attribute::new("status", ValueType::Str),
+                    Attribute::new("views", ValueType::Int),
+                    Attribute::new("stale", ValueType::Int),
+                    Attribute::new("breaches", ValueType::Int),
+                    Attribute::new("live", ValueType::Int),
+                    Attribute::new("expiring", ValueType::Int),
+                    Attribute::new("eternal", ValueType::Int),
+                    Attribute::new("due64", ValueType::Int),
+                    Attribute::new("storms", ValueType::Int),
+                ])?,
+            )?;
+        }
+        let ts = gauge_i64(now);
+        let counters = self.metrics().counters();
+        let gauges = self.metrics().gauges();
+        let histograms = self.metrics().histograms();
+        let health = self.health();
+        let fc = self.forecast();
+        let owned = self.wal_stmt_begin()?;
+        let mut rows = 0u64;
+        let res = (|| -> DbResult<u64> {
+            let mut metric =
+                |db: &mut Self, kind: &str, name: String, value: f64| -> DbResult<()> {
+                    let tuple = Tuple::new(vec![
+                        Value::Int(ts),
+                        Value::from(kind),
+                        Value::from(name),
+                        Value::from(value),
+                    ]);
+                    db.insert(TELEMETRY_METRICS, tuple, texp)?;
+                    rows += 1;
+                    Ok(())
+                };
+            for (name, v) in counters {
+                metric(self, "counter", name, v as f64)?;
+            }
+            for (name, v) in gauges {
+                metric(self, "gauge", name, v as f64)?;
+            }
+            for (name, h) in histograms {
+                metric(self, "histogram", format!("{name}.count"), h.count as f64)?;
+                metric(self, "histogram", format!("{name}.p50"), h.p50())?;
+                metric(self, "histogram", format!("{name}.p99"), h.p99())?;
+            }
+            let stale = health
+                .views
+                .iter()
+                .filter(|v| v.ttx.is_some_and(|t| t <= 0))
+                .count();
+            let health_row = Tuple::new(vec![
+                Value::Int(ts),
+                Value::from(health.status.to_string()),
+                Value::Int(gauge_i64(health.views.len() as u64)),
+                Value::Int(gauge_i64(stale as u64)),
+                Value::Int(gauge_i64(health.total_breaches())),
+                Value::Int(gauge_i64(fc.horizon.total())),
+                Value::Int(gauge_i64(fc.horizon.expiring())),
+                Value::Int(gauge_i64(fc.horizon.eternal())),
+                Value::Int(gauge_i64(fc.horizon.due_within(64))),
+                Value::Int(gauge_i64(fc.storms.len() as u64)),
+            ]);
+            self.insert(TELEMETRY_HEALTH, health_row, texp)?;
+            rows += 1;
+            Ok(rows)
+        })();
+        self.wal_stmt_end(owned).and(res)
     }
 }
 

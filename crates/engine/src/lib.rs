@@ -26,6 +26,7 @@ pub mod constraint;
 pub mod db;
 pub mod durability;
 pub mod shared;
+pub mod telemetry;
 pub mod trigger;
 
 pub use constraint::{Constraint, ConstraintViolation};
@@ -39,4 +40,7 @@ pub use exptime_obs::{
     StormBucket, TraceContext, Tracer, ViewHealth,
 };
 pub use shared::{SharedDatabase, TickerHandle};
+pub use telemetry::{
+    TelemetryConfig, TelemetryStatus, TELEMETRY_HEALTH, TELEMETRY_METRICS, TELEMETRY_SCHEMA,
+};
 pub use trigger::{ExpirationEvent, TriggerFn, TriggerManager};

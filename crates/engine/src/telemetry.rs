@@ -1,0 +1,155 @@
+//! Self-hosted telemetry history: the engine samples its own metrics,
+//! SLO monitor, and expiration-horizon forecast into ordinary tables
+//! whose rows carry `texp = now + retention` — the paper's expiration
+//! machinery (expiry index, eager/lazy removal, vacuum, WAL replay) *is*
+//! the retention policy. No deletion code exists anywhere in this path.
+//!
+//! The samples land in the reserved `_telemetry` schema:
+//!
+//! * `_telemetry.metrics (ts INT, kind TEXT, name TEXT, value FLOAT)` —
+//!   one row per counter/gauge (and three per histogram: `.count`,
+//!   `.p50`, `.p99`) per sample instant;
+//! * `_telemetry.health (ts INT, status TEXT, views INT, stale INT,
+//!   breaches INT, live INT, expiring INT, eternal INT, due64 INT,
+//!   storms INT)` — one row per sample instant combining the staleness
+//!   monitor and the horizon forecast.
+//!
+//! History is queryable with plain SQL — `SELECT * FROM
+//! _telemetry.metrics WHERE name = 'wal.fsyncs'` — and, because the
+//! sampler writes through [`crate::db::Database::insert`], every sample
+//! flows through the WAL group commit and is replayed by ordinary crash
+//! recovery. User statements may read the `_telemetry` schema freely but
+//! cannot write or drop it (the engine rejects non-system DDL/DML).
+
+#![allow(clippy::module_name_repetitions)]
+
+/// Reserved schema prefix for the engine's own tables.
+pub const TELEMETRY_SCHEMA: &str = "_telemetry";
+
+/// Metric-sample table (`ts INT, kind TEXT, name TEXT, value FLOAT`).
+pub const TELEMETRY_METRICS: &str = "_telemetry.metrics";
+
+/// Health/forecast-sample table.
+pub const TELEMETRY_HEALTH: &str = "_telemetry.health";
+
+/// Is `name` inside the reserved `_telemetry` schema? (Case-insensitive;
+/// covers both the bare schema name and any `_telemetry.x` member.)
+#[must_use]
+pub fn is_reserved(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower == TELEMETRY_SCHEMA || lower.starts_with("_telemetry.")
+}
+
+/// Sampler configuration ([`crate::db::DbConfig::telemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch; off by default (sampling costs one registry
+    /// snapshot plus a few dozen inserts per sample).
+    pub enabled: bool,
+    /// Minimum logical ticks between samples. The sampler fires at clock
+    /// advances and statement boundaries once this much logical time has
+    /// passed since the previous sample.
+    pub sample_every: u64,
+    /// How long each sample lives, in logical ticks: every sample row is
+    /// inserted with `texp = now + retention`, so ordinary expiration
+    /// processing retires history with zero retention-specific code.
+    pub retention: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            sample_every: 8,
+            retention: 256,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled config with the given cadence and retention.
+    #[must_use]
+    pub fn enabled(sample_every: u64, retention: u64) -> Self {
+        TelemetryConfig {
+            enabled: true,
+            sample_every,
+            retention,
+        }
+    }
+}
+
+/// Point-in-time sampler status ([`crate::db::Database::telemetry_status`]);
+/// rendered by the CLI's `\telemetry status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryStatus {
+    /// Whether the sampler is on.
+    pub enabled: bool,
+    /// Configured cadence (ticks).
+    pub sample_every: u64,
+    /// Configured retention (ticks).
+    pub retention: u64,
+    /// Samples taken since this process opened the database (recovery
+    /// replays history as rows, not as sampler activity).
+    pub samples: u64,
+    /// Logical instant of the most recent sample, if any.
+    pub last_sample_at: Option<u64>,
+    /// Live rows in `_telemetry.metrics` (shrinks as retention elapses).
+    pub metrics_rows: u64,
+    /// Live rows in `_telemetry.health`.
+    pub health_rows: u64,
+}
+
+impl std::fmt::Display for TelemetryStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sampler: {}  (every {} tick(s), retention {} tick(s))",
+            if self.enabled { "on" } else { "off" },
+            self.sample_every,
+            self.retention
+        )?;
+        match self.last_sample_at {
+            Some(t) => writeln!(f, "samples: {} (last at t={t})", self.samples)?,
+            None => writeln!(f, "samples: {}", self.samples)?,
+        }
+        write!(
+            f,
+            "history: {} metric row(s), {} health row(s) live",
+            self.metrics_rows, self.health_rows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_prefix_is_case_insensitive_and_member_aware() {
+        assert!(is_reserved("_telemetry"));
+        assert!(is_reserved("_Telemetry.Metrics"));
+        assert!(is_reserved("_telemetry.health"));
+        assert!(!is_reserved("telemetry"));
+        assert!(!is_reserved("_telemetrybis"));
+        assert!(!is_reserved("orders"));
+    }
+
+    #[test]
+    fn status_renders_both_states() {
+        let off = TelemetryStatus::default();
+        assert!(off.to_string().contains("sampler: off"));
+        let on = TelemetryStatus {
+            enabled: true,
+            sample_every: 4,
+            retention: 64,
+            samples: 3,
+            last_sample_at: Some(12),
+            metrics_rows: 90,
+            health_rows: 3,
+        };
+        let s = on.to_string();
+        assert!(s.contains("sampler: on"));
+        assert!(s.contains("last at t=12"));
+        assert!(s.contains("90 metric row(s)"));
+    }
+}

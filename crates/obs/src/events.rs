@@ -156,6 +156,29 @@ pub enum EventKind {
         /// Logical clock when the forecast was taken.
         at: u64,
     },
+    /// The telemetry sampler persisted one sample into the `_telemetry`
+    /// history tables; every row carries `texp = at + retention`, so the
+    /// sample retires by ordinary expiration.
+    TelemetrySample {
+        /// Logical clock of the sample.
+        at: u64,
+        /// Rows inserted (metric rows plus the health row).
+        rows: u64,
+        /// Retention in ticks — the rows' time to live.
+        retention: u64,
+    },
+    /// The telemetry HTTP server served (or rejected) one request.
+    HttpRequest {
+        /// Request method, e.g. `GET`.
+        method: String,
+        /// Request path, e.g. `/metrics`.
+        path: String,
+        /// Response status code.
+        status: u16,
+        /// Wall-clock service latency in nanoseconds (server-side I/O is
+        /// outside the logical clock's domain).
+        ns: u64,
+    },
 }
 
 impl EventKind {
@@ -177,6 +200,8 @@ impl EventKind {
             EventKind::WalRecovery { .. } => "wal_recovery",
             EventKind::LintDiagnostic { .. } => "lint",
             EventKind::StormWarning { .. } => "storm_warning",
+            EventKind::TelemetrySample { .. } => "telemetry_sample",
+            EventKind::HttpRequest { .. } => "http_request",
         }
     }
 }
@@ -315,6 +340,24 @@ impl std::fmt::Display for Event {
                     f,
                     "storm_warning   window=[+{lo},+{hi}] predicted={predicted} threshold={threshold}/tick at={at}"
                 )
+            }
+            EventKind::TelemetrySample {
+                at,
+                rows,
+                retention,
+            } => {
+                write!(
+                    f,
+                    "telemetry_sample at={at} rows={rows} retention={retention}"
+                )
+            }
+            EventKind::HttpRequest {
+                method,
+                path,
+                status,
+                ns,
+            } => {
+                write!(f, "http_request    {method} {path} -> {status} ({ns} ns)")
             }
         }
     }

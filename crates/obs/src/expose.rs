@@ -6,6 +6,7 @@
 //!
 //! * `storage.sessions.inserts` → `exptime_storage_inserts{table="sessions"}`
 //! * `view.hot.ttx`             → `exptime_view_ttx{view="hot"}`
+//! * `http./metrics.latency_ns` → `exptime_http_latency_ns{endpoint="/metrics"}`
 //! * `db.queries`               → `exptime_db_queries`
 //!
 //! so per-table and per-view series aggregate the way a Prometheus user
@@ -40,11 +41,11 @@ fn promname(name: &str) -> (String, Vec<(String, String)>) {
             .collect()
     };
     match parts.as_slice() {
-        [family @ ("storage" | "view"), instance, rest @ ..] if !rest.is_empty() => {
-            let label = if *family == "storage" {
-                "table"
-            } else {
-                "view"
+        [family @ ("storage" | "view" | "http"), instance, rest @ ..] if !rest.is_empty() => {
+            let label = match *family {
+                "storage" => "table",
+                "http" => "endpoint",
+                _ => "view",
             };
             let metric = format!("{PREFIX}_{family}_{}", sanitize(&rest.join("_")));
             (metric, vec![(label.to_string(), (*instance).to_string())])
@@ -496,6 +497,85 @@ mod tests {
             "label value must survive the round trip exactly"
         );
         assert_eq!(samples[0].value, 5.0);
+    }
+
+    #[test]
+    fn http_endpoint_histograms_round_trip_with_escaped_labels() {
+        // The telemetryd server's per-endpoint self-metrics: the route
+        // becomes an `endpoint` label, and paths keep their slashes
+        // because promname splits on dots only.
+        let reg = MetricsRegistry::new();
+        reg.counter("http./metrics.requests").add(2);
+        let h = reg.histogram("http./metrics.latency_ns");
+        for v in [100, 2_000, 65_000] {
+            h.record(v);
+        }
+        // A hostile endpoint through a *histogram* family (quote,
+        // backslash, newline): every expanded series — buckets, sum,
+        // count — must escape it and stay one line per sample.
+        let hostile = "/we\"ird\\pa\nth";
+        reg.histogram(&format!("http.{hostile}.latency_ns"))
+            .record(7);
+        let text = expose_prometheus(&reg);
+        let samples = parse_prometheus_text(&text).expect("must parse");
+
+        let requests = samples
+            .iter()
+            .find(|s| s.name == "exptime_http_requests")
+            .unwrap_or_else(|| panic!("missing requests counter\n{text}"));
+        assert_eq!(
+            requests.labels,
+            vec![("endpoint".to_string(), "/metrics".to_string())]
+        );
+        assert_eq!(requests.value, 2.0);
+
+        // The histogram expands to _bucket/_sum/_count, each line
+        // carrying the endpoint label alongside `le`.
+        let on_metrics = |s: &&Sample| {
+            s.labels
+                .iter()
+                .any(|(k, v)| k == "endpoint" && v == "/metrics")
+        };
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "exptime_http_latency_ns_bucket")
+            .filter(on_metrics)
+            .collect();
+        assert!(buckets.len() >= 2, "expected bucket lines\n{text}");
+        let inf = buckets
+            .iter()
+            .find(|s| s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf"))
+            .unwrap_or_else(|| panic!("missing +Inf bucket\n{text}"));
+        assert_eq!(inf.value, 3.0);
+        let count = samples
+            .iter()
+            .filter(|s| s.name == "exptime_http_latency_ns_count")
+            .find(on_metrics)
+            .unwrap_or_else(|| panic!("missing count\n{text}"));
+        assert_eq!(count.value, 3.0);
+
+        // The hostile endpoint survives the round trip exactly, in all
+        // three expanded series.
+        for suffix in ["_bucket", "_sum", "_count"] {
+            let name = format!("exptime_http_latency_ns{suffix}");
+            let s = samples
+                .iter()
+                .filter(|s| s.name == name)
+                .find(|s| {
+                    s.labels
+                        .iter()
+                        .any(|(k, v)| k == "endpoint" && v == hostile)
+                })
+                .unwrap_or_else(|| panic!("hostile endpoint missing from {name}\n{text}"));
+            assert!(s.value >= 0.0);
+        }
+        // One TYPE header per family even with two endpoint series.
+        assert_eq!(
+            text.matches("# TYPE exptime_http_latency_ns histogram")
+                .count(),
+            1,
+            "{text}"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::events::{EventKind, Obs};
+use crate::metrics::Counter;
 
 /// A finished span: one timed node of the trace tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,10 @@ struct TracerInner {
     ring: Mutex<VecDeque<SpanRecord>>,
     cap: usize,
     dropped: AtomicU64,
+    /// `obs.spans_dropped` in the attached registry — ring overwrites
+    /// are silent data loss, so they must be visible in every exposition
+    /// format, not just via [`Tracer::dropped`].
+    drop_counter: Counter,
     obs: Obs,
 }
 
@@ -106,6 +111,7 @@ impl Tracer {
                 ring: Mutex::new(VecDeque::new()),
                 cap: cap.max(1),
                 dropped: AtomicU64::new(0),
+                drop_counter: obs.registry().counter("obs.spans_dropped"),
                 obs: obs.clone(),
             }),
         }
@@ -234,6 +240,7 @@ impl Tracer {
         if ring.len() == self.inner.cap {
             ring.pop_front();
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.drop_counter.inc();
         }
         ring.push_back(record);
     }

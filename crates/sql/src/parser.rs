@@ -176,6 +176,20 @@ impl Parser {
         }
     }
 
+    /// A table or view name: a bare identifier, or a schema-qualified
+    /// `schema '.' ident` pair (e.g. the reserved `_telemetry.metrics`
+    /// system tables) joined back into one dotted name — the engine keys
+    /// relations by the full dotted string.
+    fn table_name(&mut self) -> Result<String, SqlError> {
+        let head = self.ident()?;
+        if self.eat_if(&Token::Dot) {
+            let tail = self.ident()?;
+            Ok(format!("{head}.{tail}"))
+        } else {
+            Ok(head)
+        }
+    }
+
     fn statement(&mut self) -> Result<Statement, SqlError> {
         match self.peek() {
             Some(Token::Keyword(Keyword::Create)) => self.create(),
@@ -192,7 +206,7 @@ impl Parser {
     fn create(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw(Keyword::Create)?;
         if self.eat_kw(Keyword::Table) {
-            let name = self.ident()?;
+            let name = self.table_name()?;
             self.expect(&Token::LParen)?;
             let mut columns = Vec::new();
             loop {
@@ -216,7 +230,7 @@ impl Parser {
         } else {
             let materialized = self.eat_kw(Keyword::Materialized);
             self.expect_kw(Keyword::View)?;
-            let name = self.ident()?;
+            let name = self.table_name()?;
             self.expect_kw(Keyword::As)?;
             let query = self.query()?;
             Ok(Statement::CreateView {
@@ -231,12 +245,12 @@ impl Parser {
         self.expect_kw(Keyword::Drop)?;
         if self.eat_kw(Keyword::Table) {
             Ok(Statement::DropTable {
-                name: self.ident()?,
+                name: self.table_name()?,
             })
         } else {
             self.expect_kw(Keyword::View)?;
             Ok(Statement::DropView {
-                name: self.ident()?,
+                name: self.table_name()?,
             })
         }
     }
@@ -244,7 +258,7 @@ impl Parser {
     fn insert(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw(Keyword::Insert)?;
         self.expect_kw(Keyword::Into)?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         self.expect_kw(Keyword::Values)?;
         let mut rows = Vec::new();
         loop {
@@ -299,7 +313,7 @@ impl Parser {
     fn delete(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw(Keyword::Delete)?;
         self.expect_kw(Keyword::From)?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         let predicate = if self.eat_kw(Keyword::Where) {
             Some(self.cond()?)
         } else {
@@ -310,7 +324,7 @@ impl Parser {
 
     fn update(&mut self) -> Result<Statement, SqlError> {
         self.expect_kw(Keyword::Update)?;
-        let table = self.ident()?;
+        let table = self.table_name()?;
         self.expect_kw(Keyword::Set)?;
         if self.peek() != Some(&Token::Keyword(Keyword::Expires)) {
             // Attribute updates are outside the model; only expiration
@@ -422,16 +436,16 @@ impl Parser {
     }
 
     fn parse_from_list(&mut self) -> Result<(Vec<String>, Option<Cond>), SqlError> {
-        let mut tables = vec![self.ident()?];
+        let mut tables = vec![self.table_name()?];
         let mut cond: Option<Cond> = None;
         loop {
             if self.eat_if(&Token::Comma) {
-                tables.push(self.ident()?);
+                tables.push(self.table_name()?);
             } else if self.eat_kw(Keyword::Cross) {
                 self.expect_kw(Keyword::Join)?;
-                tables.push(self.ident()?);
+                tables.push(self.table_name()?);
             } else if self.eat_kw(Keyword::Join) {
-                tables.push(self.ident()?);
+                tables.push(self.table_name()?);
                 self.expect_kw(Keyword::On)?;
                 let on = self.cond()?;
                 cond = Some(match cond {

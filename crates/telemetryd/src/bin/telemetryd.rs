@@ -1,0 +1,167 @@
+//! Standalone telemetry daemon: an exptime engine with the sampler on,
+//! a real-time ticker mapping wall-clock onto logical ticks, and the
+//! HTTP scrape server in front.
+//!
+//!     telemetryd [--addr 127.0.0.1:9187] [--sample-every N]
+//!                [--retention N] [--tick-ms MS] [--serve-seconds S]
+//!                [--demo]
+//!
+//! `--serve-seconds` bounds the run (CI smoke tests); without it the
+//! daemon serves until killed. `--demo` preloads the paper's Figure 1
+//! data so every endpoint has something to show.
+//!
+//! The second mode, `telemetryd --parse-stdin`, is a scrape validator:
+//! it reads a Prometheus text exposition from stdin, runs it through
+//! `parse_prometheus_text`, prints the sample count, and exits nonzero
+//! on any parse error — letting shell scripts round-trip a live scrape
+//! through the repo's own parser.
+
+use exptime_engine::{DbConfig, SharedDatabase, TelemetryConfig};
+use exptime_obs::parse_prometheus_text;
+use std::io::Read;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: telemetryd [--addr ADDR] [--sample-every N] [--retention N]
+                  [--tick-ms MS] [--serve-seconds S] [--demo]
+       telemetryd --parse-stdin
+";
+
+struct Args {
+    addr: String,
+    sample_every: u64,
+    retention: u64,
+    tick_ms: u64,
+    serve_seconds: Option<u64>,
+    demo: bool,
+    parse_stdin: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:9187".to_string(),
+        sample_every: 8,
+        retention: 256,
+        tick_ms: 100,
+        serve_seconds: None,
+        demo: false,
+        parse_stdin: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--sample-every" => {
+                args.sample_every = value("--sample-every")?
+                    .parse()
+                    .map_err(|e| format!("--sample-every: {e}"))?;
+            }
+            "--retention" => {
+                args.retention = value("--retention")?
+                    .parse()
+                    .map_err(|e| format!("--retention: {e}"))?;
+            }
+            "--tick-ms" => {
+                args.tick_ms = value("--tick-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tick-ms: {e}"))?;
+            }
+            "--serve-seconds" => {
+                args.serve_seconds = Some(
+                    value("--serve-seconds")?
+                        .parse()
+                        .map_err(|e| format!("--serve-seconds: {e}"))?,
+                );
+            }
+            "--demo" => args.demo = true,
+            "--parse-stdin" => args.parse_stdin = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_stdin_mode() -> i32 {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("telemetryd: reading stdin: {e}");
+        return 2;
+    }
+    match parse_prometheus_text(&text) {
+        Ok(samples) => {
+            println!("parsed {} sample(s)", samples.len());
+            0
+        }
+        Err(e) => {
+            eprintln!("telemetryd: invalid exposition: {e}");
+            1
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("telemetryd: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.parse_stdin {
+        std::process::exit(parse_stdin_mode());
+    }
+
+    let config = DbConfig {
+        telemetry: TelemetryConfig::enabled(args.sample_every, args.retention),
+        ..DbConfig::default()
+    };
+    let db = SharedDatabase::new(config);
+    db.with(|d| d.tracer().enable());
+    if args.demo {
+        let script = "CREATE TABLE pol (uid INT, deg INT);
+            CREATE TABLE el (uid INT, deg INT);
+            INSERT INTO pol VALUES (1, 25) EXPIRES IN 40 TICKS;
+            INSERT INTO pol VALUES (2, 25) EXPIRES IN 60 TICKS;
+            INSERT INTO pol VALUES (3, 35) EXPIRES NEVER;
+            INSERT INTO el VALUES (1, 75) EXPIRES IN 20 TICKS;
+            INSERT INTO el VALUES (2, 85) EXPIRES IN 12 TICKS;
+            CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25;";
+        if let Err(e) = db.with(|d| d.execute_script(script)) {
+            eprintln!("telemetryd: loading demo data: {e}");
+            std::process::exit(2);
+        }
+        let _ = db.execute("SELECT * FROM hot");
+    }
+
+    let server = match exptime_telemetryd::serve(&db, &args.addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("telemetryd: binding {}: {e}", args.addr);
+            std::process::exit(2);
+        }
+    };
+    let ticker = db.start_ticker(Duration::from_millis(args.tick_ms.max(1)));
+    println!(
+        "telemetryd: serving {}/metrics (tick every {}ms, sample every {} tick(s), retention {} tick(s))",
+        server.url(),
+        args.tick_ms.max(1),
+        args.sample_every,
+        args.retention
+    );
+
+    match args.serve_seconds {
+        Some(secs) => std::thread::sleep(Duration::from_secs(secs)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    ticker.stop();
+    let status = db.with(|d| d.telemetry_status());
+    println!("telemetryd: shutting down at t={}\n{status}", db.now());
+    server.stop();
+}

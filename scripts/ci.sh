@@ -51,6 +51,43 @@ cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e7w
 # the storm detector (assertions only; BENCH_scope.json is not written).
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e8scope
 
+# E9-telemetry smoke: the sampler's `_telemetry.*` history stays bounded
+# by retention (no DELETEs anywhere) and every live scrape round-trips
+# through parse_prometheus_text (assertions only; BENCH_telemetry.json
+# is not written).
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e9telemetry
+
+# Telemetry scrape smoke: start a real telemetryd on a loopback port,
+# scrape /metrics over /dev/tcp, and feed the body back through the
+# repo's own Prometheus parser (`telemetryd --parse-stdin` exits nonzero
+# on any parse error). The sampler's own series must be in the scrape.
+telemetryd_log="$(mktemp)"
+cargo run --release -q -p exptime-telemetryd --bin telemetryd -- \
+    --addr 127.0.0.1:0 --demo --tick-ms 20 --sample-every 2 \
+    --retention 64 --serve-seconds 15 >"$telemetryd_log" &
+telemetryd_pid=$!
+telemetryd_port=""
+for _ in $(seq 1 50); do
+    telemetryd_port="$(grep -o 'http://127.0.0.1:[0-9]*' "$telemetryd_log" \
+        | head -1 | grep -o '[0-9]*$' || true)"
+    [ -n "$telemetryd_port" ] && break
+    sleep 0.2
+done
+[ -n "$telemetryd_port" ] || { echo "telemetryd did not start"; exit 1; }
+sleep 1 # let the ticker take a few samples before scraping
+exec 3<>"/dev/tcp/127.0.0.1/$telemetryd_port"
+printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+scrape="$(cat <&3)"
+exec 3<&- 3>&-
+body="$(printf '%s' "$scrape" | sed '1,/^\r*$/d')"
+printf '%s' "$body" | grep -q 'exptime_telemetry_samples' \
+    || { echo "scrape is missing the sampler's own series"; exit 1; }
+printf '%s' "$body" | cargo run --release -q -p exptime-telemetryd \
+    --bin telemetryd -- --parse-stdin
+kill "$telemetryd_pid" 2>/dev/null || true
+wait "$telemetryd_pid" 2>/dev/null || true
+rm -f "$telemetryd_log"
+
 # Obs-overhead regression gate: re-measure the monitor/tracer overhead
 # at the committed baseline's scale (full, not --quick: the quick
 # workload is too small for stable timing) and fail if it regresses by

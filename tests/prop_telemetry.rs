@@ -1,0 +1,158 @@
+//! Property tests for the telemetry plane: the `_telemetry.*` system
+//! tables are ordinary expiring relations, so their retention needs no
+//! deletion code at all —
+//!
+//! 1. **retention visibility** — every history row a SQL query can see
+//!    is younger than the retention window, and once the clock passes
+//!    `ts + retention` the row is gone from query results while the
+//!    sampler keeps appending new ones (and `stats().deletes` stays 0:
+//!    nothing ever issued a DELETE); and
+//! 2. **forecast conservation with the sampler running** — the horizon
+//!    forecast's bucket-sum invariant (total == live rows, per table and
+//!    merged) keeps holding while the sampler concurrently inserts
+//!    expiring rows into its own system tables, which the forecast must
+//!    count like any other table.
+
+use exptime::core::value::Value;
+use exptime::engine::{DbConfig, TelemetryConfig};
+use exptime::prelude::*;
+use proptest::prelude::*;
+
+const SAMPLE_EVERY: u64 = 3;
+const RETENTION: u64 = 24;
+
+/// One row of the generated workload: which table, and a lifetime (0 =
+/// eternal — `EXPIRES NEVER`).
+fn arb_rows() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..2, 0u64..120), 1..40)
+}
+
+fn build(rows: &[(u8, u64)]) -> Database {
+    let mut db = Database::new(DbConfig {
+        telemetry: TelemetryConfig::enabled(SAMPLE_EVERY, RETENTION),
+        ..DbConfig::default()
+    });
+    db.execute("CREATE TABLE a (k INT)").unwrap();
+    db.execute("CREATE TABLE b (k INT)").unwrap();
+    for (i, &(which, life)) in rows.iter().enumerate() {
+        let table = if which == 0 { "a" } else { "b" };
+        let texp = if life == 0 {
+            exptime::core::time::Time::INFINITY
+        } else {
+            db.now() + life
+        };
+        db.insert(table, exptime::core::tuple![i as i64], texp)
+            .unwrap();
+    }
+    db
+}
+
+/// Every `ts` visible through SQL in the given system table, at the
+/// current clock.
+fn visible_ts(db: &mut Database, table: &str) -> Vec<u64> {
+    let res = db
+        .execute(&format!("SELECT ts FROM {table}"))
+        .expect("system table is SELECTable");
+    res.rows()
+        .expect("rows")
+        .iter()
+        .map(|(t, _)| match t.get(0) {
+            Some(Value::Int(ts)) => u64::try_from(*ts).expect("ts is a clock reading"),
+            other => panic!("ts column must be INT, got {other:?}"),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Retention visibility: samples older than the retention window are
+    /// invisible to SQL after an advance — shrinkage comes from expiry
+    /// alone, with zero DELETEs issued by anyone.
+    #[test]
+    fn telemetry_history_expires_out_of_sql_visibility(
+        rows in arb_rows(),
+        advances in proptest::collection::vec(1u64..8, 1..12),
+    ) {
+        let mut db = build(&rows);
+        for step in advances {
+            db.tick(step);
+            let now = db.now().finite().unwrap();
+            if db.telemetry_status().samples == 0 {
+                continue; // first sample not due yet; nothing to check
+            }
+            for table in ["_telemetry.metrics", "_telemetry.health"] {
+                for ts in visible_ts(&mut db, table) {
+                    prop_assert!(
+                        ts + RETENTION > now,
+                        "{table} row sampled at t={} still visible at t={} (retention {})",
+                        ts, now, RETENTION
+                    );
+                    prop_assert!(ts <= now, "sample from the future");
+                }
+            }
+        }
+
+        // Force at least one sample, remember the newest live instant,
+        // then advance past its expiration: everything visible now must
+        // be strictly newer, the history shrank purely by expiry, and
+        // the sampler itself kept running underneath.
+        db.tick(SAMPLE_EVERY);
+        let cutoff = visible_ts(&mut db, "_telemetry.metrics")
+            .into_iter()
+            .max()
+            .expect("a sample was just taken");
+        let before = db.telemetry_status();
+        db.tick(RETENTION + 1);
+        let after = db.telemetry_status();
+        prop_assert!(after.samples > before.samples, "sampler kept running");
+        for table in ["_telemetry.metrics", "_telemetry.health"] {
+            let ts = visible_ts(&mut db, table);
+            prop_assert!(!ts.is_empty(), "{table}: fresh samples must be visible");
+            prop_assert!(
+                ts.iter().all(|&t| t > cutoff),
+                "{table}: rows from t<={cutoff} must have expired, saw {ts:?}"
+            );
+        }
+        // Nothing in the telemetry plane deletes: retention is expiry.
+        prop_assert_eq!(db.stats().deletes, 0);
+    }
+
+    /// Forecast conservation with the sampler live: the horizon's bucket
+    /// sum still equals live rows — merged and per table — even though
+    /// the sampler keeps inserting expiring rows into `_telemetry.*`
+    /// between observations. The system tables appear in the forecast
+    /// like any other table.
+    #[test]
+    fn forecast_conservation_holds_while_the_sampler_runs(
+        rows in arb_rows(),
+        advances in proptest::collection::vec(1u64..16, 1..16),
+    ) {
+        let mut db = build(&rows);
+        for step in advances {
+            db.tick(step);
+            let now = db.now();
+            let fc = db.forecast();
+            let mut live_total = 0u64;
+            for (name, table_fc) in &fc.tables {
+                let live = db.table(name).unwrap().live_count(now) as u64;
+                prop_assert_eq!(
+                    table_fc.total(), live,
+                    "table {} at {}: forecast total must equal live rows", name, now
+                );
+                live_total += live;
+            }
+            prop_assert_eq!(fc.horizon.total(), live_total);
+            prop_assert_eq!(
+                fc.horizon.expiring() + fc.horizon.eternal(),
+                fc.horizon.total()
+            );
+            if db.telemetry_status().samples > 0 {
+                prop_assert!(
+                    fc.tables.iter().any(|(n, _)| n == "_telemetry.metrics"),
+                    "the sampler's own tables must be forecast like any other"
+                );
+            }
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //! report tables recorded in EXPERIMENTS.md.
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
-//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, e8scope, e9telemetry, obs,
-//! a1, a2}; omit ids for all.
+//! where `id` ∈ {e1, …, e10, e6chaos, e7wal, e8scope, e9telemetry, e10net,
+//! obs, a1, a2}; omit ids for all.
 //! `--quick` shrinks the workloads (used in CI smoke runs); `--check` skips
 //! all file writes (CI runs the experiments for their assertions, not their
 //! artifacts). The `obs` experiment otherwise writes a `BENCH_obs.json`
@@ -12,8 +12,10 @@
 //! latency per loss rate and strategy), and `e7wal` writes `BENCH_wal.json`
 //! (crash-recovery replay work and latency vs log length, naive vs
 //! expiration-aware), and `e9telemetry` writes `BENCH_telemetry.json`
-//! (sampler overhead and scrape-under-load latency) to the working
-//! directory.
+//! (sampler overhead and scrape-under-load latency), and `e10net` writes
+//! `BENCH_net.json` (wire-protocol throughput/p99 vs connection count,
+//! shed rate vs offered load, and partition recovery time) to the
+//! working directory.
 
 use exptime_bench::experiments as ex;
 use exptime_obs::JsonValue;
@@ -167,6 +169,28 @@ fn main() {
             "{}",
             ex::e10_bounded_queue(600 * scale as usize, 41).0.render()
         );
+    }
+    if run("e10net") {
+        let conns: Vec<usize> = if quick {
+            vec![8, 32]
+        } else {
+            vec![100, 400, 1_000]
+        };
+        let shed_loads: Vec<usize> = if quick { vec![2, 12] } else { vec![4, 16, 64] };
+        let (report, _, json) = ex::e10_net(&conns, if quick { 6 } else { 5 }, &shed_loads, 71);
+        println!("{}", report.render());
+        let doc = json.render();
+        if check {
+            println!(
+                "--check: BENCH_net.json not written ({} bytes)\n",
+                doc.len()
+            );
+        } else {
+            match std::fs::write("BENCH_net.json", &doc) {
+                Ok(()) => println!("wrote BENCH_net.json ({} bytes)\n", doc.len()),
+                Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+            }
+        }
     }
     if run("obs") {
         let (report, snapshot) = ex::obs_snapshot(512 * scale as usize, 47);

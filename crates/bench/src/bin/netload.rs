@@ -1,0 +1,232 @@
+//! `netload`: a load generator for the exptime wire protocol.
+//!
+//! Drives N concurrent [`NetClient`](exptime_net::NetClient) sessions
+//! against a server — either one you point it at (started with
+//! `exptime-cli --serve ADDR`) or an embedded one it spawns itself —
+//! and prints throughput, tail latency, and shed/retry counters.
+//!
+//! Embedded mode doubles as an end-to-end drain check: after the
+//! clients finish, the server is drained and the table's row count is
+//! compared against the number of acknowledged inserts. Any acked
+//! write missing after the drain is a protocol bug, and the process
+//! exits nonzero — CI runs exactly this as its smoke test.
+//!
+//! Usage:
+//!
+//! ```text
+//! netload [ADDR] [--conns N] [--stmts N] [--deadline MS] [--seed S]
+//! ```
+//!
+//! With no `ADDR`, an embedded server is started on a loopback port.
+
+use exptime_engine::{Database, DbConfig, SharedDatabase};
+use exptime_net::{ClientConfig, NetClient, NetConfig, NetServer, ReplyBody};
+use exptime_replica::RetryPolicy;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const USAGE: &str = "usage: netload [ADDR] [--conns N] [--stmts N] [--deadline MS] [--seed S]";
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: Option<String>,
+    conns: usize,
+    stmts: usize,
+    deadline_ms: u32,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: None,
+        conns: 64,
+        stmts: 8,
+        deadline_ms: 0,
+        seed: 71,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_num = |args: &mut dyn Iterator<Item = String>, what: &str| -> u64 {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{what} needs a number; {USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--conns" => out.conns = next_num(&mut args, "--conns") as usize,
+            "--stmts" => out.stmts = next_num(&mut args, "--stmts") as usize,
+            "--deadline" => out.deadline_ms = next_num(&mut args, "--deadline") as u32,
+            "--seed" => out.seed = next_num(&mut args, "--seed"),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`; {USAGE}");
+                std::process::exit(2);
+            }
+            other => out.addr = Some(other.to_string()),
+        }
+    }
+    out
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    // Embedded mode: our own engine + server, so we can verify the
+    // drain afterwards. External mode: just drive the given address.
+    let embedded: Option<(SharedDatabase, NetServer)> = if args.addr.is_none() {
+        let mut db = Database::new(DbConfig::default());
+        db.execute("CREATE TABLE kv (k INT, v INT)")
+            .expect("create table");
+        let shared = SharedDatabase::from_database(db);
+        let server = NetServer::serve(&shared, "127.0.0.1:0", NetConfig::default())
+            .expect("bind embedded server");
+        Some((shared, server))
+    } else {
+        None
+    };
+    let addr = match (&args.addr, &embedded) {
+        (Some(a), _) => a.clone(),
+        (None, Some((_, server))) => server.local_addr().to_string(),
+        (None, None) => unreachable!(),
+    };
+    println!(
+        "netload: {} conns x {} stmts against {}{}",
+        args.conns,
+        args.stmts,
+        addr,
+        if embedded.is_some() {
+            " (embedded)"
+        } else {
+            ""
+        },
+    );
+
+    let connected = Arc::new(Barrier::new(args.conns + 1));
+    let go = Arc::new(Barrier::new(args.conns + 1));
+    let mut handles = Vec::with_capacity(args.conns);
+    for c in 0..args.conns {
+        let addr = addr.clone();
+        let connected = Arc::clone(&connected);
+        let go = Arc::clone(&go);
+        let stmts = args.stmts;
+        let cfg = ClientConfig {
+            deadline_ms: args.deadline_ms,
+            seed: args.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            policy: RetryPolicy {
+                base: 2,
+                factor: 2,
+                max_interval: 100,
+                jitter: 5,
+                budget: 120_000,
+            },
+            ..ClientConfig::default()
+        };
+        handles.push(std::thread::spawn(move || {
+            let mut client = match NetClient::connect(&addr, cfg) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("conn {c}: connect failed: {e}");
+                    connected.wait();
+                    go.wait();
+                    return None;
+                }
+            };
+            connected.wait();
+            go.wait();
+            let mut lat_ns = Vec::with_capacity(stmts);
+            let mut acked_inserts = 0u64;
+            for j in 0..stmts {
+                let insert = j % 4 != 3;
+                let sql = if insert {
+                    format!(
+                        "INSERT INTO kv VALUES ({}, {}) EXPIRES IN 100000 TICKS",
+                        c * stmts + j,
+                        j % 2
+                    )
+                } else {
+                    "SELECT k FROM kv WHERE v = 1".to_string()
+                };
+                let t0 = Instant::now();
+                match client.execute(&sql) {
+                    Ok(ReplyBody::Affected(_)) if insert => acked_inserts += 1,
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("conn {c} stmt {j}: {e}");
+                        return None;
+                    }
+                }
+                lat_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            let stats = client.stats;
+            client.close();
+            Some((lat_ns, stats, acked_inserts))
+        }));
+    }
+    connected.wait();
+    let t0 = Instant::now();
+    go.wait();
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut statements = 0u64;
+    let mut sheds = 0u64;
+    let mut retries = 0u64;
+    let mut reconnects = 0u64;
+    let mut degraded = 0u64;
+    let mut acked_inserts = 0u64;
+    let mut failed_conns = 0usize;
+    for h in handles {
+        match h.join().expect("client thread panicked") {
+            Some((lat, stats, acked)) => {
+                lat_ns.extend(lat);
+                statements += stats.statements;
+                sheds += stats.sheds;
+                retries += stats.retries;
+                reconnects += stats.reconnects;
+                degraded += stats.degraded_reads;
+                acked_inserts += acked;
+            }
+            None => failed_conns += 1,
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    println!(
+        "done: {statements} stmts in {:.2}s ({:.0} stmt/s), p50 {:.0}us p99 {:.0}us",
+        wall_s,
+        statements as f64 / wall_s.max(1e-9),
+        percentile_us(&lat_ns, 0.50),
+        percentile_us(&lat_ns, 0.99),
+    );
+    println!(
+        "retries: {retries} ({sheds} shed, {reconnects} reconnects), degraded reads: {degraded}"
+    );
+    if failed_conns > 0 {
+        eprintln!("{failed_conns} connection(s) failed");
+        std::process::exit(1);
+    }
+
+    if let Some((shared, server)) = embedded {
+        let report = server.drain();
+        let rows = shared.with(|db| {
+            db.execute("SELECT k FROM kv")
+                .expect("post-drain select")
+                .rows()
+                .map_or(0, exptime_core::relation::Relation::len)
+        });
+        println!(
+            "drain: {} session(s), {} completed, {} shed; {} row(s) on disk vs {} acked insert(s)",
+            report.sessions, report.completed, report.shed, rows, acked_inserts,
+        );
+        if (rows as u64) < acked_inserts {
+            eprintln!("DRAIN LOST ACKED WRITES: {rows} rows < {acked_inserts} acked");
+            std::process::exit(1);
+        }
+        println!("drain check: ok (no acked write lost)");
+    }
+}

@@ -2645,3 +2645,456 @@ mod e9_telemetry_tests {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// E10-net — the wire protocol under load: throughput vs connection
+// count, shed rate vs offered load, partition recovery time
+// ---------------------------------------------------------------------
+
+/// One throughput level of E10-net: `connections` clients hammering one
+/// server concurrently.
+#[derive(Debug, Clone)]
+pub struct E10NetLevel {
+    /// Client connections driven at this level.
+    pub connections: usize,
+    /// Simultaneous connections the server itself observed.
+    pub concurrent_observed: usize,
+    /// Statements with a consumed outcome.
+    pub statements: u64,
+    /// `Shed` refusals absorbed by the clients (each was retried).
+    pub sheds: u64,
+    /// Degraded (texp-valid stale) reads served.
+    pub degraded_reads: u64,
+    /// Successful session resumptions after connection loss.
+    pub reconnects: u64,
+    /// Wall-clock for the whole level, milliseconds.
+    pub wall_ms: f64,
+    /// Consumed statements per second.
+    pub stmts_per_sec: f64,
+    /// Median per-statement latency (including retries), microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile per-statement latency, microseconds.
+    pub p99_us: f64,
+}
+
+/// One offered-load level of the shedding measurement.
+#[derive(Debug, Clone)]
+pub struct E10ShedLevel {
+    /// Concurrent writers.
+    pub clients: usize,
+    /// Statements offered (all eventually consumed).
+    pub offered: u64,
+    /// Shed refusals along the way.
+    pub sheds: u64,
+    /// sheds / (offered + sheds): the fraction of wire rounds refused.
+    pub shed_rate: f64,
+}
+
+/// E10-net summary counters, pinned by the unit tests.
+#[derive(Debug, Clone)]
+pub struct E10NetSummary {
+    /// Most simultaneous connections the server saw across levels.
+    pub peak_connections: usize,
+    /// Consumed statements across all throughput levels.
+    pub total_statements: u64,
+    /// Shed rate at the lowest offered load.
+    pub shed_rate_low: f64,
+    /// Shed rate at the highest offered load.
+    pub shed_rate_high: f64,
+    /// Shed refusals at the highest offered load.
+    pub sheds_high: u64,
+    /// Ticks from partition heal to full quiescence.
+    pub partition_recovery_ticks: u64,
+    /// Statement frames retransmitted across the partitioned run.
+    pub partition_retransmissions: u64,
+    /// Whether the partitioned run applied every statement exactly once.
+    pub exactly_once: bool,
+}
+
+fn e10_percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+/// Drives one server with `conns` concurrent clients, `stmts_per_conn`
+/// statements each (3:1 insert:select mix), and reports throughput and
+/// tail latency. Clients connect first, a barrier releases them
+/// together, and the server's own `connections` gauge is read while all
+/// of them are up — that observation is the concurrency proof.
+fn e10_net_level(conns: usize, stmts_per_conn: usize, seed: u64) -> E10NetLevel {
+    use exptime_net::{ClientConfig, NetClient, NetConfig, NetServer};
+    use std::sync::Arc;
+    use std::sync::Barrier;
+
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE kv (k INT, v INT)").unwrap();
+    let shared = exptime_engine::SharedDatabase::from_database(db);
+    let cfg = NetConfig {
+        workers: 4,
+        queue: 256,
+        degrade_at: 192,
+        ..NetConfig::default()
+    };
+    let server = NetServer::serve(&shared, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().to_string();
+    let connected = Arc::new(Barrier::new(conns + 1));
+    let go = Arc::new(Barrier::new(conns + 1));
+    let mut handles = Vec::with_capacity(conns);
+    for c in 0..conns {
+        let addr = addr.clone();
+        let connected = Arc::clone(&connected);
+        let go = Arc::clone(&go);
+        handles.push(std::thread::spawn(move || {
+            let cfg = ClientConfig {
+                seed: seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                policy: RetryPolicy {
+                    base: 2,
+                    factor: 2,
+                    max_interval: 100,
+                    jitter: 5,
+                    budget: 120_000,
+                },
+                ..ClientConfig::default()
+            };
+            let mut client = NetClient::connect(&addr, cfg).expect("connect");
+            connected.wait();
+            go.wait();
+            let mut lat_ns = Vec::with_capacity(stmts_per_conn);
+            for j in 0..stmts_per_conn {
+                let sql = if j % 4 == 3 {
+                    "SELECT k FROM kv WHERE v = 1".to_string()
+                } else {
+                    format!(
+                        "INSERT INTO kv VALUES ({}, {}) EXPIRES IN 100000 TICKS",
+                        c * stmts_per_conn + j,
+                        j % 2
+                    )
+                };
+                let t0 = Instant::now();
+                client.execute(&sql).expect("statement under load");
+                lat_ns.push(t0.elapsed().as_nanos() as u64);
+            }
+            let stats = client.stats;
+            client.close();
+            (lat_ns, stats)
+        }));
+    }
+    connected.wait();
+    let concurrent_observed = server.status().connections;
+    let t0 = Instant::now();
+    go.wait();
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(conns * stmts_per_conn);
+    let mut statements = 0u64;
+    let mut sheds = 0u64;
+    let mut degraded_reads = 0u64;
+    let mut reconnects = 0u64;
+    for h in handles {
+        let (lat, stats) = h.join().expect("client thread");
+        lat_ns.extend(lat);
+        statements += stats.statements;
+        sheds += stats.sheds;
+        degraded_reads += stats.degraded_reads;
+        reconnects += stats.reconnects;
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    server.drain();
+    lat_ns.sort_unstable();
+    E10NetLevel {
+        connections: conns,
+        concurrent_observed,
+        statements,
+        sheds,
+        degraded_reads,
+        reconnects,
+        wall_ms,
+        stmts_per_sec: statements as f64 / (wall_ms / 1e3).max(1e-9),
+        p50_us: e10_percentile_us(&lat_ns, 0.50),
+        p99_us: e10_percentile_us(&lat_ns, 0.99),
+    }
+}
+
+/// Measures the shed rate at one offered load against a deliberately
+/// tiny server (2 workers, queue of 4). Writers only — writes cannot be
+/// served degraded, so overload must shed.
+fn e10_shed_level(clients: usize, stmts_per_client: usize, seed: u64) -> E10ShedLevel {
+    use exptime_net::{ClientConfig, NetClient, NetConfig, NetServer};
+    use std::sync::Arc;
+    use std::sync::Barrier;
+
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE kv (k INT, v INT)").unwrap();
+    let shared = exptime_engine::SharedDatabase::from_database(db);
+    let cfg = NetConfig {
+        workers: 2,
+        queue: 4,
+        degrade_at: 4,
+        retry_after_ms: 2,
+        ..NetConfig::default()
+    };
+    let server = NetServer::serve(&shared, "127.0.0.1:0", cfg).expect("bind");
+    let addr = server.local_addr().to_string();
+    let go = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let addr = addr.clone();
+        let go = Arc::clone(&go);
+        handles.push(std::thread::spawn(move || {
+            let cfg = ClientConfig {
+                seed: seed ^ (c as u64 + 1).wrapping_mul(0x517c_c1b7_2722_0a95),
+                policy: RetryPolicy {
+                    base: 1,
+                    factor: 2,
+                    max_interval: 16,
+                    jitter: 1,
+                    budget: 120_000,
+                },
+                ..ClientConfig::default()
+            };
+            let mut client = NetClient::connect(&addr, cfg).expect("connect");
+            go.wait();
+            for j in 0..stmts_per_client {
+                let sql = format!(
+                    "INSERT INTO kv VALUES ({}, 0) EXPIRES IN 100000 TICKS",
+                    c * stmts_per_client + j
+                );
+                client.execute(&sql).expect("write under overload");
+            }
+            let stats = client.stats;
+            client.close();
+            stats
+        }));
+    }
+    go.wait();
+    let mut offered = 0u64;
+    let mut sheds = 0u64;
+    for h in handles {
+        let stats = h.join().expect("shed client thread");
+        offered += stats.statements;
+        sheds += stats.sheds;
+    }
+    server.drain();
+    E10ShedLevel {
+        clients,
+        offered,
+        sheds,
+        shed_rate: sheds as f64 / (offered + sheds).max(1) as f64,
+    }
+}
+
+/// E10-net — the wire protocol under load.
+///
+/// Three measurements against real TCP servers plus one tick-simulated
+/// partition:
+///
+/// 1. throughput and tail latency as the connection count grows
+///    (`conn_counts`, each client sending `stmts_per_conn` statements);
+/// 2. shed rate as offered load grows against a tiny fixed server —
+///    admission control must refuse (with retry hints) rather than
+///    queue without bound;
+/// 3. partition recovery: a [`ChaosNet`](exptime_net::ChaosNet) session
+///    is hard-partitioned mid-stream, healed, and the ticks from heal
+///    to quiescence are the recovery time — with every statement
+///    applied exactly once despite the retransmission storm.
+///
+/// # Panics
+///
+/// Panics if a statement fails or a client thread dies (bugs, not
+/// input conditions).
+#[must_use]
+pub fn e10_net(
+    conn_counts: &[usize],
+    stmts_per_conn: usize,
+    shed_loads: &[usize],
+    seed: u64,
+) -> (Report, E10NetSummary, JsonValue) {
+    use exptime_net::ChaosNet;
+    use exptime_obs::JsonValue as J;
+
+    // -- throughput vs connection count --------------------------------
+    let levels: Vec<E10NetLevel> = conn_counts
+        .iter()
+        .map(|&n| e10_net_level(n, stmts_per_conn, seed))
+        .collect();
+
+    // -- shed rate vs offered load -------------------------------------
+    let shed_levels: Vec<E10ShedLevel> = shed_loads
+        .iter()
+        .map(|&n| e10_shed_level(n, 24, seed))
+        .collect();
+
+    // -- partition recovery --------------------------------------------
+    let mut db = Database::new(DbConfig::default());
+    db.execute("CREATE TABLE part (k INT, v INT)").unwrap();
+    let policy = RetryPolicy {
+        base: 2,
+        factor: 2,
+        max_interval: 16,
+        jitter: 0,
+        budget: u64::MAX,
+    };
+    let mut chaos = ChaosNet::new(FaultSpec::none(seed), policy);
+    for i in 0..30i64 {
+        chaos.submit(&format!(
+            "INSERT INTO part VALUES ({i}, 0) EXPIRES IN 100000 TICKS"
+        ));
+    }
+    // Let the session establish and a few statements land...
+    for _ in 0..8 {
+        chaos.tick(&mut db);
+    }
+    // ...then cut the link hard mid-stream.
+    chaos.link().link().disconnect();
+    let partition_ticks = 40u64;
+    for _ in 0..partition_ticks {
+        chaos.tick(&mut db);
+    }
+    chaos.link().link().reconnect();
+    let recovery = chaos.run(&mut db, 4_000);
+    assert!(recovery.quiesced, "partition run failed to quiesce");
+    let exactly_once = chaos.exactly_once();
+
+    // -- report --------------------------------------------------------
+    let summary = E10NetSummary {
+        peak_connections: levels
+            .iter()
+            .map(|l| l.concurrent_observed)
+            .max()
+            .unwrap_or(0),
+        total_statements: levels.iter().map(|l| l.statements).sum(),
+        shed_rate_low: shed_levels.first().map_or(0.0, |l| l.shed_rate),
+        shed_rate_high: shed_levels.last().map_or(0.0, |l| l.shed_rate),
+        sheds_high: shed_levels.last().map_or(0, |l| l.sheds),
+        partition_recovery_ticks: recovery.ticks,
+        partition_retransmissions: recovery.retransmissions,
+        exactly_once,
+    };
+
+    let mut lines = vec![
+        format!(
+            "throughput ({} stmt/conn, 3:1 insert:select, 4 workers, queue 256):",
+            stmts_per_conn
+        ),
+        "  conns  observed   stmt/s      p50        p99     sheds  degraded".to_string(),
+    ];
+    for l in &levels {
+        lines.push(format!(
+            "  {:>5}  {:>8}  {:>7.0}  {:>7.0}us  {:>7.0}us  {:>6}  {:>8}",
+            l.connections,
+            l.concurrent_observed,
+            l.stmts_per_sec,
+            l.p50_us,
+            l.p99_us,
+            l.sheds,
+            l.degraded_reads
+        ));
+    }
+    lines.push("shedding (2 workers, queue 4, writers only):".to_string());
+    lines.push("  clients  offered  sheds  shed rate".to_string());
+    for l in &shed_levels {
+        lines.push(format!(
+            "  {:>7}  {:>7}  {:>5}  {:>8.1}%",
+            l.clients,
+            l.offered,
+            l.sheds,
+            l.shed_rate * 100.0
+        ));
+    }
+    lines.push(format!(
+        "partition: {} stmts, cut after 8 ticks for {} ticks; recovered in {} tick(s), \
+         {} retransmission(s), exactly-once: {}",
+        30, partition_ticks, recovery.ticks, recovery.retransmissions, exactly_once
+    ));
+    let report = Report {
+        title: "E10-net — wire protocol under load: throughput, shedding, partition recovery"
+            .into(),
+        lines,
+    };
+
+    let json = J::Object(vec![
+        ("experiment".into(), J::String("e10-net".into())),
+        ("seed".into(), J::Uint(seed)),
+        ("stmts_per_conn".into(), J::Uint(stmts_per_conn as u64)),
+        (
+            "throughput".into(),
+            J::Array(
+                levels
+                    .iter()
+                    .map(|l| {
+                        J::Object(vec![
+                            ("connections".into(), J::Uint(l.connections as u64)),
+                            (
+                                "concurrent_observed".into(),
+                                J::Uint(l.concurrent_observed as u64),
+                            ),
+                            ("statements".into(), J::Uint(l.statements)),
+                            ("sheds".into(), J::Uint(l.sheds)),
+                            ("degraded_reads".into(), J::Uint(l.degraded_reads)),
+                            ("reconnects".into(), J::Uint(l.reconnects)),
+                            ("wall_ms".into(), J::Float(l.wall_ms)),
+                            ("stmts_per_sec".into(), J::Float(l.stmts_per_sec)),
+                            ("p50_us".into(), J::Float(l.p50_us)),
+                            ("p99_us".into(), J::Float(l.p99_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "shed".into(),
+            J::Array(
+                shed_levels
+                    .iter()
+                    .map(|l| {
+                        J::Object(vec![
+                            ("clients".into(), J::Uint(l.clients as u64)),
+                            ("offered".into(), J::Uint(l.offered)),
+                            ("sheds".into(), J::Uint(l.sheds)),
+                            ("shed_rate".into(), J::Float(l.shed_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "partition".into(),
+            J::Object(vec![
+                ("statements".into(), J::Uint(30)),
+                ("partition_ticks".into(), J::Uint(partition_ticks)),
+                ("recovery_ticks".into(), J::Uint(recovery.ticks)),
+                ("retransmissions".into(), J::Uint(recovery.retransmissions)),
+                ("replays_absorbed".into(), J::Uint(recovery.replays)),
+                ("exactly_once".into(), J::Bool(exactly_once)),
+            ]),
+        ),
+    ]);
+    (report, summary, json)
+}
+
+#[cfg(test)]
+mod e10_net_tests {
+    use super::*;
+
+    #[test]
+    fn e10_net_small_levels_shed_curve_and_partition_recovery() {
+        let (report, s, json) = e10_net(&[4, 12], 6, &[2, 12], 71);
+        // The server must actually have seen the advertised concurrency.
+        assert_eq!(s.peak_connections, 12, "{}", report.render());
+        assert_eq!(s.total_statements, (4 + 12) * 6, "{}", report.render());
+        // Overload against a queue of 4 must shed; shedding must not
+        // shrink when the offered load grows sixfold.
+        assert!(s.sheds_high > 0, "{}", report.render());
+        assert!(s.shed_rate_high >= s.shed_rate_low, "{}", report.render());
+        // The partition healed and every statement applied exactly once.
+        assert!(s.exactly_once, "{}", report.render());
+        assert!(s.partition_recovery_ticks > 0, "{}", report.render());
+        assert!(s.partition_retransmissions > 0, "{}", report.render());
+        let doc = json.render();
+        assert!(doc.contains("\"e10-net\""), "{doc}");
+        assert!(doc.contains("\"concurrent_observed\""), "{doc}");
+        assert!(doc.contains("\"shed_rate\""), "{doc}");
+        assert!(doc.contains("\"recovery_ticks\""), "{doc}");
+    }
+}

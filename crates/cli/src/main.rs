@@ -46,12 +46,13 @@ fn watch(repl: &mut Repl, secs: u64) {
     reader.join().ok();
 }
 
-const USAGE: &str = "usage: exptime-cli [--wal DIR] [--serve-obs ADDR]";
+const USAGE: &str = "usage: exptime-cli [--wal DIR] [--serve-obs ADDR] [--serve ADDR]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut wal_dir: Option<String> = None;
     let mut serve_obs: Option<String> = None;
+    let mut serve_net: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--wal" => match args.next() {
@@ -63,6 +64,13 @@ fn main() {
             },
             "--serve-obs" => match args.next() {
                 Some(addr) => serve_obs = Some(addr),
+                None => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--serve" => match args.next() {
+                Some(addr) => serve_net = Some(addr),
                 None => {
                     eprintln!("{USAGE}");
                     std::process::exit(2);
@@ -104,6 +112,23 @@ fn main() {
                 }
             },
         );
+    // The wire-protocol server likewise shares the engine. Held until
+    // exit: dropping the last Arc drains it gracefully (readers finish
+    // in-flight statements, queued work completes, acked writes kept).
+    let net_server = serve_net.as_ref().map(|addr| {
+        match exptime_net::NetServer::serve(&repl.shared(), addr, exptime_net::NetConfig::default())
+        {
+            Ok(server) => {
+                let server = std::sync::Arc::new(server);
+                repl.attach_net(server.clone());
+                server
+            }
+            Err(e) => {
+                eprintln!("could not serve wire protocol on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     println!("exptime — Expiration Times for Data Management (ICDE 2006)");
     if let Some(dir) = &wal_dir {
         println!("durable: WAL at {dir} (see \\wal status for what recovery did)");
@@ -112,6 +137,12 @@ fn main() {
         println!(
             "observability: {}/metrics (also /health /forecast /spans /profile)",
             server.url()
+        );
+    }
+    if let Some(server) = &net_server {
+        println!(
+            "wire protocol: {} (exactly-once sessions; see \\net status)",
+            server.local_addr()
         );
     }
     println!("type \\help for commands, \\demo for the paper's example database\n");

@@ -10,6 +10,7 @@ use crate::render::render_relation;
 use exptime_core::rewrite;
 use exptime_core::time::Time;
 use exptime_engine::{Database, DbConfig, ExecResult, SharedDatabase};
+use exptime_net::NetServer;
 use exptime_obs::{
     expose_json, expose_prometheus, fold_spans, render_flame, render_span_tree, RingSink,
     SPAN_RING_CAP,
@@ -32,6 +33,9 @@ pub struct Repl {
     pending: String,
     /// Recent engine events, fed by the database's observability stream.
     events: Arc<RingSink>,
+    /// The wire-protocol server, when started with `--serve` (for
+    /// `\net status`).
+    net: Option<Arc<NetServer>>,
 }
 
 impl std::fmt::Debug for Repl {
@@ -104,6 +108,9 @@ Meta commands:
                   taken, and live `_telemetry.*` history row counts
   \\wal status     WAL status: log size, group commit, checkpoint cadence,
                   degraded flag, and what recovery did at open
+  \\net status     wire-protocol server status: address, connections,
+                  sessions, queue depth, shed/degraded counters
+                  (start the server with --serve ADDR)
   \\checkpoint     snapshot live rows + views and truncate the WAL
   \\save FILE      dump the database (tables, rows, views, clock) as SQL
   \\load FILE      replace the database with a previously saved dump
@@ -149,7 +156,14 @@ impl Repl {
             db,
             pending: String::new(),
             events,
+            net: None,
         }
+    }
+
+    /// Attaches a running wire-protocol server so `\net status` can
+    /// report on it.
+    pub fn attach_net(&mut self, server: Arc<NetServer>) {
+        self.net = Some(server);
     }
 
     /// A clone of the shared handle (for servers, tickers, tests).
@@ -446,6 +460,17 @@ impl Repl {
                     return Outcome::Text("usage: \\telemetry status\n".into());
                 }
                 Outcome::Text(format!("{}\n", db.telemetry_status()))
+            }
+            "\\net" => {
+                if arg != "status" {
+                    return Outcome::Text("usage: \\net status\n".into());
+                }
+                match &self.net {
+                    Some(server) => Outcome::Text(format!("{}\n", server.status())),
+                    None => Outcome::Text(
+                        "no wire-protocol server running (start with --serve ADDR)\n".into(),
+                    ),
+                }
             }
             "\\wal" => {
                 if arg != "status" {
@@ -962,6 +987,31 @@ mod tests {
         assert!(out.contains("result: 2 rows"), "{out}");
         assert!(text(r.feed("\\explain SELECT 1")).contains("usage"));
         assert!(text(r.feed("\\explain analyze DELETE FROM pol")).contains("error"));
+    }
+
+    #[test]
+    fn net_status_command_with_and_without_a_server() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\net status")).contains("no wire-protocol server"));
+        assert!(text(r.feed("\\net")).contains("usage"));
+        assert!(text(r.feed("\\net bogus")).contains("usage"));
+        assert!(text(r.feed("\\help")).contains("\\net status"));
+
+        let server = Arc::new(
+            NetServer::serve(
+                &r.shared(),
+                "127.0.0.1:0",
+                exptime_net::NetConfig::default(),
+            )
+            .expect("bind"),
+        );
+        r.attach_net(server.clone());
+        let st = text(r.feed("\\net status"));
+        assert!(st.contains(&server.local_addr().to_string()), "{st}");
+        assert!(st.contains("connection(s)"), "{st}");
+        // Dropping the last Arc drains the server (NetServer::drop).
+        drop(r);
+        drop(server);
     }
 
     #[test]

@@ -57,6 +57,23 @@ impl SharedDatabase {
         f(&mut guard)
     }
 
+    /// Runs a closure with exclusive access *only if the lock is free
+    /// right now*; returns `None` without blocking when another session
+    /// holds it. The network front-end's degraded read path uses this to
+    /// serve texp-valid cached results instead of queueing on a
+    /// contended engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut Database) -> R) -> Option<R> {
+        match self.inner.try_lock() {
+            Ok(mut guard) => Some(f(&mut guard)),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("database mutex poisoned"),
+        }
+    }
+
     /// Executes one SQL statement.
     ///
     /// # Errors

@@ -1,0 +1,171 @@
+//! Degraded-mode reads: texp-valid answers without touching the engine.
+//!
+//! This is the paper's lever applied to overload: a materialised result
+//! carries `texp(e)` and a Schrödinger validity set, so the server can
+//! *prove* whether a cached answer is still correct at the current
+//! logical time without re-evaluating it. Under queue pressure the
+//! server prefers a provably-valid cached answer over queueing the read
+//! behind writes — and when the cache has only a stale entry, it can
+//! still serve the most recent *covered* instant (`prev_covered`),
+//! labelled as stale, exactly as the chaos replica does when its link
+//! is down.
+
+use exptime_core::algebra::Materialized;
+use exptime_core::relation::Relation;
+use exptime_core::time::Time;
+use std::collections::HashMap;
+
+/// What a cache lookup produced.
+#[derive(Debug)]
+pub struct DegradedRead {
+    /// The rows, expired forward to the served instant.
+    pub rel: Relation,
+    /// The instant the answer is correct *as of*. Equal to `now` on a
+    /// validity hit; earlier on a stale serve.
+    pub as_of: Time,
+    /// `texp(e)` of the cached expression.
+    pub texp: Time,
+    /// True when `as_of < now`: the answer is a Schrödinger-covered
+    /// stale read, not provably current.
+    pub stale: bool,
+}
+
+/// An SQL-text-keyed cache of materialised query results.
+///
+/// Entries are filled by the normal execution path *while degraded is
+/// anticipated* (the server materialises SELECTs through
+/// `Database::query_expr` anyway, so caching is free) and consulted
+/// only when admission control is under pressure.
+#[derive(Debug, Default)]
+pub struct StaleCache {
+    entries: HashMap<String, Materialized>,
+    /// Served while provably valid at the current time.
+    pub valid_hits: u64,
+    /// Served from the most recent covered instant (stale, labelled).
+    pub stale_hits: u64,
+    /// Lookups that found nothing servable.
+    pub misses: u64,
+}
+
+impl StaleCache {
+    #[must_use]
+    pub fn new() -> Self {
+        StaleCache::default()
+    }
+
+    /// Stores (or refreshes) the materialisation for a SELECT's text.
+    pub fn insert(&mut self, sql: &str, m: Materialized) {
+        self.entries.insert(sql.to_string(), m);
+    }
+
+    /// Tries to answer `sql` at time `now` without the engine.
+    ///
+    /// Preference order: a validity hit (provably correct at `now`),
+    /// then the most recent covered instant before `now` (stale,
+    /// flagged). An entry that can serve neither is dropped.
+    pub fn serve(&mut self, sql: &str, now: Time) -> Option<DegradedRead> {
+        let Some(m) = self.entries.get_mut(sql) else {
+            self.misses += 1;
+            return None;
+        };
+        if m.valid_at(now) {
+            self.valid_hits += 1;
+            return Some(DegradedRead {
+                rel: m.read_at(now),
+                as_of: now,
+                texp: m.texp,
+                stale: false,
+            });
+        }
+        if let Some(back) = m.validity.prev_covered(now) {
+            self.stale_hits += 1;
+            return Some(DegradedRead {
+                rel: m.read_at(back),
+                as_of: back,
+                texp: m.texp,
+                stale: true,
+            });
+        }
+        self.entries.remove(sql);
+        self.misses += 1;
+        None
+    }
+
+    /// Cached entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exptime_core::algebra::{eval, EvalOptions, Expr};
+    use exptime_core::catalog::Catalog;
+    use exptime_core::schema::Schema;
+    use exptime_core::tuple;
+    use exptime_core::value::ValueType;
+
+    fn catalog_with_rows(texps: &[u64]) -> Catalog {
+        let mut cat = Catalog::new();
+        let schema = Schema::of(&[("k", ValueType::Int)]);
+        let mut rel = Relation::new(schema);
+        for (i, &texp) in texps.iter().enumerate() {
+            rel.insert(tuple![i as i64], Time::new(texp)).unwrap();
+        }
+        cat.register("t", rel);
+        cat
+    }
+
+    fn materialize(cat: &Catalog, at: u64) -> Materialized {
+        eval(
+            &Expr::Base("t".into()),
+            cat,
+            Time::new(at),
+            &EvalOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_hit_serves_current_rows() {
+        let cat = catalog_with_rows(&[10, 20]);
+        let mut cache = StaleCache::new();
+        cache.insert("SELECT * FROM t", materialize(&cat, 0));
+        let r = cache.serve("SELECT * FROM t", Time::new(5)).unwrap();
+        assert!(!r.stale);
+        assert_eq!(r.as_of, Time::new(5));
+        assert_eq!(r.rel.len(), 2, "nothing expired by t=5");
+        // Expired-forward at a later covered time: the t=10 row is gone.
+        let r = cache.serve("SELECT * FROM t", Time::new(12)).unwrap();
+        assert_eq!(r.rel.len(), 1);
+        assert_eq!(cache.valid_hits, 2);
+    }
+
+    #[test]
+    fn miss_on_unknown_sql() {
+        let mut cache = StaleCache::new();
+        assert!(cache.serve("SELECT * FROM t", Time::new(1)).is_none());
+        assert_eq!(cache.misses, 1);
+    }
+
+    #[test]
+    fn base_relation_scans_never_go_stale() {
+        // texp of a base scan is ∞ (the paper defines base relations as
+        // never expiring as expressions), so any future time is a valid
+        // hit — the degraded path can serve base scans forever.
+        let cat = catalog_with_rows(&[10]);
+        let mut cache = StaleCache::new();
+        cache.insert("q", materialize(&cat, 0));
+        let r = cache.serve("q", Time::new(1_000)).unwrap();
+        assert!(!r.stale);
+        assert!(r.rel.is_empty(), "the one row expired at 10");
+    }
+}

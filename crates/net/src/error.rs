@@ -1,0 +1,219 @@
+//! Stable numeric protocol error codes.
+//!
+//! Engine errors cross the wire as numbers, not as Rust enums: the
+//! codes below are a wire contract (DESIGN.md §12.4) — never renumber,
+//! only append. The thousands digit encodes the retry contract:
+//!
+//! * `1xxx` — **fatal**: the statement itself is wrong (bad SQL, a
+//!   constraint violation, a missing table). Retrying the identical
+//!   statement will fail identically; the client should surface the
+//!   error.
+//! * `2xxx` — **retryable**: the statement was fine but the server
+//!   could not (or would not) run it *right now* — shed by admission
+//!   control, past its deadline, mid-drain, or a transient
+//!   availability/timeout condition. The client may resend the same
+//!   sequence number after backing off; server-side dedup keeps the
+//!   retry exactly-once.
+
+use exptime_engine::DbError;
+
+/// A protocol error code. The `u16` wire values are stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// 1001 — SQL lexing/parsing/planning failed.
+    Sql,
+    /// 1002 — core data-model error (schema mismatch, bad time, …).
+    Core,
+    /// 1003 — a constraint rejected the write.
+    Constraint,
+    /// 1004 — catalog problem (duplicate/missing table or view).
+    Catalog,
+    /// 1005 — the write-ahead log failed.
+    Wal,
+    /// 1006 — the client violated the protocol (sequence gap, replay of
+    /// an acknowledged statement, malformed handshake order).
+    Protocol,
+    /// 2001 — a required peer was unavailable.
+    Unavailable,
+    /// 2002 — a sync operation exhausted its retry/timeout budget.
+    Timeout,
+    /// 2003 — admission control shed the statement before execution.
+    Shed,
+    /// 2004 — the statement's deadline expired before execution began;
+    /// the statement was *not* applied.
+    DeadlineExceeded,
+    /// 2005 — the server is draining and no longer admits statements.
+    ShuttingDown,
+    /// 2006 — the presented session token is not (or no longer) known;
+    /// the client must handshake a fresh session and replay.
+    SessionExpired,
+}
+
+impl ErrorCode {
+    /// Every code, for exhaustive round-trip tests.
+    pub const ALL: [ErrorCode; 12] = [
+        ErrorCode::Sql,
+        ErrorCode::Core,
+        ErrorCode::Constraint,
+        ErrorCode::Catalog,
+        ErrorCode::Wal,
+        ErrorCode::Protocol,
+        ErrorCode::Unavailable,
+        ErrorCode::Timeout,
+        ErrorCode::Shed,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::ShuttingDown,
+        ErrorCode::SessionExpired,
+    ];
+
+    /// The stable wire value.
+    #[must_use]
+    pub fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::Sql => 1001,
+            ErrorCode::Core => 1002,
+            ErrorCode::Constraint => 1003,
+            ErrorCode::Catalog => 1004,
+            ErrorCode::Wal => 1005,
+            ErrorCode::Protocol => 1006,
+            ErrorCode::Unavailable => 2001,
+            ErrorCode::Timeout => 2002,
+            ErrorCode::Shed => 2003,
+            ErrorCode::DeadlineExceeded => 2004,
+            ErrorCode::ShuttingDown => 2005,
+            ErrorCode::SessionExpired => 2006,
+        }
+    }
+
+    /// Decodes a wire value; unknown codes return `None` (a newer peer
+    /// may know codes we do not — callers treat unknown as fatal).
+    #[must_use]
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        Some(match v {
+            1001 => ErrorCode::Sql,
+            1002 => ErrorCode::Core,
+            1003 => ErrorCode::Constraint,
+            1004 => ErrorCode::Catalog,
+            1005 => ErrorCode::Wal,
+            1006 => ErrorCode::Protocol,
+            2001 => ErrorCode::Unavailable,
+            2002 => ErrorCode::Timeout,
+            2003 => ErrorCode::Shed,
+            2004 => ErrorCode::DeadlineExceeded,
+            2005 => ErrorCode::ShuttingDown,
+            2006 => ErrorCode::SessionExpired,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client may usefully resend the same statement.
+    #[must_use]
+    pub fn is_retryable(self) -> bool {
+        self.as_u16() >= 2000
+    }
+
+    /// The code a [`DbError`] maps to on the wire.
+    #[must_use]
+    pub fn from_db_error(e: &DbError) -> ErrorCode {
+        match e {
+            DbError::Sql(_) => ErrorCode::Sql,
+            DbError::Core(_) => ErrorCode::Core,
+            DbError::Constraint(_) => ErrorCode::Constraint,
+            DbError::Catalog(_) => ErrorCode::Catalog,
+            DbError::Wal(_) => ErrorCode::Wal,
+            DbError::Unavailable(_) => ErrorCode::Unavailable,
+            DbError::Timeout { .. } => ErrorCode::Timeout,
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::Sql => "sql",
+            ErrorCode::Core => "core",
+            ErrorCode::Constraint => "constraint",
+            ErrorCode::Catalog => "catalog",
+            ErrorCode::Wal => "wal",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Shed => "shed",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::SessionExpired => "session_expired",
+        };
+        write!(f, "{} ({name})", self.as_u16())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_round_trips() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_u16(code.as_u16()), Some(code));
+        }
+    }
+
+    #[test]
+    fn wire_values_are_stable() {
+        // The numbers are a published contract: a change here is a
+        // protocol break, not a refactor.
+        let expected: [(ErrorCode, u16); 12] = [
+            (ErrorCode::Sql, 1001),
+            (ErrorCode::Core, 1002),
+            (ErrorCode::Constraint, 1003),
+            (ErrorCode::Catalog, 1004),
+            (ErrorCode::Wal, 1005),
+            (ErrorCode::Protocol, 1006),
+            (ErrorCode::Unavailable, 2001),
+            (ErrorCode::Timeout, 2002),
+            (ErrorCode::Shed, 2003),
+            (ErrorCode::DeadlineExceeded, 2004),
+            (ErrorCode::ShuttingDown, 2005),
+            (ErrorCode::SessionExpired, 2006),
+        ];
+        for (code, v) in expected {
+            assert_eq!(code.as_u16(), v);
+        }
+    }
+
+    #[test]
+    fn retryable_is_the_2xxx_band() {
+        for code in ErrorCode::ALL {
+            assert_eq!(code.is_retryable(), code.as_u16() >= 2000, "{code}");
+        }
+        assert!(!ErrorCode::Sql.is_retryable());
+        assert!(ErrorCode::Shed.is_retryable());
+    }
+
+    #[test]
+    fn unknown_codes_decode_to_none() {
+        for v in [0u16, 1, 999, 1000, 1007, 1999, 2000, 2007, u16::MAX] {
+            assert_eq!(ErrorCode::from_u16(v), None, "{v}");
+        }
+    }
+
+    #[test]
+    fn db_errors_map_onto_the_registry() {
+        use exptime_engine::DbError;
+        let unavailable = DbError::Unavailable("link down".into());
+        assert_eq!(
+            ErrorCode::from_db_error(&unavailable),
+            ErrorCode::Unavailable
+        );
+        assert!(ErrorCode::from_db_error(&unavailable).is_retryable());
+        let timeout = DbError::Timeout {
+            op: "refresh".into(),
+            waited: 9,
+        };
+        assert_eq!(ErrorCode::from_db_error(&timeout), ErrorCode::Timeout);
+        assert!(ErrorCode::from_db_error(&timeout).is_retryable());
+        let sql = DbError::Sql(exptime_sql::SqlError::parse("nope"));
+        assert_eq!(ErrorCode::from_db_error(&sql), ErrorCode::Sql);
+        assert!(!ErrorCode::from_db_error(&sql).is_retryable());
+    }
+}

@@ -179,6 +179,34 @@ pub enum EventKind {
         /// outside the logical clock's domain).
         ns: u64,
     },
+    /// A wire-protocol session was opened or resumed. `resumed` is true
+    /// when the client presented an existing token after a reconnect;
+    /// `applied` is the highest statement sequence number already applied
+    /// under that session (the exactly-once high-water mark the client
+    /// replays from).
+    NetSession {
+        token: u64,
+        resumed: bool,
+        applied: u64,
+    },
+    /// Admission control refused a statement because the bounded queue
+    /// was full. The client was told to retry after `retry_after_ms`.
+    NetShed {
+        queue_depth: u64,
+        retry_after_ms: u64,
+    },
+    /// The server entered or left degraded mode. While degraded, reads
+    /// are answered from texp-valid (or Schrödinger-covered stale)
+    /// materialisations instead of queueing on the engine.
+    NetDegraded { on: bool, queue_depth: u64 },
+    /// Graceful drain finished: accepting stopped, every in-flight
+    /// statement completed (zero acked writes lost), queued work was
+    /// shed with a retry hint.
+    NetDrain {
+        sessions: u64,
+        completed: u64,
+        shed: u64,
+    },
 }
 
 impl EventKind {
@@ -202,6 +230,10 @@ impl EventKind {
             EventKind::StormWarning { .. } => "storm_warning",
             EventKind::TelemetrySample { .. } => "telemetry_sample",
             EventKind::HttpRequest { .. } => "http_request",
+            EventKind::NetSession { .. } => "net_session",
+            EventKind::NetShed { .. } => "net_shed",
+            EventKind::NetDegraded { .. } => "net_degraded",
+            EventKind::NetDrain { .. } => "net_drain",
         }
     }
 }
@@ -358,6 +390,40 @@ impl std::fmt::Display for Event {
                 ns,
             } => {
                 write!(f, "http_request    {method} {path} -> {status} ({ns} ns)")
+            }
+            EventKind::NetSession {
+                token,
+                resumed,
+                applied,
+            } => {
+                let how = if *resumed { "resumed" } else { "opened" };
+                write!(
+                    f,
+                    "net_session     token={token:#x} {how} applied={applied}"
+                )
+            }
+            EventKind::NetShed {
+                queue_depth,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "net_shed        queue_depth={queue_depth} retry_after={retry_after_ms}ms"
+                )
+            }
+            EventKind::NetDegraded { on, queue_depth } => {
+                let state = if *on { "enter" } else { "leave" };
+                write!(f, "net_degraded    {state} queue_depth={queue_depth}")
+            }
+            EventKind::NetDrain {
+                sessions,
+                completed,
+                shed,
+            } => {
+                write!(
+                    f,
+                    "net_drain       sessions={sessions} completed={completed} shed={shed}"
+                )
             }
         }
     }

@@ -73,7 +73,11 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The wait before retry number `attempt` (0-based), jittered.
-    fn delay(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+    /// Public because the wire-protocol client (`exptime-net`) schedules
+    /// its reconnect/retry backoff with the same policy — one retry
+    /// discipline across the replica and network layers.
+    #[must_use]
+    pub fn delay(&self, attempt: u32, rng: &mut StdRng) -> u64 {
         let mut d = self.base.max(1);
         for _ in 0..attempt.min(16) {
             d = d.saturating_mul(self.factor.max(1));

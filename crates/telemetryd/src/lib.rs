@@ -49,6 +49,13 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// longer is rejected with 431 before we buffer more of it.
 const MAX_HEAD_BYTES: usize = 8 * 1024;
 
+/// Total deadline for receiving a complete request head. The per-read
+/// [`IO_TIMEOUT`] only bounds each `read` call: a slowloris client
+/// dripping one byte per just-under-two-seconds would otherwise hold
+/// the single accept-loop thread indefinitely. The whole head must
+/// arrive within this budget or the connection is dropped.
+const HEAD_DEADLINE: Duration = Duration::from_secs(5);
+
 /// The routes the server knows. Requests for anything else are served a
 /// 404 and metered under the `other` route, so label cardinality stays
 /// bounded no matter what paths arrive from the network.
@@ -341,9 +348,22 @@ fn index_page() -> String {
 /// Reads the request head (through the `\r\n\r\n` terminator), bounded
 /// by [`MAX_HEAD_BYTES`]. Any body is ignored — every endpoint is a GET.
 fn read_head(stream: &mut TcpStream) -> io::Result<String> {
+    read_head_within(stream, HEAD_DEADLINE)
+}
+
+/// [`read_head`] with an explicit total deadline (tests inject a short
+/// one so the slowloris rejection is provable without a 5s wait).
+fn read_head_within(stream: &mut TcpStream, deadline: Duration) -> io::Result<String> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
+    let started = Instant::now();
     loop {
+        if started.elapsed() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request head did not complete within the deadline",
+            ));
+        }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
             break;
@@ -631,6 +651,62 @@ mod tests {
                 "GET {path} HTTP/1.1\r\nHost: x\r\nAccept: {accept}\r\nConnection: close\r\n\r\n"
             ),
         )
+    }
+
+    /// A slow-drip client that half-sends a request must be cut off by
+    /// the total head deadline — the per-read timeout alone would let
+    /// one byte per just-under-two-seconds pin the accept loop forever.
+    #[test]
+    fn slowloris_half_request_is_cut_off_by_the_head_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .unwrap();
+            read_head_within(&mut stream, Duration::from_millis(300))
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Half a request line, then a drip feed that never finishes the
+        // head — each byte arrives well inside the per-read timeout.
+        client.write_all(b"GET /metr").unwrap();
+        let started = Instant::now();
+        for _ in 0..40 {
+            std::thread::sleep(Duration::from_millis(25));
+            if client.write_all(b"i").is_err() {
+                break; // server hung up on us, as it should
+            }
+        }
+        let result = server.join().unwrap();
+        let waited = started.elapsed();
+        let err = result.expect_err("half-sent head must not parse");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut, "{err}");
+        assert!(
+            waited < Duration::from_secs(3),
+            "deadline must fire promptly, waited {waited:?}"
+        );
+    }
+
+    /// A head that completes *within* the deadline is unaffected.
+    #[test]
+    fn slow_but_complete_head_still_parses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_millis(200)))
+                .unwrap();
+            read_head_within(&mut stream, Duration::from_secs(2))
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        for part in ["GET / ", "HTTP/1.1\r\n", "Host: x\r\n", "\r\n"] {
+            client.write_all(part.as_bytes()).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let head = server.join().unwrap().expect("complete head parses");
+        assert!(head.starts_with("GET / HTTP/1.1"));
     }
 
     fn request(addr: SocketAddr, raw: &str) -> (u16, String, String) {

@@ -125,26 +125,37 @@ impl fmt::Display for DecodeError {
 
 // ---------------------------------------------------------------------
 // Encoding
+//
+// The primitive writers and the [`Cursor`] reader are public: the wire
+// protocol (`exptime-net`) frames its messages with exactly the same
+// little-endian/length-prefixed/CRC discipline, and sharing the codec
+// means one set of torn-frame/bit-flip rejection properties covers both
+// the log on disk and the bytes on the network.
 // ---------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_time(out: &mut Vec<u8>, t: Time) {
+/// Appends a [`Time`] as a `u64` (`u64::MAX` = `∞`).
+pub fn put_time(out: &mut Vec<u8>, t: Time) {
     put_u64(out, t.finite().unwrap_or(u64::MAX));
 }
 
-pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+/// Appends one tagged attribute value.
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Int(i) => {
             out.push(VAL_INT);
@@ -165,7 +176,8 @@ pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
     }
 }
 
-pub(crate) fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+/// Appends a `u32`-counted sequence of tagged values.
+pub fn put_values(out: &mut Vec<u8>, values: &[Value]) {
     put_u32(out, values.len() as u32);
     for v in values {
         put_value(out, v);
@@ -242,22 +254,33 @@ pub fn encode_frame(rec: &WalRecord) -> Vec<u8> {
 // Decoding
 // ---------------------------------------------------------------------
 
-/// A little-endian cursor over a payload.
-pub(crate) struct Cursor<'a> {
+/// A little-endian cursor over a payload. Public for the same reason as
+/// the `put_*` writers: the network frame codec decodes with it.
+#[derive(Debug)]
+pub struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// A cursor at the start of `buf`.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, pos: 0 }
     }
 
-    pub(crate) fn done(&self) -> bool {
+    /// Whether every byte has been consumed.
+    #[must_use]
+    pub fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] when the payload is exhausted.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         let b = *self
             .buf
             .get(self.pos)
@@ -266,7 +289,12 @@ impl<'a> Cursor<'a> {
         Ok(b)
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, DecodeError> {
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
         let end = self
             .pos
             .checked_add(4)
@@ -278,7 +306,12 @@ impl<'a> Cursor<'a> {
         Ok(u32::from_le_bytes(b))
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, DecodeError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
         let end = self
             .pos
             .checked_add(8)
@@ -290,7 +323,12 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(b))
     }
 
-    pub(crate) fn str(&mut self) -> Result<String, DecodeError> {
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] on truncation or invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
         let len = self.u32()? as usize;
         let end = self
             .pos
@@ -304,7 +342,12 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    pub(crate) fn time(&mut self) -> Result<Time, DecodeError> {
+    /// Reads a [`Time`] (`u64::MAX` decodes to `∞`).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] on truncation.
+    pub fn time(&mut self) -> Result<Time, DecodeError> {
         let raw = self.u64()?;
         Ok(if raw == u64::MAX {
             Time::INFINITY
@@ -313,7 +356,12 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    pub(crate) fn value(&mut self) -> Result<Value, DecodeError> {
+    /// Reads one tagged attribute value.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] on truncation or an unknown tag.
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
         match self.u8()? {
             VAL_INT => Ok(Value::Int(self.u64()? as i64)),
             VAL_FLOAT => Ok(Value::float(f64::from_bits(self.u64()?))),
@@ -323,7 +371,12 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    pub(crate) fn values(&mut self) -> Result<Vec<Value>, DecodeError> {
+    /// Reads a `u32`-counted sequence of tagged values.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadPayload`] on truncation or an implausible count.
+    pub fn values(&mut self) -> Result<Vec<Value>, DecodeError> {
         let n = self.u32()? as usize;
         if n > self.buf.len().saturating_sub(self.pos) {
             // Each value costs at least one byte; an arity larger than the

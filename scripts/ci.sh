@@ -57,6 +57,28 @@ cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e8s
 # is not written).
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e9telemetry
 
+# Net chaos matrix: the wire protocol's exactly-once session invariant
+# over a pinned set of deterministic fault schedules (EXPTIME_NET_SEEDS
+# overridable; a failing seed prints its full schedule for local
+# replay), plus the real-TCP drain-under-load and partition tests.
+EXPTIME_NET_SEEDS="${EXPTIME_NET_SEEDS:-1,2,3,4,5,6,7,8}" \
+    cargo test -q --test net_chaos
+
+# Wire-codec property tests: round-trip, every-prefix rejection,
+# every-bit-flip rejection, and exactly-once re-delivery across
+# arbitrary seeded fault schedules.
+cargo test -q --test prop_net
+
+# E10-net smoke: throughput/shed/partition assertions against real TCP
+# servers at reduced scale (assertions only; BENCH_net.json is not
+# written).
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e10net
+
+# Netload drain smoke: an embedded server driven by concurrent client
+# sessions, then drained; netload exits nonzero if any acknowledged
+# write is missing afterwards.
+cargo run --release -q -p exptime-bench --bin netload -- --conns 64 --stmts 8
+
 # Telemetry scrape smoke: start a real telemetryd on a loopback port,
 # scrape /metrics over /dev/tcp, and feed the body back through the
 # repo's own Prometheus parser (`telemetryd --parse-stdin` exits nonzero

@@ -6,8 +6,16 @@
 //! server's dedup turns the resend into a cached-reply fetch if the
 //! first copy actually landed. Backoff between attempts follows the
 //! replica layer's [`RetryPolicy`] (base/factor/cap/jitter), with the
-//! policy's `budget` read as the total milliseconds one statement may
-//! spend retrying before [`ClientError::Exhausted`].
+//! policy's `budget` read as the total **wall-clock** milliseconds one
+//! statement may spend — connect and reply-await time included, not
+//! just the sleeps — before [`ClientError::Exhausted`].
+//!
+//! Exactly-once holds within a session's idle lifetime. If the server
+//! evicts the session while a statement is in flight, the reply cache
+//! that would disambiguate "applied, reply lost" from "never applied"
+//! died with it — the client surfaces that single statement as
+//! [`ClientError::SessionExpired`] rather than resending it under a
+//! fresh session, which could apply it twice.
 
 use crate::error::ErrorCode;
 use crate::frame::{read_msg, write_msg, Msg, ReplyBody};
@@ -16,7 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client tunables.
 #[derive(Debug, Clone)]
@@ -82,11 +90,19 @@ pub enum ClientError {
         raw_code: u16,
         message: String,
     },
-    /// The retry budget (`policy.budget` ms) ran out before a consumed
-    /// outcome arrived. The statement may or may not have been applied;
-    /// resuming the session and replaying the same sequence number
-    /// resolves the ambiguity.
+    /// The retry budget (`policy.budget` ms of wall-clock) ran out
+    /// before a consumed outcome arrived. The statement may or may not
+    /// have been applied; resuming the session and replaying the same
+    /// sequence number resolves the ambiguity.
     Exhausted { attempts: u32 },
+    /// The session idled out server-side with this statement in
+    /// flight. Its reply cache died with the session, so whether the
+    /// statement was applied cannot be resolved by replaying — the
+    /// outcome is **ambiguous**, and silently resending under a fresh
+    /// session could apply it twice. The client has already reset
+    /// itself: the next `execute` opens a fresh session. The caller
+    /// decides whether the statement is safe to resubmit.
+    SessionExpired { message: String },
 }
 
 impl std::fmt::Display for ClientError {
@@ -99,6 +115,9 @@ impl std::fmt::Display for ClientError {
             } => write!(f, "fatal [{raw_code}]: {message}"),
             ClientError::Exhausted { attempts } => {
                 write!(f, "retry budget exhausted after {attempts} attempt(s)")
+            }
+            ClientError::SessionExpired { message } => {
+                write!(f, "session expired mid-statement (outcome ambiguous): {message}")
             }
         }
     }
@@ -155,8 +174,13 @@ impl NetClient {
     /// [`ClientError::Exhausted`] / [`ClientError::Io`] when the server
     /// stays unreachable or keeps refusing past the budget.
     pub fn execute(&mut self, sql: &str) -> Result<ReplyBody, ClientError> {
+        // The budget is wall-clock from the first attempt: time spent
+        // connecting and awaiting replies counts, not just the sleeps —
+        // otherwise each attempt could add connect + read-timeout time
+        // and blow far past the policy in real elapsed time.
+        let started = Instant::now();
+        let budget = Duration::from_millis(self.cfg.policy.budget);
         let mut attempt: u32 = 0;
-        let mut spent_ms: u64 = 0;
         loop {
             match self.try_once(sql) {
                 Ok(Outcome::Done(body)) => {
@@ -176,6 +200,9 @@ impl NetClient {
                         message,
                     });
                 }
+                Ok(Outcome::SessionLost(message)) => {
+                    return Err(ClientError::SessionExpired { message });
+                }
                 Ok(Outcome::Backoff(hint_ms)) => {
                     let wait = if hint_ms > 0 {
                         u64::from(hint_ms)
@@ -184,8 +211,7 @@ impl NetClient {
                     };
                     attempt += 1;
                     self.stats.retries += 1;
-                    spent_ms = spent_ms.saturating_add(wait);
-                    if spent_ms > self.cfg.policy.budget {
+                    if started.elapsed() + Duration::from_millis(wait) > budget {
                         return Err(ClientError::Exhausted { attempts: attempt });
                     }
                     std::thread::sleep(Duration::from_millis(wait));
@@ -197,8 +223,7 @@ impl NetClient {
                     let wait = self.cfg.policy.delay(attempt, &mut self.rng);
                     attempt += 1;
                     self.stats.retries += 1;
-                    spent_ms = spent_ms.saturating_add(wait);
-                    if spent_ms > self.cfg.policy.budget {
+                    if started.elapsed() + Duration::from_millis(wait) > budget {
                         return Err(ClientError::Io(e));
                     }
                     std::thread::sleep(Duration::from_millis(wait));
@@ -285,12 +310,19 @@ impl NetClient {
                     } = body
                     {
                         let known = ErrorCode::from_u16(code);
+                        if known == Some(ErrorCode::SessionExpired) {
+                            // The session died with this statement in
+                            // flight: the outcome is ambiguous (applied
+                            // with the reply lost vs never applied), so
+                            // do NOT resend under a fresh session — that
+                            // could apply it twice. Reset so the *next*
+                            // statement handshakes fresh, and surface
+                            // the ambiguity to the caller.
+                            self.token = 0;
+                            self.stream = None;
+                            return Ok(Outcome::SessionLost(message));
+                        }
                         if known.is_some_and(ErrorCode::is_retryable) {
-                            if known == Some(ErrorCode::SessionExpired) {
-                                // Force a fresh handshake on the next try.
-                                self.token = 0;
-                                self.stream = None;
-                            }
                             self.stats.retryable_errors += 1;
                             return Ok(Outcome::Backoff(retry_after_ms));
                         }
@@ -343,4 +375,7 @@ enum Outcome {
     /// Not consumed; back off (`hint` ms, 0 = policy schedule) and
     /// resend the same sequence number.
     Backoff(u32),
+    /// The session expired with the statement in flight: ambiguous —
+    /// surfaced, never silently resent.
+    SessionLost(String),
 }

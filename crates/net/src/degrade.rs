@@ -30,32 +30,91 @@ pub struct DegradedRead {
     pub stale: bool,
 }
 
+/// Default entry cap for [`StaleCache`] (the TCP server overrides it
+/// with `NetConfig::stale_cache_cap`).
+pub const DEFAULT_STALE_CACHE_CAP: usize = 256;
+
+#[derive(Debug)]
+struct Entry {
+    m: Materialized,
+    /// Logical LRU stamp: the cache clock at the last insert or serve.
+    last_used: u64,
+}
+
 /// An SQL-text-keyed cache of materialised query results.
 ///
 /// Entries are filled by the normal execution path *while degraded is
 /// anticipated* (the server materialises SELECTs through
 /// `Database::query_expr` anyway, so caching is free) and consulted
-/// only when admission control is under pressure.
-#[derive(Debug, Default)]
+/// only when admission control is under pressure. The cache holds at
+/// most `cap` entries, evicting the least-recently-used on insert —
+/// distinct query texts (e.g. varying literals) must not grow server
+/// memory without bound. Eviction is an `O(cap)` scan; at the default
+/// cap that is noise next to the materialisation it stores.
+#[derive(Debug)]
 pub struct StaleCache {
-    entries: HashMap<String, Materialized>,
+    entries: HashMap<String, Entry>,
+    cap: usize,
+    clock: u64,
     /// Served while provably valid at the current time.
     pub valid_hits: u64,
     /// Served from the most recent covered instant (stale, labelled).
     pub stale_hits: u64,
     /// Lookups that found nothing servable.
     pub misses: u64,
+    /// Entries LRU-evicted to stay within the cap.
+    pub evictions: u64,
+}
+
+impl Default for StaleCache {
+    fn default() -> Self {
+        StaleCache::new()
+    }
 }
 
 impl StaleCache {
     #[must_use]
     pub fn new() -> Self {
-        StaleCache::default()
+        StaleCache::with_cap(DEFAULT_STALE_CACHE_CAP)
     }
 
-    /// Stores (or refreshes) the materialisation for a SELECT's text.
+    /// A cache bounded at `cap` entries (minimum 1).
+    #[must_use]
+    pub fn with_cap(cap: usize) -> Self {
+        StaleCache {
+            entries: HashMap::new(),
+            cap: cap.max(1),
+            clock: 0,
+            valid_hits: 0,
+            stale_hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Stores (or refreshes) the materialisation for a SELECT's text,
+    /// LRU-evicting to stay within the cap.
     pub fn insert(&mut self, sql: &str, m: Materialized) {
-        self.entries.insert(sql.to_string(), m);
+        self.clock += 1;
+        let last_used = self.clock;
+        if let Some(e) = self.entries.get_mut(sql) {
+            e.m = m;
+            e.last_used = last_used;
+            return;
+        }
+        while self.entries.len() >= self.cap {
+            let Some(coldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.entries.remove(&coldest);
+            self.evictions += 1;
+        }
+        self.entries.insert(sql.to_string(), Entry { m, last_used });
     }
 
     /// Tries to answer `sql` at time `now` without the engine.
@@ -64,10 +123,14 @@ impl StaleCache {
     /// then the most recent covered instant before `now` (stale,
     /// flagged). An entry that can serve neither is dropped.
     pub fn serve(&mut self, sql: &str, now: Time) -> Option<DegradedRead> {
-        let Some(m) = self.entries.get_mut(sql) else {
+        self.clock += 1;
+        let clock = self.clock;
+        let Some(e) = self.entries.get_mut(sql) else {
             self.misses += 1;
             return None;
         };
+        e.last_used = clock;
+        let m = &mut e.m;
         if m.valid_at(now) {
             self.valid_hits += 1;
             return Some(DegradedRead {
@@ -147,6 +210,26 @@ mod tests {
         let r = cache.serve("SELECT * FROM t", Time::new(12)).unwrap();
         assert_eq!(r.rel.len(), 1);
         assert_eq!(cache.valid_hits, 2);
+    }
+
+    #[test]
+    fn cache_is_capped_with_lru_eviction() {
+        let cat = catalog_with_rows(&[10]);
+        let mut cache = StaleCache::with_cap(3);
+        for i in 0..3 {
+            cache.insert(&format!("q{i}"), materialize(&cat, 0));
+        }
+        // Touch q0 so q1 becomes the coldest entry, then overflow.
+        assert!(cache.serve("q0", Time::new(1)).is_some());
+        cache.insert("q3", materialize(&cat, 0));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions, 1);
+        assert!(cache.serve("q1", Time::new(1)).is_none(), "LRU evicted");
+        assert!(cache.serve("q0", Time::new(1)).is_some(), "MRU survives");
+        // Refreshing an existing key is an update, never an eviction.
+        cache.insert("q0", materialize(&cat, 0));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions, 1);
     }
 
     #[test]

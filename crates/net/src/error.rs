@@ -45,7 +45,11 @@ pub enum ErrorCode {
     /// 2005 — the server is draining and no longer admits statements.
     ShuttingDown,
     /// 2006 — the presented session token is not (or no longer) known;
-    /// the client must handshake a fresh session and replay.
+    /// the client must handshake a fresh session. Retryable for
+    /// *future* statements; for the statement in flight the outcome is
+    /// ambiguous (its reply cache died with the session), so
+    /// `NetClient` surfaces it as a distinct error instead of silently
+    /// resending — exactly-once holds within a session's idle lifetime.
     SessionExpired,
 }
 

@@ -418,6 +418,86 @@ pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Msg>> {
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad payload: {e:?}")))
 }
 
+/// An incremental frame reader that survives read timeouts.
+///
+/// [`read_msg`] loses any partially-read bytes when the underlying read
+/// times out — acceptable for a client that tears its connection down
+/// and reconnects on timeout, fatal for the server, which uses a short
+/// read timeout as its drain-check cadence: a frame straddling the
+/// timeout would lose its prefix and desync the stream, spuriously
+/// killing the connection on exactly the slow links this layer is built
+/// for. A `FrameReader` keeps the bytes already read across calls: a
+/// timeout (`WouldBlock`/`TimedOut`) still surfaces as the error it is,
+/// but the next call resumes the same frame where it left off.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    #[must_use]
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Whether a partial frame is buffered — a timeout with bytes
+    /// buffered means "peer stalled mid-frame", not "idle connection".
+    #[must_use]
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads one framed message, resuming any partial frame left by an
+    /// earlier timed-out call. Same contract as [`read_msg`] otherwise:
+    /// `Ok(None)` on a clean EOF at a frame boundary, EOF *inside* a
+    /// frame is an error.
+    ///
+    /// # Errors
+    ///
+    /// IO errors pass through (on `WouldBlock`/`TimedOut` the buffered
+    /// prefix is retained for the next call); decode failures surface
+    /// as [`io::ErrorKind::InvalidData`].
+    pub fn read_msg<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Msg>> {
+        loop {
+            if self.buf.len() >= 8 {
+                let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                    as usize;
+                if len > MAX_FRAME {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("implausible frame length {len}"),
+                    ));
+                }
+                if self.buf.len() >= 8 + len {
+                    return match decode_msg(&self.buf) {
+                        Ok((msg, used)) => {
+                            self.buf.drain(..used);
+                            Ok(Some(msg))
+                        }
+                        Err(e) => Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad frame: {e:?}"),
+                        )),
+                    };
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) if self.buf.is_empty() => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +644,77 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    /// A reader that yields at most `chunk` bytes per call and fails
+    /// with a timeout between every two productive reads — the worst
+    /// case of a frame dribbling in across the server's read-timeout
+    /// cadence.
+    struct Stutter<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+        timeout_next: bool,
+    }
+
+    impl Read for Stutter<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            if self.timeout_next && self.pos < self.data.len() {
+                self.timeout_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "read timeout"));
+            }
+            self.timeout_next = true;
+            let n = self.chunk.min(self.data.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_partial_frames_across_timeouts() {
+        let mut bytes = Vec::new();
+        for msg in samples() {
+            write_msg(&mut bytes, &msg).unwrap();
+        }
+        for chunk in [1usize, 3, 7, 64] {
+            let mut r = Stutter {
+                data: &bytes,
+                pos: 0,
+                chunk,
+                timeout_next: false,
+            };
+            let mut reader = FrameReader::new();
+            let mut got = Vec::new();
+            let mut timeouts = 0u32;
+            loop {
+                match reader.read_msg(&mut r) {
+                    Ok(Some(m)) => got.push(m),
+                    Ok(None) => break,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => timeouts += 1,
+                    Err(e) => panic!("chunk {chunk}: {e}"),
+                }
+            }
+            assert_eq!(got, samples(), "chunk size {chunk}");
+            assert!(timeouts > 0, "the stutter must have fired");
+            assert!(!reader.mid_frame(), "no leftover bytes after clean EOF");
+        }
+    }
+
+    #[test]
+    fn frame_reader_clean_eof_vs_eof_mid_frame() {
+        let frame = encode_msg(&Msg::Bye);
+        let mut reader = FrameReader::new();
+        let mut r: &[u8] = &frame;
+        assert_eq!(reader.read_msg(&mut r).unwrap(), Some(Msg::Bye));
+        assert_eq!(reader.read_msg(&mut r).unwrap(), None, "clean EOF");
+        for cut in 1..frame.len() {
+            let mut reader = FrameReader::new();
+            let mut r: &[u8] = &frame[..cut];
+            let err = reader.read_msg(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            assert!(reader.mid_frame(), "the prefix stays buffered");
         }
     }
 

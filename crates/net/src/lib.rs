@@ -43,8 +43,8 @@ pub mod session;
 
 pub use chaos::{ChaosNet, ChaosNetReport};
 pub use client::{ClientConfig, ClientError, ClientStats, NetClient};
-pub use degrade::{DegradedRead, StaleCache};
+pub use degrade::{DegradedRead, StaleCache, DEFAULT_STALE_CACHE_CAP};
 pub use error::ErrorCode;
-pub use frame::{decode_msg, encode_msg, read_msg, write_msg, Msg, ReplyBody};
+pub use frame::{decode_msg, encode_msg, read_msg, write_msg, FrameReader, Msg, ReplyBody};
 pub use server::{DrainReport, NetConfig, NetServer, NetStatus};
-pub use session::{Admission, Handshake, SessionTable};
+pub use session::{Admission, Handshake, SessionTable, REPLY_CACHE_CAP};

@@ -34,7 +34,7 @@
 
 use crate::degrade::StaleCache;
 use crate::error::ErrorCode;
-use crate::frame::{read_msg, write_msg, Msg, ReplyBody};
+use crate::frame::{write_msg, FrameReader, Msg, ReplyBody};
 use crate::session::{Admission, SessionTable};
 use exptime_core::time::Time;
 use exptime_engine::{Database, ExecResult, SharedDatabase};
@@ -68,6 +68,8 @@ pub struct NetConfig {
     pub sweep_every: Duration,
     /// Sweeps a session may stay idle before eviction.
     pub session_idle_sweeps: u32,
+    /// Entry cap for the degraded-mode stale cache (LRU-evicted).
+    pub stale_cache_cap: usize,
 }
 
 impl Default for NetConfig {
@@ -81,6 +83,7 @@ impl Default for NetConfig {
             retry_after_ms: 25,
             sweep_every: Duration::from_secs(5),
             session_idle_sweeps: 24,
+            stale_cache_cap: crate::degrade::DEFAULT_STALE_CACHE_CAP,
         }
     }
 }
@@ -233,7 +236,7 @@ impl NetServer {
             obs,
             cfg: cfg.clone(),
             sessions: Mutex::new(SessionTable::new()),
-            cache: Mutex::new(StaleCache::new()),
+            cache: Mutex::new(StaleCache::with_cap(cfg.stale_cache_cap)),
             draining: AtomicBool::new(false),
             queue_depth: AtomicUsize::new(0),
             degraded: AtomicBool::new(false),
@@ -416,9 +419,13 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Job>
         return;
     }
     let mut token: u64 = 0;
+    // Frames may straddle the short read timeout (it doubles as the
+    // drain-check cadence); the FrameReader keeps the partial prefix
+    // across timeouts so a slow frame resumes instead of desyncing.
+    let mut frames = FrameReader::new();
     let (reply_tx, reply_rx) = mpsc::channel::<Msg>();
     loop {
-        let msg = match read_msg(&mut stream) {
+        let msg = match frames.read_msg(&mut stream) {
             Ok(Some(m)) => m,
             Ok(None) => return, // clean EOF
             Err(e)

@@ -20,6 +20,18 @@
 use crate::frame::ReplyBody;
 use std::collections::{BTreeMap, HashMap};
 
+/// Replies retained per session beyond the `Hello` acknowledgement.
+///
+/// The protocol is strictly sequential within a session — the client
+/// holds at most one unacknowledged statement in flight — so only the
+/// most recent reply can ever be legitimately replayed. The slack above
+/// one absorbs delayed duplicate retransmissions of slightly older
+/// sequence numbers (answered from cache instead of refused). The cap
+/// is enforced on every [`SessionTable::record`] advance: a healthy
+/// long-lived client never re-handshakes, so `hello`-time pruning alone
+/// would let the cache grow with every statement the session executes.
+pub const REPLY_CACHE_CAP: usize = 4;
+
 /// What the session table says about an incoming statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Admission {
@@ -45,7 +57,8 @@ struct Session {
     /// Highest statement sequence number applied under this session.
     applied: u64,
     /// Replies the client may not have processed yet, keyed by seq.
-    /// Pruned by the `last_seq` acknowledgement in `Hello`.
+    /// Pruned by the `last_seq` acknowledgement in `Hello` and capped
+    /// at [`REPLY_CACHE_CAP`] on every `record` advance.
     replies: BTreeMap<u64, ReplyBody>,
     /// Sweeper ticks since the session last saw traffic.
     idle_ticks: u32,
@@ -150,6 +163,9 @@ impl SessionTable {
         assert_eq!(seq, s.applied + 1, "record() out of order");
         s.applied = seq;
         s.replies.insert(seq, body);
+        while s.replies.len() > REPLY_CACHE_CAP {
+            s.replies.pop_first();
+        }
     }
 
     /// One sweeper tick: ages every session, evicting those idle for
@@ -231,6 +247,25 @@ mod tests {
         // replay of it is a client bug and is refused, not re-executed.
         assert_eq!(t.admit(h.token, 3), Admission::Replay(affected(3)));
         assert!(matches!(t.admit(h.token, 2), Admission::Refused(_)));
+    }
+
+    #[test]
+    fn reply_cache_is_bounded_across_a_long_session() {
+        let mut t = SessionTable::new();
+        let h = t.hello(0, 0);
+        for seq in 1..=1_000 {
+            assert_eq!(t.admit(h.token, seq), Admission::Fresh);
+            t.record(h.token, seq, affected(seq));
+            assert!(
+                t.cached_replies(h.token) <= REPLY_CACHE_CAP,
+                "cache exceeded the cap at seq {seq}"
+            );
+        }
+        // The newest reply is always replayable; an ancient delayed
+        // duplicate is refused — but never re-executed.
+        assert_eq!(t.admit(h.token, 1_000), Admission::Replay(affected(1_000)));
+        assert!(matches!(t.admit(h.token, 1), Admission::Refused(_)));
+        assert_eq!(t.fresh, 1_000);
     }
 
     #[test]

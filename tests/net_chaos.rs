@@ -114,6 +114,68 @@ fn hard_partition_heals_to_exactly_once() {
     );
 }
 
+/// A frame dribbling in across the server's read-timeout cadence must
+/// not desync the stream: the reader keeps the partial prefix across
+/// timeouts, so a slow sender on a lossy link resumes mid-frame
+/// instead of having its connection spuriously killed.
+#[test]
+fn slow_frame_straddling_server_read_timeout_survives() {
+    use exptime_net::{encode_msg, FrameReader, Msg};
+    use std::io::Write;
+    use std::time::Duration;
+
+    let mut db = Database::default();
+    db.execute("CREATE TABLE s (k INT)").unwrap();
+    let shared = SharedDatabase::from_database(db);
+    let cfg = NetConfig {
+        read_timeout: Duration::from_millis(50),
+        ..NetConfig::default()
+    };
+    let server = NetServer::serve(&shared, "127.0.0.1:0", cfg).expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+
+    // Hello split mid-header, with a pause well past the read timeout.
+    let hello = encode_msg(&Msg::Hello { token: 0, last_seq: 0 });
+    let (head, tail) = hello.split_at(5);
+    stream.write_all(head).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    stream.write_all(tail).unwrap();
+    let mut frames = FrameReader::new();
+    let msg = frames.read_msg(&mut stream).expect("welcome");
+    let Some(Msg::Welcome { token, .. }) = msg else {
+        panic!("expected Welcome, got {msg:?}");
+    };
+    assert_ne!(token, 0);
+
+    // The connection stays usable: a statement split mid-payload, with
+    // another straddling pause, still executes and answers.
+    let stmt = encode_msg(&Msg::Stmt {
+        seq: 1,
+        deadline_ms: 0,
+        sql: "INSERT INTO s VALUES (1) EXPIRES NEVER".into(),
+    });
+    let (a, b) = stmt.split_at(stmt.len() / 2);
+    stream.write_all(a).unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    stream.write_all(b).unwrap();
+    let reply = frames.read_msg(&mut stream).expect("reply");
+    assert!(
+        matches!(
+            reply,
+            Some(Msg::Reply {
+                seq: 1,
+                body: ReplyBody::Affected(1)
+            })
+        ),
+        "expected Affected(1), got {reply:?}"
+    );
+    drop(server);
+}
+
 /// Drain under live TCP load: clients hammer inserts while the server
 /// is told to drain mid-stream. Afterwards, every acknowledged insert
 /// must be present in the engine — acked writes survive the drain, and

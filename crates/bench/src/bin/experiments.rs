@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run --release -p exptime-bench --bin experiments [--quick] [--check] [id…]`
 //! where `id` ∈ {e1, …, e10, e6chaos, e7wal, e8scope, e9telemetry, e10net,
-//! obs, a1, a2}; omit ids for all.
+//! e11policy, obs, a1, a2}; omit ids for all.
 //! `--quick` shrinks the workloads (used in CI smoke runs); `--check` skips
 //! all file writes (CI runs the experiments for their assertions, not their
 //! artifacts). The `obs` experiment otherwise writes a `BENCH_obs.json`
@@ -14,8 +14,10 @@
 //! expiration-aware), and `e9telemetry` writes `BENCH_telemetry.json`
 //! (sampler overhead and scrape-under-load latency), and `e10net` writes
 //! `BENCH_net.json` (wire-protocol throughput/p99 vs connection count,
-//! shed rate vs offered load, and partition recovery time) to the
-//! working directory.
+//! shed rate vs offered load, and partition recovery time), and
+//! `e11policy` writes `BENCH_policy.json` (TTL policy layer vs
+//! application delete-push: maintenance operations, peaks, and the
+//! policy crash-recovery verdict) to the working directory.
 
 use exptime_bench::experiments as ex;
 use exptime_obs::JsonValue;
@@ -189,6 +191,23 @@ fn main() {
             match std::fs::write("BENCH_net.json", &doc) {
                 Ok(()) => println!("wrote BENCH_net.json ({} bytes)\n", doc.len()),
                 Err(e) => eprintln!("could not write BENCH_net.json: {e}"),
+            }
+        }
+    }
+    if run("e11policy") {
+        // Full scale is the acceptance bar: ≥1M sliding-TTL sessions.
+        let (report, _, json) = ex::e11_policy(100_000 * scale as usize, 73);
+        println!("{}", report.render());
+        let doc = json.render();
+        if check {
+            println!(
+                "--check: BENCH_policy.json not written ({} bytes)\n",
+                doc.len()
+            );
+        } else {
+            match std::fs::write("BENCH_policy.json", &doc) {
+                Ok(()) => println!("wrote BENCH_policy.json ({} bytes)\n", doc.len()),
+                Err(e) => eprintln!("could not write BENCH_policy.json: {e}"),
             }
         }
     }

@@ -106,6 +106,8 @@ Meta commands:
   \\telemetry status
                   telemetry sampler status: cadence, retention, samples
                   taken, and live `_telemetry.*` history row counts
+  \\policy status  per-table TTL policies with live sliding-touch and
+                  clamp counts
   \\wal status     WAL status: log size, group commit, checkpoint cadence,
                   degraded flag, and what recovery did at open
   \\net status     wire-protocol server status: address, connections,
@@ -472,6 +474,32 @@ impl Repl {
                     ),
                 }
             }
+            "\\policy" => {
+                if !(arg.is_empty() || arg == "status") {
+                    return Outcome::Text("usage: \\policy status\n".into());
+                }
+                let statuses = db.policy_status();
+                if statuses.is_empty() {
+                    return Outcome::Text("no tables\n".into());
+                }
+                let width = statuses
+                    .iter()
+                    .map(|s| s.table.len())
+                    .max()
+                    .unwrap_or(5)
+                    .max(5);
+                let mut out = format!(
+                    "{:<width$}  {:>8}  {:>8}  {:>9}  policy\n",
+                    "table", "touches", "clamped", "live_rows"
+                );
+                for s in &statuses {
+                    out.push_str(&format!(
+                        "{:<width$}  {:>8}  {:>8}  {:>9}  {}\n",
+                        s.table, s.sliding_touches, s.clamped, s.live_rows, s.policy
+                    ));
+                }
+                Outcome::Text(out)
+            }
             "\\wal" => {
                 if arg != "status" {
                     return Outcome::Text("usage: \\wal status\n".into());
@@ -818,6 +846,26 @@ mod tests {
         assert!(text(r.feed("\\bogus")).contains("unknown command"));
         assert!(text(r.feed("\\tick nope")).contains("usage"));
         assert_eq!(r.feed("\\quit"), Outcome::Quit);
+    }
+
+    #[test]
+    fn policy_status_command() {
+        let mut r = Repl::new();
+        assert!(text(r.feed("\\policy status")).contains("no tables"));
+        text(r.feed("CREATE TABLE s (sid INT) TTL 30 SLIDING ON ACCESS CLAMP 5..40;"));
+        text(r.feed("CREATE TABLE plain (a INT);"));
+        text(r.feed("INSERT INTO s VALUES (1);"));
+        text(r.feed("\\tick 3"));
+        text(r.feed("SELECT * FROM s;")); // ordinary read slides the row
+        let out = text(r.feed("\\policy status"));
+        assert!(
+            out.contains("TTL 30 SLIDING ON ACCESS CLAMP 5..40"),
+            "{out}"
+        );
+        assert!(out.contains("absolute"), "{out}"); // the policy-less table
+        let row = out.lines().find(|l| l.starts_with("s ")).unwrap();
+        assert!(row.contains(" 1 "), "touch count missing: {row}");
+        assert!(text(r.feed("\\policy bogus")).contains("usage"));
     }
 
     #[test]

@@ -30,7 +30,8 @@ use exptime_obs::{
     OperatorCost, ProfileStats, Profiler, QueryProfile, SloConfig, StalenessMonitor, StormBucket,
     Tracer,
 };
-use exptime_sql::ast::{Expires, Statement};
+use exptime_policy::{Event as PolicyEvent, MaintenanceWindow, Sliding, TouchKind, TtlPolicy};
+use exptime_sql::ast::{Expires, Statement, TtlClause};
 use exptime_sql::{plan_query, plan_table_cond, SchemaProvider, SqlError};
 use exptime_storage::{IndexKind, Table};
 use exptime_wal::{
@@ -201,6 +202,60 @@ struct DbCounters {
     query_ns: Histogram,
     /// Latency of successful inserts, nanoseconds.
     insert_ns: Histogram,
+}
+
+/// Global `policy.*` counters: every table's policy activity summed.
+#[derive(Debug, Clone)]
+struct PolicyCounters {
+    /// Sliding touches that actually re-armed a row (`texp` moved).
+    sliding_touches: Counter,
+    /// Writes/touches whose requested expiration the clamp or maintenance
+    /// window displaced.
+    clamped: Counter,
+}
+
+impl PolicyCounters {
+    fn in_registry(registry: &MetricsRegistry) -> Self {
+        PolicyCounters {
+            sliding_touches: registry.counter("policy.sliding_touches"),
+            clamped: registry.counter("policy.clamped"),
+        }
+    }
+}
+
+/// One table's TTL policy plus its per-table counters.
+#[derive(Debug, Clone)]
+struct TablePolicy {
+    policy: TtlPolicy,
+    /// `policy.<table>.sliding_touches`.
+    sliding_touches: Counter,
+    /// `policy.<table>.clamped`.
+    clamped: Counter,
+}
+
+impl TablePolicy {
+    fn in_registry(registry: &MetricsRegistry, table: &str, policy: TtlPolicy) -> Self {
+        TablePolicy {
+            policy,
+            sliding_touches: registry.counter(&format!("policy.{table}.sliding_touches")),
+            clamped: registry.counter(&format!("policy.{table}.clamped")),
+        }
+    }
+}
+
+/// One row of [`Database::policy_status`] (the CLI's `\policy status`).
+#[derive(Debug, Clone)]
+pub struct PolicyStatus {
+    /// Table name (lowercased catalog key).
+    pub table: String,
+    /// The effective policy (identity for tables without one).
+    pub policy: TtlPolicy,
+    /// Sliding touches that re-armed a row of this table.
+    pub sliding_touches: u64,
+    /// Writes/touches this table's clamp or maintenance window displaced.
+    pub clamped: u64,
+    /// Live rows right now.
+    pub live_rows: u64,
 }
 
 impl DbCounters {
@@ -409,8 +464,12 @@ pub struct Database {
     /// expiration-time updates — never on expirations.
     write_versions: HashMap<String, u64>,
     last_vacuum: Time,
+    /// Per-table TTL policies (keyed like `tables`). Tables without an
+    /// entry run the paper's pure absolute-`texp` semantics.
+    policies: HashMap<String, TablePolicy>,
     obs: Obs,
     counters: DbCounters,
+    policy_counters: PolicyCounters,
     tracer: Tracer,
     monitor: StalenessMonitor,
     /// Always-on statement profiler (scalar totals every statement,
@@ -457,6 +516,7 @@ impl Database {
     pub fn new(config: DbConfig) -> Self {
         let obs = Obs::new();
         let counters = DbCounters::in_registry(obs.registry());
+        let policy_counters = PolicyCounters::in_registry(obs.registry());
         let tracer = Tracer::attached(&obs);
         let monitor = StalenessMonitor::new(&obs, config.slo);
         Database {
@@ -468,8 +528,10 @@ impl Database {
             constraints: HashMap::new(),
             write_versions: HashMap::new(),
             last_vacuum: Time::ZERO,
+            policies: HashMap::new(),
             obs,
             counters,
+            policy_counters,
             tracer,
             monitor,
             profiler: Profiler::default(),
@@ -721,10 +783,18 @@ impl Database {
                         .collect(),
                 })
                 .collect(),
+            // TTL policies checkpoint as `ALTER TABLE … SET TTL …` DDL,
+            // replayed (before the views) once the tables exist; policy
+            // shapes with no SQL spelling are session-scoped by design.
             view_sql: self
-                .views
-                .iter()
-                .filter_map(|(name, entry)| {
+                .tables
+                .keys()
+                .filter_map(|name| {
+                    self.ttl_policy(name)
+                        .filter(|p| !p.is_identity())
+                        .and_then(|p| alter_ttl_sql(name, &p))
+                })
+                .chain(self.views.iter().filter_map(|(name, entry)| {
                     entry.definition().map(|query| {
                         exptime_sql::unparse::statement_to_sql(&Statement::CreateView {
                             name: name.clone(),
@@ -732,7 +802,7 @@ impl Database {
                             query: query.clone(),
                         })
                     })
-                })
+                }))
                 .collect(),
         };
         let session = self
@@ -1251,6 +1321,9 @@ impl Database {
                     .iter()
                     .map(|a| (a.name.clone(), a.ty))
                     .collect(),
+                // Any TTL policy is set after creation and logged as its
+                // own ALTER record (see [`Database::set_ttl_policy`]).
+                ttl: None,
             });
             self.wal_log_ddl(sql)?;
         }
@@ -1279,6 +1352,7 @@ impl Database {
             }
         }
         self.write_versions.remove(&key);
+        self.policies.remove(&key);
         self.tables
             .remove(&key)
             .ok_or_else(|| DbError::Catalog(format!("unknown table `{name}`")))?;
@@ -1320,14 +1394,48 @@ impl Database {
     pub fn insert(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
         self.guard_reserved(table, "INSERT")?;
         let owned = self.wal_stmt_begin()?;
-        let res = self.insert_inner(table, tuple, texp);
+        let res = self.insert_inner(table, tuple, Some(texp));
         self.wal_stmt_end(owned).and(res)
     }
 
-    fn insert_inner(&mut self, table: &str, tuple: Tuple, texp: Time) -> DbResult<()> {
+    /// Inserts a tuple whose expiration is left entirely to the table's
+    /// TTL policy (`now + ttl`, clamped; `∞` without a policy) — the API
+    /// twin of `INSERT … VALUES …` with no `EXPIRES` clause.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::insert`].
+    pub fn insert_default(&mut self, table: &str, tuple: Tuple) -> DbResult<()> {
+        self.guard_reserved(table, "INSERT")?;
+        let owned = self.wal_stmt_begin()?;
+        let res = self.insert_inner(table, tuple, None);
+        self.wal_stmt_end(owned).and(res)
+    }
+
+    /// `requested = None` defers the expiration to the table's policy.
+    fn insert_inner(&mut self, table: &str, tuple: Tuple, requested: Option<Time>) -> DbResult<()> {
         let start = Instant::now();
         let now = self.clock.now();
         let key = table.to_ascii_lowercase();
+        // Policy pass (skipped in system context: WAL replay and dump
+        // restore carry already-effective absolute expirations, and
+        // re-clamping them would corrupt restored state).
+        let tp = (!self.system_ctx)
+            .then(|| self.policies.get(&key))
+            .flatten();
+        let (texp, clamped, modify_slides) = match tp {
+            Some(tp) => {
+                let fx = tp
+                    .policy
+                    .effective_texp(PolicyEvent::Write { requested }, now);
+                (
+                    fx.texp,
+                    fx.clamped,
+                    tp.policy.sliding.slides_on(TouchKind::Modify),
+                )
+            }
+            None => (requested.unwrap_or(Time::INFINITY), false, false),
+        };
         if let Some(cs) = self.constraints.get(&key) {
             for c in cs {
                 c.check(&tuple, texp, now)?;
@@ -1337,6 +1445,11 @@ impl Database {
             .tables
             .get_mut(&key)
             .ok_or_else(|| DbError::Catalog(format!("unknown table `{table}`")))?;
+        // A re-insert of an existing row under a sliding-on-modify policy
+        // is a touch; record whether it actually re-armed (moved `texp`
+        // forward — the keep-max upsert below makes that exactly
+        // `texp > prior`).
+        let slid = modify_slides && t.texp(&tuple).is_some_and(|prior| texp > prior);
         // Clone the row for the log only when a WAL transaction is open;
         // volatile inserts stay allocation-free here.
         let logged = self
@@ -1347,6 +1460,9 @@ impl Database {
         t.insert(tuple, texp, now)?;
         self.counters.inserts.inc();
         self.counters.insert_ns.record_duration(start.elapsed());
+        if clamped || slid {
+            self.note_policy_effect(&key, clamped, slid);
+        }
         self.bump_version(&key);
         if let Some(values) = logged {
             self.wal_log_op(|txn| WalRecord::Insert {
@@ -1357,6 +1473,21 @@ impl Database {
             })?;
         }
         Ok(())
+    }
+
+    /// Bumps the global and per-table `policy.*` counters.
+    fn note_policy_effect(&self, table_key: &str, clamped: bool, slid: bool) {
+        let Some(tp) = self.policies.get(table_key) else {
+            return;
+        };
+        if clamped {
+            self.policy_counters.clamped.inc();
+            tp.clamped.inc();
+        }
+        if slid {
+            self.policy_counters.sliding_touches.inc();
+            tp.sliding_touches.inc();
+        }
     }
 
     fn bump_version(&mut self, table_key: &str) {
@@ -1385,6 +1516,269 @@ impl Database {
     pub fn insert_ttl(&mut self, table: &str, tuple: Tuple, ttl: u64) -> DbResult<()> {
         let texp = self.clock.now() + ttl;
         self.insert(table, tuple, texp)
+    }
+
+    // ------------------------------------------------------------------
+    // TTL policies (DESIGN.md §13)
+    // ------------------------------------------------------------------
+
+    /// Sets `table`'s TTL policy (an identity policy clears it) — the API
+    /// twin of `ALTER TABLE … SET TTL …`.
+    ///
+    /// Durable databases log the change as DDL when the policy has a SQL
+    /// spelling (it needs a default TTL); API-only shapes — maintenance
+    /// windows, clamps without a TTL — are session-scoped, like triggers
+    /// and constraints. Setting a sliding policy under an existing
+    /// materialised view emits a `W102` lint event per dependent view:
+    /// every touch bumps the base's write version and forces a refresh,
+    /// voiding the paper's monotone-`texp` maintenance assumption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Catalog`] for unknown or reserved tables.
+    pub fn set_ttl_policy(&mut self, table: &str, policy: TtlPolicy) -> DbResult<()> {
+        self.guard_reserved(table, "ALTER TABLE")?;
+        let key = table.to_ascii_lowercase();
+        if !self.tables.contains_key(&key) {
+            return Err(DbError::Catalog(format!("unknown table `{table}`")));
+        }
+        if policy.is_identity() {
+            self.policies.remove(&key);
+        } else if let Some(tp) = self.policies.get_mut(&key) {
+            tp.policy = policy;
+        } else {
+            let tp = TablePolicy::in_registry(self.obs.registry(), &key, policy);
+            self.policies.insert(key.clone(), tp);
+        }
+        let at = self.clock.now().finite();
+        self.obs.emit_with(at, || EventKind::PolicyChange {
+            table: key.clone(),
+            policy: policy.to_string(),
+            at: at.unwrap_or(u64::MAX),
+        });
+        if policy.sliding != Sliding::Absolute {
+            let dependents: Vec<String> = self
+                .views
+                .iter()
+                .filter(|(_, e)| matches!(e, ViewEntry::Materialized { .. }))
+                .filter(|(_, e)| {
+                    e.expr()
+                        .base_names()
+                        .iter()
+                        .any(|b| b.eq_ignore_ascii_case(&key))
+                })
+                .map(|(v, _)| v.clone())
+                .collect();
+            for view in &dependents {
+                let d = sliding_matview_diag(&key, view);
+                self.obs.emit_with(at, || EventKind::LintDiagnostic {
+                    code: d.code.to_string(),
+                    severity: d.severity.to_string(),
+                    subject: view.clone(),
+                });
+                self.obs.registry().counter("lint.diagnostics").inc();
+            }
+        }
+        if self.wal.is_some() {
+            let sql = if policy.is_identity() {
+                Some(exptime_sql::unparse::statement_to_sql(
+                    &Statement::AlterTtl {
+                        table: key,
+                        ttl: None,
+                    },
+                ))
+            } else {
+                alter_ttl_sql(&key, &policy)
+            };
+            if let Some(sql) = sql {
+                self.wal_log_ddl(sql)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The table's TTL policy, if one is set.
+    #[must_use]
+    pub fn ttl_policy(&self, table: &str) -> Option<TtlPolicy> {
+        self.policies
+            .get(&table.to_ascii_lowercase())
+            .map(|tp| tp.policy)
+    }
+
+    /// Installs (or, with `None`, lifts) a maintenance window on `table`'s
+    /// policy: expirations that would land inside `[start, end)` are
+    /// deferred to `end`, so the removal storm fires after the window.
+    /// Windows are API-only (no SQL spelling) and session-scoped.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::set_ttl_policy`].
+    pub fn set_maintenance_window(
+        &mut self,
+        table: &str,
+        window: Option<MaintenanceWindow>,
+    ) -> DbResult<()> {
+        let mut policy = self.ttl_policy(table).unwrap_or_default();
+        policy.maintenance = window;
+        self.set_ttl_policy(table, policy)
+    }
+
+    /// One row per table: its effective policy (identity when none is
+    /// set), the live `policy.<table>.*` counter values, and the live row
+    /// count. Backs `SHOW TTL` and the CLI's `\policy status`.
+    #[must_use]
+    pub fn policy_status(&self) -> Vec<PolicyStatus> {
+        let now = self.clock.now();
+        self.tables
+            .iter()
+            .map(|(name, t)| {
+                let tp = self.policies.get(name);
+                PolicyStatus {
+                    table: name.clone(),
+                    policy: tp.map(|tp| tp.policy).unwrap_or_default(),
+                    sliding_touches: tp.map_or(0, |tp| tp.sliding_touches.get()),
+                    clamped: tp.map_or(0, |tp| tp.clamped.get()),
+                    live_rows: t.live_count(now) as u64,
+                }
+            })
+            .collect()
+    }
+
+    fn exec_show_ttl(&self, table: Option<&str>) -> DbResult<ExecResult> {
+        use exptime_core::schema::Attribute;
+        let schema = Schema::new(vec![
+            Attribute::new("table".to_string(), ValueType::Str),
+            Attribute::new("policy".to_string(), ValueType::Str),
+            Attribute::new("sliding_touches".to_string(), ValueType::Int),
+            Attribute::new("clamped".to_string(), ValueType::Int),
+            Attribute::new("live_rows".to_string(), ValueType::Int),
+        ])?;
+        let statuses = match table {
+            Some(t) => {
+                let key = t.to_ascii_lowercase();
+                if !self.tables.contains_key(&key) {
+                    return Err(DbError::Catalog(format!("unknown table `{t}`")));
+                }
+                self.policy_status()
+                    .into_iter()
+                    .filter(|s| s.table == key)
+                    .collect()
+            }
+            None => self.policy_status(),
+        };
+        let as_int = |n: u64| Value::Int(i64::try_from(n).unwrap_or(i64::MAX));
+        let rel = Relation::from_rows(
+            schema,
+            statuses.into_iter().map(|s| {
+                (
+                    Tuple::new(vec![
+                        Value::str(s.table.as_str()),
+                        Value::str(s.policy.to_string().as_str()),
+                        as_int(s.sliding_touches),
+                        as_int(s.clamped),
+                        as_int(s.live_rows),
+                    ]),
+                    Time::INFINITY,
+                )
+            }),
+        )?;
+        Ok(ExecResult::Rows(rel))
+    }
+
+    /// Sliding-on-access pass for a SQL `SELECT`: every base table the
+    /// query names whose policy slides on access gets its read rows
+    /// re-armed (keep-max, `O(log n)` per row through the expiry index).
+    /// Single-table bodies narrow the touch set with the `WHERE`
+    /// predicate; other shapes conservatively touch every live row.
+    /// Touches run in their own WAL statement transaction so they are
+    /// durable — a recovered database does not forget that a session was
+    /// recently seen.
+    fn apply_access_touches(&mut self, query: &exptime_sql::ast::Query) -> DbResult<()> {
+        if self.system_ctx {
+            return Ok(());
+        }
+        let bodies: Vec<&exptime_sql::ast::QueryBody> = std::iter::once(&query.body)
+            .chain(query.compound.iter().map(|(_, b)| b))
+            .collect();
+        // Cheap pre-check: read-only workloads over non-sliding tables
+        // must not open WAL transactions (or pay anything else).
+        let any = bodies.iter().any(|b| {
+            b.from.iter().any(|t| {
+                self.policies
+                    .get(&t.to_ascii_lowercase())
+                    .is_some_and(|tp| tp.policy.sliding.slides_on(TouchKind::Access))
+            })
+        });
+        if !any {
+            return Ok(());
+        }
+        let owned = self.wal_stmt_begin()?;
+        let res = self.apply_access_touches_inner(&bodies);
+        self.wal_stmt_end(owned).and(res)
+    }
+
+    fn apply_access_touches_inner(
+        &mut self,
+        bodies: &[&exptime_sql::ast::QueryBody],
+    ) -> DbResult<()> {
+        let now = self.clock.now();
+        for body in bodies {
+            for table in &body.from {
+                let key = table.to_ascii_lowercase();
+                let Some(tp) = self.policies.get(&key) else {
+                    continue;
+                };
+                if !tp.policy.sliding.slides_on(TouchKind::Access) {
+                    continue;
+                }
+                let policy = tp.policy;
+                if !self.tables.contains_key(&key) {
+                    continue;
+                }
+                // Narrow by WHERE when it plans as a per-tuple predicate
+                // over this one table; degrade to touch-all otherwise.
+                let pred = if body.from.len() == 1 {
+                    body.selection
+                        .as_ref()
+                        .and_then(|c| plan_table_cond(c, table, &DbSchemas(self)).ok())
+                } else {
+                    None
+                };
+                let victims: Vec<(Tuple, Time)> = self.tables[&key]
+                    .scan_at(now)
+                    .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
+                    .map(|(tu, texp)| (tu.clone(), texp))
+                    .collect();
+                let mut touched = 0u64;
+                for (tu, current) in &victims {
+                    let fx = policy.effective_texp(
+                        PolicyEvent::Touch {
+                            kind: TouchKind::Access,
+                            current: *current,
+                        },
+                        now,
+                    );
+                    if !fx.slid {
+                        continue;
+                    }
+                    let t = self.tables.get_mut(&key).expect("checked above");
+                    if t.update_texp(tu, fx.texp, now)? {
+                        touched += 1;
+                        self.note_policy_effect(&key, fx.clamped, true);
+                        self.wal_log_op(|txn| WalRecord::UpdateTexp {
+                            txn,
+                            table: key.clone(),
+                            values: tu.values().to_vec(),
+                            texp: fx.texp,
+                        })?;
+                    }
+                }
+                if touched > 0 {
+                    self.bump_version(&key);
+                }
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1910,6 +2304,18 @@ impl Database {
                 );
             }
         }
+        // W102: the view materialises over a base whose TTL slides — each
+        // touch bumps the base's write version and forces a refresh.
+        for base in view.expr().base_names() {
+            let key = base.to_ascii_lowercase();
+            if self
+                .policies
+                .get(&key)
+                .is_some_and(|tp| tp.policy.sliding != Sliding::Absolute)
+            {
+                diagnostics.push(sliding_matview_diag(&key, name));
+            }
+        }
         let report = exptime_lint::LintReport::new(diagnostics);
         let at = self.clock.now().finite();
         for d in &report.diagnostics {
@@ -2054,6 +2460,10 @@ impl Database {
             now.finite().expect("clock is finite")
         );
         for (name, table) in &self.tables {
+            // TTL policies ride on the CREATE TABLE when expressible in
+            // SQL; API-only shapes (maintenance windows, clamps without a
+            // default TTL) are session-scoped and dumped as comments.
+            let policy = self.ttl_policy(name).unwrap_or_default();
             let stmt = Stmt::CreateTable {
                 name: name.clone(),
                 columns: table
@@ -2062,9 +2472,13 @@ impl Database {
                     .iter()
                     .map(|a| (a.name.clone(), a.ty))
                     .collect(),
+                ttl: clause_of_policy(&policy),
             };
             out.push_str(&statement_to_sql(&stmt));
             out.push_str(";\n");
+            if !policy.is_identity() && clause_of_policy(&policy).is_none() {
+                out.push_str(&format!("-- ttl policy on {name} (API-only): {policy}\n"));
+            }
             // Group live rows by expiration time: one INSERT per group.
             let mut by_texp: BTreeMap<Time, Vec<Vec<Literal>>> = BTreeMap::new();
             for (tuple, texp) in table.scan_at(now) {
@@ -2207,7 +2621,7 @@ impl Database {
         }
         root.attr("stmt", stmt.kind());
         match stmt {
-            Statement::CreateTable { name, columns } => {
+            Statement::CreateTable { name, columns, ttl } => {
                 let schema = Schema::new(
                     columns
                         .into_iter()
@@ -2215,6 +2629,9 @@ impl Database {
                         .collect(),
                 )?;
                 self.create_table(&name, schema)?;
+                if let Some(clause) = ttl {
+                    self.set_ttl_policy(&name, policy_of_clause(&clause))?;
+                }
                 Ok(ExecResult::Ok(format!("created table {name}")))
             }
             Statement::DropTable { name } => {
@@ -2261,6 +2678,15 @@ impl Database {
                 let res = self.exec_update_expiration(&table, expires, predicate.as_ref());
                 self.wal_stmt_end(owned).and(res)
             }
+            Statement::AlterTtl { table, ttl } => {
+                let policy = ttl.map_or_else(TtlPolicy::default, |c| policy_of_clause(&c));
+                self.set_ttl_policy(&table, policy)?;
+                Ok(ExecResult::Ok(format!(
+                    "table {table}: {}",
+                    self.ttl_policy(&table).unwrap_or_default()
+                )))
+            }
+            Statement::ShowTtl { table } => self.exec_show_ttl(table.as_deref()),
             Statement::Select(query) => {
                 let expr = {
                     let _sp = self.tracer.span("plan");
@@ -2268,6 +2694,10 @@ impl Database {
                 };
                 let m = self.query_expr(&expr)?;
                 let rel = apply_presentation(m.rel, &query)?;
+                // Sliding-on-access policies see the read *after* the
+                // result is computed: this query observes the pre-touch
+                // state; only future visibility is extended.
+                self.apply_access_touches(&query)?;
                 Ok(ExecResult::Rows(rel))
             }
         }
@@ -2279,12 +2709,18 @@ impl Database {
         rows: Vec<Vec<exptime_sql::ast::Literal>>,
         expires: Expires,
     ) -> DbResult<ExecResult> {
-        let texp = self.resolve_expires(expires);
+        self.guard_reserved(table, "INSERT")?;
+        // No `EXPIRES` clause (or an explicit `EXPIRES DEFAULT`) defers
+        // the expiration to the table's TTL policy.
+        let requested = match expires {
+            Expires::Default => None,
+            e => Some(self.resolve_expires(e)),
+        };
         let schema = self.table(table)?.schema().clone();
         let mut n = 0;
         for row in rows {
             let tuple = coerce_row(&row, &schema)?;
-            self.insert(table, tuple, texp)?;
+            self.insert_inner(table, tuple, requested)?;
             n += 1;
         }
         Ok(ExecResult::Affected(n))
@@ -2335,28 +2771,62 @@ impl Database {
     ) -> DbResult<ExecResult> {
         self.guard_reserved(table, "UPDATE")?;
         let now = self.clock.now();
-        let texp = self.resolve_expires(expires);
         let pred = match predicate {
             Some(c) => Some(plan_table_cond(c, table, &DbSchemas(self))?),
             None => None,
         };
         let key = table.to_ascii_lowercase();
-        let targets: Vec<Tuple> = self
+        // The policy decides the new `texp` per row: `SET EXPIRES DEFAULT`
+        // is a *modify-touch* (sliding policies re-arm, absolute ones
+        // leave the row alone); an explicit expiration is a write request
+        // the policy may still clamp. System context (restore replay)
+        // bypasses the policy as in [`Database::insert_inner`].
+        let policy = (!self.system_ctx)
+            .then(|| self.policies.get(&key).map(|tp| tp.policy))
+            .flatten()
+            .unwrap_or_default();
+        let requested = match expires {
+            Expires::Default => None,
+            e => Some(self.resolve_expires(e)),
+        };
+        let targets: Vec<(Tuple, Time)> = self
             .table(table)?
             .scan_at(now)
             .filter(|(tu, _)| pred.as_ref().map_or(true, |p| p.eval(tu)))
-            .map(|(tu, _)| tu.clone())
+            .map(|(tu, texp)| (tu.clone(), texp))
             .collect();
         let mut n = 0;
-        for tu in &targets {
+        for (tu, current) in &targets {
+            let fx = match requested {
+                None => policy.effective_texp(
+                    PolicyEvent::Touch {
+                        kind: TouchKind::Modify,
+                        current: *current,
+                    },
+                    now,
+                ),
+                Some(req) => policy.effective_texp(
+                    PolicyEvent::Write {
+                        requested: Some(req),
+                    },
+                    now,
+                ),
+            };
+            if requested.is_none() && fx.texp == *current {
+                // Touch under a non-sliding policy: nothing to re-arm.
+                continue;
+            }
             let t = self.tables.get_mut(&key).expect("resolved above");
-            if t.update_texp(tu, texp, now)? {
+            if t.update_texp(tu, fx.texp, now)? {
                 n += 1;
+                if fx.clamped || fx.slid {
+                    self.note_policy_effect(&key, fx.clamped, fx.slid);
+                }
                 self.wal_log_op(|txn| WalRecord::UpdateTexp {
                     txn,
                     table: key.clone(),
                     values: tu.values().to_vec(),
-                    texp,
+                    texp: fx.texp,
                 })?;
             }
         }
@@ -2371,6 +2841,9 @@ impl Database {
             Expires::Never => Time::INFINITY,
             Expires::At(t) => Time::new(t),
             Expires::In(d) => self.clock.now() + d,
+            // Only reached with no policy in play (callers route Default
+            // through the policy first): "default" means "never".
+            Expires::Default => Time::INFINITY,
         }
     }
 
@@ -2701,6 +3174,66 @@ fn coerce_row(row: &[exptime_sql::ast::Literal], schema: &Schema) -> Result<Tupl
     let tuple = Tuple::new(values);
     schema.check(&tuple).map_err(DbError::Core)?;
     Ok(tuple)
+}
+
+/// The policy a `TTL …` clause declares (clauses cannot express
+/// maintenance windows — those are API-only).
+fn policy_of_clause(clause: &TtlClause) -> TtlPolicy {
+    TtlPolicy {
+        ttl: Some(clause.ttl),
+        sliding: clause.sliding,
+        clamp: clause.clamp,
+        maintenance: None,
+    }
+}
+
+/// The `TTL …` clause spelling a policy, when it has one: a default TTL
+/// is the clause's anchor, so TTL-less shapes (clamp-only policies,
+/// maintenance windows) have no SQL spelling and return `None`.
+fn clause_of_policy(policy: &TtlPolicy) -> Option<TtlClause> {
+    if policy.maintenance.is_some() {
+        return None;
+    }
+    let ttl = policy.ttl.filter(|&d| d > 0)?;
+    Some(TtlClause {
+        ttl,
+        sliding: policy.sliding,
+        clamp: policy.clamp,
+        span: exptime_sql::span::Span::DUMMY,
+    })
+}
+
+/// `ALTER TABLE … SET TTL …` DDL for a non-identity policy with a SQL
+/// spelling; `None` otherwise.
+fn alter_ttl_sql(table: &str, policy: &TtlPolicy) -> Option<String> {
+    let clause = clause_of_policy(policy)?;
+    Some(exptime_sql::unparse::statement_to_sql(
+        &Statement::AlterTtl {
+            table: table.to_string(),
+            ttl: Some(clause),
+        },
+    ))
+}
+
+/// The `W102` diagnostic: a materialised view over a base table whose
+/// TTL slides. Emitted both when the view is created over an already-
+/// sliding base and when `ALTER TABLE … SET TTL … SLIDING` arrives
+/// under an existing view.
+fn sliding_matview_diag(table: &str, view: &str) -> exptime_lint::Diagnostic {
+    exptime_lint::Diagnostic::new(
+        exptime_lint::Code::W102,
+        exptime_lint::Severity::Warning,
+        format!(
+            "materialised view `{view}` reads `{table}`, whose TTL policy slides: \
+             every touch rewrites a base `texp`, so the monotone-expiration \
+             assumption behind Theorems 1–3 no longer holds and each touched \
+             read forces a view refresh"
+        ),
+        exptime_sql::span::Span::DUMMY,
+    )
+    .with_suggestion(format!(
+        "make `{table}`'s TTL absolute, or use a virtual (non-materialised) view"
+    ))
 }
 
 /// Schema provider over the database's tables and views.
@@ -3542,5 +4075,252 @@ mod tests {
             .unwrap();
         assert_eq!(e.rows, 2);
         assert!(e.profile.node_count() >= 3, "join + two bases");
+    }
+
+    // ------------------------------------------------------------------
+    // TTL policies
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn ttl_policy_defaults_and_clamps_on_insert() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE sess (sid INT) TTL 30 CLAMP 10..50")
+            .unwrap();
+        db.tick(100);
+        // No EXPIRES clause: policy default now+30.
+        db.execute("INSERT INTO sess VALUES (1)").unwrap();
+        let tu = tuple![1i64];
+        assert_eq!(db.table("sess").unwrap().texp(&tu), Some(t(130)));
+        // Over the clamp: forced down to now+50.
+        db.execute("INSERT INTO sess VALUES (2) EXPIRES IN 500")
+            .unwrap();
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![2i64]), Some(t(150)));
+        // NEVER is finite-ized by the clamp max.
+        db.execute("INSERT INTO sess VALUES (3) EXPIRES NEVER")
+            .unwrap();
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![3i64]), Some(t(150)));
+        // Under the clamp: raised to now+10.
+        db.execute("INSERT INTO sess VALUES (4) EXPIRES IN 2")
+            .unwrap();
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![4i64]), Some(t(110)));
+        assert_eq!(db.metrics().counter("policy.clamped").get(), 3);
+        assert_eq!(db.metrics().counter("policy.sess.clamped").get(), 3);
+        assert_eq!(db.metrics().counter("policy.sliding_touches").get(), 0);
+    }
+
+    #[test]
+    fn sliding_on_access_reads_rearm_and_show_ttl_reports() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE sess (sid INT) TTL 30 SLIDING ON ACCESS")
+            .unwrap();
+        db.execute("INSERT INTO sess VALUES (1)").unwrap();
+        db.execute("INSERT INTO sess VALUES (2)").unwrap();
+        db.tick(20);
+        // Reading sid=1 re-arms it to 20+30; sid=2 keeps texp=30.
+        db.execute("SELECT * FROM sess WHERE sid = 1").unwrap();
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![1i64]), Some(t(50)));
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![2i64]), Some(t(30)));
+        db.tick(15); // t=35: the untouched session is gone
+        let rows = db.execute("SELECT * FROM sess").unwrap();
+        assert_eq!(rows.rows().unwrap().len(), 1);
+        assert_eq!(db.metrics().counter("policy.sliding_touches").get(), 2);
+        // SHOW TTL: one row per table with the rendered policy + counters.
+        let show = db.execute("SHOW TTL FOR sess").unwrap();
+        let rel = show.rows().unwrap();
+        assert_eq!(rel.len(), 1);
+        let row = rel.iter().next().unwrap().0;
+        assert_eq!(row.values()[0], Value::str("sess"));
+        assert_eq!(row.values()[1], Value::str("TTL 30 SLIDING ON ACCESS"));
+        assert_eq!(row.values()[2], Value::Int(2), "sliding_touches");
+    }
+
+    #[test]
+    fn update_expires_default_is_a_modify_touch() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE sess (sid INT) TTL 30 SLIDING")
+            .unwrap();
+        db.execute("INSERT INTO sess VALUES (1)").unwrap();
+        db.tick(10);
+        // Modify-touch slides texp to 10+30; reads do NOT slide here.
+        db.execute("SELECT * FROM sess").unwrap();
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![1i64]), Some(t(30)));
+        assert!(matches!(
+            db.execute("UPDATE sess SET EXPIRES DEFAULT").unwrap(),
+            ExecResult::Affected(1)
+        ));
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![1i64]), Some(t(40)));
+        // A second touch at the same instant is a no-op (monotone).
+        assert!(matches!(
+            db.execute("UPDATE sess SET EXPIRES DEFAULT").unwrap(),
+            ExecResult::Affected(0)
+        ));
+        // Re-inserting the same row is also a modify touch (keep-max).
+        db.tick(5);
+        db.execute("INSERT INTO sess VALUES (1)").unwrap();
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![1i64]), Some(t(45)));
+        assert_eq!(db.metrics().counter("policy.sliding_touches").get(), 2);
+    }
+
+    #[test]
+    fn alter_ttl_swaps_and_clears_policies() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        assert_eq!(db.ttl_policy("s"), None);
+        db.execute("ALTER TABLE s SET TTL 60 SLIDING ON ACCESS CLAMP 5..400")
+            .unwrap();
+        let p = db.ttl_policy("s").unwrap();
+        assert_eq!(p.ttl, Some(60));
+        assert!(p.sliding.slides_on(TouchKind::Access));
+        db.execute("INSERT INTO s VALUES (1)").unwrap();
+        assert_eq!(db.table("s").unwrap().texp(&tuple![1i64]), Some(t(60)));
+        db.execute("ALTER TABLE s SET TTL NONE").unwrap();
+        assert_eq!(db.ttl_policy("s"), None);
+        // Cleared: inserts are immortal again, rows keep their old texp.
+        db.execute("INSERT INTO s VALUES (2)").unwrap();
+        assert_eq!(
+            db.table("s").unwrap().texp(&tuple![2i64]),
+            Some(Time::INFINITY)
+        );
+        assert_eq!(db.table("s").unwrap().texp(&tuple![1i64]), Some(t(60)));
+        assert!(db
+            .execute("ALTER TABLE nope SET TTL 5")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown table"));
+    }
+
+    #[test]
+    fn sliding_policy_under_matview_warns_w102() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT) TTL 30 SLIDING ON ACCESS")
+            .unwrap();
+        db.execute("CREATE MATERIALIZED VIEW mv AS SELECT k FROM s")
+            .unwrap();
+        let report = db.view_diagnostics("mv").unwrap();
+        assert!(
+            report.codes().contains(&exptime_lint::Code::W102),
+            "{report:?}"
+        );
+        // The other direction: ALTER under an existing matview emits the
+        // W102 event (the stored report predates the policy).
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT)").unwrap();
+        db.execute("CREATE MATERIALIZED VIEW mv AS SELECT k FROM s")
+            .unwrap();
+        let before = db.metrics().counter("lint.diagnostics").get();
+        db.execute("ALTER TABLE s SET TTL 30 SLIDING").unwrap();
+        assert_eq!(db.metrics().counter("lint.diagnostics").get(), before + 1);
+    }
+
+    #[test]
+    fn maintenance_window_defers_expirations_api_only() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT) TTL 10").unwrap();
+        db.set_maintenance_window("s", Some(MaintenanceWindow::new(5, 25)))
+            .unwrap();
+        db.execute("INSERT INTO s VALUES (1)").unwrap(); // now+10 = 10 ∈ [5,25) → 25
+        assert_eq!(db.table("s").unwrap().texp(&tuple![1i64]), Some(t(25)));
+        // Windows have no SQL spelling: the whole policy is dumped as an
+        // API-only comment rather than a clause that would lose the window.
+        let dump = db.dump_sql();
+        assert!(dump.contains("API-only"), "{dump}");
+        assert!(dump.contains("maintenance 5..25"), "{dump}");
+        db.set_maintenance_window("s", None).unwrap();
+        assert_eq!(db.ttl_policy("s").unwrap().maintenance, None);
+    }
+
+    #[test]
+    fn policies_and_sliding_touches_survive_wal_recovery() {
+        use crate::durability::{Durability, MemStore};
+        let config = DbConfig {
+            durability: Durability::Wal {
+                group_commit: 1,
+                checkpoint_every: 0, // pure log replay
+                expiration_aware: true,
+            },
+            ..DbConfig::default()
+        };
+        let disk = MemStore::new();
+        {
+            let mut db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+            db.execute("CREATE TABLE sess (sid INT) TTL 30 SLIDING ON ACCESS")
+                .unwrap();
+            db.execute("INSERT INTO sess VALUES (1)").unwrap();
+            db.execute("INSERT INTO sess VALUES (2)").unwrap();
+            db.tick(20);
+            // The read re-arms sid=1 to t=50 and must be durable.
+            db.execute("SELECT * FROM sess WHERE sid = 1").unwrap();
+        }
+        let mut db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+        assert_eq!(db.now(), t(20));
+        let p = db.ttl_policy("sess").unwrap();
+        assert!(p.sliding.slides_on(TouchKind::Access), "policy recovered");
+        assert_eq!(
+            db.table("sess").unwrap().texp(&tuple![1i64]),
+            Some(t(50)),
+            "durable sliding touch"
+        );
+        db.tick(15); // t=35: untouched session expires, touched one lives
+        let rows = db.execute("SELECT * FROM sess").unwrap();
+        assert_eq!(rows.rows().unwrap().len(), 1);
+        // Replay must not double-apply the policy: recovery is absolute.
+        assert_eq!(db.table("sess").unwrap().texp(&tuple![1i64]), Some(t(65)));
+        // (that read itself slid sid=1 to 35+30 — the policy is live again)
+    }
+
+    #[test]
+    fn policies_survive_checkpoint_and_dump_restore() {
+        use crate::durability::{Durability, MemStore};
+        let config = DbConfig {
+            durability: Durability::wal(),
+            ..DbConfig::default()
+        };
+        let disk = MemStore::new();
+        {
+            let mut db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+            db.execute("CREATE TABLE sess (sid INT) TTL 30 SLIDING CLAMP 5..400")
+                .unwrap();
+            db.execute("INSERT INTO sess VALUES (1)").unwrap();
+            db.checkpoint().unwrap(); // policy must live in the checkpoint
+        }
+        let db = Database::open_with_store(Box::new(disk.clone()), config).unwrap();
+        let p = db.ttl_policy("sess").unwrap();
+        assert_eq!(p.ttl, Some(30));
+        assert_eq!(p.clamp.map(|c| (c.min, c.max)), Some((5, 400)));
+
+        // Dump → restore: policy rides on CREATE TABLE; restored rows keep
+        // their absolute texp (no re-clamping in system context).
+        let mut db = Database::default();
+        db.execute("CREATE TABLE s (k INT) TTL 10 CLAMP 5..20")
+            .unwrap();
+        db.execute("INSERT INTO s VALUES (1) EXPIRES IN 15")
+            .unwrap();
+        db.tick(3);
+        let dump = db.dump_sql();
+        let restored = Database::restore(&dump).unwrap();
+        assert_eq!(restored.ttl_policy("s").unwrap().ttl, Some(10));
+        assert_eq!(
+            restored.table("s").unwrap().texp(&tuple![1i64]),
+            Some(t(15)),
+            "restored texp is absolute, not re-derived"
+        );
+    }
+
+    #[test]
+    fn policy_status_lists_every_table() {
+        let mut db = Database::default();
+        db.execute("CREATE TABLE plain (k INT)").unwrap();
+        db.execute("CREATE TABLE sess (sid INT) TTL 30 SLIDING ON ACCESS")
+            .unwrap();
+        db.execute("INSERT INTO sess VALUES (1)").unwrap();
+        db.tick(5); // a touch at insert time would be a no-op (same target)
+        db.execute("SELECT * FROM sess").unwrap();
+        let st = db.policy_status();
+        assert_eq!(st.len(), 2);
+        let plain = st.iter().find(|s| s.table == "plain").unwrap();
+        assert!(plain.policy.is_identity());
+        let sess = st.iter().find(|s| s.table == "sess").unwrap();
+        assert_eq!(sess.live_rows, 1);
+        assert_eq!(sess.sliding_touches, 1);
     }
 }

@@ -32,13 +32,14 @@ pub mod trigger;
 pub use constraint::{Constraint, ConstraintViolation};
 pub use db::{
     Database, DbConfig, DbError, DbForecast, DbResult, DbStats, ExecResult, Explain,
-    ForecastConfig, Removal,
+    ForecastConfig, PolicyStatus, Removal,
 };
 pub use durability::{CheckpointStats, Durability, RecoveryStats, WalStatus};
 pub use exptime_obs::{
     Health, HealthStatus, HorizonForecast, ProfileStats, Profiler, QueryProfile, SloConfig,
     StormBucket, TraceContext, Tracer, ViewHealth,
 };
+pub use exptime_policy::{Clamp, MaintenanceWindow, Sliding, TouchKind, TtlPolicy};
 pub use shared::{SharedDatabase, TickerHandle};
 pub use telemetry::{
     TelemetryConfig, TelemetryStatus, TELEMETRY_HEALTH, TELEMETRY_METRICS, TELEMETRY_SCHEMA,

@@ -10,6 +10,7 @@
 //! | X003 | Table 1 / Eq. 7–9 | aggregate with no neutral/time-sliced/contributing set |
 //! | X004 | Section 4 (Schrödinger) | validity interval `I∗` collapses |
 //! | W101 | PR 2 SLO monitor | view refresh trigger sooner than SLO window |
+//! | W102 | PR 9 TTL policy | sliding TTL feeding a materialised view |
 
 use exptime_sql::span::Span;
 use std::fmt;
@@ -31,6 +32,11 @@ pub enum Code {
     X004,
     /// View refresh trigger sooner than the SLO window.
     W101,
+    /// A materialised view reads a base table with a sliding TTL policy:
+    /// every touch rewrites `texp`, so the paper's monotone-`texp`
+    /// maintenance assumption no longer holds and each touch forces a
+    /// view refresh.
+    W102,
 }
 
 impl Code {
@@ -43,6 +49,7 @@ impl Code {
             Code::X003 => "X003",
             Code::X004 => "X004",
             Code::W101 => "W101",
+            Code::W102 => "W102",
         }
     }
 }

@@ -117,7 +117,10 @@ impl std::fmt::Display for ClientError {
                 write!(f, "retry budget exhausted after {attempts} attempt(s)")
             }
             ClientError::SessionExpired { message } => {
-                write!(f, "session expired mid-statement (outcome ambiguous): {message}")
+                write!(
+                    f,
+                    "session expired mid-statement (outcome ambiguous): {message}"
+                )
             }
         }
     }

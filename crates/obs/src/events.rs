@@ -207,6 +207,14 @@ pub enum EventKind {
         completed: u64,
         shed: u64,
     },
+    /// A table's TTL policy was set, replaced, or cleared (`CREATE TABLE
+    /// … TTL`, `ALTER TABLE … SET TTL`). `policy` is the rendered policy
+    /// (`"absolute"` when cleared).
+    PolicyChange {
+        table: String,
+        policy: String,
+        at: u64,
+    },
 }
 
 impl EventKind {
@@ -234,6 +242,7 @@ impl EventKind {
             EventKind::NetShed { .. } => "net_shed",
             EventKind::NetDegraded { .. } => "net_degraded",
             EventKind::NetDrain { .. } => "net_drain",
+            EventKind::PolicyChange { .. } => "policy_change",
         }
     }
 }
@@ -423,6 +432,12 @@ impl std::fmt::Display for Event {
                 write!(
                     f,
                     "net_drain       sessions={sessions} completed={completed} shed={shed}"
+                )
+            }
+            EventKind::PolicyChange { table, policy, at } => {
+                write!(
+                    f,
+                    "policy_change   table={table} policy=\"{policy}\" at={at}"
                 )
             }
         }

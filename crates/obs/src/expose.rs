@@ -7,7 +7,11 @@
 //! * `storage.sessions.inserts` → `exptime_storage_inserts{table="sessions"}`
 //! * `view.hot.ttx`             → `exptime_view_ttx{view="hot"}`
 //! * `http./metrics.latency_ns` → `exptime_http_latency_ns{endpoint="/metrics"}`
+//! * `policy.sess.clamped`      → `exptime_policy_clamped{table="sess"}`
 //! * `db.queries`               → `exptime_db_queries`
+//!
+//! (The cross-table totals `policy.sliding_touches`/`policy.clamped`
+//! flatten to the same families with no label.)
 //!
 //! so per-table and per-view series aggregate the way a Prometheus user
 //! expects. Histograms render as cumulative `_bucket{le="…"}` series
@@ -41,9 +45,11 @@ fn promname(name: &str) -> (String, Vec<(String, String)>) {
             .collect()
     };
     match parts.as_slice() {
-        [family @ ("storage" | "view" | "http"), instance, rest @ ..] if !rest.is_empty() => {
+        [family @ ("storage" | "view" | "http" | "policy"), instance, rest @ ..]
+            if !rest.is_empty() =>
+        {
             let label = match *family {
-                "storage" => "table",
+                "storage" | "policy" => "table",
                 "http" => "endpoint",
                 _ => "view",
             };

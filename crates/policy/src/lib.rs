@@ -1,0 +1,588 @@
+//! # exptime-policy — the TTL policy layer
+//!
+//! The paper models one mechanism: every tuple carries an absolute
+//! expiration time `texp`, and visibility at time `t` is the pure
+//! predicate `texp > t`. Production expiration systems layer *policy* on
+//! top of that mechanism — sliding TTLs that re-arm on access or
+//! modification (memcached, broker's `since_last_modification` tag),
+//! min/max TTL clamps and maintenance-window overrides (fty-outage), and
+//! per-table default TTLs (Devisa). This crate models those policies as
+//! data, and computes a tuple's *effective* `texp` as a **pure function
+//! of `(policy, event, now)`** — so every downstream mechanism (expiry
+//! index, vacuum, WAL replay-skipping, forecast, replica staleness)
+//! inherits policy semantics without change: by the time a tuple reaches
+//! storage it is just a `texp` again.
+//!
+//! ## Composition rules (DESIGN.md §13)
+//!
+//! For a write event the effective expiration is computed in three
+//! ordered steps:
+//!
+//! 1. **Default** — a requested expiration of `None` resolves to
+//!    `now + ttl` (or `∞` when the policy has no default TTL).
+//! 2. **Clamp** — the *relative* lifetime `texp − now` is forced into
+//!    `[min, max]`. An `∞` request is finite-ized by a `max` clamp: no
+//!    row may outlive `now + max`. A lifetime that already elapsed
+//!    (`texp ≤ now`) is raised to `now + min` — the fty-outage "min TTL"
+//!    rule.
+//! 3. **Maintenance window** — if the result lands inside the window
+//!    `[start, end)`, it is pushed to `end`: nothing is allowed to
+//!    expire during maintenance, even past the clamp's `max`. The
+//!    window has the last word by design.
+//!
+//! A **touch** (sliding re-arm) computes the write-path target
+//! `steps 1–3 applied to None` and then takes
+//! `max(current, target)` — touches are *monotone*: re-arming never
+//! brings an expiration closer (property-tested in
+//! `tests/prop_policy.rs`). Whether a touch slides at all depends on
+//! the sliding mode: `Absolute` never slides, `OnModify` slides on
+//! writes to an existing row, `OnAccess` slides on reads *and* writes.
+
+#![forbid(unsafe_code)]
+
+use exptime_core::time::Time;
+use std::fmt;
+
+/// When a sliding policy re-arms a row's expiration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sliding {
+    /// Never: `texp` is absolute, exactly the paper's model.
+    #[default]
+    Absolute,
+    /// Re-arm when the row is written again (upsert / expiration update).
+    OnModify,
+    /// Re-arm when the row is read *or* written — the memcached `GET`
+    /// semantics. Implies [`Sliding::OnModify`].
+    OnAccess,
+}
+
+impl Sliding {
+    /// Whether a touch of the given kind re-arms under this mode.
+    #[must_use]
+    pub fn slides_on(self, kind: TouchKind) -> bool {
+        match self {
+            Sliding::Absolute => false,
+            Sliding::OnModify => kind == TouchKind::Modify,
+            Sliding::OnAccess => true,
+        }
+    }
+}
+
+impl fmt::Display for Sliding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sliding::Absolute => write!(f, "absolute"),
+            Sliding::OnModify => write!(f, "sliding on modify"),
+            Sliding::OnAccess => write!(f, "sliding on access"),
+        }
+    }
+}
+
+/// What kind of interaction touched a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TouchKind {
+    /// The row was written again (re-insert / expiration update).
+    Modify,
+    /// The row was read.
+    Access,
+}
+
+/// Bounds on a row's *relative* lifetime at write time: `texp − now` is
+/// forced into `[min, max]` ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Clamp {
+    /// Minimum lifetime in ticks (fty-outage's "min TTL").
+    pub min: u64,
+    /// Maximum lifetime in ticks; also finite-izes `∞` requests.
+    pub max: u64,
+}
+
+impl Clamp {
+    /// A clamp; `min` must not exceed `max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min > max`.
+    #[must_use]
+    pub fn new(min: u64, max: u64) -> Clamp {
+        assert!(min <= max, "clamp min {min} > max {max}");
+        Clamp { min, max }
+    }
+}
+
+/// An absolute time window `[start, end)` during which nothing may
+/// expire: effective expirations landing inside it are pushed to `end`.
+/// Models fty-outage's maintenance-time override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceWindow {
+    /// First instant of the window (inclusive).
+    pub start: u64,
+    /// First instant after the window (exclusive; expirations resume).
+    pub end: u64,
+}
+
+impl MaintenanceWindow {
+    /// A window; `start` must not exceed `end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `start > end`.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> MaintenanceWindow {
+        assert!(start <= end, "maintenance window start {start} > end {end}");
+        MaintenanceWindow { start, end }
+    }
+
+    /// Whether `t` falls inside `[start, end)`.
+    #[must_use]
+    pub fn covers(&self, t: u64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// A per-table TTL policy: default lifetime, sliding mode, clamp, and
+/// maintenance-window override. `TtlPolicy::default()` is the identity
+/// policy — pure absolute `texp`, exactly the paper's semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TtlPolicy {
+    /// Default lifetime in ticks for writes that request no expiration;
+    /// `None` means such writes get `∞` (the pre-policy behaviour).
+    pub ttl: Option<u64>,
+    /// When the policy re-arms existing rows.
+    pub sliding: Sliding,
+    /// Bounds on relative lifetimes at write time.
+    pub clamp: Option<Clamp>,
+    /// Absolute no-expiry window override.
+    pub maintenance: Option<MaintenanceWindow>,
+}
+
+/// A write-path event the policy is consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A row is being written with the given requested expiration;
+    /// `None` means the statement left the expiration to the policy.
+    Write {
+        /// Requested absolute expiration, if any.
+        requested: Option<Time>,
+    },
+    /// An existing row (currently expiring at `current`) was touched.
+    Touch {
+        /// How the row was touched.
+        kind: TouchKind,
+        /// The row's current expiration.
+        current: Time,
+    },
+}
+
+/// The policy's verdict for one event: the effective expiration plus
+/// what the policy did to get there (drives the `policy.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effect {
+    /// Effective absolute expiration.
+    pub texp: Time,
+    /// The clamp changed the requested lifetime (or the maintenance
+    /// window displaced the result).
+    pub clamped: bool,
+    /// A sliding touch re-armed the row (`texp` moved forward).
+    pub slid: bool,
+}
+
+impl TtlPolicy {
+    /// The identity policy (absolute `texp`, no default, no clamp).
+    #[must_use]
+    pub fn absolute() -> TtlPolicy {
+        TtlPolicy::default()
+    }
+
+    /// A policy with a default TTL.
+    #[must_use]
+    pub fn with_ttl(ttl: u64) -> TtlPolicy {
+        TtlPolicy {
+            ttl: Some(ttl),
+            ..TtlPolicy::default()
+        }
+    }
+
+    /// Builder: set the sliding mode.
+    #[must_use]
+    pub fn sliding(mut self, s: Sliding) -> TtlPolicy {
+        self.sliding = s;
+        self
+    }
+
+    /// Builder: set the clamp.
+    #[must_use]
+    pub fn clamped(mut self, min: u64, max: u64) -> TtlPolicy {
+        self.clamp = Some(Clamp::new(min, max));
+        self
+    }
+
+    /// Builder: set the maintenance window.
+    #[must_use]
+    pub fn with_maintenance(mut self, start: u64, end: u64) -> TtlPolicy {
+        self.maintenance = Some(MaintenanceWindow::new(start, end));
+        self
+    }
+
+    /// Whether this policy ever changes anything (an identity policy on
+    /// a table costs one map lookup and nothing else).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        *self == TtlPolicy::default()
+    }
+
+    /// **The** pure function: the effective expiration for `event` at
+    /// `now` under this policy. See the crate docs for the composition
+    /// rules (default → clamp → maintenance; touches are monotone).
+    #[must_use]
+    pub fn effective_texp(&self, event: Event, now: Time) -> Effect {
+        match event {
+            Event::Write { requested } => self.write_target(requested, now),
+            Event::Touch { kind, current } => {
+                if !self.sliding.slides_on(kind) {
+                    return Effect {
+                        texp: current,
+                        clamped: false,
+                        slid: false,
+                    };
+                }
+                let target = self.write_target(None, now);
+                if target.texp > current {
+                    Effect {
+                        texp: target.texp,
+                        clamped: target.clamped,
+                        slid: true,
+                    }
+                } else {
+                    // Monotone: a touch never decreases the expiration.
+                    Effect {
+                        texp: current,
+                        clamped: false,
+                        slid: false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Steps 1–3 for a write: default, clamp, maintenance.
+    fn write_target(&self, requested: Option<Time>, now: Time) -> Effect {
+        // 1. Default.
+        let base = match requested {
+            Some(t) => t,
+            None => match self.ttl {
+                Some(d) => now + d,
+                None => Time::INFINITY,
+            },
+        };
+        // 2. Clamp the relative lifetime. Outside a finite clock the
+        // policy stands down (a clock at ∞ has no "relative").
+        let Some(now_u) = now.finite() else {
+            return Effect {
+                texp: base,
+                clamped: false,
+                slid: false,
+            };
+        };
+        let mut clamped = false;
+        let mut texp = base;
+        if let Some(c) = self.clamp {
+            let rel = match base.finite() {
+                None => u64::MAX, // ∞ request: max clamp finite-izes it
+                Some(t) => t.saturating_sub(now_u),
+            };
+            let bounded = rel.clamp(c.min, c.max);
+            let target = Time::new(now_u.saturating_add(bounded).min(u64::MAX - 1));
+            if target != base {
+                clamped = true;
+                texp = target;
+            }
+        }
+        // 3. Maintenance window has the last word.
+        if let (Some(w), Some(t)) = (self.maintenance, texp.finite()) {
+            if w.covers(t) {
+                texp = Time::new(w.end);
+                clamped = true;
+            }
+        }
+        Effect {
+            texp,
+            clamped,
+            slid: false,
+        }
+    }
+}
+
+/// Renders as the SQL clause body, e.g. `TTL 30 SLIDING ON ACCESS CLAMP
+/// 5..400`, or `absolute` for the identity policy. The maintenance
+/// window (API-only, not part of the SQL surface) is appended in
+/// brackets when set.
+impl fmt::Display for TtlPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_identity() {
+            return write!(f, "absolute");
+        }
+        let mut wrote = false;
+        if let Some(d) = self.ttl {
+            write!(f, "TTL {d}")?;
+            wrote = true;
+        }
+        match self.sliding {
+            Sliding::Absolute => {}
+            Sliding::OnModify => {
+                write!(f, "{}SLIDING ON MODIFY", if wrote { " " } else { "" })?;
+                wrote = true;
+            }
+            Sliding::OnAccess => {
+                write!(f, "{}SLIDING ON ACCESS", if wrote { " " } else { "" })?;
+                wrote = true;
+            }
+        }
+        if let Some(c) = self.clamp {
+            write!(
+                f,
+                "{}CLAMP {}..{}",
+                if wrote { " " } else { "" },
+                c.min,
+                c.max
+            )?;
+            wrote = true;
+        }
+        if let Some(w) = self.maintenance {
+            write!(
+                f,
+                "{}[maintenance {}..{}]",
+                if wrote { " " } else { "" },
+                w.start,
+                w.end
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Time {
+        Time::new(v)
+    }
+
+    #[test]
+    fn identity_policy_is_the_papers_model() {
+        let p = TtlPolicy::absolute();
+        assert!(p.is_identity());
+        for req in [Some(t(5)), Some(Time::INFINITY), None] {
+            let e = p.effective_texp(Event::Write { requested: req }, t(3));
+            assert_eq!(e.texp, req.unwrap_or(Time::INFINITY));
+            assert!(!e.clamped && !e.slid);
+        }
+        // Touches never slide.
+        let e = p.effective_texp(
+            Event::Touch {
+                kind: TouchKind::Access,
+                current: t(9),
+            },
+            t(3),
+        );
+        assert_eq!(e.texp, t(9));
+        assert!(!e.slid);
+    }
+
+    #[test]
+    fn default_ttl_fills_in_omitted_expirations_only() {
+        let p = TtlPolicy::with_ttl(30);
+        let e = p.effective_texp(Event::Write { requested: None }, t(10));
+        assert_eq!(e.texp, t(40));
+        assert!(!e.clamped);
+        // An explicit request wins over the default.
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(t(12)),
+            },
+            t(10),
+        );
+        assert_eq!(e.texp, t(12));
+    }
+
+    #[test]
+    fn clamp_bounds_relative_lifetimes() {
+        let p = TtlPolicy::absolute().clamped(5, 100);
+        let now = t(1000);
+        // Too short → raised to min.
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(t(1002)),
+            },
+            now,
+        );
+        assert_eq!(e.texp, t(1005));
+        assert!(e.clamped);
+        // Already elapsed → also raised to min (fty-outage min-TTL).
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(t(900)),
+            },
+            now,
+        );
+        assert_eq!(e.texp, t(1005));
+        // Too long → cut to max.
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(t(9999)),
+            },
+            now,
+        );
+        assert_eq!(e.texp, t(1100));
+        // ∞ is finite-ized by the max clamp.
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(Time::INFINITY),
+            },
+            now,
+        );
+        assert_eq!(e.texp, t(1100));
+        // In-range requests pass through untouched.
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(t(1050)),
+            },
+            now,
+        );
+        assert_eq!(e.texp, t(1050));
+        assert!(!e.clamped);
+    }
+
+    #[test]
+    fn clamp_is_idempotent() {
+        let p = TtlPolicy::absolute().clamped(5, 100);
+        let now = t(50);
+        for req in [0u64, 3, 5, 42, 100, 5000] {
+            let once = p.effective_texp(
+                Event::Write {
+                    requested: Some(now + req),
+                },
+                now,
+            );
+            let twice = p.effective_texp(
+                Event::Write {
+                    requested: Some(once.texp),
+                },
+                now,
+            );
+            assert_eq!(once.texp, twice.texp, "req {req}");
+            assert!(!twice.clamped, "second application must be a no-op");
+        }
+    }
+
+    #[test]
+    fn maintenance_window_pushes_expirations_past_its_end() {
+        let p = TtlPolicy::with_ttl(10).with_maintenance(105, 120);
+        // Lands inside [105,120) → pushed to 120.
+        let e = p.effective_texp(Event::Write { requested: None }, t(100));
+        assert_eq!(e.texp, t(120));
+        assert!(e.clamped);
+        // Lands at the boundary end → untouched (window is half-open).
+        let e = p.effective_texp(
+            Event::Write {
+                requested: Some(t(120)),
+            },
+            t(100),
+        );
+        assert_eq!(e.texp, t(120));
+        assert!(!e.clamped);
+        // The window overrides even the clamp max (last word).
+        let p = TtlPolicy::with_ttl(10)
+            .clamped(1, 10)
+            .with_maintenance(105, 200);
+        let e = p.effective_texp(Event::Write { requested: None }, t(100));
+        assert_eq!(e.texp, t(200));
+    }
+
+    #[test]
+    fn touches_are_monotone_and_respect_the_mode() {
+        let p = TtlPolicy::with_ttl(30).sliding(Sliding::OnAccess);
+        // Re-arm forward.
+        let e = p.effective_texp(
+            Event::Touch {
+                kind: TouchKind::Access,
+                current: t(40),
+            },
+            t(20),
+        );
+        assert_eq!(e.texp, t(50));
+        assert!(e.slid);
+        // Never backward: current already beyond the target.
+        let e = p.effective_texp(
+            Event::Touch {
+                kind: TouchKind::Access,
+                current: t(90),
+            },
+            t(20),
+        );
+        assert_eq!(e.texp, t(90));
+        assert!(!e.slid);
+        // OnModify ignores access touches but honours modify touches.
+        let p = TtlPolicy::with_ttl(30).sliding(Sliding::OnModify);
+        let e = p.effective_texp(
+            Event::Touch {
+                kind: TouchKind::Access,
+                current: t(40),
+            },
+            t(20),
+        );
+        assert!(!e.slid);
+        let e = p.effective_texp(
+            Event::Touch {
+                kind: TouchKind::Modify,
+                current: t(40),
+            },
+            t(20),
+        );
+        assert!(e.slid);
+        assert_eq!(e.texp, t(50));
+    }
+
+    #[test]
+    fn sliding_touch_applies_the_clamp() {
+        let p = TtlPolicy::with_ttl(500)
+            .sliding(Sliding::OnAccess)
+            .clamped(5, 100);
+        let e = p.effective_texp(
+            Event::Touch {
+                kind: TouchKind::Access,
+                current: t(30),
+            },
+            t(20),
+        );
+        assert_eq!(e.texp, t(120), "target 520 clamped to now+100");
+        assert!(e.slid && e.clamped);
+    }
+
+    #[test]
+    fn display_round_trips_the_clause_shape() {
+        assert_eq!(TtlPolicy::absolute().to_string(), "absolute");
+        assert_eq!(TtlPolicy::with_ttl(30).to_string(), "TTL 30");
+        assert_eq!(
+            TtlPolicy::with_ttl(30)
+                .sliding(Sliding::OnAccess)
+                .clamped(5, 400)
+                .to_string(),
+            "TTL 30 SLIDING ON ACCESS CLAMP 5..400"
+        );
+        assert_eq!(
+            TtlPolicy::with_ttl(7)
+                .sliding(Sliding::OnModify)
+                .with_maintenance(10, 20)
+                .to_string(),
+            "TTL 7 SLIDING ON MODIFY [maintenance 10..20]"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp min")]
+    fn clamp_rejects_inverted_bounds() {
+        let _ = Clamp::new(10, 5);
+    }
+}

@@ -8,6 +8,8 @@ use crate::span::Span;
 use exptime_core::predicate::CmpOp;
 use exptime_core::value::{Value, ValueType};
 
+pub use exptime_policy::{Clamp, Sliding};
+
 /// A literal constant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Literal {
@@ -213,7 +215,10 @@ impl PartialEq for Query {
 /// exposes expiration times to users.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Expires {
-    /// `EXPIRES NEVER` (or omitted): expiration time `∞`.
+    /// `EXPIRES DEFAULT` (or omitted): defer to the table's TTL policy —
+    /// `now + ttl` when one is declared, `∞` otherwise.
+    Default,
+    /// `EXPIRES NEVER`: expiration time `∞` (still subject to clamping).
     Never,
     /// `EXPIRES AT t`: absolute expiration time.
     At(u64),
@@ -221,15 +226,67 @@ pub enum Expires {
     In(u64),
 }
 
+/// The `TTL` clause of `CREATE TABLE` / `ALTER TABLE … SET TTL`:
+/// `TTL <d> [TICKS] [SLIDING [ON ACCESS|MODIFY]] [CLAMP <min>..<max>]`.
+///
+/// Reuses [`exptime_policy`]'s [`Sliding`] and [`Clamp`] types directly so
+/// the engine converts a clause into a `TtlPolicy` without translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TtlClause {
+    /// The default lifetime in ticks (`texp = now + ttl` when a write omits
+    /// its `EXPIRES` clause). Always positive.
+    pub ttl: u64,
+    /// Sliding mode (`SLIDING` = on modify, `SLIDING ON ACCESS` also on
+    /// read; omitted = absolute).
+    pub sliding: Sliding,
+    /// `CLAMP min..max` bounds on relative lifetimes.
+    pub clamp: Option<Clamp>,
+    /// Source span of the whole clause (dummy for API-built ASTs).
+    pub span: Span,
+}
+
+impl TtlClause {
+    /// A plain absolute-TTL clause without a source position.
+    #[must_use]
+    pub fn new(ttl: u64) -> TtlClause {
+        TtlClause {
+            ttl,
+            sliding: Sliding::Absolute,
+            clamp: None,
+            span: Span::DUMMY,
+        }
+    }
+
+    /// Builder: sets the sliding mode.
+    #[must_use]
+    pub fn sliding(mut self, sliding: Sliding) -> TtlClause {
+        self.sliding = sliding;
+        self
+    }
+
+    /// Builder: sets the clamp range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` (see [`Clamp::new`]).
+    #[must_use]
+    pub fn clamp(mut self, min: u64, max: u64) -> TtlClause {
+        self.clamp = Some(Clamp::new(min, max));
+        self
+    }
+}
+
 /// A parsed SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
-    /// `CREATE TABLE name (col type, …)`.
+    /// `CREATE TABLE name (col type, …) [TTL …]`.
     CreateTable {
         /// Table name.
         name: String,
         /// Column definitions.
         columns: Vec<(String, ValueType)>,
+        /// Optional declared TTL policy.
+        ttl: Option<TtlClause>,
     },
     /// `DROP TABLE name`.
     DropTable {
@@ -278,6 +335,19 @@ pub enum Statement {
         /// Optional filter; `None` updates everything.
         predicate: Option<Cond>,
     },
+    /// `ALTER TABLE name SET TTL … | SET TTL NONE` — replaces (or clears)
+    /// the table's declared TTL policy.
+    AlterTtl {
+        /// Target table.
+        table: String,
+        /// The new policy; `None` for `SET TTL NONE` (back to absolute).
+        ttl: Option<TtlClause>,
+    },
+    /// `SHOW TTL [FOR name]` — lists effective policies.
+    ShowTtl {
+        /// Restrict to one table; `None` lists every table.
+        table: Option<String>,
+    },
     /// A query.
     Select(Query),
 }
@@ -295,6 +365,8 @@ impl Statement {
             Statement::Insert { .. } => "insert",
             Statement::Delete { .. } => "delete",
             Statement::UpdateExpiration { .. } => "update_expiration",
+            Statement::AlterTtl { .. } => "alter_ttl",
+            Statement::ShowTtl { .. } => "show_ttl",
             Statement::Select(_) => "select",
         }
     }

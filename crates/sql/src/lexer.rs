@@ -60,6 +60,10 @@ pub fn lex_spanned(input: &str) -> Result<(Vec<Token>, Vec<Span>), SqlError> {
                 tokens.push(Token::Star);
                 i += 1;
             }
+            '.' if bytes.get(i + 1) == Some(&b'.') => {
+                tokens.push(Token::DotDot);
+                i += 2;
+            }
             '.' => {
                 tokens.push(Token::Dot);
                 i += 1;
@@ -307,6 +311,28 @@ mod tests {
         // String literal span includes its quotes.
         let str_idx = ts.iter().position(|t| matches!(t, Token::Str(_))).unwrap();
         assert_eq!(&src[spans[str_idx].start..spans[str_idx].end], "'x''y'");
+    }
+
+    #[test]
+    fn ttl_clause_tokens_and_dotdot() {
+        // `5..400` must lex as Int DotDot Int, not touch the float path.
+        let ts = lex("TTL 30 SLIDING ON ACCESS CLAMP 5..400").unwrap();
+        assert_eq!(
+            ts,
+            vec![
+                Token::Keyword(Keyword::Ttl),
+                Token::Int(30),
+                Token::Keyword(Keyword::Sliding),
+                Token::Keyword(Keyword::On),
+                Token::Keyword(Keyword::Access),
+                Token::Keyword(Keyword::Clamp),
+                Token::Int(5),
+                Token::DotDot,
+                Token::Int(400),
+            ]
+        );
+        // A plain float still lexes as a float.
+        assert_eq!(lex("5.4").unwrap(), vec![Token::Float(5.4)]);
     }
 
     #[test]

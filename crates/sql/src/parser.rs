@@ -3,14 +3,18 @@
 //! Grammar sketch (terminals in caps):
 //!
 //! ```text
-//! statement   := create | drop | insert | delete | update | query
-//! create      := CREATE TABLE ident '(' coldef (',' coldef)* ')'
+//! statement   := create | drop | insert | delete | update | alter | show | query
+//! create      := CREATE TABLE ident '(' coldef (',' coldef)* ')' [ttl]
 //!              | CREATE [MATERIALIZED] VIEW ident AS query
+//! ttl         := TTL int [TICKS] [SLIDING [ON (ACCESS | MODIFY)]]
+//!                [CLAMP int '..' int]
 //! drop        := DROP (TABLE | VIEW) ident
 //! insert      := INSERT INTO ident VALUES row (',' row)* [expires]
-//! expires     := EXPIRES (AT int | IN int [TICKS] | NEVER)
+//! expires     := EXPIRES (AT int | IN int [TICKS] | NEVER | DEFAULT)
 //! delete      := DELETE FROM ident [WHERE cond]
 //! update      := UPDATE ident SET expires [WHERE cond]
+//! alter       := ALTER TABLE ident SET (ttl | TTL NONE)
+//! show        := SHOW TTL [FOR ident]
 //! query       := body ((UNION | EXCEPT | INTERSECT) body)*
 //! body        := SELECT items FROM fromlist [WHERE cond] [GROUP BY cols]
 //! fromlist    := ident ((',' | CROSS JOIN) ident | JOIN ident ON cond)*
@@ -197,6 +201,8 @@ impl Parser {
             Some(Token::Keyword(Keyword::Insert)) => self.insert(),
             Some(Token::Keyword(Keyword::Delete)) => self.delete(),
             Some(Token::Keyword(Keyword::Update)) => self.update(),
+            Some(Token::Keyword(Keyword::Alter)) => self.alter(),
+            Some(Token::Keyword(Keyword::Show)) => self.show(),
             Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.query()?)),
             Some(t) => Err(self.err(format!("unexpected `{t}`"))),
             None => Err(self.err("empty statement")),
@@ -226,7 +232,14 @@ impl Parser {
                 }
             }
             self.expect(&Token::RParen)?;
-            Ok(Statement::CreateTable { name, columns })
+            let ttl = if self.peek() == Some(&Token::Keyword(Keyword::Ttl)) {
+                let start = self.cur_span();
+                self.pos += 1;
+                Some(self.ttl_clause_body(start)?)
+            } else {
+                None
+            };
+            Ok(Statement::CreateTable { name, columns, ttl })
         } else {
             let materialized = self.eat_kw(Keyword::Materialized);
             self.expect_kw(Keyword::View)?;
@@ -284,9 +297,82 @@ impl Parser {
         })
     }
 
+    /// Parses the tail of a `TTL` clause; the caller has already consumed
+    /// the `TTL` keyword whose span is `start`.
+    fn ttl_clause_body(&mut self, start: Span) -> Result<TtlClause, SqlError> {
+        let ttl = self.nonneg_int("TTL")?;
+        if ttl == 0 {
+            return Err(self.err_prev(
+                "TTL requires a positive duration (TTL 0 would expire rows on arrival)",
+            ));
+        }
+        self.eat_kw(Keyword::Ticks);
+        let sliding = if self.eat_kw(Keyword::Sliding) {
+            if self.eat_kw(Keyword::On) {
+                if self.eat_kw(Keyword::Access) {
+                    Sliding::OnAccess
+                } else if self.eat_kw(Keyword::Modify) {
+                    Sliding::OnModify
+                } else {
+                    return Err(self.err("SLIDING ON expects ACCESS or MODIFY"));
+                }
+            } else {
+                Sliding::OnModify
+            }
+        } else {
+            Sliding::Absolute
+        };
+        let clamp = if self.eat_kw(Keyword::Clamp) {
+            let min = self.nonneg_int("CLAMP")?;
+            self.expect(&Token::DotDot)?;
+            let max = self.nonneg_int("CLAMP")?;
+            if min > max {
+                return Err(self.err_prev(format!("CLAMP {min}..{max}: min exceeds max")));
+            }
+            Some(Clamp::new(min, max))
+        } else {
+            None
+        };
+        Ok(TtlClause {
+            ttl,
+            sliding,
+            clamp,
+            span: start.union(self.prev_span()),
+        })
+    }
+
+    fn alter(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Alter)?;
+        self.expect_kw(Keyword::Table)?;
+        let table = self.table_name()?;
+        self.expect_kw(Keyword::Set)?;
+        let start = self.cur_span();
+        self.expect_kw(Keyword::Ttl)?;
+        let ttl = if self.eat_kw(Keyword::None) {
+            None
+        } else {
+            Some(self.ttl_clause_body(start)?)
+        };
+        Ok(Statement::AlterTtl { table, ttl })
+    }
+
+    fn show(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Show)?;
+        self.expect_kw(Keyword::Ttl)?;
+        let table = if self.eat_kw(Keyword::For) {
+            Some(self.table_name()?)
+        } else {
+            None
+        };
+        Ok(Statement::ShowTtl { table })
+    }
+
     fn expires_clause(&mut self) -> Result<Expires, SqlError> {
         if !self.eat_kw(Keyword::Expires) {
-            return Ok(Expires::Never);
+            return Ok(Expires::Default);
+        }
+        if self.eat_kw(Keyword::Default) {
+            return Ok(Expires::Default);
         }
         if self.eat_kw(Keyword::Never) {
             return Ok(Expires::Never);
@@ -629,13 +715,83 @@ mod tests {
     fn create_table() {
         let s =
             parse("CREATE TABLE pol (uid INT, deg INT, name TEXT, hot BOOL, w FLOAT);").unwrap();
-        let Statement::CreateTable { name, columns } = s else {
+        let Statement::CreateTable { name, columns, ttl } = s else {
             panic!("wrong variant")
         };
         assert_eq!(name, "pol");
         assert_eq!(columns.len(), 5);
         assert_eq!(columns[2], ("name".to_string(), ValueType::Str));
         assert_eq!(columns[4], ("w".to_string(), ValueType::Float));
+        assert_eq!(ttl, None);
+    }
+
+    #[test]
+    fn create_table_with_ttl_policy() {
+        let src = "CREATE TABLE sess (sid INT) TTL 30 TICKS SLIDING ON ACCESS CLAMP 5..400";
+        let Statement::CreateTable { ttl: Some(c), .. } = parse(src).unwrap() else {
+            panic!("expected CREATE TABLE with TTL")
+        };
+        assert_eq!(c.ttl, 30);
+        assert_eq!(c.sliding, Sliding::OnAccess);
+        assert_eq!(c.clamp, Some(Clamp::new(5, 400)));
+        // The clause span covers `TTL … 5..400` (to end of statement).
+        assert_eq!(
+            &src[c.span.start..c.span.end],
+            &src[src.find("TTL").unwrap()..]
+        );
+
+        // Bare SLIDING means on-modify; TICKS is optional.
+        let Statement::CreateTable { ttl: Some(c), .. } =
+            parse("CREATE TABLE t (a INT) TTL 10 SLIDING").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.sliding, Sliding::OnModify);
+        assert_eq!(c.clamp, None);
+
+        let Statement::CreateTable { ttl: Some(c), .. } =
+            parse("CREATE TABLE t (a INT) TTL 10 SLIDING ON MODIFY CLAMP 1..20").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(c.sliding, Sliding::OnModify);
+        assert_eq!(c.clamp, Some(Clamp::new(1, 20)));
+
+        // Errors: zero TTL, inverted clamp, bad sliding target.
+        assert!(parse("CREATE TABLE t (a INT) TTL 0").is_err());
+        assert!(parse("CREATE TABLE t (a INT) TTL 10 CLAMP 9..2").is_err());
+        assert!(parse("CREATE TABLE t (a INT) TTL 10 SLIDING ON DELETE").is_err());
+    }
+
+    #[test]
+    fn alter_and_show_ttl() {
+        let s = parse("ALTER TABLE sess SET TTL 60 SLIDING ON ACCESS").unwrap();
+        let Statement::AlterTtl {
+            table,
+            ttl: Some(c),
+        } = s
+        else {
+            panic!()
+        };
+        assert_eq!(table, "sess");
+        assert_eq!(c.ttl, 60);
+        assert_eq!(c.sliding, Sliding::OnAccess);
+
+        let s = parse("ALTER TABLE sess SET TTL NONE").unwrap();
+        assert!(matches!(s, Statement::AlterTtl { ttl: None, .. }));
+
+        assert_eq!(
+            parse("SHOW TTL").unwrap(),
+            Statement::ShowTtl { table: None }
+        );
+        assert_eq!(
+            parse("SHOW TTL FOR sess").unwrap(),
+            Statement::ShowTtl {
+                table: Some("sess".into())
+            }
+        );
+        assert!(parse("ALTER TABLE sess SET a = 1").is_err());
+        assert!(parse("SHOW TABLES").is_err());
     }
 
     #[test]
@@ -670,11 +826,20 @@ mod tests {
                 ..
             }
         ));
+        // Omitted (or explicit DEFAULT) defers to the table's TTL policy.
         let s = parse("INSERT INTO pol VALUES (1, 25)").unwrap();
         assert!(matches!(
             s,
             Statement::Insert {
-                expires: Expires::Never,
+                expires: Expires::Default,
+                ..
+            }
+        ));
+        let s = parse("INSERT INTO pol VALUES (1, 25) EXPIRES DEFAULT").unwrap();
+        assert!(matches!(
+            s,
+            Statement::Insert {
+                expires: Expires::Default,
                 ..
             }
         ));

@@ -27,6 +27,8 @@ pub enum Token {
     Star,
     /// `.`
     Dot,
+    /// `..` (range separator in `CLAMP min..max`)
+    DotDot,
     /// `=`
     Eq,
     /// `<>` or `!=`
@@ -55,6 +57,7 @@ impl fmt::Display for Token {
             Token::Semicolon => write!(f, ";"),
             Token::Star => write!(f, "*"),
             Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
             Token::Eq => write!(f, "="),
             Token::Ne => write!(f, "<>"),
             Token::Lt => write!(f, "<"),
@@ -143,6 +146,16 @@ keywords! {
     Limit => "LIMIT",
     Asc => "ASC",
     Desc => "DESC",
+    Ttl => "TTL",
+    Sliding => "SLIDING",
+    Access => "ACCESS",
+    Modify => "MODIFY",
+    Clamp => "CLAMP",
+    Alter => "ALTER",
+    Show => "SHOW",
+    For => "FOR",
+    None => "NONE",
+    Default => "DEFAULT",
 }
 
 #[cfg(test)]

@@ -154,10 +154,26 @@ pub fn query_to_sql(q: &Query) -> String {
 
 fn expires_to_sql(e: Expires) -> String {
     match e {
+        Expires::Default => " EXPIRES DEFAULT".to_string(),
         Expires::Never => " EXPIRES NEVER".to_string(),
         Expires::At(t) => format!(" EXPIRES AT {t}"),
         Expires::In(d) => format!(" EXPIRES IN {d} TICKS"),
     }
+}
+
+/// Renders a `TTL` clause (no leading space).
+#[must_use]
+pub fn ttl_clause_to_sql(c: &TtlClause) -> String {
+    let mut out = format!("TTL {} TICKS", c.ttl);
+    match c.sliding {
+        Sliding::Absolute => {}
+        Sliding::OnModify => out.push_str(" SLIDING ON MODIFY"),
+        Sliding::OnAccess => out.push_str(" SLIDING ON ACCESS"),
+    }
+    if let Some(cl) = c.clamp {
+        let _ = write!(out, " CLAMP {}..{}", cl.min, cl.max);
+    }
+    out
 }
 
 fn type_to_sql(t: ValueType) -> &'static str {
@@ -173,13 +189,17 @@ fn type_to_sql(t: ValueType) -> &'static str {
 #[must_use]
 pub fn statement_to_sql(s: &Statement) -> String {
     match s {
-        Statement::CreateTable { name, columns } => format!(
-            "CREATE TABLE {name} ({})",
+        Statement::CreateTable { name, columns, ttl } => format!(
+            "CREATE TABLE {name} ({}){}",
             columns
                 .iter()
                 .map(|(n, t)| format!("{n} {}", type_to_sql(*t)))
                 .collect::<Vec<_>>()
-                .join(", ")
+                .join(", "),
+            match ttl {
+                Some(c) => format!(" {}", ttl_clause_to_sql(c)),
+                None => String::new(),
+            }
         ),
         Statement::DropTable { name } => format!("DROP TABLE {name}"),
         Statement::CreateView {
@@ -225,6 +245,14 @@ pub fn statement_to_sql(s: &Statement) -> String {
             }
             out
         }
+        Statement::AlterTtl { table, ttl } => match ttl {
+            Some(c) => format!("ALTER TABLE {table} SET {}", ttl_clause_to_sql(c)),
+            None => format!("ALTER TABLE {table} SET TTL NONE"),
+        },
+        Statement::ShowTtl { table } => match table {
+            Some(t) => format!("SHOW TTL FOR {t}"),
+            None => "SHOW TTL".to_string(),
+        },
         Statement::Select(q) => query_to_sql(q),
     }
 }
@@ -247,6 +275,16 @@ mod tests {
             "INSERT INTO pol VALUES (1, 25), (2, -3) EXPIRES AT 10",
             "INSERT INTO pol VALUES (1.5, 'it''s', TRUE, FALSE) EXPIRES IN 5 TICKS",
             "INSERT INTO pol VALUES (1) EXPIRES NEVER",
+            "INSERT INTO pol VALUES (1) EXPIRES DEFAULT",
+            "INSERT INTO pol VALUES (1)",
+            "CREATE TABLE sess (sid INT) TTL 30 TICKS SLIDING ON ACCESS CLAMP 5..400",
+            "CREATE TABLE sess (sid INT) TTL 30 SLIDING",
+            "CREATE TABLE sess (sid INT) TTL 7 CLAMP 0..9",
+            "ALTER TABLE sess SET TTL 60 TICKS SLIDING ON MODIFY",
+            "ALTER TABLE sess SET TTL NONE",
+            "SHOW TTL",
+            "SHOW TTL FOR sess",
+            "UPDATE pol SET EXPIRES DEFAULT WHERE uid = 1",
             "DELETE FROM pol WHERE uid = 1 AND deg > 2",
             "DELETE FROM pol",
             "UPDATE pol SET EXPIRES AT 99 WHERE uid = 1",

@@ -638,7 +638,14 @@ mod tests {
         db.execute("CREATE MATERIALIZED VIEW hot AS SELECT uid FROM pol WHERE deg = 25")
             .unwrap();
         db.execute("SELECT * FROM hot").unwrap();
+        // A TTL-policy table: the insert is clamped (30 → 10) and the
+        // read after the tick slides it, so both `policy.*` counters are
+        // non-zero in every scrape.
+        db.execute("CREATE TABLE sess (sid INT) TTL 30 SLIDING ON ACCESS CLAMP 1..10")
+            .unwrap();
+        db.execute("INSERT INTO sess VALUES (7)").unwrap();
         db.tick(5);
+        db.execute("SELECT * FROM sess").unwrap();
         db
     }
 
@@ -732,6 +739,21 @@ mod tests {
         assert!(head.contains("text/plain; version=0.0.4"), "{head}");
         let samples = parse_prometheus_text(&body).expect("valid exposition");
         assert!(samples.iter().any(|s| s.name == "exptime_db_inserts"));
+        // The TTL policy layer's counters scrape too: the cross-table
+        // totals (unlabelled) and the per-table series.
+        for family in ["exptime_policy_sliding_touches", "exptime_policy_clamped"] {
+            assert!(
+                samples
+                    .iter()
+                    .any(|s| s.name == family && s.labels.is_empty() && s.value >= 1.0),
+                "{family} total missing or zero:\n{body}"
+            );
+            assert!(
+                samples.iter().any(|s| s.name == family
+                    && s.labels.iter().any(|(k, v)| k == "table" && v == "sess")),
+                "{family}{{table=\"sess\"}} missing:\n{body}"
+            );
+        }
         // The engine's sampler ran (tick 5, sample_every 4), so its own
         // counters are visible in the scrape.
         assert!(

@@ -6,11 +6,12 @@
 //! cargo run --example sensor_monitor
 //! ```
 //!
-//! Each sensor reading is valid for a fixed window. Dashboards want
-//! per-zone minima; the naive rule (Eq. 8) expires a dashboard row as soon
-//! as *any* reading in the zone lapses, while the contributing-set rule
-//! (Table 1) and the exact ν rule (Eq. 9) keep it alive for as long as the
-//! minimum is actually pinned.
+//! Each sensor reading is valid for a fixed window, declared once on the
+//! table (`TTL 20`) — the feed loop attaches no times at all. Dashboards
+//! want per-zone minima; the naive rule (Eq. 8) expires a dashboard row as
+//! soon as *any* reading in the zone lapses, while the contributing-set
+//! rule (Table 1) and the exact ν rule (Eq. 9) keep it alive for as long
+//! as the minimum is actually pinned.
 
 use exptime::core::aggregate::{self, AggFunc, AggMode};
 use exptime::prelude::*;
@@ -19,7 +20,10 @@ const READING_VALIDITY: u64 = 20;
 
 fn main() -> DbResult<()> {
     let mut db = Database::new(DbConfig::default());
-    db.execute("CREATE TABLE readings (zone INT, temp INT)")?;
+    // The validity window is table policy, not per-insert arithmetic.
+    db.execute(&format!(
+        "CREATE TABLE readings (zone INT, temp INT) TTL {READING_VALIDITY}"
+    ))?;
 
     // Zone 1: the minimum (18°) arrives late, so it outlives the others.
     // Zone 2: all readings agree.
@@ -34,7 +38,7 @@ fn main() -> DbResult<()> {
         if Time::new(at) > db.now() {
             db.advance_to(Time::new(at));
         }
-        db.insert_ttl("readings", tuple![zone, temp], READING_VALIDITY)?;
+        db.insert_default("readings", tuple![zone, temp])?;
     }
 
     // Compare the three expiration-time assignments for min(temp) by zone.

@@ -74,6 +74,21 @@ cargo test -q --test prop_net
 # written).
 cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e10net
 
+# Policy property tests: touch monotonicity, clamp idempotence, forecast
+# conservation under sliding workloads.
+cargo test -q --test prop_policy
+
+# Policy crash matrix: the TTL policy catalog and sliding touches must
+# survive WAL crash-recovery with no resurrection of expired rows, over
+# a pinned set of seeded workloads (EXPTIME_POLICY_SEEDS overridable).
+EXPTIME_POLICY_SEEDS="${EXPTIME_POLICY_SEEDS:-1,2,3,4,5,6,7,8}" \
+    cargo test -q --test prop_policy policy_crash_seed_matrix
+
+# E11-policy smoke: zero application maintenance ops vs the delete-push
+# baseline's O(rows), identical liveness at the horizon, durable sliding
+# touches (assertions only; BENCH_policy.json is not written).
+cargo run --release -q -p exptime-bench --bin experiments -- --quick --check e11policy
+
 # Netload drain smoke: an embedded server driven by concurrent client
 # sessions, then drained; netload exits nonzero if any acknowledged
 # write is missing afterwards.

@@ -35,6 +35,7 @@ pub use exptime_core as core;
 pub use exptime_engine as engine;
 pub use exptime_lint as lint;
 pub use exptime_obs as obs;
+pub use exptime_policy as policy;
 pub use exptime_replica as replica;
 pub use exptime_sql as sql;
 pub use exptime_storage as storage;

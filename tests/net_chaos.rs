@@ -139,7 +139,10 @@ fn slow_frame_straddling_server_read_timeout_survives() {
         .unwrap();
 
     // Hello split mid-header, with a pause well past the read timeout.
-    let hello = encode_msg(&Msg::Hello { token: 0, last_seq: 0 });
+    let hello = encode_msg(&Msg::Hello {
+        token: 0,
+        last_seq: 0,
+    });
     let (head, tail) = hello.split_at(5);
     stream.write_all(head).unwrap();
     std::thread::sleep(Duration::from_millis(150));

@@ -170,9 +170,30 @@ fn arb_query() -> impl Strategy<Value = Query> {
 fn arb_expires() -> impl Strategy<Value = Expires> {
     prop_oneof![
         Just(Expires::Never),
+        Just(Expires::Default),
         (0u64..1_000_000).prop_map(Expires::At),
         (0u64..1_000_000).prop_map(Expires::In),
     ]
+}
+
+fn arb_ttl_clause() -> impl Strategy<Value = TtlClause> {
+    (
+        1u64..1_000_000,
+        prop_oneof![
+            Just(Sliding::Absolute),
+            Just(Sliding::OnModify),
+            Just(Sliding::OnAccess),
+        ],
+        // min ≤ max by construction (Clamp::new panics otherwise).
+        proptest::option::of((1u64..1000, 0u64..1000).prop_map(|(min, extra)| (min, min + extra))),
+    )
+        .prop_map(|(ttl, sliding, clamp)| {
+            let mut c = TtlClause::new(ttl).sliding(sliding);
+            if let Some((min, max)) = clamp {
+                c = c.clamp(min, max);
+            }
+            c
+        })
 }
 
 fn arb_statement() -> impl Strategy<Value = Statement> {
@@ -190,13 +211,14 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
                     ]
                 ),
                 1..5
-            )
+            ),
+            proptest::option::of(arb_ttl_clause())
         )
-            .prop_map(|(name, mut columns)| {
+            .prop_map(|(name, mut columns, ttl)| {
                 // Column names must be unique for the engine, but the
                 // parser does not care; dedup anyway for realism.
                 columns.dedup_by(|a, b| a.0 == b.0);
-                Statement::CreateTable { name, columns }
+                Statement::CreateTable { name, columns, ttl }
             }),
         arb_ident().prop_map(|name| Statement::DropTable { name }),
         (arb_ident(), any::<bool>(), arb_query()).prop_map(|(name, materialized, query)| {
@@ -207,6 +229,9 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
             }
         }),
         arb_ident().prop_map(|name| Statement::DropView { name }),
+        (arb_ident(), proptest::option::of(arb_ttl_clause()))
+            .prop_map(|(table, ttl)| Statement::AlterTtl { table, ttl }),
+        proptest::option::of(arb_ident()).prop_map(|table| Statement::ShowTtl { table }),
         (
             arb_ident(),
             proptest::collection::vec(proptest::collection::vec(arb_literal(), 1..4), 1..3),

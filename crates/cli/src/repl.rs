@@ -100,6 +100,11 @@ Meta commands:
   \\lint STMT      static expiration-soundness diagnostics for a SELECT or
                   CREATE [MATERIALIZED] VIEW, with carets into the source
                   (also available as SQL: EXPLAIN LINT SELECT …;)
+  \\audit          whole-database staleness audit: provable worst-case
+                  staleness bound per table, view, and serving endpoint,
+                  plus cross-layer diagnostics (X005, W103-W105); arms
+                  the SLO monitor's `staleness_bound` gauges
+                  (also available as SQL: EXPLAIN AUDIT;)
   \\explain analyze SELECT …
                   run the query and profile it per operator
                   (rows in/out, expired-filtered, elapsed, view decisions)
@@ -433,6 +438,7 @@ impl Repl {
                 }
                 Outcome::Text(out)
             }
+            "\\audit" => Outcome::Text(db.audit().render()),
             "\\lint" => {
                 if arg.is_empty() {
                     return Outcome::Text(
@@ -823,6 +829,31 @@ mod tests {
         assert!(text(r.feed("\\lint")).contains("usage"));
         assert!(text(r.feed("\\lint INSERT INTO pol VALUES (1, 2);")).contains("error"));
         assert!(text(r.feed("\\help")).contains("\\lint"));
+    }
+
+    #[test]
+    fn audit_meta_command_and_explain_audit() {
+        let mut r = Repl::new();
+        assert!(
+            text(r.feed("CREATE TABLE sessions (sid INT, uid INT) TTL 30 SLIDING ON ACCESS;"))
+                .contains("created")
+        );
+        assert!(text(r.feed(
+            "CREATE MATERIALIZED VIEW per_user AS \
+             SELECT uid, COUNT(*) FROM sessions GROUP BY uid;"
+        ))
+        .contains("created"));
+        let out = text(r.feed("\\audit"));
+        assert!(out.contains("exptime audit @ t=0"), "{out}");
+        assert!(
+            out.contains("per_user (materialized): staleness <= 30 ticks (declared)"),
+            "{out}"
+        );
+        // The SQL spelling goes through the ordinary statement path and
+        // renders the same report.
+        let sql = text(r.feed("EXPLAIN AUDIT;"));
+        assert_eq!(sql.trim_end(), out.trim_end());
+        assert!(text(r.feed("\\help")).contains("\\audit"));
     }
 
     #[test]

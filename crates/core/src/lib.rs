@@ -70,7 +70,9 @@ pub mod prelude {
     pub use crate::patch::{PatchEntry, PatchQueue};
     pub use crate::predicate::{CmpOp, Predicate};
     pub use crate::relation::{DuplicatePolicy, Relation};
-    pub use crate::rewrite::{is_root_patchable, rewrite, Monotonicity, Soundness, StaticBound};
+    pub use crate::rewrite::{
+        is_root_patchable, rewrite, Monotonicity, Soundness, StaticBound, TickBound,
+    };
     pub use crate::schema::{Attribute, Schema};
     pub use crate::schrodinger::{QueryAnswer, QueryPolicy};
     pub use crate::time::{Clock, Time};

@@ -464,6 +464,66 @@ impl std::fmt::Display for StaticBound {
     }
 }
 
+/// A *concrete* worst-case staleness bound in ticks — the numeric
+/// companion to the symbolic [`StaticBound`]. The whole-database audit
+/// (`exptime-lint`) instantiates each view's symbolic bound against the
+/// base tables it reaches and folds the results with [`TickBound::join`]:
+/// the worst input dominates, exactly as in the symbolic lattice.
+///
+/// Ordering: `Finite(a) ≤ Finite(b)` iff `a ≤ b`, and `Unbounded` is the
+/// top element (worse than every finite bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TickBound {
+    /// Staleness provably never exceeds this many ticks.
+    Finite(u64),
+    /// No finite bound can be proven.
+    Unbounded,
+}
+
+impl TickBound {
+    /// The bottom element: provably exact at every instant.
+    pub const ZERO: TickBound = TickBound::Finite(0);
+
+    /// Lattice join: the worse (larger) of the two bounds.
+    #[must_use]
+    pub fn join(self, other: TickBound) -> TickBound {
+        self.max(other)
+    }
+
+    /// Adds two bounds; saturates on overflow, `Unbounded` absorbs.
+    #[must_use]
+    pub fn saturating_add(self, other: TickBound) -> TickBound {
+        match (self, other) {
+            (TickBound::Finite(a), TickBound::Finite(b)) => TickBound::Finite(a.saturating_add(b)),
+            _ => TickBound::Unbounded,
+        }
+    }
+
+    /// The finite value, if any.
+    #[must_use]
+    pub fn finite(self) -> Option<u64> {
+        match self {
+            TickBound::Finite(v) => Some(v),
+            TickBound::Unbounded => None,
+        }
+    }
+
+    /// Whether a finite bound was proven.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        matches!(self, TickBound::Finite(_))
+    }
+}
+
+impl std::fmt::Display for TickBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TickBound::Finite(v) => write!(f, "{v}"),
+            TickBound::Unbounded => write!(f, "∞"),
+        }
+    }
+}
+
 /// The static expiration-soundness summary of a plan, computed without
 /// touching data: monotonicity class, symbolic expiration bound, and
 /// whether the Theorem 3 patch queue applies at the root.
@@ -863,6 +923,23 @@ mod tests {
         assert_eq!(s.monotonicity, Monotonicity::NonMonotonicInner);
         assert_eq!(s.bound, StaticBound::NextChangePoint);
         assert_eq!(s.non_monotonic_count, 2);
+    }
+
+    #[test]
+    fn tick_bound_lattice_is_a_join_semilattice_with_unbounded_top() {
+        use TickBound::{Finite, Unbounded};
+        assert_eq!(Finite(3).join(Finite(7)), Finite(7));
+        assert_eq!(Finite(7).join(Finite(3)), Finite(7));
+        assert_eq!(Finite(u64::MAX).join(Unbounded), Unbounded);
+        assert_eq!(Unbounded.join(Unbounded), Unbounded);
+        assert_eq!(TickBound::ZERO.join(Finite(0)), Finite(0));
+        assert_eq!(Finite(u64::MAX).saturating_add(Finite(1)), Finite(u64::MAX));
+        assert_eq!(Finite(2).saturating_add(Finite(3)), Finite(5));
+        assert_eq!(Finite(2).saturating_add(Unbounded), Unbounded);
+        assert_eq!(Finite(9).finite(), Some(9));
+        assert_eq!(Unbounded.finite(), None);
+        assert!(Finite(0).is_finite() && !Unbounded.is_finite());
+        assert_eq!(format!("{} {}", Finite(12), Unbounded), "12 ∞");
     }
 
     #[test]

@@ -21,14 +21,15 @@ use exptime_core::algebra::{eval, eval_profiled, EvalOptions, Expr, Materialized
 use exptime_core::catalog::Catalog;
 use exptime_core::materialize::{MaterializedView, RefreshDecision, RefreshPolicy, RemovalPolicy};
 use exptime_core::relation::Relation;
+use exptime_core::rewrite::TickBound;
 use exptime_core::schema::Schema;
 use exptime_core::time::{Clock, Time};
 use exptime_core::tuple::Tuple;
 use exptime_core::value::{Value, ValueType};
 use exptime_obs::{
     AllocCounter, Counter, EventKind, Health, Histogram, HorizonForecast, MetricsRegistry, Obs,
-    OperatorCost, ProfileStats, Profiler, QueryProfile, SloConfig, StalenessMonitor, StormBucket,
-    Tracer,
+    OperatorCost, ProfileStats, Profiler, QueryProfile, SloConfig, StalenessBound,
+    StalenessMonitor, StormBucket, Tracer,
 };
 use exptime_policy::{Event as PolicyEvent, MaintenanceWindow, Sliding, TouchKind, TtlPolicy};
 use exptime_sql::ast::{Expires, Statement, TtlClause};
@@ -491,6 +492,9 @@ pub struct Database {
     telemetry_last_sample: Option<u64>,
     /// Samples taken by this process (not by replayed history).
     telemetry_samples: u64,
+    /// Stale-serving endpoint registered by an attached net server, so
+    /// [`Database::audit`] can reason about degraded reads.
+    serving: Option<exptime_lint::StaleServing>,
 }
 
 impl fmt::Debug for Database {
@@ -540,6 +544,7 @@ impl Database {
             system_ctx: false,
             telemetry_last_sample: None,
             telemetry_samples: 0,
+            serving: None,
         }
     }
 
@@ -1550,6 +1555,10 @@ impl Database {
             let tp = TablePolicy::in_registry(self.obs.registry(), &key, policy);
             self.policies.insert(key.clone(), tp);
         }
+        // A policy change invalidates every bound the last audit proved
+        // (loosening a clamp can admit longer-lived rows than the proof
+        // covered). Clear them; the next audit re-derives.
+        self.monitor.set_staleness_bounds(std::iter::empty());
         let at = self.clock.now().finite();
         self.obs.emit_with(at, || EventKind::PolicyChange {
             table: key.clone(),
@@ -2335,6 +2344,147 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // Whole-database audit (exptime-audit, DESIGN.md §11.1)
+    // ------------------------------------------------------------------
+
+    /// Registers (or, with `None`, clears) the stale-serving endpoint a
+    /// net server exposes over this database, so [`Database::audit`] can
+    /// reason about degraded reads. Called by `NetServer::serve`.
+    pub fn set_serving_config(&mut self, serving: Option<exptime_lint::StaleServing>) {
+        self.serving = serving;
+    }
+
+    /// The registered stale-serving endpoint, if any.
+    #[must_use]
+    pub fn serving_config(&self) -> Option<&exptime_lint::StaleServing> {
+        self.serving.as_ref()
+    }
+
+    /// The staleness bound the last audit registered for `subject`
+    /// (a view or endpoint name), if still in force.
+    #[must_use]
+    pub fn staleness_bound(&self, subject: &str) -> Option<StalenessBound> {
+        self.monitor.staleness_bound(subject)
+    }
+
+    /// Flattens the engine into the audit's dependency graph: every base
+    /// table with its policy and observed live-row horizon, every view
+    /// with the soundness of its inlined plan, the telemetry retention,
+    /// and the stale-serving endpoint when one is registered.
+    #[must_use]
+    pub fn audit_graph(&self) -> exptime_lint::AuditGraph {
+        let now_t = self.clock.now();
+        let now = now_t.finite().unwrap_or(u64::MAX);
+        let mut graph = exptime_lint::AuditGraph::empty(now);
+        for (name, table) in &self.tables {
+            let mut horizon = TickBound::ZERO;
+            for (_, texp) in table.scan_at(now_t) {
+                horizon = horizon.join(match texp.finite() {
+                    Some(t) => TickBound::Finite(t.saturating_sub(now)),
+                    None => TickBound::Unbounded,
+                });
+            }
+            graph.tables.push(exptime_lint::TableNode {
+                name: name.clone(),
+                policy: self.policies.get(name).map(|tp| tp.policy),
+                live_horizon: horizon,
+            });
+        }
+        for (name, entry) in &self.views {
+            let expr = self.inline_views(entry.expr());
+            let bases = expr
+                .base_names()
+                .iter()
+                .map(|b| b.to_ascii_lowercase())
+                .collect();
+            // Direct FROM-list references (tables *or* views) — the
+            // view-on-view edges. API-built views carry no definition.
+            let deps = entry.definition().map_or_else(Vec::new, |q| {
+                std::iter::once(&q.body)
+                    .chain(q.compound.iter().map(|(_, b)| b))
+                    .flat_map(|b| b.from.iter())
+                    .map(|n| n.to_ascii_lowercase())
+                    .collect()
+            });
+            graph.views.push(exptime_lint::ViewNode {
+                name: name.clone(),
+                materialized: matches!(entry, ViewEntry::Materialized { .. }),
+                soundness: expr.soundness(),
+                bases,
+                deps,
+            });
+        }
+        if self.config.telemetry.enabled {
+            graph.telemetry = Some(exptime_lint::TelemetryNode {
+                retention: self.config.telemetry.retention,
+                sample_every: self.config.telemetry.sample_every,
+            });
+        }
+        graph.serving = self.serving.clone();
+        graph
+    }
+
+    /// Runs the whole-database staleness audit (`EXPLAIN AUDIT` /
+    /// `\audit`): derives a provable worst-case staleness bound per view
+    /// and per serving endpoint by abstract interpretation over the
+    /// dependency graph, and registers every derived bound with the SLO
+    /// monitor as a `view.<subject>.staleness_bound` gauge. Bounds with
+    /// `exact`/`proven` evidence are *enforced*: if a later observation
+    /// ever exceeds one, the monitor emits an `audit_violation` event —
+    /// that means an analyzer bug, clock misuse, or raw
+    /// [`Database::table_mut`] writes that bypassed the policy layer.
+    ///
+    /// Bounds reflect the catalog at audit time; policy changes clear
+    /// them (re-run the audit after `ALTER TABLE … SET TTL`).
+    #[must_use]
+    pub fn audit(&self) -> exptime_lint::AuditReport {
+        let mut sp = self.tracer.span("audit");
+        let at = self.clock.now().finite();
+        if let Some(t) = at {
+            sp.at(t);
+        }
+        let report = exptime_lint::audit(&self.audit_graph());
+        // Views are observed by name; endpoints have no `ttx` gauge to
+        // check, so their bounds are gauges only.
+        let bounds = report
+            .views
+            .iter()
+            .map(|v| {
+                (
+                    v.name.clone(),
+                    StalenessBound {
+                        bound: v.bound.finite(),
+                        enforced: v.basis <= exptime_lint::BoundBasis::Proven,
+                    },
+                )
+            })
+            .chain(report.endpoints.iter().map(|e| {
+                (
+                    e.name.clone(),
+                    StalenessBound {
+                        bound: e.bound.finite(),
+                        enforced: false,
+                    },
+                )
+            }));
+        self.monitor.set_staleness_bounds(bounds);
+        for d in &report.lint.diagnostics {
+            self.obs.emit_with(at, || EventKind::LintDiagnostic {
+                code: d.code.to_string(),
+                severity: d.severity.to_string(),
+                subject: "audit".to_string(),
+            });
+        }
+        if !report.lint.is_clean() {
+            self.obs
+                .registry()
+                .counter("lint.diagnostics")
+                .add(report.lint.diagnostics.len() as u64);
+        }
+        report
+    }
+
+    // ------------------------------------------------------------------
     // EXPLAIN ANALYZE
     // ------------------------------------------------------------------
 
@@ -2687,6 +2837,7 @@ impl Database {
                 )))
             }
             Statement::ShowTtl { table } => self.exec_show_ttl(table.as_deref()),
+            Statement::Audit => Ok(ExecResult::Ok(self.audit().render())),
             Statement::Select(query) => {
                 let expr = {
                     let _sp = self.tracer.span("plan");
@@ -3290,6 +3441,76 @@ mod tests {
         db.tick(2);
         let r = db.execute(q).unwrap();
         assert!(r.rows().unwrap().is_empty(), "Figure 2(g)");
+    }
+
+    #[test]
+    fn audit_registers_bounds_and_policy_changes_clear_them() {
+        let mut db = Database::default();
+        db.execute_script(
+            "CREATE TABLE sessions (sid INT, uid INT) TTL 30 SLIDING ON ACCESS;
+             CREATE TABLE hits (sid INT) TTL 50 CLAMP 5..60;
+             CREATE MATERIALIZED VIEW per_user AS
+                 SELECT uid, COUNT(*) FROM sessions GROUP BY uid;
+             CREATE MATERIALIZED VIEW hit_count AS SELECT COUNT(*) FROM hits;",
+        )
+        .unwrap();
+        let report = db.audit();
+        let per_user = report.view("per_user").unwrap();
+        assert_eq!(per_user.bound, TickBound::Finite(30));
+        assert_eq!(per_user.basis, exptime_lint::BoundBasis::Declared);
+        let hit_count = report.view("hit_count").unwrap();
+        assert_eq!(hit_count.bound, TickBound::Finite(60));
+        assert_eq!(hit_count.basis, exptime_lint::BoundBasis::Proven);
+        // TTL 50 sits inside CLAMP 5..60 — the dead-clamp warning.
+        assert!(report.lint.codes().contains(&exptime_lint::Code::W105));
+
+        // Bounds land in the monitor: gauges for both, enforcement only
+        // for the proven one.
+        assert_eq!(
+            db.metrics().gauge_value("view.per_user.staleness_bound"),
+            30
+        );
+        assert_eq!(
+            db.metrics().gauge_value("view.hit_count.staleness_bound"),
+            60
+        );
+        assert!(!db.staleness_bound("per_user").unwrap().enforced);
+        assert!(db.staleness_bound("hit_count").unwrap().enforced);
+
+        // Normal operation never trips an enforced bound.
+        db.execute("INSERT INTO hits VALUES (1)").unwrap();
+        db.execute("INSERT INTO hits VALUES (2) EXPIRES AT 500")
+            .unwrap(); // clamped to now + 60
+        db.tick(7);
+        let _ = db.execute("SELECT * FROM hit_count").unwrap();
+        db.tick(7);
+        assert_eq!(db.health().audit_violations, 0);
+
+        // A policy change invalidates the proof: bounds clear until the
+        // next audit re-derives them.
+        db.execute("ALTER TABLE hits SET TTL 50").unwrap();
+        assert!(db.staleness_bound("hit_count").is_none());
+        let report = db.audit();
+        // Without the clamp the declared TTL is the evidence again.
+        assert_eq!(
+            report.view("hit_count").unwrap().basis,
+            exptime_lint::BoundBasis::Declared
+        );
+    }
+
+    #[test]
+    fn explain_audit_statement_renders_the_report() {
+        let mut db = figure1_db();
+        let r = db.execute("EXPLAIN AUDIT").unwrap();
+        let ExecResult::Ok(text) = r else {
+            panic!("EXPLAIN AUDIT returns rendered text, got {r:?}")
+        };
+        assert!(text.contains("exptime audit @ t=0"), "{text}");
+        assert!(
+            text.contains("pol: policy none; row lifetime <= 15 ticks (snapshot)"),
+            "{text}"
+        );
+        assert!(text.contains("views:\n  (none)"), "{text}");
     }
 
     #[test]

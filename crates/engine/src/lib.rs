@@ -35,9 +35,10 @@ pub use db::{
     ForecastConfig, PolicyStatus, Removal,
 };
 pub use durability::{CheckpointStats, Durability, RecoveryStats, WalStatus};
+pub use exptime_lint::{audit, AuditGraph, AuditReport, BoundBasis, StaleServing};
 pub use exptime_obs::{
     Health, HealthStatus, HorizonForecast, ProfileStats, Profiler, QueryProfile, SloConfig,
-    StormBucket, TraceContext, Tracer, ViewHealth,
+    StalenessBound, StormBucket, TraceContext, Tracer, ViewHealth,
 };
 pub use exptime_policy::{Clamp, MaintenanceWindow, Sliding, TouchKind, TtlPolicy};
 pub use shared::{SharedDatabase, TickerHandle};

@@ -1,0 +1,623 @@
+//! `exptime-audit`: abstract interpretation over the whole-database
+//! dependency graph (DESIGN.md §11.1).
+//!
+//! The paper's central property — a tuple's visibility at time `t` is the
+//! pure predicate `texp > t` — makes worst-case staleness *statically
+//! derivable*: if every row of base table `R` lives at most `L_R` ticks
+//! past its latest write or touch, then any artifact computed from
+//! `R₁ … R_k` at refresh time `c` carries `texp(e) ≤ c + max_i L_{R_i}`
+//! (the next change point `χ` / the minimum critical `texp` are both
+//! expirations of contributing rows). A consumer that trusts the artifact
+//! while `texp(e) > now` therefore never sees it more than
+//! `B = max_i L_{R_i}` ticks old — and monotonic plans (Theorem 1) have
+//! `texp(e) = ∞` with *zero* staleness at every instant.
+//!
+//! The audit instantiates the symbolic [`StaticBound`] lattice against the
+//! concrete TTL policies: per view it folds [`TickBound`]s over the
+//! reachable bases, per serving endpoint it folds over everything the
+//! endpoint can serve, and it reports where the fold hits `Unbounded`
+//! (X005) or where layers disagree (W103–W105).
+
+use crate::diag::{Code, Diagnostic, LintReport, Severity};
+use crate::graph::{AuditGraph, BoundBasis, StaleServing, TableNode, ViewNode};
+use exptime_core::rewrite::TickBound;
+use exptime_sql::span::Span;
+use std::fmt::Write as _;
+
+/// Per-table audit result: the row-lifetime bound and its evidence class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableAudit {
+    /// Table name.
+    pub name: String,
+    /// Human-readable policy (`"none"` when the table has no policy).
+    pub policy: String,
+    /// Worst-case row lifetime in ticks from the latest write/touch.
+    pub lifetime: TickBound,
+    /// Evidence class of `lifetime`.
+    pub basis: BoundBasis,
+    /// Whether touches re-arm `texp`.
+    pub sliding: bool,
+}
+
+/// Per-view audit result: the provable worst-case staleness bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewAudit {
+    /// View name.
+    pub name: String,
+    /// Materialised vs virtual.
+    pub materialized: bool,
+    /// Static soundness of the inlined plan.
+    pub soundness: exptime_core::rewrite::Soundness,
+    /// Base tables the plan reaches, sorted.
+    pub bases: Vec<String>,
+    /// Worst-case staleness of the artifact, in ticks.
+    pub bound: TickBound,
+    /// Evidence class of `bound` (the weakest contributing basis).
+    pub basis: BoundBasis,
+}
+
+/// Per-endpoint audit result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointAudit {
+    /// Endpoint name, e.g. `"net.degraded_read"` or `"telemetry.history"`.
+    pub name: String,
+    /// Worst-case staleness any answer served here can carry.
+    pub bound: TickBound,
+    /// Evidence class of `bound`.
+    pub basis: BoundBasis,
+    /// Endpoint configuration, for the report.
+    pub detail: String,
+}
+
+/// The whole-database audit: bounds per table, view, and endpoint, plus
+/// the cross-layer diagnostics, rendered deterministically for goldens.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Audit time.
+    pub now: u64,
+    /// Per-table bounds, sorted by name.
+    pub tables: Vec<TableAudit>,
+    /// Per-view bounds, sorted by name.
+    pub views: Vec<ViewAudit>,
+    /// Per-endpoint bounds, sorted by name.
+    pub endpoints: Vec<EndpointAudit>,
+    /// Cross-layer diagnostics (X005, W103–W105), ranked.
+    pub lint: LintReport,
+}
+
+/// Runs the audit over a dependency graph.
+#[must_use]
+pub fn audit(graph: &AuditGraph) -> AuditReport {
+    let mut graph = graph.clone();
+    graph.normalize();
+    let now = graph.now;
+
+    let tables: Vec<TableAudit> = graph
+        .tables
+        .iter()
+        .map(|t| {
+            let (lifetime, basis) = t.row_lifetime(now);
+            TableAudit {
+                name: t.name.clone(),
+                policy: t
+                    .policy
+                    .as_ref()
+                    .map_or_else(|| "none".to_string(), |p| p.to_string()),
+                lifetime,
+                basis,
+                sliding: t.is_sliding(),
+            }
+        })
+        .collect();
+
+    let views: Vec<ViewAudit> = graph.views.iter().map(|v| view_audit(v, &graph)).collect();
+
+    let mut endpoints = Vec::new();
+    if let Some(serving) = &graph.serving {
+        endpoints.push(serving_endpoint(serving, &graph));
+    }
+    if let Some(tel) = &graph.telemetry {
+        endpoints.push(EndpointAudit {
+            name: "telemetry.history".into(),
+            bound: TickBound::Finite(tel.retention),
+            basis: BoundBasis::Declared,
+            detail: format!(
+                "retention={} sample_every={}",
+                tel.retention, tel.sample_every
+            ),
+        });
+    }
+    endpoints.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let lint = LintReport::new(diagnostics(&graph, &views));
+    AuditReport {
+        now,
+        tables,
+        views,
+        endpoints,
+        lint,
+    }
+}
+
+/// Derives one view's staleness bound: `Finite(0)` for the eternal class
+/// (Theorem 1 — the stored artifact is exact at every instant), otherwise
+/// the join of the reachable bases' row lifetimes.
+fn view_audit(v: &ViewNode, graph: &AuditGraph) -> ViewAudit {
+    let (bound, basis) = if v.is_eternal() {
+        (TickBound::ZERO, BoundBasis::Exact)
+    } else {
+        let mut bound = TickBound::ZERO;
+        let mut basis = BoundBasis::Exact;
+        for base in &v.bases {
+            let (b, k) = graph
+                .table(base)
+                // An unknown base (dropped table) proves nothing.
+                .map_or((TickBound::Unbounded, BoundBasis::Snapshot), |t| {
+                    t.row_lifetime(graph.now)
+                });
+            bound = bound.join(b);
+            basis = basis.max(k);
+        }
+        (bound, basis)
+    };
+    ViewAudit {
+        name: v.name.clone(),
+        materialized: v.materialized,
+        soundness: v.soundness,
+        bases: v.bases.clone(),
+        bound,
+        basis,
+    }
+}
+
+/// The degraded-read cache can serve *any* cached SELECT, so its bound
+/// folds over every base table: monotonic answers are exact, and any
+/// non-monotonic answer's staleness is capped by the worst reachable row
+/// lifetime.
+fn serving_endpoint(serving: &StaleServing, graph: &AuditGraph) -> EndpointAudit {
+    let mut bound = TickBound::ZERO;
+    let mut basis = BoundBasis::Exact;
+    for t in &graph.tables {
+        let (b, k) = t.row_lifetime(graph.now);
+        bound = bound.join(b);
+        basis = basis.max(k);
+    }
+    EndpointAudit {
+        name: serving.endpoint.clone(),
+        bound,
+        basis,
+        detail: format!(
+            "degrade_at={} cache_cap={}",
+            serving.degrade_at, serving.cache_cap
+        ),
+    }
+}
+
+/// The cross-layer diagnostics X005 and W103–W105.
+fn diagnostics(graph: &AuditGraph, views: &[ViewAudit]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    if graph.serving.is_some() {
+        for v in views {
+            // X005: a finite-texp view chain with no finite bound, behind
+            // an endpoint that will serve it past expiry.
+            if v.bound == TickBound::Unbounded {
+                let unbounded: Vec<&str> = v
+                    .bases
+                    .iter()
+                    .filter(|b| {
+                        graph.table(b).map_or(true, |t| {
+                            t.row_lifetime(graph.now).0 == TickBound::Unbounded
+                        })
+                    })
+                    .map(String::as_str)
+                    .collect();
+                out.push(
+                    Diagnostic::new(
+                        Code::X005,
+                        Severity::Error,
+                        format!(
+                            "view `{}` is served by a degraded-read endpoint but its \
+                             staleness has no finite bound: base table(s) {} admit \
+                             rows with unbounded lifetime",
+                            v.name,
+                            name_list(&unbounded),
+                        ),
+                        Span::DUMMY,
+                    )
+                    .with_suggestion(
+                        "declare a TTL or CLAMP on the unbounded base table(s), or \
+                         disable degraded reads for this endpoint",
+                    ),
+                );
+            }
+            // W103: sliding TTL feeding a materialised view behind the
+            // degraded-read cache — touches re-arm rows underneath a
+            // cached answer that is already past its computed texp.
+            if v.materialized {
+                let sliding: Vec<&str> = v
+                    .bases
+                    .iter()
+                    .filter(|b| graph.table(b).is_some_and(TableNode::is_sliding))
+                    .map(String::as_str)
+                    .collect();
+                if !sliding.is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            Code::W103,
+                            Severity::Warning,
+                            format!(
+                                "materialised view `{}` reads sliding-TTL base table(s) \
+                                 {} and is reachable from the degraded-read cache: \
+                                 touches extend row lifetimes after the cached answer's \
+                                 texp was computed",
+                                v.name,
+                                name_list(&sliding),
+                            ),
+                            Span::DUMMY,
+                        )
+                        .with_suggestion(
+                            "use an absolute TTL for bases of degraded-served views, or \
+                             accept answers up to the audited bound and alert on the \
+                             `staleness_bound` gauge",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // W104: a scraper visiting every `sample_every` ticks can find that
+    // every sample written since its last visit has already expired.
+    if let Some(tel) = &graph.telemetry {
+        if tel.retention < tel.sample_every {
+            out.push(
+                Diagnostic::new(
+                    Code::W104,
+                    Severity::Warning,
+                    format!(
+                        "telemetry retention ({}) is shorter than the sample interval \
+                         ({}): samples can expire before a scraper ever sees them",
+                        tel.retention, tel.sample_every
+                    ),
+                    Span::DUMMY,
+                )
+                .with_suggestion("raise retention to at least the sample interval"),
+            );
+        }
+    }
+
+    // W105: the clamp is dead configuration for policy-minted lifetimes.
+    for t in &graph.tables {
+        if let Some(p) = &t.policy {
+            if let (Some(ttl), Some(clamp)) = (p.ttl, p.clamp) {
+                if clamp.min <= ttl && ttl <= clamp.max {
+                    out.push(
+                        Diagnostic::new(
+                            Code::W105,
+                            Severity::Warning,
+                            format!(
+                                "table `{}`: clamp {}..{} can never fire on \
+                                 policy-minted lifetimes — the default TTL {} already \
+                                 lies inside it (it still guards explicit EXPIRES \
+                                 writes)",
+                                t.name, clamp.min, clamp.max, ttl
+                            ),
+                            Span::DUMMY,
+                        )
+                        .with_suggestion(
+                            "tighten the clamp so it constrains the default, or drop \
+                             it if only explicit writes need guarding",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn name_list(names: &[&str]) -> String {
+    if names.is_empty() {
+        "(none)".to_string()
+    } else {
+        names
+            .iter()
+            .map(|n| format!("`{n}`"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn bound_str(bound: TickBound, basis: BoundBasis) -> String {
+    match bound {
+        TickBound::Finite(v) => format!("<= {v} ticks ({basis})"),
+        TickBound::Unbounded => format!("unbounded ({basis})"),
+    }
+}
+
+impl AuditReport {
+    /// The worst staleness bound across all serving endpoints (views
+    /// included — the engine itself serves them).
+    #[must_use]
+    pub fn worst_bound(&self) -> TickBound {
+        let views = self.views.iter().map(|v| v.bound);
+        let eps = self.endpoints.iter().map(|e| e.bound);
+        views.chain(eps).fold(TickBound::ZERO, TickBound::join)
+    }
+
+    /// Looks up one view's audit entry.
+    #[must_use]
+    pub fn view(&self, name: &str) -> Option<&ViewAudit> {
+        self.views.iter().find(|v| v.name == name)
+    }
+
+    /// Renders the report as deterministic plain text (the `EXPLAIN
+    /// AUDIT` / `\audit` output, and the CI golden format).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "exptime audit @ t={}", self.now);
+
+        let _ = writeln!(out, "tables:");
+        if self.tables.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for t in &self.tables {
+            let sliding = if t.sliding { ", sliding" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {}: policy {}; row lifetime {}{}",
+                t.name,
+                t.policy,
+                bound_str(t.lifetime, t.basis),
+                sliding
+            );
+        }
+
+        let _ = writeln!(out, "views:");
+        if self.views.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for v in &self.views {
+            let kind = if v.materialized {
+                "materialized"
+            } else {
+                "virtual"
+            };
+            let bases: Vec<&str> = v.bases.iter().map(String::as_str).collect();
+            let _ = writeln!(
+                out,
+                "  {} ({kind}): staleness {}; plan {}, texp bound {}; reads {}",
+                v.name,
+                bound_str(v.bound, v.basis),
+                v.soundness.monotonicity,
+                v.soundness.bound,
+                name_list(&bases),
+            );
+        }
+
+        let _ = writeln!(out, "endpoints:");
+        if self.endpoints.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for e in &self.endpoints {
+            let _ = writeln!(
+                out,
+                "  {}: staleness {} [{}]",
+                e.name,
+                bound_str(e.bound, e.basis),
+                e.detail
+            );
+        }
+
+        let _ = writeln!(out, "diagnostics:");
+        if self.lint.is_clean() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for d in &self.lint.diagnostics {
+            let _ = writeln!(out, "  {d}");
+            if let Some(s) = &d.suggestion {
+                let _ = writeln!(out, "    fix: {s}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "worst-case staleness across views and endpoints: {}",
+            self.worst_bound()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TelemetryNode;
+    use exptime_core::algebra::Expr;
+    use exptime_policy::{Sliding, TtlPolicy};
+
+    fn table(name: &str, policy: Option<TtlPolicy>, horizon: TickBound) -> TableNode {
+        TableNode {
+            name: name.into(),
+            policy,
+            live_horizon: horizon,
+        }
+    }
+
+    fn view(name: &str, expr: &Expr, materialized: bool, bases: &[&str]) -> ViewNode {
+        ViewNode {
+            name: name.into(),
+            materialized,
+            soundness: expr.soundness(),
+            bases: bases.iter().map(|s| (*s).to_string()).collect(),
+            deps: bases.iter().map(|s| (*s).to_string()).collect(),
+        }
+    }
+
+    /// sessions (TTL 30 sliding) and audit (TTL 120), the session_store
+    /// shape: an aggregate view and a difference view.
+    fn session_graph() -> AuditGraph {
+        let mut g = AuditGraph::empty(60);
+        g.tables.push(table(
+            "sessions",
+            Some(TtlPolicy::with_ttl(30).sliding(Sliding::OnAccess)),
+            TickBound::Finite(30),
+        ));
+        g.tables.push(table(
+            "audit",
+            Some(TtlPolicy::with_ttl(120)),
+            TickBound::Finite(100),
+        ));
+        let agg = Expr::base("sessions").aggregate([1], exptime_core::aggregate::AggFunc::Count);
+        g.views.push(view("per_user", &agg, true, &["sessions"]));
+        let diff = Expr::base("audit")
+            .project([0])
+            .difference(Expr::base("sessions").project([0]));
+        g.views
+            .push(view("logged_out", &diff, true, &["audit", "sessions"]));
+        g
+    }
+
+    #[test]
+    fn bounds_fold_the_worst_reachable_base() {
+        let r = audit(&session_graph());
+        assert_eq!(r.view("per_user").unwrap().bound, TickBound::Finite(30));
+        assert_eq!(r.view("per_user").unwrap().basis, BoundBasis::Declared);
+        assert_eq!(r.view("logged_out").unwrap().bound, TickBound::Finite(120));
+        assert_eq!(r.worst_bound(), TickBound::Finite(120));
+    }
+
+    #[test]
+    fn eternal_views_are_exact() {
+        let mut g = session_graph();
+        let mono =
+            Expr::base("audit").select(exptime_core::predicate::Predicate::attr_eq_const(0, 1));
+        g.views.push(view("watchlist", &mono, true, &["audit"]));
+        let r = audit(&g);
+        let w = r.view("watchlist").unwrap();
+        assert_eq!((w.bound, w.basis), (TickBound::ZERO, BoundBasis::Exact));
+    }
+
+    #[test]
+    fn x005_fires_only_behind_a_stale_serving_endpoint() {
+        let mut g = AuditGraph::empty(5);
+        g.tables.push(table("ledger", None, TickBound::Unbounded));
+        let agg = Expr::base("ledger").aggregate([0], exptime_core::aggregate::AggFunc::Count);
+        g.views.push(view("totals", &agg, true, &["ledger"]));
+
+        // Engine-only: unbounded bound, but nothing serves it stale.
+        let quiet = audit(&g);
+        assert_eq!(quiet.view("totals").unwrap().bound, TickBound::Unbounded);
+        assert!(
+            !quiet.lint.codes().contains(&Code::X005),
+            "{:?}",
+            quiet.lint
+        );
+
+        g.serving = Some(StaleServing {
+            endpoint: "net.degraded_read".into(),
+            degrade_at: 8,
+            cache_cap: 64,
+        });
+        let loud = audit(&g);
+        assert!(loud.lint.codes().contains(&Code::X005), "{:?}", loud.lint);
+        assert!(loud.lint.has_errors());
+        let msg = &loud.lint.diagnostics[0].message;
+        assert!(msg.contains("totals") && msg.contains("`ledger`"), "{msg}");
+    }
+
+    #[test]
+    fn w103_needs_sliding_base_plus_serving_endpoint() {
+        let mut g = session_graph();
+        assert!(!audit(&g).lint.codes().contains(&Code::W103));
+        g.serving = Some(StaleServing {
+            endpoint: "net.degraded_read".into(),
+            degrade_at: 8,
+            cache_cap: 64,
+        });
+        let r = audit(&g);
+        let codes = r.lint.codes();
+        // Both materialised views read the sliding `sessions` table.
+        assert_eq!(codes.iter().filter(|c| **c == Code::W103).count(), 2);
+        // Bounds stay finite, so no X005.
+        assert!(!codes.contains(&Code::X005));
+    }
+
+    #[test]
+    fn w104_retention_vs_scrape_interval() {
+        let mut g = AuditGraph::empty(0);
+        g.telemetry = Some(TelemetryNode {
+            retention: 5,
+            sample_every: 10,
+        });
+        let r = audit(&g);
+        assert_eq!(r.lint.codes(), vec![Code::W104]);
+        assert_eq!(r.endpoints.len(), 1);
+        assert_eq!(r.endpoints[0].bound, TickBound::Finite(5));
+
+        g.telemetry = Some(TelemetryNode {
+            retention: 40,
+            sample_every: 10,
+        });
+        assert!(audit(&g).lint.is_clean());
+    }
+
+    #[test]
+    fn w105_dead_clamp() {
+        let mut g = AuditGraph::empty(0);
+        g.tables.push(table(
+            "t",
+            Some(TtlPolicy::with_ttl(30).clamped(5, 400)),
+            TickBound::ZERO,
+        ));
+        let r = audit(&g);
+        assert_eq!(r.lint.codes(), vec![Code::W105]);
+        // The clamp still proves the bound even though it never fires.
+        assert_eq!(r.tables[0].lifetime, TickBound::Finite(400));
+        assert_eq!(r.tables[0].basis, BoundBasis::Proven);
+
+        // A clamp that bites (ttl above max) is not dead.
+        let mut g2 = AuditGraph::empty(0);
+        g2.tables.push(table(
+            "t",
+            Some(TtlPolicy::with_ttl(500).clamped(5, 400)),
+            TickBound::ZERO,
+        ));
+        assert!(audit(&g2).lint.is_clean());
+    }
+
+    #[test]
+    fn render_is_deterministic_and_complete() {
+        let mut g = session_graph();
+        g.telemetry = Some(TelemetryNode {
+            retention: 40,
+            sample_every: 10,
+        });
+        let r = audit(&g);
+        let text = r.render();
+        assert_eq!(text, audit(&g).render(), "two runs render identically");
+        for needle in [
+            "exptime audit @ t=60",
+            "sessions: policy TTL 30 SLIDING ON ACCESS; row lifetime <= 30 ticks (declared), sliding",
+            "per_user (materialized): staleness <= 30 ticks (declared)",
+            "logged_out (materialized): staleness <= 120 ticks (declared)",
+            "telemetry.history: staleness <= 40 ticks (declared) [retention=40 sample_every=10]",
+            "diagnostics:\n  (none)",
+            "worst-case staleness across views and endpoints: 120",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_renders_placeholders() {
+        let r = audit(&AuditGraph::empty(3));
+        let text = r.render();
+        assert!(text.contains("tables:\n  (none)"), "{text}");
+        assert!(text.contains("views:\n  (none)"), "{text}");
+        assert!(text.contains("endpoints:\n  (none)"), "{text}");
+        assert_eq!(r.worst_bound(), TickBound::ZERO);
+    }
+}

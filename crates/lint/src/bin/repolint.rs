@@ -1,5 +1,5 @@
 //! Repo-invariant lint gate: walks the workspace sources and enforces the
-//! `R001`–`R003` rules. Exits non-zero on any violation, so `scripts/ci.sh`
+//! `R001`–`R004` rules. Exits non-zero on any violation, so `scripts/ci.sh`
 //! can use it directly.
 
 #![forbid(unsafe_code)]
@@ -16,7 +16,10 @@ fn main() -> ExitCode {
     );
     match exptime_lint::check_repo(&root) {
         Ok(violations) if violations.is_empty() => {
-            println!("repolint: ok (R001 wall-clock, R002 durability unwrap, R003 forbid-unsafe)");
+            println!(
+                "repolint: ok (R001 wall-clock, R002 durability unwrap, \
+                 R003 forbid-unsafe, R004 thread-sleep)"
+            );
             ExitCode::SUCCESS
         }
         Ok(violations) => {

@@ -11,6 +11,10 @@
 //! | X004 | Section 4 (Schrödinger) | validity interval `I∗` collapses |
 //! | W101 | PR 2 SLO monitor | view refresh trigger sooner than SLO window |
 //! | W102 | PR 9 TTL policy | sliding TTL feeding a materialised view |
+//! | X005 | whole-db audit | unbounded staleness through a view chain at a stale-serving endpoint |
+//! | W103 | whole-db audit | sliding-TTL base feeding a degraded-read cache |
+//! | W104 | whole-db audit | telemetry retention shorter than the scrape interval |
+//! | W105 | whole-db audit | policy clamp that can never fire |
 
 use exptime_sql::span::Span;
 use std::fmt;
@@ -37,6 +41,25 @@ pub enum Code {
     /// maintenance assumption no longer holds and each touch forces a
     /// view refresh.
     W102,
+    /// Whole-database audit: a stale-serving endpoint (degraded-read
+    /// cache) can serve a view chain whose worst-case staleness has no
+    /// finite bound — no TTL policy, clamp, or live-row horizon caps the
+    /// lifetime of any reachable base row.
+    X005,
+    /// Whole-database audit: a base table with a sliding TTL feeds a view
+    /// served by a degraded-read cache. Touches silently extend row
+    /// lifetimes, so a cached answer can keep looking "fresh enough"
+    /// while the rows it summarises have been re-armed past it.
+    W103,
+    /// Whole-database audit: telemetry retention is shorter than the
+    /// scrape interval, so a scraper can find an empty window between
+    /// two visits — samples expire before they are ever read.
+    W104,
+    /// Whole-database audit: a TTL policy's clamp can never fire — the
+    /// default TTL already lies inside `[min, max]`, so for policy-minted
+    /// lifetimes the clamp is dead configuration (it still guards
+    /// explicit `EXPIRES` writes).
+    W105,
 }
 
 impl Code {
@@ -50,6 +73,10 @@ impl Code {
             Code::X004 => "X004",
             Code::W101 => "W101",
             Code::W102 => "W102",
+            Code::X005 => "X005",
+            Code::W103 => "W103",
+            Code::W104 => "W104",
+            Code::W105 => "W105",
         }
     }
 }

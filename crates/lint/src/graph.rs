@@ -1,0 +1,330 @@
+//! The whole-database dependency graph the audit walks.
+//!
+//! `exptime-audit` (DESIGN.md §11.1) is a *database-wide* static
+//! analysis: instead of one statement at a time, it sees every layer that
+//! can hold or serve derived data —
+//!
+//! ```text
+//! base tables (TTL policies)
+//!     └─▶ materialised views ──▶ view-on-view chains
+//!              └─▶ stale-serving endpoints (net degraded-read cache)
+//! _telemetry.* retention ──▶ scrape endpoints
+//! ```
+//!
+//! The engine flattens itself into an [`AuditGraph`] (a plain value, no
+//! back-references), and [`crate::audit::audit`] runs the abstract
+//! interpretation over it. Keeping the graph a dumb value means the
+//! analyzer needs no access to live engine state and every audit is
+//! trivially reproducible from a snapshot.
+
+use exptime_core::rewrite::{Soundness, StaticBound, TickBound};
+use exptime_policy::{Sliding, TtlPolicy};
+
+/// Where a table's row-lifetime bound (and hence a view's staleness
+/// bound) comes from, ordered from strongest to weakest evidence.
+///
+/// Only `Exact` and `Proven` bounds are *enforced* at runtime by the SLO
+/// monitor (a breach means an analyzer bug or clock misuse); `Declared`
+/// and `Snapshot` bounds are gauged but advisory, because an explicit
+/// `EXPIRES` write or a future insert can legitimately exceed them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundBasis {
+    /// Theorem 1: the plan is monotonic, the materialisation is valid at
+    /// every instant — staleness is identically zero.
+    Exact,
+    /// A clamp forces *every* write — policy-minted or explicit — into a
+    /// finite lifetime, so the bound holds for all reachable states.
+    Proven,
+    /// A declared default TTL bounds policy-minted lifetimes, but an
+    /// explicit `EXPIRES AT`/`IN` write may exceed it.
+    Declared,
+    /// Observed from the rows live at audit time; says nothing about
+    /// future writes on a policy-free table.
+    Snapshot,
+}
+
+impl std::fmt::Display for BoundBasis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundBasis::Exact => write!(f, "exact"),
+            BoundBasis::Proven => write!(f, "proven"),
+            BoundBasis::Declared => write!(f, "declared"),
+            BoundBasis::Snapshot => write!(f, "snapshot"),
+        }
+    }
+}
+
+/// A base table: its TTL policy (if any) and the live-row horizon
+/// observed at audit time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableNode {
+    /// Table name.
+    pub name: String,
+    /// The table's TTL policy, when one is declared.
+    pub policy: Option<TtlPolicy>,
+    /// Max remaining lifetime over rows live at audit time:
+    /// `Finite(0)` for an empty table, `Unbounded` when any live row
+    /// never expires.
+    pub live_horizon: TickBound,
+}
+
+impl TableNode {
+    /// Worst-case lifetime of a row of this table, in ticks from its
+    /// latest write/touch, together with the evidence class.
+    ///
+    /// * clamp ⇒ `Proven`: every lifetime (including explicit `EXPIRES`)
+    ///   is forced into `[min, max]`, joined with the observed horizon
+    ///   for rows that predate the policy;
+    /// * default TTL ⇒ `Declared`: policy-minted lifetimes are `ttl`;
+    /// * otherwise ⇒ `Snapshot`: the observed live-row horizon.
+    ///
+    /// A maintenance window can push any expiration to its end, so its
+    /// remaining extent joins into policy-based bounds.
+    #[must_use]
+    pub fn row_lifetime(&self, now: u64) -> (TickBound, BoundBasis) {
+        let Some(policy) = &self.policy else {
+            return (self.live_horizon, BoundBasis::Snapshot);
+        };
+        let window = policy.maintenance.map_or(TickBound::ZERO, |w| {
+            TickBound::Finite(w.end.saturating_sub(now))
+        });
+        if let Some(clamp) = policy.clamp {
+            // `ALTER TABLE … SET TTL` never rewrites existing rows, so
+            // rows written before the clamp keep their original `texp` —
+            // the observed horizon joins the proof to cover them.
+            return (
+                TickBound::Finite(clamp.max)
+                    .join(window)
+                    .join(self.live_horizon),
+                BoundBasis::Proven,
+            );
+        }
+        if let Some(ttl) = policy.ttl {
+            return (TickBound::Finite(ttl).join(window), BoundBasis::Declared);
+        }
+        (self.live_horizon, BoundBasis::Snapshot)
+    }
+
+    /// Whether the table's policy re-arms `texp` on touches.
+    #[must_use]
+    pub fn is_sliding(&self) -> bool {
+        self.policy
+            .as_ref()
+            .is_some_and(|p| p.sliding != Sliding::Absolute)
+    }
+}
+
+/// A view: its static soundness summary and what it reads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewNode {
+    /// View name.
+    pub name: String,
+    /// Materialised (stored artifact) vs virtual (re-evaluated).
+    pub materialized: bool,
+    /// Static soundness of the (inlined) plan.
+    pub soundness: Soundness,
+    /// Base tables transitively reachable through the plan, sorted.
+    pub bases: Vec<String>,
+    /// Direct FROM-list dependencies (tables *or* views), sorted — the
+    /// edges of the view-on-view chain.
+    pub deps: Vec<String>,
+}
+
+impl ViewNode {
+    /// True when Theorem 1 applies: the artifact is valid at every
+    /// instant and staleness is identically zero.
+    #[must_use]
+    pub fn is_eternal(&self) -> bool {
+        self.soundness.bound == StaticBound::Infinite
+    }
+}
+
+/// The `_telemetry.*` retention configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryNode {
+    /// Ticks a sample stays visible (its TTL).
+    pub retention: u64,
+    /// Ticks between samples.
+    pub sample_every: u64,
+}
+
+/// A stale-serving endpoint: the net server's degraded-read cache, which
+/// may answer from an expired materialisation when the write queue is
+/// deep. Registered on the engine by `NetServer::serve` so the audit can
+/// see it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleServing {
+    /// Human-readable endpoint name, e.g. `"net.degraded_read"`.
+    pub endpoint: String,
+    /// Queue depth at which reads degrade to the stale cache.
+    pub degrade_at: usize,
+    /// Stale-cache capacity (entries).
+    pub cache_cap: usize,
+}
+
+/// The flattened whole-database dependency graph at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditGraph {
+    /// Audit time (the engine clock).
+    pub now: u64,
+    /// Base tables, sorted by name.
+    pub tables: Vec<TableNode>,
+    /// Views, sorted by name.
+    pub views: Vec<ViewNode>,
+    /// Telemetry retention, when the history store is enabled.
+    pub telemetry: Option<TelemetryNode>,
+    /// Stale-serving endpoint, when a net server is attached.
+    pub serving: Option<StaleServing>,
+}
+
+impl Default for TableNode {
+    fn default() -> Self {
+        TableNode {
+            name: String::new(),
+            policy: None,
+            live_horizon: TickBound::ZERO,
+        }
+    }
+}
+
+impl AuditGraph {
+    /// A graph with nothing in it (clean audit).
+    #[must_use]
+    pub fn empty(now: u64) -> AuditGraph {
+        AuditGraph {
+            now,
+            tables: Vec::new(),
+            views: Vec::new(),
+            telemetry: None,
+            serving: None,
+        }
+    }
+
+    /// Looks up a table node by name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&TableNode> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// Normalises the graph for deterministic output: sorts tables,
+    /// views, and every dependency list by name.
+    pub fn normalize(&mut self) {
+        self.tables.sort_by(|a, b| a.name.cmp(&b.name));
+        self.views.sort_by(|a, b| a.name.cmp(&b.name));
+        for v in &mut self.views {
+            v.bases.sort();
+            v.bases.dedup();
+            v.deps.sort();
+            v.deps.dedup();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_lifetime_prefers_clamp_over_ttl_over_snapshot() {
+        let clamped = TableNode {
+            name: "a".into(),
+            policy: Some(TtlPolicy::with_ttl(500).clamped(5, 60)),
+            live_horizon: TickBound::Finite(20),
+        };
+        assert_eq!(
+            clamped.row_lifetime(0),
+            (TickBound::Finite(60), BoundBasis::Proven)
+        );
+
+        // Rows grandfathered in before the clamp keep their texp: the
+        // observed horizon dominates when it exceeds the clamp.
+        let grandfathered = TableNode {
+            name: "a2".into(),
+            policy: Some(TtlPolicy::with_ttl(500).clamped(5, 60)),
+            live_horizon: TickBound::Finite(300),
+        };
+        assert_eq!(
+            grandfathered.row_lifetime(0),
+            (TickBound::Finite(300), BoundBasis::Proven)
+        );
+
+        let declared = TableNode {
+            name: "b".into(),
+            policy: Some(TtlPolicy::with_ttl(30)),
+            live_horizon: TickBound::Finite(999),
+        };
+        assert_eq!(
+            declared.row_lifetime(0),
+            (TickBound::Finite(30), BoundBasis::Declared)
+        );
+
+        let bare = TableNode {
+            name: "c".into(),
+            policy: None,
+            live_horizon: TickBound::Finite(12),
+        };
+        assert_eq!(
+            bare.row_lifetime(0),
+            (TickBound::Finite(12), BoundBasis::Snapshot)
+        );
+
+        let eternal = TableNode {
+            name: "d".into(),
+            policy: None,
+            live_horizon: TickBound::Unbounded,
+        };
+        assert_eq!(eternal.row_lifetime(0).0, TickBound::Unbounded);
+    }
+
+    #[test]
+    fn maintenance_window_extends_policy_bounds() {
+        let t = TableNode {
+            name: "a".into(),
+            policy: Some(TtlPolicy::with_ttl(10).with_maintenance(90, 140)),
+            live_horizon: TickBound::ZERO,
+        };
+        // At t=0 the window end is 140 ticks out and dominates the TTL.
+        assert_eq!(t.row_lifetime(0).0, TickBound::Finite(140));
+        // Once the window has passed, the TTL alone bounds lifetimes.
+        assert_eq!(t.row_lifetime(200).0, TickBound::Finite(10));
+    }
+
+    #[test]
+    fn sliding_detection_reads_the_policy() {
+        let abs = TableNode {
+            policy: Some(TtlPolicy::with_ttl(10)),
+            ..TableNode::default()
+        };
+        assert!(!abs.is_sliding());
+        let slide = TableNode {
+            policy: Some(TtlPolicy::with_ttl(10).sliding(Sliding::OnAccess)),
+            ..TableNode::default()
+        };
+        assert!(slide.is_sliding());
+        assert!(!TableNode::default().is_sliding());
+    }
+
+    #[test]
+    fn normalize_sorts_everything() {
+        let mut g = AuditGraph::empty(7);
+        g.tables.push(TableNode {
+            name: "zeta".into(),
+            ..TableNode::default()
+        });
+        g.tables.push(TableNode {
+            name: "alpha".into(),
+            ..TableNode::default()
+        });
+        g.views.push(ViewNode {
+            name: "v".into(),
+            materialized: true,
+            soundness: exptime_core::algebra::Expr::base("alpha").soundness(),
+            bases: vec!["zeta".into(), "alpha".into(), "alpha".into()],
+            deps: vec!["zeta".into(), "alpha".into()],
+        });
+        g.normalize();
+        assert_eq!(g.tables[0].name, "alpha");
+        assert_eq!(g.views[0].bases, vec!["alpha".to_string(), "zeta".into()]);
+        assert!(g.table("zeta").is_some() && g.table("nope").is_none());
+    }
+}

@@ -22,24 +22,28 @@ pub fn render(report: &LintReport, source: &str) -> String {
         if d.span.is_dummy() {
             out.push_str(&format!("{} [{}]: {}\n", d.code, d.severity, d.message));
         } else {
-            let (line, col) = line_col(source, d.span.start);
+            // Spans may come from a different (edited, truncated) source
+            // than the one being rendered against: clamp to length and
+            // snap to char boundaries before slicing.
+            let start = floor_char_boundary(source, d.span.start);
+            let end = floor_char_boundary(source, d.span.end).max(start);
+            let (line, col) = line_col(source, start);
             out.push_str(&format!(
                 "{} [{}] at {line}:{col}: {}\n",
                 d.code, d.severity, d.message
             ));
             // The spanned line, with a caret run underneath. Spans are
-            // clamped to one line for display.
-            let line_start = source[..d.span.start.min(source.len())]
-                .rfind('\n')
-                .map_or(0, |i| i + 1);
+            // clamped to one line for display; tabs are expanded so the
+            // caret column counts the same cells as the excerpt.
+            let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
             let line_end = source[line_start..]
                 .find('\n')
                 .map_or(source.len(), |i| line_start + i);
-            let text = &source[line_start..line_end];
+            let text = expand_tabs(&source[line_start..line_end]);
             out.push_str(&format!("  {text}\n"));
-            let caret_end = d.span.end.min(line_end).max(d.span.start + 1);
-            let pad = source[line_start..d.span.start].chars().count();
-            let width = source[d.span.start..caret_end.min(source.len())]
+            let caret_end = end.min(line_end);
+            let pad = expand_tabs(&source[line_start..start]).chars().count();
+            let width = expand_tabs(&source[start..caret_end.max(start)])
                 .chars()
                 .count()
                 .max(1);
@@ -53,6 +57,23 @@ pub fn render(report: &LintReport, source: &str) -> String {
     let warnings = report.count(crate::diag::Severity::Warning);
     out.push_str(&format!("{} error(s), {} warning(s)\n", errors, warnings));
     out
+}
+
+/// Tab stops are editor-dependent; one tab = [`TAB_WIDTH`] display cells
+/// keeps the caret line aligned with the excerpt it underlines.
+const TAB_WIDTH: usize = 4;
+
+fn expand_tabs(s: &str) -> String {
+    s.replace('\t', &" ".repeat(TAB_WIDTH))
+}
+
+/// The largest char-boundary offset `<= i` (and `<= s.len()`).
+fn floor_char_boundary(s: &str, i: usize) -> usize {
+    let mut i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
 }
 
 #[cfg(test)]
@@ -98,6 +119,48 @@ mod tests {
     fn clean_reports_say_so() {
         let (r, src) = report_for("SELECT uid FROM pol");
         assert!(render(&r, &src).contains("expiration-sound"));
+    }
+
+    #[test]
+    fn tabs_expand_so_carets_stay_aligned() {
+        let sql = "\tSELECT uid\tFROM pol EXCEPT SELECT uid FROM el";
+        let (r, src) = report_for(sql);
+        let rendered = render(&r, &src);
+        // Both tabs (one leading, one mid-line before the span) expand to
+        // four cells in the excerpt; the caret pad counts the same cells:
+        // 46 bytes before EXCEPT, minus 2 tab bytes, plus 2×4 cells = 28.
+        let except_at = sql.find("EXCEPT").unwrap();
+        let pad = except_at - 2 + 2 * 4;
+        assert!(!rendered.contains('\t'), "{rendered}");
+        assert!(
+            rendered.contains(&format!("  {}{}\n", " ".repeat(pad), "^".repeat(6))),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn hostile_spans_render_without_panicking() {
+        use crate::diag::{Code, Diagnostic, Severity};
+        use exptime_sql::span::Span;
+        // Multi-byte text plus spans that overshoot the source, sit on a
+        // non-char boundary, or are inverted: all must render, clamped.
+        let source = "SELECT dég FROM pol";
+        let mid_char = source.find('é').unwrap() + 1; // inside 'é'
+        for span in [
+            Span::new(source.len() + 40, source.len() + 90),
+            Span::new(mid_char, mid_char + 1),
+            Span::new(12, 3),
+        ] {
+            let r = LintReport::new(vec![Diagnostic::new(
+                Code::X001,
+                Severity::Warning,
+                "synthetic".to_string(),
+                span,
+            )]);
+            let rendered = render(&r, source);
+            assert!(rendered.contains("X001 [warning]"), "{rendered}");
+            assert!(rendered.contains('^'), "{rendered}");
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! | R001 | No wall-clock reads (`SystemTime`) outside `crates/core/src/time.rs` — simulated `Time` is the only clock queries may observe. |
 //! | R002 | No `unwrap()`/`expect(` in durability paths (`crates/wal/src`, `crates/engine/src/durability.rs`): recovery code must return errors, not die. Mutex-poisoning `lock().unwrap()` is the one allowed idiom. |
 //! | R003 | Every crate root declares `#![forbid(unsafe_code)]` (the workspace contains no unsafe). |
+//! | R004 | No `std::thread::sleep` outside test/bench/fault-injection code and the few real-time boundaries (tickers, network backoff, daemon pacing): query/maintenance paths must advance the simulated clock, never stall the thread. |
 
 use std::fmt;
 use std::fs;
@@ -54,6 +55,7 @@ pub fn check_repo(root: &Path) -> io::Result<Vec<RepoViolation>> {
         let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
         check_r001(&rel, &content, &mut out);
         check_r002(&rel, &content, &mut out);
+        check_r004(&rel, &content, &mut out);
     }
     check_r003(root, &mut out);
     out.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
@@ -157,6 +159,58 @@ fn check_r002(rel: &Path, content: &str, out: &mut Vec<RepoViolation>) {
             line: i + 1,
             message: "unwrap()/expect() in a durability path; recovery code must \
                       propagate errors"
+                .to_string(),
+        });
+    }
+}
+
+/// R004: `thread::sleep` outside test/bench code and the boundary files
+/// that legitimately touch wall-clock time.
+///
+/// The engine's whole premise is that time is data — a logical clock
+/// advanced by `tick()`, never awaited. A stray `sleep` in a query or
+/// maintenance path means some behaviour depends on wall-clock pacing
+/// and will never be reproducible under the simulated clock. The only
+/// places allowed to block a thread are the edges where simulated time
+/// meets real time:
+///
+/// - `crates/engine/src/shared.rs` — the background ticker mapping
+///   wall-clock intervals to logical ticks;
+/// - `crates/net/src/client.rs` — retry backoff between reconnects;
+/// - `crates/net/src/server.rs` — the non-blocking acceptor's poll
+///   interval;
+/// - `crates/telemetryd/src/bin/telemetryd.rs` — the daemon's
+///   serve-forever loop.
+fn check_r004(rel: &Path, content: &str, out: &mut Vec<RepoViolation>) {
+    const ALLOWED: &[&str] = &[
+        "crates/engine/src/shared.rs",
+        "crates/net/src/client.rs",
+        "crates/net/src/server.rs",
+        "crates/telemetryd/src/bin/telemetryd.rs",
+        // This file names the banned identifier in its rule text.
+        "crates/lint/src/repo.rs",
+    ];
+    if ALLOWED.iter().any(|a| rel == Path::new(a)) {
+        return;
+    }
+    // Integration tests and benches pace real threads by design.
+    if rel.starts_with("tests") || rel.components().any(|c| c.as_os_str() == "benches") {
+        return;
+    }
+    let lines: Vec<&str> = content.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if !code_only(line).contains("thread::sleep") {
+            continue;
+        }
+        if line_is_in_tests(&lines, i) {
+            continue;
+        }
+        out.push(RepoViolation {
+            rule: "R004",
+            path: rel.to_path_buf(),
+            line: i + 1,
+            message: "thread::sleep outside test/bench/boundary code; advance the \
+                      simulated clock (tick) instead of stalling the thread"
                 .to_string(),
         });
     }
@@ -279,6 +333,34 @@ mod tests {
         let r003: Vec<_> = v.iter().filter(|v| v.rule == "R003").collect();
         assert_eq!(r003.len(), 1, "{v:?}");
         assert_eq!(r003[0].path, Path::new("crates/core/src/lib.rs"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn r004_flags_sleeps_outside_tests_and_boundaries() {
+        let sleepy = "fn pace() { std::thread::sleep(d); }\n\
+                      #[cfg(test)]\n\
+                      mod tests { fn t() { std::thread::sleep(d); } }\n";
+        let dir = fixture(&[
+            ("crates/engine/src/db.rs", sleepy),
+            ("crates/engine/src/shared.rs", sleepy),
+            ("crates/net/src/client.rs", sleepy),
+            ("tests/net_chaos.rs", "fn t() { std::thread::sleep(d); }\n"),
+            (
+                "crates/storage/benches/scan.rs",
+                "fn warm() { std::thread::sleep(d); }\n",
+            ),
+            ("src/lib.rs", "#![forbid(unsafe_code)]\n"),
+        ]);
+        let v = check_repo(&dir).unwrap();
+        let r004: Vec<_> = v.iter().filter(|v| v.rule == "R004").collect();
+        // Only the non-boundary production sleep (db.rs line 1) fires:
+        // shared.rs/client.rs are allowlisted boundaries, tests/ and
+        // benches/ pace real threads by design, and the cfg(test) copy
+        // inside db.rs is exempt too.
+        assert_eq!(r004.len(), 1, "{v:?}");
+        assert_eq!(r004[0].path, Path::new("crates/engine/src/db.rs"));
+        assert_eq!(r004[0].line, 1);
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -231,6 +231,16 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let obs = db.with(|d| d.obs().clone());
+        // Register the degraded-read endpoint with the engine so the
+        // whole-database audit (`EXPLAIN AUDIT`) can bound what this
+        // server may serve stale.
+        db.with(|d| {
+            d.set_serving_config(Some(exptime_engine::StaleServing {
+                endpoint: "net.degraded_read".to_string(),
+                degrade_at: cfg.degrade_at,
+                cache_cap: cfg.stale_cache_cap,
+            }));
+        });
         let shared = Arc::new(Shared {
             db: db.clone(),
             obs,
@@ -344,6 +354,9 @@ impl NetServer {
             shed: report.shed,
         });
         self.shared.counter("net.drains", 1);
+        // The endpoint is gone: future audits must not reason about a
+        // degraded-read path that no longer exists.
+        self.shared.db.with(|d| d.set_serving_config(None));
         report
     }
 }

@@ -215,6 +215,16 @@ pub enum EventKind {
         policy: String,
         at: u64,
     },
+    /// Observed staleness exceeded the whole-database audit's *proven*
+    /// static bound for `subject`. The bound is an invariant of the
+    /// policy configuration, so a breach means an analyzer bug or clock
+    /// misuse — this event should never fire in a correct build.
+    AuditViolation {
+        subject: String,
+        observed: u64,
+        bound: u64,
+        at: u64,
+    },
 }
 
 impl EventKind {
@@ -243,6 +253,7 @@ impl EventKind {
             EventKind::NetDegraded { .. } => "net_degraded",
             EventKind::NetDrain { .. } => "net_drain",
             EventKind::PolicyChange { .. } => "policy_change",
+            EventKind::AuditViolation { .. } => "audit_violation",
         }
     }
 }
@@ -438,6 +449,17 @@ impl std::fmt::Display for Event {
                 write!(
                     f,
                     "policy_change   table={table} policy=\"{policy}\" at={at}"
+                )
+            }
+            EventKind::AuditViolation {
+                subject,
+                observed,
+                bound,
+                at,
+            } => {
+                write!(
+                    f,
+                    "audit_violation subject={subject} observed={observed} bound={bound} at={at}"
                 )
             }
         }

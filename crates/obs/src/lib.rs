@@ -41,7 +41,10 @@ pub use expose::{expose_json, expose_prometheus, parse_prometheus_text, Sample};
 pub use forecast::{HorizonForecast, StormBucket, FORECAST_BUCKETS};
 pub use json::JsonValue;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
-pub use monitor::{Health, HealthStatus, SloConfig, StalenessMonitor, ViewHealth, TTX_ETERNAL};
+pub use monitor::{
+    Health, HealthStatus, SloConfig, StalenessBound, StalenessMonitor, ViewHealth, BOUND_UNBOUNDED,
+    TTX_ETERNAL,
+};
 pub use profile::{
     fold_spans, render_flame, AllocCounter, FoldedStack, OperatorAgg, OperatorCost, ProfileStats,
     Profiler, QueryProfile,

@@ -103,6 +103,9 @@ pub struct Health {
     pub trigger_lateness_breaches: u64,
     pub refresh_latency_breaches: u64,
     pub resync_lag_breaches: u64,
+    /// Observed staleness exceeded an audit-proven bound (0 in a correct
+    /// build; any value here is an analyzer bug or clock misuse).
+    pub audit_violations: u64,
     /// Distribution of trigger lateness (logical ticks).
     pub trigger_lateness: HistogramSnapshot,
     /// Distribution of view refresh latency (nanoseconds).
@@ -113,7 +116,10 @@ pub struct Health {
 
 impl Health {
     pub fn total_breaches(&self) -> u64 {
-        self.trigger_lateness_breaches + self.refresh_latency_breaches + self.resync_lag_breaches
+        self.trigger_lateness_breaches
+            + self.refresh_latency_breaches
+            + self.resync_lag_breaches
+            + self.audit_violations
     }
 }
 
@@ -127,8 +133,11 @@ impl std::fmt::Display for Health {
         )?;
         writeln!(
             f,
-            "breaches: trigger_lateness={} refresh_latency={} resync_lag={}",
-            self.trigger_lateness_breaches, self.refresh_latency_breaches, self.resync_lag_breaches
+            "breaches: trigger_lateness={} refresh_latency={} resync_lag={} audit_violations={}",
+            self.trigger_lateness_breaches,
+            self.refresh_latency_breaches,
+            self.resync_lag_breaches,
+            self.audit_violations
         )?;
         writeln!(
             f,
@@ -179,6 +188,25 @@ impl std::fmt::Display for Health {
 /// time-to-expiration exists, so the gauge pins to `i64::MAX`.
 pub const TTX_ETERNAL: i64 = i64::MAX;
 
+/// Gauge value used for subjects whose audit found no finite staleness
+/// bound (`view.<name>.staleness_bound` pins to `i64::MAX`).
+pub const BOUND_UNBOUNDED: i64 = i64::MAX;
+
+/// A static staleness bound registered by the whole-database audit
+/// (`Database::audit()`); the monitor checks observed staleness against
+/// it on every clock advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalenessBound {
+    /// Bound in ticks; `None` = the audit proved nothing finite.
+    pub bound: Option<u64>,
+    /// Whether the bound is an *invariant* (exact/proven basis) rather
+    /// than advisory (declared/snapshot basis). Only enforced bounds can
+    /// raise [`EventKind::AuditViolation`]: an explicit `EXPIRES` write
+    /// may legitimately exceed a declared TTL, but nothing may exceed a
+    /// clamp-proven bound.
+    pub enforced: bool,
+}
+
 /// Watches materialised `texp` values and SLO thresholds; owns the
 /// `slo.*` metrics and the `view.<name>.ttx` gauges.
 pub struct StalenessMonitor {
@@ -190,6 +218,7 @@ pub struct StalenessMonitor {
     lateness_breaches: Counter,
     refresh_breaches: Counter,
     resync_breaches: Counter,
+    audit_violations: Counter,
     state: Mutex<MonitorState>,
 }
 
@@ -197,6 +226,8 @@ pub struct StalenessMonitor {
 struct MonitorState {
     now: u64,
     views: BTreeMap<String, ViewHealth>,
+    /// Audit-derived bounds by subject (views and endpoints).
+    bounds: BTreeMap<String, StalenessBound>,
 }
 
 impl std::fmt::Debug for StalenessMonitor {
@@ -219,12 +250,52 @@ impl StalenessMonitor {
             lateness_breaches: reg.counter("slo.trigger_lateness_breaches"),
             refresh_breaches: reg.counter("slo.refresh_latency_breaches"),
             resync_breaches: reg.counter("slo.resync_lag_breaches"),
+            audit_violations: reg.counter("audit.violations"),
             state: Mutex::new(MonitorState::default()),
         }
     }
 
     pub fn config(&self) -> SloConfig {
         self.cfg
+    }
+
+    /// Replaces the audit-derived staleness bounds and mirrors each into
+    /// a `view.<subject>.staleness_bound` gauge (`i64::MAX` = unbounded).
+    /// Called by `Database::audit()`; subjects may be views *or* serving
+    /// endpoints — only subjects that also appear in
+    /// [`StalenessMonitor::observe_views`] are checked at runtime.
+    pub fn set_staleness_bounds(&self, bounds: impl IntoIterator<Item = (String, StalenessBound)>) {
+        let reg = self.obs.registry();
+        let mut state = self.state.lock().unwrap();
+        let withdrawn: Vec<String> = state.bounds.keys().cloned().collect();
+        state.bounds.clear();
+        for (subject, bound) in bounds {
+            let gauge = bound
+                .bound
+                .map_or(BOUND_UNBOUNDED, |b| i64::try_from(b).unwrap_or(i64::MAX));
+            reg.gauge(&format!("view.{subject}.staleness_bound"))
+                .set(gauge);
+            state.bounds.insert(subject, bound);
+        }
+        // A withdrawn bound must not keep advertising its old value on
+        // the dashboard: subjects dropped by this call read as unbounded
+        // until the next audit re-derives them.
+        for subject in withdrawn {
+            if !state.bounds.contains_key(&subject) {
+                reg.gauge(&format!("view.{subject}.staleness_bound"))
+                    .set(BOUND_UNBOUNDED);
+            }
+        }
+    }
+
+    /// The registered bound for `subject`, if the audit derived one.
+    pub fn staleness_bound(&self, subject: &str) -> Option<StalenessBound> {
+        self.state.lock().unwrap().bounds.get(subject).copied()
+    }
+
+    /// Total `audit_violation` events so far (0 in a correct build).
+    pub fn audit_violation_count(&self) -> u64 {
+        self.audit_violations.get()
     }
 
     /// Refreshes the per-view time-to-expiration gauges from materialised
@@ -247,6 +318,25 @@ impl StalenessMonitor {
             });
             reg.gauge(&format!("view.{name}.ttx"))
                 .set(ttx.unwrap_or(TTX_ETERNAL));
+            // Check the audit invariant: an artifact of a view with an
+            // *enforced* bound `B` was refreshed at some `c ≤ now` and
+            // carries `texp ≤ c + B`, so `texp ≤ now + B` must hold for
+            // every finite texp. (Eternal artifacts are the exact class —
+            // exempt.) A breach means an analyzer bug or clock misuse.
+            if let (Some(t), Some(sb)) = (texp, state.bounds.get(name)) {
+                if sb.enforced {
+                    let limit = sb.bound.map(|b| now.saturating_add(b));
+                    if limit.is_some_and(|l| t > l) {
+                        self.audit_violations.inc();
+                        self.obs.emit_with(Some(now), || EventKind::AuditViolation {
+                            subject: name.to_string(),
+                            observed: t.saturating_sub(now),
+                            bound: sb.bound.unwrap_or(u64::MAX),
+                            at: now,
+                        });
+                    }
+                }
+            }
             seen.push(name.to_string());
             state.views.insert(
                 name.to_string(),
@@ -320,8 +410,11 @@ impl StalenessMonitor {
         let lateness_breaches = self.lateness_breaches.get();
         let refresh_breaches = self.refresh_breaches.get();
         let resync_breaches = self.resync_breaches.get();
+        let audit_violations = self.audit_violations.get();
         Health {
-            status: if lateness_breaches + refresh_breaches + resync_breaches == 0 {
+            status: if lateness_breaches + refresh_breaches + resync_breaches + audit_violations
+                == 0
+            {
                 HealthStatus::Ok
             } else {
                 HealthStatus::Degraded
@@ -332,6 +425,7 @@ impl StalenessMonitor {
             trigger_lateness_breaches: lateness_breaches,
             refresh_latency_breaches: refresh_breaches,
             resync_lag_breaches: resync_breaches,
+            audit_violations,
             trigger_lateness: self.trigger_lateness.snapshot(),
             refresh_ns: self.refresh_ns.snapshot(),
             resync_lag: self.resync_lag.snapshot(),
@@ -473,6 +567,110 @@ mod tests {
         }
         assert_eq!(obs.registry().counter_value("slo.resync_lag_breaches"), 1);
         assert!(mon.health().to_string().contains("resync_lag=1"));
+    }
+
+    #[test]
+    fn enforced_bound_breach_emits_audit_violation() {
+        let (obs, mon) = monitor();
+        let ring = obs.install_ring(16);
+        mon.set_staleness_bounds(vec![
+            (
+                "proven".to_string(),
+                StalenessBound {
+                    bound: Some(10),
+                    enforced: true,
+                },
+            ),
+            (
+                "declared".to_string(),
+                StalenessBound {
+                    bound: Some(10),
+                    enforced: false,
+                },
+            ),
+        ]);
+        assert_eq!(
+            obs.registry().gauge_value("view.proven.staleness_bound"),
+            10
+        );
+        // Inside the bound: texp = now + 10 is exactly admissible.
+        mon.observe_views(5, vec![("proven", Some(15), None)]);
+        assert_eq!(mon.audit_violation_count(), 0);
+        // Advisory bounds never fire even when exceeded (explicit EXPIRES).
+        mon.observe_views(5, vec![("declared", Some(400), None)]);
+        assert_eq!(mon.audit_violation_count(), 0);
+        // Beyond an enforced bound: analyzer bug or clock misuse.
+        mon.observe_views(5, vec![("proven", Some(16), None)]);
+        assert_eq!(mon.audit_violation_count(), 1);
+        let h = mon.health();
+        assert_eq!(h.audit_violations, 1);
+        assert_eq!(h.status, HealthStatus::Degraded);
+        assert_eq!(h.total_breaches(), 1);
+        let events = ring.recent(10);
+        assert_eq!(events.len(), 1);
+        match &events[0].kind {
+            EventKind::AuditViolation {
+                subject,
+                observed,
+                bound,
+                at,
+            } => {
+                assert_eq!(subject, "proven");
+                assert_eq!(*observed, 11);
+                assert_eq!(*bound, 10);
+                assert_eq!(*at, 5);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(obs.registry().counter_value("audit.violations"), 1);
+        assert!(mon.health().to_string().contains("audit_violations=1"));
+        assert_eq!(
+            mon.staleness_bound("proven"),
+            Some(StalenessBound {
+                bound: Some(10),
+                enforced: true
+            })
+        );
+        assert_eq!(mon.staleness_bound("nope"), None);
+        // Clearing the bounds also withdraws the advertised gauge: a
+        // stale `10` on the dashboard would imply a proof that no longer
+        // exists.
+        mon.set_staleness_bounds(std::iter::empty());
+        assert_eq!(mon.staleness_bound("proven"), None);
+        assert_eq!(
+            obs.registry().gauge_value("view.proven.staleness_bound"),
+            BOUND_UNBOUNDED
+        );
+    }
+
+    #[test]
+    fn unbounded_and_eternal_subjects_never_violate() {
+        let (obs, mon) = monitor();
+        mon.set_staleness_bounds(vec![
+            (
+                "loose".to_string(),
+                StalenessBound {
+                    bound: None,
+                    enforced: true,
+                },
+            ),
+            (
+                "exact".to_string(),
+                StalenessBound {
+                    bound: Some(0),
+                    enforced: true,
+                },
+            ),
+        ]);
+        assert_eq!(
+            obs.registry().gauge_value("view.loose.staleness_bound"),
+            BOUND_UNBOUNDED
+        );
+        // No finite bound: nothing to enforce.
+        mon.observe_views(1, vec![("loose", Some(u64::MAX), None)]);
+        // Eternal artifact under an exact bound: the Theorem 1 class.
+        mon.observe_views(1, vec![("exact", None, None)]);
+        assert_eq!(mon.audit_violation_count(), 0);
     }
 
     #[test]

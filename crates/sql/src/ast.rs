@@ -348,6 +348,9 @@ pub enum Statement {
         /// Restrict to one table; `None` lists every table.
         table: Option<String>,
     },
+    /// `EXPLAIN AUDIT` — run the whole-database staleness audit and
+    /// render the report (DESIGN.md §11.1).
+    Audit,
     /// A query.
     Select(Query),
 }
@@ -367,6 +370,7 @@ impl Statement {
             Statement::UpdateExpiration { .. } => "update_expiration",
             Statement::AlterTtl { .. } => "alter_ttl",
             Statement::ShowTtl { .. } => "show_ttl",
+            Statement::Audit => "audit",
             Statement::Select(_) => "select",
         }
     }

@@ -176,6 +176,13 @@ impl Parser {
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
+            // `EXPLAIN` and `AUDIT` are *soft* keywords: they only matter
+            // as the head of `EXPLAIN AUDIT`, and pre-existing schemas use
+            // them as ordinary names (e.g. the `audit` table in
+            // examples/session_store.rs). The lexer lowercases nothing, so
+            // the canonical identifier form is the lowercase spelling.
+            Token::Keyword(Keyword::Explain) => Ok("explain".to_string()),
+            Token::Keyword(Keyword::Audit) => Ok("audit".to_string()),
             other => Err(self.err_prev(format!("expected identifier, found `{other}`"))),
         }
     }
@@ -203,6 +210,7 @@ impl Parser {
             Some(Token::Keyword(Keyword::Update)) => self.update(),
             Some(Token::Keyword(Keyword::Alter)) => self.alter(),
             Some(Token::Keyword(Keyword::Show)) => self.show(),
+            Some(Token::Keyword(Keyword::Explain)) => self.explain(),
             Some(Token::Keyword(Keyword::Select)) => Ok(Statement::Select(self.query()?)),
             Some(t) => Err(self.err(format!("unexpected `{t}`"))),
             None => Err(self.err("empty statement")),
@@ -365,6 +373,15 @@ impl Parser {
             None
         };
         Ok(Statement::ShowTtl { table })
+    }
+
+    /// `EXPLAIN AUDIT` — the whole-database staleness audit. (The only
+    /// EXPLAIN form the parser owns; `EXPLAIN LINT <stmt>` is peeled off
+    /// by the CLI before parsing.)
+    fn explain(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw(Keyword::Explain)?;
+        self.expect_kw(Keyword::Audit)?;
+        Ok(Statement::Audit)
     }
 
     fn expires_clause(&mut self) -> Result<Expires, SqlError> {
@@ -679,7 +696,11 @@ impl Parser {
             }
         }
         match self.peek() {
-            Some(Token::Ident(_)) => Ok(Scalar::Column(self.colref()?)),
+            Some(Token::Ident(_))
+            // Soft keywords read as column references, like any identifier.
+            | Some(Token::Keyword(Keyword::Explain | Keyword::Audit)) => {
+                Ok(Scalar::Column(self.colref()?))
+            }
             _ => Ok(Scalar::Literal(self.literal()?)),
         }
     }
@@ -980,6 +1001,29 @@ mod tests {
         assert!(parse("UPDATE t SET a = 1").is_err(), "only EXPIRES updates");
         assert!(parse("SELECT * FROM t extra junk").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn explain_audit_parses_and_audit_stays_an_identifier() {
+        assert_eq!(parse("EXPLAIN AUDIT").unwrap(), Statement::Audit);
+        assert_eq!(parse("explain audit").unwrap(), Statement::Audit);
+        // `EXPLAIN` alone, or followed by anything else, is an error (the
+        // CLI owns `EXPLAIN LINT <stmt>`).
+        assert!(parse("EXPLAIN").is_err());
+        assert!(parse("EXPLAIN LINT SELECT * FROM t").is_err());
+        assert!(parse("EXPLAIN AUDIT extra").is_err());
+        // Soft keywords: pre-existing schemas use `audit` (and could use
+        // `explain`) as ordinary identifiers — session_store does.
+        let s = parse("CREATE TABLE audit (sid INT, uid INT) TTL 120").unwrap();
+        assert!(matches!(s, Statement::CreateTable { ref name, .. } if name == "audit"));
+        let s = parse("INSERT INTO audit VALUES (1, 2)").unwrap();
+        assert!(matches!(s, Statement::Insert { ref table, .. } if table == "audit"));
+        let s = parse("SELECT sid FROM audit EXCEPT SELECT sid FROM sessions").unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert_eq!(q.body.from, vec!["audit".to_string()]);
+        let s = parse("SELECT explain FROM explain WHERE explain = 1").unwrap();
+        let Statement::Select(q) = s else { panic!() };
+        assert_eq!(q.body.from, vec!["explain".to_string()]);
     }
 
     #[test]

@@ -156,6 +156,8 @@ keywords! {
     For => "FOR",
     None => "NONE",
     Default => "DEFAULT",
+    Explain => "EXPLAIN",
+    Audit => "AUDIT",
 }
 
 #[cfg(test)]

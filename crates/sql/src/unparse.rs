@@ -253,6 +253,7 @@ pub fn statement_to_sql(s: &Statement) -> String {
             Some(t) => format!("SHOW TTL FOR {t}"),
             None => "SHOW TTL".to_string(),
         },
+        Statement::Audit => "EXPLAIN AUDIT".to_string(),
         Statement::Select(q) => query_to_sql(q),
     }
 }
@@ -284,6 +285,7 @@ mod tests {
             "ALTER TABLE sess SET TTL NONE",
             "SHOW TTL",
             "SHOW TTL FOR sess",
+            "EXPLAIN AUDIT",
             "UPDATE pol SET EXPIRES DEFAULT WHERE uid = 1",
             "DELETE FROM pol WHERE uid = 1 AND deg > 2",
             "DELETE FROM pol",

@@ -10,9 +10,10 @@ cargo test -q --doc --workspace
 cargo clippy --all-targets -- -D warnings
 cargo fmt --check
 
-# Repo-invariant lint (exptime-lint R001–R003): no wall-clock reads
-# outside core/time.rs, no unwrap/expect in durability paths, and
-# #![forbid(unsafe_code)] in every crate root.
+# Repo-invariant lint (exptime-lint R001–R004): no wall-clock reads
+# outside core/time.rs, no unwrap/expect in durability paths,
+# #![forbid(unsafe_code)] in every crate root, and no thread::sleep
+# outside tests/benches and the real-time boundary files.
 cargo run --release -q -p exptime-lint --bin repolint
 
 # Analyzer golden tests: the Fig. 3 anomalies must flag their exact
@@ -20,6 +21,12 @@ cargo run --release -q -p exptime-lint --bin repolint
 # Sound(∞) verdicts must match what view maintenance actually does.
 cargo test -q --test lint_golden
 cargo test -q --test prop_lint
+
+# Whole-database audit goldens: EXPLAIN AUDIT over every example
+# workload must exactly match the committed reports in
+# tests/golden/audit/ and prove a finite staleness bound for every
+# view (regenerate intentional drift with UPDATE_AUDIT_GOLDEN=1).
+cargo test -q --test audit_golden
 
 # Observability smoke: the obs experiment runs its workload assertions
 # (snapshot consistency, monitor overhead) without writing artifacts.

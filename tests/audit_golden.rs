@@ -1,0 +1,262 @@
+//! Golden tests for the whole-database audit: every example workload,
+//! replayed as SQL at a fixed logical instant, must produce exactly the
+//! committed `EXPLAIN AUDIT` report — and a *finite* static staleness
+//! bound for every view in it.
+//!
+//! The goldens live in `tests/golden/audit/*.golden`. When an audit
+//! report legitimately changes, regenerate them with
+//!
+//! ```sh
+//! UPDATE_AUDIT_GOLDEN=1 cargo test --test audit_golden
+//! ```
+//!
+//! and commit the diff — CI runs this suite without the variable, so an
+//! unreviewed drift in any report fails the gate.
+
+use exptime::core::rewrite::TickBound;
+use exptime::engine::{Database, DbConfig, ExecResult};
+use std::fs;
+use std::path::PathBuf;
+
+/// Replays the workload, runs `EXPLAIN AUDIT` through the SQL surface,
+/// checks every view's bound is finite, and diffs against the golden.
+fn check(name: &str, db: &mut Database) {
+    let report = db.audit();
+    for v in &report.views {
+        assert!(
+            matches!(v.bound, TickBound::Finite(_)),
+            "{name}: view `{}` has no finite static staleness bound",
+            v.name
+        );
+    }
+
+    let r = db.execute("EXPLAIN AUDIT").unwrap();
+    let ExecResult::Ok(rendered) = r else {
+        panic!("{name}: EXPLAIN AUDIT returned {r:?}")
+    };
+
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/audit")
+        .join(format!("{name}.golden"));
+    if std::env::var_os("UPDATE_AUDIT_GOLDEN").is_some() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(&golden, &rendered).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden {} ({e}); \
+             run UPDATE_AUDIT_GOLDEN=1 cargo test --test audit_golden",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        expected,
+        "{name}: audit report drifted from {}; if intended, regenerate \
+         with UPDATE_AUDIT_GOLDEN=1 and commit the diff",
+        golden.display()
+    );
+}
+
+fn db() -> Database {
+    Database::new(DbConfig::default())
+}
+
+/// `examples/quickstart.rs`: the paper's Figure 1 database with explicit
+/// `EXPIRES AT` times and a monotone materialised view, audited at t=5.
+#[test]
+fn quickstart() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE pol (uid INT, deg INT);
+         CREATE TABLE el  (uid INT, deg INT);
+         INSERT INTO pol VALUES (1, 25) EXPIRES AT 10;
+         INSERT INTO pol VALUES (2, 25) EXPIRES AT 15;
+         INSERT INTO pol VALUES (3, 35) EXPIRES AT 10;
+         INSERT INTO el  VALUES (1, 75) EXPIRES AT 5;
+         INSERT INTO el  VALUES (2, 85) EXPIRES AT 3;
+         INSERT INTO el  VALUES (4, 90) EXPIRES AT 2;
+         CREATE MATERIALIZED VIEW politics_fans AS
+           SELECT uid FROM pol WHERE deg = 25;",
+    )
+    .unwrap();
+    db.tick(5);
+    check("quickstart", &mut db);
+}
+
+/// `examples/session_store.rs`: sliding sessions under a hard-capped
+/// audit log, dashboards over both, audited after 20 ticks of traffic
+/// in which users 0–3 kept touching their sessions.
+#[test]
+fn session_store() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE sessions (sid INT, uid INT) TTL 30 SLIDING ON ACCESS;
+         CREATE TABLE audit (sid INT, uid INT) TTL 120;",
+    )
+    .unwrap();
+    for uid in 0..8i64 {
+        let sid = 100 + uid;
+        db.execute(&format!("INSERT INTO sessions VALUES ({sid}, {uid})"))
+            .unwrap();
+        db.execute(&format!("INSERT INTO audit VALUES ({sid}, {uid})"))
+            .unwrap();
+    }
+    db.execute_script(
+        "CREATE MATERIALIZED VIEW per_user AS
+           SELECT uid, COUNT(*) FROM sessions GROUP BY uid;
+         CREATE MATERIALIZED VIEW logged_out AS
+           SELECT sid FROM audit EXCEPT SELECT sid FROM sessions;",
+    )
+    .unwrap();
+    for _ in 0..2 {
+        db.tick(10);
+        for uid in 0..4i64 {
+            db.execute(&format!("SELECT * FROM sessions WHERE sid = {}", 100 + uid))
+                .unwrap();
+        }
+    }
+    check("session_store", &mut db);
+}
+
+/// `examples/news_service.rs`: per-insert lifetimes (no table policy),
+/// one monotone and two non-monotone dashboards, audited at t=10 after
+/// one round of election-interest renewals.
+#[test]
+fn news_service() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE politics  (uid INT, deg INT);
+         CREATE TABLE elections (uid INT, deg INT);",
+    )
+    .unwrap();
+    for uid in 1..=6i64 {
+        db.execute(&format!(
+            "INSERT INTO politics VALUES ({uid}, {}) EXPIRES IN 40 TICKS",
+            20 + uid * 10
+        ))
+        .unwrap();
+        if uid % 2 == 0 {
+            db.execute(&format!(
+                "INSERT INTO elections VALUES ({uid}, {}) EXPIRES IN 8 TICKS",
+                60 + uid * 5
+            ))
+            .unwrap();
+        }
+    }
+    db.execute_script(
+        "CREATE MATERIALIZED VIEW engaged AS
+           SELECT uid FROM politics WHERE deg >= 50;
+         CREATE MATERIALIZED VIEW election_histogram AS
+           SELECT deg, COUNT(*) FROM elections GROUP BY deg;
+         CREATE MATERIALIZED VIEW teaser_targets AS
+           SELECT uid FROM politics EXCEPT SELECT uid FROM elections;",
+    )
+    .unwrap();
+    db.tick(5);
+    for uid in [2i64, 4] {
+        db.execute(&format!(
+            "INSERT INTO elections VALUES ({uid}, 70) EXPIRES IN 8 TICKS"
+        ))
+        .unwrap();
+    }
+    db.tick(5);
+    check("news_service", &mut db);
+}
+
+/// `examples/sensor_monitor.rs`: a declared reading-validity TTL, a
+/// MIN dashboard over it, and an eternal zone catalog (the one table a
+/// staleness audit can say nothing finite about), audited at t=5.
+#[test]
+fn sensor_monitor() {
+    let mut db = db();
+    db.execute("CREATE TABLE readings (zone INT, temp INT) TTL 20")
+        .unwrap();
+    let feed: &[(u64, i64, i64)] = &[(0, 1, 21), (2, 1, 24), (5, 1, 18), (1, 2, 30), (3, 2, 30)];
+    let mut now = 0u64;
+    for &(at, zone, temp) in feed {
+        if at > now {
+            db.tick(at - now);
+            now = at;
+        }
+        db.execute(&format!("INSERT INTO readings VALUES ({zone}, {temp})"))
+            .unwrap();
+    }
+    db.execute_script(
+        "CREATE MATERIALIZED VIEW coldest AS
+           SELECT zone, MIN(temp) FROM readings GROUP BY zone;
+         CREATE TABLE zones (zone INT);
+         INSERT INTO zones VALUES (1) EXPIRES NEVER;
+         INSERT INTO zones VALUES (2) EXPIRES NEVER;
+         INSERT INTO zones VALUES (3) EXPIRES NEVER;",
+    )
+    .unwrap();
+    check("sensor_monitor", &mut db);
+}
+
+/// `examples/stream_window.rs`: a RANGE-10 stream window as per-insert
+/// TTLs under a COUNT(*) materialised view, audited mid-stream at t=8.
+#[test]
+fn stream_window() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE clicks (page INT, user INT);
+         CREATE MATERIALIZED VIEW page_counts AS
+           SELECT page, COUNT(*) FROM clicks GROUP BY page;",
+    )
+    .unwrap();
+    for i in 0..24i64 {
+        let t = (i as u64) / 3;
+        let now = db.now().finite().unwrap();
+        if t > now {
+            db.tick(t - now);
+        }
+        db.execute(&format!(
+            "INSERT INTO clicks VALUES ({}, {}) EXPIRES IN 10 TICKS",
+            i * 7 % 5,
+            i * 13 % 23
+        ))
+        .unwrap();
+    }
+    db.tick(1);
+    check("stream_window", &mut db);
+}
+
+/// `examples/cache_sync.rs`: the server side of the replica example —
+/// staggered offer lifetimes, a third reserved, the client's two view
+/// shapes materialised server-side, audited at t=10.
+#[test]
+fn cache_sync() {
+    let mut db = db();
+    db.execute_script(
+        "CREATE TABLE offers   (item INT, price INT);
+         CREATE TABLE reserved (item INT, price INT);",
+    )
+    .unwrap();
+    for i in 0..12i64 {
+        db.execute(&format!(
+            "INSERT INTO offers VALUES ({i}, {}) EXPIRES IN {} TICKS",
+            100 + i,
+            40 + (i as u64 % 60)
+        ))
+        .unwrap();
+        if i % 3 == 0 {
+            db.execute(&format!(
+                "INSERT INTO reserved VALUES ({i}, {}) EXPIRES IN {} TICKS",
+                100 + i,
+                10 + (i as u64 % 20)
+            ))
+            .unwrap();
+        }
+    }
+    db.execute_script(
+        "CREATE MATERIALIZED VIEW open_offers AS
+           SELECT item FROM offers;
+         CREATE MATERIALIZED VIEW available AS
+           SELECT item FROM offers EXCEPT SELECT item FROM reserved;",
+    )
+    .unwrap();
+    db.tick(10);
+    check("cache_sync", &mut db);
+}

@@ -260,3 +260,46 @@ fn drain_under_load_loses_no_acked_writes() {
         "acked writes lost on drain: {rows} rows < {total_acked} acked ({report:?})"
     );
 }
+
+/// `NetServer::serve` registers its degraded-read endpoint with the
+/// engine, so the whole-database audit reasons about what the server
+/// may serve stale — and a drain unregisters it again.
+#[test]
+fn serving_registers_the_degraded_read_endpoint_for_audit() {
+    let mut db = Database::default();
+    db.execute_script(
+        "CREATE TABLE ledger (k INT);
+         CREATE MATERIALIZED VIEW totals AS SELECT COUNT(*) FROM ledger;",
+    )
+    .unwrap();
+    db.execute("INSERT INTO ledger VALUES (1) EXPIRES NEVER")
+        .unwrap();
+    let shared = SharedDatabase::from_database(db);
+
+    let server = NetServer::serve(&shared, "127.0.0.1:0", NetConfig::default()).expect("bind");
+    let report = shared.with(|d| d.audit());
+    assert!(
+        report
+            .endpoints
+            .iter()
+            .any(|e| e.name == "net.degraded_read"),
+        "endpoint missing from audit: {report:?}"
+    );
+    // An eternal row feeding a non-monotone view behind a stale-serving
+    // endpoint has no finite staleness bound: the cross-layer X005.
+    assert!(
+        report.lint.codes().contains(&exptime::lint::Code::X005),
+        "{:?}",
+        report.lint
+    );
+
+    server.drain();
+    let report = shared.with(|d| d.audit());
+    assert!(
+        report.endpoints.is_empty(),
+        "drained server left its endpoint registered: {report:?}"
+    );
+    // Without a serving endpoint the unbounded view is engine-local:
+    // no X005.
+    assert!(report.lint.is_clean(), "{:?}", report.lint);
+}

@@ -232,6 +232,7 @@ fn arb_statement() -> impl Strategy<Value = Statement> {
         (arb_ident(), proptest::option::of(arb_ttl_clause()))
             .prop_map(|(table, ttl)| Statement::AlterTtl { table, ttl }),
         proptest::option::of(arb_ident()).prop_map(|table| Statement::ShowTtl { table }),
+        Just(Statement::Audit),
         (
             arb_ident(),
             proptest::collection::vec(proptest::collection::vec(arb_literal(), 1..4), 1..3),
